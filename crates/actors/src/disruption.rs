@@ -1,0 +1,163 @@
+//! Christensen's innovator's dilemma as dynamics.
+//!
+//! §II.B: "disruptive technology does not initially succeed by
+//! de-stabilizing an existing actor network ... Instead, innovators step
+//! outside the existing value chain, and find new customers and new
+//! markets, and build up their stability outside the existing network.
+//! Only when they have enough durability (stable production and markets)
+//! do they then have the potential to overthrow the existing producers."
+
+use serde::{Deserialize, Serialize};
+
+/// Where the disruptor currently is in Christensen's arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DisruptionPhase {
+    /// Performance below even the niche's needs: invisible.
+    Gestating,
+    /// Serving the niche the incumbent ignores; building durability.
+    NicheGrowth,
+    /// Performance crosses mainstream demand while durability is
+    /// sufficient: the incumbent falls.
+    Overthrow,
+}
+
+/// A two-firm disruption model, stepped in discrete periods.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Disruption {
+    /// Incumbent performance (sustaining innovation moves it up slowly).
+    pub incumbent_performance: f64,
+    /// Incumbent per-step sustaining improvement.
+    pub incumbent_rate: f64,
+    /// Disruptor performance.
+    pub disruptor_performance: f64,
+    /// Disruptor per-step improvement (typically steeper).
+    pub disruptor_rate: f64,
+    /// What the mainstream market demands (also drifts upward).
+    pub mainstream_demand: f64,
+    /// Per-step drift of mainstream demand.
+    pub demand_rate: f64,
+    /// What the ignored niche accepts.
+    pub niche_demand: f64,
+    /// Disruptor durability (stable production + markets), grows only
+    /// while serving the niche or better.
+    pub disruptor_durability: f64,
+    /// Durability needed before overthrow is possible.
+    pub durability_needed: f64,
+}
+
+impl Disruption {
+    /// The textbook setup: incumbent far ahead on performance, disruptor
+    /// below the niche, steeper improvement curve.
+    pub fn textbook() -> Self {
+        Disruption {
+            incumbent_performance: 10.0,
+            incumbent_rate: 0.10,
+            disruptor_performance: 2.0,
+            disruptor_rate: 0.35,
+            mainstream_demand: 8.0,
+            demand_rate: 0.05,
+            niche_demand: 3.0,
+            disruptor_durability: 0.0,
+            durability_needed: 5.0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> DisruptionPhase {
+        if self.disruptor_performance >= self.mainstream_demand
+            && self.disruptor_durability >= self.durability_needed
+        {
+            DisruptionPhase::Overthrow
+        } else if self.disruptor_performance >= self.niche_demand {
+            DisruptionPhase::NicheGrowth
+        } else {
+            DisruptionPhase::Gestating
+        }
+    }
+
+    /// Advance one period.
+    pub fn step(&mut self) {
+        self.incumbent_performance += self.incumbent_rate;
+        self.disruptor_performance += self.disruptor_rate;
+        self.mainstream_demand += self.demand_rate;
+        if self.disruptor_performance >= self.niche_demand {
+            // serving real customers is what builds durability
+            self.disruptor_durability += 1.0;
+        }
+    }
+
+    /// Run until overthrow or `max_steps`; returns the step at which the
+    /// overthrow happened, if it did.
+    pub fn run_to_overthrow(&mut self, max_steps: usize) -> Option<usize> {
+        for step in 0..max_steps {
+            if self.phase() == DisruptionPhase::Overthrow {
+                return Some(step);
+            }
+            self.step();
+        }
+        (self.phase() == DisruptionPhase::Overthrow).then_some(max_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_arc_passes_through_all_phases() {
+        let mut d = Disruption::textbook();
+        assert_eq!(d.phase(), DisruptionPhase::Gestating);
+        let mut seen_niche = false;
+        let overthrow = d.run_to_overthrow(1000);
+        assert!(overthrow.is_some(), "textbook disruption must complete");
+        // replay to check the middle phase existed
+        let mut d2 = Disruption::textbook();
+        for _ in 0..overthrow.unwrap() {
+            if d2.phase() == DisruptionPhase::NicheGrowth {
+                seen_niche = true;
+            }
+            d2.step();
+        }
+        assert!(seen_niche, "overthrow must pass through niche growth");
+    }
+
+    #[test]
+    fn overthrow_needs_durability_not_just_performance() {
+        let mut d = Disruption::textbook();
+        d.durability_needed = f64::INFINITY;
+        assert_eq!(d.run_to_overthrow(500), None);
+        // performance alone got there long ago
+        assert!(d.disruptor_performance > d.mainstream_demand);
+    }
+
+    #[test]
+    fn slow_disruptors_never_catch_up() {
+        let mut d = Disruption::textbook();
+        d.disruptor_rate = 0.04; // slower than demand drift
+        assert_eq!(d.run_to_overthrow(2000), None);
+    }
+
+    #[test]
+    fn durability_grows_only_in_the_niche() {
+        let mut d = Disruption::textbook();
+        let before = d.disruptor_durability;
+        d.step(); // still gestating (2.35 < 3.0)
+        assert_eq!(d.disruptor_durability, before);
+        while d.phase() == DisruptionPhase::Gestating {
+            d.step();
+        }
+        let at_entry = d.disruptor_durability;
+        d.step();
+        assert!(d.disruptor_durability > at_entry);
+    }
+
+    #[test]
+    fn incumbent_keeps_improving_regardless() {
+        let mut d = Disruption::textbook();
+        let p0 = d.incumbent_performance;
+        for _ in 0..10 {
+            d.step();
+        }
+        assert!((d.incumbent_performance - (p0 + 1.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,49 @@
+//! # tussle-actors — the actor-network model of run-time tussle
+//!
+//! §II.A–II.C ground the paper's argument in sociology of technology:
+//! Latour's "Technology is Society made Durable", Callon's actor networks,
+//! and Christensen's innovator's dilemma. This crate turns those citations
+//! into a small dynamical model:
+//!
+//! * [`network`] — actors (human and nonhuman) with stances on issues,
+//!   alignment edges, a *durability* metric (how locked-in the network is,
+//!   with technology actors weighted as the anchors Latour describes) and
+//!   a *tussle energy* metric (unresolved conflicts of interest).
+//! * [`churn`] — the §II.C mechanism of change: "the new applications
+//!   bring new actors to the actor network, which keeps the actor network
+//!   from becoming frozen, which in turn permits change to occur." New
+//!   entrants arrive with fresh stances and re-inject tension; alignment
+//!   dynamics slowly resolve it.
+//! * [`freezing`] — the §II.C prediction: "When new applications and user
+//!   groups cease to come to the Internet ... this will imply a freezing
+//!   of the actor network, and a freezing of the Internet."
+//! * [`disruption`] — Christensen's escape hatch: disruptors grow
+//!   *outside* the incumbent value chain and overthrow it only after
+//!   building their own durability.
+//!
+//! ## Example
+//!
+//! ```
+//! use tussle_actors::{ActorKind, ActorNetwork};
+//!
+//! let mut network = ActorNetwork::new(1);
+//! let users = network.add_actor(ActorKind::Human, "users", vec![1.0]);
+//! let protocol = network.add_actor(ActorKind::Technology, "ip", vec![-0.5]);
+//! network.align(users, protocol, 0.8);
+//! assert!(network.tussle_energy() > 0.0);
+//! for _ in 0..100 { network.relax(0.1); }
+//! assert!(network.tussle_energy() < 0.01, "aligned actors resolve their differences");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod disruption;
+pub mod freezing;
+pub mod network;
+
+pub use churn::ChurnProcess;
+pub use disruption::{Disruption, DisruptionPhase};
+pub use freezing::FreezeDetector;
+pub use network::{Actor, ActorId, ActorKind, ActorNetwork};

@@ -1,0 +1,223 @@
+//! Ablation benches: the design choices `DESIGN.md` calls out, each run
+//! with and without the mechanism under study, with the outcome asserted
+//! alongside the timing. These are the "remove one principle and watch
+//! the shape break" experiments:
+//!
+//! * undercut-aware vs. naive best-response pricing (the E3 market engine);
+//! * ToS-keyed vs. port-keyed QoS classification cost and robustness;
+//! * trust-mediated vs. port-list firewall evaluation;
+//! * aggregated (PA) vs. per-customer (PI) FIB lookup cost at scale;
+//! * escalation with and without the counter-mechanism catalog pruned.
+//!
+//! ```sh
+//! cargo bench -p tussle-bench --bench ablations
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tussle_core::{EscalationLadder, Mechanism};
+use tussle_econ::{Consumer, Market, Money, Provider};
+use tussle_net::addr::{Address, AddressOrigin, Prefix};
+use tussle_net::packet::{ports, Packet, Protocol};
+use tussle_net::{Fib, Firewall, NodeId, QosPolicy};
+
+fn market(n: u64, switching: i64) -> Market {
+    let consumers: Vec<Consumer> = (0..n)
+        .map(|id| Consumer {
+            id,
+            value: Money::from_dollars(100),
+            usage_mb: 1000,
+            runs_server: false,
+            tunnels: false,
+            switching_cost: Money::from_dollars(switching),
+            provider: None,
+        })
+        .collect();
+    let providers = vec![
+        Provider::flat("a", Money::from_dollars(60), Money::from_dollars(20)),
+        Provider::flat("b", Money::from_dollars(60), Money::from_dollars(20)),
+    ];
+    Market::new(consumers, providers)
+}
+
+/// Pricing ablation: the undercut candidates are what keep a duopoly from
+/// drifting to monopoly prices. We measure the run and assert the
+/// competitive outcome it buys.
+fn bench_pricing_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/pricing");
+    g.sample_size(10);
+    g.bench_function("duopoly with undercuts (full engine)", |b| {
+        b.iter(|| {
+            let report = market(20, 50).run(40);
+            assert!(
+                report.avg_markup < 1.0,
+                "competition must discipline price, markup {}",
+                report.avg_markup
+            );
+            black_box(report.avg_markup)
+        })
+    });
+    g.bench_function("monopoly baseline (no competitor to undercut)", |b| {
+        b.iter(|| {
+            let consumers = market(20, 50).consumers;
+            let providers =
+                vec![Provider::flat("mono", Money::from_dollars(60), Money::from_dollars(20))];
+            let report = Market::new(consumers, providers).run(40);
+            assert!(report.avg_markup > 2.0, "monopoly rides to WTP, markup {}", report.avg_markup);
+            black_box(report.avg_markup)
+        })
+    });
+    g.finish();
+}
+
+/// QoS classifier ablation: classification cost AND robustness to the
+/// encryption tussle.
+fn bench_qos_ablation(c: &mut Criterion) {
+    let src = Address::in_prefix(Prefix::new(1, 8), 1, AddressOrigin::ProviderIndependent);
+    let dst = Address::in_prefix(Prefix::new(2, 8), 1, AddressOrigin::ProviderIndependent);
+    let packets: Vec<Packet> = (0..1_000)
+        .map(|i| {
+            let p = Packet::new(src, dst, Protocol::Udp, 9000, ports::VOIP).with_tos(5);
+            if i % 2 == 0 {
+                p.encrypt()
+            } else {
+                p
+            }
+        })
+        .collect();
+    let tos = QosPolicy::tos_based(4, 0.5);
+    let port = QosPolicy::port_based(vec![ports::VOIP], 0.5);
+
+    let mut g = c.benchmark_group("ablation/qos-classifier");
+    g.bench_function("tos-keyed over 1k half-encrypted packets", |b| {
+        b.iter(|| {
+            let premium = packets
+                .iter()
+                .filter(|p| tos.classify(p) == tussle_net::ServiceClass::Premium)
+                .count();
+            assert_eq!(premium, 1_000, "ToS keying is encryption-proof");
+            black_box(premium)
+        })
+    });
+    g.bench_function("port-keyed over 1k half-encrypted packets", |b| {
+        b.iter(|| {
+            let premium = packets
+                .iter()
+                .filter(|p| port.classify(p) == tussle_net::ServiceClass::Premium)
+                .count();
+            assert_eq!(premium, 500, "port keying loses the encrypted half");
+            black_box(premium)
+        })
+    });
+    g.finish();
+}
+
+/// Firewall ablation: evaluation cost of the two designs on the same mix.
+fn bench_firewall_ablation(c: &mut Criterion) {
+    let src = Address::in_prefix(Prefix::new(1, 8), 1, AddressOrigin::ProviderIndependent);
+    let dst = Address::in_prefix(Prefix::new(2, 8), 1, AddressOrigin::ProviderIndependent);
+    let packets: Vec<Packet> = (0..1_000)
+        .map(|i| {
+            Packet::new(src, dst, Protocol::Tcp, 1, if i % 2 == 0 { ports::HTTP } else { ports::NOVEL })
+                .with_identity(if i % 3 == 0 { 42 } else { 7 })
+        })
+        .collect();
+    let port_fw = Firewall::port_allowlist(vec![ports::HTTP, ports::SMTP], "admin");
+    let trust_fw = Firewall::trust_mediated(vec![42], "user");
+
+    let mut g = c.benchmark_group("ablation/firewall");
+    g.bench_function("port allowlist x1k", |b| {
+        b.iter(|| {
+            black_box(
+                packets
+                    .iter()
+                    .filter(|p| port_fw.evaluate(p) == tussle_net::FirewallAction::Allow)
+                    .count(),
+            )
+        })
+    });
+    g.bench_function("trust-mediated x1k", |b| {
+        b.iter(|| {
+            black_box(
+                packets
+                    .iter()
+                    .filter(|p| trust_fw.evaluate(p) == tussle_net::FirewallAction::Allow)
+                    .count(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Addressing ablation: lookup cost in an aggregated (2-route) core table
+/// vs. a 10k-entry provider-independent table — the E1 routing bill.
+fn bench_fib_ablation(c: &mut Criterion) {
+    let mut aggregated = Fib::new();
+    aggregated.install(Prefix::new(0x0a00_0000, 8), NodeId(1), 0);
+    aggregated.install(Prefix::new(0x0b00_0000, 8), NodeId(2), 0);
+    let mut flat = Fib::new();
+    for i in 0..10_000u32 {
+        flat.install(Prefix::new(0xc000_0000 | (i << 8), 24), NodeId(i % 8), 0);
+    }
+    let mut g = c.benchmark_group("ablation/addressing");
+    g.bench_function("aggregated core (PA, 2 routes) x1k lookups", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1_000u32 {
+                if aggregated.lookup(black_box(0x0a00_0000 | i)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("per-customer core (PI, 10k routes) x1k lookups", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1_000u32 {
+                if flat.lookup(black_box(0xc000_0000 | (i << 8) | 1)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+/// Escalation ablation: playing the full ladder vs. declining at rung one
+/// (the outcome the market regime decides in E9).
+fn bench_escalation_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/escalation");
+    g.bench_function("full ladder (monopoly world)", |b| {
+        b.iter(|| {
+            let l = EscalationLadder::play_to_the_end(Mechanism::QosPortBased, 10);
+            assert_eq!(l.final_mechanism(), Mechanism::Steganography);
+            black_box(l.escalations())
+        })
+    });
+    g.bench_function("decline at rung 2 (competitive world)", |b| {
+        b.iter(|| {
+            let l = EscalationLadder::play(Mechanism::QosPortBased, 10, |rung, counters| {
+                if rung >= 2 {
+                    None
+                } else {
+                    counters.first().copied()
+                }
+            });
+            assert_eq!(l.final_mechanism(), Mechanism::Encryption);
+            black_box(l.escalations())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pricing_ablation,
+    bench_qos_ablation,
+    bench_firewall_ablation,
+    bench_fib_ablation,
+    bench_escalation_ablation,
+);
+criterion_main!(benches);

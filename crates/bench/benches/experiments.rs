@@ -1,0 +1,62 @@
+//! One Criterion bench per experiment (E1–E14).
+//!
+//! Each bench regenerates its experiment's table; beyond timing, running
+//! this suite re-derives every number in `EXPERIMENTS.md`:
+//!
+//! ```sh
+//! cargo bench -p tussle-bench --bench experiments
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tussle_experiments as ex;
+
+const SEED: u64 = 2002;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+
+    macro_rules! exp {
+        ($name:literal, $module:ident) => {
+            g.bench_function($name, |b| {
+                b.iter(|| {
+                    let r = ex::$module::run(black_box(SEED));
+                    assert!(r.shape_holds, "{} shape failed in bench", r.id);
+                    black_box(r)
+                })
+            });
+        };
+    }
+
+    exp!("e01_lockin", e01_lockin);
+    exp!("e02_value_pricing", e02_value_pricing);
+    exp!("e03_broadband", e03_broadband);
+    exp!("e04_source_routing", e04_source_routing);
+    exp!("e05_overlay", e05_overlay);
+    exp!("e06_firewalls", e06_firewalls);
+    exp!("e07_mediation", e07_mediation);
+    exp!("e08_identity", e08_identity);
+    exp!("e09_encryption", e09_encryption);
+    exp!("e10_qos", e10_qos);
+    exp!("e11_dns", e11_dns);
+    exp!("e12_actor_network", e12_actor_network);
+    exp!("e13_isolation", e13_isolation);
+    exp!("e14_games", e14_games);
+    exp!("e15_micropayments", e15_micropayments);
+    exp!("e16_multicast", e16_multicast);
+    exp!("e17_uncooperative", e17_uncooperative);
+    g.finish();
+
+    // After timing, print the regenerated tables once so `cargo bench`
+    // output doubles as the EXPERIMENTS.md source data.
+    let reports = ex::run_all(SEED);
+    let held = reports.iter().filter(|r| r.shape_holds).count();
+    println!("\n===== regenerated evaluation ({held}/{} shapes hold) =====", reports.len());
+    for r in &reports {
+        println!("{}: shape_holds={} — {}", r.id, r.shape_holds, r.summary);
+    }
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

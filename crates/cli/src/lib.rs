@@ -1,0 +1,297 @@
+//! # tussle-cli — argument parsing and command dispatch
+//!
+//! The logic behind the `tussle-cli` binary, kept in a library so the
+//! parser and renderers are unit-testable. Commands:
+//!
+//! * `experiments [--seed N] [--json] [--only E1,E5]` — run the evaluation
+//!   (or a subset) and print markdown or JSON reports;
+//! * `list` — list experiment ids, sections and one-line claims;
+//! * `ladder <mechanism>` — play an escalation ladder to quiescence from a
+//!   named opening mechanism;
+//! * `mechanisms` — print the mechanism/counter catalog.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tussle_core::{EscalationLadder, Mechanism};
+use tussle_experiments as experiments;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Run experiments.
+    Experiments {
+        /// RNG seed.
+        seed: u64,
+        /// Emit JSON instead of markdown.
+        json: bool,
+        /// Restrict to these ids (empty = all).
+        only: Vec<String>,
+    },
+    /// List the experiment registry.
+    List,
+    /// Play an escalation ladder from a mechanism.
+    Ladder {
+        /// The opening mechanism name.
+        mechanism: Mechanism,
+    },
+    /// Print the mechanism catalog.
+    Mechanisms,
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl core::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for UsageError {}
+
+/// Every catalog mechanism with its CLI name.
+pub fn mechanism_names() -> Vec<(&'static str, Mechanism)> {
+    use Mechanism::*;
+    vec![
+        ("port-firewall", PortFirewall),
+        ("trust-firewall", TrustFirewall),
+        ("nat", Nat),
+        ("tunnel", Tunnel),
+        ("tunnel-detection", TunnelDetection),
+        ("encryption", Encryption),
+        ("encryption-blocking", EncryptionBlocking),
+        ("steganography", Steganography),
+        ("value-pricing", ValuePricing),
+        ("paid-source-routing", PaidSourceRouting),
+        ("provider-routing", ProviderRouting),
+        ("overlay-routing", OverlayRouting),
+        ("dns-perversion", DnsPerversion),
+        ("server-choice", ServerChoice),
+        ("qos-tos-bits", QosTosBits),
+        ("qos-port-based", QosPortBased),
+        ("third-party-mediation", ThirdPartyMediation),
+        ("anonymity", Anonymity),
+        ("refusing-anonymous", RefusingAnonymous),
+        ("regulation", Regulation),
+    ]
+}
+
+/// Parse a mechanism by CLI name.
+pub fn parse_mechanism(name: &str) -> Result<Mechanism, UsageError> {
+    mechanism_names()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, m)| m)
+        .ok_or_else(|| {
+            UsageError(format!(
+                "unknown mechanism '{name}'; run `tussle-cli mechanisms` for the catalog"
+            ))
+        })
+}
+
+/// Parse the argument vector (without the binary name).
+pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
+    let mut it = args.iter();
+    match it.next().map(|s| s.as_str()) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("list") => Ok(Command::List),
+        Some("mechanisms") => Ok(Command::Mechanisms),
+        Some("ladder") => {
+            let name = it
+                .next()
+                .ok_or_else(|| UsageError("ladder needs a mechanism name".into()))?;
+            Ok(Command::Ladder { mechanism: parse_mechanism(name)? })
+        }
+        Some("experiments") => {
+            let mut seed = 2002u64;
+            let mut json = false;
+            let mut only = Vec::new();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seed" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--seed needs a value".into()))?;
+                        seed = v
+                            .parse()
+                            .map_err(|_| UsageError(format!("bad seed '{v}'")))?;
+                    }
+                    "--json" => json = true,
+                    "--only" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--only needs ids like E1,E4".into()))?;
+                        only = v.split(',').map(|s| s.trim().to_uppercase()).collect();
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Experiments { seed, json, only })
+        }
+        Some(other) => Err(UsageError(format!("unknown command '{other}'; try `tussle-cli help`"))),
+    }
+}
+
+/// Execute a command, returning the text to print.
+pub fn execute(cmd: Command) -> Result<String, UsageError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::List => {
+            let mut out = String::from("id   section        claim\n");
+            for r in experiments::run_all_parallel(2002) {
+                out.push_str(&format!(
+                    "{:<4} §{:<12} {}\n",
+                    r.id,
+                    r.section,
+                    r.paper_claim.split('.').next().unwrap_or_default().trim()
+                ));
+            }
+            Ok(out)
+        }
+        Command::Mechanisms => {
+            let mut out = String::from("mechanism               deployer                 countered by\n");
+            for (name, m) in mechanism_names() {
+                let counters: Vec<String> = m
+                    .countered_by()
+                    .iter()
+                    .map(|c| format!("{c:?}"))
+                    .collect();
+                out.push_str(&format!(
+                    "{:<23} {:<24} {}\n",
+                    name,
+                    format!("{:?}", m.typical_deployer()),
+                    if counters.is_empty() { "(terminal)".to_owned() } else { counters.join(", ") }
+                ));
+            }
+            Ok(out)
+        }
+        Command::Ladder { mechanism } => {
+            let ladder = EscalationLadder::play_to_the_end(mechanism, 16);
+            let moves: Vec<String> =
+                ladder.steps.iter().map(|s| format!("{:?}", s.mechanism)).collect();
+            Ok(format!(
+                "{}\n({} escalations, terminal: {})\n",
+                moves.join(" -> "),
+                ladder.escalations(),
+                ladder.ended_terminal()
+            ))
+        }
+        Command::Experiments { seed, json, only } => {
+            let reports: Vec<_> = experiments::run_all_parallel(seed)
+                .into_iter()
+                .filter(|r| only.is_empty() || only.contains(&r.id))
+                .collect();
+            if reports.is_empty() {
+                return Err(UsageError(format!("no experiments match {only:?}")));
+            }
+            if json {
+                let all: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+                Ok(format!("[{}]", all.join(",\n")))
+            } else {
+                let held = reports.iter().filter(|r| r.shape_holds).count();
+                let mut out = format!("{held}/{} shapes hold (seed {seed})\n\n", reports.len());
+                for r in &reports {
+                    out.push_str(&r.to_markdown());
+                    out.push('\n');
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "tussle-cli — the Tussle in Cyberspace reproduction
+
+USAGE:
+  tussle-cli experiments [--seed N] [--json] [--only E1,E4]
+  tussle-cli list
+  tussle-cli ladder <mechanism>
+  tussle-cli mechanisms
+  tussle-cli help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_experiments_flags() {
+        let cmd = parse_args(&args("experiments --seed 7 --json --only e1,E4")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Experiments { seed: 7, json: true, only: vec!["E1".into(), "E4".into()] }
+        );
+    }
+
+    #[test]
+    fn defaults_and_help() {
+        assert_eq!(
+            parse_args(&args("experiments")).unwrap(),
+            Command::Experiments { seed: 2002, json: false, only: vec![] }
+        );
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_errors_are_helpful() {
+        assert!(parse_args(&args("experiments --seed")).is_err());
+        assert!(parse_args(&args("experiments --seed banana")).is_err());
+        assert!(parse_args(&args("frobnicate")).unwrap_err().0.contains("unknown command"));
+        assert!(parse_args(&args("ladder")).is_err());
+        assert!(parse_args(&args("ladder warp-drive")).unwrap_err().0.contains("unknown mechanism"));
+    }
+
+    #[test]
+    fn every_mechanism_name_parses() {
+        for (name, m) in mechanism_names() {
+            assert_eq!(parse_mechanism(name).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn ladder_command_renders() {
+        let out = execute(Command::Ladder { mechanism: Mechanism::QosPortBased }).unwrap();
+        assert!(out.contains("QosPortBased -> Encryption"));
+        assert!(out.contains("terminal: true"));
+    }
+
+    #[test]
+    fn mechanisms_command_lists_the_catalog() {
+        let out = execute(Command::Mechanisms).unwrap();
+        assert!(out.contains("qos-tos-bits"));
+        assert!(out.contains("(terminal)"));
+        assert!(out.lines().count() >= 20);
+    }
+
+    #[test]
+    fn experiments_subset_runs() {
+        let out = execute(Command::Experiments {
+            seed: 2002,
+            json: false,
+            only: vec!["E10".into()],
+        })
+        .unwrap();
+        assert!(out.contains("1/1 shapes hold"));
+        assert!(out.contains("E10"));
+    }
+
+    #[test]
+    fn unknown_subset_errors() {
+        let err = execute(Command::Experiments {
+            seed: 1,
+            json: false,
+            only: vec!["E99".into()],
+        })
+        .unwrap_err();
+        assert!(err.0.contains("no experiments match"));
+    }
+}

@@ -1,0 +1,20 @@
+//! The `tussle-cli` binary: see [`tussle_cli`] for the commands.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match tussle_cli::parse_args(&args).and_then(tussle_cli::execute) {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", tussle_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

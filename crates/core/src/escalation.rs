@@ -1,0 +1,141 @@
+//! Escalation ladders: tussle played to quiescence.
+//!
+//! §I: "Different parties adapt a mix of mechanisms to try to achieve their
+//! conflicting goals, and others respond by adapting the mechanisms to
+//! push back. ... There is no 'final outcome' of these interactions, no
+//! stable point." Within one mechanism family, though, each ladder runs
+//! until someone has no counter left; what the paper calls the outcome
+//! "different in different places" is which rung a given market or polity
+//! stops on (deployment of a counter is a *choice*, driven by cost and by
+//! whether competition permits it).
+
+use crate::mechanism::Mechanism;
+use serde::{Deserialize, Serialize};
+
+/// One move in a ladder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LadderStep {
+    /// Which rung (0 = the opening move).
+    pub rung: usize,
+    /// The mechanism deployed.
+    pub mechanism: Mechanism,
+}
+
+/// An escalation ladder from an opening mechanism.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EscalationLadder {
+    /// The moves, in order.
+    pub steps: Vec<LadderStep>,
+}
+
+impl EscalationLadder {
+    /// Play a ladder from `opening`, letting `choose` pick among available
+    /// counters at each rung (return `None` to decline to escalate — the
+    /// "stop here" outcome). `max_rungs` bounds runaway ladders.
+    pub fn play(
+        opening: Mechanism,
+        max_rungs: usize,
+        mut choose: impl FnMut(usize, &[Mechanism]) -> Option<Mechanism>,
+    ) -> EscalationLadder {
+        let mut steps = vec![LadderStep { rung: 0, mechanism: opening }];
+        let mut current = opening;
+        for rung in 1..=max_rungs {
+            let counters = current.countered_by();
+            if counters.is_empty() {
+                break;
+            }
+            match choose(rung, &counters) {
+                Some(next) if counters.contains(&next) => {
+                    steps.push(LadderStep { rung, mechanism: next });
+                    current = next;
+                }
+                _ => break,
+            }
+        }
+        EscalationLadder { steps }
+    }
+
+    /// Play greedily: always escalate with the first available counter.
+    pub fn play_to_the_end(opening: Mechanism, max_rungs: usize) -> EscalationLadder {
+        Self::play(opening, max_rungs, |_, counters| counters.first().copied())
+    }
+
+    /// The mechanism left standing.
+    pub fn final_mechanism(&self) -> Mechanism {
+        self.steps.last().expect("ladders have an opening move").mechanism
+    }
+
+    /// Number of counter-moves made after the opening.
+    pub fn escalations(&self) -> usize {
+        self.steps.len() - 1
+    }
+
+    /// Did the ladder end because no counter exists (vs. someone declining)?
+    pub fn ended_terminal(&self) -> bool {
+        self.final_mechanism().is_terminal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Mechanism::*;
+
+    #[test]
+    fn greedy_ladder_from_port_qos_reaches_terminal() {
+        let ladder = EscalationLadder::play_to_the_end(QosPortBased, 10);
+        assert!(ladder.ended_terminal());
+        assert_eq!(ladder.steps[0].mechanism, QosPortBased);
+        // QosPortBased -> Encryption -> EncryptionBlocking -> Steganography
+        let mechanisms: Vec<_> = ladder.steps.iter().map(|s| s.mechanism).collect();
+        assert_eq!(
+            mechanisms,
+            vec![QosPortBased, Encryption, EncryptionBlocking, Steganography]
+        );
+        assert_eq!(ladder.escalations(), 3);
+    }
+
+    #[test]
+    fn declining_to_escalate_stops_the_ladder() {
+        // a user who will not buy steganography tools stops at blocking
+        let ladder = EscalationLadder::play(Encryption, 10, |rung, counters| {
+            if rung >= 2 {
+                None
+            } else {
+                counters.first().copied()
+            }
+        });
+        assert_eq!(ladder.final_mechanism(), EncryptionBlocking);
+        assert!(!ladder.ended_terminal());
+    }
+
+    #[test]
+    fn choosers_pick_among_counters() {
+        // at the EncryptionBlocking rung, choose Regulation over Steganography
+        let ladder = EscalationLadder::play(Encryption, 10, |_, counters| {
+            counters.iter().copied().find(|m| *m == Regulation).or(counters.first().copied())
+        });
+        let mechanisms: Vec<_> = ladder.steps.iter().map(|s| s.mechanism).collect();
+        assert_eq!(mechanisms, vec![Encryption, EncryptionBlocking, Regulation]);
+        assert!(ladder.ended_terminal());
+    }
+
+    #[test]
+    fn invalid_choices_end_the_ladder() {
+        let ladder = EscalationLadder::play(Encryption, 10, |_, _| Some(Nat));
+        assert_eq!(ladder.escalations(), 0);
+    }
+
+    #[test]
+    fn terminal_openings_never_escalate() {
+        let ladder = EscalationLadder::play_to_the_end(QosTosBits, 10);
+        assert_eq!(ladder.escalations(), 0);
+        assert!(ladder.ended_terminal());
+    }
+
+    #[test]
+    fn max_rungs_bounds_the_ladder() {
+        let ladder = EscalationLadder::play_to_the_end(QosPortBased, 1);
+        assert_eq!(ladder.escalations(), 1);
+    }
+}

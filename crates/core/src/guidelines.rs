@@ -1,0 +1,220 @@
+//! Application design guidelines.
+//!
+//! §VI.A: "If application designers want to preserve choice and end user
+//! empowerment, they should be given advice about how to design
+//! applications to achieve this goal. This observation suggests that we
+//! should generate 'application design guidelines' that would help
+//! designers avoid pitfalls, and deal with the tussles of success."
+//!
+//! [`AppDesign`] describes an application's architecture choices;
+//! [`AppDesign::review`] returns the guideline violations with the paper
+//! section each one comes from. The guidelines are exactly the paper's:
+//! let users pick servers and third parties, don't key semantics on
+//! hideable fields, design the value flow, support encryption, make
+//! in-network features user-controlled, and plan for failure reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// An application's tussle-relevant design choices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppDesign {
+    /// Application name.
+    pub name: String,
+    /// Can the user select which server/provider they use (§IV.B mail
+    /// example)?
+    pub user_selects_server: bool,
+    /// Can the parties select the third parties that mediate (§V.B)?
+    pub user_selects_mediators: bool,
+    /// Does any network element infer semantics from well-known ports
+    /// (§IV.A — the entanglement anti-pattern)?
+    pub keys_on_well_known_ports: bool,
+    /// Does the protocol work end-to-end encrypted (§VI.A)?
+    pub works_encrypted: bool,
+    /// If value must move between parties, is the payment/compensation
+    /// protocol designed (§IV.C "if this value flow requires a protocol,
+    /// design it")?
+    pub value_flow_designed: bool,
+    /// Whether the application needs inter-party compensation at all.
+    pub needs_value_flow: bool,
+    /// Are in-network "enhancements" invoked only under user control
+    /// (§VI.A "the user can control what features 'in the network' are
+    /// invoked")?
+    pub network_features_user_controlled: bool,
+    /// Does a failed interaction produce a report usable by a
+    /// non-expert (§VI.A "report the problem to the right person in the
+    /// right language")?
+    pub reports_failures_usably: bool,
+}
+
+/// One guideline violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Paper section the guideline comes from.
+    pub section: &'static str,
+    /// What is wrong.
+    pub finding: String,
+}
+
+impl AppDesign {
+    /// A design that follows every guideline (useful as a baseline in
+    /// tests and for builder-style modification).
+    pub fn exemplary(name: &str) -> Self {
+        AppDesign {
+            name: name.to_owned(),
+            user_selects_server: true,
+            user_selects_mediators: true,
+            keys_on_well_known_ports: false,
+            works_encrypted: true,
+            value_flow_designed: true,
+            needs_value_flow: false,
+            network_features_user_controlled: true,
+            reports_failures_usably: true,
+        }
+    }
+
+    /// Review the design against the paper's guidelines.
+    pub fn review(&self) -> Vec<Violation> {
+        let mut v = Vec::new();
+        if !self.user_selects_server {
+            v.push(Violation {
+                section: "IV.B",
+                finding: format!(
+                    "{}: users cannot choose their server/provider; choice drives competition \
+                     and disciplines the marketplace",
+                    self.name
+                ),
+            });
+        }
+        if !self.user_selects_mediators {
+            v.push(Violation {
+                section: "V.B",
+                finding: format!(
+                    "{}: parties cannot select the third parties that mediate the interaction",
+                    self.name
+                ),
+            });
+        }
+        if self.keys_on_well_known_ports {
+            v.push(Violation {
+                section: "IV.A",
+                finding: format!(
+                    "{}: network semantics keyed on well-known ports entangle unrelated \
+                     tussles; use explicit header fields",
+                    self.name
+                ),
+            });
+        }
+        if !self.works_encrypted {
+            v.push(Violation {
+                section: "VI.A",
+                finding: format!(
+                    "{}: the protocol breaks under end-to-end encryption, so users must choose \
+                     between the application and their privacy",
+                    self.name
+                ),
+            });
+        }
+        if self.needs_value_flow && !self.value_flow_designed {
+            v.push(Violation {
+                section: "IV.C",
+                finding: format!(
+                    "{}: compensation must flow between parties but no value-flow protocol is \
+                     designed — expect the QoS/multicast deployment failure",
+                    self.name
+                ),
+            });
+        }
+        if !self.network_features_user_controlled {
+            v.push(Violation {
+                section: "VI.A",
+                finding: format!(
+                    "{}: in-network enhancements are invoked without user control",
+                    self.name
+                ),
+            });
+        }
+        if !self.reports_failures_usably {
+            v.push(Violation {
+                section: "VI.A",
+                finding: format!(
+                    "{}: failures of transparency are not reported in a form the affected \
+                     person can act on",
+                    self.name
+                ),
+            });
+        }
+        v
+    }
+
+    /// Guideline compliance in `[0, 1]`.
+    pub fn score(&self) -> f64 {
+        let checks = 7.0;
+        1.0 - self.review().len() as f64 / checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exemplary_design_is_clean() {
+        let d = AppDesign::exemplary("good-app");
+        assert!(d.review().is_empty());
+        assert_eq!(d.score(), 1.0);
+    }
+
+    #[test]
+    fn the_2002_web_scores_poorly() {
+        // HTTP circa 2002: port 80 semantics, no user mediator choice,
+        // plenty of cleartext, cache insertion without consent.
+        let web = AppDesign {
+            name: "web-2002".into(),
+            user_selects_server: true,
+            user_selects_mediators: false,
+            keys_on_well_known_ports: true,
+            works_encrypted: false,
+            value_flow_designed: false,
+            needs_value_flow: false,
+            network_features_user_controlled: false,
+            reports_failures_usably: false,
+        };
+        let violations = web.review();
+        assert_eq!(violations.len(), 5);
+        assert!(web.score() < 0.4);
+        let sections: Vec<_> = violations.iter().map(|v| v.section).collect();
+        assert!(sections.contains(&"IV.A"));
+        assert!(sections.contains(&"VI.A"));
+    }
+
+    #[test]
+    fn value_flow_only_checked_when_needed() {
+        let mut d = AppDesign::exemplary("p2p");
+        d.needs_value_flow = true;
+        d.value_flow_designed = false;
+        assert_eq!(d.review().len(), 1);
+        assert_eq!(d.review()[0].section, "IV.C");
+        d.value_flow_designed = true;
+        assert!(d.review().is_empty());
+    }
+
+    #[test]
+    fn email_the_papers_good_example_passes_choice() {
+        // §IV.B: "the design of the mail system allows the user to select
+        // his SMTP server and his POP server"
+        let mut mail = AppDesign::exemplary("smtp+pop");
+        mail.user_selects_server = true;
+        assert!(mail.review().iter().all(|v| v.section != "IV.B"));
+    }
+
+    #[test]
+    fn score_is_monotone_in_violations() {
+        let good = AppDesign::exemplary("a");
+        let mut worse = AppDesign::exemplary("b");
+        worse.works_encrypted = false;
+        let mut worst = worse.clone();
+        worst.user_selects_server = false;
+        assert!(good.score() > worse.score());
+        assert!(worse.score() > worst.score());
+    }
+}

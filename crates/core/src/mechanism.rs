@@ -1,0 +1,175 @@
+//! The mechanism catalog and the counter-relation.
+//!
+//! §I's opening examples are all mechanism/counter-mechanism pairs: users
+//! tunnel around firewalls, NAT multiplies a single assigned address,
+//! rights holders block and users re-route. §IV.D: "the different parties
+//! to the tussle use different mechanisms ... such as restrictions on
+//! routing, tunnels and overlays, or intentional perversion of DNS
+//! information."
+
+use crate::stakeholder::StakeholderKind;
+use serde::{Deserialize, Serialize};
+
+/// Every technical mechanism the paper names as a tussle move. Each is
+/// implemented by a substrate crate (see `DESIGN.md` for the mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Port/protocol packet filtering (§V.B).
+    PortFirewall,
+    /// Trust-mediated filtering keyed on identity (§V.B).
+    TrustFirewall,
+    /// Address translation behind one assigned address (§I).
+    Nat,
+    /// Encapsulation that hides inner headers (§V.A.2).
+    Tunnel,
+    /// Deep inspection to detect tunnels (§V.A.2 escalation).
+    TunnelDetection,
+    /// End-to-end encryption (§VI.A).
+    Encryption,
+    /// Refusing or surcharging visibly encrypted traffic (§VI.A).
+    EncryptionBlocking,
+    /// Hiding even the fact of encryption (§VI.A fn. 17).
+    Steganography,
+    /// Class-based price discrimination (§V.A.2).
+    ValuePricing,
+    /// Customer-visible per-provider payment for user-selected routes
+    /// (§V.A.4).
+    PaidSourceRouting,
+    /// Provider-controlled path selection (BGP; §V.A.4).
+    ProviderRouting,
+    /// Application-layer relay around network policy (§V.A.4).
+    OverlayRouting,
+    /// Rewriting resolver answers (§IV.D).
+    DnsPerversion,
+    /// Choosing a different resolver/server (§IV.B).
+    ServerChoice,
+    /// Explicit ToS-bit service selection (§IV.A).
+    QosTosBits,
+    /// Port-keyed service inference (§IV.A, the entangled design).
+    QosPortBased,
+    /// Liability caps, reputation, certification (§V.B).
+    ThirdPartyMediation,
+    /// Presenting no identity (§V.B.1).
+    Anonymity,
+    /// Refusing anonymous counterparties (§V.B.1).
+    RefusingAnonymous,
+    /// Law, regulation, public opinion — mechanisms outside the technical
+    /// space that shape it (§II, §VIII).
+    Regulation,
+}
+
+impl Mechanism {
+    /// Which stakeholder typically deploys this mechanism.
+    pub fn typical_deployer(self) -> StakeholderKind {
+        use Mechanism::*;
+        use StakeholderKind::*;
+        match self {
+            PortFirewall | TrustFirewall => PrivateNetworkProvider,
+            Nat | Tunnel | Encryption | Steganography | OverlayRouting | ServerChoice
+            | Anonymity | PaidSourceRouting => User,
+            TunnelDetection | ValuePricing | ProviderRouting | DnsPerversion | QosTosBits
+            | QosPortBased | EncryptionBlocking => CommercialIsp,
+            ThirdPartyMediation | RefusingAnonymous => ContentProvider,
+            Regulation => Government,
+        }
+    }
+
+    /// The direct counters to this mechanism — who can push back, with
+    /// what. This relation *is* the run-time tussle graph; the escalation
+    /// module walks it.
+    pub fn countered_by(self) -> Vec<Mechanism> {
+        use Mechanism::*;
+        match self {
+            PortFirewall => vec![Tunnel, Steganography],
+            TrustFirewall => vec![],
+            Nat => vec![],
+            Tunnel => vec![TunnelDetection],
+            TunnelDetection => vec![Steganography],
+            Encryption => vec![EncryptionBlocking],
+            EncryptionBlocking => vec![Steganography, Regulation, ServerChoice],
+            Steganography => vec![],
+            ValuePricing => vec![Tunnel, ServerChoice],
+            PaidSourceRouting => vec![],
+            ProviderRouting => vec![PaidSourceRouting, OverlayRouting],
+            OverlayRouting => vec![],
+            DnsPerversion => vec![ServerChoice],
+            ServerChoice => vec![],
+            QosTosBits => vec![],
+            QosPortBased => vec![Encryption, Steganography, Tunnel],
+            ThirdPartyMediation => vec![],
+            Anonymity => vec![RefusingAnonymous],
+            RefusingAnonymous => vec![],
+            Regulation => vec![],
+        }
+    }
+
+    /// Is this a terminal move (no technical counter exists)?
+    pub fn is_terminal(self) -> bool {
+        self.countered_by().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Mechanism::*;
+
+    #[test]
+    fn the_paper_opening_examples_are_encoded() {
+        // "users route and tunnel around them [firewalls]"
+        assert!(PortFirewall.countered_by().contains(&Tunnel));
+        // "ISPs give their users a single IP address, and users attach a
+        // network of computers using address translation" — NAT is the
+        // counter, and nothing (in this catalog) counters NAT.
+        assert!(Nat.is_terminal());
+        // value pricing is evaded by tunnels or by switching provider
+        assert!(ValuePricing.countered_by().contains(&Tunnel));
+        assert!(ValuePricing.countered_by().contains(&ServerChoice));
+    }
+
+    #[test]
+    fn encryption_escalation_chain_exists() {
+        // peek → encrypt → block → steganography (terminal)
+        assert!(QosPortBased.countered_by().contains(&Encryption));
+        assert!(Encryption.countered_by().contains(&EncryptionBlocking));
+        assert!(EncryptionBlocking.countered_by().contains(&Steganography));
+        assert!(Steganography.is_terminal());
+    }
+
+    #[test]
+    fn tos_based_qos_is_terminal_port_based_is_not() {
+        // The §IV.A modularity claim in graph form: the well-modularized
+        // design gives opponents nothing to counter.
+        assert!(QosTosBits.is_terminal());
+        assert!(!QosPortBased.is_terminal());
+    }
+
+    #[test]
+    fn deployers_are_plausible() {
+        assert_eq!(Tunnel.typical_deployer(), StakeholderKind::User);
+        assert_eq!(ValuePricing.typical_deployer(), StakeholderKind::CommercialIsp);
+        assert_eq!(Regulation.typical_deployer(), StakeholderKind::Government);
+    }
+
+    #[test]
+    fn counter_graph_is_acyclic_from_every_start() {
+        // escalation must terminate: walk greedily (first counter) from
+        // every mechanism and ensure no cycle within catalog size.
+        let all = [
+            PortFirewall, TrustFirewall, Nat, Tunnel, TunnelDetection, Encryption,
+            EncryptionBlocking, Steganography, ValuePricing, PaidSourceRouting,
+            ProviderRouting, OverlayRouting, DnsPerversion, ServerChoice, QosTosBits,
+            QosPortBased, ThirdPartyMediation, Anonymity, RefusingAnonymous, Regulation,
+        ];
+        for start in all {
+            let mut cur = start;
+            for _ in 0..all.len() + 1 {
+                match cur.countered_by().first() {
+                    Some(next) => cur = *next,
+                    None => break,
+                }
+            }
+            assert!(cur.is_terminal(), "walk from {start:?} did not terminate (stuck at {cur:?})");
+        }
+    }
+}

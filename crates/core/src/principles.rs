@@ -1,0 +1,122 @@
+//! The design principles as analyzers.
+//!
+//! §IV states the principles; this module measures whether a design
+//! follows them:
+//!
+//! * **Design for choice** (§IV.B) → [`choice_index`]: across the decision
+//!   points a party faces, how many offer a real alternative?
+//! * **Visibility of choices** (§IV.C: "it matters if choices and the
+//!   consequence of choices are visible") → [`visibility_index`].
+//! * **Modularize along tussle boundaries** (§IV.A) → [`spillover`]: how
+//!   much did a fight in one space perturb an outcome in another? A
+//!   well-isolated design scores near zero.
+//! * **Value flow** (§IV.C: "recognize that it must flow") →
+//!   [`value_flow_completeness`] over the econ ledger.
+
+use tussle_econ::{AccountId, Ledger, Money};
+
+/// Fraction of decision points offering at least two options, in `[0,1]`.
+/// `points` is a list of option counts, one per decision a party faces.
+/// Empty input scores zero: a party with no decisions has no choice.
+pub fn choice_index(points: &[usize]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let free = points.iter().filter(|n| **n >= 2).count();
+    free as f64 / points.len() as f64
+}
+
+/// Fraction of consequential decisions that were visible to the affected
+/// party, in `[0,1]`. Empty input scores 1.0: nothing was hidden.
+pub fn visibility_index(decisions_visible: &[bool]) -> f64 {
+    if decisions_visible.is_empty() {
+        return 1.0;
+    }
+    let visible = decisions_visible.iter().filter(|v| **v).count();
+    visible as f64 / decisions_visible.len() as f64
+}
+
+/// Relative perturbation of a metric in a *different* tussle space when a
+/// tussle is fought in this one: `|with - baseline| / max(|baseline|, eps)`.
+///
+/// Zero means perfect isolation (the §IV.A goal); large values are the
+/// collateral damage the paper warns about.
+pub fn spillover(baseline: f64, with_tussle: f64) -> f64 {
+    let eps = 1e-9;
+    (with_tussle - baseline).abs() / baseline.abs().max(eps)
+}
+
+/// Of the compensations a design *requires* to flow (payee, minimum
+/// amount), what fraction actually flowed in the ledger? §VII's QoS
+/// post-mortem is a value-flow completeness of zero.
+pub fn value_flow_completeness(ledger: &Ledger, required: &[(AccountId, Money)]) -> f64 {
+    if required.is_empty() {
+        return 1.0;
+    }
+    let satisfied = required
+        .iter()
+        .filter(|(who, amount)| ledger.total_received(*who) >= *amount)
+        .count();
+    satisfied as f64 / required.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choice_index_counts_real_alternatives() {
+        assert_eq!(choice_index(&[]), 0.0);
+        assert_eq!(choice_index(&[1, 1, 1]), 0.0); // monopoly everywhere
+        assert_eq!(choice_index(&[2, 3, 1, 5]), 0.75);
+        assert_eq!(choice_index(&[2, 2]), 1.0);
+        assert_eq!(choice_index(&[0]), 0.0); // no option at all
+    }
+
+    #[test]
+    fn visibility_index_basics() {
+        assert_eq!(visibility_index(&[]), 1.0);
+        assert_eq!(visibility_index(&[true, true]), 1.0);
+        assert_eq!(visibility_index(&[true, false, false, false]), 0.25);
+    }
+
+    #[test]
+    fn spillover_zero_when_isolated() {
+        assert_eq!(spillover(10.0, 10.0), 0.0);
+        assert!((spillover(10.0, 15.0) - 0.5).abs() < 1e-12);
+        assert!((spillover(10.0, 5.0) - 0.5).abs() < 1e-12);
+        // zero baseline uses epsilon, not a division by zero
+        assert!(spillover(0.0, 1.0) > 1.0);
+    }
+
+    #[test]
+    fn value_flow_completeness_over_ledger() {
+        let mut l = Ledger::new();
+        let user = AccountId(1);
+        let isp_a = AccountId(2);
+        let isp_b = AccountId(3);
+        l.open(user);
+        l.open(isp_a);
+        l.open(isp_b);
+        l.mint(user, Money::from_dollars(100));
+        l.transfer(user, isp_a, Money::from_dollars(10), "transit").unwrap();
+
+        let required = [(isp_a, Money::from_dollars(10)), (isp_b, Money::from_dollars(10))];
+        assert_eq!(value_flow_completeness(&l, &required), 0.5);
+        l.transfer(user, isp_b, Money::from_dollars(10), "transit").unwrap();
+        assert_eq!(value_flow_completeness(&l, &required), 1.0);
+        assert_eq!(value_flow_completeness(&l, &[]), 1.0);
+    }
+
+    #[test]
+    fn underpayment_does_not_count() {
+        let mut l = Ledger::new();
+        let user = AccountId(1);
+        let isp = AccountId(2);
+        l.open(user);
+        l.open(isp);
+        l.mint(user, Money::from_dollars(100));
+        l.transfer(user, isp, Money::from_dollars(3), "partial").unwrap();
+        assert_eq!(value_flow_completeness(&l, &[(isp, Money::from_dollars(10))]), 0.0);
+    }
+}

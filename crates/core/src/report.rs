@@ -1,0 +1,177 @@
+//! Experiment reporting: paper prediction vs. measured value.
+//!
+//! The paper has no tables of its own; each experiment reproduces a
+//! *narrated prediction* (see `EXPERIMENTS.md`). A [`Table`] holds the
+//! measured rows; an [`ExperimentReport`] pairs it with the paper's claim
+//! and whether the measured shape holds. Tables render as markdown (for
+//! the docs) and JSON (for machine checking in integration tests).
+
+use serde::{Deserialize, Serialize};
+
+/// One table row: a label and its cell values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (the parameter point, e.g. `"switching_cost=$600"`).
+    pub label: String,
+    /// Cell values, aligned with the table's column names.
+    pub values: Vec<String>,
+}
+
+/// A results table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column names (excluding the label column).
+    pub columns: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; the cell count must match the columns.
+    pub fn push_row(&mut self, label: &str, values: &[String]) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(Row { label: label.to_owned(), values: values.to_vec() });
+    }
+
+    /// Fetch a cell by row label and column name.
+    pub fn cell(&self, label: &str, column: &str) -> Option<&str> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        let row = self.rows.iter().find(|r| r.label == label)?;
+        row.values.get(col).map(|s| s.as_str())
+    }
+
+    /// Fetch a numeric cell.
+    pub fn cell_f64(&self, label: &str, column: &str) -> Option<f64> {
+        self.cell(label, column)?.trim_start_matches('$').parse().ok()
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str("| |");
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push_str("\n|---|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("| {} |", row.label));
+            for v in &row.values {
+                out.push_str(&format!(" {v} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A full experiment report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. `"E1"`).
+    pub id: String,
+    /// Paper section reproduced (e.g. `"V.A.1"`).
+    pub section: String,
+    /// The paper's narrated prediction, quoted or paraphrased.
+    pub paper_claim: String,
+    /// Measured results.
+    pub table: Table,
+    /// Did the measured shape match the prediction?
+    pub shape_holds: bool,
+    /// One-sentence summary of what was measured.
+    pub summary: String,
+}
+
+impl ExperimentReport {
+    /// Render the whole report as markdown.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "## {} — §{}\n\n**Paper claim.** {}\n\n**Measured.** {} **Shape holds: {}.**\n\n{}",
+            self.id,
+            self.section,
+            self.paper_claim,
+            self.summary,
+            if self.shape_holds { "yes" } else { "NO" },
+            self.table.to_markdown()
+        )
+    }
+
+    /// Serialize to JSON (for `EXPERIMENTS.md` regeneration and tests).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("markup vs switching cost", &["markup", "switches"]);
+        t.push_row("$0", &["0.05".into(), "12".into()]);
+        t.push_row("$600", &["0.55".into(), "1".into()]);
+        t
+    }
+
+    #[test]
+    fn cells_are_addressable() {
+        let t = table();
+        assert_eq!(t.cell("$0", "markup"), Some("0.05"));
+        assert_eq!(t.cell("$600", "switches"), Some("1"));
+        assert_eq!(t.cell("$0", "nope"), None);
+        assert_eq!(t.cell("zzz", "markup"), None);
+        assert_eq!(t.cell_f64("$600", "markup"), Some(0.55));
+    }
+
+    #[test]
+    fn dollar_cells_parse() {
+        let mut t = Table::new("x", &["price"]);
+        t.push_row("a", &["$42.5".into()]);
+        assert_eq!(t.cell_f64("a", "price"), Some(42.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row("r", &["1".into()]);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = table().to_markdown();
+        assert!(md.contains("### markup vs switching cost"));
+        assert!(md.contains("| $600 | 0.55 | 1 |"));
+        assert!(md.contains("|---|---|---|"));
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = ExperimentReport {
+            id: "E1".into(),
+            section: "V.A.1".into(),
+            paper_claim: "lock-in sustains markup".into(),
+            table: table(),
+            shape_holds: true,
+            summary: "markup rises with switching cost".into(),
+        };
+        let json = r.to_json();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(r.to_markdown().contains("Shape holds: yes"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Tussle spaces and their boundaries.
+//!
+//! §V organizes the paper's analysis into spaces — economics, trust,
+//! openness — and §IV.A's modularity principle is *about* the boundaries
+//! between them: "Functions that are within a tussle space should be
+//! logically separated from functions outside of that space, even if there
+//! is no compelling technical reason to do so."
+
+use crate::stakeholder::{Interest, Stakeholder};
+use serde::{Deserialize, Serialize};
+
+/// The canonical spaces of §V (plus naming, the §IV.A worked example).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TussleSpaceKind {
+    /// §V.A: pricing, lock-in, investment, competition.
+    Economics,
+    /// §V.B: who talks to whom, identity, mediation.
+    Trust,
+    /// §V.C: openness vs. vertical integration.
+    Openness,
+    /// §IV.A: the DNS/trademark entanglement.
+    Naming,
+    /// §IV.A: service quality selection.
+    QualityOfService,
+    /// §VI.A: observation vs. concealment of traffic.
+    Privacy,
+}
+
+/// A tussle space: a set of adverse interest pairs and the functions
+/// (labels) that live inside it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TussleSpace {
+    /// Which canonical space.
+    pub kind: TussleSpaceKind,
+    /// Interest pairs contested here.
+    pub contested: Vec<(Interest, Interest)>,
+    /// System functions assigned to this space (e.g. "qos-classification",
+    /// "machine-naming"). The modularity principle says a function should
+    /// appear in exactly one space.
+    pub functions: Vec<String>,
+}
+
+impl TussleSpace {
+    /// Construct a space.
+    pub fn new(kind: TussleSpaceKind, contested: Vec<(Interest, Interest)>) -> Self {
+        TussleSpace { kind, contested, functions: Vec::new() }
+    }
+
+    /// Assign a function to this space.
+    pub fn assign(&mut self, function: &str) {
+        if !self.functions.iter().any(|f| f == function) {
+            self.functions.push(function.to_owned());
+        }
+    }
+
+    /// Is a stakeholder a party to this space (holds a contested interest)?
+    pub fn involves(&self, s: &Stakeholder) -> bool {
+        self.contested
+            .iter()
+            .any(|(a, b)| s.interests.contains(a) || s.interests.contains(b))
+    }
+
+    /// The canonical §V spaces with their contested interests.
+    pub fn canonical() -> Vec<TussleSpace> {
+        use Interest::*;
+        vec![
+            TussleSpace::new(TussleSpaceKind::Economics, vec![(Revenue, LowPrice)]),
+            TussleSpace::new(
+                TussleSpaceKind::Trust,
+                vec![(Security, Transparency), (Anonymity, Accountability)],
+            ),
+            TussleSpace::new(TussleSpaceKind::Openness, vec![(Innovation, Control)]),
+            TussleSpace::new(TussleSpaceKind::Naming, vec![(Control, Innovation)]),
+            TussleSpace::new(TussleSpaceKind::QualityOfService, vec![(Revenue, LowPrice)]),
+            TussleSpace::new(TussleSpaceKind::Privacy, vec![(Privacy, Observation)]),
+        ]
+    }
+}
+
+/// Check the §IV.A modularity rule over an assignment of functions to
+/// spaces: a function entangled in two spaces couples their tussles.
+/// Returns the entangled function names.
+pub fn entangled_functions(spaces: &[TussleSpace]) -> Vec<String> {
+    let mut seen: Vec<(&str, TussleSpaceKind)> = Vec::new();
+    let mut entangled = Vec::new();
+    for space in spaces {
+        for f in &space.functions {
+            if let Some((name, other)) = seen.iter().find(|(name, k)| name == f && *k != space.kind)
+            {
+                let _ = other;
+                if !entangled.contains(&name.to_string()) {
+                    entangled.push(name.to_string());
+                }
+            } else {
+                seen.push((f, space.kind));
+            }
+        }
+    }
+    entangled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stakeholder::{Stakeholder, StakeholderKind};
+
+    #[test]
+    fn canonical_spaces_cover_the_paper() {
+        let spaces = TussleSpace::canonical();
+        let kinds: Vec<_> = spaces.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&TussleSpaceKind::Economics));
+        assert!(kinds.contains(&TussleSpaceKind::Trust));
+        assert!(kinds.contains(&TussleSpaceKind::Openness));
+    }
+
+    #[test]
+    fn involvement() {
+        let spaces = TussleSpace::canonical();
+        let user = Stakeholder::typical(1, StakeholderKind::User);
+        let econ = spaces.iter().find(|s| s.kind == TussleSpaceKind::Economics).unwrap();
+        assert!(econ.involves(&user), "users hold LowPrice");
+        let gov = Stakeholder::typical(2, StakeholderKind::Government);
+        let privacy = spaces.iter().find(|s| s.kind == TussleSpaceKind::Privacy).unwrap();
+        assert!(privacy.involves(&gov));
+    }
+
+    #[test]
+    fn assign_is_idempotent() {
+        let mut s = TussleSpace::new(TussleSpaceKind::Naming, vec![]);
+        s.assign("machine-naming");
+        s.assign("machine-naming");
+        assert_eq!(s.functions.len(), 1);
+    }
+
+    #[test]
+    fn dns_entanglement_is_detected() {
+        // The paper's own example: DNS names serve machine naming AND
+        // trademark expression.
+        let mut naming = TussleSpace::new(TussleSpaceKind::Naming, vec![]);
+        naming.assign("dns-names");
+        let mut openness = TussleSpace::new(TussleSpaceKind::Openness, vec![]);
+        openness.assign("dns-names"); // trademark expression lives elsewhere
+        let entangled = entangled_functions(&[naming, openness]);
+        assert_eq!(entangled, vec!["dns-names".to_string()]);
+    }
+
+    #[test]
+    fn separated_functions_are_clean() {
+        let mut naming = TussleSpace::new(TussleSpaceKind::Naming, vec![]);
+        naming.assign("machine-ids");
+        let mut openness = TussleSpace::new(TussleSpaceKind::Openness, vec![]);
+        openness.assign("trademark-directory");
+        assert!(entangled_functions(&[naming, openness]).is_empty());
+    }
+
+    #[test]
+    fn same_function_same_space_twice_is_fine() {
+        let mut a = TussleSpace::new(TussleSpaceKind::Trust, vec![]);
+        a.assign("firewalling");
+        let mut b = TussleSpace::new(TussleSpaceKind::Trust, vec![]);
+        b.assign("firewalling");
+        assert!(entangled_functions(&[a, b]).is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Stakeholders and interests.
+//!
+//! §I: "At a minimum these players include users, who want to run
+//! applications and interact over the Internet; commercial ISPs, who sell
+//! Internet service with the goal of profit; private sector network
+//! providers ...; governments, who enforce laws ...; intellectual property
+//! rights holders ...; and providers of content and higher level services."
+
+use serde::{Deserialize, Serialize};
+
+/// The classes of player the paper enumerates (§I), plus the designers
+/// themselves, who "should not for a moment think we somehow sit outside
+/// or above the tussle" (§II.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StakeholderKind {
+    /// End users running applications.
+    User,
+    /// Profit-seeking access/transit providers.
+    CommercialIsp,
+    /// Organizations running network infrastructure for their own ends.
+    PrivateNetworkProvider,
+    /// Law enforcement, regulators, legislatures.
+    Government,
+    /// Intellectual-property rights holders.
+    RightsHolder,
+    /// Content and higher-level service providers.
+    ContentProvider,
+    /// The technologists: actors with "the power to create the technology".
+    Designer,
+}
+
+/// Interests stakeholders pursue; tussle is adverse interests meeting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Interest {
+    /// Communicate without observation.
+    Privacy,
+    /// Observe or constrain others' traffic (wiretap, filtering, pricing
+    /// enforcement).
+    Observation,
+    /// Maximize revenue.
+    Revenue,
+    /// Minimize price paid.
+    LowPrice,
+    /// Deploy new, unproven applications.
+    Innovation,
+    /// Keep running services stable and controlled.
+    Control,
+    /// Be unreachable by attackers.
+    Security,
+    /// Reach anyone (universal transparent connectivity).
+    Transparency,
+    /// Act without attribution.
+    Anonymity,
+    /// Hold counterparties answerable.
+    Accountability,
+}
+
+impl Interest {
+    /// The paper's central structural fact: some interests are *inherently*
+    /// adverse — no mechanism aligns them; the tussle can only be shaped.
+    pub fn adverse_to(self, other: Interest) -> bool {
+        use Interest::*;
+        matches!(
+            (self, other),
+            (Privacy, Observation)
+                | (Observation, Privacy)
+                | (Revenue, LowPrice)
+                | (LowPrice, Revenue)
+                | (Innovation, Control)
+                | (Control, Innovation)
+                | (Security, Transparency)
+                | (Transparency, Security)
+                | (Anonymity, Accountability)
+                | (Accountability, Anonymity)
+        )
+    }
+}
+
+/// A named stakeholder with a kind and interests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stakeholder {
+    /// Stable id.
+    pub id: u64,
+    /// Which class of player.
+    pub kind: StakeholderKind,
+    /// Display name.
+    pub name: String,
+    /// What this player wants.
+    pub interests: Vec<Interest>,
+}
+
+impl Stakeholder {
+    /// Construct a stakeholder.
+    pub fn new(id: u64, kind: StakeholderKind, name: &str, interests: Vec<Interest>) -> Self {
+        Stakeholder { id, kind, name: name.to_owned(), interests }
+    }
+
+    /// Interests of `self` that are adverse to interests of `other` —
+    /// nonempty means these two are in tussle.
+    pub fn conflicts_with(&self, other: &Stakeholder) -> Vec<(Interest, Interest)> {
+        let mut out = Vec::new();
+        for &a in &self.interests {
+            for &b in &other.interests {
+                if a.adverse_to(b) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// The default interest profile for a stakeholder kind, per §I's
+    /// description of each player.
+    pub fn typical(id: u64, kind: StakeholderKind) -> Stakeholder {
+        use Interest::*;
+        let (name, interests): (&str, Vec<Interest>) = match kind {
+            StakeholderKind::User => {
+                ("user", vec![Privacy, LowPrice, Innovation, Transparency, Anonymity])
+            }
+            StakeholderKind::CommercialIsp => ("isp", vec![Revenue, Observation, Control]),
+            StakeholderKind::PrivateNetworkProvider => ("private-net", vec![Control, Security]),
+            StakeholderKind::Government => ("government", vec![Observation, Accountability]),
+            StakeholderKind::RightsHolder => ("rights-holder", vec![Observation, Control, Revenue]),
+            StakeholderKind::ContentProvider => ("content", vec![Revenue, Innovation, Transparency]),
+            StakeholderKind::Designer => ("designer", vec![Innovation, Transparency]),
+        };
+        Stakeholder::new(id, kind, name, interests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Interest::*;
+
+    #[test]
+    fn adverse_pairs_are_symmetric() {
+        let pairs = [
+            (Privacy, Observation),
+            (Revenue, LowPrice),
+            (Innovation, Control),
+            (Security, Transparency),
+            (Anonymity, Accountability),
+        ];
+        for (a, b) in pairs {
+            assert!(a.adverse_to(b), "{a:?} vs {b:?}");
+            assert!(b.adverse_to(a), "{b:?} vs {a:?}");
+        }
+        assert!(!Privacy.adverse_to(LowPrice));
+        assert!(!Revenue.adverse_to(Observation));
+    }
+
+    #[test]
+    fn users_and_isps_tussle() {
+        let user = Stakeholder::typical(1, StakeholderKind::User);
+        let isp = Stakeholder::typical(2, StakeholderKind::CommercialIsp);
+        let conflicts = user.conflicts_with(&isp);
+        assert!(conflicts.contains(&(Privacy, Observation)));
+        assert!(conflicts.contains(&(LowPrice, Revenue)));
+        assert!(conflicts.contains(&(Innovation, Control)));
+    }
+
+    #[test]
+    fn users_and_government_tussle_over_privacy_and_anonymity() {
+        let user = Stakeholder::typical(1, StakeholderKind::User);
+        let gov = Stakeholder::typical(2, StakeholderKind::Government);
+        let conflicts = user.conflicts_with(&gov);
+        assert!(conflicts.contains(&(Privacy, Observation)));
+        assert!(conflicts.contains(&(Anonymity, Accountability)));
+    }
+
+    #[test]
+    fn aligned_parties_have_no_conflicts() {
+        let designer = Stakeholder::typical(1, StakeholderKind::Designer);
+        let content = Stakeholder::typical(2, StakeholderKind::ContentProvider);
+        assert!(designer.conflicts_with(&content).is_empty());
+    }
+
+    #[test]
+    fn rights_holders_vs_users() {
+        // "Music lovers of a certain bent want to exchange recordings with
+        // each other, but the rights holders want to stop them." (§I)
+        let user = Stakeholder::typical(1, StakeholderKind::User);
+        let rh = Stakeholder::typical(2, StakeholderKind::RightsHolder);
+        assert!(!user.conflicts_with(&rh).is_empty());
+    }
+}

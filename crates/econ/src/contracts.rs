@@ -1,0 +1,207 @@
+//! Inter-provider agreements.
+//!
+//! §I: "For the Internet to provide universal interconnection, ISPs must
+//! interconnect, but ISPs are sometimes fierce competitors. It is not at
+//! all clear what interests are being served ... when ISPs negotiate terms
+//! of connection." Transit (customer pays provider per megabyte) and
+//! settlement-free peering (free as long as traffic stays roughly
+//! balanced) are the two contract shapes that tussle produced; both settle
+//! through the [`crate::ledger`].
+
+use crate::ledger::{AccountId, Ledger, LedgerError};
+use crate::money::Money;
+use serde::{Deserialize, Serialize};
+use tussle_net::Asn;
+
+/// A transit agreement: `customer` pays `provider` for carried traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitContract {
+    /// The paying AS.
+    pub customer: Asn,
+    /// The carrying AS.
+    pub provider: Asn,
+    /// Price per megabyte.
+    pub per_mb: Money,
+    /// Fixed monthly commitment.
+    pub monthly: Money,
+}
+
+impl TransitContract {
+    /// The bill for one period in which `megabytes` were carried.
+    pub fn bill(&self, megabytes: u64) -> Money {
+        self.monthly + self.per_mb * megabytes as i64
+    }
+
+    /// Settle one period through the ledger.
+    pub fn settle(
+        &self,
+        ledger: &mut Ledger,
+        accounts: impl Fn(Asn) -> AccountId,
+        megabytes: u64,
+    ) -> Result<Money, LedgerError> {
+        let amount = self.bill(megabytes);
+        if amount.is_positive() {
+            ledger.transfer(
+                accounts(self.customer),
+                accounts(self.provider),
+                amount,
+                &format!("transit {}->{}", self.customer, self.provider),
+            )?;
+        }
+        Ok(amount)
+    }
+}
+
+/// A settlement-free peering agreement with a traffic-ratio cap.
+///
+/// Peers exchange traffic for free while the flow ratio stays under
+/// `max_ratio`; beyond it, the heavier sender owes overage at `overage_per_mb`
+/// — the standard re-negotiation threat point in peering disputes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeeringContract {
+    /// One peer.
+    pub a: Asn,
+    /// The other peer.
+    pub b: Asn,
+    /// Largest acceptable (sent/received) imbalance, e.g. 2.0.
+    pub max_ratio: f64,
+    /// Price per megabyte beyond the balanced share.
+    pub overage_per_mb: Money,
+}
+
+impl PeeringContract {
+    /// Settle one period given traffic `a_to_b` and `b_to_a` in megabytes.
+    ///
+    /// Returns the overage payment (payer, payee, amount) if the ratio cap
+    /// was breached, otherwise `None`.
+    pub fn settle(
+        &self,
+        ledger: &mut Ledger,
+        accounts: impl Fn(Asn) -> AccountId,
+        a_to_b: u64,
+        b_to_a: u64,
+    ) -> Result<Option<(Asn, Asn, Money)>, LedgerError> {
+        let (heavy, light, sent, received) = if a_to_b >= b_to_a {
+            (self.a, self.b, a_to_b, b_to_a)
+        } else {
+            (self.b, self.a, b_to_a, a_to_b)
+        };
+        let balanced = received.max(1) as f64 * self.max_ratio;
+        if (sent as f64) <= balanced {
+            return Ok(None);
+        }
+        let overage_mb = sent - balanced as u64;
+        let amount = self.overage_per_mb * overage_mb as i64;
+        if amount.is_positive() {
+            ledger.transfer(
+                accounts(heavy),
+                accounts(light),
+                amount,
+                &format!("peering overage {heavy}->{light}"),
+            )?;
+        }
+        Ok(Some((heavy, light, amount)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct(asn: Asn) -> AccountId {
+        AccountId(asn.0 as u64)
+    }
+
+    fn ledger_for(asns: &[u32]) -> Ledger {
+        let mut l = Ledger::new();
+        for a in asns {
+            l.open(acct(Asn(*a)));
+            l.mint(acct(Asn(*a)), Money::from_dollars(1_000));
+        }
+        l
+    }
+
+    #[test]
+    fn transit_bill_combines_fixed_and_usage() {
+        let c = TransitContract {
+            customer: Asn(2),
+            provider: Asn(1),
+            per_mb: Money(100),
+            monthly: Money::from_dollars(10),
+        };
+        assert_eq!(c.bill(0), Money::from_dollars(10));
+        assert_eq!(c.bill(1000), Money(10_100_000));
+    }
+
+    #[test]
+    fn transit_settlement_moves_money_to_provider() {
+        let mut l = ledger_for(&[1, 2]);
+        let c = TransitContract {
+            customer: Asn(2),
+            provider: Asn(1),
+            per_mb: Money(100),
+            monthly: Money::ZERO,
+        };
+        let amount = c.settle(&mut l, acct, 500).unwrap();
+        assert_eq!(amount, Money(50_000));
+        assert_eq!(l.balance(acct(Asn(1))), Money::from_dollars(1_000) + Money(50_000));
+        assert!(l.is_conserving());
+    }
+
+    #[test]
+    fn balanced_peering_is_free() {
+        let mut l = ledger_for(&[1, 2]);
+        let p = PeeringContract {
+            a: Asn(1),
+            b: Asn(2),
+            max_ratio: 2.0,
+            overage_per_mb: Money(50),
+        };
+        let r = p.settle(&mut l, acct, 1000, 600).unwrap();
+        assert_eq!(r, None);
+        assert_eq!(l.balance(acct(Asn(1))), Money::from_dollars(1_000));
+    }
+
+    #[test]
+    fn imbalanced_peering_charges_the_heavy_sender() {
+        let mut l = ledger_for(&[1, 2]);
+        let p = PeeringContract {
+            a: Asn(1),
+            b: Asn(2),
+            max_ratio: 2.0,
+            overage_per_mb: Money(50),
+        };
+        // AS1 sends 5000, AS2 sends 1000: balanced share is 2000,
+        // overage 3000 MB.
+        let (payer, payee, amount) = p.settle(&mut l, acct, 5000, 1000).unwrap().unwrap();
+        assert_eq!(payer, Asn(1));
+        assert_eq!(payee, Asn(2));
+        assert_eq!(amount, Money(150_000));
+        assert!(l.is_conserving());
+    }
+
+    #[test]
+    fn imbalance_direction_is_symmetric() {
+        let mut l = ledger_for(&[1, 2]);
+        let p = PeeringContract {
+            a: Asn(1),
+            b: Asn(2),
+            max_ratio: 1.5,
+            overage_per_mb: Money(10),
+        };
+        let (payer, _, _) = p.settle(&mut l, acct, 100, 5_000).unwrap().unwrap();
+        assert_eq!(payer, Asn(2));
+    }
+
+    #[test]
+    fn zero_traffic_is_not_an_overage() {
+        let mut l = ledger_for(&[1, 2]);
+        let p = PeeringContract {
+            a: Asn(1),
+            b: Asn(2),
+            max_ratio: 2.0,
+            overage_per_mb: Money(50),
+        };
+        assert_eq!(p.settle(&mut l, acct, 0, 0).unwrap(), None);
+    }
+}

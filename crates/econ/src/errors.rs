@@ -1,0 +1,45 @@
+//! `Display`/`Error` implementations for the crate's error types.
+
+use crate::ledger::LedgerError;
+use core::fmt;
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::InsufficientFunds { account, balance, requested } => write!(
+                f,
+                "account {account:?} holds {balance} but the transfer needs {requested}"
+            ),
+            LedgerError::NonPositiveAmount => f.write_str("transfers must move a positive amount"),
+            LedgerError::UnknownAccount(id) => write!(f, "account {id:?} is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::AccountId;
+    use crate::money::Money;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = LedgerError::InsufficientFunds {
+            account: AccountId(3),
+            balance: Money::from_dollars(1),
+            requested: Money::from_dollars(5),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("$1.00") && msg.contains("$5.00"));
+        assert!(LedgerError::NonPositiveAmount.to_string().contains("positive"));
+        assert!(LedgerError::UnknownAccount(AccountId(9)).to_string().contains("not registered"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&LedgerError::NonPositiveAmount);
+    }
+}

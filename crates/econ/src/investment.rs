@@ -1,0 +1,123 @@
+//! The fear-and-greed investment rule.
+//!
+//! §V.A: "A standard business saying is that the drivers of investment are
+//! fear and greed." §VII applies it to the QoS post-mortem: deployment
+//! failed because there was no value-transfer mechanism (no greed) and no
+//! consumer routing choice (no fear). [`InvestmentCase::evaluate`] encodes
+//! exactly that conjunction; experiment E10 sweeps the 2×2.
+
+use crate::money::Money;
+use serde::{Deserialize, Serialize};
+
+/// A capital decision a provider faces (deploying QoS, multicast, fiber).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvestmentCase {
+    /// Upfront cost of deploying.
+    pub cost: Money,
+    /// Revenue the provider could capture over the horizon *if customers
+    /// can pay for the new service* — the greed term.
+    pub greed_revenue: Money,
+    /// Revenue lost to competitors over the horizon *if customers can take
+    /// their business elsewhere* and the provider does not deploy — the
+    /// fear term.
+    pub fear_loss: Money,
+    /// Does a value-transfer mechanism exist (can the provider actually be
+    /// paid for the service)? Without it the greed term is zero: "a failure
+    /// first to design any value-transfer mechanism" (§VII).
+    pub value_transfer_exists: bool,
+    /// Can the consumer choose/route around this provider? Without it the
+    /// fear term is zero: "a failure to couple the design to a mechanism
+    /// whereby the user can exercise choice" (§VII).
+    pub consumer_can_choose: bool,
+}
+
+/// The outcome of evaluating an investment case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvestmentDecision {
+    /// Deploy, with the expected net gain.
+    Invest {
+        /// Expected benefit minus cost, in money.
+        expected_net: Money,
+    },
+    /// Decline, with the shortfall.
+    Decline {
+        /// Cost minus expected benefit, in money.
+        shortfall: Money,
+    },
+}
+
+impl InvestmentCase {
+    /// Apply the fear-and-greed rule.
+    pub fn evaluate(&self) -> InvestmentDecision {
+        let greed = if self.value_transfer_exists { self.greed_revenue } else { Money::ZERO };
+        let fear = if self.consumer_can_choose { self.fear_loss } else { Money::ZERO };
+        let benefit = greed + fear;
+        if benefit > self.cost {
+            InvestmentDecision::Invest { expected_net: benefit - self.cost }
+        } else {
+            InvestmentDecision::Decline { shortfall: self.cost - benefit }
+        }
+    }
+
+    /// Convenience: did the provider deploy?
+    pub fn deploys(&self) -> bool {
+        matches!(self.evaluate(), InvestmentDecision::Invest { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(value_transfer: bool, choice: bool) -> InvestmentCase {
+        InvestmentCase {
+            cost: Money::from_dollars(100),
+            greed_revenue: Money::from_dollars(70),
+            fear_loss: Money::from_dollars(70),
+            value_transfer_exists: value_transfer,
+            consumer_can_choose: choice,
+        }
+    }
+
+    #[test]
+    fn qos_post_mortem_2x2() {
+        // The §VII shape: only the (+,+) cell deploys when neither driver
+        // alone covers the cost.
+        assert!(!case(false, false).deploys(), "no greed, no fear");
+        assert!(!case(true, false).deploys(), "greed alone insufficient");
+        assert!(!case(false, true).deploys(), "fear alone insufficient");
+        assert!(case(true, true).deploys(), "fear + greed deploys");
+    }
+
+    #[test]
+    fn decision_amounts() {
+        match case(true, true).evaluate() {
+            InvestmentDecision::Invest { expected_net } => {
+                assert_eq!(expected_net, Money::from_dollars(40));
+            }
+            other => panic!("expected invest, got {other:?}"),
+        }
+        match case(true, false).evaluate() {
+            InvestmentDecision::Decline { shortfall } => {
+                assert_eq!(shortfall, Money::from_dollars(30));
+            }
+            other => panic!("expected decline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_big_enough_single_driver_suffices() {
+        let mut c = case(true, false);
+        c.greed_revenue = Money::from_dollars(150);
+        assert!(c.deploys(), "monopoly-scale greed can deploy alone (closed QoS, §VII)");
+    }
+
+    #[test]
+    fn break_even_declines() {
+        let mut c = case(true, true);
+        c.greed_revenue = Money::from_dollars(50);
+        c.fear_loss = Money::from_dollars(50);
+        // benefit == cost: not strictly better, decline
+        assert!(!c.deploys());
+    }
+}

@@ -1,0 +1,245 @@
+//! The value-flow ledger.
+//!
+//! §IV.C: "In certain forms of tussle and run-time choice there is often an
+//! exchange of value for service. ... Whatever the compensation, recognize
+//! that it must flow, just as much as data must flow. ... If this 'value
+//! flow' requires a protocol, design it."
+//!
+//! The ledger is the settlement layer of that protocol: named accounts,
+//! recorded transfers with memos, and a conservation invariant (total
+//! balance equals total minted) that property tests enforce. Payment for
+//! source routes (§V.A.4), mediator fees (§V.B) and QoS settlements (§VII)
+//! all move through here.
+
+use crate::money::Money;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A ledger account.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AccountId(pub u64);
+
+/// One recorded transfer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Payer.
+    pub from: AccountId,
+    /// Payee.
+    pub to: AccountId,
+    /// Amount (always positive).
+    pub amount: Money,
+    /// Free-form reason, e.g. `"transit AS10"` or `"mediator fee"`.
+    pub memo: String,
+}
+
+/// Why a ledger operation failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LedgerError {
+    /// The payer's balance is below the transfer amount.
+    InsufficientFunds {
+        /// Offending account.
+        account: AccountId,
+        /// Its balance.
+        balance: Money,
+        /// The attempted amount.
+        requested: Money,
+    },
+    /// Transfers must move a positive amount.
+    NonPositiveAmount,
+    /// Account is not registered.
+    UnknownAccount(AccountId),
+}
+
+/// A conserving ledger.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ledger {
+    balances: BTreeMap<AccountId, Money>,
+    transfers: Vec<Transfer>,
+    minted: Money,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Register an account with a zero balance (idempotent).
+    pub fn open(&mut self, id: AccountId) {
+        self.balances.entry(id).or_insert(Money::ZERO);
+    }
+
+    /// Create money in an account (outside income, initial endowment).
+    /// Tracked so conservation stays checkable.
+    pub fn mint(&mut self, id: AccountId, amount: Money) {
+        assert!(!amount.is_negative(), "cannot mint negative money");
+        *self.balances.entry(id).or_insert(Money::ZERO) += amount;
+        self.minted += amount;
+    }
+
+    /// Current balance (zero for unknown accounts).
+    pub fn balance(&self, id: AccountId) -> Money {
+        self.balances.get(&id).copied().unwrap_or(Money::ZERO)
+    }
+
+    /// Execute a transfer; records it on success.
+    pub fn transfer(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        amount: Money,
+        memo: &str,
+    ) -> Result<(), LedgerError> {
+        if !amount.is_positive() {
+            return Err(LedgerError::NonPositiveAmount);
+        }
+        if !self.balances.contains_key(&from) {
+            return Err(LedgerError::UnknownAccount(from));
+        }
+        if !self.balances.contains_key(&to) {
+            return Err(LedgerError::UnknownAccount(to));
+        }
+        let bal = self.balance(from);
+        if bal < amount {
+            return Err(LedgerError::InsufficientFunds { account: from, balance: bal, requested: amount });
+        }
+        *self.balances.get_mut(&from).unwrap() -= amount;
+        *self.balances.get_mut(&to).unwrap() += amount;
+        self.transfers.push(Transfer { from, to, amount, memo: to_memo(memo) });
+        Ok(())
+    }
+
+    /// All recorded transfers, oldest first.
+    pub fn transfers(&self) -> &[Transfer] {
+        &self.transfers
+    }
+
+    /// Transfers whose memo starts with `prefix` — "visible exchange of
+    /// value" (§IV.C) means flows are auditable by purpose.
+    pub fn transfers_for<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a Transfer> {
+        self.transfers.iter().filter(move |t| t.memo.starts_with(prefix))
+    }
+
+    /// Total amount ever received by an account.
+    pub fn total_received(&self, id: AccountId) -> Money {
+        self.transfers.iter().filter(|t| t.to == id).map(|t| t.amount).sum()
+    }
+
+    /// Total amount ever paid by an account.
+    pub fn total_paid(&self, id: AccountId) -> Money {
+        self.transfers.iter().filter(|t| t.from == id).map(|t| t.amount).sum()
+    }
+
+    /// Conservation check: the sum of all balances equals everything
+    /// minted. Transfers can move value but never create or destroy it.
+    pub fn is_conserving(&self) -> bool {
+        let total: Money = self.balances.values().copied().sum();
+        total == self.minted
+    }
+
+    /// Total money in existence.
+    pub fn total_minted(&self) -> Money {
+        self.minted
+    }
+}
+
+fn to_memo(memo: &str) -> String {
+    memo.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: AccountId = AccountId(1);
+    const B: AccountId = AccountId(2);
+
+    fn funded() -> Ledger {
+        let mut l = Ledger::new();
+        l.open(A);
+        l.open(B);
+        l.mint(A, Money::from_dollars(100));
+        l
+    }
+
+    #[test]
+    fn transfer_moves_value() {
+        let mut l = funded();
+        l.transfer(A, B, Money::from_dollars(30), "rent").unwrap();
+        assert_eq!(l.balance(A), Money::from_dollars(70));
+        assert_eq!(l.balance(B), Money::from_dollars(30));
+        assert!(l.is_conserving());
+    }
+
+    #[test]
+    fn insufficient_funds_rejected() {
+        let mut l = funded();
+        let err = l.transfer(A, B, Money::from_dollars(200), "too much").unwrap_err();
+        assert!(matches!(err, LedgerError::InsufficientFunds { .. }));
+        assert_eq!(l.balance(A), Money::from_dollars(100));
+        assert!(l.transfers().is_empty());
+    }
+
+    #[test]
+    fn non_positive_rejected() {
+        let mut l = funded();
+        assert_eq!(l.transfer(A, B, Money::ZERO, "no-op"), Err(LedgerError::NonPositiveAmount));
+        assert_eq!(
+            l.transfer(A, B, Money::from_dollars(-1), "neg"),
+            Err(LedgerError::NonPositiveAmount)
+        );
+    }
+
+    #[test]
+    fn unknown_accounts_rejected() {
+        let mut l = funded();
+        let ghost = AccountId(99);
+        assert_eq!(
+            l.transfer(ghost, B, Money(1), "x"),
+            Err(LedgerError::UnknownAccount(ghost))
+        );
+        assert_eq!(l.transfer(A, ghost, Money(1), "x"), Err(LedgerError::UnknownAccount(ghost)));
+    }
+
+    #[test]
+    fn memo_audit_trail() {
+        let mut l = funded();
+        l.transfer(A, B, Money(10), "transit AS10").unwrap();
+        l.transfer(A, B, Money(20), "transit AS20").unwrap();
+        l.transfer(A, B, Money(30), "mediator fee").unwrap();
+        assert_eq!(l.transfers_for("transit").count(), 2);
+        assert_eq!(l.transfers_for("mediator").count(), 1);
+        assert_eq!(l.total_received(B), Money(60));
+        assert_eq!(l.total_paid(A), Money(60));
+    }
+
+    #[test]
+    fn conservation_across_many_ops() {
+        let mut l = Ledger::new();
+        for i in 0..10 {
+            l.open(AccountId(i));
+            l.mint(AccountId(i), Money::from_dollars(10));
+        }
+        for i in 0..9 {
+            l.transfer(AccountId(i), AccountId(i + 1), Money::from_dollars(5), "chain").unwrap();
+        }
+        assert!(l.is_conserving());
+        assert_eq!(l.total_minted(), Money::from_dollars(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_mint_panics() {
+        let mut l = Ledger::new();
+        l.mint(A, Money(-1));
+    }
+
+    #[test]
+    fn open_is_idempotent() {
+        let mut l = funded();
+        l.open(A);
+        assert_eq!(l.balance(A), Money::from_dollars(100));
+    }
+}

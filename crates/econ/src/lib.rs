@@ -1,0 +1,57 @@
+//! # tussle-econ — the economics of tussle
+//!
+//! §V.A: "One of the tussles that defines the current Internet is the
+//! tussle of economics. ... A standard business saying is that the drivers
+//! of investment are fear and greed." This crate supplies the machinery
+//! those sentences imply:
+//!
+//! * [`money`] — a currency newtype; all amounts are integer micro-units.
+//! * [`ledger`] — a conserving transfer ledger. §IV.C: "Whatever the
+//!   compensation, recognize that it must flow, just as much as data must
+//!   flow. ... If this 'value flow' requires a protocol, design it." The
+//!   ledger *is* that protocol's settlement layer.
+//! * [`pricing`] — flat, usage, two-part and **value pricing** (the
+//!   §V.A.2 "Saturday-night-stay" mechanism: segment customers by
+//!   willingness to pay, e.g. the residential server prohibition).
+//! * [`contracts`] — transit and peering agreements between providers.
+//! * [`market`] — consumers with willingness-to-pay and *switching costs*
+//!   choosing among providers that set prices by greedy best response;
+//!   the §V.A.1 lock-in markup emerges from the switching cost.
+//! * [`investment`] — the fear-and-greed investment rule behind the
+//!   §VII QoS post-mortem.
+//!
+//! ## Example
+//!
+//! ```
+//! use tussle_econ::{AccountId, Ledger, Money};
+//!
+//! let mut ledger = Ledger::new();
+//! let user = AccountId(1);
+//! let isp = AccountId(2);
+//! ledger.open(user);
+//! ledger.open(isp);
+//! ledger.mint(user, Money::from_dollars(100));
+//! ledger.transfer(user, isp, Money::from_dollars(40), "monthly service").unwrap();
+//! assert_eq!(ledger.balance(isp), Money::from_dollars(40));
+//! assert!(ledger.is_conserving());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contracts;
+mod errors;
+pub mod investment;
+pub mod ledger;
+pub mod market;
+pub mod money;
+pub mod payments;
+pub mod pricing;
+
+pub use contracts::{PeeringContract, TransitContract};
+pub use investment::{InvestmentCase, InvestmentDecision};
+pub use ledger::{AccountId, Ledger, LedgerError, Transfer};
+pub use market::{Consumer, Market, MarketReport, Provider};
+pub use money::Money;
+pub use payments::{best_instrument, viable, Instrument};
+pub use pricing::{PricingScheme, Usage};

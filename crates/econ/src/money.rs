@@ -1,0 +1,173 @@
+//! Currency as integer micro-units.
+//!
+//! Floating-point money invites conservation bugs; the ledger's invariants
+//! are only checkable with exact arithmetic. One unit of `Money` is one
+//! micro-dollar; `Money::from_dollars(1)` is 1_000_000.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// An exact amount of currency in micro-units. May be negative (debts,
+/// losses).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(pub i64);
+
+impl Money {
+    /// Zero.
+    pub const ZERO: Money = Money(0);
+
+    /// Whole dollars.
+    pub const fn from_dollars(d: i64) -> Money {
+        Money(d * 1_000_000)
+    }
+
+    /// Raw micro-units.
+    pub const fn micros(self) -> i64 {
+        self.0
+    }
+
+    /// Fractional dollars (for display and elasticity math only).
+    pub fn as_dollars_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Is the amount strictly positive?
+    pub fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// Is the amount strictly negative?
+    pub fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Multiply by a non-negative scalar with rounding toward zero.
+    pub fn scale(self, factor: f64) -> Money {
+        Money((self.0 as f64 * factor) as i64)
+    }
+
+    /// The larger of two amounts.
+    pub fn max(self, other: Money) -> Money {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two amounts.
+    pub fn min(self, other: Money) -> Money {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0.checked_add(rhs.0).expect("money overflow"))
+    }
+}
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0.checked_sub(rhs.0).expect("money underflow"))
+    }
+}
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        *self = *self - rhs;
+    }
+}
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+impl Mul<i64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: i64) -> Money {
+        Money(self.0.checked_mul(rhs).expect("money overflow"))
+    }
+}
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(f, "{sign}${}.{:02}", abs / 1_000_000, (abs % 1_000_000) / 10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Money::from_dollars(3).micros(), 3_000_000);
+        assert_eq!(Money::from_dollars(-2).as_dollars_f64(), -2.0);
+        assert!(Money(1).is_positive());
+        assert!(Money(-1).is_negative());
+        assert!(!Money::ZERO.is_positive() && !Money::ZERO.is_negative());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Money::from_dollars(5);
+        let b = Money::from_dollars(2);
+        assert_eq!(a + b, Money::from_dollars(7));
+        assert_eq!(a - b, Money::from_dollars(3));
+        assert_eq!(-a, Money::from_dollars(-5));
+        assert_eq!(b * 3, Money::from_dollars(6));
+        let mut c = a;
+        c += b;
+        c -= Money::from_dollars(1);
+        assert_eq!(c, Money::from_dollars(6));
+    }
+
+    #[test]
+    fn scale_and_extremes() {
+        assert_eq!(Money::from_dollars(10).scale(0.5), Money::from_dollars(5));
+        assert_eq!(Money::from_dollars(10).scale(0.0), Money::ZERO);
+        assert_eq!(Money(3).max(Money(7)), Money(7));
+        assert_eq!(Money(3).min(Money(7)), Money(3));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Money = [Money(1), Money(2), Money(3)].into_iter().sum();
+        assert_eq!(total, Money(6));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Money::from_dollars(12).to_string(), "$12.00");
+        assert_eq!(Money(-1_500_000).to_string(), "-$1.50");
+        assert_eq!(Money(250_000).to_string(), "$0.25");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let _ = Money(i64::MAX) + Money(1);
+    }
+}

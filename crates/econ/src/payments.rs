@@ -1,0 +1,171 @@
+//! Payment instruments: the micro-payments case study.
+//!
+//! §IV.C: "(There is an interesting case study in the rise and fall of
+//! micro-payments, the success of the traditional credit card companies
+//! for Internet payments, and the emergence of PayPal and similar
+//! schemes.)" The case study reduces to cost structure and trust:
+//!
+//! * **micropayment schemes** have tiny marginal fees but a *mental/
+//!   protocol transaction cost* per payment and no fraud protection;
+//! * **credit cards** carry a fixed fee plus a percentage — hopeless for
+//!   cent-sized payments, dominant for mid-sized ones, with a liability
+//!   cap (the §V.B mediation tie-in);
+//! * **account aggregation** (PayPal-like, or a monthly subscription)
+//!   amortizes the fixed cost over many payments.
+//!
+//! [`best_instrument`] computes who wins at a given payment size —
+//! experiment E15 sweeps it and finds the crossovers.
+
+use crate::money::Money;
+use serde::{Deserialize, Serialize};
+
+/// A way to move small sums across the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instrument {
+    /// A per-payment digital-cash token scheme.
+    Micropayment,
+    /// A traditional card network.
+    CreditCard,
+    /// An account-based aggregator settling in batches.
+    Aggregator,
+}
+
+/// Cost parameters for one instrument.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentCosts {
+    /// Fixed fee per payment.
+    pub fixed_fee: Money,
+    /// Proportional fee (e.g. 0.03 = 3%).
+    pub percent_fee: f64,
+    /// Per-payment friction borne by the *user* (decision cost, protocol
+    /// round-trips) — the quiet killer of micropayments.
+    pub user_friction: Money,
+    /// Is the buyer protected (liability cap / chargeback)?
+    pub buyer_protected: bool,
+}
+
+impl Instrument {
+    /// Stylized 2002-era cost structures.
+    pub fn costs(self) -> InstrumentCosts {
+        match self {
+            Instrument::Micropayment => InstrumentCosts {
+                fixed_fee: Money(2_000),        // $0.002 per token
+                percent_fee: 0.0,
+                user_friction: Money(50_000),   // $0.05 of decision cost each time
+                buyer_protected: false,
+            },
+            Instrument::CreditCard => InstrumentCosts {
+                fixed_fee: Money(300_000),      // $0.30
+                percent_fee: 0.029,             // 2.9%
+                user_friction: Money(10_000),   // $0.01 — habitual
+                buyer_protected: true,
+            },
+            Instrument::Aggregator => InstrumentCosts {
+                fixed_fee: Money(10_000),       // $0.01 amortized batch share
+                percent_fee: 0.02,
+                user_friction: Money(5_000),    // one account, no per-item decision
+                buyer_protected: true,
+            },
+        }
+    }
+
+    /// Total overhead of paying `amount` once with this instrument.
+    pub fn overhead(self, amount: Money) -> Money {
+        let c = self.costs();
+        c.fixed_fee + amount.scale(c.percent_fee) + c.user_friction
+    }
+
+    /// Overhead as a fraction of the payment.
+    pub fn overhead_ratio(self, amount: Money) -> f64 {
+        if amount.micros() <= 0 {
+            return f64::INFINITY;
+        }
+        self.overhead(amount).micros() as f64 / amount.micros() as f64
+    }
+
+    /// All instruments.
+    pub fn all() -> [Instrument; 3] {
+        [Instrument::Micropayment, Instrument::CreditCard, Instrument::Aggregator]
+    }
+}
+
+/// The instrument with the lowest overhead for a payment of `amount`,
+/// requiring buyer protection if `need_protection` (paying a stranger —
+/// the §V.B trust condition).
+pub fn best_instrument(amount: Money, need_protection: bool) -> Instrument {
+    Instrument::all()
+        .into_iter()
+        .filter(|i| !need_protection || i.costs().buyer_protected)
+        .min_by_key(|i| i.overhead(amount))
+        .expect("protected instruments exist")
+}
+
+/// An instrument is economically *viable* at a payment size when its
+/// overhead is under `max_ratio` of the amount (e.g. 0.5 = overhead may
+/// eat at most half the payment).
+pub fn viable(instrument: Instrument, amount: Money, max_ratio: f64) -> bool {
+    instrument.overhead_ratio(amount) <= max_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_scale_correctly() {
+        let cc = Instrument::CreditCard;
+        // $10 purchase: 0.30 + 0.29 + 0.01 = $0.60
+        assert_eq!(cc.overhead(Money::from_dollars(10)), Money(600_000));
+        let mp = Instrument::Micropayment;
+        // overhead independent of size
+        assert_eq!(mp.overhead(Money(10_000)), mp.overhead(Money::from_dollars(100)));
+    }
+
+    #[test]
+    fn nothing_is_viable_for_sub_cent_content() {
+        // the fall of micropayments: even the cheap token scheme's
+        // *friction* swamps a $0.001 article
+        let tiny = Money(1_000);
+        for i in Instrument::all() {
+            assert!(!viable(i, tiny, 0.5), "{i:?} should be hopeless at $0.001");
+        }
+    }
+
+    #[test]
+    fn aggregation_wins_small_payments() {
+        // $0.25 song-snippet: the aggregator's amortized fee wins among
+        // protected instruments, and overall
+        let small = Money(250_000);
+        assert_eq!(best_instrument(small, true), Instrument::Aggregator);
+        assert_eq!(best_instrument(small, false), Instrument::Aggregator);
+    }
+
+    #[test]
+    fn cards_vs_aggregators_at_scale() {
+        // at $100, the percentage dominates: card 2.9% vs aggregator 2.0%,
+        // aggregator still cheaper; the card's niche in this model is
+        // trust + ubiquity, which the paper files under mediation
+        let large = Money::from_dollars(100);
+        let card = Instrument::CreditCard.overhead(large);
+        let agg = Instrument::Aggregator.overhead(large);
+        assert!(agg < card);
+        // but unprotected micropayments are cheapest of all at scale —
+        // and nobody uses them, because need_protection filters them out
+        assert_eq!(best_instrument(large, true), Instrument::Aggregator);
+        let unprotected = best_instrument(large, false);
+        assert_eq!(unprotected, Instrument::Micropayment);
+    }
+
+    #[test]
+    fn protection_requirement_excludes_micropayments() {
+        for dollars in [1, 10, 1000] {
+            let amt = Money::from_dollars(dollars);
+            assert_ne!(best_instrument(amt, true), Instrument::Micropayment);
+        }
+    }
+
+    #[test]
+    fn zero_amount_is_never_viable() {
+        assert!(!viable(Instrument::Aggregator, Money::ZERO, 10.0));
+    }
+}

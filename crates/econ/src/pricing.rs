@@ -1,0 +1,162 @@
+//! Pricing schemes, including value pricing.
+//!
+//! §V.A.2: "One of the standard ways to improve revenues is to find ways to
+//! divide customers into classes based on their willingness to pay, and
+//! charge them accordingly — what economists call value pricing." The
+//! Internet instance the paper gives: residential broadband contracts that
+//! prohibit running a server, forcing server-runners onto a pricier
+//! "business" rate. The consumer counter-move (tunneling to hide the
+//! server) works precisely because the price discrimination keys on
+//! *observable* behaviour.
+
+use crate::money::Money;
+use serde::{Deserialize, Serialize};
+
+/// A customer's observable usage in one billing period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Usage {
+    /// Megabytes carried.
+    pub megabytes: u64,
+    /// Does the customer run a server?
+    pub runs_server: bool,
+    /// Is the server *visible* to the provider? Tunneling (§V.A.2) makes
+    /// `runs_server` true but `server_visible` false.
+    pub server_visible: bool,
+}
+
+impl Usage {
+    /// Light residential browsing.
+    pub fn residential(megabytes: u64) -> Self {
+        Usage { megabytes, runs_server: false, server_visible: false }
+    }
+
+    /// Openly running a server.
+    pub fn open_server(megabytes: u64) -> Self {
+        Usage { megabytes, runs_server: true, server_visible: true }
+    }
+
+    /// Running a server behind a tunnel.
+    pub fn hidden_server(megabytes: u64) -> Self {
+        Usage { megabytes, runs_server: true, server_visible: false }
+    }
+}
+
+/// How a provider charges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PricingScheme {
+    /// One price for everyone.
+    Flat {
+        /// Monthly charge.
+        monthly: Money,
+    },
+    /// Pure usage pricing — the "onerous pay-by-the-byte situation"
+    /// consumers fear (§V.A.4).
+    PerByte {
+        /// Charge per megabyte.
+        per_mb: Money,
+    },
+    /// Subscription plus usage.
+    TwoPart {
+        /// Monthly charge.
+        monthly: Money,
+        /// Charge per megabyte.
+        per_mb: Money,
+    },
+    /// Value pricing: a cheap class and an expensive class, separated by an
+    /// observable criterion (running a server).
+    ValuePricing {
+        /// Rate for customers who appear residential.
+        residential: Money,
+        /// Rate for customers observed running servers.
+        business: Money,
+    },
+}
+
+impl PricingScheme {
+    /// The bill for one period of `usage`.
+    ///
+    /// Value pricing can only charge what it can see: a hidden server pays
+    /// the residential rate. That asymmetry is the engine of the §V.A.2
+    /// escalation (prohibit → tunnel → detect → ...).
+    pub fn bill(&self, usage: Usage) -> Money {
+        match self {
+            PricingScheme::Flat { monthly } => *monthly,
+            PricingScheme::PerByte { per_mb } => *per_mb * usage.megabytes as i64,
+            PricingScheme::TwoPart { monthly, per_mb } => {
+                *monthly + *per_mb * usage.megabytes as i64
+            }
+            PricingScheme::ValuePricing { residential, business } => {
+                if usage.runs_server && usage.server_visible {
+                    *business
+                } else {
+                    *residential
+                }
+            }
+        }
+    }
+
+    /// The headline price a shopper compares (the residential/monthly
+    /// rate; per-byte schemes quote a typical 1000 MB month).
+    pub fn headline(&self) -> Money {
+        match self {
+            PricingScheme::Flat { monthly } => *monthly,
+            PricingScheme::PerByte { per_mb } => *per_mb * 1000,
+            PricingScheme::TwoPart { monthly, per_mb } => *monthly + *per_mb * 1000,
+            PricingScheme::ValuePricing { residential, .. } => *residential,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_ignores_usage() {
+        let s = PricingScheme::Flat { monthly: Money::from_dollars(40) };
+        assert_eq!(s.bill(Usage::residential(1)), Money::from_dollars(40));
+        assert_eq!(s.bill(Usage::open_server(100_000)), Money::from_dollars(40));
+    }
+
+    #[test]
+    fn per_byte_scales() {
+        let s = PricingScheme::PerByte { per_mb: Money(1000) };
+        assert_eq!(s.bill(Usage::residential(0)), Money::ZERO);
+        assert_eq!(s.bill(Usage::residential(500)), Money(500_000));
+    }
+
+    #[test]
+    fn two_part_combines() {
+        let s = PricingScheme::TwoPart { monthly: Money::from_dollars(10), per_mb: Money(100) };
+        assert_eq!(s.bill(Usage::residential(1000)), Money(10_100_000));
+    }
+
+    #[test]
+    fn value_pricing_discriminates_on_visibility() {
+        let s = PricingScheme::ValuePricing {
+            residential: Money::from_dollars(40),
+            business: Money::from_dollars(120),
+        };
+        assert_eq!(s.bill(Usage::residential(100)), Money::from_dollars(40));
+        assert_eq!(s.bill(Usage::open_server(100)), Money::from_dollars(120));
+        // the tunnel: same behaviour, hidden, residential rate
+        assert_eq!(s.bill(Usage::hidden_server(100)), Money::from_dollars(40));
+    }
+
+    #[test]
+    fn headline_prices() {
+        assert_eq!(
+            PricingScheme::Flat { monthly: Money::from_dollars(40) }.headline(),
+            Money::from_dollars(40)
+        );
+        assert_eq!(PricingScheme::PerByte { per_mb: Money(1000) }.headline(), Money(1_000_000));
+        assert_eq!(
+            PricingScheme::ValuePricing {
+                residential: Money::from_dollars(40),
+                business: Money::from_dollars(120)
+            }
+            .headline(),
+            Money::from_dollars(40)
+        );
+    }
+}

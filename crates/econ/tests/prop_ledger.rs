@@ -1,0 +1,85 @@
+//! Property tests for the value-flow ledger and pricing.
+
+use proptest::prelude::*;
+use tussle_econ::{AccountId, Ledger, Money, PricingScheme, Usage};
+
+proptest! {
+    /// Conservation: any sequence of mints and transfers keeps the total
+    /// balance equal to the total minted, and no successful transfer
+    /// overdraws.
+    #[test]
+    fn ledger_conserves_value(
+        ops in proptest::collection::vec((0u64..8, 0u64..8, 1i64..1_000_000), 1..200),
+    ) {
+        let mut l = Ledger::new();
+        for i in 0..8 {
+            l.open(AccountId(i));
+            l.mint(AccountId(i), Money::from_dollars(10));
+        }
+        for (from, to, amount) in ops {
+            let _ = l.transfer(AccountId(from), AccountId(to), Money(amount), "prop");
+        }
+        prop_assert!(l.is_conserving());
+        for i in 0..8 {
+            prop_assert!(l.balance(AccountId(i)) >= Money::ZERO);
+        }
+    }
+
+    /// Paid and received totals reconcile with balances.
+    #[test]
+    fn flows_reconcile(
+        ops in proptest::collection::vec((0u64..4, 0u64..4, 1i64..100_000), 1..100),
+    ) {
+        let mut l = Ledger::new();
+        for i in 0..4 {
+            l.open(AccountId(i));
+            l.mint(AccountId(i), Money::from_dollars(100));
+        }
+        for (from, to, amount) in ops {
+            let _ = l.transfer(AccountId(from), AccountId(to), Money(amount), "prop");
+        }
+        for i in 0..4 {
+            let id = AccountId(i);
+            let expected = Money::from_dollars(100) + l.total_received(id) - l.total_paid(id);
+            prop_assert_eq!(l.balance(id), expected);
+        }
+    }
+
+    /// Money arithmetic survives a scale/unscale round trip within
+    /// rounding, and ordering agrees with micros.
+    #[test]
+    fn money_ordering(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+        let ma = Money(a);
+        let mb = Money(b);
+        prop_assert_eq!(ma < mb, a < b);
+        prop_assert_eq!(ma.max(mb).micros(), a.max(b));
+        prop_assert_eq!((ma + mb).micros(), a + b);
+    }
+
+    /// Value pricing never charges a hidden server more than a visible
+    /// one, and flat pricing is usage-invariant.
+    #[test]
+    fn pricing_monotonicity(mb in 0u64..100_000, res in 1i64..100, bus in 100i64..500) {
+        let vp = PricingScheme::ValuePricing {
+            residential: Money::from_dollars(res),
+            business: Money::from_dollars(bus),
+        };
+        let hidden = vp.bill(Usage::hidden_server(mb));
+        let open = vp.bill(Usage::open_server(mb));
+        let plain = vp.bill(Usage::residential(mb));
+        prop_assert!(hidden <= open);
+        prop_assert_eq!(hidden, plain);
+
+        let flat = PricingScheme::Flat { monthly: Money::from_dollars(res) };
+        prop_assert_eq!(flat.bill(Usage::residential(mb)), flat.bill(Usage::open_server(mb)));
+    }
+
+    /// Per-byte bills scale linearly in usage.
+    #[test]
+    fn per_byte_linear(mb in 0u64..1_000_000, rate in 1i64..1_000) {
+        let s = PricingScheme::PerByte { per_mb: Money(rate) };
+        let one = s.bill(Usage::residential(mb));
+        let two = s.bill(Usage::residential(mb * 2));
+        prop_assert_eq!(two.micros(), one.micros() * 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! E5 — Overlays as a tussle tool (§V.A.4).
+//!
+//! Paper claim: "researchers propose even more indirect ways of getting
+//! around provider-selected routing, such as exploiting hosts as
+//! intermediate forwarding agents. (This kind of overlay network is a tool
+//! in the tussle, certainly.)" — and the flip side raised for evaluation:
+//! "whether economic distortion is greater in one or the other", since the
+//! relay's providers carry transit they never sold.
+//!
+//! Measured: reachability under link failure and under policy blocking,
+//! with and without a RON-style overlay, plus the uncompensated transit
+//! hops the overlay pushes through the relay's access network.
+
+use tussle_core::{ExperimentReport, Table};
+use tussle_net::addr::{Address, AddressOrigin, Asn, Prefix};
+use tussle_net::firewall::{Firewall, FirewallAction, FirewallRule, MatchOn};
+use tussle_net::packet::{ports, Packet, Protocol};
+use tussle_net::{Network, NodeId};
+use tussle_routing::overlay::{Overlay, OverlayDelivery};
+use tussle_sim::{SimRng, SimTime};
+
+/// What stresses the direct path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stress {
+    /// Nothing: the healthy baseline.
+    None,
+    /// The direct inter-AS link fails.
+    LinkFailure,
+    /// The destination's provider blocklists the source prefix.
+    PolicyBlock,
+}
+
+impl Stress {
+    fn label(self) -> &'static str {
+        match self {
+            Stress::None => "healthy",
+            Stress::LinkFailure => "link failure",
+            Stress::PolicyBlock => "policy block",
+        }
+    }
+}
+
+/// Outcome of one condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlayOutcome {
+    /// Delivery rate without the overlay.
+    pub direct_rate: f64,
+    /// Delivery rate with the overlay.
+    pub overlay_rate: f64,
+    /// Mean router hops consumed per delivered overlay packet (resource
+    /// footprint).
+    pub overlay_hops: f64,
+    /// Hops carried by the relay's AS with no business relationship to the
+    /// sender — the economic-distortion count.
+    pub uncompensated_hops: u64,
+}
+
+struct World {
+    net: Network,
+    src: NodeId,
+    overlay: Overlay,
+    pkt: Packet,
+    relay_as_nodes: Vec<NodeId>,
+    direct_link: usize,
+    dst_router: NodeId,
+}
+
+fn world() -> World {
+    let mut net = Network::new();
+    let src = net.add_host(Asn(1));
+    let ra = net.add_router(Asn(1));
+    let rb = net.add_router(Asn(2)); // destination's provider
+    let dst = net.add_host(Asn(2));
+    let rc = net.add_router(Asn(3)); // relay's provider
+    let relay = net.add_host(Asn(3));
+    net.connect(src, ra, SimTime::from_millis(2), 1_000_000_000);
+    let direct = net.connect(ra, rb, SimTime::from_millis(10), 1_000_000_000);
+    net.connect(rb, dst, SimTime::from_millis(2), 1_000_000_000);
+    net.connect(ra, rc, SimTime::from_millis(10), 1_000_000_000);
+    net.connect(rc, relay, SimTime::from_millis(2), 1_000_000_000);
+    net.connect(rc, rb, SimTime::from_millis(10), 1_000_000_000);
+
+    let src_addr =
+        Address::in_prefix(Prefix::new(0x0a010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(1)));
+    let dst_addr =
+        Address::in_prefix(Prefix::new(0x0b010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(2)));
+    let relay_addr =
+        Address::in_prefix(Prefix::new(0x0c010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(3)));
+    net.node_mut(src).bind(src_addr);
+    net.node_mut(dst).bind(dst_addr);
+    net.node_mut(relay).bind(relay_addr);
+
+    let dp = Prefix::new(0x0b010000, 16);
+    let rp = Prefix::new(0x0c010000, 16);
+    net.fib_mut(src).install(Prefix::DEFAULT, ra, 0);
+    net.fib_mut(ra).install(dp, rb, 0);
+    net.fib_mut(ra).install(rp, rc, 0);
+    net.fib_mut(rb).install(dp, dst, 0);
+    net.fib_mut(rc).install(rp, relay, 0);
+    net.fib_mut(rc).install(dp, rb, 0);
+    net.fib_mut(relay).install(Prefix::DEFAULT, rc, 0);
+    // BGP policy: ra does NOT route to dst via rc (valley-free would forbid
+    // transiting the relay's stub AS)... but rc itself can reach rb.
+
+    let overlay = Overlay::new(vec![(relay, relay_addr)]);
+    let pkt = Packet::new(src_addr, dst_addr, Protocol::Tcp, 1, ports::HTTP);
+    World {
+        net,
+        src,
+        overlay,
+        pkt,
+        relay_as_nodes: vec![rc, relay],
+        direct_link: direct.index(),
+        dst_router: rb,
+    }
+}
+
+/// Run one stress condition over `n` packets.
+pub fn run_condition(stress: Stress, n: usize, seed: u64) -> OverlayOutcome {
+    let mut rng = SimRng::seed_from_u64(seed).fork("e05");
+    let mut w = world();
+    match stress {
+        Stress::None => {}
+        Stress::LinkFailure => {
+            let id = w.net.links()[w.direct_link].id;
+            w.net.link_mut(id).up = false;
+        }
+        Stress::PolicyBlock => {
+            let mut fw = Firewall::transparent();
+            fw.push(FirewallRule {
+                matcher: MatchOn::SrcInPrefix(Prefix::new(0x0a010000, 16)),
+                action: FirewallAction::Deny,
+                installed_by: "AS2 policy".into(),
+            });
+            w.net.set_firewall(w.dst_router, fw);
+        }
+    }
+
+    let mut direct_ok = 0usize;
+    let mut overlay_ok = 0usize;
+    let mut overlay_hops_total = 0usize;
+    let mut uncompensated = 0u64;
+    for _ in 0..n {
+        // direct attempt
+        if w.net.send(w.src, w.pkt.clone(), &mut rng).delivered {
+            direct_ok += 1;
+        }
+        // overlay attempt
+        let d = w.overlay.send(&mut w.net, w.src, w.pkt.clone(), &mut rng);
+        if d.delivered() {
+            overlay_ok += 1;
+            overlay_hops_total += d.hops();
+            if let OverlayDelivery::Relayed { first_leg, second_leg, .. } = &d {
+                for leg in [first_leg, second_leg] {
+                    uncompensated += leg
+                        .path
+                        .iter()
+                        .filter(|nid| w.relay_as_nodes.contains(nid))
+                        .count() as u64;
+                }
+            }
+        }
+    }
+    OverlayOutcome {
+        direct_rate: direct_ok as f64 / n as f64,
+        overlay_rate: overlay_ok as f64 / n as f64,
+        overlay_hops: if overlay_ok > 0 { overlay_hops_total as f64 / overlay_ok as f64 } else { 0.0 },
+        uncompensated_hops: uncompensated,
+    }
+}
+
+/// Run E5 and produce the report.
+pub fn run(seed: u64) -> ExperimentReport {
+    let n = 100;
+    let mut table = Table::new(
+        "Overlay resilience and its economic footprint (100 flows per condition)",
+        &["direct delivery", "overlay delivery", "mean hops", "uncompensated relay-AS hops"],
+    );
+    let mut outcomes = Vec::new();
+    for s in [Stress::None, Stress::LinkFailure, Stress::PolicyBlock] {
+        let o = run_condition(s, n, seed);
+        table.push_row(
+            s.label(),
+            &[
+                format!("{:.2}", o.direct_rate),
+                format!("{:.2}", o.overlay_rate),
+                format!("{:.1}", o.overlay_hops),
+                o.uncompensated_hops.to_string(),
+            ],
+        );
+        outcomes.push(o);
+    }
+    let (healthy, fail, block) = (&outcomes[0], &outcomes[1], &outcomes[2]);
+    let shape_holds = healthy.direct_rate > 0.99
+        && healthy.uncompensated_hops == 0
+        && fail.direct_rate < 0.01
+        && fail.overlay_rate > 0.99
+        && block.direct_rate < 0.01
+        && block.overlay_rate > 0.99
+        && fail.uncompensated_hops > 0
+        && fail.overlay_hops > healthy.overlay_hops;
+
+    ExperimentReport {
+        id: "E5".into(),
+        section: "V.A.4".into(),
+        paper_claim: "Host-relay overlays recover reachability that provider routing or policy \
+                      denies — at the cost of transit the relay's providers never agreed to \
+                      carry (economic distortion)."
+            .into(),
+        summary: format!(
+            "under link failure the overlay restores delivery from {:.0}% to {:.0}% while \
+             pushing {} uncompensated hops through the relay's AS; under policy blocking \
+             likewise ({:.0}% → {:.0}%).",
+            fail.direct_rate * 100.0,
+            fail.overlay_rate * 100.0,
+            fail.uncompensated_hops,
+            block.direct_rate * 100.0,
+            block.overlay_rate * 100.0,
+        ),
+        table,
+        shape_holds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_network_needs_no_overlay() {
+        let o = run_condition(Stress::None, 20, 1);
+        assert!(o.direct_rate > 0.99);
+        assert_eq!(o.uncompensated_hops, 0);
+    }
+
+    #[test]
+    fn overlay_survives_link_failure() {
+        let o = run_condition(Stress::LinkFailure, 20, 1);
+        assert!(o.direct_rate < 0.01);
+        assert!(o.overlay_rate > 0.99);
+        assert!(o.uncompensated_hops > 0);
+    }
+
+    #[test]
+    fn overlay_evades_policy_blocks() {
+        let o = run_condition(Stress::PolicyBlock, 20, 1);
+        assert!(o.direct_rate < 0.01);
+        assert!(o.overlay_rate > 0.99);
+    }
+
+    #[test]
+    fn report_shape_holds() {
+        let r = run(1);
+        assert!(r.shape_holds, "{}", r.summary);
+    }
+}

@@ -1,0 +1,200 @@
+//! E9 — The encryption escalation ladder (§VI.A).
+//!
+//! Paper claim: "Peeking is irresistible. ... the ultimate defense of the
+//! end-to-end mode is end-to-end encryption. ... the response of the
+//! provider is to refuse to carry encrypted data. It is probably not the
+//! case that a commercial ISP would escalate to this level ... In the U.S.,
+//! competition would probably discipline a provider that tried to block
+//! encryption. But a conservative government with a state-run monopoly ISP
+//! might. ... Then the advantage of having the encrypted mode is that it
+//! would force the government to be explicit about what their policy was."
+//! (Footnote 17: "The next step in this sort of escalation is
+//! steganography.")
+//!
+//! Measured: the ladder is played under a competitive market and under a
+//! state monopoly; the provider's decision to block is driven by a profit
+//! comparison (blocking loses customers only where customers can leave).
+
+use tussle_core::escalation::EscalationLadder;
+use tussle_core::{ExperimentReport, Mechanism, Table};
+use tussle_econ::Money;
+
+/// Market regimes of §VI.A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarketRegime {
+    /// Several ISPs; customers can switch freely.
+    Competitive,
+    /// One state-run ISP; nowhere to go.
+    StateMonopoly,
+}
+
+impl MarketRegime {
+    fn label(self) -> &'static str {
+        match self {
+            MarketRegime::Competitive => "competitive market",
+            MarketRegime::StateMonopoly => "state monopoly",
+        }
+    }
+}
+
+/// Outcome of the ladder in one regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncryptionOutcome {
+    /// Did the provider block encrypted traffic?
+    pub provider_blocked: bool,
+    /// The mechanism left standing.
+    pub final_mechanism: Mechanism,
+    /// Did the user end up with confidential traffic?
+    pub privacy_achieved: bool,
+    /// Is the provider's interference policy visible to the user?
+    pub policy_visible: bool,
+    /// Provider profit under its chosen response.
+    pub provider_profit: Money,
+}
+
+const N_CUSTOMERS: i64 = 20;
+const PRICE: Money = Money(60_000_000);
+const COST: Money = Money(20_000_000);
+/// What the provider gains per customer by controlling/peeking at traffic
+/// (VPN surcharges, ad injection, vertical-integration leverage).
+const CONTROL_RENT: Money = Money(15_000_000);
+
+/// The provider's profit if it blocks encrypted traffic, given the regime.
+pub fn blocking_profit(regime: MarketRegime) -> Money {
+    match regime {
+        // customers defect to the ISP that carries encrypted traffic
+        MarketRegime::Competitive => Money::ZERO,
+        // customers have nowhere to go; the provider keeps margin + rent
+        MarketRegime::StateMonopoly => (PRICE - COST + CONTROL_RENT) * N_CUSTOMERS,
+    }
+}
+
+/// The provider's profit if it tolerates encryption.
+pub fn tolerate_profit(_regime: MarketRegime) -> Money {
+    (PRICE - COST) * N_CUSTOMERS
+}
+
+/// Play the §VI.A ladder in one regime.
+pub fn run_regime(regime: MarketRegime) -> EncryptionOutcome {
+    let block_pays = blocking_profit(regime) > tolerate_profit(regime);
+    let ladder = EscalationLadder::play(Mechanism::Encryption, 10, |_, counters| {
+        // rung 1: the provider decides whether to counter encryption
+        if counters.contains(&Mechanism::EncryptionBlocking) {
+            return block_pays.then_some(Mechanism::EncryptionBlocking);
+        }
+        // rung 2: the user decides how to counter blocking
+        if counters.contains(&Mechanism::Steganography) {
+            return match regime {
+                // competitive users would just switch ISP, but if we got
+                // here the provider blocked anyway; monopoly users have
+                // only concealment left
+                MarketRegime::Competitive => Some(Mechanism::ServerChoice),
+                MarketRegime::StateMonopoly => Some(Mechanism::Steganography),
+            };
+        }
+        None
+    });
+    let final_mechanism = ladder.final_mechanism();
+    let provider_blocked = ladder
+        .steps
+        .iter()
+        .any(|s| s.mechanism == Mechanism::EncryptionBlocking);
+    // privacy: encryption survives unless blocking is the last word
+    let privacy_achieved = final_mechanism != Mechanism::EncryptionBlocking;
+    // the §VI.A consolation: blocking, where it happens, is an explicit,
+    // visible policy — cleartext peeking is not
+    let policy_visible = provider_blocked;
+    EncryptionOutcome {
+        provider_blocked,
+        final_mechanism,
+        privacy_achieved,
+        policy_visible,
+        provider_profit: if provider_blocked {
+            blocking_profit(regime)
+        } else {
+            tolerate_profit(regime)
+        },
+    }
+}
+
+/// Run E9 and produce the report.
+pub fn run(_seed: u64) -> ExperimentReport {
+    let mut table = Table::new(
+        "The encryption escalation ladder by market regime",
+        &["provider blocks", "final mechanism", "privacy achieved", "policy visible", "provider profit"],
+    );
+    let mut outcomes = Vec::new();
+    for regime in [MarketRegime::Competitive, MarketRegime::StateMonopoly] {
+        let o = run_regime(regime);
+        table.push_row(
+            regime.label(),
+            &[
+                o.provider_blocked.to_string(),
+                format!("{:?}", o.final_mechanism),
+                o.privacy_achieved.to_string(),
+                o.policy_visible.to_string(),
+                o.provider_profit.to_string(),
+            ],
+        );
+        outcomes.push(o);
+    }
+    let (comp, mono) = (&outcomes[0], &outcomes[1]);
+    let shape_holds = !comp.provider_blocked
+        && comp.privacy_achieved
+        && comp.final_mechanism == Mechanism::Encryption
+        && mono.provider_blocked
+        && mono.final_mechanism == Mechanism::Steganography
+        && mono.privacy_achieved // concealment, not consent
+        && mono.policy_visible;
+
+    ExperimentReport {
+        id: "E9".into(),
+        section: "VI.A".into(),
+        paper_claim: "Competition disciplines a provider that would block encryption, so the \
+                      ladder stops at (visible) encryption; a state monopoly blocks, the user \
+                      escalates to steganography, and the technology's remaining contribution \
+                      is forcing the blocking policy to be explicit and visible."
+            .into(),
+        summary: format!(
+            "competitive: provider tolerates, ladder ends at {:?}; monopoly: provider blocks \
+             (policy visible: {}), ladder ends at {:?}.",
+            comp.final_mechanism, mono.policy_visible, mono.final_mechanism
+        ),
+        table,
+        shape_holds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn competition_makes_blocking_unprofitable() {
+        assert!(blocking_profit(MarketRegime::Competitive) < tolerate_profit(MarketRegime::Competitive));
+        assert!(blocking_profit(MarketRegime::StateMonopoly) > tolerate_profit(MarketRegime::StateMonopoly));
+    }
+
+    #[test]
+    fn competitive_ladder_stops_at_encryption() {
+        let o = run_regime(MarketRegime::Competitive);
+        assert!(!o.provider_blocked);
+        assert_eq!(o.final_mechanism, Mechanism::Encryption);
+        assert!(o.privacy_achieved);
+    }
+
+    #[test]
+    fn monopoly_escalates_to_steganography() {
+        let o = run_regime(MarketRegime::StateMonopoly);
+        assert!(o.provider_blocked);
+        assert_eq!(o.final_mechanism, Mechanism::Steganography);
+        assert!(o.privacy_achieved, "stego conceals, so traffic is confidential");
+        assert!(o.policy_visible, "blocking forced the policy into the open");
+    }
+
+    #[test]
+    fn report_shape_holds() {
+        let r = run(1);
+        assert!(r.shape_holds, "{}", r.summary);
+    }
+}

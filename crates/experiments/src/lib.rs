@@ -1,0 +1,147 @@
+//! # tussle-experiments — the evaluation the paper never ran
+//!
+//! The paper is a position paper: it narrates scenarios and predicts their
+//! qualitative shape. Every module here turns one narrated scenario into a
+//! parameterized, seeded, reproducible experiment whose output is a table
+//! plus a machine-checked "does the shape hold?" verdict. `EXPERIMENTS.md`
+//! records paper-claim vs. measured for all of them; the bench crate
+//! regenerates each table.
+//!
+//! | Id | Section | Scenario |
+//! |----|---------|----------|
+//! | E1 | §V.A.1 | Provider lock-in from IP addressing |
+//! | E2 | §V.A.2 | Value pricing vs. tunneling |
+//! | E3 | §V.A.3 | Residential broadband market structure |
+//! | E4 | §V.A.4 | Provider routing vs. paid source routing |
+//! | E5 | §V.A.4 | Overlays as a tussle tool |
+//! | E6 | §V.B   | Firewalls: protection vs. innovation |
+//! | E7 | §V.B   | Third-party mediation |
+//! | E8 | §V.B.1 | Anonymity vs. accountability |
+//! | E9 | §VI.A  | The encryption escalation ladder |
+//! | E10| §VII   | The QoS deployment post-mortem |
+//! | E11| §IV.A  | DNS/trademark entanglement |
+//! | E12| §II.C  | Actor-network churn and freezing |
+//! | E13| §IV.A  | Tussle-isolation ablation (ToS vs. port QoS) |
+//! | E14| §II.B  | Game-theoretic substrate validation |
+//! | E15| §IV.C  | The rise and fall of micro-payments |
+//! | E16| §VII   | The multicast post-mortem (the paper's "exercise for the reader") |
+//! | E17| §II.B  | Routing in an uncooperative network (Perlman exclusion + Savage traceback) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod e01_lockin;
+pub mod e02_value_pricing;
+pub mod e03_broadband;
+pub mod e04_source_routing;
+pub mod e05_overlay;
+pub mod e06_firewalls;
+pub mod e07_mediation;
+pub mod e08_identity;
+pub mod e09_encryption;
+pub mod e10_qos;
+pub mod e11_dns;
+pub mod e12_actor_network;
+pub mod e13_isolation;
+pub mod e14_games;
+pub mod e15_micropayments;
+pub mod e16_multicast;
+pub mod e17_uncooperative;
+
+use tussle_core::ExperimentReport;
+
+/// The experiment registry: id-ordered `(name, runner)` pairs.
+pub fn registry() -> Vec<(&'static str, fn(u64) -> ExperimentReport)> {
+    vec![
+        ("E1", e01_lockin::run),
+        ("E2", e02_value_pricing::run),
+        ("E3", e03_broadband::run),
+        ("E4", e04_source_routing::run),
+        ("E5", e05_overlay::run),
+        ("E6", e06_firewalls::run),
+        ("E7", e07_mediation::run),
+        ("E8", e08_identity::run),
+        ("E9", e09_encryption::run),
+        ("E10", e10_qos::run),
+        ("E11", e11_dns::run),
+        ("E12", e12_actor_network::run),
+        ("E13", e13_isolation::run),
+        ("E14", e14_games::run),
+        ("E15", e15_micropayments::run),
+        ("E16", e16_multicast::run),
+        ("E17", e17_uncooperative::run),
+    ]
+}
+
+/// Run every experiment concurrently (one scoped thread each) and return
+/// the reports in id order. Determinism is unaffected: each experiment is
+/// seeded independently and never shares mutable state.
+pub fn run_all_parallel(seed: u64) -> Vec<ExperimentReport> {
+    let reg = registry();
+    let mut out: Vec<Option<ExperimentReport>> = (0..reg.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = reg
+            .iter()
+            .map(|(_, run)| scope.spawn(move |_| run(seed)))
+            .collect();
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("experiment thread panicked"));
+        }
+    })
+    .expect("scope join");
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Run every experiment with one seed; returns the reports in id order.
+pub fn run_all(seed: u64) -> Vec<ExperimentReport> {
+    vec![
+        e01_lockin::run(seed),
+        e02_value_pricing::run(seed),
+        e03_broadband::run(seed),
+        e04_source_routing::run(seed),
+        e05_overlay::run(seed),
+        e06_firewalls::run(seed),
+        e07_mediation::run(seed),
+        e08_identity::run(seed),
+        e09_encryption::run(seed),
+        e10_qos::run(seed),
+        e11_dns::run(seed),
+        e12_actor_network::run(seed),
+        e13_isolation::run(seed),
+        e14_games::run(seed),
+        e15_micropayments::run(seed),
+        e16_multicast::run(seed),
+        e17_uncooperative::run(seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_experiments_run_and_hold_shape() {
+        let reports = run_all(42);
+        assert_eq!(reports.len(), 17);
+        for r in &reports {
+            assert!(r.shape_holds, "{}: shape failed — {}", r.id, r.summary);
+            assert!(!r.table.rows.is_empty(), "{} produced no rows", r.id);
+        }
+    }
+
+    #[test]
+    fn parallel_runner_matches_sequential() {
+        let seq = run_all(11);
+        let par = run_all_parallel(11);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        let a = run_all(7);
+        let b = run_all(7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y, "{} not deterministic", x.id);
+        }
+    }
+}

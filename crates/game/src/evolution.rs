@@ -1,0 +1,167 @@
+//! Replicator dynamics — evolutionary/bounded-rationality tussle.
+//!
+//! §II.B: "actors in a network are not, in fact, well informed and perfect
+//! optimizers as classic theory requires." Replicator dynamics models a
+//! population of myopic actors whose strategy shares grow in proportion to
+//! realized fitness — the standard evolutionary-game-theory reading the
+//! paper cites through Binmore.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric population game: `payoff(i, j)` is the fitness of strategy
+/// `i` against strategy `j`. The population state is a distribution over
+/// strategies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Replicator {
+    payoff: Vec<Vec<f64>>,
+    /// Current population shares (sums to 1).
+    pub shares: Vec<f64>,
+}
+
+impl Replicator {
+    /// Start from explicit initial shares.
+    pub fn new(payoff: Vec<Vec<f64>>, shares: Vec<f64>) -> Self {
+        let n = payoff.len();
+        assert!(n > 0 && payoff.iter().all(|r| r.len() == n), "square payoff matrix required");
+        assert_eq!(shares.len(), n);
+        let total: f64 = shares.iter().sum();
+        assert!(total > 0.0, "shares must have positive mass");
+        let shares = shares.iter().map(|s| s / total).collect();
+        Replicator { payoff, shares }
+    }
+
+    /// Start from the uniform population.
+    pub fn uniform(payoff: Vec<Vec<f64>>) -> Self {
+        let n = payoff.len();
+        Replicator::new(payoff, vec![1.0 / n as f64; n])
+    }
+
+    /// Fitness of each strategy against the current population.
+    pub fn fitness(&self) -> Vec<f64> {
+        (0..self.payoff.len())
+            .map(|i| {
+                self.shares
+                    .iter()
+                    .enumerate()
+                    .map(|(j, s)| s * self.payoff[i][j])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Average population fitness.
+    pub fn mean_fitness(&self) -> f64 {
+        self.fitness().iter().zip(&self.shares).map(|(f, s)| f * s).sum()
+    }
+
+    /// One discrete replicator step with learning rate `dt` in `(0, 1]`:
+    /// `x_i += dt * x_i * (f_i - mean_f) / scale`, then renormalize.
+    pub fn step(&mut self, dt: f64) {
+        let fit = self.fitness();
+        let mean = self.mean_fitness();
+        let scale = fit
+            .iter()
+            .map(|f| (f - mean).abs())
+            .fold(1.0_f64, f64::max);
+        for (x, f) in self.shares.iter_mut().zip(&fit) {
+            *x = (*x + dt * *x * (f - mean) / scale).max(0.0);
+        }
+        let total: f64 = self.shares.iter().sum();
+        if total > 0.0 {
+            for x in &mut self.shares {
+                *x /= total;
+            }
+        }
+    }
+
+    /// Run until the largest per-step share change drops below `tol` or
+    /// `max_steps` elapse. Returns steps used.
+    pub fn run(&mut self, dt: f64, tol: f64, max_steps: usize) -> usize {
+        for step in 0..max_steps {
+            let before = self.shares.clone();
+            self.step(dt);
+            let delta = self
+                .shares
+                .iter()
+                .zip(&before)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max);
+            if delta < tol {
+                return step + 1;
+            }
+        }
+        max_steps
+    }
+
+    /// The strategy with the largest share.
+    pub fn dominant(&self) -> usize {
+        self.shares
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("share is NaN"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_strategy_takes_over() {
+        // strategy 1 strictly dominates
+        let pay = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        let mut r = Replicator::uniform(pay);
+        r.run(0.5, 1e-9, 10_000);
+        assert!(r.shares[1] > 0.99, "shares {:?}", r.shares);
+        assert_eq!(r.dominant(), 1);
+    }
+
+    #[test]
+    fn hawk_dove_interior_equilibrium() {
+        // Hawk-Dove with V=2, C=4: equilibrium share of hawks = V/C = 0.5
+        let v = 2.0;
+        let c = 4.0;
+        let pay = vec![vec![(v - c) / 2.0, v], vec![0.0, v / 2.0]];
+        let mut r = Replicator::new(pay, vec![0.9, 0.1]);
+        r.run(0.2, 1e-10, 100_000);
+        assert!((r.shares[0] - 0.5).abs() < 0.01, "hawk share {:?}", r.shares);
+    }
+
+    #[test]
+    fn shares_stay_a_distribution() {
+        let pay = vec![vec![3.0, 0.0], vec![5.0, 1.0]];
+        let mut r = Replicator::uniform(pay);
+        for _ in 0..100 {
+            r.step(0.3);
+            let total: f64 = r.shares.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(r.shares.iter().all(|s| *s >= 0.0));
+        }
+    }
+
+    #[test]
+    fn extinct_strategies_stay_extinct() {
+        let pay = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        let mut r = Replicator::new(pay, vec![1.0, 0.0]);
+        r.run(0.5, 1e-12, 1000);
+        // replicator can't invent strategy 1 from zero share
+        assert_eq!(r.shares[1], 0.0);
+    }
+
+    #[test]
+    fn mean_fitness_matches_hand_calc() {
+        let pay = vec![vec![2.0, 0.0], vec![0.0, 2.0]];
+        let r = Replicator::uniform(pay);
+        // fitness of each = 1.0, mean = 1.0
+        assert_eq!(r.fitness(), vec![1.0, 1.0]);
+        assert!((r.mean_fitness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        Replicator::uniform(vec![vec![1.0, 2.0]]);
+    }
+}

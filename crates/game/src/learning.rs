@@ -1,0 +1,167 @@
+//! Learning dynamics: fictitious play and best-response iteration.
+//!
+//! §II.B observes that real actors are "ill-informed ... myopic and act to
+//! satisfy some poorly defined objective". Fictitious play is the classic
+//! model of such actors: each round, play a best response to the opponent's
+//! *empirical* action frequencies. In zero-sum and many coordination games
+//! the empirical mix converges to equilibrium.
+
+use crate::matrix::Game;
+
+/// State of a fictitious-play process.
+#[derive(Debug, Clone)]
+pub struct FictitiousPlay {
+    game: Game,
+    row_counts: Vec<f64>,
+    col_counts: Vec<f64>,
+    rounds: u64,
+}
+
+impl FictitiousPlay {
+    /// Start a process with one virtual observation of each action (Laplace
+    /// prior keeps the first best response well-defined).
+    pub fn new(game: Game) -> Self {
+        let rows = game.rows();
+        let cols = game.cols();
+        FictitiousPlay { game, row_counts: vec![1.0; rows], col_counts: vec![1.0; cols], rounds: 0 }
+    }
+
+    /// Empirical mixed strategy of the row player so far.
+    pub fn row_empirical(&self) -> Vec<f64> {
+        normalize(&self.row_counts)
+    }
+
+    /// Empirical mixed strategy of the column player so far.
+    pub fn col_empirical(&self) -> Vec<f64> {
+        normalize(&self.col_counts)
+    }
+
+    /// Play one round: each side best-responds to the other's empirical
+    /// mix. Returns the actions played.
+    pub fn step(&mut self) -> (usize, usize) {
+        let y = self.col_empirical();
+        let x = self.row_empirical();
+        let row_action = argmax(self.game.rows(), |i| self.game.row_payoff_against(i, &y));
+        let col_action = argmax(self.game.cols(), |j| self.game.col_payoff_against(j, &x));
+        self.row_counts[row_action] += 1.0;
+        self.col_counts[col_action] += 1.0;
+        self.rounds += 1;
+        (row_action, col_action)
+    }
+
+    /// Run `n` rounds.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Rounds played.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The underlying game.
+    pub fn game(&self) -> &Game {
+        &self.game
+    }
+}
+
+fn normalize(counts: &[f64]) -> Vec<f64> {
+    let total: f64 = counts.iter().sum();
+    counts.iter().map(|c| c / total).collect()
+}
+
+fn argmax(n: usize, f: impl Fn(usize) -> f64) -> usize {
+    let mut best = 0;
+    let mut best_v = f(0);
+    for i in 1..n {
+        let v = f(i);
+        if v > best_v + 1e-12 {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Iterate pure best responses from a starting profile; returns the cycle
+/// or fixed point reached as a sequence of profiles (the fixed point is
+/// the last element when the sequence stabilizes).
+pub fn best_response_path(game: &Game, start: (usize, usize), max_steps: usize) -> Vec<(usize, usize)> {
+    let mut path = vec![start];
+    let mut cur = start;
+    for _ in 0..max_steps {
+        let next = (
+            *game.row_best_responses(cur.1).first().expect("nonempty"),
+            *game.col_best_responses(cur.0).first().expect("nonempty"),
+        );
+        if next == cur {
+            break;
+        }
+        cur = next;
+        path.push(cur);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::is_nash;
+
+    #[test]
+    fn fictitious_play_finds_matching_pennies_mix() {
+        let g = Game::zero_sum(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]);
+        let mut fp = FictitiousPlay::new(g.clone());
+        fp.run(20_000);
+        let x = fp.row_empirical();
+        let y = fp.col_empirical();
+        assert!((x[0] - 0.5).abs() < 0.02, "row mix {x:?}");
+        assert!((y[0] - 0.5).abs() < 0.02, "col mix {y:?}");
+        assert!(is_nash(&g, &x, &y, 0.05));
+    }
+
+    #[test]
+    fn fictitious_play_locks_into_dominant_strategies() {
+        let g = Game::prisoners_dilemma(5.0, 3.0, 1.0, 0.0);
+        let mut fp = FictitiousPlay::new(g);
+        fp.run(1_000);
+        let x = fp.row_empirical();
+        assert!(x[1] > 0.99, "defection should dominate the empirical mix: {x:?}");
+    }
+
+    #[test]
+    fn fictitious_play_coordinates() {
+        let g = Game::coordination(vec![1.0, 3.0]);
+        let mut fp = FictitiousPlay::new(g.clone());
+        fp.run(5_000);
+        let x = fp.row_empirical();
+        let y = fp.col_empirical();
+        // mass should concentrate on the payoff-dominant action 1
+        assert!(x[1] > 0.9 && y[1] > 0.9, "x={x:?} y={y:?}");
+    }
+
+    #[test]
+    fn best_response_path_reaches_pd_equilibrium() {
+        let g = Game::prisoners_dilemma(5.0, 3.0, 1.0, 0.0);
+        let path = best_response_path(&g, (0, 0), 10);
+        assert_eq!(*path.last().unwrap(), (1, 1));
+        assert!(path.len() <= 3);
+    }
+
+    #[test]
+    fn best_response_path_fixed_point_is_immediate_at_nash() {
+        let g = Game::coordination(vec![1.0, 3.0]);
+        let path = best_response_path(&g, (1, 1), 10);
+        assert_eq!(path, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn rounds_counted() {
+        let g = Game::coordination(vec![1.0]);
+        let mut fp = FictitiousPlay::new(g);
+        fp.run(7);
+        assert_eq!(fp.rounds(), 7);
+    }
+}

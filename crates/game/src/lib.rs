@@ -1,0 +1,55 @@
+//! # tussle-game — the formal model of tussle
+//!
+//! §II.B: "A more formal model of tussle is provided by the discipline of
+//! game theory ... A game represents an abstraction of the underlying
+//! tussle environment, and can range from purely conflicting games (so
+//! called zero-sum games) where the values of actors in the network are in
+//! direct conflict, to coordination games where actors have a common goal
+//! but fail to coordinate their actions due to incentive problems."
+//!
+//! * [`matrix`] — normal-form bimatrix games, with the zero-sum ↔
+//!   coordination spectrum the paper describes.
+//! * [`solve`] — pure Nash enumeration and the analytic 2×2 mixed
+//!   equilibrium (von Neumann / Nash, the paper's refs \[12\], \[13\]).
+//! * [`learning`] — best-response dynamics and fictitious play.
+//! * [`evolution`] — replicator dynamics: the bounded-rationality /
+//!   evolutionary branch the paper cites via Binmore \[28\].
+//! * [`auction`] — Vickrey's truthful second-price auction and the
+//!   first-price comparison: "with this theory in hand designers begin to
+//!   have a blueprint for construction of actor network systems that are
+//!   ... tussle-free" (§II.B).
+//! * [`repeated`] — repeated play and the TCP-congestion compliance game:
+//!   the paper's worked example of a tussle "resolved" only by social
+//!   pressure, with nothing in the technical design to bound the shift
+//!   when defection starts to pay.
+//!
+//! ## Example
+//!
+//! ```
+//! use tussle_game::{pure_nash, Game};
+//!
+//! // the congestion tussle in miniature: defection dominates
+//! let pd = Game::prisoners_dilemma(5.0, 3.0, 1.0, 0.0);
+//! assert_eq!(pure_nash(&pd), vec![(1, 1)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod evolution;
+pub mod learning;
+pub mod matrix;
+pub mod repeated;
+pub mod solve;
+pub mod support;
+pub mod vcg;
+
+pub use auction::{AuctionOutcome, AuctionRule};
+pub use evolution::Replicator;
+pub use learning::FictitiousPlay;
+pub use matrix::Game;
+pub use repeated::{CongestionGame, RepeatedGame, Strategy};
+pub use solve::{is_nash, mixed_2x2, pure_nash};
+pub use support::support_enumeration;
+pub use vcg::{run_vcg, VcgOutcome};

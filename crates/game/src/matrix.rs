@@ -1,0 +1,196 @@
+//! Normal-form bimatrix games.
+
+use serde::{Deserialize, Serialize};
+
+/// A finite two-player game in normal form.
+///
+/// `payoffs[i * cols + j]` is `(row payoff, column payoff)` when the row
+/// player plays action `i` and the column player plays action `j`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Game {
+    rows: usize,
+    cols: usize,
+    payoffs: Vec<(f64, f64)>,
+}
+
+impl Game {
+    /// Build from a nested payoff table `table[i][j] = (row, col)`.
+    pub fn from_table(table: Vec<Vec<(f64, f64)>>) -> Self {
+        let rows = table.len();
+        assert!(rows > 0, "a game needs at least one row action");
+        let cols = table[0].len();
+        assert!(cols > 0, "a game needs at least one column action");
+        assert!(table.iter().all(|r| r.len() == cols), "ragged payoff table");
+        Game { rows, cols, payoffs: table.into_iter().flatten().collect() }
+    }
+
+    /// A zero-sum game from the row player's payoffs (column gets the
+    /// negation) — the "purely conflicting" end of the paper's spectrum.
+    pub fn zero_sum(row_payoffs: Vec<Vec<f64>>) -> Self {
+        Game::from_table(
+            row_payoffs
+                .into_iter()
+                .map(|r| r.into_iter().map(|v| (v, -v)).collect())
+                .collect(),
+        )
+    }
+
+    /// The classic prisoner's dilemma with the standard ordering
+    /// T > R > P > S (defect temptation, mutual cooperation, mutual
+    /// defection, sucker).
+    pub fn prisoners_dilemma(t: f64, r: f64, p: f64, s: f64) -> Self {
+        assert!(t > r && r > p && p > s, "PD requires T > R > P > S");
+        // actions: 0 = cooperate, 1 = defect
+        Game::from_table(vec![vec![(r, r), (s, t)], vec![(t, s), (p, p)]])
+    }
+
+    /// A pure coordination game: both players get `reward[i]` when they
+    /// match on action `i`, zero otherwise — "actors have a common goal but
+    /// fail to coordinate ... due to incentive problems" (§II.B).
+    pub fn coordination(rewards: Vec<f64>) -> Self {
+        let n = rewards.len();
+        let mut table = vec![vec![(0.0, 0.0); n]; n];
+        for (i, r) in rewards.iter().enumerate() {
+            table[i][i] = (*r, *r);
+        }
+        Game::from_table(table)
+    }
+
+    /// Number of row actions.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of column actions.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Payoffs at a pure action profile.
+    pub fn payoff(&self, row: usize, col: usize) -> (f64, f64) {
+        self.payoffs[row * self.cols + col]
+    }
+
+    /// Expected payoffs under mixed strategies `x` (row) and `y` (column).
+    pub fn expected_payoff(&self, x: &[f64], y: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.rows);
+        assert_eq!(y.len(), self.cols);
+        let mut r = 0.0;
+        let mut c = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let (pr, pc) = self.payoff(i, j);
+                let w = x[i] * y[j];
+                r += w * pr;
+                c += w * pc;
+            }
+        }
+        (r, c)
+    }
+
+    /// Row player's payoff for pure action `i` against mixed `y`.
+    pub fn row_payoff_against(&self, i: usize, y: &[f64]) -> f64 {
+        (0..self.cols).map(|j| y[j] * self.payoff(i, j).0).sum()
+    }
+
+    /// Column player's payoff for pure action `j` against mixed `x`.
+    pub fn col_payoff_against(&self, j: usize, x: &[f64]) -> f64 {
+        (0..self.rows).map(|i| x[i] * self.payoff(i, j).1).sum()
+    }
+
+    /// Is every cell zero-sum?
+    pub fn is_zero_sum(&self) -> bool {
+        self.payoffs.iter().all(|(r, c)| (r + c).abs() < 1e-9)
+    }
+
+    /// Row player's best responses to a column pure action.
+    pub fn row_best_responses(&self, col: usize) -> Vec<usize> {
+        let best = (0..self.rows)
+            .map(|i| self.payoff(i, col).0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        (0..self.rows).filter(|&i| self.payoff(i, col).0 >= best - 1e-12).collect()
+    }
+
+    /// Column player's best responses to a row pure action.
+    pub fn col_best_responses(&self, row: usize) -> Vec<usize> {
+        let best = (0..self.cols)
+            .map(|j| self.payoff(row, j).1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        (0..self.cols).filter(|&j| self.payoff(row, j).1 >= best - 1e-12).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_table_and_accessors() {
+        let g = Game::from_table(vec![vec![(1.0, 2.0), (3.0, 4.0)]]);
+        assert_eq!(g.rows(), 1);
+        assert_eq!(g.cols(), 2);
+        assert_eq!(g.payoff(0, 1), (3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_tables_rejected() {
+        Game::from_table(vec![vec![(0.0, 0.0)], vec![(0.0, 0.0), (1.0, 1.0)]]);
+    }
+
+    #[test]
+    fn zero_sum_negates() {
+        let g = Game::zero_sum(vec![vec![3.0, -1.0], vec![0.0, 2.0]]);
+        assert!(g.is_zero_sum());
+        assert_eq!(g.payoff(0, 0), (3.0, -3.0));
+    }
+
+    #[test]
+    fn pd_is_not_zero_sum() {
+        let g = Game::prisoners_dilemma(5.0, 3.0, 1.0, 0.0);
+        assert!(!g.is_zero_sum());
+        assert_eq!(g.payoff(0, 0), (3.0, 3.0));
+        assert_eq!(g.payoff(1, 0), (5.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "T > R > P > S")]
+    fn pd_ordering_enforced() {
+        Game::prisoners_dilemma(1.0, 2.0, 3.0, 4.0);
+    }
+
+    #[test]
+    fn expected_payoff_uniform() {
+        let g = Game::coordination(vec![2.0, 2.0]);
+        let u = [0.5, 0.5];
+        let (r, c) = g.expected_payoff(&u, &u);
+        assert!((r - 1.0).abs() < 1e-12);
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_responses() {
+        let g = Game::prisoners_dilemma(5.0, 3.0, 1.0, 0.0);
+        // defect (1) dominates
+        assert_eq!(g.row_best_responses(0), vec![1]);
+        assert_eq!(g.row_best_responses(1), vec![1]);
+        assert_eq!(g.col_best_responses(0), vec![1]);
+    }
+
+    #[test]
+    fn coordination_diagonal() {
+        let g = Game::coordination(vec![1.0, 3.0]);
+        assert_eq!(g.payoff(1, 1), (3.0, 3.0));
+        assert_eq!(g.payoff(0, 1), (0.0, 0.0));
+        // both matching actions are mutual best responses
+        assert!(g.row_best_responses(0).contains(&0));
+        assert!(g.row_best_responses(1).contains(&1));
+    }
+
+    #[test]
+    fn payoff_against_mixed() {
+        let g = Game::zero_sum(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]); // matching pennies
+        assert_eq!(g.row_payoff_against(0, &[0.5, 0.5]), 0.0);
+        assert_eq!(g.col_payoff_against(1, &[1.0, 0.0]), 1.0);
+    }
+}

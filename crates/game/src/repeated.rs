@@ -1,0 +1,270 @@
+//! Repeated play and the TCP-congestion compliance game.
+//!
+//! §II.B (system design perspectives): "TCP congestion control 'works' when
+//! and only when the majority of end-systems both participate and follow a
+//! common set of rules. This strategy places great weight on social
+//! pressure to 'resolve' the tussle outside the scope of the technical
+//! system. ... Should this balance change, the technical design of the
+//! system will do nothing to bound or guide the resulting shift."
+//!
+//! [`CongestionGame`] makes that claim testable: a population of flows
+//! chooses Comply (AIMD) or Defect (aggressive sending). Defectors grab
+//! more bandwidth, total goodput degrades as defection spreads, and a
+//! "social pressure" penalty stands in for standards pressure and shame.
+//! Replicator dynamics then shows the tipping behaviour: compliance is
+//! stable only while the pressure term outweighs the bandwidth grab.
+
+use crate::evolution::Replicator;
+use serde::{Deserialize, Serialize};
+
+/// Strategies for iterated two-player games.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Always cooperate.
+    AllCooperate,
+    /// Always defect.
+    AllDefect,
+    /// Cooperate first, then mirror the opponent's last move.
+    TitForTat,
+    /// Cooperate until the opponent defects once, then defect forever.
+    GrimTrigger,
+}
+
+impl Strategy {
+    /// Decide this round given the opponent's history (true = cooperate).
+    pub fn decide(&self, my_history: &[bool], their_history: &[bool]) -> bool {
+        let _ = my_history;
+        match self {
+            Strategy::AllCooperate => true,
+            Strategy::AllDefect => false,
+            Strategy::TitForTat => their_history.last().copied().unwrap_or(true),
+            Strategy::GrimTrigger => their_history.iter().all(|c| *c),
+        }
+    }
+}
+
+/// An iterated 2-player prisoner's-dilemma-style game.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepeatedGame {
+    /// Temptation payoff (defect against cooperator).
+    pub t: f64,
+    /// Reward payoff (mutual cooperation).
+    pub r: f64,
+    /// Punishment payoff (mutual defection).
+    pub p: f64,
+    /// Sucker payoff (cooperate against defector).
+    pub s: f64,
+}
+
+impl RepeatedGame {
+    /// The standard PD payoffs (5, 3, 1, 0).
+    pub fn standard() -> Self {
+        RepeatedGame { t: 5.0, r: 3.0, p: 1.0, s: 0.0 }
+    }
+
+    /// Play `rounds` rounds; returns cumulative `(a_score, b_score)`.
+    pub fn play(&self, a: Strategy, b: Strategy, rounds: usize) -> (f64, f64) {
+        let mut ha = Vec::with_capacity(rounds);
+        let mut hb = Vec::with_capacity(rounds);
+        let mut sa = 0.0;
+        let mut sb = 0.0;
+        for _ in 0..rounds {
+            let ca = a.decide(&ha, &hb);
+            let cb = b.decide(&hb, &ha);
+            let (pa, pb) = match (ca, cb) {
+                (true, true) => (self.r, self.r),
+                (true, false) => (self.s, self.t),
+                (false, true) => (self.t, self.s),
+                (false, false) => (self.p, self.p),
+            };
+            sa += pa;
+            sb += pb;
+            ha.push(ca);
+            hb.push(cb);
+        }
+        (sa, sb)
+    }
+
+    /// Round-robin tournament; returns total score per strategy.
+    pub fn tournament(&self, strategies: &[Strategy], rounds: usize) -> Vec<f64> {
+        let n = strategies.len();
+        let mut scores = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (si, sj) = self.play(strategies[i], strategies[j], rounds);
+                scores[i] += si;
+                scores[j] += sj;
+            }
+        }
+        scores
+    }
+}
+
+/// The population-level congestion compliance game.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CongestionGame {
+    /// Bandwidth multiplier an aggressive flow grabs relative to a
+    /// compliant one sharing the same bottleneck.
+    pub defector_gain: f64,
+    /// How hard total goodput collapses as the defector share grows
+    /// (0 = no collapse, 1 = full collapse at 100% defection).
+    pub collapse_severity: f64,
+    /// Payoff penalty applied to defectors from outside the technical
+    /// system: standards pressure, vendor defaults, shame (§II.B).
+    pub social_pressure: f64,
+}
+
+impl CongestionGame {
+    /// Goodput available per flow when a fraction `d` of flows defect.
+    fn capacity_factor(&self, d: f64) -> f64 {
+        1.0 - self.collapse_severity * d
+    }
+
+    /// Payoff to a compliant flow when a fraction `d` of flows defect.
+    pub fn comply_payoff(&self, d: f64) -> f64 {
+        let cap = self.capacity_factor(d);
+        // compliant flows split what the aggressive flows leave behind
+        cap / (1.0 + d * (self.defector_gain - 1.0))
+    }
+
+    /// Payoff to a defecting flow when a fraction `d` of flows defect.
+    pub fn defect_payoff(&self, d: f64) -> f64 {
+        let cap = self.capacity_factor(d);
+        cap * self.defector_gain / (1.0 + d * (self.defector_gain - 1.0)) - self.social_pressure
+    }
+
+    /// Build the 2-strategy population payoff matrix (0 = comply,
+    /// 1 = defect) linearized at defector shares 0 and 1 so replicator
+    /// dynamics can run on it.
+    pub fn payoff_matrix(&self) -> Vec<Vec<f64>> {
+        // payoff[i][j]: strategy i against a population of pure j
+        vec![
+            vec![self.comply_payoff(0.0), self.comply_payoff(1.0)],
+            vec![self.defect_payoff(0.0), self.defect_payoff(1.0)],
+        ]
+    }
+
+    /// Evolve a population starting at `initial_defectors` and return the
+    /// final defector share.
+    pub fn evolve(&self, initial_defectors: f64, steps: usize) -> f64 {
+        let mut rep = Replicator::new(
+            self.payoff_matrix(),
+            vec![1.0 - initial_defectors, initial_defectors],
+        );
+        rep.run(0.2, 1e-10, steps);
+        rep.shares[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tit_for_tat_cooperates_with_itself() {
+        let g = RepeatedGame::standard();
+        let (a, b) = g.play(Strategy::TitForTat, Strategy::TitForTat, 100);
+        assert_eq!(a, 300.0);
+        assert_eq!(b, 300.0);
+    }
+
+    #[test]
+    fn all_defect_exploits_all_cooperate() {
+        let g = RepeatedGame::standard();
+        let (c, d) = g.play(Strategy::AllCooperate, Strategy::AllDefect, 10);
+        assert_eq!(c, 0.0);
+        assert_eq!(d, 50.0);
+    }
+
+    #[test]
+    fn tit_for_tat_punishes_after_first_round() {
+        let g = RepeatedGame::standard();
+        let (tft, ad) = g.play(Strategy::TitForTat, Strategy::AllDefect, 10);
+        // round 1: tft cooperates (0 vs 5); after: mutual defection (1,1)
+        assert_eq!(tft, 9.0);
+        assert_eq!(ad, 14.0);
+    }
+
+    #[test]
+    fn grim_trigger_never_forgives() {
+        let g = RepeatedGame::standard();
+        // TFT cooperates as long as grim does, so they stay friends
+        let (grim, tft) = g.play(Strategy::GrimTrigger, Strategy::TitForTat, 50);
+        assert_eq!(grim, 150.0);
+        assert_eq!(tft, 150.0);
+    }
+
+    #[test]
+    fn tournament_favors_reciprocators_among_mixed_field() {
+        let g = RepeatedGame::standard();
+        // Axelrod's condition: reciprocators must be common enough to meet
+        // each other, else the exploiter of the lone AllCooperate wins.
+        let field = [
+            Strategy::AllCooperate,
+            Strategy::AllDefect,
+            Strategy::TitForTat,
+            Strategy::TitForTat,
+            Strategy::GrimTrigger,
+        ];
+        let scores = g.tournament(&field, 200);
+        let tft = scores[2];
+        let alld = scores[1];
+        assert!(tft > alld, "TFT {tft} should beat AllD {alld} in a mixed field");
+    }
+
+    #[test]
+    fn compliance_holds_under_strong_social_pressure() {
+        // The pre-2002 Internet: defecting stacks exist but pressure wins.
+        let g = CongestionGame {
+            defector_gain: 2.0,
+            collapse_severity: 0.6,
+            social_pressure: 1.5,
+        };
+        let d = g.evolve(0.1, 50_000);
+        assert!(d < 0.01, "defection should die out, got {d}");
+    }
+
+    #[test]
+    fn compliance_collapses_when_pressure_fades() {
+        // "Should this balance change, the technical design ... will do
+        // nothing to bound or guide the resulting shift."
+        let g = CongestionGame {
+            defector_gain: 2.0,
+            collapse_severity: 0.6,
+            social_pressure: 0.05,
+        };
+        let d = g.evolve(0.1, 50_000);
+        assert!(d > 0.9, "defection should take over, got {d}");
+    }
+
+    #[test]
+    fn defectors_always_beat_compliers_pointwise_without_pressure() {
+        let g = CongestionGame {
+            defector_gain: 2.0,
+            collapse_severity: 0.6,
+            social_pressure: 0.0,
+        };
+        for d10 in 0..=10 {
+            let d = d10 as f64 / 10.0;
+            assert!(
+                g.defect_payoff(d) > g.comply_payoff(d) - 1e-12,
+                "at d={d} defect must pay at least comply"
+            );
+        }
+    }
+
+    #[test]
+    fn everyone_worse_off_at_full_defection() {
+        // the tragedy: universal defection yields less than universal
+        // compliance
+        let g = CongestionGame {
+            defector_gain: 2.0,
+            collapse_severity: 0.6,
+            social_pressure: 0.0,
+        };
+        assert!(g.defect_payoff(1.0) < g.comply_payoff(0.0));
+    }
+}

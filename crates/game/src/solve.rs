@@ -1,0 +1,153 @@
+//! Equilibrium computation.
+//!
+//! Pure Nash equilibria by mutual-best-response enumeration for any finite
+//! game, plus the closed-form mixed equilibrium for 2×2 games (von Neumann
+//! for the zero-sum case, Nash in general — the paper's refs \[12\], \[13\]).
+
+use crate::matrix::Game;
+
+/// Tolerance for floating-point payoff comparisons.
+const EPS: f64 = 1e-9;
+
+/// All pure-strategy Nash equilibria `(row action, column action)`.
+pub fn pure_nash(game: &Game) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..game.rows() {
+        for j in 0..game.cols() {
+            if game.row_best_responses(j).contains(&i) && game.col_best_responses(i).contains(&j) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// The mixed equilibrium of a 2×2 game with no pure equilibrium in the
+/// interior sense: returns `(p, q)` where the row player plays action 0
+/// with probability `p` and the column player plays action 0 with
+/// probability `q`. Returns `None` when the game is not 2×2 or the
+/// indifference system is degenerate (a dominant strategy exists — use
+/// [`pure_nash`]).
+pub fn mixed_2x2(game: &Game) -> Option<(f64, f64)> {
+    if game.rows() != 2 || game.cols() != 2 {
+        return None;
+    }
+    let (a, e) = game.payoff(0, 0);
+    let (b, f) = game.payoff(0, 1);
+    let (c, g) = game.payoff(1, 0);
+    let (d, h) = game.payoff(1, 1);
+    // Row mixes to make COLUMN indifferent: p*e + (1-p)*g = p*f + (1-p)*h
+    let denom_p = (e - g) - (f - h);
+    // Column mixes to make ROW indifferent: q*a + (1-q)*b = q*c + (1-q)*d
+    let denom_q = (a - c) - (b - d);
+    if denom_p.abs() < EPS || denom_q.abs() < EPS {
+        return None;
+    }
+    let p = (h - g) / denom_p;
+    let q = (d - b) / denom_q;
+    if !(0.0..=1.0).contains(&p) || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    Some((p, q))
+}
+
+/// Verify that `(x, y)` is an (epsilon-)Nash profile: no pure deviation
+/// gains either player more than `eps`.
+pub fn is_nash(game: &Game, x: &[f64], y: &[f64], eps: f64) -> bool {
+    let (rx, cy) = game.expected_payoff(x, y);
+    for i in 0..game.rows() {
+        if game.row_payoff_against(i, y) > rx + eps {
+            return false;
+        }
+    }
+    for j in 0..game.cols() {
+        if game.col_payoff_against(j, x) > cy + eps {
+            return false;
+        }
+    }
+    true
+}
+
+/// Convenience: the pure profile `(i, j)` as mixed vectors.
+pub fn pure_profile(game: &Game, i: usize, j: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut x = vec![0.0; game.rows()];
+    let mut y = vec![0.0; game.cols()];
+    x[i] = 1.0;
+    y[j] = 1.0;
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pd_has_defect_defect() {
+        let g = Game::prisoners_dilemma(5.0, 3.0, 1.0, 0.0);
+        assert_eq!(pure_nash(&g), vec![(1, 1)]);
+        let (x, y) = pure_profile(&g, 1, 1);
+        assert!(is_nash(&g, &x, &y, 1e-9));
+        // cooperation is NOT an equilibrium
+        let (x, y) = pure_profile(&g, 0, 0);
+        assert!(!is_nash(&g, &x, &y, 1e-9));
+    }
+
+    #[test]
+    fn coordination_has_matching_equilibria() {
+        let g = Game::coordination(vec![1.0, 3.0]);
+        let eqs = pure_nash(&g);
+        assert!(eqs.contains(&(0, 0)));
+        assert!(eqs.contains(&(1, 1)));
+        assert!(!eqs.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn matching_pennies_has_no_pure_nash_but_a_mixed_one() {
+        let g = Game::zero_sum(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]);
+        assert!(pure_nash(&g).is_empty());
+        let (p, q) = mixed_2x2(&g).unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((q - 0.5).abs() < 1e-12);
+        assert!(is_nash(&g, &[p, 1.0 - p], &[q, 1.0 - q], 1e-9));
+    }
+
+    #[test]
+    fn asymmetric_mixed_equilibrium() {
+        // A 2x2 inspection game (asymmetric mixing).
+        let g = Game::from_table(vec![
+            vec![(2.0, -2.0), (-1.0, 1.0)],
+            vec![(-1.0, 1.0), (1.0, -1.0)],
+        ]);
+        let (p, q) = mixed_2x2(&g).unwrap();
+        assert!(is_nash(&g, &[p, 1.0 - p], &[q, 1.0 - q], 1e-9));
+        assert!(p > 0.0 && p < 1.0 && q > 0.0 && q < 1.0);
+    }
+
+    #[test]
+    fn mixed_degenerate_returns_none() {
+        // PD: defect dominates, indifference impossible
+        let g = Game::prisoners_dilemma(5.0, 3.0, 1.0, 0.0);
+        assert!(mixed_2x2(&g).is_none());
+        // wrong size
+        let g3 = Game::coordination(vec![1.0, 1.0, 1.0]);
+        assert!(mixed_2x2(&g3).is_none());
+    }
+
+    #[test]
+    fn is_nash_tolerance() {
+        let g = Game::coordination(vec![1.0, 1.0]);
+        // slightly-perturbed uniform profile is an eps-Nash for big eps
+        let x = [0.5, 0.5];
+        assert!(is_nash(&g, &x, &x, 0.51));
+        assert!(is_nash(&g, &x, &x, 1e-9), "uniform IS exact Nash in symmetric coordination");
+    }
+
+    #[test]
+    fn zero_sum_value_consistency() {
+        // For matching pennies the game value is 0 at equilibrium.
+        let g = Game::zero_sum(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]);
+        let (p, q) = mixed_2x2(&g).unwrap();
+        let (r, c) = g.expected_payoff(&[p, 1.0 - p], &[q, 1.0 - q]);
+        assert!(r.abs() < 1e-12 && c.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Support enumeration: mixed Nash equilibria of general bimatrix games.
+//!
+//! For every pair of equal-sized supports, solve the indifference system
+//! (each player must be indifferent across their support given the other's
+//! mix), then verify nonnegativity and no profitable deviation outside the
+//! support. Exponential in actions, which is fine: tussle games are small —
+//! the paper's examples are 2×2 and 3×3.
+
+use crate::matrix::Game;
+use crate::solve::is_nash;
+
+const EPS: f64 = 1e-9;
+
+/// Solve `a x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` for (near-)singular systems.
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|r| r.len() == n));
+    for col in 0..n {
+        // pivot
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("no NaN in payoff systems")
+        })?;
+        if a[pivot][col].abs() < EPS {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // eliminate below
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// All non-empty subsets of `0..n` of size `k`, in lexicographic order.
+fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn rec(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..n {
+            current.push(i);
+            rec(i + 1, n, k, current, out);
+            current.pop();
+        }
+    }
+    rec(0, n, k, &mut current, &mut out);
+    out
+}
+
+/// Given a row support and a column support of equal size `k`, find the
+/// column mix `y` (over the col support) that makes every row-support
+/// action earn the same payoff, if one exists with nonnegative weights.
+fn indifference_mix(
+    game: &Game,
+    own_support: &[usize],
+    other_support: &[usize],
+    row_player: bool,
+) -> Option<Vec<f64>> {
+    let k = own_support.len();
+    // unknowns: k weights + the common payoff u
+    let n = k + 1;
+    let mut a = vec![vec![0.0; n]; n];
+    let mut b = vec![0.0; n];
+    // indifference rows: for each own action i: sum_j w_j * payoff(i, j) - u = 0
+    for (row, &i) in own_support.iter().enumerate() {
+        for (col, &j) in other_support.iter().enumerate() {
+            a[row][col] = if row_player { game.payoff(i, j).0 } else { game.payoff(j, i).1 };
+        }
+        a[row][k] = -1.0;
+    }
+    // normalization: weights sum to 1
+    for col in 0..k {
+        a[k][col] = 1.0;
+    }
+    b[k] = 1.0;
+    let sol = solve_linear(a, b)?;
+    let weights = &sol[..k];
+    if weights.iter().any(|w| *w < -EPS) {
+        return None;
+    }
+    Some(weights.iter().map(|w| w.max(0.0)).collect())
+}
+
+/// Expand support weights to a full mixed strategy.
+fn expand(support: &[usize], weights: &[f64], len: usize) -> Vec<f64> {
+    let mut full = vec![0.0; len];
+    for (&i, &w) in support.iter().zip(weights) {
+        full[i] = w;
+    }
+    full
+}
+
+/// Enumerate mixed Nash equilibria by support enumeration. Returns
+/// verified profiles `(x, y)`; includes pure equilibria (size-1 supports).
+/// Profiles closer than `1e-6` in L∞ are deduplicated.
+pub fn support_enumeration(game: &Game) -> Vec<(Vec<f64>, Vec<f64>)> {
+    let mut found: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+    let max_k = game.rows().min(game.cols());
+    for k in 1..=max_k {
+        for row_support in subsets(game.rows(), k) {
+            for col_support in subsets(game.cols(), k) {
+                // y makes the ROW player indifferent across row_support;
+                // x makes the COLUMN player indifferent across col_support.
+                let Some(y_w) = indifference_mix(game, &row_support, &col_support, true) else {
+                    continue;
+                };
+                let Some(x_w) = indifference_mix(game, &col_support, &row_support, false) else {
+                    continue;
+                };
+                let x = expand(&row_support, &x_w, game.rows());
+                let y = expand(&col_support, &y_w, game.cols());
+                if !is_nash(game, &x, &y, 1e-7) {
+                    continue;
+                }
+                let dup = found.iter().any(|(fx, fy)| {
+                    linf(fx, &x) < 1e-6 && linf(fy, &y) < 1e-6
+                });
+                if !dup {
+                    found.push((x, y));
+                }
+            }
+        }
+    }
+    found
+}
+
+fn linf(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_solver_works() {
+        // 2x + y = 5, x - y = 1  =>  x = 2, y = 1
+        let sol = solve_linear(vec![vec![2.0, 1.0], vec![1.0, -1.0]], vec![5.0, 1.0]).unwrap();
+        assert!((sol[0] - 2.0).abs() < 1e-12);
+        assert!((sol[1] - 1.0).abs() < 1e-12);
+        // singular
+        assert!(solve_linear(vec![vec![1.0, 1.0], vec![2.0, 2.0]], vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn subsets_enumerate() {
+        assert_eq!(subsets(3, 1), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(subsets(3, 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert_eq!(subsets(2, 2), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn finds_the_matching_pennies_mix() {
+        let g = Game::zero_sum(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]);
+        let eqs = support_enumeration(&g);
+        assert_eq!(eqs.len(), 1);
+        let (x, y) = &eqs[0];
+        assert!((x[0] - 0.5).abs() < 1e-9);
+        assert!((y[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finds_all_three_equilibria_of_a_coordination_game() {
+        // 2x2 coordination: two pure + one mixed equilibrium
+        let g = Game::coordination(vec![1.0, 3.0]);
+        let eqs = support_enumeration(&g);
+        assert_eq!(eqs.len(), 3, "got {eqs:?}");
+        let pures = eqs.iter().filter(|(x, _)| x.iter().any(|v| (*v - 1.0).abs() < 1e-9)).count();
+        assert_eq!(pures, 2);
+        // the mixed one puts 3/4 on the LOW-payoff action (indifference)
+        let mixed = eqs.iter().find(|(x, _)| x[0] > 0.0 && x[0] < 1.0).unwrap();
+        assert!((mixed.0[0] - 0.75).abs() < 1e-9, "{:?}", mixed.0);
+    }
+
+    #[test]
+    fn pd_has_exactly_one_equilibrium() {
+        let g = Game::prisoners_dilemma(5.0, 3.0, 1.0, 0.0);
+        let eqs = support_enumeration(&g);
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].0, vec![0.0, 1.0]);
+        assert_eq!(eqs[0].1, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn three_by_three_rock_paper_scissors() {
+        let g = Game::zero_sum(vec![
+            vec![0.0, -1.0, 1.0],
+            vec![1.0, 0.0, -1.0],
+            vec![-1.0, 1.0, 0.0],
+        ]);
+        let eqs = support_enumeration(&g);
+        assert_eq!(eqs.len(), 1, "RPS has only the uniform mix: {eqs:?}");
+        for w in eqs[0].0.iter().chain(eqs[0].1.iter()) {
+            assert!((w - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn agrees_with_the_2x2_closed_form() {
+        use crate::solve::mixed_2x2;
+        let g = Game::from_table(vec![
+            vec![(2.0, -2.0), (-1.0, 1.0)],
+            vec![(-1.0, 1.0), (1.0, -1.0)],
+        ]);
+        let (p, q) = mixed_2x2(&g).unwrap();
+        let eqs = support_enumeration(&g);
+        let mixed = eqs
+            .iter()
+            .find(|(x, _)| x[0] > 1e-9 && x[0] < 1.0 - 1e-9)
+            .expect("the mixed equilibrium");
+        assert!((mixed.0[0] - p).abs() < 1e-9);
+        assert!((mixed.1[0] - q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_reported_profile_is_verified_nash() {
+        let g = Game::from_table(vec![
+            vec![(3.0, 2.0), (0.0, 0.0), (1.0, 1.0)],
+            vec![(0.0, 0.0), (2.0, 3.0), (1.0, 0.5)],
+            vec![(1.0, 1.0), (0.5, 1.0), (2.0, 2.0)],
+        ]);
+        for (x, y) in support_enumeration(&g) {
+            assert!(is_nash(&g, &x, &y, 1e-6), "unverified profile ({x:?}, {y:?})");
+            assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Multi-unit VCG: Vickrey's mechanism beyond one item.
+//!
+//! §II.B credits Vickrey with "a theory to generatively design and
+//! prescribe actor networks that exhibit a desirable apriori set of
+//! properties" for asymmetric-information games. The single-item
+//! second-price auction lives in [`crate::auction`]; this module is the
+//! `k`-unit generalization with unit demand, where VCG reduces to the
+//! (k+1)-price rule: the `k` highest bidders win and each pays the highest
+//! losing bid. Truth-telling remains weakly dominant — the same
+//! "tussle-free information sub-game" property, at allocation scale
+//! (think: auctioning `k` premium-transit slots among ISP customers).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a k-unit VCG auction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VcgOutcome {
+    /// Indices of winning bidders (at most `k`).
+    pub winners: Vec<usize>,
+    /// The uniform price each winner pays (the highest losing bid, or 0
+    /// when supply exceeds demand).
+    pub price: f64,
+}
+
+/// Run a k-unit uniform-price VCG auction over `bids`. Ties at the cutoff
+/// break toward lower bidder indices (deterministic).
+pub fn run_vcg(k: usize, bids: &[f64]) -> VcgOutcome {
+    if k == 0 || bids.is_empty() {
+        return VcgOutcome { winners: Vec::new(), price: 0.0 };
+    }
+    let mut order: Vec<usize> = (0..bids.len()).collect();
+    // sort by bid descending, index ascending on ties
+    order.sort_by(|&a, &b| {
+        bids[b].partial_cmp(&bids[a]).expect("NaN bid").then(a.cmp(&b))
+    });
+    let winners: Vec<usize> = order.iter().copied().take(k).collect();
+    let price = if bids.len() > k { bids[order[k]] } else { 0.0 };
+    VcgOutcome { winners, price }
+}
+
+/// Utility of bidder `i` with private `value` under an outcome.
+pub fn vcg_utility(outcome: &VcgOutcome, bidder: usize, value: f64) -> f64 {
+    if outcome.winners.contains(&bidder) {
+        value - outcome.price
+    } else {
+        0.0
+    }
+}
+
+/// Compare truthful bidding against a deviation for one bidder, holding
+/// the others fixed. Returns `(truthful utility, deviant utility)`.
+pub fn vcg_truthful_vs_deviation(
+    k: usize,
+    others: &[f64],
+    value: f64,
+    alt_bid: f64,
+) -> (f64, f64) {
+    let me = others.len();
+    let mut truthful = others.to_vec();
+    truthful.push(value);
+    let t = vcg_utility(&run_vcg(k, &truthful), me, value);
+    let mut deviant = others.to_vec();
+    deviant.push(alt_bid);
+    let d = vcg_utility(&run_vcg(k, &deviant), me, value);
+    (t, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_highest_win_at_the_k_plus_first_price() {
+        let o = run_vcg(2, &[10.0, 40.0, 30.0, 20.0]);
+        assert_eq!(o.winners, vec![1, 2]);
+        assert_eq!(o.price, 20.0);
+    }
+
+    #[test]
+    fn excess_supply_is_free() {
+        let o = run_vcg(5, &[10.0, 20.0]);
+        assert_eq!(o.winners, vec![1, 0]);
+        assert_eq!(o.price, 0.0);
+    }
+
+    #[test]
+    fn k_one_matches_second_price() {
+        use crate::auction::{run_auction, AuctionRule};
+        let bids = [10.0, 30.0, 20.0];
+        let vcg = run_vcg(1, &bids);
+        let sp = run_auction(AuctionRule::SecondPrice, &bids).unwrap();
+        assert_eq!(vcg.winners, vec![sp.winner]);
+        assert_eq!(vcg.price, sp.price);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let o = run_vcg(1, &[5.0, 5.0, 5.0]);
+        assert_eq!(o.winners, vec![0]);
+        assert_eq!(o.price, 5.0);
+    }
+
+    #[test]
+    fn zero_units_or_bidders() {
+        assert_eq!(run_vcg(0, &[1.0]).winners.len(), 0);
+        assert_eq!(run_vcg(3, &[]).winners.len(), 0);
+    }
+
+    #[test]
+    fn truthfulness_spot_checks() {
+        // overbid to win: pays above value, negative utility
+        let (t, d) = vcg_truthful_vs_deviation(2, &[50.0, 40.0], 30.0, 60.0);
+        assert_eq!(t, 0.0, "truthfully losing is free");
+        assert!(d < 0.0, "winning above value costs: {d}");
+        // underbid out of the winner set: forfeits surplus
+        let (t, d) = vcg_truthful_vs_deviation(2, &[50.0, 10.0], 30.0, 5.0);
+        assert_eq!(t, 20.0);
+        assert_eq!(d, 0.0);
+        // deviations that don't change the allocation don't change the price
+        let (t, d) = vcg_truthful_vs_deviation(2, &[50.0, 10.0], 30.0, 29.0);
+        assert_eq!(t, d);
+    }
+
+    #[test]
+    fn truthfulness_sweep() {
+        use tussle_sim::SimRng;
+        let mut rng = SimRng::seed_from_u64(99);
+        for _ in 0..2_000 {
+            let n = rng.range(1..6usize);
+            let k = rng.range(1..4usize);
+            let others: Vec<f64> = (0..n).map(|_| rng.range(0.0..100.0)).collect();
+            let value = rng.range(0.0..100.0);
+            let alt = rng.range(0.0..150.0);
+            let (t, d) = vcg_truthful_vs_deviation(k, &others, value, alt);
+            assert!(t >= d - 1e-9, "profitable deviation: k={k} others={others:?} v={value} alt={alt}");
+        }
+    }
+}

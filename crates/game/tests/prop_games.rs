@@ -1,0 +1,100 @@
+//! Property tests for the game-theory substrate.
+
+use proptest::prelude::*;
+use tussle_game::auction::{run_auction, truthful_vs_deviation, AuctionRule};
+use tussle_game::evolution::Replicator;
+use tussle_game::solve::{is_nash, mixed_2x2, pure_nash, pure_profile};
+use tussle_game::Game;
+
+proptest! {
+    /// Vickrey truthfulness: across random value profiles and deviations,
+    /// bidding the true value never does strictly worse.
+    #[test]
+    fn vickrey_truthful(
+        others in proptest::collection::vec(0.0f64..100.0, 1..6),
+        value in 0.0f64..100.0,
+        alt in 0.0f64..150.0,
+    ) {
+        let (truthful, deviant) = truthful_vs_deviation(&others, value, alt);
+        prop_assert!(truthful >= deviant - 1e-9,
+            "profitable deviation: truthful {truthful} < deviant {deviant}");
+    }
+
+    /// A Vickrey winner never pays more than their bid; a first-price
+    /// winner pays exactly their bid.
+    #[test]
+    fn auction_price_bounds(bids in proptest::collection::vec(0.0f64..1000.0, 1..8)) {
+        let second = run_auction(AuctionRule::SecondPrice, &bids).unwrap();
+        prop_assert!(second.price <= bids[second.winner] + 1e-12);
+        let first = run_auction(AuctionRule::FirstPrice, &bids).unwrap();
+        prop_assert_eq!(first.price, bids[first.winner]);
+        // both rules award the item to a maximal bidder
+        let max = bids.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(bids[second.winner], max);
+    }
+
+    /// Every profile reported by `pure_nash` verifies as a Nash profile,
+    /// and every non-reported profile admits a profitable deviation.
+    #[test]
+    fn pure_nash_is_sound_and_complete(
+        cells in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 9..=9),
+    ) {
+        let table: Vec<Vec<(f64, f64)>> =
+            cells.chunks(3).map(|row| row.to_vec()).collect();
+        let g = Game::from_table(table);
+        let eqs = pure_nash(&g);
+        for i in 0..3 {
+            for j in 0..3 {
+                let (x, y) = pure_profile(&g, i, j);
+                let verified = is_nash(&g, &x, &y, 1e-9);
+                prop_assert_eq!(eqs.contains(&(i, j)), verified, "mismatch at ({}, {})", i, j);
+            }
+        }
+    }
+
+    /// When `mixed_2x2` returns a profile it is a verified Nash
+    /// equilibrium.
+    #[test]
+    fn mixed_2x2_verifies(
+        a in -5.0f64..5.0, b in -5.0f64..5.0, c in -5.0f64..5.0, d in -5.0f64..5.0,
+        e in -5.0f64..5.0, f in -5.0f64..5.0, g_ in -5.0f64..5.0, h in -5.0f64..5.0,
+    ) {
+        let g = Game::from_table(vec![
+            vec![(a, e), (b, f)],
+            vec![(c, g_), (d, h)],
+        ]);
+        if let Some((p, q)) = mixed_2x2(&g) {
+            prop_assert!(is_nash(&g, &[p, 1.0 - p], &[q, 1.0 - q], 1e-6),
+                "mixed profile ({p},{q}) failed verification");
+        }
+    }
+
+    /// Replicator dynamics keeps the population on the simplex.
+    #[test]
+    fn replicator_stays_on_simplex(
+        pay in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 3..=3), 3..=3),
+        steps in 1usize..200,
+    ) {
+        let mut r = Replicator::uniform(pay);
+        for _ in 0..steps {
+            r.step(0.3);
+            let total: f64 = r.shares.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-6, "total {total}");
+            prop_assert!(r.shares.iter().all(|s| *s >= -1e-12));
+        }
+    }
+
+    /// Zero-sum games built from any row matrix really are zero-sum, and
+    /// expected payoffs under any mixed profile sum to zero.
+    #[test]
+    fn zero_sum_is_zero_sum(
+        rows in proptest::collection::vec(proptest::collection::vec(-9.0f64..9.0, 2..=2), 2..=2),
+        p in 0.0f64..=1.0,
+        q in 0.0f64..=1.0,
+    ) {
+        let g = Game::zero_sum(rows);
+        prop_assert!(g.is_zero_sum());
+        let (r, c) = g.expected_payoff(&[p, 1.0 - p], &[q, 1.0 - q]);
+        prop_assert!((r + c).abs() < 1e-9);
+    }
+}

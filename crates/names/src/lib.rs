@@ -1,0 +1,50 @@
+//! # tussle-names — naming, DNS perversion, and the trademark entanglement
+//!
+//! §IV.A uses the DNS as the worked example of *failing* to modularize
+//! along tussle boundaries: "The current design is entangled in debate
+//! because DNS names are used both to name machines and to express
+//! trademark. In retrospect ... names that express trademarks should be
+//! used for as little else as possible."
+//!
+//! * [`namespace`] — hierarchical names and a registry mapping them to
+//!   machine addresses (the entangled design the Internet actually has).
+//! * [`resolver`] — resolution with caching and *perversion*: the
+//!   "intentional perversion of DNS information" (§IV.D) an ISP deploys as
+//!   a tussle mechanism, and the user counter-move of choosing a different
+//!   resolver (design for choice).
+//! * [`trademark`] — trademark claims and a UDRP-style dispute process
+//!   that, in the entangled design, transfers or suspends *machine* names
+//!   and thereby breaks running services: measurable collateral damage.
+//! * [`separated`] — the design the paper recommends: machine identifiers
+//!   that "express trademarks ... as little as possible", with a separate
+//!   human-facing directory where the trademark tussle plays out without
+//!   touching machine naming.
+//!
+//! ## Example
+//!
+//! ```
+//! use tussle_names::namespace::{Name, Registry};
+//!
+//! let mut registry = Registry::new();
+//! let name = Name::parse("acme.com").unwrap();
+//! registry.register(name.clone(), 5, 0xA0, true).unwrap();
+//! assert_eq!(registry.resolve(&name), Some(0xA0));
+//! // a dispute suspension breaks the *machine* name — the entanglement
+//! registry.suspend(&name).unwrap();
+//! assert_eq!(registry.resolve(&name), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mailbox;
+pub mod namespace;
+pub mod resolver;
+pub mod separated;
+pub mod trademark;
+
+pub use mailbox::{DomainOwnership, MailOutcome, MailSystem, MailboxAddress};
+pub use namespace::{Name, NameRecord, Registry, RegistryError};
+pub use resolver::{Resolver, ResolverKind};
+pub use separated::{MachineDirectory, MachineId, SeparatedNaming};
+pub use trademark::{Dispute, DisputeOutcome, DisputeProcess, Trademark};

@@ -1,0 +1,220 @@
+//! Mailbox naming: the third strategy of §IV.A.
+//!
+//! "one might imagine separate strategies to deal with the issues of
+//! trademark, naming mailbox services, and providing names for machines"
+//! — machine naming and trademark live in [`crate::namespace`] /
+//! [`crate::separated`]; this module is the mailbox strategy, and it has
+//! its own lock-in tussle: an address like `alice@provider.example` is
+//! *provider-assigned identity*, the e-mail analog of §V.A.1's
+//! provider-assigned IP block. Moving providers breaks the address unless
+//! the user owns the domain or the old provider (a competitor!) forwards.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Who controls the domain part of a mailbox address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainOwnership {
+    /// The serving provider owns it (`alice@bigisp.example`).
+    ProviderOwned,
+    /// The user owns it (`alice@alice.example`) — portable by
+    /// construction, the PI-address analog.
+    UserOwned,
+}
+
+/// A mailbox address.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MailboxAddress {
+    /// Local part.
+    pub user: String,
+    /// Domain part.
+    pub domain: String,
+}
+
+impl MailboxAddress {
+    /// `user@domain`.
+    pub fn new(user: &str, domain: &str) -> Self {
+        MailboxAddress { user: user.to_ascii_lowercase(), domain: domain.to_ascii_lowercase() }
+    }
+}
+
+impl core::fmt::Display for MailboxAddress {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}@{}", self.user, self.domain)
+    }
+}
+
+/// One user's mailbox arrangement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mailbox {
+    /// The public address.
+    pub address: MailboxAddress,
+    /// Who owns the domain.
+    pub ownership: DomainOwnership,
+    /// Which provider currently hosts the mailbox.
+    pub provider: u64,
+}
+
+/// Delivery outcome for a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MailOutcome {
+    /// Delivered to the current provider.
+    Delivered,
+    /// Delivered via the old provider's (grudging, possibly temporary)
+    /// forwarding.
+    Forwarded,
+    /// Bounced: the address died with the provider relationship.
+    Bounced,
+}
+
+/// The mail system: who hosts what, and which dead addresses still
+/// forward.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MailSystem {
+    boxes: BTreeMap<MailboxAddress, Mailbox>,
+    forwards: BTreeMap<MailboxAddress, MailboxAddress>,
+}
+
+impl MailSystem {
+    /// An empty system.
+    pub fn new() -> Self {
+        MailSystem::default()
+    }
+
+    /// Create a mailbox at a provider.
+    pub fn create(&mut self, user: &str, domain: &str, ownership: DomainOwnership, provider: u64) -> MailboxAddress {
+        let address = MailboxAddress::new(user, domain);
+        self.boxes.insert(
+            address.clone(),
+            Mailbox { address: address.clone(), ownership, provider },
+        );
+        address
+    }
+
+    /// The user switches provider. For a user-owned domain the address
+    /// simply re-points (like rebinding a machine id, §IV.A). For a
+    /// provider-owned address a NEW address is created at the new
+    /// provider, and the old one survives only if the old provider agrees
+    /// to forward (`old_provider_forwards`). Returns the address to
+    /// publish after the move.
+    pub fn switch_provider(
+        &mut self,
+        address: &MailboxAddress,
+        new_provider: u64,
+        new_domain: &str,
+        old_provider_forwards: bool,
+    ) -> MailboxAddress {
+        let mbox = self.boxes.get_mut(address).expect("switching an existing mailbox");
+        match mbox.ownership {
+            DomainOwnership::UserOwned => {
+                mbox.provider = new_provider;
+                address.clone()
+            }
+            DomainOwnership::ProviderOwned => {
+                let user = mbox.address.user.clone();
+                let old = mbox.address.clone();
+                let new_addr = self.create(&user, new_domain, DomainOwnership::ProviderOwned, new_provider);
+                if old_provider_forwards {
+                    self.forwards.insert(old.clone(), new_addr.clone());
+                } else {
+                    self.boxes.remove(&old);
+                }
+                new_addr
+            }
+        }
+    }
+
+    /// Deliver a message sent to `address`.
+    pub fn deliver(&self, address: &MailboxAddress) -> MailOutcome {
+        if let Some(target) = self.forwards.get(address) {
+            if self.boxes.contains_key(target) {
+                return MailOutcome::Forwarded;
+            }
+            return MailOutcome::Bounced;
+        }
+        if self.boxes.contains_key(address) {
+            MailOutcome::Delivered
+        } else {
+            MailOutcome::Bounced
+        }
+    }
+
+    /// The switching cost in lost reachability: the fraction of `senders`
+    /// still holding the OLD address whose mail bounces.
+    pub fn breakage(&self, old_address: &MailboxAddress, senders_with_old_address: u64) -> f64 {
+        match self.deliver(old_address) {
+            MailOutcome::Delivered | MailOutcome::Forwarded => 0.0,
+            MailOutcome::Bounced => {
+                if senders_with_old_address == 0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_normalize() {
+        let a = MailboxAddress::new("Alice", "BigISP.example");
+        assert_eq!(a.to_string(), "alice@bigisp.example");
+    }
+
+    #[test]
+    fn user_owned_domains_move_freely() {
+        let mut m = MailSystem::new();
+        let addr = m.create("alice", "alice.example", DomainOwnership::UserOwned, 1);
+        let published = m.switch_provider(&addr, 2, "ignored.example", false);
+        assert_eq!(published, addr, "the address survives the switch");
+        assert_eq!(m.deliver(&addr), MailOutcome::Delivered);
+        assert_eq!(m.breakage(&addr, 100), 0.0);
+    }
+
+    #[test]
+    fn provider_owned_addresses_bounce_without_forwarding() {
+        let mut m = MailSystem::new();
+        let old = m.create("alice", "bigisp.example", DomainOwnership::ProviderOwned, 1);
+        let new = m.switch_provider(&old, 2, "newisp.example", false);
+        assert_ne!(new, old);
+        assert_eq!(m.deliver(&old), MailOutcome::Bounced);
+        assert_eq!(m.deliver(&new), MailOutcome::Delivered);
+        assert_eq!(m.breakage(&old, 100), 1.0, "every old correspondent is lost");
+    }
+
+    #[test]
+    fn forwarding_softens_the_lock_in() {
+        let mut m = MailSystem::new();
+        let old = m.create("alice", "bigisp.example", DomainOwnership::ProviderOwned, 1);
+        let _new = m.switch_provider(&old, 2, "newisp.example", true);
+        assert_eq!(m.deliver(&old), MailOutcome::Forwarded);
+        assert_eq!(m.breakage(&old, 100), 0.0);
+    }
+
+    #[test]
+    fn forwarding_to_a_dead_target_bounces() {
+        let mut m = MailSystem::new();
+        let old = m.create("alice", "bigisp.example", DomainOwnership::ProviderOwned, 1);
+        let new = m.switch_provider(&old, 2, "newisp.example", true);
+        // the new mailbox dies too (account closed)
+        m.boxes.remove(&new);
+        assert_eq!(m.deliver(&old), MailOutcome::Bounced);
+    }
+
+    #[test]
+    fn the_lock_in_parallel_with_addresses() {
+        // The §V.A.1 analogy made explicit: provider-owned mailbox ≈
+        // provider-assigned prefix; user-owned domain ≈ PI block.
+        let mut m = MailSystem::new();
+        let pa = m.create("bob", "bigisp.example", DomainOwnership::ProviderOwned, 1);
+        let pi = m.create("carol", "carol.example", DomainOwnership::UserOwned, 1);
+        m.switch_provider(&pa, 2, "newisp.example", false);
+        m.switch_provider(&pi, 2, "unused", false);
+        assert_eq!(m.breakage(&pa, 10), 1.0);
+        assert_eq!(m.breakage(&pi, 10), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Hierarchical names and the (entangled) registry.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A dotted hierarchical name, stored as labels, leftmost first
+/// (`"www.example.com"` → `["www", "example", "com"]`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Name(Vec<String>);
+
+impl Name {
+    /// Parse from dotted text. Empty labels are rejected.
+    pub fn parse(text: &str) -> Option<Name> {
+        if text.is_empty() {
+            return None;
+        }
+        let labels: Vec<String> = text.split('.').map(|s| s.to_ascii_lowercase()).collect();
+        if labels.iter().any(|l| l.is_empty()) {
+            return None;
+        }
+        Some(Name(labels))
+    }
+
+    /// The labels, leftmost first.
+    pub fn labels(&self) -> &[String] {
+        &self.0
+    }
+
+    /// The second-level label — the part trademark fights are about
+    /// (`"example"` in `"www.example.com"`). For a one-label name, that
+    /// label.
+    pub fn registrable_label(&self) -> &str {
+        if self.0.len() >= 2 {
+            &self.0[self.0.len() - 2]
+        } else {
+            &self.0[0]
+        }
+    }
+
+    /// Is `self` a subdomain of (or equal to) `parent`?
+    pub fn under(&self, parent: &Name) -> bool {
+        self.0.len() >= parent.0.len() && self.0[self.0.len() - parent.0.len()..] == parent.0[..]
+    }
+}
+
+impl core::fmt::Display for Name {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0.join("."))
+    }
+}
+
+/// State of a registered name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordStatus {
+    /// Resolving normally.
+    Active,
+    /// Suspended pending or following a dispute — resolution fails.
+    Suspended,
+}
+
+/// A registry record: the entangled design binds the name directly to a
+/// machine address AND carries the ownership that trademark disputes fight
+/// over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NameRecord {
+    /// Registrant id.
+    pub owner: u64,
+    /// Machine address the name resolves to.
+    pub target: u32,
+    /// Whether the registrant knowingly squatted a mark (the bad-faith
+    /// criterion UDRP panels look for).
+    pub bad_faith: bool,
+    /// Record status.
+    pub status: RecordStatus,
+}
+
+/// Registration failures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegistryError {
+    /// The name is already registered.
+    Taken,
+    /// No such record.
+    NotFound,
+}
+
+impl core::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RegistryError::Taken => f.write_str("the name is already registered"),
+            RegistryError::NotFound => f.write_str("no such record"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The registry: name → record.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Registry {
+    records: BTreeMap<Name, NameRecord>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a name (first come, first served — the policy that invited
+    /// the trademark tussle).
+    pub fn register(
+        &mut self,
+        name: Name,
+        owner: u64,
+        target: u32,
+        bad_faith: bool,
+    ) -> Result<(), RegistryError> {
+        if self.records.contains_key(&name) {
+            return Err(RegistryError::Taken);
+        }
+        self.records
+            .insert(name, NameRecord { owner, target, bad_faith, status: RecordStatus::Active });
+        Ok(())
+    }
+
+    /// Authoritative resolution: the machine address, if active.
+    pub fn resolve(&self, name: &Name) -> Option<u32> {
+        let rec = self.records.get(name)?;
+        (rec.status == RecordStatus::Active).then_some(rec.target)
+    }
+
+    /// Record access.
+    pub fn record(&self, name: &Name) -> Option<&NameRecord> {
+        self.records.get(name)
+    }
+
+    /// Update the target (re-hosting a service).
+    pub fn update_target(&mut self, name: &Name, target: u32) -> Result<(), RegistryError> {
+        let rec = self.records.get_mut(name).ok_or(RegistryError::NotFound)?;
+        rec.target = target;
+        Ok(())
+    }
+
+    /// Transfer ownership (dispute outcome). The new owner's machine is
+    /// not the old owner's machine: the target changes, breaking whatever
+    /// ran behind the old name.
+    pub fn transfer(&mut self, name: &Name, new_owner: u64, new_target: u32) -> Result<(), RegistryError> {
+        let rec = self.records.get_mut(name).ok_or(RegistryError::NotFound)?;
+        rec.owner = new_owner;
+        rec.target = new_target;
+        rec.status = RecordStatus::Active;
+        Ok(())
+    }
+
+    /// Suspend a name (dispute pending).
+    pub fn suspend(&mut self, name: &Name) -> Result<(), RegistryError> {
+        let rec = self.records.get_mut(name).ok_or(RegistryError::NotFound)?;
+        rec.status = RecordStatus::Suspended;
+        Ok(())
+    }
+
+    /// All registered names.
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.records.keys()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("WWW.Example.COM").to_string(), "www.example.com");
+        assert!(Name::parse("").is_none());
+        assert!(Name::parse("a..b").is_none());
+        assert_eq!(n("com").labels(), ["com"]);
+    }
+
+    #[test]
+    fn registrable_label() {
+        assert_eq!(n("www.example.com").registrable_label(), "example");
+        assert_eq!(n("example.com").registrable_label(), "example");
+        assert_eq!(n("localhost").registrable_label(), "localhost");
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        assert!(n("www.example.com").under(&n("example.com")));
+        assert!(n("example.com").under(&n("com")));
+        assert!(n("example.com").under(&n("example.com")));
+        assert!(!n("example.org").under(&n("example.com")));
+        assert!(!n("com").under(&n("example.com")));
+    }
+
+    #[test]
+    fn first_come_first_served() {
+        let mut r = Registry::new();
+        r.register(n("example.com"), 1, 0xA, false).unwrap();
+        assert_eq!(r.register(n("example.com"), 2, 0xB, false), Err(RegistryError::Taken));
+        assert_eq!(r.resolve(&n("example.com")), Some(0xA));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn suspension_breaks_resolution() {
+        let mut r = Registry::new();
+        r.register(n("example.com"), 1, 0xA, false).unwrap();
+        r.suspend(&n("example.com")).unwrap();
+        assert_eq!(r.resolve(&n("example.com")), None);
+        assert_eq!(r.record(&n("example.com")).unwrap().status, RecordStatus::Suspended);
+    }
+
+    #[test]
+    fn transfer_changes_owner_and_target() {
+        let mut r = Registry::new();
+        r.register(n("brand.com"), 1, 0xA, true).unwrap();
+        r.transfer(&n("brand.com"), 99, 0xB).unwrap();
+        let rec = r.record(&n("brand.com")).unwrap();
+        assert_eq!(rec.owner, 99);
+        assert_eq!(r.resolve(&n("brand.com")), Some(0xB));
+    }
+
+    #[test]
+    fn missing_records_error() {
+        let mut r = Registry::new();
+        assert_eq!(r.suspend(&n("ghost.com")), Err(RegistryError::NotFound));
+        assert_eq!(r.update_target(&n("ghost.com"), 1), Err(RegistryError::NotFound));
+        assert_eq!(r.resolve(&n("ghost.com")), None);
+    }
+}

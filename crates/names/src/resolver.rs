@@ -1,0 +1,175 @@
+//! Resolution, caching, and DNS perversion.
+//!
+//! §IV.D lists "intentional perversion of DNS information" among the
+//! mechanisms parties actually use; §V.B's design-for-choice counterpart is
+//! that "users can select what ... server they use". A [`Resolver`] either
+//! answers honestly from the registry or applies its operator's rewrites
+//! (NXDOMAIN → ad server, blocked names → warning page). The user-side
+//! counter-mechanism is switching resolvers.
+
+use crate::namespace::{Name, Registry};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What kind of answers a resolver gives.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResolverKind {
+    /// Answers exactly what the registry says.
+    Honest,
+    /// Applies its operator's rewrites before (and instead of) the truth.
+    Perverted {
+        /// Names rewritten to operator-chosen targets (censorship,
+        /// "helpful" redirection).
+        rewrites: BTreeMap<Name, u32>,
+        /// Where failed lookups are redirected (the NXDOMAIN ad server), if
+        /// anywhere.
+        nxdomain_redirect: Option<u32>,
+    },
+}
+
+/// A caching resolver.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Resolver {
+    /// Operator behaviour.
+    pub kind: ResolverKind,
+    cache: BTreeMap<Name, u32>,
+    /// Cache hits served (metric).
+    pub cache_hits: u64,
+    /// Authoritative lookups performed (metric).
+    pub lookups: u64,
+}
+
+impl Resolver {
+    /// An honest resolver.
+    pub fn honest() -> Self {
+        Resolver { kind: ResolverKind::Honest, cache: BTreeMap::new(), cache_hits: 0, lookups: 0 }
+    }
+
+    /// A perverted resolver with the given rewrites.
+    pub fn perverted(rewrites: BTreeMap<Name, u32>, nxdomain_redirect: Option<u32>) -> Self {
+        Resolver {
+            kind: ResolverKind::Perverted { rewrites, nxdomain_redirect },
+            cache: BTreeMap::new(),
+            cache_hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Resolve a name against the registry, applying operator behaviour
+    /// and caching positive answers.
+    pub fn resolve(&mut self, name: &Name, registry: &Registry) -> Option<u32> {
+        if let Some(hit) = self.cache.get(name) {
+            self.cache_hits += 1;
+            return Some(*hit);
+        }
+        self.lookups += 1;
+        let answer = match &self.kind {
+            ResolverKind::Honest => registry.resolve(name),
+            ResolverKind::Perverted { rewrites, nxdomain_redirect } => {
+                if let Some(forced) = rewrites.get(name) {
+                    Some(*forced)
+                } else {
+                    registry.resolve(name).or(*nxdomain_redirect)
+                }
+            }
+        };
+        if let Some(a) = answer {
+            self.cache.insert(name.clone(), a);
+        }
+        answer
+    }
+
+    /// Drop the cache (e.g. after the registry changed under a dispute —
+    /// the "kludges to the DNS" of §VI.A live exactly here).
+    pub fn flush(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Does this resolver's answer differ from the registry's truth? The
+    /// §IV.C visibility question, testable per name.
+    pub fn lies_about(&mut self, name: &Name, registry: &Registry) -> bool {
+        let truth = registry.resolve(name);
+        let said = self.resolve(name, registry);
+        truth != said
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(n("example.com"), 1, 0xAA, false).unwrap();
+        r.register(n("banned.com"), 2, 0xBB, false).unwrap();
+        r
+    }
+
+    #[test]
+    fn honest_resolution_matches_registry() {
+        let reg = registry();
+        let mut res = Resolver::honest();
+        assert_eq!(res.resolve(&n("example.com"), &reg), Some(0xAA));
+        assert_eq!(res.resolve(&n("missing.com"), &reg), None);
+        assert!(!res.lies_about(&n("example.com"), &reg));
+    }
+
+    #[test]
+    fn cache_serves_repeats() {
+        let reg = registry();
+        let mut res = Resolver::honest();
+        res.resolve(&n("example.com"), &reg);
+        res.resolve(&n("example.com"), &reg);
+        assert_eq!(res.lookups, 1);
+        assert_eq!(res.cache_hits, 1);
+        res.flush();
+        res.resolve(&n("example.com"), &reg);
+        assert_eq!(res.lookups, 2);
+    }
+
+    #[test]
+    fn stale_cache_after_registry_change() {
+        let mut reg = registry();
+        let mut res = Resolver::honest();
+        assert_eq!(res.resolve(&n("example.com"), &reg), Some(0xAA));
+        reg.update_target(&n("example.com"), 0xCC).unwrap();
+        // cache still says 0xAA — the operational pain disputes cause
+        assert_eq!(res.resolve(&n("example.com"), &reg), Some(0xAA));
+        res.flush();
+        assert_eq!(res.resolve(&n("example.com"), &reg), Some(0xCC));
+    }
+
+    #[test]
+    fn perverted_resolver_rewrites() {
+        let reg = registry();
+        let rewrites = BTreeMap::from([(n("banned.com"), 0xDEAD)]);
+        let mut res = Resolver::perverted(rewrites, None);
+        assert_eq!(res.resolve(&n("banned.com"), &reg), Some(0xDEAD));
+        assert!(res.lies_about(&n("banned.com"), &reg));
+        // unrelated names answered honestly
+        assert!(!res.lies_about(&n("example.com"), &reg));
+    }
+
+    #[test]
+    fn nxdomain_redirection() {
+        let reg = registry();
+        let mut res = Resolver::perverted(BTreeMap::new(), Some(0xAD));
+        assert_eq!(res.resolve(&n("no-such-name.com"), &reg), Some(0xAD));
+        assert!(res.lies_about(&n("no-such-name.com"), &reg));
+    }
+
+    #[test]
+    fn user_choice_of_resolver_defeats_perversion() {
+        // the §IV.B move: pick a different server
+        let reg = registry();
+        let rewrites = BTreeMap::from([(n("banned.com"), 0xDEAD)]);
+        let mut isp = Resolver::perverted(rewrites, None);
+        let mut third_party = Resolver::honest();
+        assert_eq!(isp.resolve(&n("banned.com"), &reg), Some(0xDEAD));
+        assert_eq!(third_party.resolve(&n("banned.com"), &reg), Some(0xBB));
+    }
+}

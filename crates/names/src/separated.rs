@@ -1,0 +1,187 @@
+//! The separated design: modularize naming along the tussle boundary.
+//!
+//! §IV.A: "one might imagine separate strategies to deal with the issues of
+//! trademark, naming mailbox services, and providing names for machines
+//! that are independent of location (the original and minimal purpose of
+//! the DNS). One could then try to design these latter mechanisms to try to
+//! duck the issue of trademark."
+//!
+//! Here machine naming uses opaque identifiers that cannot express a
+//! trademark at all; a separate human-facing directory maps marks to
+//! machine ids, and disputes act ONLY on the directory. Services keep
+//! running whatever the lawyers decide — the §IV.A payoff, bought at the
+//! cost of an extra resolution step ("solutions that are less efficient
+//! from a technical perspective may do a better job of isolating the
+//! collateral damage of tussle").
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An opaque machine identifier. Deliberately numeric: there is nothing
+/// here a trademark claim can attach to.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MachineId(pub u64);
+
+/// Machine naming: id → address. No ownership semantics, no dispute hooks —
+/// by construction outside the trademark tussle space.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MachineDirectory {
+    entries: BTreeMap<MachineId, u32>,
+}
+
+impl MachineDirectory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        MachineDirectory::default()
+    }
+
+    /// Bind an id to an address.
+    pub fn bind(&mut self, id: MachineId, addr: u32) {
+        self.entries.insert(id, addr);
+    }
+
+    /// Resolve an id.
+    pub fn resolve(&self, id: MachineId) -> Option<u32> {
+        self.entries.get(&id).copied()
+    }
+
+    /// Rebind after renumbering (the dynamic-DNS move of §V.A.1).
+    pub fn rebind(&mut self, id: MachineId, addr: u32) {
+        self.entries.insert(id, addr);
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the directory empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The human-facing layer: mark text → machine id, with ownership — the
+/// ONLY place trademark disputes can act.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SeparatedNaming {
+    /// Machine layer.
+    pub machines: MachineDirectory,
+    directory: BTreeMap<String, (u64, MachineId)>, // mark -> (owner, machine)
+    /// Directory entries reassigned by disputes (no machine breakage).
+    pub disputes_applied: u64,
+}
+
+impl SeparatedNaming {
+    /// Empty system.
+    pub fn new() -> Self {
+        SeparatedNaming::default()
+    }
+
+    /// Claim a directory entry (first come, first served again — but now
+    /// the fight is confined here).
+    pub fn claim(&mut self, mark: &str, owner: u64, machine: MachineId) -> bool {
+        let key = mark.to_ascii_lowercase();
+        if self.directory.contains_key(&key) {
+            return false;
+        }
+        self.directory.insert(key, (owner, machine));
+        true
+    }
+
+    /// Full human-name resolution: mark → machine id → address.
+    pub fn resolve_mark(&self, mark: &str) -> Option<u32> {
+        let (_, machine) = self.directory.get(&mark.to_ascii_lowercase())?;
+        self.machines.resolve(*machine)
+    }
+
+    /// Current directory owner of a mark.
+    pub fn owner_of(&self, mark: &str) -> Option<u64> {
+        self.directory.get(&mark.to_ascii_lowercase()).map(|(o, _)| *o)
+    }
+
+    /// Apply a dispute outcome: repoint the mark at the holder's machine.
+    /// The loser's machine id and its address binding are untouched —
+    /// anyone holding the machine id still reaches the service.
+    pub fn adjudicate(&mut self, mark: &str, holder: u64, holder_machine: MachineId) -> bool {
+        let key = mark.to_ascii_lowercase();
+        match self.directory.get_mut(&key) {
+            Some(entry) => {
+                *entry = (holder, holder_machine);
+                self.disputes_applied += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_directory_roundtrip() {
+        let mut d = MachineDirectory::new();
+        assert!(d.is_empty());
+        d.bind(MachineId(1), 0xAA);
+        assert_eq!(d.resolve(MachineId(1)), Some(0xAA));
+        assert_eq!(d.resolve(MachineId(2)), None);
+        d.rebind(MachineId(1), 0xBB);
+        assert_eq!(d.resolve(MachineId(1)), Some(0xBB));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn two_step_resolution() {
+        let mut s = SeparatedNaming::new();
+        s.machines.bind(MachineId(1), 0xAA);
+        assert!(s.claim("acme", 5, MachineId(1)));
+        assert_eq!(s.resolve_mark("ACME"), Some(0xAA));
+        assert_eq!(s.owner_of("acme"), Some(5));
+    }
+
+    #[test]
+    fn claims_are_first_come_first_served() {
+        let mut s = SeparatedNaming::new();
+        assert!(s.claim("acme", 5, MachineId(1)));
+        assert!(!s.claim("acme", 100, MachineId(2)));
+        assert_eq!(s.owner_of("acme"), Some(5));
+    }
+
+    #[test]
+    fn dispute_repoints_directory_without_breaking_machines() {
+        let mut s = SeparatedNaming::new();
+        s.machines.bind(MachineId(1), 0xAA); // squatter's machine
+        s.machines.bind(MachineId(2), 0xFF); // holder's machine
+        s.claim("acme", 5, MachineId(1));
+
+        assert!(s.adjudicate("acme", 100, MachineId(2)));
+        // the mark now reaches the holder
+        assert_eq!(s.resolve_mark("acme"), Some(0xFF));
+        assert_eq!(s.owner_of("acme"), Some(100));
+        // ...and the loser's machine still resolves for anyone holding its
+        // id: zero collateral damage to machine naming.
+        assert_eq!(s.machines.resolve(MachineId(1)), Some(0xAA));
+        assert_eq!(s.disputes_applied, 1);
+    }
+
+    #[test]
+    fn adjudicating_unknown_marks_fails() {
+        let mut s = SeparatedNaming::new();
+        assert!(!s.adjudicate("ghost", 1, MachineId(1)));
+        assert_eq!(s.disputes_applied, 0);
+    }
+
+    #[test]
+    fn renumbering_keeps_marks_working() {
+        // the §V.A.1 tie-in: rebind the machine, every mark above it follows
+        let mut s = SeparatedNaming::new();
+        s.machines.bind(MachineId(1), 0xAA);
+        s.claim("acme", 5, MachineId(1));
+        s.machines.rebind(MachineId(1), 0xCC);
+        assert_eq!(s.resolve_mark("acme"), Some(0xCC));
+    }
+}

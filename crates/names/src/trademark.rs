@@ -1,0 +1,191 @@
+//! Trademark disputes over the entangled namespace.
+//!
+//! §IV.A: "since it was (or should have been) obvious that fights over
+//! trademarks would be a tussle space, names that express trademarks should
+//! be used for as little else as possible." In the entangled design they
+//! are used for *machine naming*, so every dispute outcome — suspension or
+//! transfer — breaks resolution for whatever ran behind the name. The
+//! collateral-damage counter quantifies the paper's argument.
+
+use crate::namespace::{Name, Registry};
+use serde::{Deserialize, Serialize};
+
+/// A registered trademark.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trademark {
+    /// The mark text (compared against registrable labels, lowercase).
+    pub mark: String,
+    /// The rights holder's id.
+    pub holder: u64,
+}
+
+/// A live conflict between a mark and a registered name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dispute {
+    /// The contested name.
+    pub name: Name,
+    /// The mark asserted.
+    pub mark: Trademark,
+    /// The current registrant.
+    pub registrant: u64,
+}
+
+/// How a dispute was decided.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DisputeOutcome {
+    /// Name transferred to the mark holder; the registrant's service
+    /// behind it is gone.
+    TransferredToHolder,
+    /// Name suspended while litigated; nobody resolves it.
+    Suspended,
+    /// Registrant prevailed (good-faith registration).
+    RegistrantKeeps,
+}
+
+/// The UDRP-style process.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DisputeProcess {
+    /// Recognized marks.
+    pub marks: Vec<Trademark>,
+    /// Names whose resolution was broken by dispute outcomes — the
+    /// collateral damage counter of experiment E11.
+    pub collateral_damage: u64,
+}
+
+impl DisputeProcess {
+    /// A process recognizing the given marks.
+    pub fn new(marks: Vec<Trademark>) -> Self {
+        DisputeProcess { marks, collateral_damage: 0 }
+    }
+
+    /// Scan the registry for name/mark conflicts held by non-holders.
+    pub fn find_disputes(&self, registry: &Registry) -> Vec<Dispute> {
+        let mut out = Vec::new();
+        for name in registry.names() {
+            let label = name.registrable_label();
+            for mark in &self.marks {
+                let rec = registry.record(name).expect("iterating registry names");
+                if label == mark.mark && rec.owner != mark.holder {
+                    out.push(Dispute { name: name.clone(), mark: mark.clone(), registrant: rec.owner });
+                }
+            }
+        }
+        out
+    }
+
+    /// Decide one dispute and apply the outcome to the registry.
+    ///
+    /// Decision rule (UDRP-shaped): bad-faith registrations transfer to the
+    /// holder; good-faith ones are suspended while litigated if the holder
+    /// presses (`holder_presses`), else the registrant keeps the name.
+    pub fn adjudicate(
+        &mut self,
+        registry: &mut Registry,
+        dispute: &Dispute,
+        holder_presses: bool,
+        holder_target: u32,
+    ) -> DisputeOutcome {
+        let rec = registry.record(&dispute.name).expect("dispute names a record");
+        let had_service = rec.target != 0;
+        if rec.bad_faith {
+            registry
+                .transfer(&dispute.name, dispute.mark.holder, holder_target)
+                .expect("record exists");
+            if had_service {
+                self.collateral_damage += 1;
+            }
+            DisputeOutcome::TransferredToHolder
+        } else if holder_presses {
+            registry.suspend(&dispute.name).expect("record exists");
+            if had_service {
+                self.collateral_damage += 1;
+            }
+            DisputeOutcome::Suspended
+        } else {
+            DisputeOutcome::RegistrantKeeps
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn mark(m: &str, holder: u64) -> Trademark {
+        Trademark { mark: m.into(), holder }
+    }
+
+    #[test]
+    fn finds_conflicts_only_for_non_holders() {
+        let mut reg = Registry::new();
+        reg.register(n("acme.com"), 5, 0xA, true).unwrap(); // squatter
+        reg.register(n("acme.org"), 100, 0xB, false).unwrap(); // the holder itself
+        reg.register(n("zenith.com"), 6, 0xC, false).unwrap(); // unrelated
+        let dp = DisputeProcess::new(vec![mark("acme", 100)]);
+        let disputes = dp.find_disputes(&reg);
+        assert_eq!(disputes.len(), 1);
+        assert_eq!(disputes[0].name, n("acme.com"));
+        assert_eq!(disputes[0].registrant, 5);
+    }
+
+    #[test]
+    fn subdomains_conflict_via_registrable_label() {
+        let mut reg = Registry::new();
+        reg.register(n("www.acme.com"), 5, 0xA, true).unwrap();
+        let dp = DisputeProcess::new(vec![mark("acme", 100)]);
+        assert_eq!(dp.find_disputes(&reg).len(), 1);
+    }
+
+    #[test]
+    fn bad_faith_transfers_and_breaks_the_service() {
+        let mut reg = Registry::new();
+        reg.register(n("acme.com"), 5, 0xA, true).unwrap();
+        let mut dp = DisputeProcess::new(vec![mark("acme", 100)]);
+        let d = dp.find_disputes(&reg).pop().unwrap();
+        let outcome = dp.adjudicate(&mut reg, &d, true, 0xFF);
+        assert_eq!(outcome, DisputeOutcome::TransferredToHolder);
+        // resolution now points at the holder, the old service is gone
+        assert_eq!(reg.resolve(&n("acme.com")), Some(0xFF));
+        assert_eq!(dp.collateral_damage, 1);
+    }
+
+    #[test]
+    fn good_faith_pressed_suspends() {
+        // The entangled design's ugliest case: an honest registrant (a
+        // fan site, a same-named business) loses *machine* connectivity
+        // while lawyers argue.
+        let mut reg = Registry::new();
+        reg.register(n("acme.com"), 5, 0xA, false).unwrap();
+        let mut dp = DisputeProcess::new(vec![mark("acme", 100)]);
+        let d = dp.find_disputes(&reg).pop().unwrap();
+        let outcome = dp.adjudicate(&mut reg, &d, true, 0xFF);
+        assert_eq!(outcome, DisputeOutcome::Suspended);
+        assert_eq!(reg.resolve(&n("acme.com")), None);
+        assert_eq!(dp.collateral_damage, 1);
+    }
+
+    #[test]
+    fn good_faith_unpressed_keeps() {
+        let mut reg = Registry::new();
+        reg.register(n("acme.com"), 5, 0xA, false).unwrap();
+        let mut dp = DisputeProcess::new(vec![mark("acme", 100)]);
+        let d = dp.find_disputes(&reg).pop().unwrap();
+        let outcome = dp.adjudicate(&mut reg, &d, false, 0xFF);
+        assert_eq!(outcome, DisputeOutcome::RegistrantKeeps);
+        assert_eq!(reg.resolve(&n("acme.com")), Some(0xA));
+        assert_eq!(dp.collateral_damage, 0);
+    }
+
+    #[test]
+    fn multiple_marks_multiple_disputes() {
+        let mut reg = Registry::new();
+        reg.register(n("acme.com"), 5, 0xA, true).unwrap();
+        reg.register(n("globex.com"), 6, 0xB, true).unwrap();
+        let dp = DisputeProcess::new(vec![mark("acme", 100), mark("globex", 200)]);
+        assert_eq!(dp.find_disputes(&reg).len(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for naming: parse/display round trips, registry
+//! first-come-first-served, and the separated design's isolation.
+
+use proptest::prelude::*;
+use tussle_names::namespace::{Name, Registry, RegistryError};
+use tussle_names::separated::{MachineId, SeparatedNaming};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,12}"
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arb_label(), 1..5).prop_map(|ls| ls.join("."))
+}
+
+proptest! {
+    /// parse → display is the identity on normalized names.
+    #[test]
+    fn name_roundtrip(text in arb_name()) {
+        let name = Name::parse(&text).unwrap();
+        prop_assert_eq!(name.to_string(), text.to_ascii_lowercase());
+        let again = Name::parse(&name.to_string()).unwrap();
+        prop_assert_eq!(again, name);
+    }
+
+    /// `under` is reflexive and consistent with suffix structure.
+    #[test]
+    fn under_relation(child_extra in arb_label(), base in arb_name()) {
+        let parent = Name::parse(&base).unwrap();
+        let child = Name::parse(&format!("{child_extra}.{base}")).unwrap();
+        prop_assert!(parent.under(&parent));
+        prop_assert!(child.under(&parent));
+        prop_assert!(!parent.under(&child));
+    }
+
+    /// FCFS: after any sequence of registrations, each name belongs to the
+    /// FIRST registrant that claimed it, and re-registration always errors.
+    #[test]
+    fn registry_is_first_come_first_served(
+        claims in proptest::collection::vec((arb_name(), 1u64..10, 1u32..1000), 1..40),
+    ) {
+        let mut reg = Registry::new();
+        let mut expected: std::collections::BTreeMap<Name, u64> = Default::default();
+        for (text, owner, target) in &claims {
+            let name = Name::parse(text).unwrap();
+            let result = reg.register(name.clone(), *owner, *target, false);
+            match expected.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    prop_assert!(result.is_ok());
+                    v.insert(*owner);
+                }
+                std::collections::btree_map::Entry::Occupied(_) => {
+                    prop_assert_eq!(result, Err(RegistryError::Taken));
+                }
+            }
+        }
+        for (name, owner) in &expected {
+            prop_assert_eq!(reg.record(name).unwrap().owner, *owner);
+        }
+    }
+
+    /// In the separated design, ANY sequence of directory adjudications
+    /// leaves every machine binding untouched.
+    #[test]
+    fn separated_design_isolates_machines(
+        marks in proptest::collection::vec(arb_label(), 1..10),
+        disputes in proptest::collection::vec((0usize..10, 100u64..200), 0..10),
+    ) {
+        let mut s = SeparatedNaming::new();
+        for (i, m) in marks.iter().enumerate() {
+            let mid = MachineId(i as u64);
+            s.machines.bind(mid, 0xA000 + i as u32);
+            s.claim(m, i as u64, mid);
+        }
+        for (idx, holder) in &disputes {
+            let mark = &marks[idx % marks.len()];
+            let new_machine = MachineId(1_000 + holder);
+            s.machines.bind(new_machine, 0xF000);
+            s.adjudicate(mark, *holder, new_machine);
+        }
+        // every original machine id still resolves to its original address
+        for i in 0..marks.len() {
+            prop_assert_eq!(s.machines.resolve(MachineId(i as u64)), Some(0xA000 + i as u32));
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Fault isolation and error reporting.
+//!
+//! §VI.A: "Failures of transparency will occur — design what happens then.
+//! ... Tools for fault isolation and error reporting would help — the hard
+//! challenge is not so much to find the fault but to report the problem to
+//! the right person in the right language. ... Of course, some devices that
+//! impair transparency may intentionally give no error information or even
+//! reveal their presence, and that must be taken into account in design of
+//! diagnostic tools."
+//!
+//! [`traceroute`] walks the path a packet would take and reports each hop,
+//! honoring middlebox concealment; [`blame`] converts a failed
+//! [`DeliveryReport`] into a report naming the responsible party when the
+//! responsible device chose to be visible, and an honest "concealed
+//! device" answer when it did not.
+
+use crate::network::{DeliveryReport, DropReason, Network};
+use crate::node::NodeId;
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+use tussle_sim::SimRng;
+
+/// How a hop appears to the measuring user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HopVisibility {
+    /// An ordinary node that answers probes.
+    Visible,
+    /// A device is there but conceals itself; the probe sees a silent gap.
+    Concealed,
+}
+
+/// One traceroute hop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopReport {
+    /// The node, when visible.
+    pub node: Option<NodeId>,
+    /// AS of the node, when visible.
+    pub asn: Option<u32>,
+    /// Visibility of this hop.
+    pub visibility: HopVisibility,
+}
+
+/// Walk the path `probe` would take and report every hop.
+///
+/// A node with a firewall whose `reveals_presence` is false appears as a
+/// concealed hop: the user can tell *something* is there by counting, but
+/// not what or whose it is.
+pub fn traceroute(net: &mut Network, from: NodeId, probe: Packet, rng: &mut SimRng) -> Vec<HopReport> {
+    let rep = net.send(from, probe, rng);
+    rep.path
+        .iter()
+        .map(|&n| {
+            let concealed = net
+                .firewall(n)
+                .map(|fw| !fw.reveals_presence)
+                .unwrap_or(false);
+            if concealed {
+                HopReport { node: None, asn: None, visibility: HopVisibility::Concealed }
+            } else {
+                HopReport {
+                    node: Some(n),
+                    asn: Some(net.node(n).asn.0),
+                    visibility: HopVisibility::Visible,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Who (if anyone) a failure can be pinned on, and in what language.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlameReport {
+    /// The node responsible, when identifiable.
+    pub responsible_node: Option<NodeId>,
+    /// The AS responsible, when identifiable.
+    pub responsible_asn: Option<u32>,
+    /// Whether the responsible device concealed itself.
+    pub concealed: bool,
+    /// A human-language account suitable for "the right person".
+    pub message: String,
+}
+
+/// Turn a failed delivery into an actionable report.
+///
+/// Returns `None` for deliveries that succeeded (nothing to blame).
+pub fn blame(net: &Network, report: &DeliveryReport) -> Option<BlameReport> {
+    let (node, reason) = report.drop?;
+    let asn = net.node(node).asn.0;
+    let (concealed, responsible_node, responsible_asn, message) = match reason {
+        DropReason::FirewallDenied => {
+            let fw = net.firewall(node);
+            let hidden = fw.map(|f| !f.reveals_presence).unwrap_or(false);
+            if hidden {
+                (
+                    true,
+                    None,
+                    None,
+                    "a device on the path blocked this traffic and concealed itself; \
+                     contact your provider and ask what is deployed between you and the destination"
+                        .to_owned(),
+                )
+            } else {
+                let by = fw
+                    .and_then(|f| f.rules.first().map(|r| r.installed_by.clone()))
+                    .unwrap_or_else(|| "unknown operator".to_owned());
+                (
+                    false,
+                    Some(node),
+                    Some(asn),
+                    format!(
+                        "firewall at {node} (AS{asn}, rules installed by {by}) denied the traffic; \
+                         ask that operator for an exception or choose a path avoiding AS{asn}"
+                    ),
+                )
+            }
+        }
+        DropReason::NoRoute => (
+            false,
+            Some(node),
+            Some(asn),
+            format!("router {node} (AS{asn}) has no route to the destination; the destination prefix may be withdrawn or unreachable from this provider"),
+        ),
+        DropReason::LinkDown => (
+            false,
+            Some(node),
+            Some(asn),
+            format!("the link out of {node} (AS{asn}) is down; report the outage to AS{asn}"),
+        ),
+        DropReason::LinkLoss => (
+            false,
+            Some(node),
+            Some(asn),
+            format!("traffic is being lost on the link out of {node} (AS{asn}); likely congestion or a fault"),
+        ),
+        DropReason::RateLimited => (
+            false,
+            Some(node),
+            Some(asn),
+            format!("AS{asn} is rate-limiting this traffic at {node}; this may be policy, not failure — check your service contract"),
+        ),
+        DropReason::SourceRouteRefused => (
+            false,
+            Some(node),
+            Some(asn),
+            format!("router {node} (AS{asn}) refuses loose source routes; AS{asn} receives no compensation for user-selected paths — arrange payment or route another way"),
+        ),
+        DropReason::TtlExpired => (
+            false,
+            Some(node),
+            Some(asn),
+            format!("hop budget exhausted at {node} (AS{asn}); the path may contain a loop"),
+        ),
+        DropReason::QueueOverflow => (
+            false,
+            Some(node),
+            Some(asn),
+            format!("a congested link out of {node} (AS{asn}) dropped the traffic; demand exceeds capacity — premium treatment or another path would help"),
+        ),
+        DropReason::MaxHopsExceeded => (
+            false,
+            Some(node),
+            Some(asn),
+            format!("forwarding loop detected near {node} (AS{asn}); report to the operator"),
+        ),
+    };
+    Some(BlameReport { responsible_node, responsible_asn, concealed, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, AddressOrigin, Asn, Prefix};
+    use crate::firewall::Firewall;
+    use crate::packet::{ports, Protocol};
+    use tussle_sim::SimTime;
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), 1, AddressOrigin::ProviderIndependent)
+    }
+
+    fn net_with_firewall(reveals: bool) -> (Network, NodeId, Packet) {
+        let mut net = Network::new();
+        let h0 = net.add_host(Asn(1));
+        let r1 = net.add_router(Asn(2));
+        let h2 = net.add_host(Asn(3));
+        net.connect(h0, r1, SimTime::from_millis(1), 1_000_000);
+        net.connect(r1, h2, SimTime::from_millis(1), 1_000_000);
+        let a0 = addr(0x0a000000);
+        let a2 = addr(0x0b000000);
+        net.node_mut(h0).bind(a0);
+        net.node_mut(h2).bind(a2);
+        net.fib_mut(h0).install(Prefix::DEFAULT, r1, 0);
+        net.fib_mut(r1).install(Prefix::new(0x0b000000, 16), h2, 0);
+        let mut fw = Firewall::port_allowlist(vec![ports::SMTP], "corporate admin");
+        fw.reveals_presence = reveals;
+        net.set_firewall(r1, fw);
+        let p = Packet::new(a0, a2, Protocol::Tcp, 1, ports::HTTP);
+        (net, h0, p)
+    }
+
+    #[test]
+    fn blame_names_a_visible_firewall() {
+        let (mut net, h0, p) = net_with_firewall(true);
+        let mut rng = SimRng::seed_from_u64(1);
+        let rep = net.send(h0, p, &mut rng);
+        let b = blame(&net, &rep).unwrap();
+        assert!(!b.concealed);
+        assert_eq!(b.responsible_asn, Some(2));
+        assert!(b.message.contains("corporate admin"));
+    }
+
+    #[test]
+    fn blame_admits_concealment() {
+        let (mut net, h0, p) = net_with_firewall(false);
+        let mut rng = SimRng::seed_from_u64(1);
+        let rep = net.send(h0, p, &mut rng);
+        let b = blame(&net, &rep).unwrap();
+        assert!(b.concealed);
+        assert_eq!(b.responsible_node, None);
+        assert!(b.message.contains("concealed"));
+    }
+
+    #[test]
+    fn no_blame_for_success() {
+        let (mut net, h0, _) = net_with_firewall(true);
+        let mut rng = SimRng::seed_from_u64(1);
+        let ok = Packet::new(addr(0x0a000000), addr(0x0b000000), Protocol::Tcp, 1, ports::SMTP);
+        let rep = net.send(h0, ok, &mut rng);
+        assert!(rep.delivered);
+        assert!(blame(&net, &rep).is_none());
+    }
+
+    #[test]
+    fn traceroute_conceals_hidden_boxes() {
+        let (mut net, h0, _) = net_with_firewall(false);
+        let mut rng = SimRng::seed_from_u64(1);
+        let probe = Packet::new(addr(0x0a000000), addr(0x0b000000), Protocol::Icmp, 0, ports::SMTP);
+        let hops = traceroute(&mut net, h0, probe, &mut rng);
+        // h0 visible, r1 concealed, h2 visible (probe allowed through on SMTP)
+        assert_eq!(hops.len(), 3);
+        assert_eq!(hops[0].visibility, HopVisibility::Visible);
+        assert_eq!(hops[1].visibility, HopVisibility::Concealed);
+        assert_eq!(hops[1].node, None);
+        assert_eq!(hops[2].visibility, HopVisibility::Visible);
+    }
+
+    #[test]
+    fn blame_reports_no_route() {
+        let (mut net, h0, _) = net_with_firewall(true);
+        let mut rng = SimRng::seed_from_u64(1);
+        let p = Packet::new(addr(0x0a000000), addr(0x0e000000), Protocol::Tcp, 1, ports::SMTP);
+        let rep = net.send(h0, p, &mut rng);
+        let b = blame(&net, &rep).unwrap();
+        assert!(b.message.contains("no route"));
+    }
+}

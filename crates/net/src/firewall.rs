@@ -1,0 +1,274 @@
+//! Firewalls: "that which is not permitted is forbidden".
+//!
+//! §V.B of the paper distinguishes the firewall the market actually built —
+//! port/protocol filters with a default-deny posture that also kills novel
+//! applications — from the *trust-aware* firewall it argues for, which
+//! "applies constraints based on who is communicating, as well as (or
+//! instead of) what protocols are being run". Both are expressible here.
+//!
+//! Two visibility switches implement the paper's point about visible
+//! choice: `reveals_presence` (does traceroute see this box at all?) and
+//! `reveals_rules` (can an affected end user download and examine the rule
+//! set? — "one way to help preserve the end-to-end character of the
+//! Internet is to require that devices reveal if they impose limitations").
+
+use crate::packet::{Packet, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// What a rule matches on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchOn {
+    /// Any packet.
+    Any,
+    /// The *visible* destination port equals this value. Encrypted traffic
+    /// has no visible port, so port rules silently stop matching it — the
+    /// start of the §VI.A escalation ladder.
+    DstPort(u16),
+    /// The visible destination port is one of these.
+    DstPortIn(Vec<u16>),
+    /// Transport protocol equals this value.
+    Proto(Protocol),
+    /// The packet presents an identity contained in this allow set
+    /// (trust-mediated matching; identities come from `tussle-trust`).
+    IdentityIn(Vec<u64>),
+    /// The packet presents *some* identity (non-anonymous).
+    AnyIdentity,
+    /// The packet is visibly encrypted (an ISP that dislikes opacity can
+    /// key on this — §VI.A).
+    VisiblyEncrypted,
+    /// The source address falls in this prefix (blocklisting a customer,
+    /// a competitor, or a country).
+    SrcInPrefix(crate::addr::Prefix),
+    /// The destination address falls in this prefix (blocking access to a
+    /// site — the censorship mechanism).
+    DstInPrefix(crate::addr::Prefix),
+}
+
+impl MatchOn {
+    /// Does this matcher hit `pkt`?
+    pub fn matches(&self, pkt: &Packet) -> bool {
+        match self {
+            MatchOn::Any => true,
+            MatchOn::DstPort(p) => pkt.visible_dst_port() == Some(*p),
+            MatchOn::DstPortIn(ps) => {
+                pkt.visible_dst_port().is_some_and(|p| ps.contains(&p))
+            }
+            MatchOn::Proto(pr) => pkt.proto == *pr,
+            MatchOn::IdentityIn(ids) => pkt.identity.is_some_and(|i| ids.contains(&i)),
+            MatchOn::AnyIdentity => pkt.identity.is_some(),
+            MatchOn::VisiblyEncrypted => pkt.visibly_encrypted(),
+            MatchOn::SrcInPrefix(p) => p.contains(pkt.src.value),
+            MatchOn::DstInPrefix(p) => p.contains(pkt.dst.value),
+        }
+    }
+}
+
+/// Rule verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FirewallAction {
+    /// Let the packet through.
+    Allow,
+    /// Drop the packet.
+    Deny,
+}
+
+/// One firewall rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FirewallRule {
+    /// Matcher.
+    pub matcher: MatchOn,
+    /// Verdict when the matcher hits.
+    pub action: FirewallAction,
+    /// Who installed the rule — the §V.B "who is in charge?" tussle
+    /// (end user vs. network administrator) is decided by policy, not by
+    /// this crate; we only record the provenance so it can be inspected.
+    pub installed_by: String,
+}
+
+/// A first-match-wins packet filter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Firewall {
+    /// Ordered rule list; first match wins.
+    pub rules: Vec<FirewallRule>,
+    /// Verdict when nothing matches. `Deny` is the "that which is not
+    /// permitted is forbidden" posture.
+    pub default_action: FirewallAction,
+    /// Whether traceroute-style diagnostics can see this box.
+    pub reveals_presence: bool,
+    /// Whether affected users may download the rule set.
+    pub reveals_rules: bool,
+}
+
+impl Firewall {
+    /// An open firewall (allow-all) — the transparent Internet.
+    pub fn transparent() -> Self {
+        Firewall {
+            rules: Vec::new(),
+            default_action: FirewallAction::Allow,
+            reveals_presence: true,
+            reveals_rules: true,
+        }
+    }
+
+    /// A default-deny firewall with an explicit allow list of ports —
+    /// the classic enterprise box of §V.B.
+    pub fn port_allowlist(ports: Vec<u16>, installed_by: &str) -> Self {
+        Firewall {
+            rules: vec![FirewallRule {
+                matcher: MatchOn::DstPortIn(ports),
+                action: FirewallAction::Allow,
+                installed_by: installed_by.to_owned(),
+            }],
+            default_action: FirewallAction::Deny,
+            reveals_presence: true,
+            reveals_rules: false,
+        }
+    }
+
+    /// A trust-mediated firewall: communication is allowed based on *who*
+    /// is communicating (identity allow set), with anonymous traffic denied
+    /// and no port-level constraint — the paper's proposed design.
+    pub fn trust_mediated(trusted: Vec<u64>, installed_by: &str) -> Self {
+        Firewall {
+            rules: vec![FirewallRule {
+                matcher: MatchOn::IdentityIn(trusted),
+                action: FirewallAction::Allow,
+                installed_by: installed_by.to_owned(),
+            }],
+            default_action: FirewallAction::Deny,
+            reveals_presence: true,
+            reveals_rules: true,
+        }
+    }
+
+    /// Prepend a rule (it will be evaluated first).
+    pub fn push_front(&mut self, rule: FirewallRule) {
+        self.rules.insert(0, rule);
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: FirewallRule) {
+        self.rules.push(rule);
+    }
+
+    /// Evaluate a packet: first matching rule wins, else the default.
+    pub fn evaluate(&self, pkt: &Packet) -> FirewallAction {
+        for rule in &self.rules {
+            if rule.matcher.matches(pkt) {
+                return rule.action;
+            }
+        }
+        self.default_action
+    }
+
+    /// The rules an affected user may inspect. `None` means the operator
+    /// keeps them secret — the courtesy of disclosure was declined.
+    pub fn disclosed_rules(&self) -> Option<&[FirewallRule]> {
+        if self.reveals_rules {
+            Some(&self.rules)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, AddressOrigin, Prefix};
+    use crate::packet::ports;
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), 1, AddressOrigin::ProviderIndependent)
+    }
+
+    fn pkt(port: u16) -> Packet {
+        Packet::new(addr(0x0a000000), addr(0x0b000000), Protocol::Tcp, 999, port)
+    }
+
+    #[test]
+    fn transparent_allows_everything() {
+        let fw = Firewall::transparent();
+        assert_eq!(fw.evaluate(&pkt(ports::NOVEL)), FirewallAction::Allow);
+        assert_eq!(fw.evaluate(&pkt(ports::P2P).encrypt()), FirewallAction::Allow);
+    }
+
+    #[test]
+    fn port_allowlist_blocks_novel_applications() {
+        let fw = Firewall::port_allowlist(vec![ports::HTTP, ports::SMTP], "admin");
+        assert_eq!(fw.evaluate(&pkt(ports::HTTP)), FirewallAction::Allow);
+        // A brand-new application is forbidden by default — the paper's
+        // innovation-suppression effect.
+        assert_eq!(fw.evaluate(&pkt(ports::NOVEL)), FirewallAction::Deny);
+    }
+
+    #[test]
+    fn port_allowlist_cannot_see_encrypted_ports() {
+        let fw = Firewall::port_allowlist(vec![ports::HTTP], "admin");
+        // Even "allowed" traffic is denied once encrypted: the visible port
+        // is gone, nothing matches, default-deny bites.
+        assert_eq!(fw.evaluate(&pkt(ports::HTTP).encrypt()), FirewallAction::Deny);
+        // ...but steganographic traffic presents as HTTP and sails through.
+        assert_eq!(fw.evaluate(&pkt(ports::P2P).steganographic()), FirewallAction::Allow);
+    }
+
+    #[test]
+    fn trust_mediated_keys_on_identity_not_port() {
+        let fw = Firewall::trust_mediated(vec![42, 43], "end-user");
+        assert_eq!(fw.evaluate(&pkt(ports::NOVEL).with_identity(42)), FirewallAction::Allow);
+        assert_eq!(fw.evaluate(&pkt(ports::HTTP).with_identity(99)), FirewallAction::Deny);
+        // anonymous traffic is denied
+        assert_eq!(fw.evaluate(&pkt(ports::HTTP)), FirewallAction::Deny);
+        // novel apps from trusted parties work even encrypted — identity
+        // rides outside the encryption envelope.
+        assert_eq!(
+            fw.evaluate(&pkt(ports::NOVEL).with_identity(43).encrypt()),
+            FirewallAction::Allow
+        );
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut fw = Firewall::transparent();
+        fw.push(FirewallRule {
+            matcher: MatchOn::DstPort(ports::P2P),
+            action: FirewallAction::Deny,
+            installed_by: "rights-holder lobby".into(),
+        });
+        assert_eq!(fw.evaluate(&pkt(ports::P2P)), FirewallAction::Deny);
+        fw.push_front(FirewallRule {
+            matcher: MatchOn::Any,
+            action: FirewallAction::Allow,
+            installed_by: "user".into(),
+        });
+        assert_eq!(fw.evaluate(&pkt(ports::P2P)), FirewallAction::Allow);
+    }
+
+    #[test]
+    fn encryption_visibility_rule() {
+        let mut fw = Firewall::transparent();
+        fw.push(FirewallRule {
+            matcher: MatchOn::VisiblyEncrypted,
+            action: FirewallAction::Deny,
+            installed_by: "state monopoly ISP".into(),
+        });
+        assert_eq!(fw.evaluate(&pkt(ports::HTTP).encrypt()), FirewallAction::Deny);
+        // steganography defeats the encryption ban
+        assert_eq!(fw.evaluate(&pkt(ports::HTTP).steganographic()), FirewallAction::Allow);
+    }
+
+    #[test]
+    fn rule_disclosure() {
+        let open = Firewall::trust_mediated(vec![1], "user");
+        assert!(open.disclosed_rules().is_some());
+        let closed = Firewall::port_allowlist(vec![80], "admin");
+        assert!(closed.disclosed_rules().is_none());
+    }
+
+    #[test]
+    fn any_identity_matcher() {
+        let m = MatchOn::AnyIdentity;
+        assert!(m.matches(&pkt(1).with_identity(5)));
+        assert!(!m.matches(&pkt(1)));
+    }
+}

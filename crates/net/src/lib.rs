@@ -1,0 +1,71 @@
+//! # tussle-net — packet-level network substrate
+//!
+//! A deterministic model of the data plane the paper's tussles play out on:
+//! addresses and prefixes (provider-assigned vs. provider-independent,
+//! §V.A.1), self-describing datagrams with ToS bits, ports and optional
+//! source routes (§V.A.4, §IV.A), links with latency/bandwidth/loss, a
+//! longest-prefix-match forwarding table, and the middleboxes the paper
+//! names as tussle mechanisms: firewalls (§V.B), NAT (§I), tunnels
+//! (§V.A.2), and QoS classifiers keyed either by ToS bits or — the design
+//! the paper criticises — by port numbers (§IV.A, E13).
+//!
+//! The substrate also implements the paper's "failures of transparency will
+//! occur — design what happens then" principle: [`diagnostics`] provides a
+//! traceroute that middleboxes may or may not reveal themselves to, and a
+//! blame report that maps a delivery failure to a responsible party when
+//! the responsible device chose to be visible.
+//!
+//! ## Example
+//!
+//! ```
+//! use tussle_net::addr::{Address, AddressOrigin, Asn, Prefix};
+//! use tussle_net::packet::{ports, Packet, Protocol};
+//! use tussle_net::Network;
+//! use tussle_sim::{SimRng, SimTime};
+//!
+//! let mut net = Network::new();
+//! let alice = net.add_host(Asn(1));
+//! let bob = net.add_host(Asn(2));
+//! net.connect(alice, bob, SimTime::from_millis(10), 1_000_000_000);
+//! let a = Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
+//! let b = Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
+//! net.node_mut(alice).bind(a);
+//! net.node_mut(bob).bind(b);
+//! net.fib_mut(alice).install(Prefix::DEFAULT, bob, 0);
+//!
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let report = net.send(alice, Packet::new(a, b, Protocol::Tcp, 1, ports::HTTP), &mut rng);
+//! assert!(report.delivered);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod diagnostics;
+pub mod firewall;
+pub mod link;
+pub mod nat;
+pub mod network;
+pub mod node;
+pub mod packet;
+pub mod qos;
+pub mod table;
+pub mod traceback;
+pub mod traffic;
+pub mod tunnel;
+pub mod wiretap;
+
+pub use addr::{Address, Asn, Prefix};
+pub use diagnostics::{BlameReport, HopReport, HopVisibility};
+pub use firewall::{Firewall, FirewallAction, FirewallRule, MatchOn};
+pub use link::{Link, LinkId};
+pub use nat::Nat;
+pub use network::{DeliveryReport, DropReason, Network};
+pub use node::{Node, NodeId, NodeKind};
+pub use packet::{Packet, Protocol};
+pub use qos::{QosKey, QosPolicy, ServiceClass};
+pub use table::Fib;
+pub use traceback::{RouterEvidence, TracebackCollector};
+pub use traffic::{build_engine, Flow, TrafficWorld};
+pub use wiretap::{Cache, CaptureRecord, Wiretap};

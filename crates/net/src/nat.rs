@@ -1,0 +1,152 @@
+//! Network address translation.
+//!
+//! The paper's very first list of tussle examples includes: "ISPs give
+//! their users a single IP address, and users attach a network of computers
+//! using address translation" (§I). NAT is therefore modeled as what it is
+//! in the tussle: a *consumer counter-mechanism* that multiplexes many
+//! private hosts behind one provider-assigned address, at the cost of
+//! breaking inbound transparency.
+
+use crate::addr::Address;
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A port-translating NAT with one external address.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Nat {
+    /// The single address the ISP assigned.
+    pub external: Address,
+    /// Next external port to hand out.
+    next_port: u16,
+    /// external port -> (internal address, internal port)
+    bindings: BTreeMap<u16, (Address, u16)>,
+    /// (internal address, internal port) -> external port
+    reverse: BTreeMap<(u32, u16), u16>,
+}
+
+impl Nat {
+    /// First external port handed out.
+    pub const PORT_BASE: u16 = 20_000;
+
+    /// A NAT holding the given external address.
+    pub fn new(external: Address) -> Self {
+        Nat {
+            external,
+            next_port: Self::PORT_BASE,
+            bindings: BTreeMap::new(),
+            reverse: BTreeMap::new(),
+        }
+    }
+
+    /// Translate an outbound packet: source becomes the external address
+    /// with a stable per-flow port. Returns the translated packet.
+    pub fn outbound(&mut self, mut pkt: Packet) -> Packet {
+        let key = (pkt.src.value, pkt.src_port);
+        let ext_port = match self.reverse.get(&key) {
+            Some(p) => *p,
+            None => {
+                let p = self.next_port;
+                self.next_port = self.next_port.wrapping_add(1).max(Self::PORT_BASE);
+                self.bindings.insert(p, (pkt.src, pkt.src_port));
+                self.reverse.insert(key, p);
+                p
+            }
+        };
+        pkt.src = self.external;
+        pkt.src_port = ext_port;
+        pkt
+    }
+
+    /// Translate an inbound packet addressed to the external address.
+    ///
+    /// Returns `None` when no binding exists — unsolicited inbound traffic
+    /// is silently dropped, which is exactly the transparency loss the
+    /// purists bemoan and the reason new peer-to-peer applications struggle
+    /// behind NAT.
+    pub fn inbound(&self, mut pkt: Packet) -> Option<Packet> {
+        if pkt.dst != self.external {
+            return None;
+        }
+        let (internal, port) = self.bindings.get(&pkt.dst_port)?;
+        pkt.dst = *internal;
+        pkt.dst_port = *port;
+        Some(pkt)
+    }
+
+    /// Number of active flow bindings.
+    pub fn active_bindings(&self) -> usize {
+        self.bindings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{AddressOrigin, Asn, Prefix};
+    use crate::packet::Protocol;
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), v & 0xff, AddressOrigin::ProviderAssigned(Asn(1)))
+    }
+
+    fn outward(src: Address, sport: u16) -> Packet {
+        Packet::new(src, addr(0x0b000000), Protocol::Tcp, sport, 80)
+    }
+
+    #[test]
+    fn outbound_rewrites_source() {
+        let ext = addr(0x0a000001);
+        let mut nat = Nat::new(ext);
+        let p = nat.outbound(outward(addr(0xc0a80001), 5555));
+        assert_eq!(p.src, ext);
+        assert_eq!(p.src_port, Nat::PORT_BASE);
+        assert_eq!(nat.active_bindings(), 1);
+    }
+
+    #[test]
+    fn same_flow_keeps_same_port() {
+        let mut nat = Nat::new(addr(0x0a000001));
+        let p1 = nat.outbound(outward(addr(0xc0a80001), 5555));
+        let p2 = nat.outbound(outward(addr(0xc0a80001), 5555));
+        assert_eq!(p1.src_port, p2.src_port);
+        assert_eq!(nat.active_bindings(), 1);
+    }
+
+    #[test]
+    fn distinct_flows_get_distinct_ports() {
+        let mut nat = Nat::new(addr(0x0a000001));
+        let p1 = nat.outbound(outward(addr(0xc0a80001), 5555));
+        let p2 = nat.outbound(outward(addr(0xc0a80002), 5555));
+        assert_ne!(p1.src_port, p2.src_port);
+        assert_eq!(nat.active_bindings(), 2);
+    }
+
+    #[test]
+    fn inbound_follows_binding() {
+        let ext = addr(0x0a000001);
+        let internal = addr(0xc0a80001);
+        let mut nat = Nat::new(ext);
+        let out = nat.outbound(outward(internal, 5555));
+        // reply comes back to the external (addr, port)
+        let reply = Packet::new(addr(0x0b000000), ext, Protocol::Tcp, 80, out.src_port);
+        let translated = nat.inbound(reply).expect("binding should exist");
+        assert_eq!(translated.dst, internal);
+        assert_eq!(translated.dst_port, 5555);
+    }
+
+    #[test]
+    fn unsolicited_inbound_is_dropped() {
+        let ext = addr(0x0a000001);
+        let nat = Nat::new(ext);
+        let unsolicited = Packet::new(addr(0x0b000000), ext, Protocol::Tcp, 80, 33333);
+        assert!(nat.inbound(unsolicited).is_none());
+    }
+
+    #[test]
+    fn inbound_to_wrong_address_is_rejected() {
+        let nat = Nat::new(addr(0x0a000001));
+        let stray = Packet::new(addr(0x0b000000), addr(0x0c000000), Protocol::Tcp, 80, 20000);
+        assert!(nat.inbound(stray).is_none());
+    }
+}

@@ -1,0 +1,676 @@
+//! The network: nodes, links, forwarding state and middleboxes.
+//!
+//! [`Network::send`] performs hop-by-hop forwarding of one packet and
+//! returns a [`DeliveryReport`] saying what happened and where — the
+//! substrate for both the experiments and the diagnostics tools. The model
+//! is flow-level and synchronous (one call = one packet's fate), with
+//! latency accumulated from link delays and QoS treatment; event-driven
+//! scenarios schedule calls on the `tussle-sim` engine.
+
+use crate::addr::Address;
+use crate::firewall::{Firewall, FirewallAction};
+use crate::link::{Link, LinkId};
+use crate::node::{Node, NodeId, NodeKind};
+use crate::packet::Packet;
+use crate::qos::QosPolicy;
+use crate::table::Fib;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tussle_sim::{FaultOutcome, SimRng, SimTime};
+
+
+
+/// Why a packet did not arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// A firewall denied it.
+    FirewallDenied,
+    /// No forwarding entry matched.
+    NoRoute,
+    /// Hop budget exhausted.
+    TtlExpired,
+    /// The only link to the next hop is down.
+    LinkDown,
+    /// Random loss on a link.
+    LinkLoss,
+    /// A rate limiter discarded it.
+    RateLimited,
+    /// A router refused to honor the loose source route (§V.A.4: ISPs see
+    /// no benefit in carrying source-routed traffic they are not paid for).
+    SourceRouteRefused,
+    /// Forwarding loop guard tripped.
+    MaxHopsExceeded,
+    /// A congested link's queue cap was exceeded.
+    QueueOverflow,
+}
+
+/// The fate of one packet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryReport {
+    /// Did it arrive at a node holding the destination address?
+    pub delivered: bool,
+    /// Nodes visited, in order, starting with the source.
+    pub path: Vec<NodeId>,
+    /// Accumulated one-way latency.
+    pub latency: SimTime,
+    /// Where and why it died, if it did.
+    pub drop: Option<(NodeId, DropReason)>,
+    /// Whether a link corrupted it en route (delivered but damaged).
+    pub corrupted: bool,
+    /// The traceback stamp the packet carried on arrival (or at drop), if
+    /// any marking router touched it (§II.B; see `crate::traceback`).
+    pub mark: Option<crate::packet::Mark>,
+}
+
+impl DeliveryReport {
+    /// Number of links traversed.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// A complete simulated network.
+#[derive(Debug, Default)]
+pub struct Network {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    adj: Vec<Vec<LinkId>>,
+    fibs: Vec<Fib>,
+    firewalls: BTreeMap<NodeId, Firewall>,
+    qos: BTreeMap<NodeId, QosPolicy>,
+    max_hops: usize,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network { max_hops: 64, ..Default::default() }
+    }
+
+    /// Add a host in `asn`; returns its id.
+    pub fn add_host(&mut self, asn: crate::addr::Asn) -> NodeId {
+        self.push_node(|id| Node::host(id, asn))
+    }
+
+    /// Add a router in `asn`; returns its id.
+    pub fn add_router(&mut self, asn: crate::addr::Asn) -> NodeId {
+        self.push_node(|id| Node::router(id, asn))
+    }
+
+    fn push_node(&mut self, make: impl FnOnce(NodeId) -> Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(make(id));
+        self.adj.push(Vec::new());
+        self.fibs.push(Fib::new());
+        id
+    }
+
+    /// Connect two nodes; returns the link id.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        latency: SimTime,
+        bandwidth_bps: u64,
+    ) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(id, a, b, latency, bandwidth_bps));
+        self.adj[a.index()].push(id);
+        self.adj[b.index()].push(id);
+        id
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Node accessor (mutable).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Link accessor.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Link accessor (mutable) — used to fail links, add faults, set costs.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.index()]
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Link ids incident to a node.
+    pub fn links_of(&self, id: NodeId) -> &[LinkId] {
+        &self.adj[id.index()]
+    }
+
+    /// Neighbors of a node over up links.
+    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        self.adj[id.index()]
+            .iter()
+            .filter_map(|l| {
+                let link = &self.links[l.index()];
+                if link.up {
+                    link.other_end(id)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The up link between two nodes, if any.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<&Link> {
+        self.adj[a.index()]
+            .iter()
+            .map(|l| &self.links[l.index()])
+            .find(|l| l.connects(a, b) && l.up)
+    }
+
+    /// Forwarding table of a node.
+    pub fn fib(&self, id: NodeId) -> &Fib {
+        &self.fibs[id.index()]
+    }
+
+    /// Forwarding table of a node (mutable) — routing protocols write here.
+    pub fn fib_mut(&mut self, id: NodeId) -> &mut Fib {
+        &mut self.fibs[id.index()]
+    }
+
+    /// Install a firewall at a node (replacing any existing one).
+    pub fn set_firewall(&mut self, id: NodeId, fw: Firewall) {
+        self.firewalls.insert(id, fw);
+    }
+
+    /// Remove the firewall at a node.
+    pub fn clear_firewall(&mut self, id: NodeId) {
+        self.firewalls.remove(&id);
+    }
+
+    /// The firewall at a node, if any.
+    pub fn firewall(&self, id: NodeId) -> Option<&Firewall> {
+        self.firewalls.get(&id)
+    }
+
+    /// Install a QoS policy at a node.
+    pub fn set_qos(&mut self, id: NodeId, policy: QosPolicy) {
+        self.qos.insert(id, policy);
+    }
+
+    /// The QoS policy at a node, if any.
+    pub fn qos(&self, id: NodeId) -> Option<&QosPolicy> {
+        self.qos.get(&id)
+    }
+
+    /// Find the node currently bound to an address.
+    pub fn node_for_address(&self, addr: Address) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.has_address(addr)).map(|n| n.id)
+    }
+
+    /// Total FIB entries across all routers — the core-table-size metric
+    /// of experiment E1.
+    pub fn total_fib_entries(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Router)
+            .map(|n| self.fibs[n.id.index()].len())
+            .sum()
+    }
+
+    /// First hop on a shortest path from `from` to `target` over up links,
+    /// by breadth-first search. Deterministic: ties break in adjacency
+    /// (insertion) order. Used for loose-source-route segments, where the
+    /// sender's chosen waypoint overrides provider path selection.
+    pub fn next_hop_toward(&self, from: NodeId, target: NodeId) -> Option<NodeId> {
+        if from == target {
+            return Some(target);
+        }
+        let mut prev: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(from);
+        prev[from.index()] = Some(from);
+        while let Some(n) = queue.pop_front() {
+            for next in self.neighbors(n) {
+                if prev[next.index()].is_none() {
+                    prev[next.index()] = Some(n);
+                    if next == target {
+                        // walk back to find the first hop
+                        let mut hop = target;
+                        while prev[hop.index()] != Some(from) {
+                            hop = prev[hop.index()].expect("bfs chain broken");
+                        }
+                        return Some(hop);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Forward one packet from `from` toward its destination address,
+    /// treating all links as unloaded (absolute time 0). For
+    /// congestion-aware forwarding use [`Network::send_at`].
+    pub fn send(&mut self, from: NodeId, pkt: Packet, rng: &mut SimRng) -> DeliveryReport {
+        self.send_at(from, pkt, SimTime::ZERO, rng)
+    }
+
+    /// Forward one packet starting at absolute time `now`; links with a
+    /// queue cap serialize packets FIFO and drop on overflow.
+    pub fn send_at(
+        &mut self,
+        from: NodeId,
+        mut pkt: Packet,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> DeliveryReport {
+        let mut path = vec![from];
+        let mut latency = SimTime::ZERO;
+        let mut corrupted = false;
+        let mut route = pkt.source_route.clone();
+        let mut current = from;
+        let mut mark: Option<crate::packet::Mark> = None;
+        const MARK_PROBABILITY: f64 = 0.04;
+
+        loop {
+            // Arrived?
+            if self.nodes[current.index()].has_address(pkt.dst) {
+                return DeliveryReport { delivered: true, path, latency, drop: None, corrupted, mark };
+            }
+
+            // Middlebox checks at transit nodes (not at the original sender:
+            // you cannot firewall yourself out of sending).
+            if current != from {
+                if let Some(fw) = self.firewalls.get(&current) {
+                    if fw.evaluate(&pkt) == FirewallAction::Deny {
+                        return DeliveryReport {
+                            delivered: false,
+                            path,
+                            latency,
+                            drop: Some((current, DropReason::FirewallDenied)),
+                            corrupted,
+                            mark,
+                        };
+                    }
+                }
+            }
+
+            // Probabilistic traceback marking (§II.B): a marking router
+            // either stamps fresh or ages an existing stamp.
+            if current != from && self.nodes[current.index()].marks_packets {
+                if rng.chance(MARK_PROBABILITY) {
+                    mark = Some(crate::packet::Mark { node: current, distance: 0 });
+                } else if let Some(m) = &mut mark {
+                    m.distance = m.distance.saturating_add(1);
+                }
+            } else if current != from {
+                if let Some(m) = &mut mark {
+                    m.distance = m.distance.saturating_add(1);
+                }
+            }
+
+            // Hop budget.
+            if pkt.ttl == 0 {
+                return DeliveryReport {
+                    delivered: false,
+                    path,
+                    latency,
+                    drop: Some((current, DropReason::TtlExpired)),
+                    corrupted,
+                    mark,
+                };
+            }
+            pkt.ttl -= 1;
+            if path.len() > self.max_hops {
+                return DeliveryReport {
+                    delivered: false,
+                    path,
+                    latency,
+                    drop: Some((current, DropReason::MaxHopsExceeded)),
+                    corrupted,
+                    mark,
+                };
+            }
+
+            // A transit router that refuses loose source routes drops any
+            // packet still carrying one — processing the option at all is
+            // the service it declines to give away (§V.A.4).
+            if !route.is_empty()
+                && current != from
+                && !self.nodes[current.index()].honors_source_routes
+            {
+                return DeliveryReport {
+                    delivered: false,
+                    path,
+                    latency,
+                    drop: Some((current, DropReason::SourceRouteRefused)),
+                    corrupted,
+                    mark,
+                };
+            }
+
+            // Pop a waypoint we are standing on.
+            while route.first() == Some(&current) {
+                route.remove(0);
+            }
+
+            // Pick the next hop: loose source route first, then the FIB.
+            let next = if let Some(&waypoint) = route.first() {
+                // Route toward the waypoint over the underlying topology: a
+                // loose source route asks the network to *get to* each
+                // waypoint, overriding provider path selection in between.
+                match self.next_hop_toward(current, waypoint) {
+                    Some(n) => n,
+                    None => {
+                        return DeliveryReport {
+                            delivered: false,
+                            path,
+                            latency,
+                            drop: Some((current, DropReason::NoRoute)),
+                            corrupted,
+                            mark,
+                        }
+                    }
+                }
+            } else {
+                match self.fibs[current.index()].lookup(pkt.dst.value) {
+                    Some(e) => e.next_hop,
+                    None => {
+                        return DeliveryReport {
+                            delivered: false,
+                            path,
+                            latency,
+                            drop: Some((current, DropReason::NoRoute)),
+                            corrupted,
+                            mark,
+                        }
+                    }
+                }
+            };
+
+            // Traverse the link.
+            let Some(link_id) = self
+                .link_between(current, next)
+                .map(|l| l.id)
+            else {
+                return DeliveryReport {
+                    delivered: false,
+                    path,
+                    latency,
+                    drop: Some((current, DropReason::LinkDown)),
+                    corrupted,
+                    mark,
+                };
+            };
+            let size = pkt.size();
+            let qos_factor = self.qos.get(&current).map(|q| q.delay_factor(&pkt)).unwrap_or(1.0);
+            let link = &mut self.links[link_id.index()];
+            match link.faults.apply(now.saturating_add(latency), rng) {
+                FaultOutcome::Pass => {}
+                FaultOutcome::Corrupt => corrupted = true,
+                FaultOutcome::Drop => {
+                    return DeliveryReport {
+                        delivered: false,
+                        path,
+                        latency,
+                        drop: Some((current, DropReason::LinkLoss)),
+                        corrupted,
+                        mark,
+                    }
+                }
+                FaultOutcome::RateLimited => {
+                    return DeliveryReport {
+                        delivered: false,
+                        path,
+                        latency,
+                        drop: Some((current, DropReason::RateLimited)),
+                        corrupted,
+                        mark,
+                    }
+                }
+            }
+            let delay = match link.enqueue_at(now.saturating_add(latency), size) {
+                crate::link::QueueOutcome::Sent { delay, .. } => delay,
+                crate::link::QueueOutcome::Overflow => {
+                    return DeliveryReport {
+                        delivered: false,
+                        path,
+                        latency,
+                        drop: Some((current, DropReason::QueueOverflow)),
+                        corrupted,
+                        mark,
+                    }
+                }
+            };
+            let scaled = SimTime::from_micros((delay.as_micros() as f64 * qos_factor) as u64);
+            latency = latency.saturating_add(scaled);
+
+            current = next;
+            path.push(current);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, AddressOrigin, Asn, Prefix};
+    use crate::packet::{ports, Protocol};
+    use tussle_sim::FaultInjector;
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), 1, AddressOrigin::ProviderIndependent)
+    }
+
+    /// h0 -- r1 -- r2 -- h3, addresses 0x0a.., 0x0d.. on the hosts.
+    fn line() -> (Network, NodeId, NodeId, NodeId, NodeId, Address, Address) {
+        let mut net = Network::new();
+        let h0 = net.add_host(Asn(1));
+        let r1 = net.add_router(Asn(1));
+        let r2 = net.add_router(Asn(2));
+        let h3 = net.add_host(Asn(2));
+        net.connect(h0, r1, SimTime::from_millis(1), 1_000_000_000);
+        net.connect(r1, r2, SimTime::from_millis(10), 1_000_000_000);
+        net.connect(r2, h3, SimTime::from_millis(1), 1_000_000_000);
+        let a0 = addr(0x0a010000);
+        let a3 = addr(0x0d010000);
+        net.node_mut(h0).bind(a0);
+        net.node_mut(h3).bind(a3);
+        // static routes
+        net.fib_mut(h0).install(Prefix::DEFAULT, r1, 0);
+        net.fib_mut(r1).install(Prefix::new(0x0d010000, 16), r2, 0);
+        net.fib_mut(r2).install(Prefix::new(0x0d010000, 16), h3, 0);
+        net.fib_mut(r2).install(Prefix::new(0x0a010000, 16), r1, 0);
+        net.fib_mut(r1).install(Prefix::new(0x0a010000, 16), h0, 0);
+        (net, h0, r1, r2, h3, a0, a3)
+    }
+
+    fn pkt(src: Address, dst: Address) -> Packet {
+        Packet::new(src, dst, Protocol::Tcp, 1000, ports::HTTP)
+    }
+
+    #[test]
+    fn delivery_along_static_routes() {
+        let (mut net, h0, r1, r2, h3, a0, a3) = line();
+        let mut rng = SimRng::seed_from_u64(1);
+        let rep = net.send(h0, pkt(a0, a3), &mut rng);
+        assert!(rep.delivered);
+        assert_eq!(rep.path, vec![h0, r1, r2, h3]);
+        assert_eq!(rep.hops(), 3);
+        assert!(rep.latency >= SimTime::from_millis(12));
+        assert!(!rep.corrupted);
+    }
+
+    #[test]
+    fn no_route_is_reported_at_the_right_node() {
+        let (mut net, h0, _r1, r2, _h3, a0, _a3) = line();
+        let mut rng = SimRng::seed_from_u64(1);
+        let rep = net.send(h0, pkt(a0, addr(0x0e000000)), &mut rng);
+        assert!(!rep.delivered);
+        // h0's default route sends it to r1; r1 has no route for 0x0e.
+        assert_eq!(rep.drop.unwrap().1, DropReason::NoRoute);
+        let _ = r2;
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let (mut net, h0, _, _, _, a0, a3) = line();
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut p = pkt(a0, a3);
+        p.ttl = 1;
+        let rep = net.send(h0, p, &mut rng);
+        assert!(!rep.delivered);
+        assert_eq!(rep.drop.unwrap().1, DropReason::TtlExpired);
+    }
+
+    #[test]
+    fn forwarding_loop_is_caught() {
+        let mut net = Network::new();
+        let a = net.add_router(Asn(1));
+        let b = net.add_router(Asn(1));
+        net.connect(a, b, SimTime::from_millis(1), 1_000_000);
+        let dst = addr(0x0f000000);
+        net.fib_mut(a).install(Prefix::DEFAULT, b, 0);
+        net.fib_mut(b).install(Prefix::DEFAULT, a, 0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut p = pkt(addr(0x0a000000), dst);
+        p.ttl = 255;
+        let rep = net.send(a, p, &mut rng);
+        assert!(!rep.delivered);
+        // TTL (32 default overridden to 255) exceeds max_hops, so the loop
+        // guard fires first.
+        assert_eq!(rep.drop.unwrap().1, DropReason::MaxHopsExceeded);
+    }
+
+    #[test]
+    fn firewall_on_path_drops() {
+        let (mut net, h0, r1, _r2, _h3, a0, a3) = line();
+        net.set_firewall(r1, Firewall::port_allowlist(vec![ports::SMTP], "isp"));
+        let mut rng = SimRng::seed_from_u64(1);
+        let rep = net.send(h0, pkt(a0, a3), &mut rng);
+        assert!(!rep.delivered);
+        assert_eq!(rep.drop, Some((r1, DropReason::FirewallDenied)));
+    }
+
+    #[test]
+    fn sender_own_firewall_does_not_block_egress() {
+        let (mut net, h0, _, _, _, a0, a3) = line();
+        net.set_firewall(h0, Firewall::port_allowlist(vec![], "self"));
+        let mut rng = SimRng::seed_from_u64(1);
+        let rep = net.send(h0, pkt(a0, a3), &mut rng);
+        assert!(rep.delivered);
+    }
+
+    #[test]
+    fn link_down_blocks() {
+        let (mut net, h0, _r1, _r2, _h3, a0, a3) = line();
+        let lid = net.links()[1].id;
+        net.link_mut(lid).up = false;
+        let mut rng = SimRng::seed_from_u64(1);
+        let rep = net.send(h0, pkt(a0, a3), &mut rng);
+        assert!(!rep.delivered);
+        assert_eq!(rep.drop.unwrap().1, DropReason::LinkDown);
+    }
+
+    #[test]
+    fn lossy_link_drops_sometimes() {
+        let (mut net, h0, _, _, _, a0, a3) = line();
+        let lid = net.links()[1].id;
+        net.link_mut(lid).faults = FaultInjector::lossy(0.5, 0.0);
+        let mut rng = SimRng::seed_from_u64(7);
+        let outcomes: Vec<bool> =
+            (0..100).map(|_| net.send(h0, pkt(a0, a3), &mut rng).delivered).collect();
+        let delivered = outcomes.iter().filter(|d| **d).count();
+        assert!(delivered > 20 && delivered < 80, "delivered={delivered}");
+    }
+
+    #[test]
+    fn corruption_is_flagged_but_delivered() {
+        let (mut net, h0, _, _, _, a0, a3) = line();
+        let lid = net.links()[0].id;
+        net.link_mut(lid).faults = FaultInjector::lossy(0.0, 1.0);
+        let mut rng = SimRng::seed_from_u64(7);
+        let rep = net.send(h0, pkt(a0, a3), &mut rng);
+        assert!(rep.delivered);
+        assert!(rep.corrupted);
+    }
+
+    #[test]
+    fn source_route_takes_the_scenic_path() {
+        // diamond: h0 - r1 - r3 - h4 and h0 - r1 - r2 - r3 (waypoint r2)
+        let mut net = Network::new();
+        let h0 = net.add_host(Asn(1));
+        let r1 = net.add_router(Asn(1));
+        let r2 = net.add_router(Asn(2));
+        let r3 = net.add_router(Asn(3));
+        let h4 = net.add_host(Asn(3));
+        for (a, b) in [(h0, r1), (r1, r2), (r2, r3), (r1, r3), (r3, h4)] {
+            net.connect(a, b, SimTime::from_millis(1), 1_000_000_000);
+        }
+        let a0 = addr(0x0a010000);
+        let a4 = addr(0x0d010000);
+        net.node_mut(h0).bind(a0);
+        net.node_mut(h4).bind(a4);
+        let dstp = Prefix::new(0x0d010000, 16);
+        net.fib_mut(h0).install(Prefix::DEFAULT, r1, 0);
+        net.fib_mut(r1).install(dstp, r3, 0);
+        net.fib_mut(r2).install(dstp, r3, 0);
+        net.fib_mut(r3).install(dstp, h4, 0);
+        let mut rng = SimRng::seed_from_u64(1);
+
+        let direct = net.send(h0, pkt(a0, a4), &mut rng);
+        assert_eq!(direct.path, vec![h0, r1, r3, h4]);
+
+        let via_r2 = net.send(h0, pkt(a0, a4).with_source_route(vec![r2]), &mut rng);
+        assert!(via_r2.delivered);
+        assert_eq!(via_r2.path, vec![h0, r1, r2, r3, h4]);
+    }
+
+    #[test]
+    fn unpaid_source_routes_are_refused() {
+        let (mut net, h0, r1, r2, _h3, a0, a3) = line();
+        net.node_mut(r1).honors_source_routes = false;
+        let mut rng = SimRng::seed_from_u64(1);
+        let rep = net.send(h0, pkt(a0, a3).with_source_route(vec![r2]), &mut rng);
+        assert!(!rep.delivered);
+        assert_eq!(rep.drop, Some((r1, DropReason::SourceRouteRefused)));
+        // plain traffic still flows
+        let rep2 = net.send(h0, pkt(a0, a3), &mut rng);
+        assert!(rep2.delivered);
+    }
+
+    #[test]
+    fn qos_policy_scales_latency() {
+        let (mut net, h0, r1, _r2, _h3, a0, a3) = line();
+        net.set_qos(r1, QosPolicy::tos_based(4, 0.5));
+        let mut rng = SimRng::seed_from_u64(1);
+        let slow = net.send(h0, pkt(a0, a3), &mut rng).latency;
+        let fast = net.send(h0, pkt(a0, a3).with_tos(5), &mut rng).latency;
+        assert!(fast < slow, "premium {fast} should beat best-effort {slow}");
+    }
+
+    #[test]
+    fn total_fib_entries_counts_routers_only() {
+        let (net, _, _, _, _, _, _) = line();
+        // r1 has 2 entries, r2 has 2; hosts don't count.
+        assert_eq!(net.total_fib_entries(), 4);
+    }
+
+    #[test]
+    fn node_for_address() {
+        let (net, h0, _, _, _, a0, _) = line();
+        assert_eq!(net.node_for_address(a0), Some(h0));
+        assert_eq!(net.node_for_address(addr(0x77000000)), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! Nodes: hosts, routers and middlebox anchors.
+
+use crate::addr::{Address, Asn};
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in a [`crate::network::Network`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Usable as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end system: sources and sinks packets.
+    Host,
+    /// A packet forwarder.
+    Router,
+}
+
+/// A network node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier (index into the network's node table).
+    pub id: NodeId,
+    /// Host or router.
+    pub kind: NodeKind,
+    /// AS this node belongs to.
+    pub asn: Asn,
+    /// Addresses currently bound to the node. A multihomed host has
+    /// several (§V.A.1: "have and use multiple addresses").
+    pub addresses: Vec<Address>,
+    /// Does this router honor loose source routes? ISPs that receive no
+    /// compensation for source-routed transit turn this off (§V.A.4).
+    pub honors_source_routes: bool,
+    /// Does this router stamp packets for IP traceback (§II.B, Savage)?
+    pub marks_packets: bool,
+}
+
+impl Node {
+    /// A new host in an AS with no addresses yet.
+    pub fn host(id: NodeId, asn: Asn) -> Self {
+        Node {
+            id,
+            kind: NodeKind::Host,
+            asn,
+            addresses: Vec::new(),
+            honors_source_routes: true,
+            marks_packets: false,
+        }
+    }
+
+    /// A new router in an AS.
+    pub fn router(id: NodeId, asn: Asn) -> Self {
+        Node {
+            id,
+            kind: NodeKind::Router,
+            asn,
+            addresses: Vec::new(),
+            honors_source_routes: true,
+            marks_packets: false,
+        }
+    }
+
+    /// Bind an address to the node.
+    pub fn bind(&mut self, addr: Address) {
+        if !self.addresses.contains(&addr) {
+            self.addresses.push(addr);
+        }
+    }
+
+    /// Remove an address (renumbering away from a provider).
+    pub fn unbind(&mut self, addr: Address) {
+        self.addresses.retain(|a| *a != addr);
+    }
+
+    /// Does this node answer to `addr`?
+    pub fn has_address(&self, addr: Address) -> bool {
+        self.addresses.contains(&addr)
+    }
+
+    /// Primary address, if bound.
+    pub fn primary_address(&self) -> Option<Address> {
+        self.addresses.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{AddressOrigin, Prefix};
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), 1, AddressOrigin::ProviderIndependent)
+    }
+
+    #[test]
+    fn bind_and_unbind() {
+        let mut n = Node::host(NodeId(0), Asn(1));
+        assert_eq!(n.primary_address(), None);
+        let a = addr(0x0a000000);
+        let b = addr(0x0b000000);
+        n.bind(a);
+        n.bind(b);
+        n.bind(a); // duplicate ignored
+        assert_eq!(n.addresses.len(), 2);
+        assert!(n.has_address(a));
+        assert_eq!(n.primary_address(), Some(a));
+        n.unbind(a);
+        assert!(!n.has_address(a));
+        assert_eq!(n.primary_address(), Some(b));
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Node::host(NodeId(1), Asn(2)).kind, NodeKind::Host);
+        assert_eq!(Node::router(NodeId(1), Asn(2)).kind, NodeKind::Router);
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

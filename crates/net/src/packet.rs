@@ -1,0 +1,245 @@
+//! The self-describing datagram.
+//!
+//! The header carries exactly the fields the paper's tussles hinge on:
+//! ToS bits (explicit QoS selection, decoupled from the application —
+//! §IV.A), ports (what middleboxes *peek* at), an optional loose source
+//! route (user-controlled provider selection, §V.A.4), and an encryption
+//! envelope ("peeking is irresistible... the ultimate defense of the
+//! end-to-end mode is end-to-end encryption", §VI.A). Encrypting a packet
+//! hides its ports and payload from intermediaries but leaves the
+//! *fact* of encryption visible — unless steganography is used, the next
+//! rung of the escalation ladder (§VI.A footnote 17).
+
+use crate::addr::Address;
+use crate::node::NodeId;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Transport protocol selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Reliable stream (port-addressed).
+    Tcp,
+    /// Datagram (port-addressed).
+    Udp,
+    /// Control/diagnostic traffic.
+    Icmp,
+    /// An encapsulating tunnel; the inner packet rides in the payload.
+    Tunnel,
+}
+
+/// A well-known port table, as small as the experiments need.
+pub mod ports {
+    /// SMTP mail submission.
+    pub const SMTP: u16 = 25;
+    /// HTTP web traffic.
+    pub const HTTP: u16 = 80;
+    /// HTTPS web traffic.
+    pub const HTTPS: u16 = 443;
+    /// VoIP media (the application ISPs want to vertically integrate).
+    pub const VOIP: u16 = 5060;
+    /// Peer-to-peer file exchange (the application rights-holders fight).
+    pub const P2P: u16 = 6881;
+    /// A "novel application" port — something a firewall has never seen.
+    pub const NOVEL: u16 = 49152;
+}
+
+/// A traceback stamp: which router marked last, and how many hops ago.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mark {
+    /// The stamping router.
+    pub node: crate::node::NodeId,
+    /// Hops traversed since the stamp.
+    pub distance: u8,
+}
+
+/// A datagram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Source address.
+    pub src: Address,
+    /// Destination address.
+    pub dst: Address,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port (the service selector middleboxes key on).
+    pub dst_port: u16,
+    /// Type-of-service bits: explicit QoS request, independent of ports.
+    pub tos: u8,
+    /// Remaining hop budget.
+    pub ttl: u8,
+    /// Transport protocol.
+    pub proto: Protocol,
+    /// Optional loose source route: waypoint nodes the sender asks the
+    /// network to visit, in order.
+    pub source_route: Vec<NodeId>,
+    /// End-to-end encryption: hides ports and payload from intermediaries.
+    pub encrypted: bool,
+    /// Steganography: hides even the *fact* of encryption (traffic looks
+    /// like innocuous HTTP).
+    pub stego: bool,
+    /// Identity tag presented by the sender, if any. `None` models an
+    /// anonymous sender; middleboxes that mediate on trust read this.
+    pub identity: Option<u64>,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Default TTL for new packets.
+    pub const DEFAULT_TTL: u8 = 32;
+
+    /// A plain datagram between two addresses.
+    pub fn new(src: Address, dst: Address, proto: Protocol, src_port: u16, dst_port: u16) -> Self {
+        Packet {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            tos: 0,
+            ttl: Self::DEFAULT_TTL,
+            proto,
+            source_route: Vec::new(),
+            encrypted: false,
+            stego: false,
+            identity: None,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Builder: set ToS bits.
+    pub fn with_tos(mut self, tos: u8) -> Self {
+        self.tos = tos;
+        self
+    }
+
+    /// Builder: attach a loose source route.
+    pub fn with_source_route(mut self, waypoints: Vec<NodeId>) -> Self {
+        self.source_route = waypoints;
+        self
+    }
+
+    /// Builder: encrypt end-to-end.
+    pub fn encrypt(mut self) -> Self {
+        self.encrypted = true;
+        self
+    }
+
+    /// Builder: apply steganography (implies encryption; observers see an
+    /// innocuous port).
+    pub fn steganographic(mut self) -> Self {
+        self.encrypted = true;
+        self.stego = true;
+        self
+    }
+
+    /// Builder: present an identity.
+    pub fn with_identity(mut self, id: u64) -> Self {
+        self.identity = Some(id);
+        self
+    }
+
+    /// Builder: attach a payload.
+    pub fn with_payload(mut self, payload: Bytes) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Total size in bytes (a fixed header cost plus payload).
+    pub fn size(&self) -> usize {
+        40 + self.payload.len()
+    }
+
+    /// The destination port *as seen by an intermediary*.
+    ///
+    /// This is the "peeking" interface. Cleartext packets expose the real
+    /// port. Encrypted packets expose nothing. Steganographic packets
+    /// actively lie: they present as ordinary web traffic.
+    pub fn visible_dst_port(&self) -> Option<u16> {
+        if self.stego {
+            Some(ports::HTTP)
+        } else if self.encrypted {
+            None
+        } else {
+            Some(self.dst_port)
+        }
+    }
+
+    /// Whether an intermediary can tell this packet is encrypted.
+    ///
+    /// Plain encryption is *visible* opacity — the observer knows it is
+    /// being denied a look, which is what lets an ISP block or surcharge
+    /// encrypted traffic. Steganography removes even that signal.
+    pub fn visibly_encrypted(&self) -> bool {
+        self.encrypted && !self.stego
+    }
+
+    /// The ToS bits as seen by an intermediary. Always visible — that is
+    /// the point of putting QoS selection in an explicit header field
+    /// rather than inferring it from (hideable) ports.
+    pub fn visible_tos(&self) -> u8 {
+        self.tos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, AddressOrigin, Prefix};
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), v & 0xffff, AddressOrigin::ProviderIndependent)
+    }
+
+    fn pkt() -> Packet {
+        Packet::new(addr(0x0a010000), addr(0x0b020000), Protocol::Tcp, 1234, ports::VOIP)
+    }
+
+    #[test]
+    fn cleartext_exposes_port() {
+        let p = pkt();
+        assert_eq!(p.visible_dst_port(), Some(ports::VOIP));
+        assert!(!p.visibly_encrypted());
+    }
+
+    #[test]
+    fn encryption_hides_port_but_is_visible() {
+        let p = pkt().encrypt();
+        assert_eq!(p.visible_dst_port(), None);
+        assert!(p.visibly_encrypted());
+    }
+
+    #[test]
+    fn steganography_lies_about_port_and_hides_encryption() {
+        let p = pkt().steganographic();
+        assert_eq!(p.visible_dst_port(), Some(ports::HTTP));
+        assert!(!p.visibly_encrypted());
+        assert!(p.encrypted);
+    }
+
+    #[test]
+    fn tos_always_visible() {
+        let p = pkt().with_tos(3).steganographic();
+        assert_eq!(p.visible_tos(), 3);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = pkt()
+            .with_tos(1)
+            .with_identity(77)
+            .with_payload(Bytes::from_static(b"hello"));
+        assert_eq!(p.tos, 1);
+        assert_eq!(p.identity, Some(77));
+        assert_eq!(p.size(), 45);
+    }
+
+    #[test]
+    fn default_packet_is_anonymous_cleartext() {
+        let p = pkt();
+        assert_eq!(p.identity, None);
+        assert!(!p.encrypted);
+        assert_eq!(p.ttl, Packet::DEFAULT_TTL);
+        assert!(p.source_route.is_empty());
+    }
+}

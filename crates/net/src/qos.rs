@@ -1,0 +1,152 @@
+//! Quality-of-service classification.
+//!
+//! §IV.A holds up the ToS-bit design as a worked example of modularizing
+//! along tussle boundaries: keying service quality on *explicit* bits
+//! "disentangles what application is running from what service is
+//! desired". The alternative the paper warns against — inferring service
+//! from well-known ports — couples the QoS tussle to the
+//! application-control tussle, so that encryption (deployed for a
+//! different fight) collaterally destroys QoS. Both classifiers are
+//! implemented here; experiment E13 measures the collateral damage.
+
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+
+/// The service class a packet is assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServiceClass {
+    /// Ordinary best-effort forwarding.
+    BestEffort,
+    /// Low-latency premium treatment.
+    Premium,
+}
+
+/// What the classifier keys on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QosKey {
+    /// Explicit ToS bits at or above a threshold get premium — the design
+    /// the paper endorses.
+    TosBits {
+        /// Minimum ToS value that earns premium treatment.
+        premium_threshold: u8,
+    },
+    /// Specific visible destination ports get premium — the entangled
+    /// design.
+    WellKnownPorts {
+        /// Ports considered premium applications.
+        premium_ports: Vec<u16>,
+    },
+}
+
+/// A QoS policy installed at a provider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosPolicy {
+    /// Classification key.
+    pub key: QosKey,
+    /// Latency multiplier for premium traffic relative to best effort
+    /// (e.g. 0.5 = half the queueing delay). Must be in `(0, 1]`.
+    pub premium_speedup: f64,
+}
+
+impl QosPolicy {
+    /// A ToS-keyed policy.
+    pub fn tos_based(premium_threshold: u8, premium_speedup: f64) -> Self {
+        assert!(premium_speedup > 0.0 && premium_speedup <= 1.0);
+        QosPolicy { key: QosKey::TosBits { premium_threshold }, premium_speedup }
+    }
+
+    /// A port-keyed policy.
+    pub fn port_based(premium_ports: Vec<u16>, premium_speedup: f64) -> Self {
+        assert!(premium_speedup > 0.0 && premium_speedup <= 1.0);
+        QosPolicy { key: QosKey::WellKnownPorts { premium_ports }, premium_speedup }
+    }
+
+    /// Classify a packet as seen by the provider.
+    pub fn classify(&self, pkt: &Packet) -> ServiceClass {
+        match &self.key {
+            QosKey::TosBits { premium_threshold } => {
+                if pkt.visible_tos() >= *premium_threshold {
+                    ServiceClass::Premium
+                } else {
+                    ServiceClass::BestEffort
+                }
+            }
+            QosKey::WellKnownPorts { premium_ports } => match pkt.visible_dst_port() {
+                Some(p) if premium_ports.contains(&p) => ServiceClass::Premium,
+                _ => ServiceClass::BestEffort,
+            },
+        }
+    }
+
+    /// The delay multiplier for a packet under this policy.
+    pub fn delay_factor(&self, pkt: &Packet) -> f64 {
+        match self.classify(pkt) {
+            ServiceClass::Premium => self.premium_speedup,
+            ServiceClass::BestEffort => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, AddressOrigin, Prefix};
+    use crate::packet::{ports, Protocol};
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), 1, AddressOrigin::ProviderIndependent)
+    }
+
+    fn voip() -> Packet {
+        Packet::new(addr(1), addr(2), Protocol::Udp, 9000, ports::VOIP)
+    }
+
+    #[test]
+    fn tos_policy_reads_explicit_bits() {
+        let q = QosPolicy::tos_based(4, 0.5);
+        assert_eq!(q.classify(&voip()), ServiceClass::BestEffort);
+        assert_eq!(q.classify(&voip().with_tos(4)), ServiceClass::Premium);
+        assert_eq!(q.delay_factor(&voip().with_tos(7)), 0.5);
+    }
+
+    #[test]
+    fn tos_policy_survives_encryption() {
+        // The paper's modularity claim: the QoS tussle is isolated from the
+        // privacy tussle, so encrypting does not lose you premium service.
+        let q = QosPolicy::tos_based(4, 0.5);
+        assert_eq!(q.classify(&voip().with_tos(5).encrypt()), ServiceClass::Premium);
+        assert_eq!(q.classify(&voip().with_tos(5).steganographic()), ServiceClass::Premium);
+    }
+
+    #[test]
+    fn port_policy_reads_visible_port() {
+        let q = QosPolicy::port_based(vec![ports::VOIP], 0.5);
+        assert_eq!(q.classify(&voip()), ServiceClass::Premium);
+        let web = Packet::new(addr(1), addr(2), Protocol::Tcp, 1, ports::HTTP);
+        assert_eq!(q.classify(&web), ServiceClass::BestEffort);
+    }
+
+    #[test]
+    fn port_policy_collapses_under_encryption() {
+        // The entangled design: encrypt for privacy, lose your QoS.
+        let q = QosPolicy::port_based(vec![ports::VOIP], 0.5);
+        assert_eq!(q.classify(&voip().encrypt()), ServiceClass::BestEffort);
+        assert_eq!(q.delay_factor(&voip().encrypt()), 1.0);
+    }
+
+    #[test]
+    fn port_policy_invites_gaming() {
+        // ...and invites the opposite distortion: any application can buy
+        // premium treatment by masquerading on the premium port.
+        let q = QosPolicy::port_based(vec![ports::HTTP], 0.5);
+        let p2p_disguised = Packet::new(addr(1), addr(2), Protocol::Tcp, 1, ports::P2P)
+            .steganographic(); // presents as HTTP
+        assert_eq!(q.classify(&p2p_disguised), ServiceClass::Premium);
+    }
+
+    #[test]
+    #[should_panic]
+    fn speedup_must_be_positive() {
+        QosPolicy::tos_based(1, 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Forwarding information base with longest-prefix match.
+//!
+//! The FIB is where the PA-vs-PI addressing tussle becomes measurable:
+//! every provider-independent customer block is one more entry in *every*
+//! core FIB ("adds to the size of the forwarding tables in the core",
+//! §V.A.1). Experiment E1 reports `Fib::len` across addressing modes.
+
+use crate::addr::Prefix;
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One forwarding entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FibEntry {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Next hop node.
+    pub next_hop: NodeId,
+    /// Tie-break metric; lower wins among equal-length prefixes.
+    pub metric: u32,
+}
+
+/// A forwarding table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Fib {
+    entries: Vec<FibEntry>,
+}
+
+impl Fib {
+    /// Empty table.
+    pub fn new() -> Self {
+        Fib::default()
+    }
+
+    /// Install or replace a route. Replaces an existing entry for exactly
+    /// the same prefix when the new metric is no worse.
+    pub fn install(&mut self, prefix: Prefix, next_hop: NodeId, metric: u32) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.prefix == prefix) {
+            if metric <= e.metric {
+                e.next_hop = next_hop;
+                e.metric = metric;
+            }
+        } else {
+            self.entries.push(FibEntry { prefix, next_hop, metric });
+        }
+    }
+
+    /// Remove all routes for a prefix. Returns how many entries were removed.
+    pub fn withdraw(&mut self, prefix: Prefix) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.prefix != prefix);
+        before - self.entries.len()
+    }
+
+    /// Remove every route via a next hop (e.g. a failed neighbor).
+    pub fn withdraw_via(&mut self, next_hop: NodeId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.next_hop != next_hop);
+        before - self.entries.len()
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: u32) -> Option<&FibEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.prefix.contains(dst))
+            .max_by(|x, y| {
+                x.prefix
+                    .len()
+                    .cmp(&y.prefix.len())
+                    .then(y.metric.cmp(&x.metric)) // lower metric preferred
+            })
+    }
+
+    /// Number of entries — the table-size pressure metric.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries.
+    pub fn entries(&self) -> impl Iterator<Item = &FibEntry> {
+        self.entries.iter()
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u32, len: u8) -> Prefix {
+        Prefix::new(bits, len)
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut fib = Fib::new();
+        fib.install(p(0x0a000000, 8), NodeId(1), 10);
+        fib.install(p(0x0a010000, 16), NodeId(2), 10);
+        fib.install(Prefix::DEFAULT, NodeId(9), 10);
+        assert_eq!(fib.lookup(0x0a010203).unwrap().next_hop, NodeId(2));
+        assert_eq!(fib.lookup(0x0a990203).unwrap().next_hop, NodeId(1));
+        assert_eq!(fib.lookup(0x42000000).unwrap().next_hop, NodeId(9));
+    }
+
+    #[test]
+    fn no_default_no_match() {
+        let mut fib = Fib::new();
+        fib.install(p(0x0a000000, 8), NodeId(1), 0);
+        assert!(fib.lookup(0x0b000000).is_none());
+    }
+
+    #[test]
+    fn equal_length_prefers_lower_metric() {
+        let mut fib = Fib::new();
+        fib.install(p(0x0a000000, 8), NodeId(1), 20);
+        // better metric replaces in place
+        fib.install(p(0x0a000000, 8), NodeId(2), 5);
+        assert_eq!(fib.lookup(0x0a000001).unwrap().next_hop, NodeId(2));
+        // worse metric does not
+        fib.install(p(0x0a000000, 8), NodeId(3), 50);
+        assert_eq!(fib.lookup(0x0a000001).unwrap().next_hop, NodeId(2));
+        assert_eq!(fib.len(), 1);
+    }
+
+    #[test]
+    fn withdraw_prefix_and_via() {
+        let mut fib = Fib::new();
+        fib.install(p(0x0a000000, 8), NodeId(1), 0);
+        fib.install(p(0x0b000000, 8), NodeId(1), 0);
+        fib.install(p(0x0c000000, 8), NodeId(2), 0);
+        assert_eq!(fib.withdraw(p(0x0a000000, 8)), 1);
+        assert_eq!(fib.len(), 2);
+        assert_eq!(fib.withdraw_via(NodeId(1)), 1);
+        assert_eq!(fib.len(), 1);
+        assert!(fib.lookup(0x0c000001).is_some());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut fib = Fib::new();
+        fib.install(Prefix::DEFAULT, NodeId(1), 0);
+        assert!(!fib.is_empty());
+        fib.clear();
+        assert!(fib.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! IP traceback by probabilistic packet marking.
+//!
+//! §II.B cites Savage's "Protocol Design in an Uncooperative Internet" and
+//! the IP-traceback papers as the canonical "build technical systems that
+//! are more resistant" response to tussle: when senders spoof their source
+//! addresses (a DoS flood), the *path* can still be reconstructed if
+//! routers probabilistically stamp packets with their identity and a hop
+//! count. Victims aggregate stamps across many packets and sort by
+//! distance.
+//!
+//! Marking happens in [`crate::network::Network::send_at`] for nodes with
+//! `marks_packets` set; this module is the victim-side reconstruction.
+
+use crate::node::NodeId;
+use crate::packet::Mark;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated evidence about one marking router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterEvidence {
+    /// The router that stamped.
+    pub node: NodeId,
+    /// Stamps observed.
+    pub samples: u64,
+    /// Mean distance (hops from the stamp to the victim).
+    pub mean_distance: f64,
+}
+
+/// Victim-side collector.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TracebackCollector {
+    stamps: BTreeMap<NodeId, (u64, u64)>, // node -> (count, distance sum)
+    /// Packets observed in total (marked or not).
+    pub packets_seen: u64,
+}
+
+impl TracebackCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        TracebackCollector::default()
+    }
+
+    /// Record one received packet's mark (if any).
+    pub fn observe(&mut self, mark: &Option<Mark>) {
+        self.packets_seen += 1;
+        if let Some(m) = mark {
+            let e = self.stamps.entry(m.node).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += m.distance as u64;
+        }
+    }
+
+    /// Evidence per router, sorted farthest-first (the end nearest the
+    /// attacker comes first — the reconstructed attack path).
+    pub fn reconstruct_path(&self) -> Vec<RouterEvidence> {
+        let mut out: Vec<RouterEvidence> = self
+            .stamps
+            .iter()
+            .map(|(node, (count, dist_sum))| RouterEvidence {
+                node: *node,
+                samples: *count,
+                mean_distance: *dist_sum as f64 / *count as f64,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.mean_distance
+                .partial_cmp(&a.mean_distance)
+                .expect("distances are finite")
+                .then(a.node.0.cmp(&b.node.0))
+        });
+        out
+    }
+
+    /// The router nearest the traffic source, if enough evidence exists
+    /// (`min_samples` stamps from it).
+    pub fn nearest_to_attacker(&self, min_samples: u64) -> Option<NodeId> {
+        self.reconstruct_path()
+            .into_iter()
+            .find(|e| e.samples >= min_samples)
+            .map(|e| e.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, AddressOrigin, Asn, Prefix};
+    use crate::network::Network;
+    use crate::packet::{ports, Packet, Protocol};
+    use tussle_sim::{SimRng, SimTime};
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), 1, AddressOrigin::ProviderIndependent)
+    }
+
+    /// attacker -- r1 -- r2 -- r3 -- victim, marking on all routers.
+    fn world() -> (Network, crate::node::NodeId, Packet, Vec<crate::node::NodeId>) {
+        let mut net = Network::new();
+        let attacker = net.add_host(Asn(1));
+        let r1 = net.add_router(Asn(2));
+        let r2 = net.add_router(Asn(3));
+        let r3 = net.add_router(Asn(4));
+        let victim = net.add_host(Asn(5));
+        for (a, b) in [(attacker, r1), (r1, r2), (r2, r3), (r3, victim)] {
+            net.connect(a, b, SimTime::from_millis(1), 1_000_000_000);
+        }
+        let spoofed = addr(0xdead0000); // the attacker lies about its source
+        let vaddr = addr(0x0b000000);
+        net.node_mut(victim).bind(vaddr);
+        let vp = Prefix::new(0x0b000000, 16);
+        net.fib_mut(attacker).install(Prefix::DEFAULT, r1, 0);
+        net.fib_mut(r1).install(vp, r2, 0);
+        net.fib_mut(r2).install(vp, r3, 0);
+        net.fib_mut(r3).install(vp, victim, 0);
+        for r in [r1, r2, r3] {
+            net.node_mut(r).marks_packets = true;
+        }
+        let flood = Packet::new(spoofed, vaddr, Protocol::Udp, 666, ports::HTTP);
+        (net, attacker, flood, vec![r1, r2, r3])
+    }
+
+    #[test]
+    fn reconstruction_orders_routers_by_distance() {
+        let (mut net, attacker, flood, routers) = world();
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut collector = TracebackCollector::new();
+        for _ in 0..5_000 {
+            let rep = net.send(attacker, flood.clone(), &mut rng);
+            assert!(rep.delivered);
+            collector.observe(&rep.mark);
+        }
+        let path = collector.reconstruct_path();
+        assert_eq!(path.len(), 3, "all three routers left stamps");
+        // farthest-first ordering: r1 (nearest the attacker) leads
+        let ids: Vec<_> = path.iter().map(|e| e.node).collect();
+        assert_eq!(ids, routers, "reconstructed {ids:?}");
+        assert!(path[0].mean_distance > path[1].mean_distance);
+        assert!(path[1].mean_distance > path[2].mean_distance);
+    }
+
+    #[test]
+    fn nearest_to_attacker_is_the_ingress_router() {
+        let (mut net, attacker, flood, routers) = world();
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut collector = TracebackCollector::new();
+        for _ in 0..5_000 {
+            let rep = net.send(attacker, flood.clone(), &mut rng);
+            collector.observe(&rep.mark);
+        }
+        assert_eq!(collector.nearest_to_attacker(50), Some(routers[0]));
+        // the spoofed source address told the victim nothing; the marks did
+        assert_ne!(flood.src.value, 0x0a000000);
+    }
+
+    #[test]
+    fn unmarked_networks_yield_nothing() {
+        let (mut net, attacker, flood, routers) = world();
+        for r in routers {
+            net.node_mut(r).marks_packets = false;
+        }
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut collector = TracebackCollector::new();
+        for _ in 0..100 {
+            let rep = net.send(attacker, flood.clone(), &mut rng);
+            collector.observe(&rep.mark);
+        }
+        assert!(collector.reconstruct_path().is_empty());
+        assert_eq!(collector.nearest_to_attacker(1), None);
+        assert_eq!(collector.packets_seen, 100);
+    }
+
+    #[test]
+    fn sparse_marking_still_converges() {
+        // even with the default 4% marking probability, thousands of flood
+        // packets pin every router
+        let (mut net, attacker, flood, _) = world();
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut collector = TracebackCollector::new();
+        for _ in 0..2_000 {
+            let rep = net.send(attacker, flood.clone(), &mut rng);
+            collector.observe(&rep.mark);
+        }
+        for e in collector.reconstruct_path() {
+            assert!(e.samples > 10, "router {:?} undersampled", e.node);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Event-driven traffic: flows scheduled on the simulation engine.
+//!
+//! The rest of `tussle-net` answers "what happens to one packet"; this
+//! module runs *workloads* — periodic flows with jitter, driven by
+//! [`tussle_sim::Engine`] events, with delivery and latency statistics
+//! accumulated in the engine's metric sink. Experiments that care about
+//! time (congestion windows of tussle, detection delays, failover) build
+//! on this instead of calling [`Network::send`] in a loop.
+
+use crate::network::Network;
+use crate::packet::Packet;
+use crate::node::NodeId;
+use tussle_sim::{Ctx, Engine, SimTime};
+
+/// A periodic flow specification.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Sending node.
+    pub from: NodeId,
+    /// Packet template (cloned per transmission).
+    pub template: Packet,
+    /// Inter-packet interval.
+    pub interval: SimTime,
+    /// Uniform jitter added to each interval, in microseconds.
+    pub jitter_us: u64,
+    /// Packets to send (`None` = until the horizon).
+    pub count: Option<u64>,
+    /// Metrics label; counters appear as `flow.<label>.delivered` etc.
+    pub label: String,
+}
+
+impl Flow {
+    /// A flow sending `count` packets at a fixed interval.
+    pub fn periodic(
+        label: &str,
+        from: NodeId,
+        template: Packet,
+        interval: SimTime,
+        count: u64,
+    ) -> Self {
+        Flow {
+            from,
+            template,
+            interval,
+            jitter_us: 0,
+            count: Some(count),
+            label: label.to_owned(),
+        }
+    }
+
+    /// Builder: add jitter.
+    pub fn with_jitter(mut self, jitter_us: u64) -> Self {
+        self.jitter_us = jitter_us;
+        self
+    }
+}
+
+/// The world type for traffic simulations: a network plus its flows.
+#[derive(Debug)]
+pub struct TrafficWorld {
+    /// The network under load.
+    pub network: Network,
+}
+
+/// Build an engine over `network` with every flow scheduled, ready to run.
+pub fn build_engine(network: Network, flows: Vec<Flow>, seed: u64) -> Engine<TrafficWorld> {
+    let mut engine = Engine::new(TrafficWorld { network }, seed);
+    for flow in flows {
+        let start = SimTime::from_micros(0);
+        schedule_next(&mut engine, flow, start, 0);
+    }
+    engine
+}
+
+fn schedule_next(engine: &mut Engine<TrafficWorld>, flow: Flow, at: SimTime, sent: u64) {
+    engine.schedule_at(at, move |w: &mut TrafficWorld, ctx| {
+        send_and_reschedule(w, ctx, flow, sent);
+    });
+}
+
+fn send_and_reschedule(w: &mut TrafficWorld, ctx: &mut Ctx<TrafficWorld>, flow: Flow, sent: u64) {
+    if let Some(max) = flow.count {
+        if sent >= max {
+            return;
+        }
+    }
+    let report = w.network.send_at(flow.from, flow.template.clone(), ctx.now(), ctx.rng);
+    let label = flow.label.clone();
+    if report.delivered {
+        ctx.metrics.incr(&format!("flow.{label}.delivered"));
+        ctx.metrics.observe(&format!("flow.{label}.latency_us"), report.latency.as_micros() as f64);
+    } else {
+        ctx.metrics.incr(&format!("flow.{label}.dropped"));
+        if let Some((_, reason)) = report.drop {
+            ctx.metrics.incr(&format!("flow.{label}.drop.{reason:?}"));
+        }
+    }
+    let jitter = if flow.jitter_us > 0 {
+        SimTime::from_micros(ctx.rng.range(0..=flow.jitter_us))
+    } else {
+        SimTime::ZERO
+    };
+    let next = ctx.now().saturating_add(flow.interval).saturating_add(jitter);
+    let sent = sent + 1;
+    if flow.count.map(|max| sent < max).unwrap_or(true) {
+        ctx.schedule_at(next, move |w2: &mut TrafficWorld, ctx2| {
+            send_and_reschedule(w2, ctx2, flow, sent);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, AddressOrigin, Asn, Prefix};
+    use crate::packet::{ports, Protocol};
+    use tussle_sim::FaultInjector;
+
+    fn world() -> (Network, NodeId, Packet) {
+        let mut net = Network::new();
+        let h0 = net.add_host(Asn(1));
+        let r = net.add_router(Asn(1));
+        let h1 = net.add_host(Asn(2));
+        net.connect(h0, r, SimTime::from_millis(1), 1_000_000_000);
+        net.connect(r, h1, SimTime::from_millis(1), 1_000_000_000);
+        let a0 = Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
+        let a1 = Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
+        net.node_mut(h0).bind(a0);
+        net.node_mut(h1).bind(a1);
+        net.fib_mut(h0).install(Prefix::DEFAULT, r, 0);
+        net.fib_mut(r).install(Prefix::new(0x0b000000, 16), h1, 0);
+        let pkt = Packet::new(a0, a1, Protocol::Udp, 1, ports::VOIP);
+        (net, h0, pkt)
+    }
+
+    #[test]
+    fn periodic_flow_sends_exactly_count() {
+        let (net, h0, pkt) = world();
+        let flow = Flow::periodic("voip", h0, pkt, SimTime::from_millis(20), 50);
+        let mut eng = build_engine(net, vec![flow], 1);
+        eng.run_to_completion();
+        assert_eq!(eng.metrics().counter("flow.voip.delivered"), 50);
+        assert_eq!(eng.metrics().counter("flow.voip.dropped"), 0);
+        // 50 packets, 20ms apart, first at t=0: clock ends at 49*20ms
+        assert_eq!(eng.now(), SimTime::from_millis(980));
+        let h = eng.metrics().histogram("flow.voip.latency_us").unwrap();
+        assert_eq!(h.count(), 50);
+        assert_eq!(h.mean().unwrap(), 2000.0);
+    }
+
+    #[test]
+    fn lossy_links_show_up_in_flow_stats() {
+        let (mut net, h0, pkt) = world();
+        let lid = net.links()[1].id;
+        net.link_mut(lid).faults = FaultInjector::lossy(0.3, 0.0);
+        let flow = Flow::periodic("lossy", h0, pkt, SimTime::from_millis(10), 200);
+        let mut eng = build_engine(net, vec![flow], 7);
+        eng.run_to_completion();
+        let delivered = eng.metrics().counter("flow.lossy.delivered");
+        let dropped = eng.metrics().counter("flow.lossy.dropped");
+        assert_eq!(delivered + dropped, 200);
+        assert!((100..180).contains(&delivered), "delivered={delivered}");
+        assert_eq!(eng.metrics().counter("flow.lossy.drop.LinkLoss"), dropped);
+    }
+
+    #[test]
+    fn multiple_flows_interleave_deterministically() {
+        let run = |seed| {
+            let (net, h0, pkt) = world();
+            let f1 = Flow::periodic("a", h0, pkt.clone(), SimTime::from_millis(7), 30)
+                .with_jitter(3_000);
+            let f2 = Flow::periodic("b", h0, pkt, SimTime::from_millis(11), 30).with_jitter(3_000);
+            let mut eng = build_engine(net, vec![f1, f2], seed);
+            eng.run_to_completion();
+            (
+                eng.metrics().counter("flow.a.delivered"),
+                eng.metrics().counter("flow.b.delivered"),
+                eng.now(),
+            )
+        };
+        assert_eq!(run(5), run(5));
+        assert_eq!(run(5).0, 30);
+        assert_eq!(run(5).1, 30);
+    }
+
+    #[test]
+    fn congested_link_queues_and_overflows() {
+        // a slow link (100 kbps) with a 20ms queue cap, hammered at 1ms
+        // spacing with 1000-byte packets (~80ms serialization each):
+        // the first packet sails, the next queue briefly, then overflow.
+        let (mut net, h0, pkt) = world();
+        let lid = net.links()[1].id;
+        net.link_mut(lid).bandwidth_bps = 100_000;
+        let cap = SimTime::from_millis(20);
+        let l = net.link_mut(lid);
+        l.queue_delay_cap = Some(cap);
+        let big = pkt.with_payload(bytes::Bytes::from(vec![0u8; 960]));
+        let flow = Flow::periodic("burst", h0, big, SimTime::from_millis(1), 30);
+        let mut eng = build_engine(net, vec![flow], 1);
+        eng.run_to_completion();
+        let delivered = eng.metrics().counter("flow.burst.delivered");
+        let overflow = eng.metrics().counter("flow.burst.drop.QueueOverflow");
+        assert!(delivered >= 1, "the head of the burst gets through");
+        assert!(overflow > 20, "most of the burst overflows: {overflow}");
+        assert_eq!(delivered + overflow, 30);
+    }
+
+    #[test]
+    fn uncongested_queue_caps_change_nothing() {
+        let (mut net, h0, pkt) = world();
+        let lid = net.links()[1].id;
+        let l = net.link_mut(lid);
+        l.queue_delay_cap = Some(SimTime::from_millis(50));
+        // 20ms spacing, tiny packets on a gigabit link: no queueing
+        let flow = Flow::periodic("calm", h0, pkt, SimTime::from_millis(20), 20);
+        let mut eng = build_engine(net, vec![flow], 1);
+        eng.run_to_completion();
+        assert_eq!(eng.metrics().counter("flow.calm.delivered"), 20);
+        let h = eng.metrics().histogram("flow.calm.latency_us").unwrap();
+        assert_eq!(h.mean().unwrap(), 2000.0, "no queueing delay appears");
+    }
+
+    #[test]
+    fn horizon_bounded_flows_stop_at_run_until() {
+        let (net, h0, pkt) = world();
+        let flow = Flow { count: None, ..Flow::periodic("forever", h0, pkt, SimTime::from_millis(10), 0) };
+        let mut eng = build_engine(net, vec![flow], 1);
+        eng.run_until(SimTime::from_millis(100));
+        let sent = eng.metrics().counter("flow.forever.delivered");
+        assert_eq!(sent, 11, "t=0..100ms inclusive at 10ms spacing");
+        assert!(eng.queued() > 0, "the next transmission stays queued");
+    }
+}

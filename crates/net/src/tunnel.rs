@@ -1,0 +1,167 @@
+//! Tunnels: the consumer's counter-mechanism.
+//!
+//! §V.A.2: "Customers who wish to sidestep this restriction can respond by
+//! ... tunneling to disguise the port numbers being used." A tunnel wraps
+//! an inner packet in an outer one addressed to a tunnel endpoint on an
+//! innocuous port. Middleboxes see only the outer header; providers may
+//! invest in detection (deep inspection) to re-escalate, which we model as
+//! a probabilistic classifier whose accuracy is the provider's tussle
+//! investment knob.
+
+use crate::addr::Address;
+use crate::packet::{ports, Packet, Protocol};
+use serde::{Deserialize, Serialize};
+use tussle_sim::SimRng;
+
+/// Encapsulate `inner` for transport to `endpoint`.
+///
+/// The outer packet is an ordinary-looking datagram to the tunnel
+/// endpoint's HTTPS port; the inner packet's bytes ride as payload (we keep
+/// the structured form alongside rather than serializing, since this is a
+/// model, not a codec). The outer packet inherits the inner TTL so hop
+/// accounting stays honest.
+pub fn encapsulate(inner: &Packet, entry_src: Address, endpoint: Address) -> Packet {
+    let mut outer = Packet::new(entry_src, endpoint, Protocol::Tunnel, 4433, ports::HTTPS);
+    outer.ttl = inner.ttl;
+    outer.tos = inner.tos; // ToS survives tunneling — the §IV.A modularity
+    outer.payload = bytes::Bytes::from(inner_marker(inner));
+    outer
+}
+
+/// Recover the inner packet at the tunnel endpoint, given the original.
+///
+/// In a real stack the inner packet would be parsed from the payload; here
+/// the caller keeps the inner packet and we verify the outer actually
+/// carries it (the marker check stands in for integrity).
+pub fn decapsulate(outer: &Packet, inner: &Packet) -> Option<Packet> {
+    if outer.proto != Protocol::Tunnel {
+        return None;
+    }
+    if outer.payload.as_ref() != inner_marker(inner).as_slice() {
+        return None;
+    }
+    let mut out = inner.clone();
+    out.ttl = outer.ttl;
+    Some(out)
+}
+
+fn inner_marker(inner: &Packet) -> Vec<u8> {
+    // A compact fingerprint of the inner header.
+    let mut v = Vec::with_capacity(16);
+    v.extend_from_slice(&inner.src.value.to_be_bytes());
+    v.extend_from_slice(&inner.dst.value.to_be_bytes());
+    v.extend_from_slice(&inner.src_port.to_be_bytes());
+    v.extend_from_slice(&inner.dst_port.to_be_bytes());
+    v.push(inner.tos);
+    v
+}
+
+/// A provider's tunnel detector: deep-packet inspection with a given
+/// accuracy (true-positive rate) and false-positive rate against innocent
+/// HTTPS traffic. Accuracy costs money; the economics engine prices it.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TunnelDetector {
+    /// Probability a real tunnel is flagged.
+    pub true_positive: f64,
+    /// Probability innocent encrypted web traffic is flagged.
+    pub false_positive: f64,
+}
+
+impl TunnelDetector {
+    /// A detector with the given rates, clamped to `[0,1]`.
+    pub fn new(true_positive: f64, false_positive: f64) -> Self {
+        TunnelDetector {
+            true_positive: true_positive.clamp(0.0, 1.0),
+            false_positive: false_positive.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Classify one packet. Returns `true` if the provider flags it as a
+    /// tunnel (rightly or wrongly).
+    pub fn flags(&self, pkt: &Packet, rng: &mut SimRng) -> bool {
+        if pkt.proto == Protocol::Tunnel {
+            rng.chance(self.true_positive)
+        } else {
+            rng.chance(self.false_positive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{AddressOrigin, Prefix};
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), 1, AddressOrigin::ProviderIndependent)
+    }
+
+    fn inner() -> Packet {
+        Packet::new(addr(0x0a000000), addr(0x0b000000), Protocol::Tcp, 1111, ports::P2P)
+            .with_tos(2)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let i = inner();
+        let outer = encapsulate(&i, addr(0x0a000000), addr(0x0c000000));
+        assert_eq!(outer.proto, Protocol::Tunnel);
+        assert_eq!(outer.visible_dst_port(), Some(ports::HTTPS));
+        let back = decapsulate(&outer, &i).unwrap();
+        assert_eq!(back.dst_port, ports::P2P);
+    }
+
+    #[test]
+    fn outer_hides_inner_port_but_keeps_tos() {
+        let i = inner();
+        let outer = encapsulate(&i, addr(0x0a000000), addr(0x0c000000));
+        assert_ne!(outer.visible_dst_port(), Some(ports::P2P));
+        assert_eq!(outer.tos, 2);
+    }
+
+    #[test]
+    fn decapsulate_rejects_non_tunnels() {
+        let i = inner();
+        assert!(decapsulate(&i, &i).is_none());
+    }
+
+    #[test]
+    fn decapsulate_rejects_mismatched_inner() {
+        let i = inner();
+        let other = Packet::new(addr(0x0a000000), addr(0x0d000000), Protocol::Udp, 1, 2);
+        let outer = encapsulate(&i, addr(0x0a000000), addr(0x0c000000));
+        assert!(decapsulate(&outer, &other).is_none());
+    }
+
+    #[test]
+    fn ttl_carries_through() {
+        let mut i = inner();
+        i.ttl = 7;
+        let mut outer = encapsulate(&i, addr(0x0a000000), addr(0x0c000000));
+        assert_eq!(outer.ttl, 7);
+        outer.ttl = 3; // hops consumed in transit
+        let back = decapsulate(&outer, &i).unwrap();
+        assert_eq!(back.ttl, 3);
+    }
+
+    #[test]
+    fn detector_rates() {
+        let det = TunnelDetector::new(0.8, 0.05);
+        let mut rng = SimRng::seed_from_u64(1);
+        let i = inner();
+        let t = encapsulate(&i, addr(0x0a000000), addr(0x0c000000));
+        let innocent = Packet::new(addr(0x0a000000), addr(0x0b000000), Protocol::Tcp, 1, ports::HTTPS);
+        let n = 10_000;
+        let tp = (0..n).filter(|_| det.flags(&t, &mut rng)).count();
+        let fp = (0..n).filter(|_| det.flags(&innocent, &mut rng)).count();
+        assert!((7_600..8_400).contains(&tp), "tp={tp}");
+        assert!((300..700).contains(&fp), "fp={fp}");
+    }
+
+    #[test]
+    fn detector_clamps() {
+        let det = TunnelDetector::new(5.0, -1.0);
+        assert_eq!(det.true_positive, 1.0);
+        assert_eq!(det.false_positive, 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Observation points: wiretaps and caches.
+//!
+//! §VI.A lists two more forces eroding transparency: "The desire of third
+//! parties to observe a data flow (e.g., wiretap) calls for data capture
+//! sites in the network" and "The desire to improve important applications
+//! (e.g., the Web), leads to the deployment of caches, mirror sites...".
+//!
+//! Both are passive-or-helpful middleboxes rather than filters, and both
+//! interact with the encryption tussle: a wiretap on encrypted traffic
+//! captures ciphertext metadata only; a cache cannot serve what it cannot
+//! read.
+
+use crate::packet::Packet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What a wiretap records about one packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaptureRecord {
+    /// Source address value.
+    pub src: u32,
+    /// Destination address value.
+    pub dst: u32,
+    /// The destination port as the tap saw it (`None` = hidden).
+    pub visible_port: Option<u16>,
+    /// Payload bytes captured (0 when encrypted — content is opaque).
+    pub content_bytes: usize,
+    /// Whether the tap could read the content.
+    pub content_readable: bool,
+}
+
+/// A data-capture site installed by a third party (lawful intercept, an
+/// observing ISP, an adversary — the mechanics are identical).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Wiretap {
+    records: Vec<CaptureRecord>,
+}
+
+impl Wiretap {
+    /// An empty tap.
+    pub fn new() -> Self {
+        Wiretap::default()
+    }
+
+    /// Observe one packet in flight. The packet is never modified — taps
+    /// are the one middlebox that is invisible *by function*, which is why
+    /// §VI.A treats encryption as the only defense.
+    pub fn observe(&mut self, pkt: &Packet) {
+        let readable = !pkt.encrypted;
+        self.records.push(CaptureRecord {
+            src: pkt.src.value,
+            dst: pkt.dst.value,
+            visible_port: pkt.visible_dst_port(),
+            content_bytes: if readable { pkt.payload.len() } else { 0 },
+            content_readable: readable,
+        });
+    }
+
+    /// Everything captured so far.
+    pub fn records(&self) -> &[CaptureRecord] {
+        &self.records
+    }
+
+    /// Fraction of observed packets whose *content* was readable — the
+    /// §VI.A measurement of what encryption takes away from the observer.
+    pub fn content_yield(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let readable = self.records.iter().filter(|r| r.content_readable).count();
+        readable as f64 / self.records.len() as f64
+    }
+
+    /// Even fully-encrypted traffic leaks *traffic analysis*: who talks to
+    /// whom. Unique (src, dst) pairs seen.
+    pub fn flow_pairs(&self) -> usize {
+        let mut pairs: Vec<(u32, u32)> = self.records.iter().map(|r| (r.src, r.dst)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs.len()
+    }
+}
+
+/// A content cache ("caches, mirror sites") keyed by `(dst, dst_port)`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cache {
+    store: BTreeMap<(u32, u16), usize>,
+    /// Requests answered locally.
+    pub hits: u64,
+    /// Requests passed to the origin.
+    pub misses: u64,
+    /// Requests the cache could not even inspect (encrypted).
+    pub opaque: u64,
+}
+
+impl Cache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Cache::default()
+    }
+
+    /// Handle one request packet. Returns `true` when served from cache.
+    ///
+    /// Encrypted requests bypass the cache entirely — the §VI.A trade the
+    /// user makes: "the actions of the ISP might actually be making things
+    /// better ... if the user has control over whether the data is
+    /// encrypted or not, the user can decide if the ISP actions are a
+    /// benefit or a hindrance."
+    pub fn handle(&mut self, pkt: &Packet) -> bool {
+        let Some(port) = pkt.visible_dst_port() else {
+            self.opaque += 1;
+            return false;
+        };
+        if pkt.encrypted {
+            self.opaque += 1;
+            return false;
+        }
+        let key = (pkt.dst.value, port);
+        if self.store.contains_key(&key) {
+            self.hits += 1;
+            true
+        } else {
+            self.store.insert(key, pkt.payload.len());
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.opaque;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, AddressOrigin, Prefix};
+    use crate::packet::{ports, Protocol};
+    use bytes::Bytes;
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), 1, AddressOrigin::ProviderIndependent)
+    }
+
+    fn pkt(dst: u32) -> Packet {
+        Packet::new(addr(0x0a000000), addr(dst), Protocol::Tcp, 1, ports::HTTP)
+            .with_payload(Bytes::from_static(b"the content"))
+    }
+
+    #[test]
+    fn tap_reads_cleartext() {
+        let mut tap = Wiretap::new();
+        tap.observe(&pkt(0x0b000000));
+        let r = &tap.records()[0];
+        assert!(r.content_readable);
+        assert_eq!(r.content_bytes, 11);
+        assert_eq!(r.visible_port, Some(ports::HTTP));
+        assert_eq!(tap.content_yield(), 1.0);
+    }
+
+    #[test]
+    fn encryption_blinds_the_tap_but_not_traffic_analysis() {
+        let mut tap = Wiretap::new();
+        tap.observe(&pkt(0x0b000000).encrypt());
+        tap.observe(&pkt(0x0c000000).encrypt());
+        assert_eq!(tap.content_yield(), 0.0);
+        let r = &tap.records()[0];
+        assert_eq!(r.content_bytes, 0);
+        assert_eq!(r.visible_port, None);
+        // who-talks-to-whom still leaks
+        assert_eq!(tap.flow_pairs(), 2);
+    }
+
+    #[test]
+    fn stego_leaks_a_fake_port_to_the_tap() {
+        let mut tap = Wiretap::new();
+        tap.observe(&pkt(0x0b000000).steganographic());
+        assert_eq!(tap.records()[0].visible_port, Some(ports::HTTP));
+        assert!(!tap.records()[0].content_readable);
+    }
+
+    #[test]
+    fn mixed_yield() {
+        let mut tap = Wiretap::new();
+        tap.observe(&pkt(1));
+        tap.observe(&pkt(2).encrypt());
+        assert_eq!(tap.content_yield(), 0.5);
+    }
+
+    #[test]
+    fn cache_hits_after_first_fetch() {
+        let mut c = Cache::new();
+        assert!(!c.handle(&pkt(0x0b000000))); // miss, fills
+        assert!(c.handle(&pkt(0x0b000000))); // hit
+        assert!(!c.handle(&pkt(0x0c000000))); // different origin: miss
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 2);
+        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encrypted_requests_bypass_the_cache() {
+        let mut c = Cache::new();
+        c.handle(&pkt(0x0b000000)); // fill
+        assert!(!c.handle(&pkt(0x0b000000).encrypt()));
+        assert_eq!(c.opaque, 1);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        assert_eq!(Wiretap::new().content_yield(), 0.0);
+        assert_eq!(Cache::new().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for addressing, forwarding and packet visibility.
+
+use proptest::prelude::*;
+use tussle_net::addr::{Address, AddressOrigin, Asn, Prefix};
+use tussle_net::packet::{Packet, Protocol};
+use tussle_net::table::Fib;
+use tussle_net::NodeId;
+
+proptest! {
+    /// A prefix always contains every address minted inside it.
+    #[test]
+    fn prefix_contains_its_addresses(bits in any::<u32>(), len in 0u8..=32, host in any::<u32>()) {
+        let p = Prefix::new(bits, len);
+        let a = Address::in_prefix(p, host, AddressOrigin::ProviderIndependent);
+        prop_assert!(p.contains(a.value));
+    }
+
+    /// `covers` is a partial order: reflexive and antisymmetric on
+    /// distinct prefixes, and consistent with `contains`.
+    #[test]
+    fn covers_is_consistent(bits in any::<u32>(), len in 0u8..=31) {
+        let parent = Prefix::new(bits, len);
+        let child = Prefix::new(bits, len + 1);
+        prop_assert!(parent.covers(&parent));
+        prop_assert!(parent.covers(&child));
+        prop_assert!(!child.covers(&parent) || parent == child);
+    }
+
+    /// Subprefix allocation stays inside the aggregate and distinct
+    /// indices never collide.
+    #[test]
+    fn subprefixes_partition(bits in any::<u32>(), i in 0u32..16, j in 0u32..16) {
+        let agg = Prefix::new(bits, 8);
+        let a = agg.subprefix(16, i);
+        let b = agg.subprefix(16, j);
+        prop_assert!(agg.covers(&a));
+        prop_assert!(agg.covers(&b));
+        if i != j {
+            prop_assert_ne!(a, b);
+            prop_assert!(!a.covers(&b));
+        }
+    }
+
+    /// FIB lookups always return the longest matching prefix.
+    #[test]
+    fn fib_longest_prefix_wins(
+        routes in proptest::collection::vec((any::<u32>(), 1u8..=32, 0u32..64), 1..64),
+        probe in any::<u32>(),
+    ) {
+        let mut fib = Fib::new();
+        for (bits, len, hop) in &routes {
+            fib.install(Prefix::new(*bits, *len), NodeId(*hop), 0);
+        }
+        if let Some(entry) = fib.lookup(probe) {
+            prop_assert!(entry.prefix.contains(probe));
+            // nothing longer also matches
+            for e in fib.entries() {
+                if e.prefix.contains(probe) {
+                    prop_assert!(e.prefix.len() <= entry.prefix.len());
+                }
+            }
+        } else {
+            for e in fib.entries() {
+                prop_assert!(!e.prefix.contains(probe));
+            }
+        }
+    }
+
+    /// Withdrawing a prefix removes exactly the matching entries.
+    #[test]
+    fn withdraw_is_exact(
+        routes in proptest::collection::vec((any::<u32>(), 1u8..=32), 1..32),
+        victim in 0usize..32,
+    ) {
+        let mut fib = Fib::new();
+        for (bits, len) in &routes {
+            fib.install(Prefix::new(*bits, *len), NodeId(0), 0);
+        }
+        let before = fib.len();
+        let target = routes[victim % routes.len()];
+        let target = Prefix::new(target.0, target.1);
+        let removed = fib.withdraw(target);
+        prop_assert_eq!(fib.len(), before - removed);
+        prop_assert!(fib.entries().all(|e| e.prefix != target));
+    }
+
+    /// Packet visibility is exhaustive and consistent: a steganographic
+    /// packet is encrypted but never *visibly* encrypted; ToS bits survive
+    /// every privacy posture.
+    #[test]
+    fn packet_visibility_invariants(tos in any::<u8>(), port in any::<u16>(), mode in 0u8..3) {
+        let src = Address::in_prefix(Prefix::new(1, 8), 1, AddressOrigin::ProviderIndependent);
+        let dst = Address::in_prefix(Prefix::new(2, 8), 1, AddressOrigin::ProviderIndependent);
+        let mut p = Packet::new(src, dst, Protocol::Tcp, 1, port).with_tos(tos);
+        p = match mode {
+            0 => p,
+            1 => p.encrypt(),
+            _ => p.steganographic(),
+        };
+        prop_assert_eq!(p.visible_tos(), tos);
+        match mode {
+            0 => {
+                prop_assert_eq!(p.visible_dst_port(), Some(port));
+                prop_assert!(!p.visibly_encrypted());
+            }
+            1 => {
+                prop_assert_eq!(p.visible_dst_port(), None);
+                prop_assert!(p.visibly_encrypted());
+            }
+            _ => {
+                prop_assert!(p.visible_dst_port().is_some());
+                prop_assert!(!p.visibly_encrypted());
+                prop_assert!(p.encrypted);
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Expression AST and evaluator.
+
+use crate::ontology::{Ontology, OntologyError};
+use crate::value::{Request, Value};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A policy condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Literal value.
+    Lit(Value),
+    /// Request attribute reference.
+    Attr(String),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Short-circuit conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Membership test against a list.
+    In(Box<Expr>, Box<Expr>),
+}
+
+/// An evaluation failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EvalError {
+    /// Ontology violation (unknown attribute or declared-type mismatch).
+    Ontology(OntologyError),
+    /// The request does not carry a declared attribute.
+    MissingAttribute(String),
+    /// An operator was applied to incompatible types.
+    TypeError {
+        /// What was being attempted.
+        operation: String,
+        /// Offending value's type.
+        got: String,
+    },
+}
+
+impl From<OntologyError> for EvalError {
+    fn from(e: OntologyError) -> Self {
+        EvalError::Ontology(e)
+    }
+}
+
+impl Expr {
+    /// Evaluate against a request under an ontology.
+    pub fn eval(&self, req: &Request, ont: &Ontology) -> Result<Value, EvalError> {
+        match self {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Attr(name) => {
+                // The ontology bound: unknown attributes are rejected even
+                // if the request happens to carry them.
+                ont.type_of(name)?;
+                let v = req
+                    .get(name)
+                    .ok_or_else(|| EvalError::MissingAttribute(name.clone()))?;
+                ont.check(name, v)?;
+                Ok(v.clone())
+            }
+            Expr::Not(e) => {
+                let v = e.eval(req, ont)?;
+                let b = v
+                    .as_bool()
+                    .ok_or(EvalError::TypeError { operation: "!".into(), got: v.type_name().into() })?;
+                Ok(Value::Bool(!b))
+            }
+            Expr::And(a, b) => {
+                let va = a.eval(req, ont)?;
+                let ba = va
+                    .as_bool()
+                    .ok_or(EvalError::TypeError { operation: "&&".into(), got: va.type_name().into() })?;
+                if !ba {
+                    return Ok(Value::Bool(false));
+                }
+                let vb = b.eval(req, ont)?;
+                let bb = vb
+                    .as_bool()
+                    .ok_or(EvalError::TypeError { operation: "&&".into(), got: vb.type_name().into() })?;
+                Ok(Value::Bool(bb))
+            }
+            Expr::Or(a, b) => {
+                let va = a.eval(req, ont)?;
+                let ba = va
+                    .as_bool()
+                    .ok_or(EvalError::TypeError { operation: "||".into(), got: va.type_name().into() })?;
+                if ba {
+                    return Ok(Value::Bool(true));
+                }
+                let vb = b.eval(req, ont)?;
+                let bb = vb
+                    .as_bool()
+                    .ok_or(EvalError::TypeError { operation: "||".into(), got: vb.type_name().into() })?;
+                Ok(Value::Bool(bb))
+            }
+            Expr::Cmp(a, op, b) => {
+                let va = a.eval(req, ont)?;
+                let vb = b.eval(req, ont)?;
+                compare(&va, *op, &vb)
+            }
+            Expr::In(item, list) => {
+                let vi = item.eval(req, ont)?;
+                let vl = list.eval(req, ont)?;
+                match vl {
+                    Value::List(items) => Ok(Value::Bool(items.contains(&vi))),
+                    other => {
+                        Err(EvalError::TypeError { operation: "in".into(), got: other.type_name().into() })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluate expecting a boolean result.
+    pub fn matches(&self, req: &Request, ont: &Ontology) -> Result<bool, EvalError> {
+        let v = self.eval(req, ont)?;
+        v.as_bool()
+            .ok_or(EvalError::TypeError { operation: "condition".into(), got: v.type_name().into() })
+    }
+
+    /// Every attribute the expression references.
+    pub fn attributes(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_attrs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Attr(n) => out.push(n),
+            Expr::Not(e) => e.collect_attrs(out),
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::In(a, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+            Expr::Cmp(a, _, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+        }
+    }
+}
+
+fn compare(a: &Value, op: CmpOp, b: &Value) -> Result<Value, EvalError> {
+    use CmpOp::*;
+    let result = match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match op {
+            Eq => x == y,
+            Ne => x != y,
+            Lt => x < y,
+            Le => x <= y,
+            Gt => x > y,
+            Ge => x >= y,
+        },
+        (Value::Str(x), Value::Str(y)) => match op {
+            Eq => x == y,
+            Ne => x != y,
+            Lt => x < y,
+            Le => x <= y,
+            Gt => x > y,
+            Ge => x >= y,
+        },
+        (Value::Bool(x), Value::Bool(y)) => match op {
+            Eq => x == y,
+            Ne => x != y,
+            _ => {
+                return Err(EvalError::TypeError { operation: "ordering".into(), got: "bool".into() });
+            }
+        },
+        (x, _) => {
+            return Err(EvalError::TypeError { operation: "comparison".into(), got: x.type_name().into() })
+        }
+    };
+    Ok(Value::Bool(result))
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Pretty-print with explicit parentheses; `parse(print(e))` is
+    /// structurally identical to `e`, which the property tests rely on.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(Value::Int(n)) => write!(f, "{n}"),
+            Expr::Lit(Value::Str(s)) => write!(f, "\"{s}\""),
+            Expr::Lit(Value::Bool(b)) => write!(f, "{b}"),
+            Expr::Lit(Value::List(items)) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    match v {
+                        Value::Int(n) => write!(f, "{n}")?,
+                        Value::Str(s) => write!(f, "\"{s}\"")?,
+                        Value::Bool(b) => write!(f, "{b}")?,
+                        Value::List(_) => f.write_str("[...]")?,
+                    }
+                }
+                f.write_str("]")
+            }
+            Expr::Attr(n) => f.write_str(n),
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::And(a, b) => write!(f, "({a} && {b})"),
+            Expr::Or(a, b) => write!(f, "({a} || {b})"),
+            Expr::Cmp(a, op, b) => {
+                write!(f, "({} {op} {})", Operand(a), Operand(b))
+            }
+            Expr::In(a, b) => write!(f, "({} in {})", Operand(a), Operand(b)),
+        }
+    }
+}
+
+/// Prints a comparison operand so the result re-parses: literals and
+/// attributes print bare; anything else (which the grammar only accepts as
+/// a parenthesized `primary`) gets wrapped.
+struct Operand<'a>(&'a Expr);
+
+impl fmt::Display for Operand<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Expr::Lit(_) | Expr::Attr(_) => write!(f, "{}", self.0),
+            other => write!(f, "({other})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ont() -> Ontology {
+        Ontology::network()
+    }
+
+    fn req() -> Request {
+        Request::new()
+            .with("action", "connect")
+            .with("dst_port", 443i64)
+            .with("encrypted", true)
+            .with("anonymous", false)
+    }
+
+    fn attr(n: &str) -> Box<Expr> {
+        Box::new(Expr::Attr(n.into()))
+    }
+    fn lit(v: impl Into<Value>) -> Box<Expr> {
+        Box::new(Expr::Lit(v.into()))
+    }
+
+    #[test]
+    fn literal_and_attr() {
+        assert_eq!(lit(5i64).eval(&req(), &ont()), Ok(Value::Int(5)));
+        assert_eq!(attr("dst_port").eval(&req(), &ont()), Ok(Value::Int(443)));
+    }
+
+    #[test]
+    fn unknown_attribute_is_rejected() {
+        // even though the request carries it!
+        let r = req().with("weird", 1i64);
+        let e = Expr::Attr("weird".into());
+        assert!(matches!(
+            e.eval(&r, &ont()),
+            Err(EvalError::Ontology(OntologyError::UnknownAttribute(_)))
+        ));
+    }
+
+    #[test]
+    fn missing_attribute_is_distinct_from_unknown() {
+        let r = Request::new();
+        let e = Expr::Attr("dst_port".into());
+        assert_eq!(e.eval(&r, &ont()), Err(EvalError::MissingAttribute("dst_port".into())));
+    }
+
+    #[test]
+    fn comparisons() {
+        let e = Expr::Cmp(attr("dst_port"), CmpOp::Ge, lit(400i64));
+        assert_eq!(e.matches(&req(), &ont()), Ok(true));
+        let e = Expr::Cmp(attr("action"), CmpOp::Eq, lit("connect"));
+        assert_eq!(e.matches(&req(), &ont()), Ok(true));
+        let e = Expr::Cmp(attr("action"), CmpOp::Ne, lit("connect"));
+        assert_eq!(e.matches(&req(), &ont()), Ok(false));
+    }
+
+    #[test]
+    fn bool_ordering_is_a_type_error() {
+        let e = Expr::Cmp(attr("encrypted"), CmpOp::Lt, lit(true));
+        assert!(matches!(e.eval(&req(), &ont()), Err(EvalError::TypeError { .. })));
+    }
+
+    #[test]
+    fn mixed_type_comparison_is_an_error() {
+        let e = Expr::Cmp(attr("dst_port"), CmpOp::Eq, lit("443"));
+        assert!(e.eval(&req(), &ont()).is_err());
+    }
+
+    #[test]
+    fn logic_short_circuits() {
+        // (false && <error>) must not evaluate the error side
+        let bad = Expr::Attr("nope".into());
+        let e = Expr::And(lit(false), Box::new(bad.clone()));
+        assert_eq!(e.matches(&req(), &ont()), Ok(false));
+        let e = Expr::Or(lit(true), Box::new(bad));
+        assert_eq!(e.matches(&req(), &ont()), Ok(true));
+    }
+
+    #[test]
+    fn membership() {
+        let list = Value::List(vec![Value::Int(80), Value::Int(443)]);
+        let e = Expr::In(attr("dst_port"), lit_v(list));
+        assert_eq!(e.matches(&req(), &ont()), Ok(true));
+        let e = Expr::In(lit(8080i64), lit_v(Value::List(vec![Value::Int(80)])));
+        assert_eq!(e.matches(&req(), &ont()), Ok(false));
+        // `in` against a non-list is an error
+        let e = Expr::In(lit(1i64), lit(2i64));
+        assert!(e.eval(&req(), &ont()).is_err());
+    }
+
+    fn lit_v(v: Value) -> Box<Expr> {
+        Box::new(Expr::Lit(v))
+    }
+
+    #[test]
+    fn not_and_nesting() {
+        let e = Expr::Not(Box::new(Expr::Attr("anonymous".into())));
+        assert_eq!(e.matches(&req(), &ont()), Ok(true));
+        let e = Expr::And(
+            Box::new(Expr::Cmp(attr("dst_port"), CmpOp::Eq, lit(443i64))),
+            Box::new(Expr::Attr("encrypted".into())),
+        );
+        assert_eq!(e.matches(&req(), &ont()), Ok(true));
+    }
+
+    #[test]
+    fn attributes_collected_sorted_deduped() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp(attr("dst_port"), CmpOp::Eq, lit(1i64))),
+            Box::new(Expr::Or(attr("encrypted"), attr("dst_port"))),
+        );
+        assert_eq!(e.attributes(), vec!["dst_port", "encrypted"]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp(attr("dst_port"), CmpOp::Le, lit(443i64))),
+            Box::new(Expr::Not(attr("anonymous"))),
+        );
+        assert_eq!(e.to_string(), "((dst_port <= 443) && !(anonymous))");
+    }
+}

@@ -1,0 +1,241 @@
+//! COPS-shaped policy provisioning: decision points and enforcement points.
+//!
+//! §II.B cites "the policy language embedded in the Common Open Policy
+//! Service or COPS protocol of the IETF" among the systems that
+//! "explicitly recognize run-time tussle, and attempt to accommodate it."
+//! This module implements the protocol shape: a policy decision point
+//! (PDP) holds the authoritative [`RuleSet`]s; policy enforcement points
+//! (PEPs) install versioned copies, answer requests locally, and can
+//! fall back to asking the PDP when their state is stale or missing —
+//! run-time policy change without redeploying the enforcement point.
+
+use crate::ast::EvalError;
+use crate::engine::{RuleAction, RuleSet};
+use crate::ontology::Ontology;
+use crate::value::Request;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named, versioned policy as held by the decision point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvisionedPolicy {
+    /// Monotonically increasing version.
+    pub version: u64,
+    /// The rules.
+    pub rules: RuleSet,
+}
+
+/// The policy decision point: the authority.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DecisionPoint {
+    policies: BTreeMap<String, ProvisionedPolicy>,
+    /// The shared vocabulary (PDP and PEPs must agree on the ontology — a
+    /// COPS "client type" in miniature).
+    pub ontology: Ontology,
+}
+
+impl DecisionPoint {
+    /// A PDP over an ontology.
+    pub fn new(ontology: Ontology) -> Self {
+        DecisionPoint { policies: BTreeMap::new(), ontology }
+    }
+
+    /// Install or replace a named policy; bumps its version.
+    pub fn provision(&mut self, name: &str, rules: RuleSet) -> u64 {
+        let next = self.policies.get(name).map(|p| p.version + 1).unwrap_or(1);
+        self.policies.insert(name.to_owned(), ProvisionedPolicy { version: next, rules });
+        next
+    }
+
+    /// Current version of a policy.
+    pub fn version_of(&self, name: &str) -> Option<u64> {
+        self.policies.get(name).map(|p| p.version)
+    }
+
+    /// Fetch a policy for synchronization.
+    pub fn fetch(&self, name: &str) -> Option<&ProvisionedPolicy> {
+        self.policies.get(name)
+    }
+
+    /// Authoritative decision (the PEP's fallback path).
+    pub fn decide(&self, name: &str, req: &Request) -> Result<RuleAction, PdpError> {
+        let p = self.policies.get(name).ok_or_else(|| PdpError::UnknownPolicy(name.to_owned()))?;
+        p.rules.decide(req, &self.ontology).map_err(PdpError::Eval)
+    }
+}
+
+/// PDP-side errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PdpError {
+    /// No such policy name.
+    UnknownPolicy(String),
+    /// A rule condition failed to evaluate.
+    Eval(EvalError),
+}
+
+/// How a PEP answered a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecisionPath {
+    /// Answered from the locally installed policy.
+    Local,
+    /// The local copy was missing or stale; the PDP answered.
+    Outsourced,
+}
+
+/// A policy enforcement point: holds cached policies, counts staleness.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnforcementPoint {
+    installed: BTreeMap<String, ProvisionedPolicy>,
+    /// Local decisions served.
+    pub local_decisions: u64,
+    /// Decisions that had to be outsourced to the PDP.
+    pub outsourced_decisions: u64,
+}
+
+impl EnforcementPoint {
+    /// A PEP with nothing installed.
+    pub fn new() -> Self {
+        EnforcementPoint::default()
+    }
+
+    /// Synchronize one policy from the PDP. Returns `true` if anything
+    /// changed.
+    pub fn sync(&mut self, pdp: &DecisionPoint, name: &str) -> bool {
+        match pdp.fetch(name) {
+            Some(p) => {
+                let stale = self.installed.get(name).map(|mine| mine.version < p.version).unwrap_or(true);
+                if stale {
+                    self.installed.insert(name.to_owned(), p.clone());
+                }
+                stale
+            }
+            None => self.installed.remove(name).is_some(),
+        }
+    }
+
+    /// Is the local copy current?
+    pub fn in_sync(&self, pdp: &DecisionPoint, name: &str) -> bool {
+        match (self.installed.get(name), pdp.version_of(name)) {
+            (Some(mine), Some(v)) => mine.version == v,
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
+    /// Decide a request: locally when the installed copy is current,
+    /// otherwise by asking the PDP (and noting the outsourcing).
+    pub fn decide(
+        &mut self,
+        pdp: &DecisionPoint,
+        name: &str,
+        req: &Request,
+    ) -> Result<(RuleAction, DecisionPath), PdpError> {
+        if self.in_sync(pdp, name) {
+            if let Some(p) = self.installed.get(name) {
+                let action = p.rules.decide(req, &pdp.ontology).map_err(PdpError::Eval)?;
+                self.local_decisions += 1;
+                return Ok((action, DecisionPath::Local));
+            }
+        }
+        let action = pdp.decide(name, req)?;
+        self.outsourced_decisions += 1;
+        Ok((action, DecisionPath::Outsourced))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RuleAction;
+
+    fn pdp() -> DecisionPoint {
+        let mut pdp = DecisionPoint::new(Ontology::network());
+        let rules = RuleSet::default_deny()
+            .rule(RuleAction::Allow, "dst_port in [80, 443]")
+            .unwrap();
+        pdp.provision("border", rules);
+        pdp
+    }
+
+    fn req(port: i64) -> Request {
+        Request::new().with("dst_port", port)
+    }
+
+    #[test]
+    fn provisioning_bumps_versions() {
+        let mut pdp = pdp();
+        assert_eq!(pdp.version_of("border"), Some(1));
+        let v = pdp.provision("border", RuleSet::default_allow());
+        assert_eq!(v, 2);
+        assert_eq!(pdp.version_of("missing"), None);
+    }
+
+    #[test]
+    fn synced_pep_answers_locally() {
+        let pdp = pdp();
+        let mut pep = EnforcementPoint::new();
+        assert!(pep.sync(&pdp, "border"));
+        assert!(!pep.sync(&pdp, "border"), "second sync is a no-op");
+        let (action, path) = pep.decide(&pdp, "border", &req(443)).unwrap();
+        assert_eq!(action, RuleAction::Allow);
+        assert_eq!(path, DecisionPath::Local);
+        assert_eq!(pep.local_decisions, 1);
+    }
+
+    #[test]
+    fn stale_pep_outsources_until_resynced() {
+        let mut pdp = pdp();
+        let mut pep = EnforcementPoint::new();
+        pep.sync(&pdp, "border");
+        // policy changes at run time: the port is now forbidden
+        pdp.provision(
+            "border",
+            RuleSet::default_deny().rule(RuleAction::Allow, "dst_port == 25").unwrap(),
+        );
+        assert!(!pep.in_sync(&pdp, "border"));
+        let (action, path) = pep.decide(&pdp, "border", &req(443)).unwrap();
+        // the PDP's CURRENT answer wins — no stale allow leaks through
+        assert_eq!(action, RuleAction::Deny);
+        assert_eq!(path, DecisionPath::Outsourced);
+        // resync restores local decisions
+        assert!(pep.sync(&pdp, "border"));
+        let (_, path) = pep.decide(&pdp, "border", &req(25)).unwrap();
+        assert_eq!(path, DecisionPath::Local);
+    }
+
+    #[test]
+    fn unknown_policies_error() {
+        let pdp = pdp();
+        let mut pep = EnforcementPoint::new();
+        let err = pep.decide(&pdp, "nope", &req(80)).unwrap_err();
+        assert_eq!(err, PdpError::UnknownPolicy("nope".into()));
+    }
+
+    #[test]
+    fn withdrawn_policies_are_removed_on_sync() {
+        let mut pdp = pdp();
+        let mut pep = EnforcementPoint::new();
+        pep.sync(&pdp, "border");
+        pdp = DecisionPoint::new(Ontology::network()); // all policies gone
+        assert!(pep.sync(&pdp, "border"), "removal is a change");
+        assert!(pep.in_sync(&pdp, "border"));
+    }
+
+    #[test]
+    fn eval_errors_propagate_through_the_protocol() {
+        let mut pdp = DecisionPoint::new(Ontology::network());
+        pdp.provision(
+            "bad",
+            RuleSet {
+                rules: vec![crate::engine::Rule {
+                    condition: crate::ast::Expr::Attr("not_in_ontology".into()),
+                    action: RuleAction::Allow,
+                }],
+                default_action: RuleAction::Deny,
+            },
+        );
+        let mut pep = EnforcementPoint::new();
+        pep.sync(&pdp, "bad");
+        assert!(matches!(pep.decide(&pdp, "bad", &req(1)), Err(PdpError::Eval(_))));
+    }
+}

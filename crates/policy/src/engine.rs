@@ -1,0 +1,290 @@
+//! Compliance checking: rule lists and delegated assertions.
+//!
+//! Two consumers of the expression language:
+//!
+//! * [`RuleSet`] — an ordered allow/deny list (what a COPS PDP pushes to a
+//!   PEP, what a firewall operator writes);
+//! * [`PolicyEngine`] — KeyNote-shaped trust management: unconditionally
+//!   trusted roots issue [`Assertion`]s empowering principals under
+//!   conditions, optionally with the right to re-delegate. Compliance asks:
+//!   is there a chain of satisfied assertions from a root to the requesting
+//!   principal?
+//!
+//! Note what is deliberately absent: any attempt to reconcile conflicting
+//! assertions from different authorities. "The existence of a policy
+//! language does nothing to resolve tussles, and it does nothing to address
+//! the problem of strategic players, malicious users, liars" (§II.B).
+
+use crate::ast::{EvalError, Expr};
+use crate::ontology::Ontology;
+use crate::value::Request;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A named principal (user, admin, ISP, government...).
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Principal(pub String);
+
+impl Principal {
+    /// Convenience constructor.
+    pub fn named(name: &str) -> Self {
+        Principal(name.to_owned())
+    }
+}
+
+/// Verdict of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleAction {
+    /// Permit the request.
+    Allow,
+    /// Refuse the request.
+    Deny,
+}
+
+/// One entry in an ordered rule list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Condition under which the rule fires.
+    pub condition: Expr,
+    /// Verdict when it fires.
+    pub action: RuleAction,
+}
+
+/// An ordered, first-match-wins rule list with a default.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    /// Rules in evaluation order.
+    pub rules: Vec<Rule>,
+    /// Verdict when nothing matches.
+    pub default_action: RuleAction,
+}
+
+impl RuleSet {
+    /// A default-deny rule set ("that which is not permitted is
+    /// forbidden").
+    pub fn default_deny() -> Self {
+        RuleSet { rules: Vec::new(), default_action: RuleAction::Deny }
+    }
+
+    /// A default-allow rule set (the transparent Internet posture).
+    pub fn default_allow() -> Self {
+        RuleSet { rules: Vec::new(), default_action: RuleAction::Allow }
+    }
+
+    /// Append a rule parsed from source.
+    pub fn rule(mut self, action: RuleAction, condition_src: &str) -> Result<Self, crate::parser::ParseError> {
+        let condition = crate::parser::parse_expr(condition_src)?;
+        self.rules.push(Rule { condition, action });
+        Ok(self)
+    }
+
+    /// Evaluate a request. Evaluation errors in a rule's condition are
+    /// propagated — a policy that cannot be evaluated must not silently
+    /// default.
+    pub fn decide(&self, req: &Request, ont: &Ontology) -> Result<RuleAction, EvalError> {
+        for rule in &self.rules {
+            if rule.condition.matches(req, ont)? {
+                return Ok(rule.action);
+            }
+        }
+        Ok(self.default_action)
+    }
+}
+
+/// A signed statement: `issuer` empowers `subject` for requests matching
+/// `condition`; `can_delegate` lets the subject pass the power on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assertion {
+    /// Who issued (signed) the assertion.
+    pub issuer: Principal,
+    /// Who is empowered.
+    pub subject: Principal,
+    /// When it applies.
+    pub condition: Expr,
+    /// May the subject re-delegate this power?
+    pub can_delegate: bool,
+}
+
+/// Why compliance failed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ComplianceError {
+    /// An assertion's condition could not be evaluated.
+    Eval(EvalError),
+}
+
+impl From<EvalError> for ComplianceError {
+    fn from(e: EvalError) -> Self {
+        ComplianceError::Eval(e)
+    }
+}
+
+/// KeyNote-shaped trust-management engine.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PolicyEngine {
+    /// Unconditionally trusted roots (the local "POLICY" principal set).
+    pub roots: Vec<Principal>,
+    /// All assertions presented.
+    pub assertions: Vec<Assertion>,
+    /// The attribute vocabulary.
+    pub ontology: Ontology,
+}
+
+impl PolicyEngine {
+    /// An engine with the given roots and vocabulary.
+    pub fn new(roots: Vec<Principal>, ontology: Ontology) -> Self {
+        PolicyEngine { roots, assertions: Vec::new(), ontology }
+    }
+
+    /// Add an assertion.
+    pub fn assert(&mut self, a: Assertion) {
+        self.assertions.push(a);
+    }
+
+    /// Is `actor` authorized for `req`?
+    ///
+    /// True iff a chain of satisfied assertions leads from some root to
+    /// `actor`, where every link except the last has `can_delegate`.
+    pub fn authorized(&self, actor: &Principal, req: &Request) -> Result<bool, ComplianceError> {
+        // Frontier of principals whose *delegation* power we have reached.
+        let mut delegators: BTreeSet<&Principal> = self.roots.iter().collect();
+        let mut grown = true;
+        let mut authorized: BTreeSet<&Principal> = BTreeSet::new();
+        while grown {
+            grown = false;
+            for a in &self.assertions {
+                if !delegators.contains(&a.issuer) {
+                    continue;
+                }
+                if !a.condition.matches(req, &self.ontology)? {
+                    continue;
+                }
+                if authorized.insert(&a.subject) {
+                    grown = true;
+                }
+                if a.can_delegate && delegators.insert(&a.subject) {
+                    grown = true;
+                }
+            }
+        }
+        Ok(authorized.contains(actor) || self.roots.contains(actor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn ont() -> Ontology {
+        Ontology::network()
+    }
+
+    fn req(port: i64) -> Request {
+        Request::new().with("action", "connect").with("dst_port", port).with("anonymous", false)
+    }
+
+    #[test]
+    fn ruleset_first_match_wins() {
+        let rs = RuleSet::default_deny()
+            .rule(RuleAction::Deny, "dst_port == 25")
+            .unwrap()
+            .rule(RuleAction::Allow, "dst_port in [25, 80, 443]")
+            .unwrap();
+        assert_eq!(rs.decide(&req(25), &ont()), Ok(RuleAction::Deny));
+        assert_eq!(rs.decide(&req(80), &ont()), Ok(RuleAction::Allow));
+        assert_eq!(rs.decide(&req(9999), &ont()), Ok(RuleAction::Deny));
+    }
+
+    #[test]
+    fn ruleset_default_allow() {
+        let rs = RuleSet::default_allow().rule(RuleAction::Deny, "dst_port == 6881").unwrap();
+        assert_eq!(rs.decide(&req(6881), &ont()), Ok(RuleAction::Deny));
+        assert_eq!(rs.decide(&req(80), &ont()), Ok(RuleAction::Allow));
+    }
+
+    #[test]
+    fn ruleset_eval_errors_propagate() {
+        // rule references an attribute the ontology doesn't know
+        let rs = RuleSet {
+            rules: vec![Rule {
+                condition: Expr::Attr("unheard_of".into()),
+                action: RuleAction::Allow,
+            }],
+            default_action: RuleAction::Deny,
+        };
+        assert!(rs.decide(&req(80), &ont()).is_err());
+    }
+
+    fn assertion(issuer: &str, subject: &str, cond: &str, deleg: bool) -> Assertion {
+        Assertion {
+            issuer: Principal::named(issuer),
+            subject: Principal::named(subject),
+            condition: parse_expr(cond).unwrap(),
+            can_delegate: deleg,
+        }
+    }
+
+    #[test]
+    fn direct_authorization() {
+        let mut eng = PolicyEngine::new(vec![Principal::named("root")], ont());
+        eng.assert(assertion("root", "alice", "dst_port == 80", false));
+        assert!(eng.authorized(&Principal::named("alice"), &req(80)).unwrap());
+        assert!(!eng.authorized(&Principal::named("alice"), &req(25)).unwrap());
+        assert!(!eng.authorized(&Principal::named("bob"), &req(80)).unwrap());
+    }
+
+    #[test]
+    fn delegation_chain() {
+        let mut eng = PolicyEngine::new(vec![Principal::named("root")], ont());
+        eng.assert(assertion("root", "dept", "dst_port in [80, 443]", true));
+        eng.assert(assertion("dept", "carol", "dst_port == 443", false));
+        assert!(eng.authorized(&Principal::named("carol"), &req(443)).unwrap());
+        // carol's own grant is narrower than dept's
+        assert!(!eng.authorized(&Principal::named("carol"), &req(80)).unwrap());
+    }
+
+    #[test]
+    fn non_delegable_grants_do_not_chain() {
+        let mut eng = PolicyEngine::new(vec![Principal::named("root")], ont());
+        eng.assert(assertion("root", "dept", "dst_port == 80", false)); // no delegation
+        eng.assert(assertion("dept", "carol", "dst_port == 80", false));
+        assert!(!eng.authorized(&Principal::named("carol"), &req(80)).unwrap());
+        assert!(eng.authorized(&Principal::named("dept"), &req(80)).unwrap());
+    }
+
+    #[test]
+    fn unrooted_assertions_grant_nothing() {
+        let mut eng = PolicyEngine::new(vec![Principal::named("root")], ont());
+        eng.assert(assertion("stranger", "mallory", "dst_port == 80", true));
+        assert!(!eng.authorized(&Principal::named("mallory"), &req(80)).unwrap());
+    }
+
+    #[test]
+    fn roots_are_always_authorized() {
+        let eng = PolicyEngine::new(vec![Principal::named("root")], ont());
+        assert!(eng.authorized(&Principal::named("root"), &req(1)).unwrap());
+    }
+
+    #[test]
+    fn delegation_cycles_terminate() {
+        let mut eng = PolicyEngine::new(vec![Principal::named("root")], ont());
+        eng.assert(assertion("root", "a", "dst_port == 80", true));
+        eng.assert(assertion("a", "b", "dst_port == 80", true));
+        eng.assert(assertion("b", "a", "dst_port == 80", true)); // cycle
+        assert!(eng.authorized(&Principal::named("b"), &req(80)).unwrap());
+    }
+
+    #[test]
+    fn condition_errors_surface() {
+        let mut eng = PolicyEngine::new(vec![Principal::named("root")], ont());
+        eng.assert(Assertion {
+            issuer: Principal::named("root"),
+            subject: Principal::named("alice"),
+            condition: Expr::Attr("mystery".into()),
+            can_delegate: false,
+        });
+        assert!(eng.authorized(&Principal::named("alice"), &req(80)).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! `Display`/`Error` implementations for the crate's error types.
+
+use crate::ast::EvalError;
+use crate::cops::PdpError;
+use crate::engine::ComplianceError;
+use crate::lexer::LexError;
+use crate::ontology::OntologyError;
+use crate::parser::ParseError;
+use core::fmt;
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OntologyError::UnknownAttribute(name) => {
+                write!(f, "attribute '{name}' is outside the declared ontology")
+            }
+            OntologyError::TypeMismatch { attr, expected, got } => {
+                write!(f, "attribute '{attr}' is declared {expected:?} but a {got} was supplied")
+            }
+        }
+    }
+}
+impl std::error::Error for OntologyError {}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Ontology(e) => write!(f, "ontology violation: {e}"),
+            EvalError::MissingAttribute(name) => {
+                write!(f, "the request does not carry attribute '{name}'")
+            }
+            EvalError::TypeError { operation, got } => {
+                write!(f, "operator '{operation}' cannot be applied to a {got}")
+            }
+        }
+    }
+}
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Ontology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.at, self.message)
+    }
+}
+impl std::error::Error for LexError {}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { at, found, expected } => match found {
+                Some(tok) => write!(f, "parse error at token {at}: found {tok:?}, expected {expected}"),
+                None => write!(f, "parse error at token {at}: input ended, expected {expected}"),
+            },
+            ParseError::TrailingTokens { at } => {
+                write!(f, "parse error: trailing tokens starting at {at}")
+            }
+        }
+    }
+}
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Lex(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ComplianceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComplianceError::Eval(e) => write!(f, "assertion condition failed to evaluate: {e}"),
+        }
+    }
+}
+impl std::error::Error for ComplianceError {}
+
+impl fmt::Display for PdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdpError::UnknownPolicy(name) => write!(f, "no policy named '{name}' is provisioned"),
+            PdpError::Eval(e) => write!(f, "policy evaluation failed: {e}"),
+        }
+    }
+}
+impl std::error::Error for PdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    #[test]
+    fn parse_errors_render_usefully() {
+        let e = parse_expr("a &&").unwrap_err();
+        assert!(e.to_string().contains("expected"));
+        let e = parse_expr("a $ b").unwrap_err();
+        assert!(e.to_string().contains("lex error"));
+    }
+
+    #[test]
+    fn eval_errors_chain_sources() {
+        use std::error::Error;
+        let e = EvalError::Ontology(OntologyError::UnknownAttribute("zzz".into()));
+        assert!(e.to_string().contains("zzz"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn all_are_error_objects() {
+        let errors: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(OntologyError::UnknownAttribute("x".into())),
+            Box::new(EvalError::MissingAttribute("x".into())),
+            Box::new(LexError { at: 0, message: "m".into() }),
+            Box::new(ParseError::TrailingTokens { at: 1 }),
+            Box::new(PdpError::UnknownPolicy("p".into())),
+        ];
+        assert_eq!(errors.len(), 5);
+    }
+}

@@ -1,0 +1,256 @@
+//! Tokenizer for the policy expression language.
+
+use serde::{Deserialize, Serialize};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Token {
+    /// Attribute or keyword-like identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Quoted string literal.
+    Str(String),
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `in`
+    In,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+}
+
+/// A tokenization failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+/// Tokenize an expression source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError { at: i, message: "expected '&&'".into() });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError { at: i, message: "expected '||'".into() });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::EqEq);
+                    i += 2;
+                } else {
+                    return Err(LexError { at: i, message: "expected '=='".into() });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError { at: i, message: "unterminated string".into() });
+                }
+                out.push(Token::Str(src[start..j].to_owned()));
+                i = j + 1;
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                let mut j = i + if c == '-' { 1 } else { 0 };
+                if c == '-' && !bytes.get(j).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                    return Err(LexError { at: i, message: "expected digits after '-'".into() });
+                }
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &src[start..j];
+                let n = text
+                    .parse::<i64>()
+                    .map_err(|e| LexError { at: start, message: format!("bad integer: {e}") })?;
+                out.push(Token::Int(n));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric()
+                        || bytes[j] == b'_'
+                        || bytes[j] == b'.')
+                {
+                    j += 1;
+                }
+                let word = &src[start..j];
+                out.push(match word {
+                    "in" => Token::In,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    _ => Token::Ident(word.to_owned()),
+                });
+                i = j;
+            }
+            other => {
+                return Err(LexError { at: i, message: format!("unexpected character '{other}'") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_typical_condition() {
+        let toks = lex(r#"action == "connect" && dst_port in [80, 443]"#).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("action".into()),
+                Token::EqEq,
+                Token::Str("connect".into()),
+                Token::AndAnd,
+                Token::Ident("dst_port".into()),
+                Token::In,
+                Token::LBracket,
+                Token::Int(80),
+                Token::Comma,
+                Token::Int(443),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_all_operators() {
+        let toks = lex("a != b || !c < 1 <= 2 > 3 >= 4 ( ) true false").unwrap();
+        assert!(toks.contains(&Token::NotEq));
+        assert!(toks.contains(&Token::OrOr));
+        assert!(toks.contains(&Token::Bang));
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::True));
+        assert!(toks.contains(&Token::False));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(lex("-42").unwrap(), vec![Token::Int(-42)]);
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        assert_eq!(lex("identity.role").unwrap(), vec![Token::Ident("identity.role".into())]);
+    }
+
+    #[test]
+    fn error_positions() {
+        assert_eq!(lex("a & b").unwrap_err().at, 2);
+        assert_eq!(lex("a = b").unwrap_err().at, 2);
+        assert!(lex("\"oops").unwrap_err().message.contains("unterminated"));
+        assert!(lex("a $ b").is_err());
+        assert!(lex("- x").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(lex("   ").unwrap(), vec![]);
+    }
+}

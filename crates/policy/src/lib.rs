@@ -1,0 +1,64 @@
+//! # tussle-policy — a policy language with a bounded ontology
+//!
+//! §II.B: "Recently, systems have been proposed that capture differing user
+//! interests using 'policy languages'. ... Policy languages serve two
+//! functions. Explicitly, they allow actors to express their own
+//! constraints and requirements within a larger actor space. Implicitly,
+//! by imposing an ontology on what can be expressed, they bound the tussle
+//! that can be expressed within defined limits."
+//!
+//! Both functions are implemented literally:
+//!
+//! * the **expression language** ([`lexer`], [`parser`], [`ast`]) lets an
+//!   actor write conditions over request attributes
+//!   (`action == "connect" && dst_port in [80, 443]`);
+//! * the **ontology** ([`ontology`]) is the declared attribute vocabulary;
+//!   conditions referencing attributes outside it are *rejected*, which is
+//!   exactly how a policy language bounds expressible tussle — and the
+//!   paper's warning that this "can be defeating, if it prevents the
+//!   system from capturing ... tussles that were not anticipated" is
+//!   testable as an `UnknownAttribute` error;
+//! * the **compliance engine** ([`engine`]) is KeyNote-shaped: trusted
+//!   roots, assertions `issuer → subject if condition`, bounded
+//!   delegation, and first-match rule lists for middlebox policies.
+//!
+//! The language deliberately does *nothing* to resolve tussles: "the
+//! existence of a policy language does nothing to resolve tussles ... It
+//! simply provides a first step toward accommodation" (§II.B). It decides
+//! requests; it does not align interests.
+//!
+//! ## Example
+//!
+//! ```
+//! use tussle_policy::{parse_expr, Ontology, Request};
+//!
+//! let rule = parse_expr("!anonymous && dst_port in [80, 443]").unwrap();
+//! let request = Request::new().with("anonymous", false).with("dst_port", 443i64);
+//! assert_eq!(rule.matches(&request, &Ontology::network()), Ok(true));
+//!
+//! // the ontology bound: unanticipated tussles cannot be expressed
+//! let outside = parse_expr("carbon_footprint > 9000").unwrap();
+//! assert!(outside.matches(&request, &Ontology::network()).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cops;
+pub mod engine;
+mod errors;
+pub mod lexer;
+pub mod ontology;
+pub mod p3p;
+pub mod parser;
+pub mod value;
+
+pub use ast::{CmpOp, EvalError, Expr};
+pub use cops::{DecisionPath, DecisionPoint, EnforcementPoint, PdpError};
+pub use engine::{Assertion, ComplianceError, PolicyEngine, Principal, Rule, RuleAction, RuleSet};
+pub use lexer::{LexError, Token};
+pub use ontology::{AttrType, Ontology, OntologyError};
+pub use p3p::{acceptable, SitePolicy, UserPreferences};
+pub use parser::{parse_expr, ParseError};
+pub use value::{Request, Value};

@@ -1,0 +1,167 @@
+//! The ontology: the vocabulary a policy language permits.
+//!
+//! "Implicitly, by imposing an ontology on what can be expressed, they
+//! bound the tussle that can be expressed within defined limits" (§II.B).
+//! The ontology declares which attributes exist and their types; the
+//! evaluator refuses conditions that step outside it. The paper's caveat —
+//! that an ontology "can be defeating, if it prevents the system from
+//! capturing and acting on tussles that were not anticipated" — shows up
+//! as an [`OntologyError::UnknownAttribute`] the moment an actor tries to
+//! express a fight the language designers didn't foresee.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Integer-valued.
+    Int,
+    /// String-valued.
+    Str,
+    /// Boolean-valued.
+    Bool,
+}
+
+impl AttrType {
+    /// Does a value inhabit this type?
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (AttrType::Int, Value::Int(_))
+                | (AttrType::Str, Value::Str(_))
+                | (AttrType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+/// An ontology violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OntologyError {
+    /// The attribute is not in the declared vocabulary — the tussle being
+    /// expressed was not anticipated by the language designers.
+    UnknownAttribute(String),
+    /// The attribute exists but with a different type.
+    TypeMismatch {
+        /// Attribute name.
+        attr: String,
+        /// Declared type.
+        expected: AttrType,
+        /// Supplied value's type name.
+        got: String,
+    },
+}
+
+/// The declared attribute vocabulary.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ontology {
+    attrs: BTreeMap<String, AttrType>,
+}
+
+impl Ontology {
+    /// Empty vocabulary (everything is out of bounds).
+    pub fn new() -> Self {
+        Ontology::default()
+    }
+
+    /// The vocabulary used by the networking experiments: connection
+    /// attributes a middlebox policy may reason about.
+    pub fn network() -> Self {
+        let mut o = Ontology::new();
+        o.declare("action", AttrType::Str);
+        o.declare("dst_port", AttrType::Int);
+        o.declare("src_port", AttrType::Int);
+        o.declare("proto", AttrType::Str);
+        o.declare("encrypted", AttrType::Bool);
+        o.declare("identity", AttrType::Int);
+        o.declare("anonymous", AttrType::Bool);
+        o.declare("tos", AttrType::Int);
+        o.declare("bytes", AttrType::Int);
+        o
+    }
+
+    /// Declare (or re-declare) an attribute.
+    pub fn declare(&mut self, name: &str, ty: AttrType) {
+        self.attrs.insert(name.to_owned(), ty);
+    }
+
+    /// Look up an attribute's declared type.
+    pub fn type_of(&self, name: &str) -> Result<AttrType, OntologyError> {
+        self.attrs
+            .get(name)
+            .copied()
+            .ok_or_else(|| OntologyError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// Check that a value matches an attribute's declared type.
+    pub fn check(&self, name: &str, value: &Value) -> Result<(), OntologyError> {
+        let ty = self.type_of(name)?;
+        if ty.admits(value) {
+            Ok(())
+        } else {
+            Err(OntologyError::TypeMismatch { attr: name.to_owned(), expected: ty, got: value.type_name().into() })
+        }
+    }
+
+    /// Number of declared attributes — the size of the expressible space.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Is the vocabulary empty?
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut o = Ontology::new();
+        assert!(o.is_empty());
+        o.declare("port", AttrType::Int);
+        assert_eq!(o.type_of("port"), Ok(AttrType::Int));
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let o = Ontology::network();
+        assert_eq!(
+            o.type_of("carbon_footprint"),
+            Err(OntologyError::UnknownAttribute("carbon_footprint".into()))
+        );
+    }
+
+    #[test]
+    fn type_checking() {
+        let o = Ontology::network();
+        assert!(o.check("dst_port", &Value::Int(80)).is_ok());
+        let err = o.check("dst_port", &Value::Str("eighty".into())).unwrap_err();
+        assert_eq!(
+            err,
+            OntologyError::TypeMismatch { attr: "dst_port".into(), expected: AttrType::Int, got: "string".into() }
+        );
+    }
+
+    #[test]
+    fn admits() {
+        assert!(AttrType::Bool.admits(&Value::Bool(false)));
+        assert!(!AttrType::Bool.admits(&Value::Int(0)));
+        assert!(!AttrType::Str.admits(&Value::List(vec![])));
+    }
+
+    #[test]
+    fn network_vocabulary_is_bounded() {
+        // The point of the exercise: the network ontology can talk about
+        // ports and identities but NOT about, say, content licensing — that
+        // tussle cannot be expressed here.
+        let o = Ontology::network();
+        assert!(o.type_of("dst_port").is_ok());
+        assert!(o.type_of("copyright_license").is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! P3P-shaped privacy preference matching.
+//!
+//! §II.B's first example of a policy language is P3P: sites *declare*
+//! their data practices, user agents hold *preferences*, and the match is
+//! computed mechanically before any data flows. Like the paper says of
+//! policy languages generally, this resolves nothing — a site can declare
+//! falsely, which is why [`crate::engine`]'s trust machinery and
+//! `tussle-trust`'s mediators exist — but it makes the tussle explicit
+//! and machine-checkable.
+
+use serde::{Deserialize, Serialize};
+
+/// Categories of data a site may collect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataCategory {
+    /// Click/visit behaviour.
+    Clickstream,
+    /// Name, address, e-mail.
+    Contact,
+    /// Payment instruments.
+    Financial,
+    /// Physical location.
+    Location,
+    /// Health-related data.
+    Health,
+}
+
+/// What the site does with collected data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Purpose {
+    /// Needed to deliver the service itself.
+    ServiceDelivery,
+    /// Site analytics and improvement.
+    Analytics,
+    /// Marketing back to the user.
+    Marketing,
+    /// Sale or sharing with third parties.
+    ThirdPartySharing,
+}
+
+/// How long data is kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Retention {
+    /// Discarded at session end.
+    Session,
+    /// Kept for a bounded period.
+    Bounded,
+    /// Kept forever.
+    Indefinite,
+}
+
+/// One declared practice: category × purpose × retention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Practice {
+    /// What is collected.
+    pub category: DataCategory,
+    /// Why.
+    pub purpose: Purpose,
+    /// For how long.
+    pub retention: Retention,
+}
+
+/// A site's declared privacy policy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SitePolicy {
+    /// Declared practices.
+    pub practices: Vec<Practice>,
+}
+
+impl SitePolicy {
+    /// A policy declaring the given practices.
+    pub fn new(practices: Vec<Practice>) -> Self {
+        SitePolicy { practices }
+    }
+}
+
+/// The user agent's standing preferences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserPreferences {
+    /// Categories the user refuses to share at all.
+    pub forbidden_categories: Vec<DataCategory>,
+    /// Purposes the user refuses for any category.
+    pub forbidden_purposes: Vec<Purpose>,
+    /// The longest retention the user tolerates.
+    pub max_retention: Retention,
+}
+
+impl UserPreferences {
+    /// A permissive profile (accepts anything).
+    pub fn permissive() -> Self {
+        UserPreferences {
+            forbidden_categories: Vec::new(),
+            forbidden_purposes: Vec::new(),
+            max_retention: Retention::Indefinite,
+        }
+    }
+
+    /// A conservative profile: no financial/health sharing, no third-party
+    /// sale, bounded retention.
+    pub fn conservative() -> Self {
+        UserPreferences {
+            forbidden_categories: vec![DataCategory::Financial, DataCategory::Health],
+            forbidden_purposes: vec![Purpose::ThirdPartySharing],
+            max_retention: Retention::Bounded,
+        }
+    }
+}
+
+/// The verdict for one declared practice.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mismatch {
+    /// The category is forbidden outright.
+    ForbiddenCategory(DataCategory),
+    /// The purpose is forbidden.
+    ForbiddenPurpose(Purpose),
+    /// Retention exceeds the tolerated maximum.
+    RetentionTooLong {
+        /// What the site declared.
+        declared: Retention,
+        /// The user's cap.
+        tolerated: Retention,
+    },
+}
+
+/// Evaluate a site policy against user preferences; empty result = accept.
+pub fn evaluate(site: &SitePolicy, prefs: &UserPreferences) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    for p in &site.practices {
+        if prefs.forbidden_categories.contains(&p.category) {
+            out.push(Mismatch::ForbiddenCategory(p.category));
+        }
+        if prefs.forbidden_purposes.contains(&p.purpose) {
+            out.push(Mismatch::ForbiddenPurpose(p.purpose));
+        }
+        if p.retention > prefs.max_retention {
+            out.push(Mismatch::RetentionTooLong {
+                declared: p.retention,
+                tolerated: prefs.max_retention,
+            });
+        }
+    }
+    out
+}
+
+/// Would the user agent proceed?
+pub fn acceptable(site: &SitePolicy, prefs: &UserPreferences) -> bool {
+    evaluate(site, prefs).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shop() -> SitePolicy {
+        SitePolicy::new(vec![
+            Practice {
+                category: DataCategory::Contact,
+                purpose: Purpose::ServiceDelivery,
+                retention: Retention::Bounded,
+            },
+            Practice {
+                category: DataCategory::Clickstream,
+                purpose: Purpose::Analytics,
+                retention: Retention::Session,
+            },
+        ])
+    }
+
+    #[test]
+    fn benign_site_passes_conservative_prefs() {
+        assert!(acceptable(&shop(), &UserPreferences::conservative()));
+    }
+
+    #[test]
+    fn third_party_sharing_is_caught() {
+        let mut site = shop();
+        site.practices.push(Practice {
+            category: DataCategory::Contact,
+            purpose: Purpose::ThirdPartySharing,
+            retention: Retention::Bounded,
+        });
+        let mismatches = evaluate(&site, &UserPreferences::conservative());
+        assert_eq!(mismatches, vec![Mismatch::ForbiddenPurpose(Purpose::ThirdPartySharing)]);
+        assert!(acceptable(&site, &UserPreferences::permissive()));
+    }
+
+    #[test]
+    fn retention_ordering_is_meaningful() {
+        assert!(Retention::Session < Retention::Bounded);
+        assert!(Retention::Bounded < Retention::Indefinite);
+        let mut site = shop();
+        site.practices[0].retention = Retention::Indefinite;
+        let mismatches = evaluate(&site, &UserPreferences::conservative());
+        assert_eq!(
+            mismatches,
+            vec![Mismatch::RetentionTooLong {
+                declared: Retention::Indefinite,
+                tolerated: Retention::Bounded
+            }]
+        );
+    }
+
+    #[test]
+    fn forbidden_categories_block_even_service_delivery() {
+        let site = SitePolicy::new(vec![Practice {
+            category: DataCategory::Health,
+            purpose: Purpose::ServiceDelivery,
+            retention: Retention::Session,
+        }]);
+        let mismatches = evaluate(&site, &UserPreferences::conservative());
+        assert_eq!(mismatches, vec![Mismatch::ForbiddenCategory(DataCategory::Health)]);
+    }
+
+    #[test]
+    fn one_practice_can_mismatch_multiple_ways() {
+        let site = SitePolicy::new(vec![Practice {
+            category: DataCategory::Financial,
+            purpose: Purpose::ThirdPartySharing,
+            retention: Retention::Indefinite,
+        }]);
+        assert_eq!(evaluate(&site, &UserPreferences::conservative()).len(), 3);
+    }
+
+    #[test]
+    fn empty_policy_is_always_acceptable() {
+        assert!(acceptable(&SitePolicy::default(), &UserPreferences::conservative()));
+    }
+}

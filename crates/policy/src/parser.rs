@@ -1,0 +1,264 @@
+//! Recursive-descent parser for policy expressions.
+//!
+//! Grammar (lowest precedence first):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ("||" and)*
+//! and     := unary ("&&" unary)*
+//! unary   := "!" unary | relation
+//! relation:= primary (("=="|"!="|"<"|"<="|">"|">="|"in") primary)?
+//! primary := "(" expr ")" | "[" (primary ("," primary)*)? "]"
+//!          | INT | STRING | "true" | "false" | IDENT
+//! ```
+
+use crate::ast::{CmpOp, Expr};
+use crate::lexer::{lex, LexError, Token};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token (index into the token stream).
+    Unexpected {
+        /// Token index.
+        at: usize,
+        /// What was found, if anything.
+        found: Option<Token>,
+        /// What was expected.
+        expected: String,
+    },
+    /// Input ended with tokens left over.
+    TrailingTokens {
+        /// Index of the first leftover token.
+        at: usize,
+    },
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parse an expression from source text.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.or_expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError::TrailingTokens { at: p.pos });
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Token, what: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(t) if t == *tok => Ok(()),
+            found => Err(ParseError::Unexpected {
+                at: self.pos.saturating_sub(1),
+                found,
+                expected: what.to_owned(),
+            }),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.peek() == Some(&Token::OrOr) {
+            self.bump();
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        while self.peek() == Some(&Token::AndAnd) {
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Bang) {
+            self.bump();
+            let inner = self.unary()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.relation()
+    }
+
+    fn relation(&mut self) -> Result<Expr, ParseError> {
+        let left = self.primary()?;
+        let op = match self.peek() {
+            Some(Token::EqEq) => Some(CmpOp::Eq),
+            Some(Token::NotEq) => Some(CmpOp::Ne),
+            Some(Token::Lt) => Some(CmpOp::Lt),
+            Some(Token::Le) => Some(CmpOp::Le),
+            Some(Token::Gt) => Some(CmpOp::Gt),
+            Some(Token::Ge) => Some(CmpOp::Ge),
+            Some(Token::In) => None, // handled below
+            _ => return Ok(left),
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let right = self.primary()?;
+                Ok(Expr::Cmp(Box::new(left), op, Box::new(right)))
+            }
+            None => {
+                self.bump(); // the `in`
+                let right = self.primary()?;
+                Ok(Expr::In(Box::new(left), Box::new(right)))
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::LParen) => {
+                let e = self.or_expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token::LBracket) => {
+                let mut items = Vec::new();
+                if self.peek() != Some(&Token::RBracket) {
+                    loop {
+                        let item = self.primary()?;
+                        match item {
+                            Expr::Lit(v) => items.push(v),
+                            _ => {
+                                return Err(ParseError::Unexpected {
+                                    at: self.pos.saturating_sub(1),
+                                    found: self.tokens.get(self.pos - 1).cloned(),
+                                    expected: "literal list element".into(),
+                                })
+                            }
+                        }
+                        if self.peek() == Some(&Token::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBracket, "']'")?;
+                Ok(Expr::Lit(Value::List(items)))
+            }
+            Some(Token::Int(n)) => Ok(Expr::Lit(Value::Int(n))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Value::Str(s))),
+            Some(Token::True) => Ok(Expr::Lit(Value::Bool(true))),
+            Some(Token::False) => Ok(Expr::Lit(Value::Bool(false))),
+            Some(Token::Ident(name)) => Ok(Expr::Attr(name)),
+            found => Err(ParseError::Unexpected {
+                at: self.pos.saturating_sub(1),
+                found,
+                expected: "expression".into(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::Ontology;
+    use crate::value::Request;
+
+    fn eval(src: &str, req: &Request) -> bool {
+        parse_expr(src).unwrap().matches(req, &Ontology::network()).unwrap()
+    }
+
+    #[test]
+    fn parses_firewall_style_conditions() {
+        let r = Request::new()
+            .with("action", "connect")
+            .with("dst_port", 443i64)
+            .with("encrypted", true)
+            .with("anonymous", false);
+        assert!(eval(r#"action == "connect" && dst_port in [80, 443]"#, &r));
+        assert!(eval(r#"encrypted || dst_port == 25"#, &r));
+        assert!(eval(r#"!anonymous"#, &r));
+        assert!(!eval(r#"dst_port < 100"#, &r));
+        assert!(eval(r#"(dst_port >= 400 && dst_port <= 500) || action != "connect""#, &r));
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        // a || b && c parses as a || (b && c)
+        let e = parse_expr("anonymous || encrypted && anonymous").unwrap();
+        match e {
+            Expr::Or(_, rhs) => assert!(matches!(*rhs, Expr::And(_, _))),
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation() {
+        let r = Request::new().with("anonymous", true);
+        assert!(eval("!!anonymous", &r));
+    }
+
+    #[test]
+    fn empty_list() {
+        let r = Request::new().with("dst_port", 80i64);
+        assert!(!eval("dst_port in []", &r));
+    }
+
+    #[test]
+    fn string_lists() {
+        let r = Request::new().with("proto", "tcp");
+        assert!(eval(r#"proto in ["tcp", "udp"]"#, &r));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse_expr("a &&"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse_expr("a b"), Err(ParseError::TrailingTokens { .. })));
+        assert!(matches!(parse_expr("(a"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse_expr("a @ b"), Err(ParseError::Lex(_))));
+        assert!(matches!(parse_expr("[a]"), Err(ParseError::Unexpected { .. })));
+        assert!(matches!(parse_expr(""), Err(ParseError::Unexpected { .. })));
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let sources = [
+            r#"(action == "connect")"#,
+            r#"((dst_port in [80, 443]) && !(anonymous))"#,
+            r#"((encrypted || (tos >= 4)) && (bytes < 1000000))"#,
+        ];
+        for src in sources {
+            let e1 = parse_expr(src).unwrap();
+            let printed = e1.to_string();
+            let e2 = parse_expr(&printed).unwrap();
+            assert_eq!(e1, e2, "roundtrip failed for {src}: printed as {printed}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Values and requests.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A runtime value in the policy language.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Homogeneous-ish list (used with `in`).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// A short name for the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Truthiness: only booleans are truthy/falsy; everything else is a
+    /// type error at the call site.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A request: the attribute bag a policy decision is made over.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    attrs: BTreeMap<String, Value>,
+}
+
+impl Request {
+    /// Empty request.
+    pub fn new() -> Self {
+        Request::default()
+    }
+
+    /// Builder: set an attribute.
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.attrs.insert(key.to_owned(), value.into());
+        self
+    }
+
+    /// Look up an attribute.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.attrs.get(key)
+    }
+
+    /// Attribute names present.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.attrs.keys().map(|k| k.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Int(1).type_name(), "int");
+        assert_eq!(Value::List(vec![]).type_name(), "list");
+    }
+
+    #[test]
+    fn as_bool_only_for_bools() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(1).as_bool(), None);
+    }
+
+    #[test]
+    fn request_builder() {
+        let r = Request::new().with("action", "connect").with("port", 80i64);
+        assert_eq!(r.get("action"), Some(&Value::Str("connect".into())));
+        assert_eq!(r.get("port"), Some(&Value::Int(80)));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.keys().count(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the policy language: parse/print round trips and
+//! evaluator totality over the ontology.
+
+use proptest::prelude::*;
+use tussle_policy::{parse_expr, CmpOp, Expr, Ontology, Request, Value};
+
+/// Generate random well-typed expressions over the network ontology.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..65536).prop_map(|n| Expr::Lit(Value::Int(n))),
+        any::<bool>().prop_map(|b| Expr::Lit(Value::Bool(b))),
+        "[a-z]{1,8}".prop_map(|s| Expr::Lit(Value::Str(s))),
+        prop_oneof![
+            Just(Expr::Attr("dst_port".into())),
+            Just(Expr::Attr("tos".into())),
+            Just(Expr::Attr("bytes".into())),
+        ],
+        prop_oneof![
+            Just(Expr::Attr("encrypted".into())),
+            Just(Expr::Attr("anonymous".into())),
+        ],
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
+                Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge),
+            ])
+                .prop_map(|(a, b, op)| Expr::Cmp(Box::new(a), op, Box::new(b))),
+            (inner, proptest::collection::vec(0i64..100, 0..4)).prop_map(|(a, items)| {
+                Expr::In(
+                    Box::new(a),
+                    Box::new(Expr::Lit(Value::List(items.into_iter().map(Value::Int).collect()))),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// print → parse is the identity on ASTs.
+    #[test]
+    fn parse_print_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("printed form failed to parse: {printed} ({err:?})"));
+        prop_assert_eq!(reparsed, e);
+    }
+
+    /// The evaluator is total over well-formed requests: it returns a
+    /// value or a *structured* error, never panics, and evaluation is
+    /// deterministic.
+    #[test]
+    fn evaluator_is_total_and_deterministic(
+        e in arb_expr(),
+        port in 0i64..65536,
+        tos in 0i64..256,
+        bytes in 0i64..1_000_000,
+        enc in any::<bool>(),
+        anon in any::<bool>(),
+    ) {
+        let ont = Ontology::network();
+        let req = Request::new()
+            .with("dst_port", port)
+            .with("tos", tos)
+            .with("bytes", bytes)
+            .with("encrypted", enc)
+            .with("anonymous", anon);
+        let first = e.eval(&req, &ont);
+        let second = e.eval(&req, &ont);
+        prop_assert_eq!(first, second);
+    }
+
+    /// Attributes outside the ontology are always rejected, regardless of
+    /// the surrounding expression — the "bounded tussle" property. (The
+    /// attribute is placed in the *left*, eagerly-evaluated position so
+    /// short-circuiting cannot skip it.)
+    #[test]
+    fn out_of_ontology_attributes_rejected(name in "[a-z]{3,10}") {
+        let ont = Ontology::network();
+        prop_assume!(ont.type_of(&name).is_err());
+        let e = Expr::And(
+            Box::new(Expr::Attr(name.clone())),
+            Box::new(Expr::Lit(Value::Bool(true))),
+        );
+        let req = Request::new().with(name.as_str(), true);
+        prop_assert!(e.eval(&req, &ont).is_err());
+    }
+
+    /// Parsing arbitrary junk never panics.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,60}") {
+        let _ = parse_expr(&src);
+    }
+}

@@ -1,0 +1,111 @@
+//! Information exposure: what a routing design forces you to reveal.
+//!
+//! §IV.C: "A link-state routing protocol requires that everyone export his
+//! link costs, while a path vector protocol makes it harder to see what the
+//! internal choices are. In the context of tussle, it matters if choices
+//! and the consequence of choices are visible." This module turns that
+//! observation into a number: for each design, how many facts about *my*
+//! network does every other participant learn?
+
+use crate::pathvector::AsGraph;
+use serde::{Deserialize, Serialize};
+use tussle_net::{Asn, Network, Prefix};
+
+/// What one participant learns about others under a routing design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfoExposure {
+    /// Internal link costs revealed to each participant.
+    pub link_costs_visible: usize,
+    /// AS-level path entries revealed to each participant.
+    pub path_entries_visible: usize,
+    /// Can an outsider reconstruct my internal topology?
+    pub internal_topology_visible: bool,
+}
+
+impl InfoExposure {
+    /// A scalar for comparisons: total facts revealed.
+    pub fn total(&self) -> usize {
+        self.link_costs_visible + self.path_entries_visible
+    }
+}
+
+/// Exposure under link-state: every participant sees every link and its
+/// cost — the full map, including everyone's internal topology.
+pub fn link_state_exposure(net: &Network) -> InfoExposure {
+    InfoExposure {
+        link_costs_visible: net.links().len(),
+        path_entries_visible: 0,
+        internal_topology_visible: true,
+    }
+}
+
+/// Exposure under path-vector, from the perspective of one AS: it sees
+/// only the AS paths in its own RIB — no link costs, no internal topology.
+pub fn path_vector_exposure(graph: &AsGraph, observer: Asn, prefixes: &[Prefix]) -> InfoExposure {
+    let path_entries = prefixes
+        .iter()
+        .filter_map(|p| graph.as_path(observer, *p))
+        .map(|path| path.len())
+        .sum();
+    InfoExposure {
+        link_costs_visible: 0,
+        path_entries_visible: path_entries,
+        internal_topology_visible: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tussle_net::Asn;
+    use tussle_sim::SimTime;
+
+    #[test]
+    fn link_state_reveals_everything() {
+        let mut net = Network::new();
+        let a = net.add_router(Asn(1));
+        let b = net.add_router(Asn(2));
+        let c = net.add_router(Asn(2));
+        net.connect(a, b, SimTime::from_millis(1), 1_000_000);
+        net.connect(b, c, SimTime::from_millis(1), 1_000_000);
+        let e = link_state_exposure(&net);
+        assert_eq!(e.link_costs_visible, 2);
+        assert!(e.internal_topology_visible);
+        assert_eq!(e.total(), 2);
+    }
+
+    #[test]
+    fn path_vector_reveals_only_paths() {
+        let mut g = AsGraph::new();
+        g.customer_of(Asn(2), Asn(1));
+        g.customer_of(Asn(3), Asn(2));
+        let p = Prefix::new(0x0a000000, 16);
+        g.originate(Asn(3), p);
+        g.converge(20);
+        let e = path_vector_exposure(&g, Asn(1), &[p]);
+        assert!(!e.internal_topology_visible);
+        assert_eq!(e.link_costs_visible, 0);
+        // AS1 sees path [2, 3]
+        assert_eq!(e.path_entries_visible, 2);
+    }
+
+    #[test]
+    fn competitors_learn_less_under_path_vector() {
+        // The §IV.C claim, quantified: same connectivity, less exposure.
+        let mut net = Network::new();
+        let a = net.add_router(Asn(1));
+        let b = net.add_router(Asn(2));
+        net.connect(a, b, SimTime::from_millis(1), 1_000_000);
+
+        let mut g = AsGraph::new();
+        g.peers(Asn(1), Asn(2));
+        let p = Prefix::new(0x0a000000, 16);
+        g.originate(Asn(2), p);
+        g.converge(10);
+
+        let ls = link_state_exposure(&net);
+        let pv = path_vector_exposure(&g, Asn(1), &[p]);
+        assert!(pv.total() <= ls.total());
+        assert!(ls.internal_topology_visible && !pv.internal_topology_visible);
+    }
+}

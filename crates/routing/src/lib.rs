@@ -1,0 +1,57 @@
+//! # tussle-routing — routing protocols as tussle interfaces
+//!
+//! §IV.C of the paper reads routing protocols as *interfaces designed for
+//! tussle*: "BGP has a different character than a protocol such as OSPF
+//! that is designed to be used within a given domain (hopefully a more
+//! tussle-free context). ... A link-state routing protocol requires that
+//! everyone export his link costs, while a path vector protocol makes it
+//! harder to see what the internal choices are."
+//!
+//! This crate implements both sides of that comparison plus the two
+//! §V.A.4 alternatives for who controls wide-area paths:
+//!
+//! * [`linkstate`] — an OSPF-flavoured shortest-path-first protocol that
+//!   floods (exposes) every link cost;
+//! * [`pathvector`] — a BGP-flavoured path-vector protocol with
+//!   customer/peer/provider relationships and Gao–Rexford export rules,
+//!   which hides internal costs and reveals only AS paths;
+//! * [`sourceroute`] — user-controlled provider-level source routing with
+//!   explicit payment (the design the paper argues was never built because
+//!   nobody had the incentive to build it);
+//! * [`overlay`] — RON-style resilient overlays, "a tool in the tussle"
+//!   that routes around provider policy at the application layer;
+//! * [`exposure`] — the information-exposure metric that makes the
+//!   OSPF/BGP visibility contrast quantitative.
+//!
+//! ## Example
+//!
+//! ```
+//! use tussle_net::{Asn, Prefix};
+//! use tussle_routing::AsGraph;
+//!
+//! let mut graph = AsGraph::new();
+//! graph.customer_of(Asn(2), Asn(1)); // AS2 buys transit from AS1
+//! graph.customer_of(Asn(3), Asn(1));
+//! let prefix = Prefix::new(0x0a000000, 16);
+//! graph.originate(Asn(3), prefix);
+//! graph.converge(20);
+//! assert_eq!(graph.as_path(Asn(2), prefix).unwrap(), &[Asn(1), Asn(3)]);
+//! assert!(graph.is_valley_free(graph.as_path(Asn(2), prefix).unwrap()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exposure;
+pub mod linkstate;
+pub mod overlay;
+pub mod pathvector;
+pub mod policyroute;
+pub mod sourceroute;
+
+pub use exposure::InfoExposure;
+pub use linkstate::LinkStateProtocol;
+pub use overlay::{Overlay, OverlayDelivery};
+pub use pathvector::{AsGraph, Relationship, Route};
+pub use policyroute::{ControlLocus, PathConstraint, RoutePolicy};
+pub use sourceroute::{authorize_route, enumerate_paths, RouteOffer, SourceRouteError};

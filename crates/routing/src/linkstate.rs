@@ -1,0 +1,240 @@
+//! Link-state (OSPF-flavoured) routing.
+//!
+//! Every participant floods its link costs; every participant runs the same
+//! shortest-path-first computation over the same database. That total
+//! transparency is fine inside one administrative domain ("hopefully a more
+//! tussle-free context", §IV.C) and unacceptable between competitors — the
+//! [`crate::exposure`] module quantifies why.
+
+use std::collections::BinaryHeap;
+use tussle_net::{Network, NodeId, Prefix};
+
+/// A link-state protocol instance over a set of participating nodes.
+///
+/// Costs come from link latency in microseconds (a common OSPF practice is
+/// inverse bandwidth; latency keeps the arithmetic transparent in tests).
+#[derive(Debug, Clone)]
+pub struct LinkStateProtocol {
+    /// Nodes participating in this routing domain.
+    pub members: Vec<NodeId>,
+}
+
+impl LinkStateProtocol {
+    /// A protocol instance over the given members.
+    pub fn new(members: Vec<NodeId>) -> Self {
+        LinkStateProtocol { members }
+    }
+
+    /// A protocol instance spanning every node in the network.
+    pub fn spanning(net: &Network) -> Self {
+        LinkStateProtocol { members: net.nodes().iter().map(|n| n.id).collect() }
+    }
+
+    /// Dijkstra from `src` over up links between members.
+    /// Returns `(dist, prev)` tables indexed by node.
+    fn spf(&self, net: &Network, src: NodeId) -> (Vec<u64>, Vec<Option<NodeId>>) {
+        let n = net.nodes().len();
+        let member = {
+            let mut m = vec![false; n];
+            for id in &self.members {
+                m[id.index()] = true;
+            }
+            m
+        };
+        let mut dist = vec![u64::MAX; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src.index()] = 0;
+        // max-heap of Reverse((dist, node))
+        heap.push(core::cmp::Reverse((0u64, src)));
+        while let Some(core::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u.index()] {
+                continue;
+            }
+            for lid in net.links_of(u) {
+                let link = net.link(*lid);
+                if !link.up {
+                    continue;
+                }
+                let Some(v) = link.other_end(u) else { continue };
+                if !member[v.index()] {
+                    continue;
+                }
+                let w = link.latency.as_micros().max(1);
+                let nd = d.saturating_add(w);
+                if nd < dist[v.index()] {
+                    dist[v.index()] = nd;
+                    prev[v.index()] = Some(u);
+                    heap.push(core::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        (dist, prev)
+    }
+
+    /// Shortest path from `src` to `dst`, if one exists.
+    pub fn path(&self, net: &Network, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let (dist, prev) = self.spf(net, src);
+        if dist[dst.index()] == u64::MAX {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[cur.index()]?;
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Total cost of the shortest path from `src` to `dst`.
+    pub fn cost(&self, net: &Network, src: NodeId, dst: NodeId) -> Option<u64> {
+        let (dist, _) = self.spf(net, src);
+        let d = dist[dst.index()];
+        (d != u64::MAX).then_some(d)
+    }
+
+    /// Compute routes from every member to every advertised prefix and
+    /// install them in the members' FIBs.
+    ///
+    /// `advertisements` maps a prefix to the node that originates it.
+    /// Returns the number of FIB entries installed.
+    pub fn install_routes(
+        &self,
+        net: &mut Network,
+        advertisements: &[(Prefix, NodeId)],
+    ) -> usize {
+        let mut installed = 0;
+        for &src in &self.members {
+            let (dist, prev) = self.spf(net, src);
+            for &(prefix, origin) in advertisements {
+                if origin == src || dist[origin.index()] == u64::MAX {
+                    continue;
+                }
+                // First hop on the path src -> origin.
+                let mut hop = origin;
+                while prev[hop.index()] != Some(src) {
+                    match prev[hop.index()] {
+                        Some(p) => hop = p,
+                        None => break,
+                    }
+                }
+                if prev[hop.index()] == Some(src) {
+                    net.fib_mut(src).install(prefix, hop, dist[origin.index()] as u32);
+                    installed += 1;
+                }
+            }
+        }
+        installed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tussle_net::addr::{Address, AddressOrigin, Asn};
+    use tussle_net::packet::{ports, Protocol};
+    use tussle_net::Packet;
+    use tussle_sim::{SimRng, SimTime};
+
+    /// Square with a diagonal shortcut:
+    ///   a --1ms-- b
+    ///   |         |
+    ///  5ms       1ms
+    ///   |         |
+    ///   d --1ms-- c     plus a --10ms-- c
+    fn square() -> (Network, [NodeId; 4]) {
+        let mut net = Network::new();
+        let a = net.add_router(Asn(1));
+        let b = net.add_router(Asn(1));
+        let c = net.add_router(Asn(1));
+        let d = net.add_router(Asn(1));
+        net.connect(a, b, SimTime::from_millis(1), 1_000_000_000);
+        net.connect(b, c, SimTime::from_millis(1), 1_000_000_000);
+        net.connect(c, d, SimTime::from_millis(1), 1_000_000_000);
+        net.connect(d, a, SimTime::from_millis(5), 1_000_000_000);
+        net.connect(a, c, SimTime::from_millis(10), 1_000_000_000);
+        (net, [a, b, c, d])
+    }
+
+    #[test]
+    fn spf_prefers_cheap_multi_hop_over_expensive_direct() {
+        let (net, [a, b, c, _]) = square();
+        let ls = LinkStateProtocol::spanning(&net);
+        assert_eq!(ls.path(&net, a, c).unwrap(), vec![a, b, c]);
+        assert_eq!(ls.cost(&net, a, c).unwrap(), 2_000);
+    }
+
+    #[test]
+    fn spf_reroutes_after_failure() {
+        let (mut net, [a, b, c, d]) = square();
+        // fail a-b
+        let ab = net.links()[0].id;
+        net.link_mut(ab).up = false;
+        let ls = LinkStateProtocol::spanning(&net);
+        let p = ls.path(&net, a, c).unwrap();
+        // best is now d (5+1=6ms) over direct (10ms)
+        assert_eq!(p, vec![a, d, c]);
+        let _ = b;
+    }
+
+    #[test]
+    fn disconnected_is_none() {
+        let (mut net, [a, _, c, _]) = square();
+        for i in 0..net.links().len() {
+            let id = net.links()[i].id;
+            net.link_mut(id).up = false;
+        }
+        let ls = LinkStateProtocol::spanning(&net);
+        assert!(ls.path(&net, a, c).is_none());
+        assert!(ls.cost(&net, a, c).is_none());
+    }
+
+    #[test]
+    fn non_members_are_invisible() {
+        let (net, [a, b, c, d]) = square();
+        // exclude b: a must now reach c via d or the direct link
+        let ls = LinkStateProtocol::new(vec![a, c, d]);
+        let p = ls.path(&net, a, c).unwrap();
+        assert!(!p.contains(&b));
+        assert_eq!(p, vec![a, d, c]); // 6ms beats direct 10ms
+    }
+
+    #[test]
+    fn install_routes_enables_forwarding() {
+        let (mut net, [a, b, c, d]) = square();
+        let dst_addr = Address::in_prefix(
+            tussle_net::Prefix::new(0x0c000000, 16),
+            1,
+            AddressOrigin::ProviderIndependent,
+        );
+        net.node_mut(c).bind(dst_addr);
+        let ls = LinkStateProtocol::spanning(&net);
+        let n = ls.install_routes(&mut net, &[(tussle_net::Prefix::new(0x0c000000, 16), c)]);
+        assert_eq!(n, 3, "a, b and d each get a route");
+        let src_addr = Address::in_prefix(
+            tussle_net::Prefix::new(0x0a000000, 16),
+            1,
+            AddressOrigin::ProviderIndependent,
+        );
+        net.node_mut(a).bind(src_addr);
+        let mut rng = SimRng::seed_from_u64(1);
+        let rep = net.send(
+            a,
+            Packet::new(src_addr, dst_addr, Protocol::Tcp, 1, ports::HTTP),
+            &mut rng,
+        );
+        assert!(rep.delivered);
+        assert_eq!(rep.path, vec![a, b, c]);
+        let _ = d;
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let (net, [a, ..]) = square();
+        let ls = LinkStateProtocol::spanning(&net);
+        assert_eq!(ls.path(&net, a, a).unwrap(), vec![a]);
+        assert_eq!(ls.cost(&net, a, a).unwrap(), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Resilient overlay networks — "a tool in the tussle".
+//!
+//! §V.A.4: "Since source routes do not work effectively today, researchers
+//! propose even more indirect ways of getting around provider-selected
+//! routing, such as exploiting hosts as intermediate forwarding agents.
+//! (This kind of overlay network is a tool in the tussle, certainly.)"
+//!
+//! The overlay relays traffic host-to-host at the application layer: when
+//! the direct path fails (link failure, firewall, policy refusal), the
+//! sender forwards the payload to an overlay member that *can* reach the
+//! destination. Because each leg is an ordinary packet to an ordinary
+//! address, no provider cooperation is needed — and no provider is
+//! compensated, which is the **economic distortion** experiment E5
+//! measures: transit an AS never agreed to carry.
+
+use serde::{Deserialize, Serialize};
+use tussle_net::{Address, DeliveryReport, Network, NodeId, Packet};
+use tussle_sim::{SimRng, SimTime};
+
+/// How a delivery ultimately happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OverlayDelivery {
+    /// The direct path worked; no overlay involvement.
+    Direct(DeliveryReport),
+    /// Relayed via an overlay member; both legs' reports included.
+    Relayed {
+        /// The member that relayed.
+        via: NodeId,
+        /// Sender → relay leg.
+        first_leg: DeliveryReport,
+        /// Relay → destination leg.
+        second_leg: DeliveryReport,
+    },
+    /// Every option failed; the direct attempt's report is returned.
+    Failed(DeliveryReport),
+}
+
+impl OverlayDelivery {
+    /// Did the payload arrive, by any means?
+    pub fn delivered(&self) -> bool {
+        match self {
+            OverlayDelivery::Direct(r) => r.delivered,
+            OverlayDelivery::Relayed { second_leg, .. } => second_leg.delivered,
+            OverlayDelivery::Failed(_) => false,
+        }
+    }
+
+    /// End-to-end latency (sum of legs).
+    pub fn latency(&self) -> SimTime {
+        match self {
+            OverlayDelivery::Direct(r) | OverlayDelivery::Failed(r) => r.latency,
+            OverlayDelivery::Relayed { first_leg, second_leg, .. } => {
+                first_leg.latency.saturating_add(second_leg.latency)
+            }
+        }
+    }
+
+    /// Total router hops consumed — the resource footprint providers carry.
+    pub fn hops(&self) -> usize {
+        match self {
+            OverlayDelivery::Direct(r) | OverlayDelivery::Failed(r) => r.hops(),
+            OverlayDelivery::Relayed { first_leg, second_leg, .. } => {
+                first_leg.hops() + second_leg.hops()
+            }
+        }
+    }
+}
+
+/// A RON-style overlay: a set of member hosts willing to relay for each
+/// other ("mutual aid", §IV.C).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Overlay {
+    /// Member hosts, with their overlay addresses.
+    pub members: Vec<(NodeId, Address)>,
+}
+
+impl Overlay {
+    /// An overlay over the given member hosts.
+    pub fn new(members: Vec<(NodeId, Address)>) -> Self {
+        Overlay { members }
+    }
+
+    /// Send `pkt` from `from`, falling back to one-hop relay through each
+    /// member in order until something works.
+    ///
+    /// Each relay leg is an ordinary packet: the first leg re-addresses the
+    /// payload to the relay, the second restores the true destination —
+    /// exactly how application-layer overlays evade network-layer policy.
+    pub fn send(
+        &self,
+        net: &mut Network,
+        from: NodeId,
+        pkt: Packet,
+        rng: &mut SimRng,
+    ) -> OverlayDelivery {
+        let direct = net.send(from, pkt.clone(), rng);
+        if direct.delivered {
+            return OverlayDelivery::Direct(direct);
+        }
+        for &(member, member_addr) in &self.members {
+            if member == from {
+                continue;
+            }
+            // Leg 1: to the relay, disguised as ordinary member traffic.
+            let mut leg1 = pkt.clone();
+            leg1.dst = member_addr;
+            leg1.ttl = Packet::DEFAULT_TTL;
+            let first = net.send(from, leg1, rng);
+            if !first.delivered {
+                continue;
+            }
+            // Leg 2: relay forwards to the true destination with its own
+            // source address (it is, after all, the one sending now).
+            let mut leg2 = pkt.clone();
+            leg2.src = member_addr;
+            leg2.ttl = Packet::DEFAULT_TTL;
+            let second = net.send(member, leg2, rng);
+            if second.delivered {
+                return OverlayDelivery::Relayed { via: member, first_leg: first, second_leg: second };
+            }
+        }
+        OverlayDelivery::Failed(direct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tussle_net::addr::{Address, AddressOrigin, Asn, Prefix};
+    use tussle_net::firewall::Firewall;
+    use tussle_net::packet::{ports, Protocol};
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), 1, AddressOrigin::ProviderIndependent)
+    }
+
+    /// Triangle of ASes: src -- rA -- dst, src -- rB -- relay -- rA.
+    /// rA's firewall blocks src's traffic; the relay's traffic is fine.
+    fn world() -> (Network, NodeId, NodeId, Overlay, Packet) {
+        let mut net = Network::new();
+        let src = net.add_host(Asn(1));
+        let ra = net.add_router(Asn(2));
+        let dst = net.add_host(Asn(2));
+        let rb = net.add_router(Asn(3));
+        let relay = net.add_host(Asn(3));
+        net.connect(src, ra, SimTime::from_millis(5), 1_000_000_000);
+        net.connect(ra, dst, SimTime::from_millis(5), 1_000_000_000);
+        net.connect(src, rb, SimTime::from_millis(5), 1_000_000_000);
+        net.connect(rb, relay, SimTime::from_millis(5), 1_000_000_000);
+        net.connect(relay, ra, SimTime::from_millis(5), 1_000_000_000);
+
+        let a_src = addr(0x0a010000);
+        let a_dst = addr(0x0b010000);
+        let a_rel = addr(0x0c010000);
+        net.node_mut(src).bind(a_src);
+        net.node_mut(dst).bind(a_dst);
+        net.node_mut(relay).bind(a_rel);
+
+        // routes
+        let pd = Prefix::new(0x0b010000, 16);
+        let pr = Prefix::new(0x0c010000, 16);
+        net.fib_mut(src).install(pd, ra, 0);
+        net.fib_mut(src).install(pr, rb, 0);
+        net.fib_mut(ra).install(pd, dst, 0);
+        net.fib_mut(rb).install(pr, relay, 0);
+        net.fib_mut(relay).install(pd, ra, 0);
+
+        let overlay = Overlay::new(vec![(relay, a_rel)]);
+        let pkt = Packet::new(a_src, a_dst, Protocol::Tcp, 1, ports::NOVEL);
+        (net, src, relay, overlay, pkt)
+    }
+
+    #[test]
+    fn direct_when_path_is_clean() {
+        let (mut net, src, _, overlay, pkt) = world();
+        let mut rng = SimRng::seed_from_u64(1);
+        let d = overlay.send(&mut net, src, pkt, &mut rng);
+        assert!(matches!(d, OverlayDelivery::Direct(_)));
+        assert!(d.delivered());
+    }
+
+    #[test]
+    fn relays_around_a_firewall() {
+        let (mut net, src, relay, overlay, pkt) = world();
+        // AS2's border blocklists src's prefix (a country-level block, a
+        // de-peering grudge — any source-keyed policy). The overlay's
+        // second leg originates from the relay's address, so the policy
+        // never sees the blocked prefix.
+        let mut fw = Firewall::transparent();
+        fw.push(tussle_net::FirewallRule {
+            matcher: tussle_net::MatchOn::SrcInPrefix(Prefix::new(0x0a010000, 16)),
+            action: tussle_net::FirewallAction::Deny,
+            installed_by: "AS2 border".into(),
+        });
+        let ra = net.nodes()[1].id;
+        net.set_firewall(ra, fw);
+        let mut rng = SimRng::seed_from_u64(1);
+        let d = overlay.send(&mut net, src, pkt, &mut rng);
+        match &d {
+            OverlayDelivery::Relayed { via, .. } => assert_eq!(*via, relay),
+            other => panic!("expected relay, got {other:?}"),
+        }
+        assert!(d.delivered());
+    }
+
+    #[test]
+    fn relays_around_link_failure() {
+        let (mut net, src, relay, overlay, pkt) = world();
+        // fail src--ra
+        let l = net.links()[0].id;
+        net.link_mut(l).up = false;
+        let mut rng = SimRng::seed_from_u64(1);
+        let d = overlay.send(&mut net, src, pkt, &mut rng);
+        assert!(d.delivered());
+        match &d {
+            OverlayDelivery::Relayed { via, first_leg, second_leg } => {
+                assert_eq!(*via, relay);
+                assert!(first_leg.delivered && second_leg.delivered);
+            }
+            other => panic!("expected relay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relayed_latency_and_hops_are_summed() {
+        let (mut net, src, _, overlay, pkt) = world();
+        let l = net.links()[0].id;
+        net.link_mut(l).up = false;
+        let mut rng = SimRng::seed_from_u64(1);
+        let direct_hops = 2; // src-ra-dst when healthy
+        let d = overlay.send(&mut net, src, pkt, &mut rng);
+        assert!(d.hops() > direct_hops, "overlay consumes extra transit: {}", d.hops());
+        assert!(d.latency() > SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn total_failure_reports_direct_attempt() {
+        let (mut net, src, _, overlay, pkt) = world();
+        // kill both exits
+        for i in [0usize, 2] {
+            let l = net.links()[i].id;
+            net.link_mut(l).up = false;
+        }
+        let mut rng = SimRng::seed_from_u64(1);
+        let d = overlay.send(&mut net, src, pkt, &mut rng);
+        assert!(!d.delivered());
+        assert!(matches!(d, OverlayDelivery::Failed(_)));
+    }
+}

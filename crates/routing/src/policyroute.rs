@@ -1,0 +1,230 @@
+//! Policy routing: who holds the knob?
+//!
+//! §V.A.4: "There were two competing technical proposals answering this in
+//! different ways: user control [34, Clark RFC 1102] and provider control
+//! [33, Rekhter RFC 1092]. The two proposals were shown to have rough
+//! equivalence in the set of expressible policies, yet from the tussle
+//! viewpoint they had very different consequences. ... the user control
+//! proposal required changing the data plane (IP protocol) ... provider
+//! control required changing only the control plane."
+//!
+//! Both loci evaluate the *same* policy language over the same candidate
+//! paths — that is the "rough equivalence", checkable by construction.
+//! What differs is everything the paper cares about: whose policy wins
+//! when they disagree, how many parties must act to change a route, and
+//! what layer had to change to deploy the design.
+
+use serde::{Deserialize, Serialize};
+use tussle_net::Asn;
+
+/// One constraint in a routing policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathConstraint {
+    /// Reject any path crossing this AS.
+    AvoidAs(Asn),
+    /// Reject any path NOT crossing this AS (e.g. "must use my QoS
+    /// transit").
+    RequireAs(Asn),
+    /// Reject paths longer than this many ASes.
+    MaxLength(usize),
+}
+
+impl PathConstraint {
+    /// Does a path satisfy this constraint?
+    pub fn accepts(&self, path: &[Asn]) -> bool {
+        match self {
+            PathConstraint::AvoidAs(a) => !path.contains(a),
+            PathConstraint::RequireAs(a) => path.contains(a),
+            PathConstraint::MaxLength(n) => path.len() <= *n,
+        }
+    }
+}
+
+/// A routing policy: all constraints must hold; among acceptable paths,
+/// prefer the ones listed in `preferences` (earlier = better), then
+/// shortest, then lexicographic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutePolicy {
+    /// Hard constraints.
+    pub constraints: Vec<PathConstraint>,
+    /// Preferred transit ASes, most preferred first.
+    pub preferences: Vec<Asn>,
+}
+
+impl RoutePolicy {
+    /// A policy with no opinions.
+    pub fn permissive() -> Self {
+        RoutePolicy::default()
+    }
+
+    /// Does the policy accept a path at all?
+    pub fn accepts(&self, path: &[Asn]) -> bool {
+        self.constraints.iter().all(|c| c.accepts(path))
+    }
+
+    /// Preference rank: lower is better.
+    fn rank(&self, path: &[Asn]) -> (usize, usize, Vec<u32>) {
+        let pref = self
+            .preferences
+            .iter()
+            .position(|a| path.contains(a))
+            .unwrap_or(self.preferences.len());
+        (pref, path.len(), path.iter().map(|a| a.0).collect())
+    }
+
+    /// The path this policy selects from `candidates`, if any acceptable.
+    pub fn select<'a>(&self, candidates: &'a [Vec<Asn>]) -> Option<&'a Vec<Asn>> {
+        candidates
+            .iter()
+            .filter(|p| self.accepts(p))
+            .min_by_key(|p| self.rank(p))
+    }
+}
+
+/// Who applies their policy to path selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlLocus {
+    /// The end user's policy decides (RFC 1102-style).
+    UserControl,
+    /// The provider's policy decides (RFC 1092/BGP-style).
+    ProviderControl,
+}
+
+/// The §V.A.4 consequences of a control locus, independent of policy
+/// expressiveness.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocusConsequences {
+    /// How many parties must act for the *user* to get a different path.
+    pub parties_to_change: usize,
+    /// Did deployment require changing the data plane (every router's
+    /// forwarding path)?
+    pub data_plane_change: bool,
+    /// Did deployment require changing only the control plane?
+    pub control_plane_only: bool,
+    /// Whose economic incentive drove standardization (the §V.A.4 reason
+    /// provider control actually shipped).
+    pub incentive_holder_deploys: bool,
+}
+
+impl ControlLocus {
+    /// Select a path given both parties' policies: the locus decides whose
+    /// policy applies; the other party's wishes are simply not consulted.
+    pub fn select<'a>(
+        &self,
+        user: &RoutePolicy,
+        provider: &RoutePolicy,
+        candidates: &'a [Vec<Asn>],
+    ) -> Option<&'a Vec<Asn>> {
+        match self {
+            ControlLocus::UserControl => user.select(candidates),
+            ControlLocus::ProviderControl => provider.select(candidates),
+        }
+    }
+
+    /// The §V.A.4 consequence table, `n_providers` deep on the path.
+    pub fn consequences(&self, n_providers: usize) -> LocusConsequences {
+        match self {
+            ControlLocus::UserControl => LocusConsequences {
+                parties_to_change: 1, // the user re-selects alone
+                data_plane_change: true,
+                control_plane_only: false,
+                // users had no standards-body leverage in 1989
+                incentive_holder_deploys: false,
+            },
+            ControlLocus::ProviderControl => LocusConsequences {
+                // every provider on the path must agree to route differently
+                parties_to_change: n_providers.max(1),
+                data_plane_change: false,
+                control_plane_only: true,
+                // "the providers and their suppliers had the economic
+                // incentive to drive the engineering and standardization"
+                incentive_holder_deploys: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> Vec<Vec<Asn>> {
+        vec![
+            vec![Asn(1), Asn(10), Asn(2)],          // via cheap transit
+            vec![Asn(1), Asn(20), Asn(2)],          // via premium transit
+            vec![Asn(1), Asn(10), Asn(30), Asn(2)], // long detour
+        ]
+    }
+
+    #[test]
+    fn constraints_work() {
+        let path = vec![Asn(1), Asn(10), Asn(2)];
+        assert!(!PathConstraint::AvoidAs(Asn(10)).accepts(&path));
+        assert!(PathConstraint::AvoidAs(Asn(99)).accepts(&path));
+        assert!(PathConstraint::RequireAs(Asn(10)).accepts(&path));
+        assert!(!PathConstraint::RequireAs(Asn(20)).accepts(&path));
+        assert!(PathConstraint::MaxLength(3).accepts(&path));
+        assert!(!PathConstraint::MaxLength(2).accepts(&path));
+    }
+
+    #[test]
+    fn selection_honors_preferences_then_length() {
+        let cands = candidates();
+        let mut policy = RoutePolicy::permissive();
+        assert_eq!(policy.select(&cands).unwrap(), &vec![Asn(1), Asn(10), Asn(2)]);
+        policy.preferences = vec![Asn(20)];
+        assert_eq!(policy.select(&cands).unwrap(), &vec![Asn(1), Asn(20), Asn(2)]);
+    }
+
+    #[test]
+    fn unsatisfiable_policies_select_nothing() {
+        let policy = RoutePolicy {
+            constraints: vec![PathConstraint::RequireAs(Asn(99))],
+            preferences: vec![],
+        };
+        let cands = candidates();
+        assert_eq!(policy.select(&cands), None);
+    }
+
+    #[test]
+    fn expressive_equivalence_of_the_two_proposals() {
+        // "rough equivalence in the set of expressible policies": the SAME
+        // policy object produces the SAME selection whichever locus runs it.
+        let policy = RoutePolicy {
+            constraints: vec![PathConstraint::AvoidAs(Asn(10))],
+            preferences: vec![Asn(20)],
+        };
+        let cands = candidates();
+        let as_user = ControlLocus::UserControl.select(&policy, &RoutePolicy::permissive(), &cands);
+        let as_provider =
+            ControlLocus::ProviderControl.select(&RoutePolicy::permissive(), &policy, &cands);
+        assert_eq!(as_user, as_provider);
+        assert_eq!(as_user.unwrap(), &vec![Asn(1), Asn(20), Asn(2)]);
+    }
+
+    #[test]
+    fn the_locus_decides_whose_interests_win() {
+        // user wants the premium transit; provider wants the cheap one
+        let user = RoutePolicy { constraints: vec![], preferences: vec![Asn(20)] };
+        let provider = RoutePolicy { constraints: vec![], preferences: vec![Asn(10)] };
+        let cands = candidates();
+        let under_user = ControlLocus::UserControl.select(&user, &provider, &cands);
+        let under_provider = ControlLocus::ProviderControl.select(&user, &provider, &cands);
+        assert_eq!(under_user.unwrap(), &vec![Asn(1), Asn(20), Asn(2)]);
+        assert_eq!(under_provider.unwrap(), &vec![Asn(1), Asn(10), Asn(2)]);
+        assert_ne!(under_user, under_provider, "same candidates, different winners");
+    }
+
+    #[test]
+    fn consequences_differ_exactly_as_the_paper_says() {
+        let u = ControlLocus::UserControl.consequences(3);
+        let p = ControlLocus::ProviderControl.consequences(3);
+        // the user acts alone vs. convincing every provider on the path
+        assert_eq!(u.parties_to_change, 1);
+        assert_eq!(p.parties_to_change, 3);
+        // deployment burden flipped the outcome in 1989
+        assert!(u.data_plane_change && !p.data_plane_change);
+        assert!(p.control_plane_only);
+        assert!(p.incentive_holder_deploys && !u.incentive_holder_deploys);
+    }
+}

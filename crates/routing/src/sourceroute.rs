@@ -1,0 +1,281 @@
+//! User-controlled provider-level source routing, with payment.
+//!
+//! §V.A.4: "The Internet should support a mechanism for choice such as
+//! source routing that would permit a customer to control the path of his
+//! packets at the level of providers. ... The design for provider-level
+//! source routing must incorporate a recognition of the need for payment."
+//!
+//! This module supplies the three pieces the paper says such a design
+//! needs: *where the routes come from* ([`enumerate_paths`] walks the AS
+//! graph for valley-free-or-not candidate paths), *how the user knows the
+//! price* ([`RouteOffer`] exposes the cost of choice, §IV.C), and *how ISPs
+//! get paid* ([`authorize_route`] refuses a route whose on-path providers
+//! have not been compensated).
+
+use crate::pathvector::AsGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use tussle_net::Asn;
+
+/// A priced path offer: the cost of a choice, made visible before the
+/// choice is made.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteOffer {
+    /// The AS-level path, source first, destination last.
+    pub path: Vec<Asn>,
+    /// Total price in micro-currency for using the path (sum of each
+    /// transit AS's asking price).
+    pub price: u64,
+}
+
+/// Why a source route was refused.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceRouteError {
+    /// An on-path AS was not paid its asking price.
+    UnpaidTransit {
+        /// The AS that refused.
+        asn: Asn,
+        /// What it wanted.
+        asked: u64,
+        /// What it was offered.
+        offered: u64,
+    },
+    /// The path is not connected in the AS graph.
+    NotConnected {
+        /// The missing adjacency's tail.
+        from: Asn,
+        /// The missing adjacency's head.
+        to_: Asn,
+    },
+    /// Empty or single-AS path.
+    TooShort,
+}
+
+impl core::fmt::Display for SourceRouteError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SourceRouteError::UnpaidTransit { asn, asked, offered } => write!(
+                f,
+                "{asn} refuses the source route: asked {asked} micro-units, offered {offered}"
+            ),
+            SourceRouteError::NotConnected { from, to_ } => {
+                write!(f, "no adjacency between {from} and {to_}")
+            }
+            SourceRouteError::TooShort => f.write_str("a source route needs at least two ASes"),
+        }
+    }
+}
+
+impl std::error::Error for SourceRouteError {}
+
+/// Enumerate simple AS-level paths from `src` to `dst` up to `max_len`
+/// ASes, priced with each transit AS's asking price.
+///
+/// Unlike BGP's single provider-chosen route, this hands the *user* a menu
+/// of alternatives — "design for choice". Paths need not be valley-free:
+/// the whole point of paid source routing is that compensation replaces
+/// the no-free-transit rule. Results are sorted by price, then length,
+/// then lexicographic path, so the cheapest choice is first.
+pub fn enumerate_paths(
+    graph: &AsGraph,
+    src: Asn,
+    dst: Asn,
+    max_len: usize,
+    asking_prices: &BTreeMap<Asn, u64>,
+) -> Vec<RouteOffer> {
+    let mut out = Vec::new();
+    let mut stack = vec![src];
+    let mut seen: BTreeSet<Asn> = BTreeSet::new();
+    seen.insert(src);
+    dfs(graph, dst, max_len, asking_prices, &mut stack, &mut seen, &mut out);
+    out.sort_by(|a, b| {
+        a.price
+            .cmp(&b.price)
+            .then(a.path.len().cmp(&b.path.len()))
+            .then(a.path.cmp(&b.path))
+    });
+    out
+}
+
+fn dfs(
+    graph: &AsGraph,
+    dst: Asn,
+    max_len: usize,
+    prices: &BTreeMap<Asn, u64>,
+    stack: &mut Vec<Asn>,
+    seen: &mut BTreeSet<Asn>,
+    out: &mut Vec<RouteOffer>,
+) {
+    let cur = *stack.last().expect("stack never empty");
+    if cur == dst {
+        let price = stack[1..stack.len().saturating_sub(1)]
+            .iter()
+            .map(|a| prices.get(a).copied().unwrap_or(0))
+            .sum();
+        out.push(RouteOffer { path: stack.clone(), price });
+        return;
+    }
+    if stack.len() >= max_len {
+        return;
+    }
+    let neighbors: Vec<Asn> = graph
+        .ases()
+        .filter(|n| graph.relationship(cur, *n).is_some())
+        .collect();
+    for n in neighbors {
+        if seen.insert(n) {
+            stack.push(n);
+            dfs(graph, dst, max_len, prices, stack, seen, out);
+            stack.pop();
+            seen.remove(&n);
+        }
+    }
+}
+
+/// Check a chosen route against the payments actually made.
+///
+/// `payments` maps each AS to the amount the user transferred to it (via
+/// the `tussle-econ` ledger in full scenarios). Every *transit* AS (not
+/// the source or destination edge) must receive at least its asking price;
+/// the first unpaid AS refuses — exactly the §V.A.4 complaint that "ISPs
+/// do not receive any benefit when they carry traffic directed by a
+/// source route".
+pub fn authorize_route(
+    graph: &AsGraph,
+    path: &[Asn],
+    asking_prices: &BTreeMap<Asn, u64>,
+    payments: &BTreeMap<Asn, u64>,
+) -> Result<(), SourceRouteError> {
+    if path.len() < 2 {
+        return Err(SourceRouteError::TooShort);
+    }
+    for w in path.windows(2) {
+        if graph.relationship(w[0], w[1]).is_none() {
+            return Err(SourceRouteError::NotConnected { from: w[0], to_: w[1] });
+        }
+    }
+    for asn in &path[1..path.len() - 1] {
+        let asked = asking_prices.get(asn).copied().unwrap_or(0);
+        let offered = payments.get(asn).copied().unwrap_or(0);
+        if offered < asked {
+            return Err(SourceRouteError::UnpaidTransit { asn: *asn, asked, offered });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// src(1) - t1(10) - dst(2), plus src(1) - t2(20) - dst(2): two transits.
+    fn graph() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.customer_of(Asn(1), Asn(10));
+        g.customer_of(Asn(2), Asn(10));
+        g.customer_of(Asn(1), Asn(20));
+        g.customer_of(Asn(2), Asn(20));
+        g
+    }
+
+    fn prices(a: u64, b: u64) -> BTreeMap<Asn, u64> {
+        BTreeMap::from([(Asn(10), a), (Asn(20), b)])
+    }
+
+    #[test]
+    fn enumerates_both_transits_cheapest_first() {
+        let g = graph();
+        let offers = enumerate_paths(&g, Asn(1), Asn(2), 4, &prices(500, 300));
+        assert_eq!(offers.len(), 2);
+        assert_eq!(offers[0].path, vec![Asn(1), Asn(20), Asn(2)]);
+        assert_eq!(offers[0].price, 300);
+        assert_eq!(offers[1].price, 500);
+    }
+
+    #[test]
+    fn max_len_bounds_search() {
+        let g = graph();
+        let offers = enumerate_paths(&g, Asn(1), Asn(2), 2, &prices(1, 1));
+        assert!(offers.is_empty(), "no 2-AS path exists");
+    }
+
+    #[test]
+    fn endpoints_ride_free() {
+        // Only transit ASes are priced; src and dst pay their own providers
+        // through their regular contracts.
+        let g = graph();
+        let mut p = prices(100, 100);
+        p.insert(Asn(1), 999);
+        p.insert(Asn(2), 999);
+        let offers = enumerate_paths(&g, Asn(1), Asn(2), 4, &p);
+        assert_eq!(offers[0].price, 100);
+    }
+
+    #[test]
+    fn authorize_requires_full_payment() {
+        let g = graph();
+        let asking = prices(500, 300);
+        let path = vec![Asn(1), Asn(10), Asn(2)];
+        // unpaid: refused by AS10
+        let err = authorize_route(&g, &path, &asking, &BTreeMap::new()).unwrap_err();
+        assert_eq!(err, SourceRouteError::UnpaidTransit { asn: Asn(10), asked: 500, offered: 0 });
+        // partial payment: still refused
+        let partial = BTreeMap::from([(Asn(10), 499)]);
+        assert!(authorize_route(&g, &path, &asking, &partial).is_err());
+        // full payment: authorized
+        let full = BTreeMap::from([(Asn(10), 500)]);
+        assert_eq!(authorize_route(&g, &path, &asking, &full), Ok(()));
+    }
+
+    #[test]
+    fn authorize_rejects_disconnected_paths() {
+        let g = graph();
+        let err =
+            authorize_route(&g, &[Asn(1), Asn(2)], &BTreeMap::new(), &BTreeMap::new()).unwrap_err();
+        assert_eq!(err, SourceRouteError::NotConnected { from: Asn(1), to_: Asn(2) });
+    }
+
+    #[test]
+    fn authorize_rejects_trivial_paths() {
+        let g = graph();
+        assert_eq!(
+            authorize_route(&g, &[Asn(1)], &BTreeMap::new(), &BTreeMap::new()),
+            Err(SourceRouteError::TooShort)
+        );
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = SourceRouteError::UnpaidTransit { asn: Asn(10), asked: 500, offered: 0 };
+        assert!(e.to_string().contains("AS10"));
+        assert!(SourceRouteError::TooShort.to_string().contains("two"));
+    }
+
+    #[test]
+    fn overpayment_is_fine() {
+        let g = graph();
+        let asking = prices(500, 300);
+        let path = vec![Asn(1), Asn(10), Asn(2)];
+        let generous = BTreeMap::from([(Asn(10), 10_000)]);
+        assert!(authorize_route(&g, &path, &asking, &generous).is_ok());
+    }
+
+    #[test]
+    fn longer_paths_found_when_direct_transit_removed() {
+        // 1 - 10 - 2 and 10 - 20, 1 - 20: removing 20's edge to 2 leaves a
+        // path 1,20,10,2 (a "valley" — allowed under paid source routing).
+        let mut g = AsGraph::new();
+        g.customer_of(Asn(1), Asn(10));
+        g.customer_of(Asn(2), Asn(10));
+        g.customer_of(Asn(1), Asn(20));
+        g.peers(Asn(10), Asn(20));
+        let offers = enumerate_paths(&g, Asn(1), Asn(2), 4, &prices(100, 100));
+        let paths: Vec<_> = offers.iter().map(|o| o.path.clone()).collect();
+        assert!(paths.contains(&vec![Asn(1), Asn(10), Asn(2)]));
+        assert!(paths.contains(&vec![Asn(1), Asn(20), Asn(10), Asn(2)]));
+        // the long way is priced as the sum of both transits
+        let long = offers.iter().find(|o| o.path.len() == 4).unwrap();
+        assert_eq!(long.price, 200);
+    }
+}

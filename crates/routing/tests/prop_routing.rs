@@ -1,0 +1,147 @@
+//! Property tests for the routing substrate: Gao–Rexford structural
+//! guarantees over random commercial topologies, SPF optimality, and
+//! source-route pricing invariants.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tussle_net::{Asn, Network, Prefix};
+use tussle_routing::sourceroute::enumerate_paths;
+use tussle_routing::{AsGraph, LinkStateProtocol};
+use tussle_sim::SimTime;
+
+/// Build a random but well-formed commercial AS hierarchy:
+/// tier-1s peer with each other; every other AS buys transit from at
+/// least one AS in the tier above.
+fn arb_as_graph() -> impl Strategy<Value = (AsGraph, Vec<Asn>)> {
+    (2usize..4, 2usize..5, 1usize..4, any::<u64>()).prop_map(|(t1, mids, stubs_per, seed)| {
+        let mut g = AsGraph::new();
+        let mut rng = tussle_sim::SimRng::seed_from_u64(seed);
+        let t1s: Vec<Asn> = (0..t1).map(|i| Asn(10 + i as u32)).collect();
+        for i in 0..t1s.len() {
+            for j in (i + 1)..t1s.len() {
+                g.peers(t1s[i], t1s[j]);
+            }
+        }
+        let mid_asns: Vec<Asn> = (0..mids).map(|i| Asn(100 + i as u32)).collect();
+        for m in &mid_asns {
+            let p = t1s[rng.range(0..t1s.len())];
+            g.customer_of(*m, p);
+        }
+        let mut all = Vec::new();
+        for (mi, m) in mid_asns.iter().enumerate() {
+            for s in 0..stubs_per {
+                let stub = Asn(1000 + (mi * 10 + s) as u32);
+                g.customer_of(stub, *m);
+                all.push(stub);
+            }
+        }
+        all.extend(t1s);
+        all.extend(mid_asns);
+        (g, all)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every best path after convergence is loop-free, valley-free, and
+    /// ends at the originator.
+    #[test]
+    fn converged_paths_are_valley_free((mut g, asns) in arb_as_graph()) {
+        let origin = asns[0];
+        let prefix = Prefix::new(0x0a000000, 16);
+        g.originate(origin, prefix);
+        let rounds = g.converge(100);
+        prop_assert!(rounds < 100, "failed to converge");
+        for asn in &asns {
+            if let Some(path) = g.as_path(*asn, prefix) {
+                // loop-free
+                let mut seen = path.to_vec();
+                seen.sort_unstable();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), path.len(), "loop in {:?}", path);
+                // ends at origin
+                prop_assert_eq!(*path.last().unwrap(), origin);
+                // valley-free
+                prop_assert!(g.is_valley_free(path), "valley in {:?}", path);
+            }
+        }
+    }
+
+    /// Everyone in a single-rooted hierarchy can reach a stub's prefix
+    /// (the topology construction guarantees connectivity through tier 1).
+    #[test]
+    fn hierarchies_are_fully_reachable((mut g, asns) in arb_as_graph()) {
+        let origin = asns[0];
+        let prefix = Prefix::new(0x0b000000, 16);
+        g.originate(origin, prefix);
+        g.converge(100);
+        for asn in &asns {
+            prop_assert!(
+                g.best_route(*asn, prefix).is_some(),
+                "{asn:?} cannot reach {origin:?}"
+            );
+        }
+    }
+
+    /// SPF paths on random line-with-chords networks never beat direct
+    /// link costs and are internally consistent (each path's cost equals
+    /// the sum of its hops, and no shorter path exists through any single
+    /// intermediate the protocol also computed).
+    #[test]
+    fn spf_satisfies_triangle_inequality(
+        n in 4usize..12,
+        chords in proptest::collection::vec((0usize..12, 0usize..12, 1u64..50), 0..6),
+    ) {
+        let mut net = Network::new();
+        let nodes: Vec<_> = (0..n).map(|i| net.add_router(Asn(i as u32))).collect();
+        for w in nodes.windows(2) {
+            net.connect(w[0], w[1], SimTime::from_millis(5), 1_000_000_000);
+        }
+        for (a, b, ms) in chords {
+            let (a, b) = (a % n, b % n);
+            if a != b && net.link_between(nodes[a], nodes[b]).is_none() {
+                net.connect(nodes[a], nodes[b], SimTime::from_millis(ms), 1_000_000_000);
+            }
+        }
+        let ls = LinkStateProtocol::spanning(&net);
+        let cost = |x: usize, y: usize| ls.cost(&net, nodes[x], nodes[y]);
+        for i in 0..n {
+            for j in 0..n {
+                let Some(cij) = cost(i, j) else { continue };
+                for k in 0..n {
+                    if let (Some(cik), Some(ckj)) = (cost(i, k), cost(k, j)) {
+                        prop_assert!(
+                            cij <= cik + ckj,
+                            "triangle violated: d({i},{j})={cij} > {cik}+{ckj} via {k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Source-route offers are sorted by price and every offer's price is
+    /// exactly the sum of its transit ASes' asking prices.
+    #[test]
+    fn offers_price_correctly((g, asns) in arb_as_graph(), price_seed in any::<u64>()) {
+        let mut rng = tussle_sim::SimRng::seed_from_u64(price_seed);
+        let asking: BTreeMap<Asn, u64> =
+            asns.iter().map(|a| (*a, rng.range(0..1_000u64))).collect();
+        let src = asns[0];
+        let dst = *asns.last().unwrap();
+        let offers = enumerate_paths(&g, src, dst, 5, &asking);
+        for w in offers.windows(2) {
+            prop_assert!(w[0].price <= w[1].price, "offers out of order");
+        }
+        for o in &offers {
+            let expected: u64 = o.path[1..o.path.len() - 1]
+                .iter()
+                .map(|a| asking.get(a).copied().unwrap_or(0))
+                .sum();
+            prop_assert_eq!(o.price, expected);
+            prop_assert_eq!(o.path.first(), Some(&src));
+            prop_assert_eq!(o.path.last(), Some(&dst));
+        }
+    }
+}

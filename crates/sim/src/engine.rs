@@ -1,0 +1,364 @@
+//! The discrete-event engine.
+//!
+//! An [`Engine`] owns a world `W`, a virtual clock, an event queue and the
+//! shared facilities (RNG, metrics, trace). Event handlers receive
+//! `(&mut W, &mut Ctx<W>)`; the context lets them read the clock, draw
+//! randomness, record metrics/trace entries, schedule further events and
+//! request a stop. Newly scheduled events are buffered in the context and
+//! merged into the queue after the handler returns, preserving the total
+//! `(time, sequence)` order.
+
+use crate::event::{EventFn, Scheduled};
+use crate::metrics::Metrics;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::trace::Trace;
+use std::collections::BinaryHeap;
+
+/// Context handed to every event handler.
+pub struct Ctx<'a, W> {
+    now: SimTime,
+    /// Random stream for the run.
+    pub rng: &'a mut SimRng,
+    /// Metric sink for the run.
+    pub metrics: &'a mut Metrics,
+    /// Trace ring for the run.
+    pub trace: &'a mut Trace,
+    pending: Vec<(SimTime, EventFn<W>)>,
+    stop: bool,
+}
+
+impl<'a, W> Ctx<'a, W> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `f` at absolute time `at`. Times earlier than `now` are
+    /// clamped to `now` (events cannot run in the past).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Ctx<W>) + 'static) {
+        let at = at.max(self.now);
+        self.pending.push((at, Box::new(f)));
+    }
+
+    /// Schedule `f` after a relative `delay`.
+    pub fn schedule_in(&mut self, delay: SimTime, f: impl FnOnce(&mut W, &mut Ctx<W>) + 'static) {
+        let at = self.now.saturating_add(delay);
+        self.pending.push((at, Box::new(f)));
+    }
+
+    /// Record a trace entry stamped with the current time.
+    pub fn trace(&mut self, topic: &str, message: impl Into<String>) {
+        self.trace.record(self.now, topic, message);
+    }
+
+    /// Ask the engine to stop after this handler returns.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// A deterministic discrete-event simulation engine over a world `W`.
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    /// The simulated world; public so scenario code can inspect and mutate
+    /// it between runs.
+    pub world: W,
+    rng: SimRng,
+    metrics: Metrics,
+    trace: Trace,
+    stopped: bool,
+    events_processed: u64,
+}
+
+impl<W> Engine<W> {
+    /// New engine over `world`, seeded for reproducibility.
+    pub fn new(world: W, seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            world,
+            rng: SimRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            trace: Trace::default(),
+            stopped: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Metric sink (read).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Metric sink (write) — for scenario-level bookkeeping outside events.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Trace ring (read).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Trace ring (write).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// The run's random stream — for setup code that draws outside events.
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Schedule `f` at absolute time `at` (clamped to `now`).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Ctx<W>) + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time: at, seq, f: Box::new(f) });
+    }
+
+    /// Schedule `f` after a relative `delay`.
+    pub fn schedule_in(&mut self, delay: SimTime, f: impl FnOnce(&mut W, &mut Ctx<W>) + 'static) {
+        self.schedule_at(self.now.saturating_add(delay), f);
+    }
+
+    /// Run the next event. Returns `false` when the queue is empty or a
+    /// handler requested a stop.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event queue produced a past event");
+        self.now = ev.time;
+        let mut ctx = Ctx {
+            now: self.now,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            trace: &mut self.trace,
+            pending: Vec::new(),
+            stop: false,
+        };
+        (ev.f)(&mut self.world, &mut ctx);
+        let Ctx { pending, stop, .. } = ctx;
+        for (at, f) in pending {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Scheduled { time: at, seq, f });
+        }
+        self.events_processed += 1;
+        if stop {
+            self.stopped = true;
+        }
+        !self.stopped
+    }
+
+    /// Run until the queue drains, a handler stops the engine, or
+    /// `max_events` have executed. Returns the number of events run.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        // `step` returning false after executing the final (stopping) event
+        // still counts that event.
+        if self.stopped && n < max_events {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run events up to and including time `until`. Events scheduled later
+    /// stay queued. Returns the number of events run.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let mut n = 0;
+        while !self.stopped {
+            match self.queue.peek() {
+                Some(ev) if ev.time <= until => {
+                    self.step();
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        // The clock advances to the horizon even if no event sits exactly on
+        // it, so periodic scenario code sees consistent "end of epoch" times.
+        if self.now < until {
+            self.now = until;
+        }
+        n
+    }
+
+    /// Drain the queue completely (no event cap). Intended for scenarios
+    /// that are known to terminate.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run(u64::MAX)
+    }
+
+    /// Whether a handler has requested a stop.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Consume the engine, returning the world and the metrics.
+    pub fn into_parts(self) -> (W, Metrics, Trace) {
+        (self.world, self.metrics, self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<u32>,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(30), |w: &mut World, _| w.log.push(3));
+        eng.schedule_at(SimTime::from_millis(10), |w: &mut World, _| w.log.push(1));
+        eng.schedule_at(SimTime::from_millis(20), |w: &mut World, _| w.log.push(2));
+        eng.run_to_completion();
+        assert_eq!(eng.world.log, [1, 2, 3]);
+        assert_eq!(eng.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn simultaneous_events_run_in_schedule_order() {
+        let mut eng = Engine::new(World::default(), 1);
+        for i in 0..10 {
+            eng.schedule_at(SimTime::from_millis(5), move |w: &mut World, _| w.log.push(i));
+        }
+        eng.run_to_completion();
+        assert_eq!(eng.world.log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(1), |w: &mut World, ctx| {
+            w.log.push(1);
+            ctx.schedule_in(SimTime::from_millis(1), |w: &mut World, ctx| {
+                w.log.push(2);
+                ctx.schedule_in(SimTime::from_millis(1), |w: &mut World, _| w.log.push(3));
+            });
+        });
+        eng.run_to_completion();
+        assert_eq!(eng.world.log, [1, 2, 3]);
+        assert_eq!(eng.now(), SimTime::from_millis(3));
+        assert_eq!(eng.events_processed(), 3);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(10), |w: &mut World, _| w.log.push(1));
+        eng.schedule_at(SimTime::from_millis(50), |w: &mut World, _| w.log.push(5));
+        let n = eng.run_until(SimTime::from_millis(20));
+        assert_eq!(n, 1);
+        assert_eq!(eng.world.log, [1]);
+        assert_eq!(eng.now(), SimTime::from_millis(20));
+        assert_eq!(eng.queued(), 1);
+        eng.run_until(SimTime::from_millis(100));
+        assert_eq!(eng.world.log, [1, 5]);
+    }
+
+    #[test]
+    fn stop_halts_the_run() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(1), |w: &mut World, ctx| {
+            w.log.push(1);
+            ctx.stop();
+        });
+        eng.schedule_at(SimTime::from_millis(2), |w: &mut World, _| w.log.push(2));
+        eng.run_to_completion();
+        assert_eq!(eng.world.log, [1]);
+        assert!(eng.is_stopped());
+        assert!(!eng.step());
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(10), |w: &mut World, ctx| {
+            // Deliberately in the past; must run at `now`, not panic.
+            ctx.schedule_at(SimTime::from_millis(1), |w: &mut World, _| w.log.push(2));
+            w.log.push(1);
+        });
+        eng.run_to_completion();
+        assert_eq!(eng.world.log, [1, 2]);
+        assert_eq!(eng.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_runs() {
+        fn run(seed: u64) -> Vec<u32> {
+            let mut eng = Engine::new(World::default(), seed);
+            for _ in 0..5 {
+                eng.schedule_at(SimTime::ZERO, |w: &mut World, ctx| {
+                    let delay = SimTime::from_micros(ctx.rng.range(1..1000u64));
+                    ctx.schedule_in(delay, move |w2: &mut World, _| {
+                        w2.log.push(delay.as_micros() as u32)
+                    });
+                    let _ = w;
+                });
+            }
+            eng.run_to_completion();
+            eng.world.log
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn ctx_trace_and_metrics() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(7), |_, ctx| {
+            ctx.trace("test.topic", "hello");
+            ctx.metrics.incr("events");
+        });
+        eng.run_to_completion();
+        assert_eq!(eng.metrics().counter("events"), 1);
+        let e = eng.trace().entries().next().unwrap();
+        assert_eq!(e.time, SimTime::from_millis(7));
+        assert_eq!(e.topic, "test.topic");
+    }
+
+    #[test]
+    fn run_with_event_cap() {
+        let mut eng = Engine::new(World::default(), 1);
+        fn tick(w: &mut World, ctx: &mut Ctx<World>) {
+            w.log.push(0);
+            ctx.schedule_in(SimTime::from_millis(1), tick);
+        }
+        eng.schedule_at(SimTime::ZERO, tick);
+        let n = eng.run(100);
+        assert_eq!(n, 100);
+        assert_eq!(eng.world.log.len(), 100);
+    }
+}

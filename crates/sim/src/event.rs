@@ -1,0 +1,72 @@
+//! Event representation and deterministic ordering.
+
+use crate::engine::Ctx;
+use crate::time::SimTime;
+use core::cmp::Ordering;
+
+/// An event handler: runs against the world and an engine context that can
+/// schedule further events.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Ctx<W>)>;
+
+/// A scheduled event. Ordering is `(time, seq)` — the sequence number makes
+/// the order *total*, so simultaneous events always run in the order they
+/// were scheduled, which is what makes whole runs reproducible.
+pub(crate) struct Scheduled<W> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time: u64, seq: u64) -> Scheduled<()> {
+        Scheduled {
+            time: SimTime::from_micros(time),
+            seq,
+            f: Box::new(|_, _| {}),
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(30, 0));
+        h.push(ev(10, 1));
+        h.push(ev(20, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop()).map(|e| e.time.as_micros()).collect();
+        assert_eq!(order, [10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_sequence() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(5, 2));
+        h.push(ev(5, 0));
+        h.push(ev(5, 1));
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, [0, 1, 2]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Fault injection.
+//!
+//! Mirrors the knobs of smoltcp's example harness: random drop, random
+//! corruption, and a token-bucket rate limit. Links and middleboxes consult
+//! a [`FaultInjector`] on every transmission; experiments use it both to
+//! model unreliable infrastructure and as a *tussle mechanism* (an ISP
+//! throttling traffic it dislikes is exactly a selective fault injector).
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of passing a transmission through a fault injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultOutcome {
+    /// Deliver unmodified.
+    Pass,
+    /// Deliver, but one octet was flipped.
+    Corrupt,
+    /// Silently dropped.
+    Drop,
+    /// Dropped by the rate limiter.
+    RateLimited,
+}
+
+/// Configurable fault injector with drop/corrupt probabilities and a
+/// token-bucket rate limiter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultInjector {
+    /// Probability in `[0,1]` that a transmission is dropped.
+    pub drop_chance: f64,
+    /// Probability in `[0,1]` that a transmission is corrupted.
+    pub corrupt_chance: f64,
+    /// Maximum tokens in the bucket; `None` disables rate limiting.
+    pub bucket_capacity: Option<u32>,
+    /// Interval at which the bucket refills to capacity.
+    pub refill_interval: SimTime,
+    tokens: u32,
+    last_refill: SimTime,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::none()
+    }
+}
+
+impl FaultInjector {
+    /// An injector that never interferes.
+    pub fn none() -> Self {
+        FaultInjector {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            bucket_capacity: None,
+            refill_interval: SimTime::from_millis(50),
+            tokens: 0,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    /// An injector with the given drop and corrupt probabilities.
+    pub fn lossy(drop_chance: f64, corrupt_chance: f64) -> Self {
+        FaultInjector {
+            drop_chance: drop_chance.clamp(0.0, 1.0),
+            corrupt_chance: corrupt_chance.clamp(0.0, 1.0),
+            ..FaultInjector::none()
+        }
+    }
+
+    /// Add a token-bucket rate limit of `capacity` transmissions per
+    /// `refill_interval`.
+    pub fn with_rate_limit(mut self, capacity: u32, refill_interval: SimTime) -> Self {
+        self.bucket_capacity = Some(capacity);
+        self.refill_interval = refill_interval;
+        self.tokens = capacity;
+        self
+    }
+
+    /// Decide the fate of one transmission occurring at `now`.
+    pub fn apply(&mut self, now: SimTime, rng: &mut SimRng) -> FaultOutcome {
+        if let Some(cap) = self.bucket_capacity {
+            if now.since(self.last_refill) >= self.refill_interval {
+                self.tokens = cap;
+                self.last_refill = now;
+            }
+            if self.tokens == 0 {
+                return FaultOutcome::RateLimited;
+            }
+            self.tokens -= 1;
+        }
+        if rng.chance(self.drop_chance) {
+            return FaultOutcome::Drop;
+        }
+        if rng.chance(self.corrupt_chance) {
+            return FaultOutcome::Corrupt;
+        }
+        FaultOutcome::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_always_passes() {
+        let mut f = FaultInjector::none();
+        let mut rng = SimRng::seed_from_u64(1);
+        for i in 0..100 {
+            assert_eq!(f.apply(SimTime::from_micros(i), &mut rng), FaultOutcome::Pass);
+        }
+    }
+
+    #[test]
+    fn full_drop_always_drops() {
+        let mut f = FaultInjector::lossy(1.0, 0.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(f.apply(SimTime::ZERO, &mut rng), FaultOutcome::Drop);
+    }
+
+    #[test]
+    fn full_corrupt_always_corrupts() {
+        let mut f = FaultInjector::lossy(0.0, 1.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(f.apply(SimTime::ZERO, &mut rng), FaultOutcome::Corrupt);
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let mut f = FaultInjector::lossy(0.15, 0.0);
+        let mut rng = SimRng::seed_from_u64(5);
+        let drops = (0..10_000)
+            .filter(|i| f.apply(SimTime::from_micros(*i), &mut rng) == FaultOutcome::Drop)
+            .count();
+        assert!((1_300..1_700).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn rate_limit_exhausts_and_refills() {
+        let mut f =
+            FaultInjector::none().with_rate_limit(2, SimTime::from_millis(10));
+        let mut rng = SimRng::seed_from_u64(1);
+        let t0 = SimTime::ZERO;
+        assert_eq!(f.apply(t0, &mut rng), FaultOutcome::Pass);
+        assert_eq!(f.apply(t0, &mut rng), FaultOutcome::Pass);
+        assert_eq!(f.apply(t0, &mut rng), FaultOutcome::RateLimited);
+        // after refill interval the bucket is full again
+        let t1 = SimTime::from_millis(10);
+        assert_eq!(f.apply(t1, &mut rng), FaultOutcome::Pass);
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let f = FaultInjector::lossy(7.0, -2.0);
+        assert_eq!(f.drop_chance, 1.0);
+        assert_eq!(f.corrupt_chance, 0.0);
+    }
+}

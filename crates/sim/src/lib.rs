@@ -1,0 +1,55 @@
+//! # tussle-sim — deterministic discrete-event simulation engine
+//!
+//! The substrate every other crate in the workspace runs on. The paper's
+//! central observation is that tussle happens *at run time*: mechanisms and
+//! counter-mechanisms are deployed while the system operates. To study that
+//! we need a clock, an ordered event queue, reproducible randomness, and
+//! instrumentation — nothing more. This crate provides exactly that:
+//!
+//! * [`SimTime`] — virtual time in microseconds.
+//! * [`Engine`] — an event queue with a *total* order (ties broken by
+//!   insertion sequence) so runs are bit-for-bit reproducible.
+//! * [`SimRng`] — a seeded, forkable ChaCha8 random stream.
+//! * [`Metrics`] — counters, gauges and log-bucket histograms.
+//! * [`Trace`] — a bounded in-memory event log for diagnostics.
+//! * [`FaultInjector`] — drop/corrupt/rate-limit knobs in the style of
+//!   smoltcp's example harness.
+//!
+//! No async runtime is used: the workload is CPU-bound simulation, and the
+//! engine is single-threaded by design (parallelism, where used, is across
+//! independent experiment runs, not within one).
+//!
+//! ## Example
+//!
+//! ```
+//! use tussle_sim::{Engine, SimTime};
+//!
+//! let mut engine: Engine<Vec<&str>> = Engine::new(Vec::new(), 42);
+//! engine.schedule_at(SimTime::from_millis(10), |log, _| log.push("first"));
+//! engine.schedule_in(SimTime::from_millis(20), |log, ctx| {
+//!     log.push("second");
+//!     ctx.schedule_in(SimTime::from_millis(5), |log, _| log.push("third"));
+//! });
+//! engine.run_to_completion();
+//! assert_eq!(engine.world, ["first", "second", "third"]);
+//! assert_eq!(engine.now(), SimTime::from_millis(25));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod fault;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, Engine};
+pub use event::EventFn;
+pub use fault::{FaultInjector, FaultOutcome};
+pub use metrics::{Histogram, Metrics};
+pub use rng::SimRng;
+pub use time::SimTime;
+pub use trace::{Trace, TraceEntry};

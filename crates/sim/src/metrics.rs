@@ -1,0 +1,308 @@
+//! Counters, gauges and histograms.
+//!
+//! Every experiment reduces to a handful of numbers ("who wins, by what
+//! factor"), and every substrate needs cheap instrumentation to produce
+//! them. Keys are plain strings; the sink is owned by the engine context so
+//! event handlers can record without extra plumbing.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A log-bucketed histogram over non-negative `f64` samples.
+///
+/// Buckets are powers of two starting at 1.0 plus an underflow bucket, which
+/// is plenty of resolution for latency, price and table-size distributions
+/// while staying allocation-free after construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+const BUCKETS: usize = 64;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value < 1.0 {
+            0
+        } else {
+            // log2(value) + 1, clamped to the top bucket
+            let idx = value.log2().floor() as usize + 1;
+            idx.min(BUCKETS)
+        }
+    }
+
+    /// Record one sample. Negative and non-finite samples are clamped to 0.
+    pub fn record(&mut self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 { value } else { 0.0 };
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in `[0,1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let upper = if i == 0 { 1.0 } else { 2f64.powi(i as i32) };
+                return Some(upper.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A named-metric sink: counters, gauges, histograms.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment a counter by `n`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increment a counter by one.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Read a counter (0 if never written).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge value.
+    pub fn set_gauge(&mut self, key: &str, value: f64) {
+        self.gauges.insert(key.to_owned(), value);
+    }
+
+    /// Read a gauge, if set.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Record a histogram sample.
+    pub fn observe(&mut self, key: &str, value: f64) {
+        self.histograms.entry(key.to_owned()).or_default().record(value);
+    }
+
+    /// Access a histogram, if any samples were recorded.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterate counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merge another sink into this one (counters add, gauges overwrite,
+    /// histograms merge).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("pkts");
+        m.add("pkts", 4);
+        assert_eq!(m.counter("pkts"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = Metrics::new();
+        m.set_gauge("price", 10.0);
+        m.set_gauge("price", 12.5);
+        assert_eq!(m.gauge("price"), Some(12.5));
+        assert_eq!(m.gauge("absent"), None);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), Some(2.5));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(4.0));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let q10 = h.quantile(0.1).unwrap();
+        let q50 = h.quantile(0.5).unwrap();
+        let q99 = h.quantile(0.99).unwrap();
+        assert!(q10 <= q50 && q50 <= q99, "{q10} {q50} {q99}");
+        assert!(q99 <= 1024.0);
+    }
+
+    #[test]
+    fn histogram_clamps_bad_samples() {
+        let mut h = Histogram::new();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(0.0));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1.0);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), 4.0);
+        assert_eq!(a.max(), Some(3.0));
+    }
+
+    #[test]
+    fn metrics_merge() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.add("x", 1);
+        b.add("x", 2);
+        b.set_gauge("g", 7.0);
+        b.observe("h", 5.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.gauge("g"), Some(7.0));
+        assert_eq!(a.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn huge_values_land_in_top_bucket() {
+        let mut h = Histogram::new();
+        h.record(f64::MAX / 2.0);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0).unwrap() > 0.0);
+    }
+}

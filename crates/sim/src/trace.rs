@@ -1,0 +1,163 @@
+//! Bounded in-memory trace log.
+//!
+//! The paper's "design what happens when transparency fails" principle
+//! demands that the substrate can always explain what it did. The trace is
+//! a bounded ring of `(time, topic, message)` entries that scenario code and
+//! diagnostics (traceroute-style blame reports) read back.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Virtual time at which the entry was recorded.
+    pub time: SimTime,
+    /// Subsystem topic, e.g. `"net.forward"` or `"econ.churn"`.
+    pub topic: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A bounded ring buffer of trace entries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::with_capacity(4096)
+    }
+}
+
+impl Trace {
+    /// A trace ring holding at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Disable recording (records are silently discarded).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Re-enable recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Record an entry; evicts the oldest when full.
+    pub fn record(&mut self, time: SimTime, topic: &str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            time,
+            topic: topic.to_owned(),
+            message: message.into(),
+        });
+    }
+
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Entries whose topic starts with `prefix`.
+    pub fn with_topic<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.topic.starts_with(prefix))
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clear all retained entries (the dropped count persists).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::with_capacity(8);
+        t.record(SimTime::from_micros(1), "a", "first");
+        t.record(SimTime::from_micros(2), "b", "second");
+        let msgs: Vec<_> = t.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["first", "second"]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::with_capacity(2);
+        t.record(SimTime::ZERO, "x", "1");
+        t.record(SimTime::ZERO, "x", "2");
+        t.record(SimTime::ZERO, "x", "3");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let msgs: Vec<_> = t.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["2", "3"]);
+    }
+
+    #[test]
+    fn topic_filter_uses_prefix() {
+        let mut t = Trace::default();
+        t.record(SimTime::ZERO, "net.forward", "f");
+        t.record(SimTime::ZERO, "net.drop", "d");
+        t.record(SimTime::ZERO, "econ.churn", "c");
+        assert_eq!(t.with_topic("net.").count(), 2);
+        assert_eq!(t.with_topic("econ").count(), 1);
+        assert_eq!(t.with_topic("zzz").count(), 0);
+    }
+
+    #[test]
+    fn disable_discards() {
+        let mut t = Trace::default();
+        t.disable();
+        t.record(SimTime::ZERO, "x", "hidden");
+        assert!(t.is_empty());
+        t.enable();
+        t.record(SimTime::ZERO, "x", "seen");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_dropped_count() {
+        let mut t = Trace::with_capacity(1);
+        t.record(SimTime::ZERO, "x", "1");
+        t.record(SimTime::ZERO, "x", "2");
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

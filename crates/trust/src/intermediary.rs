@@ -1,0 +1,198 @@
+//! Intermediary insertion and consent (the OPES question).
+//!
+//! §V.B footnote 13: "An interesting debate relevant to this topic emerged
+//! during the IETF's chartering of the Open Pluggable Edge Services (OPES)
+//! working group ... The IAB has focused on issues of whether one end or
+//! both have to concur with the insertion of an intermediate node in the
+//! communication, and what tools the user should have to detect and
+//! recover from a faulty node."
+//!
+//! A [`Session`] between two ends may have service intermediaries inserted
+//! under a [`ConsentRule`]; each end can audit which intermediaries touch
+//! its traffic and evict a faulty one — the detect-and-recover tool the
+//! IAB asked for.
+
+use serde::{Deserialize, Serialize};
+
+/// Which ends must concur before an intermediary is inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsentRule {
+    /// Nobody asks the ends (the pre-OPES fear).
+    NoConsent,
+    /// The initiating end suffices.
+    OneEnd,
+    /// Both ends must concur (the IAB's conservative posture).
+    BothEnds,
+}
+
+/// An intermediary service node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Intermediary {
+    /// Identifier.
+    pub id: u64,
+    /// What it claims to do ("cache", "virus-scan", "ad-insert").
+    pub service: String,
+    /// Whether it currently corrupts traffic (fault injection for tests).
+    pub faulty: bool,
+    /// Whether it announces itself to the ends (§IV.C visibility).
+    pub announces_itself: bool,
+}
+
+/// Why an insertion was refused.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsertError {
+    /// A required end withheld consent.
+    ConsentWithheld {
+        /// Which end said no (0 = initiator, 1 = responder).
+        end: u8,
+    },
+}
+
+impl core::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InsertError::ConsentWithheld { end } => {
+                let who = if *end == 0 { "initiator" } else { "responder" };
+                write!(f, "the {who} withheld consent to the intermediary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// A two-party session with an intermediary chain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Session {
+    /// The governing consent rule.
+    pub rule: ConsentRule,
+    /// Consent bits for (initiator, responder) — what each end would say.
+    pub end_consents: (bool, bool),
+    chain: Vec<Intermediary>,
+}
+
+impl Session {
+    /// A fresh session under a rule, with each end's standing consent.
+    pub fn new(rule: ConsentRule, initiator_consents: bool, responder_consents: bool) -> Self {
+        Session { rule, end_consents: (initiator_consents, responder_consents), chain: Vec::new() }
+    }
+
+    /// Try to insert an intermediary.
+    pub fn insert(&mut self, node: Intermediary) -> Result<(), InsertError> {
+        match self.rule {
+            ConsentRule::NoConsent => {}
+            ConsentRule::OneEnd => {
+                if !self.end_consents.0 {
+                    return Err(InsertError::ConsentWithheld { end: 0 });
+                }
+            }
+            ConsentRule::BothEnds => {
+                if !self.end_consents.0 {
+                    return Err(InsertError::ConsentWithheld { end: 0 });
+                }
+                if !self.end_consents.1 {
+                    return Err(InsertError::ConsentWithheld { end: 1 });
+                }
+            }
+        }
+        self.chain.push(node);
+        Ok(())
+    }
+
+    /// The intermediaries an end can *see*: those that announce
+    /// themselves. Under `NoConsent`, silent nodes are invisible — exactly
+    /// the detectability gap the IAB worried about.
+    pub fn visible_chain(&self) -> Vec<&Intermediary> {
+        self.chain.iter().filter(|i| i.announces_itself).collect()
+    }
+
+    /// The full chain (ground truth, for tests and audits with operator
+    /// cooperation).
+    pub fn actual_chain(&self) -> &[Intermediary] {
+        &self.chain
+    }
+
+    /// Does the session currently deliver traffic intact?
+    pub fn healthy(&self) -> bool {
+        self.chain.iter().all(|i| !i.faulty)
+    }
+
+    /// The recovery tool: detect faulty *visible* intermediaries and evict
+    /// them. Returns the ids evicted. A faulty node that hides cannot be
+    /// recovered from this way — the user's only remaining move is
+    /// end-to-end encryption or a different path.
+    pub fn detect_and_recover(&mut self) -> Vec<u64> {
+        let evicted: Vec<u64> = self
+            .chain
+            .iter()
+            .filter(|i| i.faulty && i.announces_itself)
+            .map(|i| i.id)
+            .collect();
+        self.chain.retain(|i| !(i.faulty && i.announces_itself));
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: u64, faulty: bool, announces: bool) -> Intermediary {
+        Intermediary { id, service: "cache".into(), faulty, announces_itself: announces }
+    }
+
+    #[test]
+    fn both_ends_rule_requires_both() {
+        let mut s = Session::new(ConsentRule::BothEnds, true, false);
+        assert_eq!(s.insert(node(1, false, true)), Err(InsertError::ConsentWithheld { end: 1 }));
+        let mut s = Session::new(ConsentRule::BothEnds, true, true);
+        assert!(s.insert(node(1, false, true)).is_ok());
+    }
+
+    #[test]
+    fn one_end_rule_ignores_the_responder() {
+        let mut s = Session::new(ConsentRule::OneEnd, true, false);
+        assert!(s.insert(node(1, false, true)).is_ok());
+        let mut s = Session::new(ConsentRule::OneEnd, false, true);
+        assert_eq!(s.insert(node(1, false, true)), Err(InsertError::ConsentWithheld { end: 0 }));
+    }
+
+    #[test]
+    fn no_consent_rule_asks_nobody() {
+        let mut s = Session::new(ConsentRule::NoConsent, false, false);
+        assert!(s.insert(node(1, false, false)).is_ok());
+        assert_eq!(s.actual_chain().len(), 1);
+    }
+
+    #[test]
+    fn silent_nodes_are_invisible_to_the_ends() {
+        let mut s = Session::new(ConsentRule::NoConsent, false, false);
+        s.insert(node(1, false, true)).unwrap();
+        s.insert(node(2, false, false)).unwrap();
+        assert_eq!(s.visible_chain().len(), 1);
+        assert_eq!(s.actual_chain().len(), 2);
+    }
+
+    #[test]
+    fn recovery_evicts_announced_faults_only() {
+        let mut s = Session::new(ConsentRule::NoConsent, true, true);
+        s.insert(node(1, true, true)).unwrap(); // faulty, visible
+        s.insert(node(2, true, false)).unwrap(); // faulty, hidden
+        s.insert(node(3, false, true)).unwrap(); // fine
+        assert!(!s.healthy());
+        let evicted = s.detect_and_recover();
+        assert_eq!(evicted, vec![1]);
+        // the hidden fault persists: detection tools cannot fix what
+        // conceals itself (§VI.A)
+        assert!(!s.healthy());
+        assert_eq!(s.actual_chain().len(), 2);
+    }
+
+    #[test]
+    fn healthy_chain_recovers_nothing() {
+        let mut s = Session::new(ConsentRule::BothEnds, true, true);
+        s.insert(node(1, false, true)).unwrap();
+        assert!(s.healthy());
+        assert!(s.detect_and_recover().is_empty());
+    }
+}

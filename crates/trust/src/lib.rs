@@ -1,0 +1,51 @@
+//! # tussle-trust — identity, trust and third-party mediation
+//!
+//! §V.B: "One of the most profound and irreversible changes in the Internet
+//! is that by and large, many of the users do not trust each other. ...
+//! mechanisms that regulate interaction on the basis of mutual trust should
+//! be a fundamental part of the Internet of tomorrow."
+//!
+//! * [`identity`] — an identity *framework*, not a single scheme: the
+//!   paper explicitly rejects "a global namespace of Internet users" in
+//!   favour of "a framework that translates these diverse ways into lower
+//!   level network actions" (§V.B.1). Anonymous, pseudonymous, certified
+//!   and role identities all translate to (or refuse to produce) the
+//!   network-level identity tag middleboxes read.
+//! * [`trustgraph`] — pairwise trust with decaying transitive derivation;
+//!   the substrate for "choose with whom they interact".
+//! * [`mediator`] — third parties that "mediate and enhance the assurance
+//!   that things are going to go right": escrow with a liability cap (the
+//!   credit-card $50 rule), reputation services, certifiers. The §V.B
+//!   principle that parties must be able to *choose* their mediators is a
+//!   constructor argument, not a constant.
+//! * [`negotiation`] — the MIDCOM-shaped protocol between an end node and
+//!   a firewall control point, including the "who is in charge?" tussle
+//!   (user vs. administrator) and rule disclosure.
+//!
+//! ## Example
+//!
+//! ```
+//! use tussle_trust::TrustGraph;
+//!
+//! let mut graph = TrustGraph::new(0.5);
+//! graph.trust(1, 2, 1.0);
+//! graph.trust(2, 3, 1.0);
+//! // transitive trust decays per hop
+//! assert_eq!(graph.derived(1, 3, 4), 0.5);
+//! assert_eq!(graph.trusted_set(1, 0.4, 4), vec![2, 3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod identity;
+pub mod intermediary;
+pub mod mediator;
+pub mod negotiation;
+pub mod trustgraph;
+
+pub use identity::{AnonymityPolicy, IdentityFramework, IdentityScheme};
+pub use intermediary::{ConsentRule, Intermediary, Session};
+pub use mediator::{Mediator, TransactionOutcome, TransactionSetup};
+pub use negotiation::{ControlPoint, NegotiationError, PinholeRequest};
+pub use trustgraph::TrustGraph;

@@ -1,0 +1,248 @@
+//! Third-party mediation.
+//!
+//! §V.B: "most users do not trust many of the parties they actually want to
+//! talk to. ... we depend on third parties to mediate and enhance the
+//! assurance that things are going to go right. Credit card companies limit
+//! our liability to $50 ... Public key certificate agents provide us with
+//! certificates ... Web sites assess and report the reputation of other
+//! sites." And the engineering principle: "there should be explicit ability
+//! to select what third parties are used to mediate an interaction."
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tussle_sim::SimRng;
+
+/// The third party (if any) mediating a transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Mediator {
+    /// No mediation: caveat emptor.
+    None,
+    /// Escrow / liability-cap mediation (the credit-card model): the buyer
+    /// loses at most `liability_cap` to fraud; the mediator charges `fee`
+    /// per transaction.
+    Escrow {
+        /// Maximum buyer loss per fraudulent transaction (micro-currency).
+        liability_cap: i64,
+        /// Fee per transaction (micro-currency).
+        fee: i64,
+    },
+    /// Reputation mediation: the buyer consults a score and refuses sellers
+    /// below `min_score`; the service charges `fee` per consult.
+    Reputation {
+        /// Minimum acceptable seller score in `[0,1]`.
+        min_score: f64,
+        /// Fee per consult (micro-currency).
+        fee: i64,
+    },
+}
+
+/// Inputs to one buyer/seller transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransactionSetup {
+    /// Transaction value to the buyer if it goes right (micro-currency).
+    pub value: i64,
+    /// Price paid to the seller (micro-currency).
+    pub price: i64,
+    /// Probability the seller defrauds (takes the money, delivers nothing).
+    pub fraud_probability: f64,
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransactionOutcome {
+    /// Did the buyer proceed at all?
+    pub attempted: bool,
+    /// Was the transaction fraudulent?
+    pub defrauded: bool,
+    /// Buyer's net gain/loss (micro-currency), fees included.
+    pub buyer_net: i64,
+    /// Fee collected by the mediator.
+    pub mediator_fee: i64,
+}
+
+/// A reputation record for sellers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReputationBook {
+    records: BTreeMap<u64, (u64, u64)>, // seller -> (good, bad)
+}
+
+impl ReputationBook {
+    /// Empty book.
+    pub fn new() -> Self {
+        ReputationBook::default()
+    }
+
+    /// Record an outcome for a seller.
+    pub fn record(&mut self, seller: u64, good: bool) {
+        let e = self.records.entry(seller).or_insert((0, 0));
+        if good {
+            e.0 += 1;
+        } else {
+            e.1 += 1;
+        }
+    }
+
+    /// Laplace-smoothed score in `[0,1]`; unknown sellers score 0.5.
+    pub fn score(&self, seller: u64) -> f64 {
+        match self.records.get(&seller) {
+            None => 0.5,
+            Some((good, bad)) => (*good as f64 + 1.0) / ((good + bad) as f64 + 2.0),
+        }
+    }
+}
+
+/// Run one transaction under a chosen mediator.
+///
+/// `seller` identifies the counterparty in the reputation book; the book is
+/// updated with the true outcome whenever the transaction is attempted.
+pub fn run_transaction(
+    setup: TransactionSetup,
+    mediator: &Mediator,
+    seller: u64,
+    book: &mut ReputationBook,
+    rng: &mut SimRng,
+) -> TransactionOutcome {
+    match mediator {
+        Mediator::None => {
+            let defrauded = rng.chance(setup.fraud_probability);
+            let buyer_net = if defrauded { -setup.price } else { setup.value - setup.price };
+            book.record(seller, !defrauded);
+            TransactionOutcome { attempted: true, defrauded, buyer_net, mediator_fee: 0 }
+        }
+        Mediator::Escrow { liability_cap, fee } => {
+            let defrauded = rng.chance(setup.fraud_probability);
+            let loss = if defrauded {
+                // escrow caps the loss; the mediator absorbs the rest
+                (-setup.price).max(-liability_cap)
+            } else {
+                setup.value - setup.price
+            };
+            book.record(seller, !defrauded);
+            TransactionOutcome {
+                attempted: true,
+                defrauded,
+                buyer_net: loss - fee,
+                mediator_fee: *fee,
+            }
+        }
+        Mediator::Reputation { min_score, fee } => {
+            if book.score(seller) < *min_score {
+                // buyer walks away: pays the consult fee, avoids the risk
+                return TransactionOutcome {
+                    attempted: false,
+                    defrauded: false,
+                    buyer_net: -fee,
+                    mediator_fee: *fee,
+                };
+            }
+            let defrauded = rng.chance(setup.fraud_probability);
+            let buyer_net =
+                if defrauded { -setup.price - fee } else { setup.value - setup.price - fee };
+            book.record(seller, !defrauded);
+            TransactionOutcome { attempted: true, defrauded, buyer_net, mediator_fee: *fee }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(fraud: f64) -> TransactionSetup {
+        TransactionSetup { value: 1_500_000, price: 1_000_000, fraud_probability: fraud }
+    }
+
+    #[test]
+    fn honest_unmediated_transaction_pays_surplus() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut book = ReputationBook::new();
+        let o = run_transaction(setup(0.0), &Mediator::None, 7, &mut book, &mut rng);
+        assert!(o.attempted && !o.defrauded);
+        assert_eq!(o.buyer_net, 500_000);
+    }
+
+    #[test]
+    fn fraud_without_mediation_costs_full_price() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut book = ReputationBook::new();
+        let o = run_transaction(setup(1.0), &Mediator::None, 7, &mut book, &mut rng);
+        assert!(o.defrauded);
+        assert_eq!(o.buyer_net, -1_000_000);
+    }
+
+    #[test]
+    fn escrow_caps_the_loss() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut book = ReputationBook::new();
+        let escrow = Mediator::Escrow { liability_cap: 50_000, fee: 10_000 };
+        let o = run_transaction(setup(1.0), &escrow, 7, &mut book, &mut rng);
+        assert!(o.defrauded);
+        assert_eq!(o.buyer_net, -60_000, "cap + fee, not the full price");
+        assert_eq!(o.mediator_fee, 10_000);
+    }
+
+    #[test]
+    fn escrow_fee_reduces_honest_surplus() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut book = ReputationBook::new();
+        let escrow = Mediator::Escrow { liability_cap: 50_000, fee: 10_000 };
+        let o = run_transaction(setup(0.0), &escrow, 7, &mut book, &mut rng);
+        assert_eq!(o.buyer_net, 490_000);
+    }
+
+    #[test]
+    fn reputation_blocks_known_bad_sellers() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut book = ReputationBook::new();
+        for _ in 0..10 {
+            book.record(666, false);
+        }
+        let rep = Mediator::Reputation { min_score: 0.4, fee: 5_000 };
+        let o = run_transaction(setup(1.0), &rep, 666, &mut book, &mut rng);
+        assert!(!o.attempted);
+        assert_eq!(o.buyer_net, -5_000, "only the consult fee is lost");
+    }
+
+    #[test]
+    fn reputation_admits_good_sellers() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut book = ReputationBook::new();
+        for _ in 0..10 {
+            book.record(7, true);
+        }
+        let rep = Mediator::Reputation { min_score: 0.4, fee: 5_000 };
+        let o = run_transaction(setup(0.0), &rep, 7, &mut book, &mut rng);
+        assert!(o.attempted);
+        assert_eq!(o.buyer_net, 495_000);
+    }
+
+    #[test]
+    fn reputation_scores() {
+        let mut book = ReputationBook::new();
+        assert_eq!(book.score(1), 0.5);
+        book.record(1, true);
+        book.record(1, true);
+        book.record(1, false);
+        // (2+1)/(3+2) = 0.6
+        assert!((book.score(1) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mediation_beats_no_mediation_under_high_fraud() {
+        // the aggregate shape experiment E7 relies on
+        let mut rng = SimRng::seed_from_u64(42);
+        let mut raw_total = 0i64;
+        let mut escrow_total = 0i64;
+        let escrow = Mediator::Escrow { liability_cap: 50_000, fee: 10_000 };
+        for i in 0..500 {
+            let mut book = ReputationBook::new();
+            raw_total +=
+                run_transaction(setup(0.3), &Mediator::None, i, &mut book, &mut rng).buyer_net;
+            escrow_total += run_transaction(setup(0.3), &escrow, i, &mut book, &mut rng).buyer_net;
+        }
+        assert!(
+            escrow_total > raw_total,
+            "escrow {escrow_total} should beat raw {raw_total} at 30% fraud"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! End-node ↔ control-point negotiation (MIDCOM-shaped).
+//!
+//! §V.B: "Along with this device must be protocols and interfaces to allow
+//! the end node and the control point to communicate about the desired
+//! controls." And the control tussle: "Who gets to set the policy in the
+//! firewall? The end user may certainly have opinions, but a network
+//! administrator may as well. Who is 'in charge'? There is no single
+//! answer, and we better not think we are going to design it. All we can
+//! design is the space for the tussle."
+//!
+//! A [`ControlPoint`] wraps a firewall with (a) a list of principals
+//! authorized to modify it, (b) a disclosure switch for rule inspection,
+//! and (c) an audit log of who changed what — visibility of
+//! decision-making, per §IV.C.
+
+use serde::{Deserialize, Serialize};
+use tussle_net::firewall::{Firewall, FirewallAction, FirewallRule, MatchOn};
+
+/// A request to open (or close) a pinhole for a destination port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PinholeRequest {
+    /// Principal making the request (network identity tag).
+    pub requester: u64,
+    /// Port to open.
+    pub port: u16,
+    /// Open (`true`) or close (`false`).
+    pub open: bool,
+}
+
+/// Why a negotiation failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NegotiationError {
+    /// The requester is not on the authorized-controller list.
+    NotAuthorized {
+        /// The rejected principal.
+        requester: u64,
+        /// Who *is* in charge (so the refusal is actionable).
+        controllers: Vec<u64>,
+    },
+    /// The operator declines to disclose the rules.
+    RulesNotDisclosed,
+}
+
+impl core::fmt::Display for NegotiationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NegotiationError::NotAuthorized { requester, controllers } => write!(
+                f,
+                "principal {requester} may not change this firewall; its controllers are {controllers:?}"
+            ),
+            NegotiationError::RulesNotDisclosed => {
+                f.write_str("the operator declines to disclose the rule set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NegotiationError {}
+
+/// One audit record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Principal who made the change.
+    pub by: u64,
+    /// Description of the change.
+    pub change: String,
+}
+
+/// A firewall plus the protocol state around it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControlPoint {
+    /// The device being controlled.
+    pub firewall: Firewall,
+    /// Principals allowed to change policy — the answer *this* deployment
+    /// gives to "who is in charge?". One entry = admin-controlled; the end
+    /// user's tag in the list = user-controlled; both = shared.
+    pub controllers: Vec<u64>,
+    /// Change history.
+    pub audit: Vec<AuditEntry>,
+}
+
+impl ControlPoint {
+    /// A control point over `firewall` governed by `controllers`.
+    pub fn new(firewall: Firewall, controllers: Vec<u64>) -> Self {
+        ControlPoint { firewall, controllers, audit: Vec::new() }
+    }
+
+    /// Process a pinhole request.
+    pub fn request(&mut self, req: PinholeRequest) -> Result<(), NegotiationError> {
+        if !self.controllers.contains(&req.requester) {
+            return Err(NegotiationError::NotAuthorized {
+                requester: req.requester,
+                controllers: self.controllers.clone(),
+            });
+        }
+        if req.open {
+            self.firewall.push_front(FirewallRule {
+                matcher: MatchOn::DstPort(req.port),
+                action: FirewallAction::Allow,
+                installed_by: format!("principal {}", req.requester),
+            });
+            self.audit.push(AuditEntry {
+                by: req.requester,
+                change: format!("open port {}", req.port),
+            });
+        } else {
+            self.firewall.rules.retain(|r| r.matcher != MatchOn::DstPort(req.port));
+            self.audit.push(AuditEntry {
+                by: req.requester,
+                change: format!("close port {}", req.port),
+            });
+        }
+        Ok(())
+    }
+
+    /// An affected end user asks to download and examine the rules
+    /// (§V.B: "should that end user be able to download and examine these
+    /// rules?"). Succeeds only if the operator extends the courtesy.
+    pub fn inspect_rules(&self) -> Result<&[FirewallRule], NegotiationError> {
+        self.firewall.disclosed_rules().ok_or(NegotiationError::RulesNotDisclosed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tussle_net::addr::{Address, AddressOrigin, Prefix};
+    use tussle_net::packet::{ports, Packet, Protocol};
+
+    const ADMIN: u64 = 1;
+    const USER: u64 = 2;
+
+    fn addr(v: u32) -> Address {
+        Address::in_prefix(Prefix::new(v, 16), 1, AddressOrigin::ProviderIndependent)
+    }
+
+    fn pkt(port: u16) -> Packet {
+        Packet::new(addr(1), addr(2), Protocol::Tcp, 1, port)
+    }
+
+    fn admin_controlled() -> ControlPoint {
+        ControlPoint::new(Firewall::port_allowlist(vec![ports::HTTP], "admin"), vec![ADMIN])
+    }
+
+    #[test]
+    fn authorized_controller_opens_a_pinhole() {
+        let mut cp = admin_controlled();
+        assert_eq!(cp.firewall.evaluate(&pkt(ports::NOVEL)), FirewallAction::Deny);
+        cp.request(PinholeRequest { requester: ADMIN, port: ports::NOVEL, open: true }).unwrap();
+        assert_eq!(cp.firewall.evaluate(&pkt(ports::NOVEL)), FirewallAction::Allow);
+        assert_eq!(cp.audit.len(), 1);
+        assert_eq!(cp.audit[0].by, ADMIN);
+    }
+
+    #[test]
+    fn unauthorized_requester_is_refused_with_contacts() {
+        let mut cp = admin_controlled();
+        let err = cp
+            .request(PinholeRequest { requester: USER, port: ports::NOVEL, open: true })
+            .unwrap_err();
+        match err {
+            NegotiationError::NotAuthorized { requester, controllers } => {
+                assert_eq!(requester, USER);
+                assert_eq!(controllers, vec![ADMIN]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(cp.audit.is_empty());
+    }
+
+    #[test]
+    fn shared_control_lets_the_user_act() {
+        let mut cp =
+            ControlPoint::new(Firewall::port_allowlist(vec![], "admin"), vec![ADMIN, USER]);
+        cp.request(PinholeRequest { requester: USER, port: ports::VOIP, open: true }).unwrap();
+        assert_eq!(cp.firewall.evaluate(&pkt(ports::VOIP)), FirewallAction::Allow);
+    }
+
+    #[test]
+    fn closing_a_pinhole_removes_it() {
+        let mut cp = admin_controlled();
+        cp.request(PinholeRequest { requester: ADMIN, port: ports::NOVEL, open: true }).unwrap();
+        cp.request(PinholeRequest { requester: ADMIN, port: ports::NOVEL, open: false }).unwrap();
+        assert_eq!(cp.firewall.evaluate(&pkt(ports::NOVEL)), FirewallAction::Deny);
+        assert_eq!(cp.audit.len(), 2);
+    }
+
+    #[test]
+    fn rule_inspection_depends_on_disclosure() {
+        let cp = admin_controlled(); // port_allowlist does not disclose
+        assert_eq!(cp.inspect_rules().unwrap_err(), NegotiationError::RulesNotDisclosed);
+
+        let mut fw = Firewall::port_allowlist(vec![ports::HTTP], "admin");
+        fw.reveals_rules = true;
+        let cp = ControlPoint::new(fw, vec![ADMIN]);
+        assert_eq!(cp.inspect_rules().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Pairwise and transitive trust.
+//!
+//! "Most users would prefer to have nothing to do with the bad guys"
+//! (§V.B). The trust graph records who trusts whom and how much, and
+//! derives indirect trust along paths with multiplicative decay — enough
+//! structure for receivers to implement "choose with whom they interact"
+//! and for trust-aware firewalls to source their allow sets.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A directed trust graph over `u64` party ids, weights in `[0, 1]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrustGraph {
+    edges: BTreeMap<u64, BTreeMap<u64, f64>>,
+    /// Per-hop decay applied when deriving transitive trust.
+    pub decay: f64,
+}
+
+impl TrustGraph {
+    /// An empty graph with the given transitive decay (e.g. 0.8).
+    pub fn new(decay: f64) -> Self {
+        assert!((0.0..=1.0).contains(&decay), "decay must be in [0,1]");
+        TrustGraph { edges: BTreeMap::new(), decay }
+    }
+
+    /// Record that `from` trusts `to` at `level` (clamped to `[0,1]`).
+    pub fn trust(&mut self, from: u64, to: u64, level: f64) {
+        self.edges.entry(from).or_default().insert(to, level.clamp(0.0, 1.0));
+    }
+
+    /// Remove a trust edge (betrayal, revocation).
+    pub fn revoke(&mut self, from: u64, to: u64) {
+        if let Some(m) = self.edges.get_mut(&from) {
+            m.remove(&to);
+        }
+    }
+
+    /// Direct trust, if declared.
+    pub fn direct(&self, from: u64, to: u64) -> Option<f64> {
+        self.edges.get(&from)?.get(&to).copied()
+    }
+
+    /// Derived trust: the best product-with-decay over simple paths up to
+    /// `max_hops`. Direct edges are returned as-is.
+    pub fn derived(&self, from: u64, to: u64, max_hops: usize) -> f64 {
+        if from == to {
+            return 1.0;
+        }
+        // Dijkstra-like best-product search; deterministic via BTreeMap order.
+        let mut best: BTreeMap<u64, f64> = BTreeMap::new();
+        best.insert(from, 1.0);
+        let mut frontier = vec![(from, 1.0, 0usize)];
+        let mut answer: f64 = 0.0;
+        while let Some((node, score, hops)) = frontier.pop() {
+            if hops >= max_hops {
+                continue;
+            }
+            let Some(out) = self.edges.get(&node) else { continue };
+            for (&next, &w) in out {
+                let factor = if hops == 0 { w } else { w * self.decay };
+                let s = score * factor;
+                if next == to {
+                    answer = answer.max(s);
+                }
+                let entry = best.get(&next).copied().unwrap_or(0.0);
+                if s > entry + 1e-12 {
+                    best.insert(next, s);
+                    frontier.push((next, s, hops + 1));
+                }
+            }
+        }
+        answer
+    }
+
+    /// Every party `from` trusts at or above `threshold` within `max_hops`
+    /// — the allow set a trust-mediated firewall installs.
+    pub fn trusted_set(&self, from: u64, threshold: f64, max_hops: usize) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .edges
+            .values()
+            .flat_map(|m| m.keys().copied())
+            .chain(self.edges.keys().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter()
+            .filter(|&id| id != from && self.derived(from, id, max_hops) >= threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_trust_roundtrip() {
+        let mut g = TrustGraph::new(0.8);
+        g.trust(1, 2, 0.9);
+        assert_eq!(g.direct(1, 2), Some(0.9));
+        assert_eq!(g.direct(2, 1), None);
+        g.revoke(1, 2);
+        assert_eq!(g.direct(1, 2), None);
+    }
+
+    #[test]
+    fn levels_are_clamped() {
+        let mut g = TrustGraph::new(0.8);
+        g.trust(1, 2, 7.0);
+        g.trust(1, 3, -1.0);
+        assert_eq!(g.direct(1, 2), Some(1.0));
+        assert_eq!(g.direct(1, 3), Some(0.0));
+    }
+
+    #[test]
+    fn transitive_trust_decays() {
+        let mut g = TrustGraph::new(0.5);
+        g.trust(1, 2, 1.0);
+        g.trust(2, 3, 1.0);
+        // path 1->2->3: 1.0 * (1.0 * 0.5) = 0.5
+        let d = g.derived(1, 3, 4);
+        assert!((d - 0.5).abs() < 1e-9, "derived {d}");
+    }
+
+    #[test]
+    fn best_path_wins() {
+        let mut g = TrustGraph::new(0.9);
+        g.trust(1, 2, 0.2);
+        g.trust(2, 4, 1.0);
+        g.trust(1, 3, 0.9);
+        g.trust(3, 4, 0.9);
+        // via 3: 0.9 * 0.9*0.9 = 0.729 beats via 2: 0.2 * 0.9
+        let d = g.derived(1, 4, 4);
+        assert!((d - 0.729).abs() < 1e-9, "derived {d}");
+    }
+
+    #[test]
+    fn hop_limit_cuts_long_chains() {
+        let mut g = TrustGraph::new(1.0);
+        for i in 0..5 {
+            g.trust(i, i + 1, 1.0);
+        }
+        assert!(g.derived(0, 5, 5) > 0.99);
+        assert_eq!(g.derived(0, 5, 3), 0.0);
+    }
+
+    #[test]
+    fn self_trust_is_total() {
+        let g = TrustGraph::new(0.5);
+        assert_eq!(g.derived(9, 9, 1), 1.0);
+    }
+
+    #[test]
+    fn unknown_parties_are_untrusted() {
+        let g = TrustGraph::new(0.5);
+        assert_eq!(g.derived(1, 2, 4), 0.0);
+    }
+
+    #[test]
+    fn trusted_set_threshold() {
+        let mut g = TrustGraph::new(0.5);
+        g.trust(1, 2, 1.0);
+        g.trust(2, 3, 1.0); // derived 0.5
+        g.trust(2, 4, 0.2); // derived 0.1
+        assert_eq!(g.trusted_set(1, 0.5, 4), vec![2, 3]);
+        assert_eq!(g.trusted_set(1, 0.95, 4), vec![2]);
+        assert_eq!(g.trusted_set(1, 0.05, 4), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = TrustGraph::new(0.9);
+        g.trust(1, 2, 1.0);
+        g.trust(2, 1, 1.0);
+        g.trust(2, 3, 0.5);
+        let d = g.derived(1, 3, 10);
+        assert!(d > 0.0 && d <= 0.5);
+    }
+}

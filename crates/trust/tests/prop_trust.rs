@@ -1,0 +1,126 @@
+//! Property tests for trust derivation, identity admission, and mediation.
+
+use proptest::prelude::*;
+use tussle_sim::SimRng;
+use tussle_trust::identity::{AnonymityPolicy, IdentityFramework, IdentityScheme};
+use tussle_trust::mediator::{run_transaction, Mediator, ReputationBook, TransactionSetup};
+use tussle_trust::TrustGraph;
+
+proptest! {
+    /// Derived trust is always in [0, 1], never exceeds the best direct
+    /// edge out of the source, and self-trust is exactly 1.
+    #[test]
+    fn derived_trust_is_bounded(
+        edges in proptest::collection::vec((0u64..8, 0u64..8, 0.0f64..=1.0), 1..40),
+        decay in 0.1f64..=1.0,
+        target in 0u64..8,
+    ) {
+        let mut g = TrustGraph::new(decay);
+        let mut best_out_of_zero: f64 = 0.0;
+        for (from, to, w) in &edges {
+            if from != to {
+                g.trust(*from, *to, *w);
+            }
+        }
+        // recompute best direct edge AFTER inserts (later inserts overwrite)
+        for to in 0..8 {
+            if let Some(w) = g.direct(0, to) {
+                best_out_of_zero = best_out_of_zero.max(w);
+            }
+        }
+        let d = g.derived(0, target, 6);
+        prop_assert!((0.0..=1.0).contains(&d), "derived {d}");
+        prop_assert_eq!(g.derived(target, target, 6), 1.0);
+        if target != 0 {
+            prop_assert!(
+                d <= best_out_of_zero + 1e-9,
+                "derived {d} exceeds best first hop {best_out_of_zero}"
+            );
+        }
+    }
+
+    /// A longer hop limit never yields LESS trust.
+    #[test]
+    fn trust_is_monotone_in_hop_budget(
+        edges in proptest::collection::vec((0u64..6, 0u64..6, 0.1f64..=1.0), 1..20),
+    ) {
+        let mut g = TrustGraph::new(0.8);
+        for (from, to, w) in &edges {
+            if from != to {
+                g.trust(*from, *to, *w);
+            }
+        }
+        for target in 1..6 {
+            let short = g.derived(0, target, 2);
+            let long = g.derived(0, target, 5);
+            prop_assert!(long >= short - 1e-9, "budget 5 gave {long} < budget 2's {short}");
+        }
+    }
+
+    /// Identity admission is coherent: a party with a verifiable tag is
+    /// never limited, and refuse-anonymous admits exactly the tagged.
+    #[test]
+    fn admission_is_coherent(key in 0u64..100, registered in any::<bool>()) {
+        let mut f = IdentityFramework::new(vec![], vec![]);
+        if registered {
+            f.register_tag(key);
+        }
+        let scheme = IdentityScheme::Pseudonym { key };
+        let has_tag = f.network_tag(&scheme).is_some();
+        prop_assert_eq!(has_tag, registered);
+        for policy in [
+            AnonymityPolicy::AcceptAll,
+            AnonymityPolicy::RefuseAnonymous,
+            AnonymityPolicy::LimitAnonymous,
+        ] {
+            let (ok, limited) = f.admit(policy, &scheme);
+            if has_tag {
+                prop_assert!(ok && !limited, "tagged parties pass {policy:?} unrestricted");
+            }
+            if policy == AnonymityPolicy::AcceptAll {
+                prop_assert!(ok);
+            }
+            if policy == AnonymityPolicy::RefuseAnonymous && !has_tag {
+                prop_assert!(!ok);
+            }
+        }
+    }
+
+    /// Escrow caps losses: buyer net never falls below -(cap + fee),
+    /// whatever the fraud rate and price.
+    #[test]
+    fn escrow_bounds_the_downside(
+        price in 1i64..10_000_000,
+        fraud in 0.0f64..=1.0,
+        cap in 0i64..1_000_000,
+        fee in 0i64..100_000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut book = ReputationBook::new();
+        let setup = TransactionSetup { value: price + 1, price, fraud_probability: fraud };
+        let escrow = Mediator::Escrow { liability_cap: cap, fee };
+        let o = run_transaction(setup, &escrow, 1, &mut book, &mut rng);
+        prop_assert!(o.buyer_net >= -(cap + fee), "net {} below floor", o.buyer_net);
+    }
+
+    /// Reputation scores stay in (0, 1) and move in the right direction.
+    #[test]
+    fn reputation_scores_behave(goods in 0u64..50, bads in 0u64..50) {
+        let mut book = ReputationBook::new();
+        for _ in 0..goods {
+            book.record(7, true);
+        }
+        for _ in 0..bads {
+            book.record(7, false);
+        }
+        let s = book.score(7);
+        prop_assert!(s > 0.0 && s < 1.0);
+        if goods > bads {
+            prop_assert!(s > 0.5);
+        }
+        if bads > goods {
+            prop_assert!(s < 0.5);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Domain scenario: inter-domain routing as a tussle interface (§IV.C, §V.A.4).
+//!
+//! Builds an AS topology, converges Gao–Rexford path-vector routing,
+//! compares its information exposure with link-state, then prices and
+//! authorizes a user-selected source route the way the paper says the
+//! design should have worked.
+//!
+//! ```sh
+//! cargo run --release --example interdomain_routing
+//! ```
+
+use std::collections::BTreeMap;
+use tussle::net::{Asn, Network, Prefix};
+use tussle::routing::exposure::{link_state_exposure, path_vector_exposure};
+use tussle::routing::sourceroute::{authorize_route, enumerate_paths};
+use tussle::routing::AsGraph;
+use tussle::sim::SimTime;
+
+fn main() {
+    // -- the commercial topology -------------------------------------------
+    //      T1a ==peer== T1b
+    //     /    \           \
+    //    M1     M2          M3
+    //   /  \      \         /
+    //  S1   S2     S3     S4
+    let mut g = AsGraph::new();
+    let (t1a, t1b) = (Asn(10), Asn(20));
+    let (m1, m2, m3) = (Asn(100), Asn(200), Asn(300));
+    let (s1, s4) = (Asn(1001), Asn(1004));
+    g.peers(t1a, t1b);
+    g.customer_of(m1, t1a);
+    g.customer_of(m2, t1a);
+    g.customer_of(m3, t1b);
+    g.customer_of(s1, m1);
+    g.customer_of(Asn(1002), m1);
+    g.customer_of(Asn(1003), m2);
+    g.customer_of(s4, m3);
+
+    let p1 = Prefix::new(0x0a010000, 16);
+    let p4 = Prefix::new(0x0d040000, 16);
+    g.originate(s1, p1);
+    g.originate(s4, p4);
+    let rounds = g.converge(50);
+    println!("## Path-vector convergence\nconverged in {rounds} rounds");
+    let path = g.as_path(s1, p4).unwrap();
+    println!("S1 -> S4 path: {:?} (valley-free: {})", path, g.is_valley_free(path));
+
+    // -- what each design forces you to reveal -----------------------------
+    let mut phys = Network::new();
+    let r: Vec<_> = (0..9).map(|i| phys.add_router(Asn(i))).collect();
+    for w in r.windows(2) {
+        phys.connect(w[0], w[1], SimTime::from_millis(5), 1_000_000_000);
+    }
+    let ls = link_state_exposure(&phys);
+    let pv = path_vector_exposure(&g, s1, &[p1, p4]);
+    println!("\n## Information exposure (§IV.C)");
+    println!(
+        "link-state: {} link costs visible to every competitor, topology visible: {}",
+        ls.link_costs_visible, ls.internal_topology_visible
+    );
+    println!(
+        "path-vector: {} path entries visible to S1, topology visible: {}",
+        pv.path_entries_visible, pv.internal_topology_visible
+    );
+
+    // -- the §V.A.4 design: a route menu with visible prices ---------------
+    let asking = BTreeMap::from([
+        (m1, 200_000u64),
+        (m2, 150_000),
+        (m3, 180_000),
+        (t1a, 400_000),
+        (t1b, 350_000),
+    ]);
+    let offers = enumerate_paths(&g, s1, s4, 6, &asking);
+    println!("\n## Source-route menu S1 -> S4 (cost of choice made visible)");
+    for o in offers.iter().take(4) {
+        println!("  {:?}  ${:.2}", o.path, o.price as f64 / 1e6);
+    }
+    let chosen = &offers[0];
+    let unpaid = authorize_route(&g, &chosen.path, &asking, &BTreeMap::new());
+    println!("\nwithout payment: {unpaid:?}");
+    let payments: BTreeMap<Asn, u64> =
+        chosen.path[1..chosen.path.len() - 1].iter().map(|a| (*a, asking[a])).collect();
+    let paid = authorize_route(&g, &chosen.path, &asking, &payments);
+    println!("with payment:    {paid:?} — the compensation flowed, so the traffic may");
+}

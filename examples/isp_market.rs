@@ -1,0 +1,61 @@
+//! Domain scenario: an ISP access market with lock-in.
+//!
+//! Sweeps the §V.A.1 renumbering cost and watches the equilibrium markup a
+//! duopoly can sustain, then shows the two consumer-favouring mechanisms
+//! the paper recommends (cheap renumbering, portable addresses) and the
+//! routing-table bill for the portable one.
+//!
+//! ```sh
+//! cargo run --release --example isp_market
+//! ```
+
+use tussle::econ::{Consumer, Market, Money, Provider};
+use tussle::experiments::e01_lockin::{run_mode, AddressingMode};
+
+fn duopoly_markup(switching_dollars: i64) -> f64 {
+    let consumers: Vec<Consumer> = (0..30)
+        .map(|id| Consumer {
+            id,
+            value: Money::from_dollars(100),
+            usage_mb: 1000,
+            runs_server: false,
+            tunnels: false,
+            switching_cost: Money::from_dollars(switching_dollars),
+            provider: None,
+        })
+        .collect();
+    let providers = vec![
+        Provider::flat("isp-a", Money::from_dollars(60), Money::from_dollars(20)),
+        Provider::flat("isp-b", Money::from_dollars(60), Money::from_dollars(20)),
+    ];
+    Market::new(consumers, providers).run(80).avg_markup
+}
+
+fn main() {
+    println!("## Markup a duopoly sustains vs. the cost of leaving\n");
+    println!("| renumbering cost | equilibrium markup |");
+    println!("|---|---|");
+    for cost in [0, 50, 150, 300, 600, 1200] {
+        println!("| ${cost} | {:.2} |", duopoly_markup(cost));
+    }
+
+    println!("\n## The three §V.A.1 addressing designs\n");
+    println!("| design | markup | avg price | core FIB entries |");
+    println!("|---|---|---|---|");
+    for mode in [
+        AddressingMode::ProviderAssignedStatic,
+        AddressingMode::ProviderAssignedDynamic,
+        AddressingMode::ProviderIndependent,
+    ] {
+        let o = run_mode(mode, 30, 80);
+        println!(
+            "| {mode:?} | {:.2} | {} | {} |",
+            o.markup, o.avg_price, o.core_fib_entries
+        );
+    }
+    println!(
+        "\nThe paper's recommendation — \"addresses should reflect connectivity, not \
+         identity\", with DHCP and dynamic DNS making renumbering cheap — is the row \
+         that gets competitive prices WITHOUT the per-customer routing state."
+    );
+}

@@ -1,0 +1,87 @@
+//! Domain scenario: trust, identity and the firewall control tussle.
+//!
+//! Walks the §V.B machinery end to end: an identity framework translating
+//! diverse schemes into network tags, a trust graph feeding a
+//! trust-mediated firewall, the MIDCOM-style negotiation over who may
+//! change it, and a third-party-mediated transaction between strangers.
+//!
+//! ```sh
+//! cargo run --release --example trust_negotiation
+//! ```
+
+use tussle::policy::{parse_expr, Ontology, Request};
+use tussle::sim::SimRng;
+use tussle::trust::identity::{AnonymityPolicy, IdentityFramework, IdentityScheme};
+use tussle::trust::mediator::{run_transaction, Mediator, ReputationBook, TransactionSetup};
+use tussle::trust::negotiation::{ControlPoint, PinholeRequest};
+use tussle::trust::TrustGraph;
+use tussle::net::{packet::ports, Firewall};
+
+fn main() {
+    // -- identity: many schemes, one tag space, no global namespace -------
+    let mut framework = IdentityFramework::new(vec![100], vec![7]);
+    framework.register_tag(42);
+    framework.register_tag(55);
+    let schemes: Vec<(&str, IdentityScheme)> = vec![
+        ("certified #42", IdentityScheme::Certified { id: 42, authority: 100 }),
+        ("pseudonym #55", IdentityScheme::Pseudonym { key: 55 }),
+        ("anonymous", IdentityScheme::Anonymous),
+        ("forged #9999", IdentityScheme::ForgedTag { fake: 9999 }),
+    ];
+    println!("## Identity framework\n");
+    for (label, s) in &schemes {
+        let tag = framework.network_tag(s);
+        let (ok, limited) = framework.admit(AnonymityPolicy::LimitAnonymous, s);
+        println!(
+            "{label:<15} tag={:<12} admitted={ok} limited={limited} disguised-anon={}",
+            tag.map(|t| t.to_string()).unwrap_or_else(|| "none".into()),
+            framework.disguised_anonymity(s),
+        );
+    }
+
+    // -- trust graph feeds the firewall's allow set ------------------------
+    let mut graph = TrustGraph::new(0.8);
+    graph.trust(1, 42, 1.0); // I trust the certified party
+    graph.trust(42, 55, 0.9); // who vouches for the pseudonym
+    let allow = graph.trusted_set(1, 0.5, 3);
+    println!("\n## Trust graph\nparties I trust at >=0.5: {allow:?}");
+
+    // -- who controls the firewall? -----------------------------------------
+    let fw = Firewall::trust_mediated(allow, "end-user");
+    let mut cp = ControlPoint::new(fw, vec![1]); // the END USER is in charge
+    println!("\n## Control-point negotiation");
+    match cp.request(PinholeRequest { requester: 1, port: ports::NOVEL, open: true }) {
+        Ok(()) => println!("user opened a pinhole for the novel app (audit: {:?})", cp.audit[0].change),
+        Err(e) => println!("refused: {e:?}"),
+    }
+    match cp.request(PinholeRequest { requester: 999, port: 23, open: true }) {
+        Ok(()) => println!("?! stranger changed the policy"),
+        Err(e) => println!("stranger refused, told who IS in charge: {e:?}"),
+    }
+    match cp.inspect_rules() {
+        Ok(rules) => println!("rules disclosed to the affected user: {} rules", rules.len()),
+        Err(_) => println!("operator declined to disclose rules"),
+    }
+
+    // -- a policy-language rule for the same decision -----------------------
+    let ont = Ontology::network();
+    let rule = parse_expr("!anonymous && dst_port in [80, 443, 49152]").unwrap();
+    let req = Request::new().with("anonymous", false).with("dst_port", 49152i64);
+    println!("\n## Policy language\n`{rule}` over the request -> {:?}", rule.matches(&req, &ont));
+
+    // -- commerce between strangers, with and without an escrow -------------
+    println!("\n## Third-party mediation");
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut book = ReputationBook::new();
+    let risky = TransactionSetup { value: 1_500_000, price: 1_000_000, fraud_probability: 0.5 };
+    let raw = run_transaction(risky, &Mediator::None, 66, &mut book, &mut rng);
+    let escrowed = run_transaction(
+        risky,
+        &Mediator::Escrow { liability_cap: 50_000, fee: 10_000 },
+        66,
+        &mut book,
+        &mut rng,
+    );
+    println!("unmediated: net = ${:.2}", raw.buyer_net as f64 / 1e6);
+    println!("escrowed:   net = ${:.2} (loss capped at $0.05 + fee)", escrowed.buyer_net as f64 / 1e6);
+}

@@ -1,0 +1,63 @@
+//! # tussle — a playground for run-time tussle in network architecture
+//!
+//! A comprehensive reproduction of **Clark, Wroclawski, Sollins & Braden,
+//! "Tussle in Cyberspace: Defining Tomorrow's Internet"** (SIGCOMM 2002 /
+//! IEEE/ACM ToN 2005) as a Rust workspace: the paper's design principles
+//! as executable analyzers, every mechanism it names as a working
+//! implementation, and every scenario it narrates as a seeded experiment.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`sim`] — deterministic discrete-event engine.
+//! * [`net`] — packets, links, FIBs, firewalls, NAT, tunnels, QoS.
+//! * [`routing`] — link-state, path-vector (Gao–Rexford), paid source
+//!   routing, resilient overlays, information-exposure metrics.
+//! * [`econ`] — money, the value-flow ledger, pricing, contracts, markets
+//!   with switching costs, fear-and-greed investment.
+//! * [`game`] — Nash equilibria, fictitious play, replicator dynamics,
+//!   Vickrey auctions, the congestion-compliance game.
+//! * [`policy`] — a KeyNote/COPS-flavoured policy language with a bounded
+//!   ontology and delegation.
+//! * [`trust`] — identity framework, trust graphs, third-party mediators,
+//!   firewall control-point negotiation.
+//! * [`names`] — DNS-like naming, resolver perversion, trademark disputes,
+//!   and the separated design.
+//! * [`actors`] — actor-network dynamics: churn, durability, freezing,
+//!   disruption.
+//! * [`core`] — stakeholders, tussle spaces, the mechanism/counter
+//!   catalog, escalation ladders, principle analyzers, reporting.
+//! * [`experiments`] — E1–E14, the evaluation the paper never ran.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tussle::core::{EscalationLadder, Mechanism};
+//!
+//! // Play the §VI.A encryption tussle to quiescence.
+//! let ladder = EscalationLadder::play_to_the_end(Mechanism::QosPortBased, 10);
+//! assert_eq!(ladder.final_mechanism(), Mechanism::Steganography);
+//! ```
+//!
+//! ```
+//! use tussle::experiments;
+//!
+//! // Reproduce the §VII QoS deployment post-mortem.
+//! let report = experiments::e10_qos::run(42);
+//! assert!(report.shape_holds);
+//! println!("{}", report.to_markdown());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tussle_actors as actors;
+pub use tussle_core as core;
+pub use tussle_econ as econ;
+pub use tussle_experiments as experiments;
+pub use tussle_game as game;
+pub use tussle_names as names;
+pub use tussle_net as net;
+pub use tussle_policy as policy;
+pub use tussle_routing as routing;
+pub use tussle_sim as sim;
+pub use tussle_trust as trust;

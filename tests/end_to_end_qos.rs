@@ -1,0 +1,93 @@
+//! Cross-crate scenario: the whole §VII QoS story in one test.
+//!
+//! A provider considers deploying QoS. Without a payment protocol and
+//! without user routing choice, it declines (the history we got). We then
+//! build the paper's proposed world piece by piece — ToS-keyed
+//! classification, a value-flow ledger, paid source routing — and watch
+//! deployment happen and premium packets actually go faster, while the
+//! privacy tussle (encryption) leaves the ToS design untouched.
+
+use std::collections::BTreeMap;
+use tussle::core::principles::value_flow_completeness;
+use tussle::econ::{AccountId, InvestmentCase, Ledger, Money};
+use tussle::net::addr::{Address, AddressOrigin, Asn, Prefix};
+use tussle::net::packet::{ports, Packet, Protocol};
+use tussle::net::{Network, QosPolicy};
+use tussle::routing::sourceroute::{authorize_route, enumerate_paths};
+use tussle::routing::AsGraph;
+use tussle::sim::{SimRng, SimTime};
+
+#[test]
+fn the_qos_story_end_to_end() {
+    // --- 1975-2002: no payment, no choice — no deployment -----------------
+    let history = InvestmentCase {
+        cost: Money::from_dollars(100),
+        greed_revenue: Money::from_dollars(70),
+        fear_loss: Money::from_dollars(70),
+        value_transfer_exists: false,
+        consumer_can_choose: false,
+    };
+    assert!(!history.deploys(), "the real Internet: QoS never deployed open");
+
+    // --- the paper's design: both mechanisms ------------------------------
+    let proposal = InvestmentCase { value_transfer_exists: true, consumer_can_choose: true, ..history };
+    assert!(proposal.deploys(), "fear + greed together cover the cost");
+
+    // --- build the deployed world -----------------------------------------
+    let mut net = Network::new();
+    let user = net.add_host(Asn(1));
+    let isp = net.add_router(Asn(1));
+    let transit = net.add_router(Asn(20));
+    let dst_isp = net.add_router(Asn(2));
+    let server = net.add_host(Asn(2));
+    net.connect(user, isp, SimTime::from_millis(1), 1_000_000_000);
+    net.connect(isp, transit, SimTime::from_millis(10), 1_000_000_000);
+    net.connect(transit, dst_isp, SimTime::from_millis(10), 1_000_000_000);
+    net.connect(dst_isp, server, SimTime::from_millis(1), 1_000_000_000);
+
+    let ua = Address::in_prefix(Prefix::new(0x0a010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(1)));
+    let sa = Address::in_prefix(Prefix::new(0x0b010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(2)));
+    net.node_mut(user).bind(ua);
+    net.node_mut(server).bind(sa);
+    let dp = Prefix::new(0x0b010000, 16);
+    net.fib_mut(user).install(Prefix::DEFAULT, isp, 0);
+    net.fib_mut(isp).install(dp, transit, 0);
+    net.fib_mut(transit).install(dp, dst_isp, 0);
+    net.fib_mut(dst_isp).install(dp, server, 0);
+
+    // the deployed mechanism: ToS-keyed premium at the transit
+    net.set_qos(transit, QosPolicy::tos_based(4, 0.4));
+
+    // --- the value flow: user pays for premium through the ledger ---------
+    let mut ledger = Ledger::new();
+    let user_acct = AccountId(1);
+    let transit_acct = AccountId(20);
+    ledger.open(user_acct);
+    ledger.open(transit_acct);
+    ledger.mint(user_acct, Money::from_dollars(10));
+    ledger.transfer(user_acct, transit_acct, Money::from_dollars(2), "premium QoS AS20").unwrap();
+    let required = [(transit_acct, Money::from_dollars(2))];
+    assert_eq!(value_flow_completeness(&ledger, &required), 1.0, "the compensation flowed");
+
+    // --- premium actually goes faster, even encrypted ----------------------
+    let mut rng = SimRng::seed_from_u64(1);
+    let base = Packet::new(ua, sa, Protocol::Udp, 9000, ports::VOIP);
+    let slow = net.send(user, base.clone(), &mut rng).latency;
+    let fast = net.send(user, base.clone().with_tos(5), &mut rng).latency;
+    let fast_encrypted = net.send(user, base.clone().with_tos(5).encrypt(), &mut rng).latency;
+    assert!(fast < slow, "paid premium must beat best effort");
+    assert_eq!(fast, fast_encrypted, "the privacy tussle does not disturb ToS-keyed QoS");
+
+    // --- and the choice half: the user could route to a competitor ---------
+    let mut g = AsGraph::new();
+    g.customer_of(Asn(1), Asn(20));
+    g.customer_of(Asn(2), Asn(20));
+    g.customer_of(Asn(1), Asn(30)); // a rival transit that also sells QoS
+    g.customer_of(Asn(2), Asn(30));
+    let asks = BTreeMap::from([(Asn(20), 2_000_000u64), (Asn(30), 1_500_000u64)]);
+    let offers = enumerate_paths(&g, Asn(1), Asn(2), 4, &asks);
+    assert!(offers.len() >= 2, "the user has a menu — competitive fear is real");
+    assert!(offers[0].price <= offers[1].price, "prices are visible and comparable");
+    let payments = BTreeMap::from([(Asn(30), 1_500_000u64)]);
+    assert!(authorize_route(&g, &offers[0].path, &asks, &payments).is_ok());
+}

@@ -1,0 +1,54 @@
+//! Workspace integration: the full evaluation runs, holds its shapes, is
+//! deterministic, and serializes.
+
+use tussle::experiments::run_all;
+
+#[test]
+fn every_shape_holds_on_the_default_seed() {
+    let reports = run_all(2002);
+    assert_eq!(reports.len(), 17);
+    for r in &reports {
+        assert!(r.shape_holds, "{} failed: {}", r.id, r.summary);
+    }
+}
+
+#[test]
+fn shapes_hold_across_seeds() {
+    // The claims are qualitative; they must not hinge on a lucky seed.
+    for seed in [1, 7, 1234] {
+        let reports = run_all(seed);
+        for r in &reports {
+            assert!(r.shape_holds, "{} failed on seed {seed}: {}", r.id, r.summary);
+        }
+    }
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let a = run_all(99);
+    let b = run_all(99);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn reports_roundtrip_through_json() {
+    for r in run_all(2002) {
+        let json = r.to_json();
+        let back: tussle::core::ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}
+
+#[test]
+fn ids_and_sections_are_well_formed() {
+    let reports = run_all(2002);
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(r.id, format!("E{}", i + 1));
+        assert!(!r.section.is_empty());
+        assert!(!r.paper_claim.is_empty());
+        assert!(!r.table.columns.is_empty());
+        let md = r.to_markdown();
+        assert!(md.contains(&r.id));
+        assert!(md.contains("Shape holds: yes"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration over the extension modules: policy-routing loci, payment
+//! instruments, intermediary consent, wiretaps vs. encryption, traffic
+//! simulation, and the application design guidelines — each tied back to
+//! the section of the paper it implements.
+
+use tussle::core::guidelines::AppDesign;
+use tussle::econ::payments::{best_instrument, Instrument};
+use tussle::econ::Money;
+use tussle::net::addr::{Address, AddressOrigin, Asn, Prefix};
+use tussle::net::packet::{ports, Packet, Protocol};
+use tussle::net::traffic::{build_engine, Flow};
+use tussle::net::{Network, Wiretap};
+use tussle::routing::policyroute::{ControlLocus, RoutePolicy};
+use tussle::sim::SimTime;
+use tussle::trust::intermediary::{ConsentRule, Intermediary, Session};
+
+/// §V.A.4 + §VI.A: the provider picks the observable path; the user,
+/// denied control, escalates to encryption; the wiretap's yield collapses
+/// while delivery statistics stay intact.
+#[test]
+fn wiretap_vs_encryption_under_provider_routing() {
+    // provider routing picks the path through its own tap
+    let user = RoutePolicy { constraints: vec![], preferences: vec![Asn(20)] };
+    let provider = RoutePolicy { constraints: vec![], preferences: vec![Asn(10)] };
+    let candidates =
+        vec![vec![Asn(1), Asn(10), Asn(2)], vec![Asn(1), Asn(20), Asn(2)]];
+    let chosen = ControlLocus::ProviderControl.select(&user, &provider, &candidates).unwrap();
+    assert!(chosen.contains(&Asn(10)), "the tap sits in AS10 and AS10 gets the traffic");
+
+    // traffic crosses the tap: cleartext first, then encrypted
+    let mut tap = Wiretap::new();
+    let src = Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
+    let dst = Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
+    for i in 0..10 {
+        let pkt = Packet::new(src, dst, Protocol::Tcp, 1, ports::HTTP)
+            .with_payload(bytes_of(i));
+        tap.observe(&pkt);
+    }
+    assert_eq!(tap.content_yield(), 1.0);
+    for i in 0..10 {
+        let pkt = Packet::new(src, dst, Protocol::Tcp, 1, ports::HTTP)
+            .with_payload(bytes_of(i))
+            .encrypt();
+        tap.observe(&pkt);
+    }
+    assert_eq!(tap.content_yield(), 0.5, "encryption halves the tap's take");
+    assert_eq!(tap.flow_pairs(), 1, "but traffic analysis still works");
+}
+
+fn bytes_of(i: u32) -> bytes::Bytes {
+    bytes::Bytes::from(i.to_be_bytes().to_vec())
+}
+
+/// §IV.C: a content seller prices per-article, discovers the instrument
+/// math, and re-prices as a subscription.
+#[test]
+fn content_pricing_follows_instrument_economics() {
+    let per_article = Money(5_000); // $0.005
+    let monthly_bundle = Money::from_dollars(10);
+    // nobody can sell the article alone...
+    assert!(Instrument::all()
+        .iter()
+        .all(|i| !tussle::econ::payments::viable(*i, per_article, 0.5)));
+    // ...but the bundle clears easily, via an aggregator
+    assert!(tussle::econ::payments::viable(
+        best_instrument(monthly_bundle, true),
+        monthly_bundle,
+        0.1
+    ));
+}
+
+/// §V.B fn.13 + §VI.A: an ISP inserts a silent "enhancement" proxy; the
+/// user cannot evict what they cannot see, and the guideline checker
+/// flags the design; under the both-ends rule the insertion never happens.
+#[test]
+fn opes_consent_and_the_guidelines() {
+    let silent_proxy = Intermediary {
+        id: 9,
+        service: "ad-insert".into(),
+        faulty: true,
+        announces_itself: false,
+    };
+
+    let mut wild_west = Session::new(ConsentRule::NoConsent, false, false);
+    wild_west.insert(silent_proxy.clone()).unwrap();
+    assert!(!wild_west.healthy());
+    assert!(wild_west.detect_and_recover().is_empty(), "can't evict the invisible");
+    assert!(!wild_west.healthy());
+
+    let mut iab_world = Session::new(ConsentRule::BothEnds, true, false);
+    assert!(iab_world.insert(silent_proxy).is_err());
+    assert!(iab_world.healthy());
+
+    // the app that relies on silent in-network enhancement fails review
+    let mut design = AppDesign::exemplary("enhanced-web");
+    design.network_features_user_controlled = false;
+    let violations = design.review();
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].section, "VI.A");
+}
+
+/// The engine-driven workload: two flows with different priorities cross a
+/// QoS-enabled router; the premium flow's measured latency distribution is
+/// strictly better.
+#[test]
+fn traffic_simulation_measures_qos_differences() {
+    let mut net = Network::new();
+    let h0 = net.add_host(Asn(1));
+    let r = net.add_router(Asn(1));
+    let h1 = net.add_host(Asn(2));
+    net.connect(h0, r, SimTime::from_millis(2), 1_000_000_000);
+    net.connect(r, h1, SimTime::from_millis(20), 1_000_000_000);
+    let a0 = Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
+    let a1 = Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
+    net.node_mut(h0).bind(a0);
+    net.node_mut(h1).bind(a1);
+    net.fib_mut(h0).install(Prefix::DEFAULT, r, 0);
+    net.fib_mut(r).install(Prefix::new(0x0b000000, 16), h1, 0);
+    net.set_qos(r, tussle::net::QosPolicy::tos_based(4, 0.5));
+
+    let best_effort = Packet::new(a0, a1, Protocol::Udp, 1, ports::VOIP);
+    let premium = best_effort.clone().with_tos(5);
+    let flows = vec![
+        Flow::periodic("be", h0, best_effort, SimTime::from_millis(10), 100),
+        Flow::periodic("prio", h0, premium, SimTime::from_millis(10), 100),
+    ];
+    let mut eng = build_engine(net, flows, 11);
+    eng.run_to_completion();
+    let be = eng.metrics().histogram("flow.be.latency_us").unwrap().mean().unwrap();
+    let prio = eng.metrics().histogram("flow.prio.latency_us").unwrap().mean().unwrap();
+    assert_eq!(eng.metrics().counter("flow.be.delivered"), 100);
+    assert_eq!(eng.metrics().counter("flow.prio.delivered"), 100);
+    assert!(prio < be * 0.8, "premium {prio} vs best-effort {be}");
+}

@@ -1,0 +1,99 @@
+//! Two more §V.A mechanisms working end to end: multihoming (the paper's
+//! "improve choice in multihomed machines") and auctioning scarce premium
+//! capacity with the truthful mechanism (§II.B applied to §VII's problem).
+
+use tussle::econ::{AccountId, Ledger, Money};
+use tussle::game::vcg::{run_vcg, vcg_utility};
+use tussle::net::addr::{Address, AddressOrigin, Asn, Prefix};
+use tussle::net::packet::{ports, Packet, Protocol};
+use tussle::net::Network;
+use tussle::sim::{SimRng, SimTime};
+
+/// A host homed to two providers keeps working when either one fails —
+/// "Addresses should reflect connectivity, not identity ... improve choice
+/// in multihomed machines" (§V.A.1).
+#[test]
+fn multihomed_host_survives_either_provider_failing() {
+    let mut net = Network::new();
+    let host = net.add_host(Asn(1));
+    let isp_a = net.add_router(Asn(10));
+    let isp_b = net.add_router(Asn(20));
+    let remote = net.add_host(Asn(2));
+    let la = net.connect(host, isp_a, SimTime::from_millis(5), 1_000_000_000);
+    let lb = net.connect(host, isp_b, SimTime::from_millis(8), 1_000_000_000);
+    net.connect(isp_a, remote, SimTime::from_millis(10), 1_000_000_000);
+    net.connect(isp_b, remote, SimTime::from_millis(10), 1_000_000_000);
+
+    // one address per provider: the multihomed host holds both
+    let a_addr =
+        Address::in_prefix(Prefix::new(0x0a010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(10)));
+    let b_addr =
+        Address::in_prefix(Prefix::new(0x1401_0000, 16), 1, AddressOrigin::ProviderAssigned(Asn(20)));
+    net.node_mut(host).bind(a_addr);
+    net.node_mut(host).bind(b_addr);
+    let r_addr =
+        Address::in_prefix(Prefix::new(0x0b010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(2)));
+    net.node_mut(remote).bind(r_addr);
+    let rp = Prefix::new(0x0b010000, 16);
+    // the host's own FIB holds one route per uplink; metric prefers A
+    net.fib_mut(host).install(rp, isp_a, 0);
+    net.fib_mut(isp_a).install(rp, remote, 0);
+    net.fib_mut(isp_b).install(rp, remote, 0);
+
+    let mut rng = SimRng::seed_from_u64(4);
+    let via_a = net.send(host, Packet::new(a_addr, r_addr, Protocol::Tcp, 1, ports::HTTP), &mut rng);
+    assert!(via_a.delivered);
+    assert!(via_a.path.contains(&isp_a));
+
+    // provider A dies; the host switches source address AND uplink —
+    // no renumbering of anything else required
+    net.link_mut(la).up = false;
+    net.fib_mut(host).withdraw_via(isp_a);
+    net.fib_mut(host).install(rp, isp_b, 0);
+    let via_b = net.send(host, Packet::new(b_addr, r_addr, Protocol::Tcp, 1, ports::HTTP), &mut rng);
+    assert!(via_b.delivered, "{via_b:?}");
+    assert!(via_b.path.contains(&isp_b));
+    let _ = lb;
+}
+
+/// Premium-slot allocation by truthful auction: the §II.B mechanism-design
+/// answer to "who gets the k premium slots", settled through the §IV.C
+/// value-flow ledger.
+#[test]
+fn premium_slots_allocated_by_vcg_and_settled_on_the_ledger() {
+    // five customers value a premium slot differently; two slots exist
+    let values = [30.0, 80.0, 55.0, 20.0, 70.0];
+    // Vickrey logic: everyone bids their true value — deviations don't pay
+    let outcome = run_vcg(2, &values);
+    assert_eq!(outcome.winners, vec![1, 4], "the two highest-value customers win");
+    assert_eq!(outcome.price, 55.0, "both pay the highest losing bid");
+
+    // winners strictly gain; the mechanism never charges above value
+    for (i, v) in values.iter().enumerate() {
+        let u = vcg_utility(&outcome, i, *v);
+        if outcome.winners.contains(&i) {
+            assert!(u > 0.0);
+        } else {
+            assert_eq!(u, 0.0);
+        }
+    }
+
+    // settle through the ledger: value flows from winners to the ISP
+    let mut ledger = Ledger::new();
+    let isp = AccountId(100);
+    ledger.open(isp);
+    for i in 0..values.len() as u64 {
+        ledger.open(AccountId(i));
+        ledger.mint(AccountId(i), Money::from_dollars(100));
+    }
+    let price = Money::from_dollars(outcome.price as i64);
+    for w in &outcome.winners {
+        ledger
+            .transfer(AccountId(*w as u64), isp, price, "premium slot (VCG)")
+            .expect("winners are funded");
+    }
+    assert_eq!(ledger.total_received(isp), Money::from_dollars(110));
+    assert!(ledger.is_conserving());
+    // the ISP got paid — the §VII greed condition — through an auction
+    // nobody could game — the §II.B tussle-free information sub-game.
+}
