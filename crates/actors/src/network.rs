@@ -4,15 +4,25 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Index of an actor in the network.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ActorId(pub u32);
 
 impl ActorId {
     /// Usable as a vector index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+// Lets `ActorId` (and pairs of them) key serialized relation maps.
+impl serde::StringKey for ActorId {
+    fn to_key(&self) -> String {
+        self.0.to_string()
+    }
+    fn from_key(key: &str) -> Result<Self, serde::DeError> {
+        key.parse()
+            .map(ActorId)
+            .map_err(|_| serde::DeError(format!("invalid ActorId map key `{key}`")))
     }
 }
 
@@ -158,9 +168,7 @@ impl ActorNetwork {
     pub fn tussle_energy(&self) -> f64 {
         self.alignment
             .iter()
-            .filter(|((a, b), _)| {
-                self.actors[a.index()].active && self.actors[b.index()].active
-            })
+            .filter(|((a, b), _)| self.actors[a.index()].active && self.actors[b.index()].active)
             .map(|((a, b), s)| s * self.conflict(*a, *b))
             .sum()
     }

@@ -118,8 +118,14 @@ fn bench_firewall_ablation(c: &mut Criterion) {
     let dst = Address::in_prefix(Prefix::new(2, 8), 1, AddressOrigin::ProviderIndependent);
     let packets: Vec<Packet> = (0..1_000)
         .map(|i| {
-            Packet::new(src, dst, Protocol::Tcp, 1, if i % 2 == 0 { ports::HTTP } else { ports::NOVEL })
-                .with_identity(if i % 3 == 0 { 42 } else { 7 })
+            Packet::new(
+                src,
+                dst,
+                Protocol::Tcp,
+                1,
+                if i % 2 == 0 { ports::HTTP } else { ports::NOVEL },
+            )
+            .with_identity(if i % 3 == 0 { 42 } else { 7 })
         })
         .collect();
     let port_fw = Firewall::port_allowlist(vec![ports::HTTP, ports::SMTP], "admin");

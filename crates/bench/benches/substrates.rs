@@ -60,8 +60,10 @@ fn line_network(n: usize) -> (Network, NodeId, Address, Address) {
     for w in nodes.windows(2) {
         net.connect(w[0], w[1], SimTime::from_millis(1), 1_000_000_000);
     }
-    let src = Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
-    let dst = Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
+    let src =
+        Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
+    let dst =
+        Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
     net.node_mut(nodes[0]).bind(src);
     net.node_mut(nodes[n - 1]).bind(dst);
     let dp = Prefix::new(0x0b000000, 16);
@@ -138,7 +140,8 @@ fn bench_policy(c: &mut Criterion) {
     c.bench_function("policy/parse compound condition", |b| {
         b.iter(|| {
             black_box(
-                parse_expr(r#"(a == 1 && b in [2, 3]) || !(c != "x")"#).map(|e| e.attributes().len()),
+                parse_expr(r#"(a == 1 && b in [2, 3]) || !(c != "x")"#)
+                    .map(|e| e.attributes().len()),
             )
         })
     });
@@ -216,7 +219,9 @@ fn bench_sourceroute(c: &mut Criterion) {
     let prices: BTreeMap<Asn, u64> = (0..6u32).map(|m| (Asn(10 + m), 100 + m as u64)).collect();
     c.bench_function("routing/enumerate paths (6 transits)", |b| {
         b.iter(|| {
-            black_box(tussle_routing::sourceroute::enumerate_paths(&g, Asn(1), Asn(2), 5, &prices).len())
+            black_box(
+                tussle_routing::sourceroute::enumerate_paths(&g, Asn(1), Asn(2), 5, &prices).len(),
+            )
         })
     });
 }

@@ -1,0 +1,75 @@
+//! Seed-sweep scaling bench: sequential vs. work-stealing parallel.
+//!
+//! Times the multi-seed sweep at one worker thread and at the machine's
+//! available parallelism, then asserts the scaling headroom: on a
+//! multi-core host the parallel sweep must beat sequential outright; on a
+//! single core it must stay within a small constant overhead of it (the
+//! work-stealing index and thread scope must be close to free).
+//!
+//! ```sh
+//! cargo bench -p tussle-bench --bench sweep
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use tussle_experiments::{run_sweep, SweepConfig};
+
+fn config(threads: Option<usize>) -> SweepConfig {
+    SweepConfig {
+        seeds: 8,
+        base_seed: 1,
+        // A spread of cheap and mid-weight experiments keeps the bench
+        // fast while still giving the scheduler unequal job sizes.
+        only: Some(vec!["E1".into(), "E5".into(), "E9".into(), "E14".into()]),
+        threads,
+    }
+}
+
+/// Best-of-N wall-clock of one full sweep, in nanoseconds.
+fn best_of(n: usize, threads: Option<usize>) -> u128 {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(run_sweep(black_box(&config(threads))).expect("sweep runs"));
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .expect("at least one run")
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    g.bench_function("sequential_1_thread", |b| {
+        b.iter(|| black_box(run_sweep(&config(Some(1))).expect("sweep runs")))
+    });
+    g.bench_function("parallel_auto", |b| {
+        b.iter(|| black_box(run_sweep(&config(None)).expect("sweep runs")))
+    });
+    g.finish();
+
+    // Scaling assertion, on best-of-3 to shave scheduler noise.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sequential = best_of(3, Some(1));
+    let parallel = best_of(3, None);
+    let ratio = parallel as f64 / sequential as f64;
+    println!(
+        "sweep scaling: {cores} core(s), sequential {sequential} ns, \
+         parallel {parallel} ns, ratio {ratio:.2}"
+    );
+    if cores > 1 {
+        // Near-linear is the goal; "measurably faster" is the floor we
+        // assert, leaving headroom for small grids and busy machines.
+        assert!(
+            ratio < 0.9,
+            "parallel sweep not faster than sequential on {cores} cores (ratio {ratio:.2})"
+        );
+    } else {
+        // One core: parallelism can't win, but its machinery must be cheap.
+        assert!(ratio < 1.5, "work-stealing overhead too high on a single core (ratio {ratio:.2})");
+    }
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -5,6 +5,8 @@
 //!
 //! * `experiments [--seed N] [--json] [--only E1,E5]` — run the evaluation
 //!   (or a subset) and print markdown or JSON reports;
+//! * `sweep --seeds N [--base S] [--only E1,E5] [--json] [--threads K]` —
+//!   run the registry over many seeds and report shape stability;
 //! * `list` — list experiment ids, sections and one-line claims;
 //! * `ladder <mechanism>` — play an escalation ladder to quiescence from a
 //!   named opening mechanism;
@@ -27,6 +29,19 @@ pub enum Command {
         json: bool,
         /// Restrict to these ids (empty = all).
         only: Vec<String>,
+    },
+    /// Sweep the registry over many seeds and report shape stability.
+    Sweep {
+        /// Number of seeds to sweep.
+        seeds: u64,
+        /// First seed of the range.
+        base_seed: u64,
+        /// Restrict to these ids (empty = all).
+        only: Vec<String>,
+        /// Emit JSON instead of markdown.
+        json: bool,
+        /// Worker-thread cap (`None` = available parallelism).
+        threads: Option<usize>,
     },
     /// List the experiment registry.
     List,
@@ -81,15 +96,27 @@ pub fn mechanism_names() -> Vec<(&'static str, Mechanism)> {
 
 /// Parse a mechanism by CLI name.
 pub fn parse_mechanism(name: &str) -> Result<Mechanism, UsageError> {
-    mechanism_names()
-        .into_iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, m)| m)
-        .ok_or_else(|| {
-            UsageError(format!(
-                "unknown mechanism '{name}'; run `tussle-cli mechanisms` for the catalog"
-            ))
+    mechanism_names().into_iter().find(|(n, _)| *n == name).map(|(_, m)| m).ok_or_else(|| {
+        UsageError(format!(
+            "unknown mechanism '{name}'; run `tussle-cli mechanisms` for the catalog"
+        ))
+    })
+}
+
+/// Parse a `--only` id list (`"E1,E4"`). Rejects empty segments so typos
+/// like `"E1,,E4"` or a trailing comma fail loudly instead of silently
+/// filtering nothing.
+fn parse_only(v: &str) -> Result<Vec<String>, UsageError> {
+    v.split(',')
+        .map(|s| {
+            let id = s.trim().to_uppercase();
+            if id.is_empty() {
+                Err(UsageError(format!("malformed --only list '{v}': empty id")))
+            } else {
+                Ok(id)
+            }
         })
+        .collect()
 }
 
 /// Parse the argument vector (without the binary name).
@@ -100,9 +127,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
         Some("list") => Ok(Command::List),
         Some("mechanisms") => Ok(Command::Mechanisms),
         Some("ladder") => {
-            let name = it
-                .next()
-                .ok_or_else(|| UsageError("ladder needs a mechanism name".into()))?;
+            let name =
+                it.next().ok_or_else(|| UsageError("ladder needs a mechanism name".into()))?;
             Ok(Command::Ladder { mechanism: parse_mechanism(name)? })
         }
         Some("experiments") => {
@@ -112,12 +138,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--seed" => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| UsageError("--seed needs a value".into()))?;
-                        seed = v
-                            .parse()
-                            .map_err(|_| UsageError(format!("bad seed '{v}'")))?;
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seed needs a value".into()))?;
+                        seed = v.parse().map_err(|_| UsageError(format!("bad seed '{v}'")))?;
                     }
                     "--json" => json = true,
                     "--only" => {
@@ -130,6 +153,52 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 }
             }
             Ok(Command::Experiments { seed, json, only })
+        }
+        Some("sweep") => {
+            let mut seeds = 32u64;
+            let mut base_seed = 1u64;
+            let mut only = Vec::new();
+            let mut json = false;
+            let mut threads = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seeds" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seeds needs a count".into()))?;
+                        seeds =
+                            v.parse().map_err(|_| UsageError(format!("bad seed count '{v}'")))?;
+                        if seeds == 0 {
+                            return Err(UsageError("--seeds must be at least 1".into()));
+                        }
+                    }
+                    "--base" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--base needs a seed".into()))?;
+                        base_seed =
+                            v.parse().map_err(|_| UsageError(format!("bad base seed '{v}'")))?;
+                    }
+                    "--only" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--only needs ids like E1,E4".into()))?;
+                        only = parse_only(v)?;
+                    }
+                    "--json" => json = true,
+                    "--threads" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--threads needs a count".into()))?;
+                        let n: usize =
+                            v.parse().map_err(|_| UsageError(format!("bad thread count '{v}'")))?;
+                        if n == 0 {
+                            return Err(UsageError("--threads must be at least 1".into()));
+                        }
+                        threads = Some(n);
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Sweep { seeds, base_seed, only, json, threads })
         }
         Some(other) => Err(UsageError(format!("unknown command '{other}'; try `tussle-cli help`"))),
     }
@@ -152,13 +221,11 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
             Ok(out)
         }
         Command::Mechanisms => {
-            let mut out = String::from("mechanism               deployer                 countered by\n");
+            let mut out =
+                String::from("mechanism               deployer                 countered by\n");
             for (name, m) in mechanism_names() {
-                let counters: Vec<String> = m
-                    .countered_by()
-                    .iter()
-                    .map(|c| format!("{c:?}"))
-                    .collect();
+                let counters: Vec<String> =
+                    m.countered_by().iter().map(|c| format!("{c:?}")).collect();
                 out.push_str(&format!(
                     "{:<23} {:<24} {}\n",
                     name,
@@ -178,6 +245,16 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
                 ladder.escalations(),
                 ladder.ended_terminal()
             ))
+        }
+        Command::Sweep { seeds, base_seed, only, json, threads } => {
+            let cfg = experiments::SweepConfig {
+                seeds,
+                base_seed,
+                only: if only.is_empty() { None } else { Some(only) },
+                threads,
+            };
+            let report = experiments::run_sweep(&cfg).map_err(|e| UsageError(e.to_string()))?;
+            Ok(if json { report.to_json() } else { report.to_markdown() })
         }
         Command::Experiments { seed, json, only } => {
             let reports: Vec<_> = experiments::run_all_parallel(seed)
@@ -208,6 +285,7 @@ pub const USAGE: &str = "tussle-cli — the Tussle in Cyberspace reproduction
 
 USAGE:
   tussle-cli experiments [--seed N] [--json] [--only E1,E4]
+  tussle-cli sweep [--seeds N] [--base S] [--only E1,E4] [--json] [--threads K]
   tussle-cli list
   tussle-cli ladder <mechanism>
   tussle-cli mechanisms
@@ -247,7 +325,89 @@ mod tests {
         assert!(parse_args(&args("experiments --seed banana")).is_err());
         assert!(parse_args(&args("frobnicate")).unwrap_err().0.contains("unknown command"));
         assert!(parse_args(&args("ladder")).is_err());
-        assert!(parse_args(&args("ladder warp-drive")).unwrap_err().0.contains("unknown mechanism"));
+        assert!(parse_args(&args("ladder warp-drive"))
+            .unwrap_err()
+            .0
+            .contains("unknown mechanism"));
+    }
+
+    #[test]
+    fn parses_sweep_flags() {
+        let cmd =
+            parse_args(&args("sweep --seeds 16 --base 5 --only e1,E4 --json --threads 3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                seeds: 16,
+                base_seed: 5,
+                only: vec!["E1".into(), "E4".into()],
+                json: true,
+                threads: Some(3),
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_defaults() {
+        assert_eq!(
+            parse_args(&args("sweep")).unwrap(),
+            Command::Sweep { seeds: 32, base_seed: 1, only: vec![], json: false, threads: None }
+        );
+    }
+
+    #[test]
+    fn sweep_parse_errors_are_helpful() {
+        assert!(parse_args(&args("sweep --seeds")).unwrap_err().0.contains("needs a count"));
+        assert!(parse_args(&args("sweep --seeds 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse_args(&args("sweep --seeds banana"))
+            .unwrap_err()
+            .0
+            .contains("bad seed count"));
+        assert!(parse_args(&args("sweep --base")).is_err());
+        assert!(parse_args(&args("sweep --base x")).unwrap_err().0.contains("bad base seed"));
+        assert!(parse_args(&args("sweep --threads 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse_args(&args("sweep --only")).is_err());
+        assert!(parse_args(&args("sweep --only E1,,E4")).unwrap_err().0.contains("malformed"));
+        assert!(parse_args(&args("sweep --only E1,")).unwrap_err().0.contains("malformed"));
+        assert!(parse_args(&args("sweep --frobnicate")).unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn sweep_command_renders_markdown_and_json() {
+        let md = execute(Command::Sweep {
+            seeds: 2,
+            base_seed: 1,
+            only: vec!["E1".into()],
+            json: false,
+            threads: Some(1),
+        })
+        .unwrap();
+        assert!(md.contains("1 experiments × 2 seeds (base 1)"));
+        assert!(md.contains("| E1 |"));
+
+        let json = execute(Command::Sweep {
+            seeds: 2,
+            base_seed: 1,
+            only: vec!["E1".into()],
+            json: true,
+            threads: Some(1),
+        })
+        .unwrap();
+        assert!(json.contains("\"base_seed\": 1"));
+        assert!(json.contains("\"holds\""));
+    }
+
+    #[test]
+    fn sweep_unknown_experiment_errors() {
+        let err = execute(Command::Sweep {
+            seeds: 2,
+            base_seed: 1,
+            only: vec!["E99".into()],
+            json: false,
+            threads: Some(1),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("unknown experiment"));
     }
 
     #[test]
@@ -274,24 +434,17 @@ mod tests {
 
     #[test]
     fn experiments_subset_runs() {
-        let out = execute(Command::Experiments {
-            seed: 2002,
-            json: false,
-            only: vec!["E10".into()],
-        })
-        .unwrap();
+        let out =
+            execute(Command::Experiments { seed: 2002, json: false, only: vec!["E10".into()] })
+                .unwrap();
         assert!(out.contains("1/1 shapes hold"));
         assert!(out.contains("E10"));
     }
 
     #[test]
     fn unknown_subset_errors() {
-        let err = execute(Command::Experiments {
-            seed: 1,
-            json: false,
-            only: vec!["E99".into()],
-        })
-        .unwrap_err();
+        let err = execute(Command::Experiments { seed: 1, json: false, only: vec!["E99".into()] })
+            .unwrap_err();
         assert!(err.0.contains("no experiments match"));
     }
 }

@@ -88,10 +88,7 @@ mod tests {
         assert_eq!(ladder.steps[0].mechanism, QosPortBased);
         // QosPortBased -> Encryption -> EncryptionBlocking -> Steganography
         let mechanisms: Vec<_> = ladder.steps.iter().map(|s| s.mechanism).collect();
-        assert_eq!(
-            mechanisms,
-            vec![QosPortBased, Encryption, EncryptionBlocking, Steganography]
-        );
+        assert_eq!(mechanisms, vec![QosPortBased, Encryption, EncryptionBlocking, Steganography]);
         assert_eq!(ladder.escalations(), 3);
     }
 

@@ -50,7 +50,7 @@ pub struct AppDesign {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Violation {
     /// Paper section the guideline comes from.
-    pub section: &'static str,
+    pub section: String,
     /// What is wrong.
     pub finding: String,
 }
@@ -77,7 +77,7 @@ impl AppDesign {
         let mut v = Vec::new();
         if !self.user_selects_server {
             v.push(Violation {
-                section: "IV.B",
+                section: "IV.B".to_owned(),
                 finding: format!(
                     "{}: users cannot choose their server/provider; choice drives competition \
                      and disciplines the marketplace",
@@ -87,7 +87,7 @@ impl AppDesign {
         }
         if !self.user_selects_mediators {
             v.push(Violation {
-                section: "V.B",
+                section: "V.B".to_owned(),
                 finding: format!(
                     "{}: parties cannot select the third parties that mediate the interaction",
                     self.name
@@ -96,7 +96,7 @@ impl AppDesign {
         }
         if self.keys_on_well_known_ports {
             v.push(Violation {
-                section: "IV.A",
+                section: "IV.A".to_owned(),
                 finding: format!(
                     "{}: network semantics keyed on well-known ports entangle unrelated \
                      tussles; use explicit header fields",
@@ -106,7 +106,7 @@ impl AppDesign {
         }
         if !self.works_encrypted {
             v.push(Violation {
-                section: "VI.A",
+                section: "VI.A".to_owned(),
                 finding: format!(
                     "{}: the protocol breaks under end-to-end encryption, so users must choose \
                      between the application and their privacy",
@@ -116,7 +116,7 @@ impl AppDesign {
         }
         if self.needs_value_flow && !self.value_flow_designed {
             v.push(Violation {
-                section: "IV.C",
+                section: "IV.C".to_owned(),
                 finding: format!(
                     "{}: compensation must flow between parties but no value-flow protocol is \
                      designed — expect the QoS/multicast deployment failure",
@@ -126,7 +126,7 @@ impl AppDesign {
         }
         if !self.network_features_user_controlled {
             v.push(Violation {
-                section: "VI.A",
+                section: "VI.A".to_owned(),
                 finding: format!(
                     "{}: in-network enhancements are invoked without user control",
                     self.name
@@ -135,7 +135,7 @@ impl AppDesign {
         }
         if !self.reports_failures_usably {
             v.push(Violation {
-                section: "VI.A",
+                section: "VI.A".to_owned(),
                 finding: format!(
                     "{}: failures of transparency are not reported in a form the affected \
                      person can act on",
@@ -182,7 +182,7 @@ mod tests {
         let violations = web.review();
         assert_eq!(violations.len(), 5);
         assert!(web.score() < 0.4);
-        let sections: Vec<_> = violations.iter().map(|v| v.section).collect();
+        let sections: Vec<_> = violations.iter().map(|v| v.section.as_str()).collect();
         assert!(sections.contains(&"IV.A"));
         assert!(sections.contains(&"VI.A"));
     }

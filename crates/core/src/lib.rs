@@ -49,6 +49,8 @@ pub use escalation::{EscalationLadder, LadderStep};
 pub use guidelines::{AppDesign, Violation};
 pub use mechanism::Mechanism;
 pub use principles::{choice_index, spillover, value_flow_completeness, visibility_index};
-pub use report::{ExperimentReport, Row, Table};
+pub use report::{
+    CellStats, ExperimentReport, ExperimentSweep, FirstFailure, Row, SweepReport, Table,
+};
 pub use space::{TussleSpace, TussleSpaceKind};
 pub use stakeholder::{Interest, Stakeholder, StakeholderKind};

@@ -156,10 +156,26 @@ mod tests {
         // escalation must terminate: walk greedily (first counter) from
         // every mechanism and ensure no cycle within catalog size.
         let all = [
-            PortFirewall, TrustFirewall, Nat, Tunnel, TunnelDetection, Encryption,
-            EncryptionBlocking, Steganography, ValuePricing, PaidSourceRouting,
-            ProviderRouting, OverlayRouting, DnsPerversion, ServerChoice, QosTosBits,
-            QosPortBased, ThirdPartyMediation, Anonymity, RefusingAnonymous, Regulation,
+            PortFirewall,
+            TrustFirewall,
+            Nat,
+            Tunnel,
+            TunnelDetection,
+            Encryption,
+            EncryptionBlocking,
+            Steganography,
+            ValuePricing,
+            PaidSourceRouting,
+            ProviderRouting,
+            OverlayRouting,
+            DnsPerversion,
+            ServerChoice,
+            QosTosBits,
+            QosPortBased,
+            ThirdPartyMediation,
+            Anonymity,
+            RefusingAnonymous,
+            Regulation,
         ];
         for start in all {
             let mut cur = start;

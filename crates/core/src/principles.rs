@@ -53,10 +53,8 @@ pub fn value_flow_completeness(ledger: &Ledger, required: &[(AccountId, Money)])
     if required.is_empty() {
         return 1.0;
     }
-    let satisfied = required
-        .iter()
-        .filter(|(who, amount)| ledger.total_received(*who) >= *amount)
-        .count();
+    let satisfied =
+        required.iter().filter(|(who, amount)| ledger.total_received(*who) >= *amount).count();
     satisfied as f64 / required.len() as f64
 }
 

@@ -116,6 +116,161 @@ impl ExperimentReport {
     }
 }
 
+/// Aggregate statistics for one numeric table cell across swept seeds.
+///
+/// Built by the multi-seed sweep: for every `(row, column)` cell whose value
+/// parses as a finite number, the minimum, maximum and median of that value
+/// across all seeds. `samples` counts the seeds in which the cell was a
+/// finite number; a cell that is numeric under some seeds but not others
+/// will have `samples` below the sweep's seed count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellStats {
+    /// Row label the cell sits in.
+    pub row: String,
+    /// Column name the cell sits in.
+    pub column: String,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Median observed value (mean of the middle two for even counts).
+    pub median: f64,
+    /// Number of seeds in which this cell parsed as a finite number.
+    pub samples: u64,
+}
+
+impl CellStats {
+    /// Compute stats from raw observations. Non-finite values (a NaN cell
+    /// prints as `NaN` and parses back) carry no ordering information and
+    /// are dropped. Returns `None` when no finite samples remain.
+    pub fn from_samples(row: &str, column: &str, values: Vec<f64>) -> Option<CellStats> {
+        let mut values: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(f64::total_cmp);
+        let n = values.len();
+        let median =
+            if n % 2 == 1 { values[n / 2] } else { (values[n / 2 - 1] + values[n / 2]) / 2.0 };
+        Some(CellStats {
+            row: row.to_owned(),
+            column: column.to_owned(),
+            min: values[0],
+            max: values[n - 1],
+            median,
+            samples: n as u64,
+        })
+    }
+}
+
+/// The first seed under which an experiment's shape failed to hold,
+/// together with the full report from that run for diagnosis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FirstFailure {
+    /// The failing seed.
+    pub seed: u64,
+    /// The complete report produced under that seed.
+    pub report: ExperimentReport,
+}
+
+/// Shape-stability summary for one experiment across all swept seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSweep {
+    /// Experiment id (e.g. `"E1"`).
+    pub id: String,
+    /// Paper section reproduced.
+    pub section: String,
+    /// Seeds swept.
+    pub seeds: u64,
+    /// Seeds under which the shape held.
+    pub holds: u64,
+    /// Per-cell spread statistics, in table order (row-major).
+    pub cells: Vec<CellStats>,
+    /// First failing seed with its full report, if any seed failed.
+    pub first_failure: Option<FirstFailure>,
+}
+
+impl ExperimentSweep {
+    /// Fraction of seeds under which the shape held, in `[0, 1]`.
+    pub fn hold_rate(&self) -> f64 {
+        if self.seeds == 0 {
+            return 0.0;
+        }
+        self.holds as f64 / self.seeds as f64
+    }
+
+    /// Look up the stats of one cell.
+    pub fn cell(&self, row: &str, column: &str) -> Option<&CellStats> {
+        self.cells.iter().find(|c| c.row == row && c.column == column)
+    }
+}
+
+/// Result of sweeping the experiment registry over many seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// First seed of the contiguous swept range.
+    pub base_seed: u64,
+    /// Number of seeds swept (`base_seed..base_seed + seeds`).
+    pub seeds: u64,
+    /// Per-experiment summaries, in registry order.
+    pub experiments: Vec<ExperimentSweep>,
+}
+
+impl SweepReport {
+    /// Did every experiment hold its shape under every seed?
+    pub fn all_hold(&self) -> bool {
+        self.experiments.iter().all(|e| e.holds == e.seeds)
+    }
+
+    /// Render as GitHub-flavoured markdown: a hold-rate summary table, then
+    /// a per-cell spread table for each experiment.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "# Seed sweep — {} experiments × {} seeds (base {})\n\n\
+             | experiment | section | hold rate | first failing seed |\n\
+             |---|---|---|---|\n",
+            self.experiments.len(),
+            self.seeds,
+            self.base_seed,
+        );
+        for e in &self.experiments {
+            out.push_str(&format!(
+                "| {} | §{} | {}/{} | {} |\n",
+                e.id,
+                e.section,
+                e.holds,
+                e.seeds,
+                e.first_failure.as_ref().map_or("—".to_owned(), |f| f.seed.to_string()),
+            ));
+        }
+        for e in &self.experiments {
+            out.push_str(&format!("\n## {} — cell spread across seeds\n\n", e.id));
+            out.push_str("| row | column | min | median | max | samples |\n");
+            out.push_str("|---|---|---|---|---|---|\n");
+            for c in &e.cells {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {} |\n",
+                    c.row, c.column, c.min, c.median, c.max, c.samples,
+                ));
+            }
+            if let Some(f) = &e.first_failure {
+                out.push_str(&format!(
+                    "\nFirst failure (seed {}):\n\n{}",
+                    f.seed,
+                    f.report.to_markdown()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Serialize to JSON. Output is byte-identical for identical sweep
+    /// results, independent of how the sweep was scheduled.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep reports serialize")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +328,74 @@ mod tests {
         let back: ExperimentReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
         assert!(r.to_markdown().contains("Shape holds: yes"));
+    }
+
+    #[test]
+    fn cell_stats_order_statistics() {
+        let s = CellStats::from_samples("r", "c", vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!((s.min, s.median, s.max, s.samples), (1.0, 2.0, 3.0, 3));
+        // Even count: median is the mean of the middle two.
+        let s = CellStats::from_samples("r", "c", vec![4.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+        assert!(CellStats::from_samples("r", "c", vec![]).is_none());
+        // Non-finite observations are dropped, not propagated.
+        let s = CellStats::from_samples("r", "c", vec![f64::NAN, 1.0, f64::INFINITY]).unwrap();
+        assert_eq!((s.min, s.max, s.samples), (1.0, 1.0, 1));
+        assert!(CellStats::from_samples("r", "c", vec![f64::NAN]).is_none());
+    }
+
+    fn sweep() -> SweepReport {
+        SweepReport {
+            base_seed: 1,
+            seeds: 4,
+            experiments: vec![
+                ExperimentSweep {
+                    id: "E1".into(),
+                    section: "V.A.1".into(),
+                    seeds: 4,
+                    holds: 4,
+                    cells: vec![CellStats::from_samples("$0", "markup", vec![0.05, 0.06]).unwrap()],
+                    first_failure: None,
+                },
+                ExperimentSweep {
+                    id: "E2".into(),
+                    section: "V.A.2".into(),
+                    seeds: 4,
+                    holds: 3,
+                    cells: vec![],
+                    first_failure: Some(FirstFailure {
+                        seed: 3,
+                        report: ExperimentReport {
+                            id: "E2".into(),
+                            section: "V.A.2".into(),
+                            paper_claim: "x".into(),
+                            table: table(),
+                            shape_holds: false,
+                            summary: "y".into(),
+                        },
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn sweep_report_hold_rates_and_json_roundtrip() {
+        let s = sweep();
+        assert!(!s.all_hold());
+        assert_eq!(s.experiments[0].hold_rate(), 1.0);
+        assert_eq!(s.experiments[1].hold_rate(), 0.75);
+        assert_eq!(s.experiments[0].cell("$0", "markup").unwrap().samples, 2);
+        let back: SweepReport = serde_json::from_str(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn sweep_markdown_lists_failures() {
+        let md = sweep().to_markdown();
+        assert!(md.contains("| E1 | §V.A.1 | 4/4 | — |"));
+        assert!(md.contains("| E2 | §V.A.2 | 3/4 | 3 |"));
+        assert!(md.contains("First failure (seed 3):"));
+        assert!(md.contains("| $0 | markup | 0.05 | 0.055 | 0.06 | 2 |"));
     }
 }

@@ -55,9 +55,7 @@ impl TussleSpace {
 
     /// Is a stakeholder a party to this space (holds a contested interest)?
     pub fn involves(&self, s: &Stakeholder) -> bool {
-        self.contested
-            .iter()
-            .any(|(a, b)| s.interests.contains(a) || s.interests.contains(b))
+        self.contested.iter().any(|(a, b)| s.interests.contains(a) || s.interests.contains(b))
     }
 
     /// The canonical §V spaces with their contested interests.

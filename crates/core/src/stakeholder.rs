@@ -121,7 +121,9 @@ impl Stakeholder {
             StakeholderKind::PrivateNetworkProvider => ("private-net", vec![Control, Security]),
             StakeholderKind::Government => ("government", vec![Observation, Accountability]),
             StakeholderKind::RightsHolder => ("rights-holder", vec![Observation, Control, Revenue]),
-            StakeholderKind::ContentProvider => ("content", vec![Revenue, Innovation, Transparency]),
+            StakeholderKind::ContentProvider => {
+                ("content", vec![Revenue, Innovation, Transparency])
+            }
             StakeholderKind::Designer => ("designer", vec![Innovation, Transparency]),
         };
         Stakeholder::new(id, kind, name, interests)

@@ -151,12 +151,7 @@ mod tests {
     #[test]
     fn balanced_peering_is_free() {
         let mut l = ledger_for(&[1, 2]);
-        let p = PeeringContract {
-            a: Asn(1),
-            b: Asn(2),
-            max_ratio: 2.0,
-            overage_per_mb: Money(50),
-        };
+        let p = PeeringContract { a: Asn(1), b: Asn(2), max_ratio: 2.0, overage_per_mb: Money(50) };
         let r = p.settle(&mut l, acct, 1000, 600).unwrap();
         assert_eq!(r, None);
         assert_eq!(l.balance(acct(Asn(1))), Money::from_dollars(1_000));
@@ -165,12 +160,7 @@ mod tests {
     #[test]
     fn imbalanced_peering_charges_the_heavy_sender() {
         let mut l = ledger_for(&[1, 2]);
-        let p = PeeringContract {
-            a: Asn(1),
-            b: Asn(2),
-            max_ratio: 2.0,
-            overage_per_mb: Money(50),
-        };
+        let p = PeeringContract { a: Asn(1), b: Asn(2), max_ratio: 2.0, overage_per_mb: Money(50) };
         // AS1 sends 5000, AS2 sends 1000: balanced share is 2000,
         // overage 3000 MB.
         let (payer, payee, amount) = p.settle(&mut l, acct, 5000, 1000).unwrap().unwrap();
@@ -183,12 +173,7 @@ mod tests {
     #[test]
     fn imbalance_direction_is_symmetric() {
         let mut l = ledger_for(&[1, 2]);
-        let p = PeeringContract {
-            a: Asn(1),
-            b: Asn(2),
-            max_ratio: 1.5,
-            overage_per_mb: Money(10),
-        };
+        let p = PeeringContract { a: Asn(1), b: Asn(2), max_ratio: 1.5, overage_per_mb: Money(10) };
         let (payer, _, _) = p.settle(&mut l, acct, 100, 5_000).unwrap().unwrap();
         assert_eq!(payer, Asn(2));
     }
@@ -196,12 +181,7 @@ mod tests {
     #[test]
     fn zero_traffic_is_not_an_overage() {
         let mut l = ledger_for(&[1, 2]);
-        let p = PeeringContract {
-            a: Asn(1),
-            b: Asn(2),
-            max_ratio: 2.0,
-            overage_per_mb: Money(50),
-        };
+        let p = PeeringContract { a: Asn(1), b: Asn(2), max_ratio: 2.0, overage_per_mb: Money(50) };
         assert_eq!(p.settle(&mut l, acct, 0, 0).unwrap(), None);
     }
 }

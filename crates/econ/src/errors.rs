@@ -6,10 +6,9 @@ use core::fmt;
 impl fmt::Display for LedgerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LedgerError::InsufficientFunds { account, balance, requested } => write!(
-                f,
-                "account {account:?} holds {balance} but the transfer needs {requested}"
-            ),
+            LedgerError::InsufficientFunds { account, balance, requested } => {
+                write!(f, "account {account:?} holds {balance} but the transfer needs {requested}")
+            }
             LedgerError::NonPositiveAmount => f.write_str("transfers must move a positive amount"),
             LedgerError::UnknownAccount(id) => write!(f, "account {id:?} is not registered"),
         }

@@ -21,6 +21,18 @@ use std::collections::BTreeMap;
 )]
 pub struct AccountId(pub u64);
 
+// Lets `AccountId` key the serialized balance map as its raw number.
+impl serde::StringKey for AccountId {
+    fn to_key(&self) -> String {
+        self.0.to_string()
+    }
+    fn from_key(key: &str) -> Result<Self, serde::DeError> {
+        key.parse()
+            .map(AccountId)
+            .map_err(|_| serde::DeError(format!("invalid AccountId map key `{key}`")))
+    }
+}
+
 /// One recorded transfer.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Transfer {
@@ -103,7 +115,11 @@ impl Ledger {
         }
         let bal = self.balance(from);
         if bal < amount {
-            return Err(LedgerError::InsufficientFunds { account: from, balance: bal, requested: amount });
+            return Err(LedgerError::InsufficientFunds {
+                account: from,
+                balance: bal,
+                requested: amount,
+            });
         }
         *self.balances.get_mut(&from).unwrap() -= amount;
         *self.balances.get_mut(&to).unwrap() += amount;
@@ -196,10 +212,7 @@ mod tests {
     fn unknown_accounts_rejected() {
         let mut l = funded();
         let ghost = AccountId(99);
-        assert_eq!(
-            l.transfer(ghost, B, Money(1), "x"),
-            Err(LedgerError::UnknownAccount(ghost))
-        );
+        assert_eq!(l.transfer(ghost, B, Money(1), "x"), Err(LedgerError::UnknownAccount(ghost)));
         assert_eq!(l.transfer(A, ghost, Money(1), "x"), Err(LedgerError::UnknownAccount(ghost)));
     }
 

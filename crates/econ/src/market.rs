@@ -111,12 +111,7 @@ pub struct Market {
 impl Market {
     /// A market over the given participants.
     pub fn new(consumers: Vec<Consumer>, providers: Vec<Provider>) -> Self {
-        Market {
-            consumers,
-            providers,
-            amortization_months: 12,
-            price_step: Money::from_dollars(2),
-        }
+        Market { consumers, providers, amortization_months: 12, price_step: Money::from_dollars(2) }
     }
 
     /// Monthly surplus consumer `c` would get from provider `p`, *before*
@@ -264,8 +259,8 @@ impl Market {
                 served += 1;
                 shares[p] += 1;
                 consumer_surplus += self.gross_surplus(c, &self.providers[p]).max(Money::ZERO);
-                provider_profit +=
-                    self.providers[p].scheme.bill(c.observed_usage()) - self.providers[p].marginal_cost;
+                provider_profit += self.providers[p].scheme.bill(c.observed_usage())
+                    - self.providers[p].marginal_cost;
             }
         }
         let avg_headline = if self.providers.is_empty() {
@@ -474,10 +469,8 @@ mod tests {
 
     #[test]
     fn report_counts_are_consistent() {
-        let mut m = Market::new(
-            consumers(7, 100, 0),
-            vec![flat_provider("a", 30), flat_provider("b", 30)],
-        );
+        let mut m =
+            Market::new(consumers(7, 100, 0), vec![flat_provider("a", 30), flat_provider("b", 30)]);
         let r = m.run(10);
         assert_eq!(r.served + r.unserved, 7);
         assert_eq!(r.shares.iter().sum::<usize>(), r.served);

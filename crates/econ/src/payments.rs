@@ -49,21 +49,21 @@ impl Instrument {
     pub fn costs(self) -> InstrumentCosts {
         match self {
             Instrument::Micropayment => InstrumentCosts {
-                fixed_fee: Money(2_000),        // $0.002 per token
+                fixed_fee: Money(2_000), // $0.002 per token
                 percent_fee: 0.0,
-                user_friction: Money(50_000),   // $0.05 of decision cost each time
+                user_friction: Money(50_000), // $0.05 of decision cost each time
                 buyer_protected: false,
             },
             Instrument::CreditCard => InstrumentCosts {
-                fixed_fee: Money(300_000),      // $0.30
-                percent_fee: 0.029,             // 2.9%
-                user_friction: Money(10_000),   // $0.01 — habitual
+                fixed_fee: Money(300_000),    // $0.30
+                percent_fee: 0.029,           // 2.9%
+                user_friction: Money(10_000), // $0.01 — habitual
                 buyer_protected: true,
             },
             Instrument::Aggregator => InstrumentCosts {
-                fixed_fee: Money(10_000),       // $0.01 amortized batch share
+                fixed_fee: Money(10_000), // $0.01 amortized batch share
                 percent_fee: 0.02,
-                user_friction: Money(5_000),    // one account, no per-item decision
+                user_friction: Money(5_000), // one account, no per-item decision
                 buyer_protected: true,
             },
         }

@@ -198,12 +198,7 @@ mod tests {
     fn lockin_raises_markup() {
         let locked = run_mode(AddressingMode::ProviderAssignedStatic, 20, 60);
         let free = run_mode(AddressingMode::ProviderAssignedDynamic, 20, 60);
-        assert!(
-            locked.markup > free.markup,
-            "locked {} vs free {}",
-            locked.markup,
-            free.markup
-        );
+        assert!(locked.markup > free.markup, "locked {} vs free {}", locked.markup, free.markup);
     }
 
     #[test]

@@ -105,7 +105,12 @@ pub fn run_rounds(competitive: bool, seed: u64) -> Vec<RoundOutcome> {
                 surplus += SERVER_VALUE - RESIDENTIAL - TUNNEL_COST;
             }
         }
-        out.push(RoundOutcome { round: "provider detects", revenue, consumer_surplus: surplus, departed });
+        out.push(RoundOutcome {
+            round: "provider detects",
+            revenue,
+            consumer_surplus: surplus,
+            departed,
+        });
     }
     out
 }
@@ -114,7 +119,13 @@ pub fn run_rounds(competitive: bool, seed: u64) -> Vec<RoundOutcome> {
 pub fn run(seed: u64) -> ExperimentReport {
     let mut table = Table::new(
         "Value-pricing escalation: provider revenue / server-runner surplus / departures",
-        &["monopoly revenue", "monopoly surplus", "competitive revenue", "competitive surplus", "departed"],
+        &[
+            "monopoly revenue",
+            "monopoly surplus",
+            "competitive revenue",
+            "competitive surplus",
+            "departed",
+        ],
     );
     let mono = run_rounds(false, seed);
     let comp = run_rounds(true, seed);

@@ -119,11 +119,8 @@ pub fn run_structure(structure: Structure, months: usize) -> BroadbandOutcome {
 /// Run E3 and produce the report.
 pub fn run(_seed: u64) -> ExperimentReport {
     let months = 80;
-    let structures = [
-        Structure::Monopoly,
-        Structure::Duopoly,
-        Structure::OpenAccessFiber { retail_isps: 4 },
-    ];
+    let structures =
+        [Structure::Monopoly, Structure::Duopoly, Structure::OpenAccessFiber { retail_isps: 4 }];
     let mut table = Table::new(
         "Broadband market structure (40 consumers, WTP $40-$140)",
         &["avg price", "served", "consumer surplus", "wires-owner profit"],

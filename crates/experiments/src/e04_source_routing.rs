@@ -79,16 +79,10 @@ fn world() -> World {
     net.connect(premium, dst_isp, SimTime::from_millis(5), 1_000_000_000);
     net.connect(dst_isp, dst, SimTime::from_millis(1), 1_000_000_000);
 
-    let src_addr = Address::in_prefix(
-        Prefix::new(0x0a010000, 16),
-        1,
-        AddressOrigin::ProviderAssigned(Asn(1)),
-    );
-    let dst_addr = Address::in_prefix(
-        Prefix::new(0x0b010000, 16),
-        1,
-        AddressOrigin::ProviderAssigned(Asn(2)),
-    );
+    let src_addr =
+        Address::in_prefix(Prefix::new(0x0a010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(1)));
+    let dst_addr =
+        Address::in_prefix(Prefix::new(0x0b010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(2)));
     net.node_mut(src).bind(src_addr);
     net.node_mut(dst).bind(dst_addr);
 
@@ -140,10 +134,8 @@ pub fn run_regime(regime: Regime, n_packets: usize, seed: u64) -> RoutingOutcome
         Regime::SourceRoutingUnpaid | Regime::SourceRoutingPaid => {
             // the user consults the route menu and picks the premium path
             let offers = enumerate_paths(&as_graph(), Asn(1), Asn(2), 4, &asking);
-            let premium_offer = offers
-                .iter()
-                .find(|o| o.path.contains(&Asn(20)))
-                .expect("premium path exists");
+            let premium_offer =
+                offers.iter().find(|o| o.path.contains(&Asn(20))).expect("premium path exists");
             if regime == Regime::SourceRoutingPaid {
                 // pay once per flow batch; the transit flips to honoring
                 ledger
@@ -184,8 +176,7 @@ pub fn run(seed: u64) -> ExperimentReport {
         "Wide-area path control (200 VoIP flows; cheap transit 80ms, premium 10ms)",
         &["delivery rate", "mean latency (ms)", "premium transit revenue"],
     );
-    let regimes =
-        [Regime::ProviderRouting, Regime::SourceRoutingUnpaid, Regime::SourceRoutingPaid];
+    let regimes = [Regime::ProviderRouting, Regime::SourceRoutingUnpaid, Regime::SourceRoutingPaid];
     let mut outcomes = Vec::new();
     for r in regimes {
         let o = run_regime(r, n, seed);

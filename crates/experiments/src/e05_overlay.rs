@@ -152,11 +152,8 @@ pub fn run_condition(stress: Stress, n: usize, seed: u64) -> OverlayOutcome {
             overlay_hops_total += d.hops();
             if let OverlayDelivery::Relayed { first_leg, second_leg, .. } = &d {
                 for leg in [first_leg, second_leg] {
-                    uncompensated += leg
-                        .path
-                        .iter()
-                        .filter(|nid| w.relay_as_nodes.contains(nid))
-                        .count() as u64;
+                    uncompensated +=
+                        leg.path.iter().filter(|nid| w.relay_as_nodes.contains(nid)).count() as u64;
                 }
             }
         }
@@ -164,7 +161,11 @@ pub fn run_condition(stress: Stress, n: usize, seed: u64) -> OverlayOutcome {
     OverlayOutcome {
         direct_rate: direct_ok as f64 / n as f64,
         overlay_rate: overlay_ok as f64 / n as f64,
-        overlay_hops: if overlay_ok > 0 { overlay_hops_total as f64 / overlay_ok as f64 } else { 0.0 },
+        overlay_hops: if overlay_ok > 0 {
+            overlay_hops_total as f64 / overlay_ok as f64
+        } else {
+            0.0
+        },
         uncompensated_hops: uncompensated,
     }
 }

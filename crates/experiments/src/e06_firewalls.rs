@@ -73,7 +73,10 @@ fn world(design: BorderDesign) -> (Network, NodeId, Address, Address) {
     match design {
         BorderDesign::Transparent => {}
         BorderDesign::PortAllowlist => {
-            net.set_firewall(border, Firewall::port_allowlist(vec![ports::HTTP, ports::SMTP], "admin"));
+            net.set_firewall(
+                border,
+                Firewall::port_allowlist(vec![ports::HTTP, ports::SMTP], "admin"),
+            );
         }
         BorderDesign::TrustMediated => {
             net.set_firewall(border, Firewall::trust_mediated(TRUSTED.to_vec(), "end-user"));

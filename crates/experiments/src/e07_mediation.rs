@@ -13,8 +13,8 @@
 //! mediator market itself.
 
 use tussle_core::{ExperimentReport, Table};
-use tussle_trust::mediator::{run_transaction, Mediator, ReputationBook, TransactionSetup};
 use tussle_sim::SimRng;
+use tussle_trust::mediator::{run_transaction, Mediator, ReputationBook, TransactionSetup};
 
 /// Mediation regimes compared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -95,10 +95,8 @@ pub fn run_regime(regime: MarketRegime) -> EncryptionOutcome {
         None
     });
     let final_mechanism = ladder.final_mechanism();
-    let provider_blocked = ladder
-        .steps
-        .iter()
-        .any(|s| s.mechanism == Mechanism::EncryptionBlocking);
+    let provider_blocked =
+        ladder.steps.iter().any(|s| s.mechanism == Mechanism::EncryptionBlocking);
     // privacy: encryption survives unless blocking is the last word
     let privacy_achieved = final_mechanism != Mechanism::EncryptionBlocking;
     // the §VI.A consolation: blocking, where it happens, is an explicit,
@@ -121,7 +119,13 @@ pub fn run_regime(regime: MarketRegime) -> EncryptionOutcome {
 pub fn run(_seed: u64) -> ExperimentReport {
     let mut table = Table::new(
         "The encryption escalation ladder by market regime",
-        &["provider blocks", "final mechanism", "privacy achieved", "policy visible", "provider profit"],
+        &[
+            "provider blocks",
+            "final mechanism",
+            "privacy achieved",
+            "policy visible",
+            "provider profit",
+        ],
     );
     let mut outcomes = Vec::new();
     for regime in [MarketRegime::Competitive, MarketRegime::StateMonopoly] {
@@ -171,8 +175,13 @@ mod tests {
 
     #[test]
     fn competition_makes_blocking_unprofitable() {
-        assert!(blocking_profit(MarketRegime::Competitive) < tolerate_profit(MarketRegime::Competitive));
-        assert!(blocking_profit(MarketRegime::StateMonopoly) > tolerate_profit(MarketRegime::StateMonopoly));
+        assert!(
+            blocking_profit(MarketRegime::Competitive) < tolerate_profit(MarketRegime::Competitive)
+        );
+        assert!(
+            blocking_profit(MarketRegime::StateMonopoly)
+                > tolerate_profit(MarketRegime::StateMonopoly)
+        );
     }
 
     #[test]

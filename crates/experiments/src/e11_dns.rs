@@ -62,8 +62,9 @@ pub fn run_entangled(seed: u64) -> NamingOutcome {
         reg.register(Name::parse(domain).unwrap(), *owner, *addr, *bad_faith).unwrap();
     }
     let total = reg.len();
-    let mut dp =
-        DisputeProcess::new(MARKS.iter().map(|(m, h)| Trademark { mark: (*m).into(), holder: *h }).collect());
+    let mut dp = DisputeProcess::new(
+        MARKS.iter().map(|(m, h)| Trademark { mark: (*m).into(), holder: *h }).collect(),
+    );
     let disputes = dp.find_disputes(&reg);
     let n_disputes = disputes.len();
     for d in &disputes {
@@ -73,9 +74,7 @@ pub fn run_entangled(seed: u64) -> NamingOutcome {
     let reachable = pop
         .entries
         .iter()
-        .filter(|(domain, _, addr, _)| {
-            reg.resolve(&Name::parse(domain).unwrap()) == Some(*addr)
-        })
+        .filter(|(domain, _, addr, _)| reg.resolve(&Name::parse(domain).unwrap()) == Some(*addr))
         .count();
     NamingOutcome {
         disputes: n_disputes,

@@ -15,9 +15,9 @@
 //! port-keyed premium can be stolen by disguised bulk traffic.
 
 use tussle_core::{principles::spillover, ExperimentReport, Table};
+use tussle_net::addr::{Address, AddressOrigin, Prefix};
 use tussle_net::packet::{ports, Packet, Protocol};
 use tussle_net::qos::{QosPolicy, ServiceClass};
-use tussle_net::addr::{Address, AddressOrigin, Prefix};
 use tussle_sim::SimRng;
 
 /// Outcome for one (design, encryption-adoption) point.
@@ -35,7 +35,12 @@ fn addr(v: u32) -> Address {
 
 /// Classify `n` premium VoIP flows (ToS set, encryption per adoption rate)
 /// and `n` disguised bulk flows under a policy.
-pub fn run_point(policy: &QosPolicy, encryption_adoption: f64, n: usize, seed: u64) -> IsolationOutcome {
+pub fn run_point(
+    policy: &QosPolicy,
+    encryption_adoption: f64,
+    n: usize,
+    seed: u64,
+) -> IsolationOutcome {
     let mut rng = SimRng::seed_from_u64(seed).fork("e13");
     let mut honored = 0usize;
     let mut stolen = 0usize;
@@ -57,7 +62,9 @@ pub fn run_point(policy: &QosPolicy, encryption_adoption: f64, n: usize, seed: u
         let mut disguised = bulk.clone();
         disguised.dst_port = ports::VOIP; // what it wishes it looked like
         let looks_premium = match policy {
-            QosPolicy { key: tussle_net::qos::QosKey::WellKnownPorts { premium_ports }, .. } => {
+            QosPolicy {
+                key: tussle_net::qos::QosKey::WellKnownPorts { premium_ports }, ..
+            } => {
                 // steganographic traffic presents whatever port it likes
                 premium_ports.contains(&ports::VOIP)
             }
@@ -67,7 +74,10 @@ pub fn run_point(policy: &QosPolicy, encryption_adoption: f64, n: usize, seed: u
             stolen += 1;
         }
     }
-    IsolationOutcome { premium_honored: honored as f64 / n as f64, premium_stolen: stolen as f64 / n as f64 }
+    IsolationOutcome {
+        premium_honored: honored as f64 / n as f64,
+        premium_stolen: stolen as f64 / n as f64,
+    }
 }
 
 /// Run E13 and produce the report.

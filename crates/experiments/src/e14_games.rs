@@ -72,10 +72,7 @@ pub fn run(seed: u64) -> ExperimentReport {
         (x[1], nash)
     };
 
-    let mut table = Table::new(
-        "Game-theoretic substrate checks",
-        &["metric", "value"],
-    );
+    let mut table = Table::new("Game-theoretic substrate checks", &["metric", "value"]);
     table.push_row(
         "Vickrey profitable deviations",
         &["violations / trials".into(), format!("{violations} / {trials}")],

@@ -49,12 +49,12 @@ pub fn run_point(amount: Money) -> PaymentPoint {
 /// Run E15 and produce the report.
 pub fn run(_seed: u64) -> ExperimentReport {
     let sizes = [
-        Money(1_000),               // $0.001 — the micropayment dream
-        Money(10_000),              // $0.01
-        Money(250_000),             // $0.25 — a song snippet
-        Money::from_dollars(1),     // $1
-        Money::from_dollars(10),    // $10
-        Money::from_dollars(100),   // $100
+        Money(1_000),             // $0.001 — the micropayment dream
+        Money(10_000),            // $0.01
+        Money(250_000),           // $0.25 — a song snippet
+        Money::from_dollars(1),   // $1
+        Money::from_dollars(10),  // $10
+        Money::from_dollars(100), // $100
     ];
     let mut table = Table::new(
         "Best payment instrument by transaction size",
@@ -79,9 +79,8 @@ pub fn run(_seed: u64) -> ExperimentReport {
     let sub_cent_dead = !points[0].any_viable;
     let aggregator_takes_the_small_end = points[2].winner_protected == Instrument::Aggregator
         && points[3].winner_protected == Instrument::Aggregator;
-    let overhead_falls_with_size = points
-        .windows(2)
-        .all(|w| w[1].overhead_ratio <= w[0].overhead_ratio + 1e-12);
+    let overhead_falls_with_size =
+        points.windows(2).all(|w| w[1].overhead_ratio <= w[0].overhead_ratio + 1e-12);
     let shape_holds = micropayment_never_wins_protected
         && sub_cent_dead
         && aggregator_takes_the_small_end

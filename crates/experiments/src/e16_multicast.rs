@@ -88,9 +88,8 @@ pub fn run_scenario(s: &DeploymentScenario, seed: u64) -> DeploymentOutcome {
     for _round in 0..50 {
         let mut changed = false;
         for i in 0..N_ISPS {
-            let others =
-                deployed.iter().enumerate().filter(|(j, d)| *j != i && **d).count() as f64
-                    / (N_ISPS - 1) as f64;
+            let others = deployed.iter().enumerate().filter(|(j, d)| *j != i && **d).count() as f64
+                / (N_ISPS - 1) as f64;
             let want = wants_to_deploy(s.shape, s.value_transfer, others, cost_table[i]);
             if want != deployed[i] {
                 deployed[i] = want;

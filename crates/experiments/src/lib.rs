@@ -47,11 +47,17 @@ pub mod e14_games;
 pub mod e15_micropayments;
 pub mod e16_multicast;
 pub mod e17_uncooperative;
+pub mod sweep;
+
+pub use sweep::{run_sweep, SweepConfig, SweepError};
 
 use tussle_core::ExperimentReport;
 
+/// One registry entry: the experiment id and its runner.
+pub type ExperimentEntry = (&'static str, fn(u64) -> ExperimentReport);
+
 /// The experiment registry: id-ordered `(name, runner)` pairs.
-pub fn registry() -> Vec<(&'static str, fn(u64) -> ExperimentReport)> {
+pub fn registry() -> Vec<ExperimentEntry> {
     vec![
         ("E1", e01_lockin::run),
         ("E2", e02_value_pricing::run),
@@ -78,18 +84,10 @@ pub fn registry() -> Vec<(&'static str, fn(u64) -> ExperimentReport)> {
 /// seeded independently and never shares mutable state.
 pub fn run_all_parallel(seed: u64) -> Vec<ExperimentReport> {
     let reg = registry();
-    let mut out: Vec<Option<ExperimentReport>> = (0..reg.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = reg
-            .iter()
-            .map(|(_, run)| scope.spawn(move |_| run(seed)))
-            .collect();
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("experiment thread panicked"));
-        }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = reg.iter().map(|(_, run)| scope.spawn(move || run(seed))).collect();
+        handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
     })
-    .expect("scope join");
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
 /// Run every experiment with one seed; returns the reports in id order.

@@ -45,12 +45,8 @@ pub fn run_auction(rule: AuctionRule, bids: &[f64]) -> Option<AuctionOutcome> {
     let price = match rule {
         AuctionRule::FirstPrice => bids[winner],
         AuctionRule::SecondPrice => {
-            let mut rest: Vec<f64> = bids
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != winner)
-                .map(|(_, b)| *b)
-                .collect();
+            let mut rest: Vec<f64> =
+                bids.iter().enumerate().filter(|(i, _)| *i != winner).map(|(_, b)| *b).collect();
             rest.sort_by(|a, b| b.partial_cmp(a).expect("NaN bid"));
             rest.first().copied().unwrap_or(0.0)
         }
@@ -73,11 +69,7 @@ pub fn bidder_utility(outcome: &AuctionOutcome, bidder: usize, value: f64) -> f6
 ///
 /// Returns `(truthful utility, deviant utility)` so tests and property
 /// tests can assert weak dominance.
-pub fn truthful_vs_deviation(
-    others: &[f64],
-    bidder_value: f64,
-    alt_bid: f64,
-) -> (f64, f64) {
+pub fn truthful_vs_deviation(others: &[f64], bidder_value: f64, alt_bid: f64) -> (f64, f64) {
     let mut truthful_bids = others.to_vec();
     truthful_bids.push(bidder_value);
     let me = truthful_bids.len() - 1;

@@ -39,13 +39,7 @@ impl Replicator {
     /// Fitness of each strategy against the current population.
     pub fn fitness(&self) -> Vec<f64> {
         (0..self.payoff.len())
-            .map(|i| {
-                self.shares
-                    .iter()
-                    .enumerate()
-                    .map(|(j, s)| s * self.payoff[i][j])
-                    .sum()
-            })
+            .map(|i| self.shares.iter().enumerate().map(|(j, s)| s * self.payoff[i][j]).sum())
             .collect()
     }
 
@@ -59,10 +53,7 @@ impl Replicator {
     pub fn step(&mut self, dt: f64) {
         let fit = self.fitness();
         let mean = self.mean_fitness();
-        let scale = fit
-            .iter()
-            .map(|f| (f - mean).abs())
-            .fold(1.0_f64, f64::max);
+        let scale = fit.iter().map(|f| (f - mean).abs()).fold(1.0_f64, f64::max);
         for (x, f) in self.shares.iter_mut().zip(&fit) {
             *x = (*x + dt * *x * (f - mean) / scale).max(0.0);
         }
@@ -80,12 +71,8 @@ impl Replicator {
         for step in 0..max_steps {
             let before = self.shares.clone();
             self.step(dt);
-            let delta = self
-                .shares
-                .iter()
-                .zip(&before)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0_f64, f64::max);
+            let delta =
+                self.shares.iter().zip(&before).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max);
             if delta < tol {
                 return step + 1;
             }

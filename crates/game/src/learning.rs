@@ -88,7 +88,11 @@ fn argmax(n: usize, f: impl Fn(usize) -> f64) -> usize {
 /// Iterate pure best responses from a starting profile; returns the cycle
 /// or fixed point reached as a sequence of profiles (the fixed point is
 /// the last element when the sequence stabilizes).
-pub fn best_response_path(game: &Game, start: (usize, usize), max_steps: usize) -> Vec<(usize, usize)> {
+pub fn best_response_path(
+    game: &Game,
+    start: (usize, usize),
+    max_steps: usize,
+) -> Vec<(usize, usize)> {
     let mut path = vec![start];
     let mut cur = start;
     for _ in 0..max_steps {

@@ -28,10 +28,7 @@ impl Game {
     /// negation) — the "purely conflicting" end of the paper's spectrum.
     pub fn zero_sum(row_payoffs: Vec<Vec<f64>>) -> Self {
         Game::from_table(
-            row_payoffs
-                .into_iter()
-                .map(|r| r.into_iter().map(|v| (v, -v)).collect())
-                .collect(),
+            row_payoffs.into_iter().map(|r| r.into_iter().map(|v| (v, -v)).collect()).collect(),
         )
     }
 
@@ -77,10 +74,10 @@ impl Game {
         assert_eq!(y.len(), self.cols);
         let mut r = 0.0;
         let mut c = 0.0;
-        for i in 0..self.rows {
-            for j in 0..self.cols {
+        for (i, &xi) in x.iter().enumerate() {
+            for (j, &yj) in y.iter().enumerate() {
                 let (pr, pc) = self.payoff(i, j);
-                let w = x[i] * y[j];
+                let w = xi * yj;
                 r += w * pr;
                 c += w * pc;
             }
@@ -105,17 +102,13 @@ impl Game {
 
     /// Row player's best responses to a column pure action.
     pub fn row_best_responses(&self, col: usize) -> Vec<usize> {
-        let best = (0..self.rows)
-            .map(|i| self.payoff(i, col).0)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best = (0..self.rows).map(|i| self.payoff(i, col).0).fold(f64::NEG_INFINITY, f64::max);
         (0..self.rows).filter(|&i| self.payoff(i, col).0 >= best - 1e-12).collect()
     }
 
     /// Column player's best responses to a row pure action.
     pub fn col_best_responses(&self, row: usize) -> Vec<usize> {
-        let best = (0..self.cols)
-            .map(|j| self.payoff(row, j).1)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best = (0..self.cols).map(|j| self.payoff(row, j).1).fold(f64::NEG_INFINITY, f64::max);
         (0..self.cols).filter(|&j| self.payoff(row, j).1 >= best - 1e-12).collect()
     }
 }

@@ -150,10 +150,8 @@ impl CongestionGame {
     /// Evolve a population starting at `initial_defectors` and return the
     /// final defector share.
     pub fn evolve(&self, initial_defectors: f64, steps: usize) -> f64 {
-        let mut rep = Replicator::new(
-            self.payoff_matrix(),
-            vec![1.0 - initial_defectors, initial_defectors],
-        );
+        let mut rep =
+            Replicator::new(self.payoff_matrix(), vec![1.0 - initial_defectors, initial_defectors]);
         rep.run(0.2, 1e-10, steps);
         rep.shares[1]
     }
@@ -218,11 +216,7 @@ mod tests {
     #[test]
     fn compliance_holds_under_strong_social_pressure() {
         // The pre-2002 Internet: defecting stacks exist but pressure wins.
-        let g = CongestionGame {
-            defector_gain: 2.0,
-            collapse_severity: 0.6,
-            social_pressure: 1.5,
-        };
+        let g = CongestionGame { defector_gain: 2.0, collapse_severity: 0.6, social_pressure: 1.5 };
         let d = g.evolve(0.1, 50_000);
         assert!(d < 0.01, "defection should die out, got {d}");
     }
@@ -231,22 +225,15 @@ mod tests {
     fn compliance_collapses_when_pressure_fades() {
         // "Should this balance change, the technical design ... will do
         // nothing to bound or guide the resulting shift."
-        let g = CongestionGame {
-            defector_gain: 2.0,
-            collapse_severity: 0.6,
-            social_pressure: 0.05,
-        };
+        let g =
+            CongestionGame { defector_gain: 2.0, collapse_severity: 0.6, social_pressure: 0.05 };
         let d = g.evolve(0.1, 50_000);
         assert!(d > 0.9, "defection should take over, got {d}");
     }
 
     #[test]
     fn defectors_always_beat_compliers_pointwise_without_pressure() {
-        let g = CongestionGame {
-            defector_gain: 2.0,
-            collapse_severity: 0.6,
-            social_pressure: 0.0,
-        };
+        let g = CongestionGame { defector_gain: 2.0, collapse_severity: 0.6, social_pressure: 0.0 };
         for d10 in 0..=10 {
             let d = d10 as f64 / 10.0;
             assert!(
@@ -260,11 +247,7 @@ mod tests {
     fn everyone_worse_off_at_full_defection() {
         // the tragedy: universal defection yields less than universal
         // compliance
-        let g = CongestionGame {
-            defector_gain: 2.0,
-            collapse_severity: 0.6,
-            social_pressure: 0.0,
-        };
+        let g = CongestionGame { defector_gain: 2.0, collapse_severity: 0.6, social_pressure: 0.0 };
         assert!(g.defect_payoff(1.0) < g.comply_payoff(0.0));
     }
 }

@@ -114,10 +114,8 @@ mod tests {
     #[test]
     fn asymmetric_mixed_equilibrium() {
         // A 2x2 inspection game (asymmetric mixing).
-        let g = Game::from_table(vec![
-            vec![(2.0, -2.0), (-1.0, 1.0)],
-            vec![(-1.0, 1.0), (1.0, -1.0)],
-        ]);
+        let g =
+            Game::from_table(vec![vec![(2.0, -2.0), (-1.0, 1.0)], vec![(-1.0, 1.0), (1.0, -1.0)]]);
         let (p, q) = mixed_2x2(&g).unwrap();
         assert!(is_nash(&g, &[p, 1.0 - p], &[q, 1.0 - q], 1e-9));
         assert!(p > 0.0 && p < 1.0 && q > 0.0 && q < 1.0);

@@ -29,8 +29,9 @@ fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         // eliminate below
         for row in (col + 1)..n {
             let f = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            let (upper, lower) = a.split_at_mut(row);
+            for (cell, &pivot_cell) in lower[0][col..].iter_mut().zip(&upper[col][col..]) {
+                *cell -= f * pivot_cell;
             }
             b[row] -= f * b[col];
         }
@@ -88,8 +89,8 @@ fn indifference_mix(
         a[row][k] = -1.0;
     }
     // normalization: weights sum to 1
-    for col in 0..k {
-        a[k][col] = 1.0;
+    for cell in &mut a[k][..k] {
+        *cell = 1.0;
     }
     b[k] = 1.0;
     let sol = solve_linear(a, b)?;
@@ -131,9 +132,7 @@ pub fn support_enumeration(game: &Game) -> Vec<(Vec<f64>, Vec<f64>)> {
                 if !is_nash(game, &x, &y, 1e-7) {
                     continue;
                 }
-                let dup = found.iter().any(|(fx, fy)| {
-                    linf(fx, &x) < 1e-6 && linf(fy, &y) < 1e-6
-                });
+                let dup = found.iter().any(|(fx, fy)| linf(fx, &x) < 1e-6 && linf(fy, &y) < 1e-6);
                 if !dup {
                     found.push((x, y));
                 }
@@ -202,11 +201,8 @@ mod tests {
 
     #[test]
     fn three_by_three_rock_paper_scissors() {
-        let g = Game::zero_sum(vec![
-            vec![0.0, -1.0, 1.0],
-            vec![1.0, 0.0, -1.0],
-            vec![-1.0, 1.0, 0.0],
-        ]);
+        let g =
+            Game::zero_sum(vec![vec![0.0, -1.0, 1.0], vec![1.0, 0.0, -1.0], vec![-1.0, 1.0, 0.0]]);
         let eqs = support_enumeration(&g);
         assert_eq!(eqs.len(), 1, "RPS has only the uniform mix: {eqs:?}");
         for w in eqs[0].0.iter().chain(eqs[0].1.iter()) {
@@ -217,10 +213,8 @@ mod tests {
     #[test]
     fn agrees_with_the_2x2_closed_form() {
         use crate::solve::mixed_2x2;
-        let g = Game::from_table(vec![
-            vec![(2.0, -2.0), (-1.0, 1.0)],
-            vec![(-1.0, 1.0), (1.0, -1.0)],
-        ]);
+        let g =
+            Game::from_table(vec![vec![(2.0, -2.0), (-1.0, 1.0)], vec![(-1.0, 1.0), (1.0, -1.0)]]);
         let (p, q) = mixed_2x2(&g).unwrap();
         let eqs = support_enumeration(&g);
         let mixed = eqs

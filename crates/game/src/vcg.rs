@@ -30,9 +30,7 @@ pub fn run_vcg(k: usize, bids: &[f64]) -> VcgOutcome {
     }
     let mut order: Vec<usize> = (0..bids.len()).collect();
     // sort by bid descending, index ascending on ties
-    order.sort_by(|&a, &b| {
-        bids[b].partial_cmp(&bids[a]).expect("NaN bid").then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| bids[b].partial_cmp(&bids[a]).expect("NaN bid").then(a.cmp(&b)));
     let winners: Vec<usize> = order.iter().copied().take(k).collect();
     let price = if bids.len() > k { bids[order[k]] } else { 0.0 };
     VcgOutcome { winners, price }
@@ -49,12 +47,7 @@ pub fn vcg_utility(outcome: &VcgOutcome, bidder: usize, value: f64) -> f64 {
 
 /// Compare truthful bidding against a deviation for one bidder, holding
 /// the others fixed. Returns `(truthful utility, deviant utility)`.
-pub fn vcg_truthful_vs_deviation(
-    k: usize,
-    others: &[f64],
-    value: f64,
-    alt_bid: f64,
-) -> (f64, f64) {
+pub fn vcg_truthful_vs_deviation(k: usize, others: &[f64], value: f64, alt_bid: f64) -> (f64, f64) {
     let me = others.len();
     let mut truthful = others.to_vec();
     truthful.push(value);
@@ -132,7 +125,10 @@ mod tests {
             let value = rng.range(0.0..100.0);
             let alt = rng.range(0.0..150.0);
             let (t, d) = vcg_truthful_vs_deviation(k, &others, value, alt);
-            assert!(t >= d - 1e-9, "profitable deviation: k={k} others={others:?} v={value} alt={alt}");
+            assert!(
+                t >= d - 1e-9,
+                "profitable deviation: k={k} others={others:?} v={value} alt={alt}"
+            );
         }
     }
 }

@@ -44,6 +44,19 @@ impl core::fmt::Display for MailboxAddress {
     }
 }
 
+// Lets `MailboxAddress` key serialized mail tables as `user@domain`.
+impl serde::StringKey for MailboxAddress {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+    fn from_key(key: &str) -> Result<Self, serde::DeError> {
+        let (user, domain) = key
+            .split_once('@')
+            .ok_or_else(|| serde::DeError(format!("invalid mailbox map key `{key}`")))?;
+        Ok(MailboxAddress::new(user, domain))
+    }
+}
+
 /// One user's mailbox arrangement.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mailbox {
@@ -82,12 +95,16 @@ impl MailSystem {
     }
 
     /// Create a mailbox at a provider.
-    pub fn create(&mut self, user: &str, domain: &str, ownership: DomainOwnership, provider: u64) -> MailboxAddress {
+    pub fn create(
+        &mut self,
+        user: &str,
+        domain: &str,
+        ownership: DomainOwnership,
+        provider: u64,
+    ) -> MailboxAddress {
         let address = MailboxAddress::new(user, domain);
-        self.boxes.insert(
-            address.clone(),
-            Mailbox { address: address.clone(), ownership, provider },
-        );
+        self.boxes
+            .insert(address.clone(), Mailbox { address: address.clone(), ownership, provider });
         address
     }
 
@@ -113,7 +130,8 @@ impl MailSystem {
             DomainOwnership::ProviderOwned => {
                 let user = mbox.address.user.clone();
                 let old = mbox.address.clone();
-                let new_addr = self.create(&user, new_domain, DomainOwnership::ProviderOwned, new_provider);
+                let new_addr =
+                    self.create(&user, new_domain, DomainOwnership::ProviderOwned, new_provider);
                 if old_provider_forwards {
                     self.forwards.insert(old.clone(), new_addr.clone());
                 } else {

@@ -49,6 +49,16 @@ impl core::fmt::Display for Name {
     }
 }
 
+// Lets `Name` key serialized registries in its dotted form.
+impl serde::StringKey for Name {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+    fn from_key(key: &str) -> Result<Self, serde::DeError> {
+        Name::parse(key).ok_or_else(|| serde::DeError(format!("invalid Name map key `{key}`")))
+    }
+}
+
 /// State of a registered name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RecordStatus {
@@ -144,7 +154,12 @@ impl Registry {
     /// Transfer ownership (dispute outcome). The new owner's machine is
     /// not the old owner's machine: the target changes, breaking whatever
     /// ran behind the old name.
-    pub fn transfer(&mut self, name: &Name, new_owner: u64, new_target: u32) -> Result<(), RegistryError> {
+    pub fn transfer(
+        &mut self,
+        name: &Name,
+        new_owner: u64,
+        new_target: u32,
+    ) -> Result<(), RegistryError> {
         let rec = self.records.get_mut(name).ok_or(RegistryError::NotFound)?;
         rec.owner = new_owner;
         rec.target = new_target;

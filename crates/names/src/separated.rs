@@ -19,10 +19,20 @@ use std::collections::BTreeMap;
 
 /// An opaque machine identifier. Deliberately numeric: there is nothing
 /// here a trademark claim can attach to.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MachineId(pub u64);
+
+// Lets `MachineId` key the serialized directory as its raw number.
+impl serde::StringKey for MachineId {
+    fn to_key(&self) -> String {
+        self.0.to_string()
+    }
+    fn from_key(key: &str) -> Result<Self, serde::DeError> {
+        key.parse()
+            .map(MachineId)
+            .map_err(|_| serde::DeError(format!("invalid MachineId map key `{key}`")))
+    }
+}
 
 /// Machine naming: id → address. No ownership semantics, no dispute hooks —
 /// by construction outside the trademark tussle space.

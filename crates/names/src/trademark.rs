@@ -66,7 +66,11 @@ impl DisputeProcess {
             for mark in &self.marks {
                 let rec = registry.record(name).expect("iterating registry names");
                 if label == mark.mark && rec.owner != mark.holder {
-                    out.push(Dispute { name: name.clone(), mark: mark.clone(), registrant: rec.owner });
+                    out.push(Dispute {
+                        name: name.clone(),
+                        mark: mark.clone(),
+                        registrant: rec.owner,
+                    });
                 }
             }
         }

@@ -59,8 +59,13 @@ impl Prefix {
     }
 
     /// Whether this is the zero-length default prefix.
-    pub fn is_default(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Whether this is the zero-length default prefix.
+    pub fn is_default(&self) -> bool {
+        self.is_empty()
     }
 
     /// The masked prefix bits.
@@ -86,10 +91,7 @@ impl Prefix {
     pub fn subprefix(&self, new_len: u8, index: u32) -> Prefix {
         assert!(new_len > self.len && new_len <= 32, "bad subprefix length");
         let extra = new_len - self.len;
-        assert!(
-            extra == 32 || index < (1u32 << extra),
-            "subprefix index out of range"
-        );
+        assert!(extra == 32 || index < (1u32 << extra), "subprefix index out of range");
         let bits = self.bits | (index << (32 - new_len as u32));
         Prefix::new(bits, new_len)
     }
@@ -201,7 +203,8 @@ mod tests {
 
     #[test]
     fn zero_len_prefix_hosts() {
-        let a = Address::in_prefix(Prefix::DEFAULT, 0x1234_5678, AddressOrigin::ProviderIndependent);
+        let a =
+            Address::in_prefix(Prefix::DEFAULT, 0x1234_5678, AddressOrigin::ProviderIndependent);
         assert_eq!(a.value, 0x1234_5678);
     }
 

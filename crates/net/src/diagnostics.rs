@@ -45,15 +45,17 @@ pub struct HopReport {
 /// A node with a firewall whose `reveals_presence` is false appears as a
 /// concealed hop: the user can tell *something* is there by counting, but
 /// not what or whose it is.
-pub fn traceroute(net: &mut Network, from: NodeId, probe: Packet, rng: &mut SimRng) -> Vec<HopReport> {
+pub fn traceroute(
+    net: &mut Network,
+    from: NodeId,
+    probe: Packet,
+    rng: &mut SimRng,
+) -> Vec<HopReport> {
     let rep = net.send(from, probe, rng);
     rep.path
         .iter()
         .map(|&n| {
-            let concealed = net
-                .firewall(n)
-                .map(|fw| !fw.reveals_presence)
-                .unwrap_or(false);
+            let concealed = net.firewall(n).map(|fw| !fw.reveals_presence).unwrap_or(false);
             if concealed {
                 HopReport { node: None, asn: None, visibility: HopVisibility::Concealed }
             } else {

@@ -50,9 +50,7 @@ impl MatchOn {
         match self {
             MatchOn::Any => true,
             MatchOn::DstPort(p) => pkt.visible_dst_port() == Some(*p),
-            MatchOn::DstPortIn(ps) => {
-                pkt.visible_dst_port().is_some_and(|p| ps.contains(&p))
-            }
+            MatchOn::DstPortIn(ps) => pkt.visible_dst_port().is_some_and(|p| ps.contains(&p)),
             MatchOn::Proto(pr) => pkt.proto == *pr,
             MatchOn::IdentityIn(ids) => pkt.identity.is_some_and(|i| ids.contains(&i)),
             MatchOn::AnyIdentity => pkt.identity.is_some(),

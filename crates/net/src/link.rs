@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn transit_delay_adds_serialization() {
         let l = link(); // 1 Mbps, 10 ms latency
-        // 1250 bytes = 10_000 bits = 10 ms at 1 Mbps
+                        // 1250 bytes = 10_000 bits = 10 ms at 1 Mbps
         let d = l.transit_delay(1250);
         assert_eq!(d, SimTime::from_millis(20));
         // zero-size packet: pure propagation

@@ -18,8 +18,6 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use tussle_sim::{FaultOutcome, SimRng, SimTime};
 
-
-
 /// Why a packet did not arrive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DropReason {
@@ -286,7 +284,14 @@ impl Network {
         loop {
             // Arrived?
             if self.nodes[current.index()].has_address(pkt.dst) {
-                return DeliveryReport { delivered: true, path, latency, drop: None, corrupted, mark };
+                return DeliveryReport {
+                    delivered: true,
+                    path,
+                    latency,
+                    drop: None,
+                    corrupted,
+                    mark,
+                };
             }
 
             // Middlebox checks at transit nodes (not at the original sender:
@@ -400,10 +405,7 @@ impl Network {
             };
 
             // Traverse the link.
-            let Some(link_id) = self
-                .link_between(current, next)
-                .map(|l| l.id)
-            else {
+            let Some(link_id) = self.link_between(current, next).map(|l| l.id) else {
                 return DeliveryReport {
                     delivered: false,
                     path,

@@ -22,6 +22,18 @@ impl core::fmt::Display for NodeId {
     }
 }
 
+// Lets `NodeId` key serialized maps (e.g. per-node tallies) as its raw index.
+impl serde::StringKey for NodeId {
+    fn to_key(&self) -> String {
+        self.0.to_string()
+    }
+    fn from_key(key: &str) -> Result<Self, serde::DeError> {
+        key.parse()
+            .map(NodeId)
+            .map_err(|_| serde::DeError(format!("invalid NodeId map key `{key}`")))
+    }
+}
+
 /// What a node is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum NodeKind {

@@ -225,10 +225,7 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let p = pkt()
-            .with_tos(1)
-            .with_identity(77)
-            .with_payload(Bytes::from_static(b"hello"));
+        let p = pkt().with_tos(1).with_identity(77).with_payload(Bytes::from_static(b"hello"));
         assert_eq!(p.tos, 1);
         assert_eq!(p.identity, Some(77));
         assert_eq!(p.size(), 45);

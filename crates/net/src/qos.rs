@@ -139,8 +139,8 @@ mod tests {
         // ...and invites the opposite distortion: any application can buy
         // premium treatment by masquerading on the premium port.
         let q = QosPolicy::port_based(vec![ports::HTTP], 0.5);
-        let p2p_disguised = Packet::new(addr(1), addr(2), Protocol::Tcp, 1, ports::P2P)
-            .steganographic(); // presents as HTTP
+        let p2p_disguised =
+            Packet::new(addr(1), addr(2), Protocol::Tcp, 1, ports::P2P).steganographic(); // presents as HTTP
         assert_eq!(q.classify(&p2p_disguised), ServiceClass::Premium);
     }
 

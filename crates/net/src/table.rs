@@ -61,15 +61,9 @@ impl Fib {
 
     /// Longest-prefix-match lookup.
     pub fn lookup(&self, dst: u32) -> Option<&FibEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.prefix.contains(dst))
-            .max_by(|x, y| {
-                x.prefix
-                    .len()
-                    .cmp(&y.prefix.len())
-                    .then(y.metric.cmp(&x.metric)) // lower metric preferred
-            })
+        self.entries.iter().filter(|e| e.prefix.contains(dst)).max_by(|x, y| {
+            x.prefix.len().cmp(&y.prefix.len()).then(y.metric.cmp(&x.metric)) // lower metric preferred
+        })
     }
 
     /// Number of entries — the table-size pressure metric.

@@ -75,10 +75,7 @@ impl TracebackCollector {
     /// The router nearest the traffic source, if enough evidence exists
     /// (`min_samples` stamps from it).
     pub fn nearest_to_attacker(&self, min_samples: u64) -> Option<NodeId> {
-        self.reconstruct_path()
-            .into_iter()
-            .find(|e| e.samples >= min_samples)
-            .map(|e| e.node)
+        self.reconstruct_path().into_iter().find(|e| e.samples >= min_samples).map(|e| e.node)
     }
 }
 

@@ -8,8 +8,8 @@
 //! on this instead of calling [`Network::send`] in a loop.
 
 use crate::network::Network;
-use crate::packet::Packet;
 use crate::node::NodeId;
+use crate::packet::Packet;
 use tussle_sim::{Ctx, Engine, SimTime};
 
 /// A periodic flow specification.
@@ -38,14 +38,7 @@ impl Flow {
         interval: SimTime,
         count: u64,
     ) -> Self {
-        Flow {
-            from,
-            template,
-            interval,
-            jitter_us: 0,
-            count: Some(count),
-            label: label.to_owned(),
-        }
+        Flow { from, template, interval, jitter_us: 0, count: Some(count), label: label.to_owned() }
     }
 
     /// Builder: add jitter.
@@ -123,8 +116,10 @@ mod tests {
         let h1 = net.add_host(Asn(2));
         net.connect(h0, r, SimTime::from_millis(1), 1_000_000_000);
         net.connect(r, h1, SimTime::from_millis(1), 1_000_000_000);
-        let a0 = Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
-        let a1 = Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
+        let a0 =
+            Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
+        let a1 =
+            Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
         net.node_mut(h0).bind(a0);
         net.node_mut(h1).bind(a1);
         net.fib_mut(h0).install(Prefix::DEFAULT, r, 0);
@@ -223,7 +218,8 @@ mod tests {
     #[test]
     fn horizon_bounded_flows_stop_at_run_until() {
         let (net, h0, pkt) = world();
-        let flow = Flow { count: None, ..Flow::periodic("forever", h0, pkt, SimTime::from_millis(10), 0) };
+        let flow =
+            Flow { count: None, ..Flow::periodic("forever", h0, pkt, SimTime::from_millis(10), 0) };
         let mut eng = build_engine(net, vec![flow], 1);
         eng.run_until(SimTime::from_millis(100));
         let sent = eng.metrics().counter("flow.forever.delivered");

@@ -97,8 +97,7 @@ mod tests {
     }
 
     fn inner() -> Packet {
-        Packet::new(addr(0x0a000000), addr(0x0b000000), Protocol::Tcp, 1111, ports::P2P)
-            .with_tos(2)
+        Packet::new(addr(0x0a000000), addr(0x0b000000), Protocol::Tcp, 1111, ports::P2P).with_tos(2)
     }
 
     #[test]
@@ -150,7 +149,8 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         let i = inner();
         let t = encapsulate(&i, addr(0x0a000000), addr(0x0c000000));
-        let innocent = Packet::new(addr(0x0a000000), addr(0x0b000000), Protocol::Tcp, 1, ports::HTTPS);
+        let innocent =
+            Packet::new(addr(0x0a000000), addr(0x0b000000), Protocol::Tcp, 1, ports::HTTPS);
         let n = 10_000;
         let tp = (0..n).filter(|_| det.flags(&t, &mut rng)).count();
         let fp = (0..n).filter(|_| det.flags(&innocent, &mut rng)).count();

@@ -116,13 +116,16 @@ impl Cache {
             return false;
         }
         let key = (pkt.dst.value, port);
-        if self.store.contains_key(&key) {
-            self.hits += 1;
-            true
-        } else {
-            self.store.insert(key, pkt.payload.len());
-            self.misses += 1;
-            false
+        match self.store.entry(key) {
+            std::collections::btree_map::Entry::Occupied(_) => {
+                self.hits += 1;
+                true
+            }
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(pkt.payload.len());
+                self.misses += 1;
+                false
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! Property tests for addressing, forwarding and packet visibility.
 
 use proptest::prelude::*;
-use tussle_net::addr::{Address, AddressOrigin, Asn, Prefix};
+use tussle_net::addr::{Address, AddressOrigin, Prefix};
 use tussle_net::packet::{Packet, Protocol};
 use tussle_net::table::Fib;
 use tussle_net::NodeId;

@@ -72,45 +72,48 @@ impl Expr {
                 // The ontology bound: unknown attributes are rejected even
                 // if the request happens to carry them.
                 ont.type_of(name)?;
-                let v = req
-                    .get(name)
-                    .ok_or_else(|| EvalError::MissingAttribute(name.clone()))?;
+                let v = req.get(name).ok_or_else(|| EvalError::MissingAttribute(name.clone()))?;
                 ont.check(name, v)?;
                 Ok(v.clone())
             }
             Expr::Not(e) => {
                 let v = e.eval(req, ont)?;
-                let b = v
-                    .as_bool()
-                    .ok_or(EvalError::TypeError { operation: "!".into(), got: v.type_name().into() })?;
+                let b = v.as_bool().ok_or(EvalError::TypeError {
+                    operation: "!".into(),
+                    got: v.type_name().into(),
+                })?;
                 Ok(Value::Bool(!b))
             }
             Expr::And(a, b) => {
                 let va = a.eval(req, ont)?;
-                let ba = va
-                    .as_bool()
-                    .ok_or(EvalError::TypeError { operation: "&&".into(), got: va.type_name().into() })?;
+                let ba = va.as_bool().ok_or(EvalError::TypeError {
+                    operation: "&&".into(),
+                    got: va.type_name().into(),
+                })?;
                 if !ba {
                     return Ok(Value::Bool(false));
                 }
                 let vb = b.eval(req, ont)?;
-                let bb = vb
-                    .as_bool()
-                    .ok_or(EvalError::TypeError { operation: "&&".into(), got: vb.type_name().into() })?;
+                let bb = vb.as_bool().ok_or(EvalError::TypeError {
+                    operation: "&&".into(),
+                    got: vb.type_name().into(),
+                })?;
                 Ok(Value::Bool(bb))
             }
             Expr::Or(a, b) => {
                 let va = a.eval(req, ont)?;
-                let ba = va
-                    .as_bool()
-                    .ok_or(EvalError::TypeError { operation: "||".into(), got: va.type_name().into() })?;
+                let ba = va.as_bool().ok_or(EvalError::TypeError {
+                    operation: "||".into(),
+                    got: va.type_name().into(),
+                })?;
                 if ba {
                     return Ok(Value::Bool(true));
                 }
                 let vb = b.eval(req, ont)?;
-                let bb = vb
-                    .as_bool()
-                    .ok_or(EvalError::TypeError { operation: "||".into(), got: vb.type_name().into() })?;
+                let bb = vb.as_bool().ok_or(EvalError::TypeError {
+                    operation: "||".into(),
+                    got: vb.type_name().into(),
+                })?;
                 Ok(Value::Bool(bb))
             }
             Expr::Cmp(a, op, b) => {
@@ -123,9 +126,10 @@ impl Expr {
                 let vl = list.eval(req, ont)?;
                 match vl {
                     Value::List(items) => Ok(Value::Bool(items.contains(&vi))),
-                    other => {
-                        Err(EvalError::TypeError { operation: "in".into(), got: other.type_name().into() })
-                    }
+                    other => Err(EvalError::TypeError {
+                        operation: "in".into(),
+                        got: other.type_name().into(),
+                    }),
                 }
             }
         }
@@ -134,8 +138,10 @@ impl Expr {
     /// Evaluate expecting a boolean result.
     pub fn matches(&self, req: &Request, ont: &Ontology) -> Result<bool, EvalError> {
         let v = self.eval(req, ont)?;
-        v.as_bool()
-            .ok_or(EvalError::TypeError { operation: "condition".into(), got: v.type_name().into() })
+        v.as_bool().ok_or(EvalError::TypeError {
+            operation: "condition".into(),
+            got: v.type_name().into(),
+        })
     }
 
     /// Every attribute the expression references.
@@ -187,11 +193,17 @@ fn compare(a: &Value, op: CmpOp, b: &Value) -> Result<Value, EvalError> {
             Eq => x == y,
             Ne => x != y,
             _ => {
-                return Err(EvalError::TypeError { operation: "ordering".into(), got: "bool".into() });
+                return Err(EvalError::TypeError {
+                    operation: "ordering".into(),
+                    got: "bool".into(),
+                });
             }
         },
         (x, _) => {
-            return Err(EvalError::TypeError { operation: "comparison".into(), got: x.type_name().into() })
+            return Err(EvalError::TypeError {
+                operation: "comparison".into(),
+                got: x.type_name().into(),
+            })
         }
     };
     Ok(Value::Bool(result))

@@ -103,7 +103,8 @@ impl EnforcementPoint {
     pub fn sync(&mut self, pdp: &DecisionPoint, name: &str) -> bool {
         match pdp.fetch(name) {
             Some(p) => {
-                let stale = self.installed.get(name).map(|mine| mine.version < p.version).unwrap_or(true);
+                let stale =
+                    self.installed.get(name).map(|mine| mine.version < p.version).unwrap_or(true);
                 if stale {
                     self.installed.insert(name.to_owned(), p.clone());
                 }
@@ -150,9 +151,8 @@ mod tests {
 
     fn pdp() -> DecisionPoint {
         let mut pdp = DecisionPoint::new(Ontology::network());
-        let rules = RuleSet::default_deny()
-            .rule(RuleAction::Allow, "dst_port in [80, 443]")
-            .unwrap();
+        let rules =
+            RuleSet::default_deny().rule(RuleAction::Allow, "dst_port in [80, 443]").unwrap();
         pdp.provision("border", rules);
         pdp
     }

@@ -22,9 +22,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A named principal (user, admin, ISP, government...).
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Principal(pub String);
 
 impl Principal {
@@ -74,7 +72,11 @@ impl RuleSet {
     }
 
     /// Append a rule parsed from source.
-    pub fn rule(mut self, action: RuleAction, condition_src: &str) -> Result<Self, crate::parser::ParseError> {
+    pub fn rule(
+        mut self,
+        action: RuleAction,
+        condition_src: &str,
+    ) -> Result<Self, crate::parser::ParseError> {
         let condition = crate::parser::parse_expr(condition_src)?;
         self.rules.push(Rule { condition, action });
         Ok(self)

@@ -56,7 +56,9 @@ impl fmt::Display for ParseError {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
             ParseError::Unexpected { at, found, expected } => match found {
-                Some(tok) => write!(f, "parse error at token {at}: found {tok:?}, expected {expected}"),
+                Some(tok) => {
+                    write!(f, "parse error at token {at}: found {tok:?}, expected {expected}")
+                }
                 None => write!(f, "parse error at token {at}: input ended, expected {expected}"),
             },
             ParseError::TrailingTokens { at } => {

@@ -100,7 +100,11 @@ impl Ontology {
         if ty.admits(value) {
             Ok(())
         } else {
-            Err(OntologyError::TypeMismatch { attr: name.to_owned(), expected: ty, got: value.type_name().into() })
+            Err(OntologyError::TypeMismatch {
+                attr: name.to_owned(),
+                expected: ty,
+                got: value.type_name().into(),
+            })
         }
     }
 
@@ -144,7 +148,11 @@ mod tests {
         let err = o.check("dst_port", &Value::Str("eighty".into())).unwrap_err();
         assert_eq!(
             err,
-            OntologyError::TypeMismatch { attr: "dst_port".into(), expected: AttrType::Int, got: "string".into() }
+            OntologyError::TypeMismatch {
+                attr: "dst_port".into(),
+                expected: AttrType::Int,
+                got: "string".into()
+            }
         );
     }
 

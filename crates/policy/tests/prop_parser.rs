@@ -15,20 +15,25 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             Just(Expr::Attr("tos".into())),
             Just(Expr::Attr("bytes".into())),
         ],
-        prop_oneof![
-            Just(Expr::Attr("encrypted".into())),
-            Just(Expr::Attr("anonymous".into())),
-        ],
+        prop_oneof![Just(Expr::Attr("encrypted".into())), Just(Expr::Attr("anonymous".into())),],
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
-                Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(CmpOp::Eq),
+                    Just(CmpOp::Ne),
+                    Just(CmpOp::Lt),
+                    Just(CmpOp::Le),
+                    Just(CmpOp::Gt),
+                    Just(CmpOp::Ge),
+                ]
+            )
                 .prop_map(|(a, b, op)| Expr::Cmp(Box::new(a), op, Box::new(b))),
             (inner, proptest::collection::vec(0i64..100, 0..4)).prop_map(|(a, items)| {
                 Expr::In(

@@ -42,11 +42,8 @@ pub fn link_state_exposure(net: &Network) -> InfoExposure {
 /// Exposure under path-vector, from the perspective of one AS: it sees
 /// only the AS paths in its own RIB — no link costs, no internal topology.
 pub fn path_vector_exposure(graph: &AsGraph, observer: Asn, prefixes: &[Prefix]) -> InfoExposure {
-    let path_entries = prefixes
-        .iter()
-        .filter_map(|p| graph.as_path(observer, *p))
-        .map(|path| path.len())
-        .sum();
+    let path_entries =
+        prefixes.iter().filter_map(|p| graph.as_path(observer, *p)).map(|path| path.len()).sum();
     InfoExposure {
         link_costs_visible: 0,
         path_entries_visible: path_entries,

@@ -100,11 +100,7 @@ impl LinkStateProtocol {
     ///
     /// `advertisements` maps a prefix to the node that originates it.
     /// Returns the number of FIB entries installed.
-    pub fn install_routes(
-        &self,
-        net: &mut Network,
-        advertisements: &[(Prefix, NodeId)],
-    ) -> usize {
+    pub fn install_routes(&self, net: &mut Network, advertisements: &[(Prefix, NodeId)]) -> usize {
         let mut installed = 0;
         for &src in &self.members {
             let (dist, prev) = self.spf(net, src);
@@ -220,11 +216,8 @@ mod tests {
         );
         net.node_mut(a).bind(src_addr);
         let mut rng = SimRng::seed_from_u64(1);
-        let rep = net.send(
-            a,
-            Packet::new(src_addr, dst_addr, Protocol::Tcp, 1, ports::HTTP),
-            &mut rng,
-        );
+        let rep =
+            net.send(a, Packet::new(src_addr, dst_addr, Protocol::Tcp, 1, ports::HTTP), &mut rng);
         assert!(rep.delivered);
         assert_eq!(rep.path, vec![a, b, c]);
         let _ = d;

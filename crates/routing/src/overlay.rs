@@ -116,7 +116,11 @@ impl Overlay {
             leg2.ttl = Packet::DEFAULT_TTL;
             let second = net.send(member, leg2, rng);
             if second.delivered {
-                return OverlayDelivery::Relayed { via: member, first_leg: first, second_leg: second };
+                return OverlayDelivery::Relayed {
+                    via: member,
+                    first_leg: first,
+                    second_leg: second,
+                };
             }
         }
         OverlayDelivery::Failed(direct)

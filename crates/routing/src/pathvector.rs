@@ -50,10 +50,10 @@ impl Route {
     /// Gao–Rexford preference rank: higher is better.
     fn rank(&self) -> u8 {
         match self.learned_from {
-            None => 3,                               // our own prefix
-            Some((_, Relationship::Customer)) => 2,  // revenue
-            Some((_, Relationship::Peer)) => 1,      // free
-            Some((_, Relationship::Provider)) => 0,  // we pay
+            None => 3,                              // our own prefix
+            Some((_, Relationship::Customer)) => 2, // revenue
+            Some((_, Relationship::Peer)) => 1,     // free
+            Some((_, Relationship::Provider)) => 0, // we pay
         }
     }
 
@@ -168,21 +168,18 @@ impl AsGraph {
             let mut changed = false;
             for &asn in &asns {
                 // Collect announcements this AS makes to each neighbor.
-                let (exports, neighbors): (Vec<(Asn, Route)>, Vec<(Asn, Relationship)>) = {
+                let exports: Vec<(Asn, Route)> = {
                     let st = &self.ases[&asn];
-                    let neighbors: Vec<(Asn, Relationship)> =
-                        st.neighbors.iter().map(|(n, r)| (*n, *r)).collect();
                     let mut exports = Vec::new();
-                    for (nbr, rel) in &neighbors {
+                    for (&nbr, &rel) in &st.neighbors {
                         for route in st.rib.values() {
-                            if route.exportable_to(*rel) {
-                                exports.push((*nbr, route.clone()));
+                            if route.exportable_to(rel) {
+                                exports.push((nbr, route.clone()));
                             }
                         }
                     }
-                    (exports, neighbors)
+                    exports
                 };
-                let _ = neighbors;
                 for (nbr, route) in exports {
                     if route.as_path.contains(&nbr) {
                         continue; // loop prevention

@@ -74,10 +74,7 @@ impl RoutePolicy {
 
     /// The path this policy selects from `candidates`, if any acceptable.
     pub fn select<'a>(&self, candidates: &'a [Vec<Asn>]) -> Option<&'a Vec<Asn>> {
-        candidates
-            .iter()
-            .filter(|p| self.accepts(p))
-            .min_by_key(|p| self.rank(p))
+        candidates.iter().filter(|p| self.accepts(p)).min_by_key(|p| self.rank(p))
     }
 }
 

@@ -90,10 +90,7 @@ pub fn enumerate_paths(
     seen.insert(src);
     dfs(graph, dst, max_len, asking_prices, &mut stack, &mut seen, &mut out);
     out.sort_by(|a, b| {
-        a.price
-            .cmp(&b.price)
-            .then(a.path.len().cmp(&b.path.len()))
-            .then(a.path.cmp(&b.path))
+        a.price.cmp(&b.price).then(a.path.len().cmp(&b.path.len())).then(a.path.cmp(&b.path))
     });
     out
 }
@@ -119,10 +116,8 @@ fn dfs(
     if stack.len() >= max_len {
         return;
     }
-    let neighbors: Vec<Asn> = graph
-        .ases()
-        .filter(|n| graph.relationship(cur, *n).is_some())
-        .collect();
+    let neighbors: Vec<Asn> =
+        graph.ases().filter(|n| graph.relationship(cur, *n).is_some()).collect();
     for n in neighbors {
         if seen.insert(n) {
             stack.push(n);

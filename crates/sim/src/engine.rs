@@ -176,39 +176,35 @@ impl<W> Engine<W> {
     }
 
     /// Run until the queue drains, a handler stops the engine, or
-    /// `max_events` have executed. Returns the number of events run.
+    /// `max_events` have executed. Returns the number of events run,
+    /// including the event whose handler requested the stop; an engine that
+    /// is already stopped (or has an empty queue) runs zero events.
     pub fn run(&mut self, max_events: u64) -> u64 {
-        let mut n = 0;
-        while n < max_events && self.step() {
-            n += 1;
-        }
-        // `step` returning false after executing the final (stopping) event
-        // still counts that event.
-        if self.stopped && n < max_events {
-            n += 1;
-        }
-        n
+        let before = self.events_processed;
+        while self.events_processed - before < max_events && self.step() {}
+        self.events_processed - before
     }
 
     /// Run events up to and including time `until`. Events scheduled later
     /// stay queued. Returns the number of events run.
     pub fn run_until(&mut self, until: SimTime) -> u64 {
-        let mut n = 0;
+        let before = self.events_processed;
         while !self.stopped {
             match self.queue.peek() {
                 Some(ev) if ev.time <= until => {
                     self.step();
-                    n += 1;
                 }
                 _ => break,
             }
         }
         // The clock advances to the horizon even if no event sits exactly on
         // it, so periodic scenario code sees consistent "end of epoch" times.
-        if self.now < until {
+        // A stop freezes the clock at the stopping event's time instead:
+        // time must not appear to pass on a halted engine.
+        if !self.stopped && self.now < until {
             self.now = until;
         }
-        n
+        self.events_processed - before
     }
 
     /// Drain the queue completely (no event cap). Intended for scenarios
@@ -300,6 +296,38 @@ mod tests {
         assert_eq!(eng.world.log, [1]);
         assert!(eng.is_stopped());
         assert!(!eng.step());
+    }
+
+    #[test]
+    fn run_on_stopped_engine_counts_zero_events() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(1), |w: &mut World, ctx| {
+            w.log.push(1);
+            ctx.stop();
+        });
+        assert_eq!(eng.run(10), 1, "the stopping event itself counts");
+        // Subsequent runs on a stopped engine execute nothing at all.
+        assert_eq!(eng.run(10), 0);
+        assert_eq!(eng.run_to_completion(), 0);
+        assert_eq!(eng.events_processed(), 1);
+    }
+
+    #[test]
+    fn run_until_freezes_clock_on_stop() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(5), |w: &mut World, ctx| {
+            w.log.push(1);
+            ctx.stop();
+        });
+        eng.schedule_at(SimTime::from_millis(8), |w: &mut World, _| w.log.push(2));
+        let n = eng.run_until(SimTime::from_millis(100));
+        assert_eq!(n, 1);
+        assert_eq!(eng.world.log, [1]);
+        // A stop freezes the clock at the stopping event, not the horizon.
+        assert_eq!(eng.now(), SimTime::from_millis(5));
+        // And a further run_until on the stopped engine does nothing.
+        assert_eq!(eng.run_until(SimTime::from_millis(200)), 0);
+        assert_eq!(eng.now(), SimTime::from_millis(5));
     }
 
     #[test]

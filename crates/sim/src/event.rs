@@ -43,11 +43,7 @@ mod tests {
     use std::collections::BinaryHeap;
 
     fn ev(time: u64, seq: u64) -> Scheduled<()> {
-        Scheduled {
-            time: SimTime::from_micros(time),
-            seq,
-            f: Box::new(|_, _| {}),
-        }
+        Scheduled { time: SimTime::from_micros(time), seq, f: Box::new(|_, _| {}) }
     }
 
     #[test]

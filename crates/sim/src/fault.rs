@@ -137,8 +137,7 @@ mod tests {
 
     #[test]
     fn rate_limit_exhausts_and_refills() {
-        let mut f =
-            FaultInjector::none().with_rate_limit(2, SimTime::from_millis(10));
+        let mut f = FaultInjector::none().with_rate_limit(2, SimTime::from_millis(10));
         let mut rng = SimRng::seed_from_u64(1);
         let t0 = SimTime::ZERO;
         assert_eq!(f.apply(t0, &mut rng), FaultOutcome::Pass);

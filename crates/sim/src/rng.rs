@@ -20,9 +20,7 @@ pub struct SimRng {
 impl SimRng {
     /// Create a stream from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
-        }
+        SimRng { inner: ChaCha8Rng::seed_from_u64(seed) }
     }
 
     /// Derive an independent stream labelled by `label`.

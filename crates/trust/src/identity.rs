@@ -96,9 +96,7 @@ impl IdentityFramework {
     pub fn network_tag(&self, scheme: &IdentityScheme) -> Option<u64> {
         match scheme {
             IdentityScheme::Anonymous => None,
-            IdentityScheme::Pseudonym { key } => {
-                self.registered_tags.contains(key).then_some(*key)
-            }
+            IdentityScheme::Pseudonym { key } => self.registered_tags.contains(key).then_some(*key),
             IdentityScheme::Certified { id, authority } => {
                 (self.recognized_authorities.contains(authority)
                     && self.registered_tags.contains(id))

@@ -122,12 +122,8 @@ impl Session {
     /// recovered from this way — the user's only remaining move is
     /// end-to-end encryption or a different path.
     pub fn detect_and_recover(&mut self) -> Vec<u64> {
-        let evicted: Vec<u64> = self
-            .chain
-            .iter()
-            .filter(|i| i.faulty && i.announces_itself)
-            .map(|i| i.id)
-            .collect();
+        let evicted: Vec<u64> =
+            self.chain.iter().filter(|i| i.faulty && i.announces_itself).map(|i| i.id).collect();
         self.chain.retain(|i| !(i.faulty && i.announces_itself));
         evicted
     }

@@ -99,16 +99,12 @@ impl ControlPoint {
                 action: FirewallAction::Allow,
                 installed_by: format!("principal {}", req.requester),
             });
-            self.audit.push(AuditEntry {
-                by: req.requester,
-                change: format!("open port {}", req.port),
-            });
+            self.audit
+                .push(AuditEntry { by: req.requester, change: format!("open port {}", req.port) });
         } else {
             self.firewall.rules.retain(|r| r.matcher != MatchOn::DstPort(req.port));
-            self.audit.push(AuditEntry {
-                by: req.requester,
-                change: format!("close port {}", req.port),
-            });
+            self.audit
+                .push(AuditEntry { by: req.requester, change: format!("close port {}", req.port) });
         }
         Ok(())
     }

@@ -69,8 +69,7 @@ fn designs() -> Vec<AppDesign> {
 
 fn main() {
     println!("# Application design review (§VI.A guidelines)\n");
-    let mut scored: Vec<(f64, AppDesign)> =
-        designs().into_iter().map(|d| (d.score(), d)).collect();
+    let mut scored: Vec<(f64, AppDesign)> = designs().into_iter().map(|d| (d.score(), d)).collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
     for (score, design) in &scored {
         println!("## {}  —  score {:.2}", design.name, score);

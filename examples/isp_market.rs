@@ -48,10 +48,7 @@ fn main() {
         AddressingMode::ProviderIndependent,
     ] {
         let o = run_mode(mode, 30, 80);
-        println!(
-            "| {mode:?} | {:.2} | {} | {} |",
-            o.markup, o.avg_price, o.core_fib_entries
-        );
+        println!("| {mode:?} | {:.2} | {} | {} |", o.markup, o.avg_price, o.core_fib_entries);
     }
     println!(
         "\nThe paper's recommendation — \"addresses should reflect connectivity, not \

@@ -41,7 +41,10 @@ fn main() {
     println!("transparent net: novel app delivered = {}", report.delivered);
 
     // -- bob's admin deploys a port firewall: innovation dies -------------
-    net.set_firewall(border, Firewall::port_allowlist(vec![ports::HTTP, ports::SMTP], "bob's admin"));
+    net.set_firewall(
+        border,
+        Firewall::port_allowlist(vec![ports::HTTP, ports::SMTP], "bob's admin"),
+    );
     let report = net.send(alice, novel.clone(), &mut rng);
     println!("port firewall:   novel app delivered = {}", report.delivered);
     if let Some(b) = blame(&net, &report) {
@@ -56,8 +59,11 @@ fn main() {
     // -- traceroute sees (or doesn't see) the middlebox --------------------
     let probe = Packet::new(a_addr, b_addr, Protocol::Icmp, 0, ports::HTTP).with_identity(42);
     let hops = traceroute(&mut net, alice, probe, &mut rng);
-    println!("traceroute: {} hops, all visible = {}", hops.len(),
-        hops.iter().all(|h| h.node.is_some()));
+    println!(
+        "traceroute: {} hops, all visible = {}",
+        hops.len(),
+        hops.iter().all(|h| h.node.is_some())
+    );
 
     // -- play the §VI.A escalation ladder to quiescence --------------------
     let ladder = EscalationLadder::play_to_the_end(Mechanism::QosPortBased, 10);
@@ -70,5 +76,7 @@ fn main() {
     // the port firewall concealed nothing, the rules were not disclosed:
     println!("visibility:      {:.2}", visibility_index(&[true, false]));
 
-    println!("\n`tussle` is working. See EXPERIMENTS.md and the other examples for the full evaluation.");
+    println!(
+        "\n`tussle` is working. See EXPERIMENTS.md and the other examples for the full evaluation."
+    );
 }

@@ -6,8 +6,6 @@
 //! cargo run --release --example reproduce_paper -- --json  # JSON instead
 //! ```
 
-
-
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let seed = std::env::args()

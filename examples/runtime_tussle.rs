@@ -116,8 +116,7 @@ fn main() {
                 p2p_ok += 1;
             }
 
-            let mut voip =
-                Packet::new(w.src, w.dst, Protocol::Udp, 9000, ports::VOIP).with_tos(5);
+            let mut voip = Packet::new(w.src, w.dst, Protocol::Udp, 9000, ports::VOIP).with_tos(5);
             if posture.encrypt_all {
                 voip = voip.encrypt();
             }

@@ -9,13 +9,13 @@
 //! cargo run --release --example trust_negotiation
 //! ```
 
+use tussle::net::{packet::ports, Firewall};
 use tussle::policy::{parse_expr, Ontology, Request};
 use tussle::sim::SimRng;
 use tussle::trust::identity::{AnonymityPolicy, IdentityFramework, IdentityScheme};
 use tussle::trust::mediator::{run_transaction, Mediator, ReputationBook, TransactionSetup};
 use tussle::trust::negotiation::{ControlPoint, PinholeRequest};
 use tussle::trust::TrustGraph;
-use tussle::net::{packet::ports, Firewall};
 
 fn main() {
     // -- identity: many schemes, one tag space, no global namespace -------
@@ -51,7 +51,9 @@ fn main() {
     let mut cp = ControlPoint::new(fw, vec![1]); // the END USER is in charge
     println!("\n## Control-point negotiation");
     match cp.request(PinholeRequest { requester: 1, port: ports::NOVEL, open: true }) {
-        Ok(()) => println!("user opened a pinhole for the novel app (audit: {:?})", cp.audit[0].change),
+        Ok(()) => {
+            println!("user opened a pinhole for the novel app (audit: {:?})", cp.audit[0].change)
+        }
         Err(e) => println!("refused: {e:?}"),
     }
     match cp.request(PinholeRequest { requester: 999, port: 23, open: true }) {
@@ -83,5 +85,8 @@ fn main() {
         &mut rng,
     );
     println!("unmediated: net = ${:.2}", raw.buyer_net as f64 / 1e6);
-    println!("escrowed:   net = ${:.2} (loss capped at $0.05 + fee)", escrowed.buyer_net as f64 / 1e6);
+    println!(
+        "escrowed:   net = ${:.2} (loss capped at $0.05 + fee)",
+        escrowed.buyer_net as f64 / 1e6
+    );
 }

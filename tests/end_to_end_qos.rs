@@ -30,7 +30,8 @@ fn the_qos_story_end_to_end() {
     assert!(!history.deploys(), "the real Internet: QoS never deployed open");
 
     // --- the paper's design: both mechanisms ------------------------------
-    let proposal = InvestmentCase { value_transfer_exists: true, consumer_can_choose: true, ..history };
+    let proposal =
+        InvestmentCase { value_transfer_exists: true, consumer_can_choose: true, ..history };
     assert!(proposal.deploys(), "fear + greed together cover the cost");
 
     // --- build the deployed world -----------------------------------------
@@ -45,8 +46,10 @@ fn the_qos_story_end_to_end() {
     net.connect(transit, dst_isp, SimTime::from_millis(10), 1_000_000_000);
     net.connect(dst_isp, server, SimTime::from_millis(1), 1_000_000_000);
 
-    let ua = Address::in_prefix(Prefix::new(0x0a010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(1)));
-    let sa = Address::in_prefix(Prefix::new(0x0b010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(2)));
+    let ua =
+        Address::in_prefix(Prefix::new(0x0a010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(1)));
+    let sa =
+        Address::in_prefix(Prefix::new(0x0b010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(2)));
     net.node_mut(user).bind(ua);
     net.node_mut(server).bind(sa);
     let dp = Prefix::new(0x0b010000, 16);

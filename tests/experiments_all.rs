@@ -1,7 +1,7 @@
 //! Workspace integration: the full evaluation runs, holds its shapes, is
 //! deterministic, and serializes.
 
-use tussle::experiments::run_all;
+use tussle::experiments::{run_all, run_sweep, SweepConfig};
 
 #[test]
 fn every_shape_holds_on_the_default_seed() {
@@ -15,12 +15,43 @@ fn every_shape_holds_on_the_default_seed() {
 #[test]
 fn shapes_hold_across_seeds() {
     // The claims are qualitative; they must not hinge on a lucky seed.
-    for seed in [1, 7, 1234] {
-        let reports = run_all(seed);
-        for r in &reports {
-            assert!(r.shape_holds, "{} failed on seed {seed}: {}", r.id, r.summary);
-        }
+    // Sweep the whole registry over 32 consecutive seeds and demand a
+    // 100% hold rate, with the first failing seed's report in the message.
+    let cfg = SweepConfig { seeds: 32, base_seed: 1, only: None, threads: None };
+    let sweep = run_sweep(&cfg).expect("sweep runs");
+    assert_eq!(sweep.experiments.len(), 17);
+    for e in &sweep.experiments {
+        assert_eq!(e.seeds, 32, "{} swept the wrong seed count", e.id);
+        assert!(
+            e.holds == e.seeds,
+            "{} held on only {}/{} seeds; first failure (seed {}):\n{}",
+            e.id,
+            e.holds,
+            e.seeds,
+            e.first_failure.as_ref().map_or(0, |f| f.seed),
+            e.first_failure.as_ref().map_or_else(String::new, |f| f.report.to_markdown()),
+        );
     }
+    assert!(sweep.all_hold());
+    // Most tables are numeric and must yield spread stats (E10's factorial
+    // table is boolean/ratio-valued, so not all 17 do).
+    let with_stats = sweep.experiments.iter().filter(|e| !e.cells.is_empty()).count();
+    assert!(with_stats >= 14, "only {with_stats}/17 experiments produced cell stats");
+}
+
+#[test]
+fn sweep_json_is_stable_across_thread_counts() {
+    // The aggregate must not depend on how the parallel phase was
+    // scheduled: byte-identical output at 1, 3 and 8 worker threads.
+    let json_per_threads: Vec<String> = [1usize, 3, 8]
+        .into_iter()
+        .map(|threads| {
+            let cfg = SweepConfig { seeds: 4, base_seed: 2002, only: None, threads: Some(threads) };
+            run_sweep(&cfg).expect("sweep runs").to_json()
+        })
+        .collect();
+    assert_eq!(json_per_threads[0], json_per_threads[1]);
+    assert_eq!(json_per_threads[1], json_per_threads[2]);
 }
 
 #[test]

@@ -22,18 +22,18 @@ fn wiretap_vs_encryption_under_provider_routing() {
     // provider routing picks the path through its own tap
     let user = RoutePolicy { constraints: vec![], preferences: vec![Asn(20)] };
     let provider = RoutePolicy { constraints: vec![], preferences: vec![Asn(10)] };
-    let candidates =
-        vec![vec![Asn(1), Asn(10), Asn(2)], vec![Asn(1), Asn(20), Asn(2)]];
+    let candidates = vec![vec![Asn(1), Asn(10), Asn(2)], vec![Asn(1), Asn(20), Asn(2)]];
     let chosen = ControlLocus::ProviderControl.select(&user, &provider, &candidates).unwrap();
     assert!(chosen.contains(&Asn(10)), "the tap sits in AS10 and AS10 gets the traffic");
 
     // traffic crosses the tap: cleartext first, then encrypted
     let mut tap = Wiretap::new();
-    let src = Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
-    let dst = Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
+    let src =
+        Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
+    let dst =
+        Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
     for i in 0..10 {
-        let pkt = Packet::new(src, dst, Protocol::Tcp, 1, ports::HTTP)
-            .with_payload(bytes_of(i));
+        let pkt = Packet::new(src, dst, Protocol::Tcp, 1, ports::HTTP).with_payload(bytes_of(i));
         tap.observe(&pkt);
     }
     assert_eq!(tap.content_yield(), 1.0);
@@ -58,9 +58,11 @@ fn content_pricing_follows_instrument_economics() {
     let per_article = Money(5_000); // $0.005
     let monthly_bundle = Money::from_dollars(10);
     // nobody can sell the article alone...
-    assert!(Instrument::all()
-        .iter()
-        .all(|i| !tussle::econ::payments::viable(*i, per_article, 0.5)));
+    assert!(Instrument::all().iter().all(|i| !tussle::econ::payments::viable(
+        *i,
+        per_article,
+        0.5
+    )));
     // ...but the bundle clears easily, via an aggregator
     assert!(tussle::econ::payments::viable(
         best_instrument(monthly_bundle, true),
@@ -74,12 +76,8 @@ fn content_pricing_follows_instrument_economics() {
 /// flags the design; under the both-ends rule the insertion never happens.
 #[test]
 fn opes_consent_and_the_guidelines() {
-    let silent_proxy = Intermediary {
-        id: 9,
-        service: "ad-insert".into(),
-        faulty: true,
-        announces_itself: false,
-    };
+    let silent_proxy =
+        Intermediary { id: 9, service: "ad-insert".into(), faulty: true, announces_itself: false };
 
     let mut wild_west = Session::new(ConsentRule::NoConsent, false, false);
     wild_west.insert(silent_proxy.clone()).unwrap();

@@ -25,10 +25,16 @@ fn multihomed_host_survives_either_provider_failing() {
     net.connect(isp_b, remote, SimTime::from_millis(10), 1_000_000_000);
 
     // one address per provider: the multihomed host holds both
-    let a_addr =
-        Address::in_prefix(Prefix::new(0x0a010000, 16), 1, AddressOrigin::ProviderAssigned(Asn(10)));
-    let b_addr =
-        Address::in_prefix(Prefix::new(0x1401_0000, 16), 1, AddressOrigin::ProviderAssigned(Asn(20)));
+    let a_addr = Address::in_prefix(
+        Prefix::new(0x0a010000, 16),
+        1,
+        AddressOrigin::ProviderAssigned(Asn(10)),
+    );
+    let b_addr = Address::in_prefix(
+        Prefix::new(0x1401_0000, 16),
+        1,
+        AddressOrigin::ProviderAssigned(Asn(20)),
+    );
     net.node_mut(host).bind(a_addr);
     net.node_mut(host).bind(b_addr);
     let r_addr =
@@ -41,7 +47,8 @@ fn multihomed_host_survives_either_provider_failing() {
     net.fib_mut(isp_b).install(rp, remote, 0);
 
     let mut rng = SimRng::seed_from_u64(4);
-    let via_a = net.send(host, Packet::new(a_addr, r_addr, Protocol::Tcp, 1, ports::HTTP), &mut rng);
+    let via_a =
+        net.send(host, Packet::new(a_addr, r_addr, Protocol::Tcp, 1, ports::HTTP), &mut rng);
     assert!(via_a.delivered);
     assert!(via_a.path.contains(&isp_a));
 
@@ -50,7 +57,8 @@ fn multihomed_host_survives_either_provider_failing() {
     net.link_mut(la).up = false;
     net.fib_mut(host).withdraw_via(isp_a);
     net.fib_mut(host).install(rp, isp_b, 0);
-    let via_b = net.send(host, Packet::new(b_addr, r_addr, Protocol::Tcp, 1, ports::HTTP), &mut rng);
+    let via_b =
+        net.send(host, Packet::new(b_addr, r_addr, Protocol::Tcp, 1, ports::HTTP), &mut rng);
     assert!(via_b.delivered, "{via_b:?}");
     assert!(via_b.path.contains(&isp_b));
     let _ = lb;

@@ -2,6 +2,7 @@
 //! mechanism catalog, escalation, and the analyzers working against real
 //! substrate output.
 
+use std::collections::BTreeMap;
 use tussle::actors::{ActorKind, ActorNetwork, ChurnProcess, FreezeDetector};
 use tussle::core::space::entangled_functions;
 use tussle::core::{
@@ -11,7 +12,6 @@ use tussle::core::{
 use tussle::names::namespace::{Name, Registry};
 use tussle::names::resolver::Resolver;
 use tussle::sim::SimRng;
-use std::collections::BTreeMap;
 
 #[test]
 fn the_cast_of_section_one_is_in_tussle() {

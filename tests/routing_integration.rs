@@ -65,12 +65,8 @@ fn linkstate_plus_pathvector_deliver_end_to_end() {
     assert!(rep.path.contains(&a[2]) && rep.path.contains(&b[2]), "crosses the chosen border");
 
     // diagnostics see every hop (no concealed middleboxes installed)
-    let hops = traceroute(
-        &mut net,
-        ha,
-        Packet::new(src, dst, Protocol::Icmp, 0, ports::HTTP),
-        &mut rng,
-    );
+    let hops =
+        traceroute(&mut net, ha, Packet::new(src, dst, Protocol::Icmp, 0, ports::HTTP), &mut rng);
     assert!(hops.iter().all(|h| h.node.is_some()));
 
     // now AS2 deploys a concealed firewall at its border and the user's

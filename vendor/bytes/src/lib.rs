@@ -1,0 +1,150 @@
+//! Offline vendored subset of the `bytes` crate: an immutable, cheaply
+//! cloneable byte buffer backed by `Arc<[u8]>`.
+//!
+//! Only the construction/inspection surface this workspace uses is
+//! provided; there is no `BytesMut` and no zero-copy slicing. Clones share
+//! the allocation, which preserves the real crate's "payloads are cheap to
+//! fan out" property that `tussle-net` relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wrap a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(bytes) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl core::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl core::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes { data: Arc::from(s.into_bytes()) }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes { data: Arc::from(s.as_bytes()) }
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl serde::Serialize for Bytes {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(self.data.iter().map(|&b| serde::Value::U64(b as u64)).collect())
+    }
+}
+
+impl serde::Deserialize for Bytes {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Vec::<u8>::from_value(v).map(Bytes::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[test]
+    fn construction_and_views() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[..2], b"he");
+        assert_eq!(Bytes::new().len(), 0);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from(vec![1u8, 2]).to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn clones_share_and_compare() {
+        let a = Bytes::from("abc");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, Bytes::from("abd"));
+    }
+
+    #[test]
+    fn debug_is_readable() {
+        assert_eq!(format!("{:?}", Bytes::from_static(b"a\x01")), "b\"a\\x01\"");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = Bytes::from_static(b"\x00\xffhi");
+        let back = Bytes::from_value(&b.to_value()).unwrap();
+        assert_eq!(b, back);
+    }
+}

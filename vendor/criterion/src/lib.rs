@@ -1,0 +1,255 @@
+//! Offline vendored micro-benchmark harness.
+//!
+//! Implements the `criterion` API surface this workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!` — with a simple
+//! but honest measurement loop: warm up, auto-calibrate the iteration count
+//! to a target sample window, take N samples, report min/median/mean.
+//! Results print to stdout; there are no HTML reports or statistics files.
+//!
+//! A benchmark name filter can be passed on the command line like upstream:
+//! `cargo bench --bench experiments -- e10` runs only matching benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; any bare argument is a name filter.
+        let filter = std::env::args().skip(1).rfind(|a| !a.starts_with('-'));
+        Criterion { filter, sample_size: 20, measurement_time: Duration::from_millis(400) }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            iters: 1,
+            calibrated: false,
+            sample_size: self.sample_size,
+            window: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned() }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size(n);
+        self
+    }
+
+    /// Set the per-benchmark measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time(d);
+        self
+    }
+
+    /// Run one benchmark within the group (name is `group/name`).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finish the group (stateless here; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the measurement loop.
+pub struct Bencher {
+    iters: u64,
+    calibrated: bool,
+    sample_size: usize,
+    window: Duration,
+    samples: Vec<f64>,
+}
+
+/// One statistic line of a finished measurement, in nanoseconds per
+/// iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min: f64,
+    /// Median sample.
+    pub median: f64,
+    /// Mean across samples.
+    pub mean: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly; the harness picks iteration counts.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up & calibration: find an iteration count that fills a
+        // per-sample slice of the measurement window.
+        let calibration_start = Instant::now();
+        let mut calls = 0u64;
+        loop {
+            black_box(f());
+            calls += 1;
+            let spent = calibration_start.elapsed();
+            if spent >= Duration::from_millis(50) || calls >= 1_000_000 {
+                let per_call = spent.as_nanos().max(1) as u64 / calls.max(1);
+                let per_sample =
+                    (self.window.as_nanos() as u64 / self.sample_size.max(1) as u64).max(1);
+                self.iters = (per_sample / per_call.max(1)).clamp(1, 10_000_000);
+                break;
+            }
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            samples.push(dt.as_nanos() as f64 / self.iters as f64);
+        }
+        self.calibrated = true;
+        self.samples = samples;
+    }
+
+    fn report(&self, name: &str) {
+        if !self.calibrated {
+            println!("{name:<40} (no measurement: closure never called iter)");
+            return;
+        }
+        let s = self.stats();
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples × {} iters)",
+            format_ns(s.min),
+            format_ns(s.median),
+            format_ns(s.mean),
+            self.samples.len(),
+            self.iters,
+        );
+    }
+
+    /// Statistics of the last measurement.
+    pub fn stats(&self) -> Stats {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let min = sorted.first().copied().unwrap_or(0.0);
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Stats { min, median, mean }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group several `fn(&mut Criterion)` benchmarks under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion { filter: None, ..Criterion::default() };
+        c.sample_size(3).measurement_time(Duration::from_millis(30));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { filter: None, ..Criterion::default() };
+        c.measurement_time(Duration::from_millis(20));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("one", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_000_000.0), "2.00 ms");
+    }
+}

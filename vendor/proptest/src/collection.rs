@@ -1,0 +1,79 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use core::ops::{Range, RangeInclusive};
+
+/// A size specification for generated collections: an exact length, or an
+/// exclusive/inclusive range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(!r.is_empty(), "empty size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Strategy generating `Vec`s of values from `element`, with a length drawn
+/// from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_all_size_forms() {
+        let mut rng = TestRng::for_case("sizes", 0);
+        for _ in 0..100 {
+            assert_eq!(vec(0u8..4, 3).generate(&mut rng).len(), 3);
+            let open = vec(0u8..4, 1..5).generate(&mut rng).len();
+            assert!((1..5).contains(&open));
+            let closed = vec(0u8..4, 2..=2).generate(&mut rng).len();
+            assert_eq!(closed, 2);
+        }
+    }
+
+    #[test]
+    fn nested_vecs_work() {
+        let mut rng = TestRng::for_case("nested", 0);
+        let grid = vec(vec(0u8..10, 2..=2), 2..=2).generate(&mut rng);
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].len(), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Regex-subset string generation for `&str` pattern strategies.
+//!
+//! Supports the pattern language this workspace's tests use:
+//!
+//! * character classes `[a-z0-9_]` with ranges and literals;
+//! * `\PC` — any printable character (approximated as printable ASCII);
+//! * literal characters;
+//! * an optional `{n}` / `{m,n}` repetition suffix on each atom.
+//!
+//! Anything outside this subset panics with a clear message rather than
+//! silently generating the wrong language.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Choose uniformly from this alphabet.
+    Class(Vec<char>),
+    /// Exactly this character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generate a string matching `pattern` (see module docs for the subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = rng.range(piece.min..=piece.max);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.range(0..set.len())]),
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                    + i;
+                let set = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                let escaped: String = chars[i + 1..].iter().take(2).collect();
+                if escaped.starts_with("PC") {
+                    i += 3;
+                    // \PC: everything but control characters; printable
+                    // ASCII is a faithful-enough sublanguage for tests.
+                    Atom::Class((0x20u8..0x7f).map(|b| b as char).collect())
+                } else {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`"));
+                    i += 2;
+                    Atom::Literal(c)
+                }
+            }
+            '{' | '}' | ']' | '(' | ')' | '*' | '+' | '?' | '|' | '^' | '$' | '.' => {
+                panic!("unsupported regex construct `{}` in pattern `{pattern}`", chars[i])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().unwrap_or_else(|_| panic!("bad repetition `{spec}`")),
+                    hi.parse().unwrap_or_else(|_| panic!("bad repetition `{spec}`")),
+                ),
+                None => {
+                    let n = spec.parse().unwrap_or_else(|_| panic!("bad repetition `{spec}`"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern `{pattern}`");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted class range in pattern `{pattern}`");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in pattern `{pattern}`");
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::for_case("class", 0);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z0-9]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn printable_class() {
+        let mut rng = TestRng::for_case("pc", 0);
+        for _ in 0..100 {
+            let s = generate_matching("\\PC{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::for_case("lit", 0);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching("x{3}", &mut rng), "xxx");
+    }
+}

@@ -1,0 +1,127 @@
+//! Distribution helpers: uniform sampling over ranges.
+
+pub mod uniform {
+    //! Uniform range sampling, mirroring `rand::distributions::uniform`.
+
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Types that support uniform sampling between two bounds.
+    pub trait SampleUniform: Sized {
+        /// Uniform draw from `[low, high)` when `inclusive` is false, or
+        /// `[low, high]` when true. Callers guarantee a non-empty range.
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Range expressions (`a..b`, `a..=b`) usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+        fn is_empty(&self) -> bool {
+            // Incomparable bounds (NaN) also count as empty.
+            !matches!(self.start.partial_cmp(&self.end), Some(core::cmp::Ordering::Less))
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_uniform(rng, low, high, true)
+        }
+        fn is_empty(&self) -> bool {
+            RangeInclusive::is_empty(self)
+        }
+    }
+
+    macro_rules! impl_uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    // Span as u128 so `0..=u64::MAX` cannot overflow.
+                    let span = (high as u128) - (low as u128) + if inclusive { 1 } else { 0 };
+                    if span == 0 || span > u64::MAX as u128 {
+                        // Full 64-bit span: every word is a valid draw.
+                        return (low as u128).wrapping_add(rng.next_u64() as u128) as $t;
+                    }
+                    let span = span as u64;
+                    // Widening-multiply rejection sampling (Lemire): unbiased
+                    // and one division in the rare rejection path only.
+                    let zone = span.wrapping_neg() % span;
+                    loop {
+                        let word = rng.next_u64();
+                        let m = (word as u128) * (span as u128);
+                        if (m as u64) >= zone {
+                            return low + (m >> 64) as $t;
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    // Map to the unsigned span, sample, map back.
+                    let ulow = (low as $u) ^ (1 << (<$u>::BITS - 1));
+                    let uhigh = (high as $u) ^ (1 << (<$u>::BITS - 1));
+                    let drawn = <$u>::sample_uniform(rng, ulow, uhigh, inclusive);
+                    (drawn ^ (1 << (<$u>::BITS - 1))) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    macro_rules! impl_uniform_float {
+        ($($t:ty => $next:ident, $shift:expr, $denom:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    _inclusive: bool,
+                ) -> Self {
+                    let unit = (rng.$next() >> $shift) as $t
+                        / (1 as $denom << (<$denom>::BITS as usize - $shift)) as $t;
+                    let v = low + unit * (high - low);
+                    // Guard the open upper bound against rounding.
+                    if v >= high && low < high {
+                        low.max(high - (high - low) * <$t>::EPSILON)
+                    } else {
+                        v
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_float!(f64 => next_u64, 11, u64, f32 => next_u32, 8, u32);
+}

@@ -1,0 +1,427 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the workspace's
+//! serde facade.
+//!
+//! crates.io is unreachable in this build environment, so there is no `syn`
+//! or `quote`; the macro walks the raw [`proc_macro::TokenStream`] instead.
+//! It supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields, tuple structs (newtypes are transparent),
+//!   unit structs;
+//! * enums with unit, tuple and struct variants (optionally with explicit
+//!   discriminants);
+//! * no generic parameters and no `#[serde(...)]` attributes — both produce
+//!   a compile error rather than silently wrong code.
+//!
+//! Wire shape (shared with the facade's manual impls): a named-field struct
+//! becomes a map in declaration order; a unit variant becomes its name as a
+//! string; a payload variant becomes a single-entry map from the variant
+//! name to its payload.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` by lowering into the facade's `Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derive `serde::Deserialize` by lifting out of the facade's `Value` tree.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            let msg = msg.replace('"', "\\\"");
+            return format!("compile_error!(\"serde_derive (vendored): {msg}\");")
+                .parse()
+                .expect("compile_error tokens");
+        }
+    };
+    let code = match (&item, which) {
+        (Item::Struct { name, fields }, Which::Serialize) => gen_struct_ser(name, fields),
+        (Item::Struct { name, fields }, Which::Deserialize) => gen_struct_de(name, fields),
+        (Item::Enum { name, variants }, Which::Serialize) => gen_enum_ser(name, variants),
+        (Item::Enum { name, variants }, Which::Deserialize) => gen_enum_de(name, variants),
+    };
+    code.parse().expect("generated impl tokens")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i)?;
+    skip_visibility(&tokens, &mut i);
+
+    let kw = ident_at(&tokens, i).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&tokens, i).ok_or("expected a type name")?;
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` is not supported"));
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Struct { name, fields: Fields::Named(parse_named_fields(g.stream())?) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct { name, fields: Fields::Tuple(count_tuple_fields(g.stream())?) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item::Struct { name, fields: Fields::Unit })
+            }
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip `#[...]` attributes (doc comments included) starting at `*i`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        match tokens.get(*i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if g.stream().to_string().starts_with("serde") {
+                    return Err("#[serde(...)] attributes are not supported".into());
+                }
+                *i += 2;
+            }
+            _ => return Err("malformed attribute".into()),
+        }
+    }
+    Ok(())
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` starting at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advance past one type (or expression) until a comma at bracket depth 0.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle <= 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i)?;
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i).ok_or("expected a field name")?;
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        skip_to_comma(&tokens, &mut i);
+        i += 1; // past the comma (or end)
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i)?;
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_to_comma(&tokens, &mut i);
+        i += 1;
+    }
+    Ok(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i).ok_or("expected a variant name")?;
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant`, then the separating comma.
+        skip_to_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(v.item({k})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn payload_entry(tag: &str, payload: &str) -> String {
+    format!("::serde::Value::Map(::std::vec![(::std::string::String::from(\"{tag}\"), {payload})])")
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let tag = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{tag} => ::serde::Value::Str(::std::string::String::from(\"{tag}\"))"
+                ),
+                Fields::Tuple(1) => {
+                    let payload = "::serde::Serialize::to_value(__f0)".to_string();
+                    format!("{name}::{tag}(__f0) => {}", payload_entry(tag, &payload))
+                }
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    let payload = format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "));
+                    format!(
+                        "{name}::{tag}({}) => {}",
+                        binds.join(", "),
+                        payload_entry(tag, &payload)
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    let payload =
+                        format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "));
+                    format!("{name}::{tag} {{ {binds} }} => {}", payload_entry(tag, &payload))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n\
+         }}",
+        arms.join(", ")
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{tag}\" => ::std::result::Result::Ok({name}::{tag})", tag = v.name))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let tag = &v.name;
+            let build = match &v.fields {
+                Fields::Unit => return None,
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}::{tag}(\
+                     ::serde::Deserialize::from_value(__payload)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(__payload.item({k})?)?"))
+                        .collect();
+                    format!("::std::result::Result::Ok({name}::{tag}({}))", items.join(", "))
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(__payload.field(\"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!("::std::result::Result::Ok({name}::{tag} {{ {} }})", inits.join(", "))
+                }
+            };
+            Some(format!("\"{tag}\" => {{ {build} }}"))
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                         {unit}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError(\n\
+                             ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__entries[0];\n\
+                         let _ = __payload;\n\
+                         match __tag.as_str() {{\n\
+                             {payload}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError(\n\
+                                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => ::std::result::Result::Err(::serde::DeError(\n\
+                         ::std::format!(\"expected {name} variant, found {{}}\", __other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit = if unit_arms.is_empty() { String::new() } else { unit_arms.join(",\n") + "," },
+        payload = if payload_arms.is_empty() {
+            String::new()
+        } else {
+            payload_arms.join(",\n") + ","
+        },
+    )
+}
