@@ -14,4 +14,15 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> chaos smoke: margins report for the full registry, schema-checked"
+chaos_json="$(./target/release/tussle-cli chaos --seeds 2 --intensities 0,0.2 --json)"
+echo "$chaos_json" | jq -e '
+  (.experiments | length) == 17
+  and (.intensities == [0, 0.2])
+  and (.seeds == 2)
+  and ([.experiments[] | has("margin") and has("intensities")] | all)
+  and ([.experiments[].intensities[] | has("panics") and has("faults") and has("sweep")] | all)
+' > /dev/null
+echo "chaos smoke OK: 17 experiments, schema valid"
+
 echo "CI OK"

@@ -7,6 +7,9 @@
 //!   (or a subset) and print markdown or JSON reports;
 //! * `sweep --seeds N [--base S] [--only E1,E5] [--json] [--threads K]` —
 //!   run the registry over many seeds and report shape stability;
+//! * `chaos [--intensities 0,0.2,..] [--seeds N] [--base S] [--only E1,E5]
+//!   [--json] [--threads K]` — run the chaos campaign and report each
+//!   claim's robustness margin;
 //! * `list` — list experiment ids, sections and one-line claims;
 //! * `ladder <mechanism>` — play an escalation ladder to quiescence from a
 //!   named opening mechanism;
@@ -19,7 +22,7 @@ use tussle_core::{EscalationLadder, Mechanism};
 use tussle_experiments as experiments;
 
 /// A parsed command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Run experiments.
     Experiments {
@@ -33,6 +36,22 @@ pub enum Command {
     /// Sweep the registry over many seeds and report shape stability.
     Sweep {
         /// Number of seeds to sweep.
+        seeds: u64,
+        /// First seed of the range.
+        base_seed: u64,
+        /// Restrict to these ids (empty = all).
+        only: Vec<String>,
+        /// Emit JSON instead of markdown.
+        json: bool,
+        /// Worker-thread cap (`None` = available parallelism).
+        threads: Option<usize>,
+    },
+    /// Run the chaos campaign: fault intensities × seeds, with a
+    /// robustness margin per experiment.
+    Chaos {
+        /// Fault intensities to scan, each in `[0, 1]`.
+        intensities: Vec<f64>,
+        /// Seeds per intensity.
         seeds: u64,
         /// First seed of the range.
         base_seed: u64,
@@ -119,6 +138,25 @@ fn parse_only(v: &str) -> Result<Vec<String>, UsageError> {
         .collect()
 }
 
+/// Parse an `--intensities` list (`"0,0.2,0.5"`). Each value must be a
+/// number in `[0, 1]`; empty segments are rejected like in [`parse_only`].
+fn parse_intensities(v: &str) -> Result<Vec<f64>, UsageError> {
+    v.split(',')
+        .map(|s| {
+            let s = s.trim();
+            if s.is_empty() {
+                return Err(UsageError(format!("malformed --intensities list '{v}': empty value")));
+            }
+            let i: f64 =
+                s.parse().map_err(|_| UsageError(format!("bad intensity '{s}': not a number")))?;
+            if !i.is_finite() || !(0.0..=1.0).contains(&i) {
+                return Err(UsageError(format!("bad intensity '{s}': must be in [0, 1]")));
+            }
+            Ok(i)
+        })
+        .collect()
+}
+
 /// Parse the argument vector (without the binary name).
 pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
     let mut it = args.iter();
@@ -200,6 +238,60 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             }
             Ok(Command::Sweep { seeds, base_seed, only, json, threads })
         }
+        Some("chaos") => {
+            let defaults = experiments::ChaosConfig::default();
+            let mut intensities = defaults.intensities;
+            let mut seeds = defaults.seeds;
+            let mut base_seed = defaults.base_seed;
+            let mut only = Vec::new();
+            let mut json = false;
+            let mut threads = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--intensities" => {
+                        let v = it.next().ok_or_else(|| {
+                            UsageError("--intensities needs values like 0,0.2,0.5".into())
+                        })?;
+                        intensities = parse_intensities(v)?;
+                    }
+                    "--seeds" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seeds needs a count".into()))?;
+                        seeds =
+                            v.parse().map_err(|_| UsageError(format!("bad seed count '{v}'")))?;
+                        if seeds == 0 {
+                            return Err(UsageError("--seeds must be at least 1".into()));
+                        }
+                    }
+                    "--base" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--base needs a seed".into()))?;
+                        base_seed =
+                            v.parse().map_err(|_| UsageError(format!("bad base seed '{v}'")))?;
+                    }
+                    "--only" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--only needs ids like E1,E4".into()))?;
+                        only = parse_only(v)?;
+                    }
+                    "--json" => json = true,
+                    "--threads" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--threads needs a count".into()))?;
+                        let n: usize =
+                            v.parse().map_err(|_| UsageError(format!("bad thread count '{v}'")))?;
+                        if n == 0 {
+                            return Err(UsageError("--threads must be at least 1".into()));
+                        }
+                        threads = Some(n);
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Chaos { intensities, seeds, base_seed, only, json, threads })
+        }
         Some(other) => Err(UsageError(format!("unknown command '{other}'; try `tussle-cli help`"))),
     }
 }
@@ -256,6 +348,17 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
             let report = experiments::run_sweep(&cfg).map_err(|e| UsageError(e.to_string()))?;
             Ok(if json { report.to_json() } else { report.to_markdown() })
         }
+        Command::Chaos { intensities, seeds, base_seed, only, json, threads } => {
+            let cfg = experiments::ChaosConfig {
+                intensities,
+                seeds,
+                base_seed,
+                only: if only.is_empty() { None } else { Some(only) },
+                threads,
+            };
+            let report = experiments::run_chaos(&cfg).map_err(|e| UsageError(e.to_string()))?;
+            Ok(if json { report.to_json() } else { report.to_markdown() })
+        }
         Command::Experiments { seed, json, only } => {
             let reports: Vec<_> = experiments::run_all_parallel(seed)
                 .into_iter()
@@ -286,6 +389,7 @@ pub const USAGE: &str = "tussle-cli — the Tussle in Cyberspace reproduction
 USAGE:
   tussle-cli experiments [--seed N] [--json] [--only E1,E4]
   tussle-cli sweep [--seeds N] [--base S] [--only E1,E4] [--json] [--threads K]
+  tussle-cli chaos [--intensities 0,0.2,0.5] [--seeds N] [--base S] [--only E1,E4] [--json] [--threads K]
   tussle-cli list
   tussle-cli ladder <mechanism>
   tussle-cli mechanisms
@@ -401,6 +505,99 @@ mod tests {
     fn sweep_unknown_experiment_errors() {
         let err = execute(Command::Sweep {
             seeds: 2,
+            base_seed: 1,
+            only: vec!["E99".into()],
+            json: false,
+            threads: Some(1),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("unknown experiment"));
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let cmd = parse_args(&args(
+            "chaos --intensities 0,0.25,1 --seeds 4 --base 9 --only e4,E17 --json --threads 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                intensities: vec![0.0, 0.25, 1.0],
+                seeds: 4,
+                base_seed: 9,
+                only: vec!["E4".into(), "E17".into()],
+                json: true,
+                threads: Some(2),
+            }
+        );
+    }
+
+    #[test]
+    fn chaos_defaults_match_the_config_defaults() {
+        let d = experiments::ChaosConfig::default();
+        assert_eq!(
+            parse_args(&args("chaos")).unwrap(),
+            Command::Chaos {
+                intensities: d.intensities,
+                seeds: d.seeds,
+                base_seed: d.base_seed,
+                only: vec![],
+                json: false,
+                threads: None,
+            }
+        );
+    }
+
+    #[test]
+    fn chaos_parse_errors_are_helpful() {
+        assert!(parse_args(&args("chaos --intensities")).is_err());
+        assert!(parse_args(&args("chaos --intensities 0,,1")).unwrap_err().0.contains("malformed"));
+        assert!(parse_args(&args("chaos --intensities banana"))
+            .unwrap_err()
+            .0
+            .contains("not a number"));
+        assert!(parse_args(&args("chaos --intensities 1.5"))
+            .unwrap_err()
+            .0
+            .contains("must be in [0, 1]"));
+        assert!(parse_args(&args("chaos --seeds 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse_args(&args("chaos --threads 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse_args(&args("chaos --frobnicate")).unwrap_err().0.contains("unknown flag"));
+    }
+
+    fn chaos_cmd(json: bool, threads: usize) -> Command {
+        Command::Chaos {
+            intensities: vec![0.0, 0.5],
+            seeds: 2,
+            base_seed: 1,
+            only: vec!["E4".into(), "E14".into()],
+            json,
+            threads: Some(threads),
+        }
+    }
+
+    #[test]
+    fn chaos_command_renders_markdown_and_json() {
+        let md = execute(chaos_cmd(false, 1)).unwrap();
+        assert!(md.contains("2 experiments × 2 intensities × 2 seeds (base 1)"));
+        assert!(md.contains("| E4 |"));
+        assert!(md.contains("| E14 |"));
+        let json = execute(chaos_cmd(true, 1)).unwrap();
+        assert!(json.contains("\"margin\""));
+        assert!(json.contains("\"intensities\""));
+    }
+
+    #[test]
+    fn chaos_json_is_byte_identical_across_thread_counts() {
+        assert_eq!(execute(chaos_cmd(true, 1)).unwrap(), execute(chaos_cmd(true, 4)).unwrap());
+    }
+
+    #[test]
+    fn chaos_unknown_experiment_errors() {
+        let err = execute(Command::Chaos {
+            intensities: vec![0.0],
+            seeds: 1,
             base_seed: 1,
             only: vec!["E99".into()],
             json: false,

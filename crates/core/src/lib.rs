@@ -50,7 +50,8 @@ pub use guidelines::{AppDesign, Violation};
 pub use mechanism::Mechanism;
 pub use principles::{choice_index, spillover, value_flow_completeness, visibility_index};
 pub use report::{
-    CellStats, ExperimentReport, ExperimentSweep, FirstFailure, Row, SweepReport, Table,
+    CellStats, ChaosReport, ExperimentReport, ExperimentSweep, FirstFailure, IntensityStats,
+    MarginStats, Row, SweepReport, Table,
 };
 pub use space::{TussleSpace, TussleSpaceKind};
 pub use stakeholder::{Interest, Stakeholder, StakeholderKind};

@@ -7,6 +7,7 @@
 //! the docs) and JSON (for machine checking in integration tests).
 
 use serde::{Deserialize, Serialize};
+use tussle_sim::FaultStats;
 
 /// One table row: a label and its cell values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -271,6 +272,146 @@ impl SweepReport {
     }
 }
 
+/// One experiment's sweep results at one chaos intensity: the usual
+/// shape-stability summary plus panic and fault-activity tallies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntensityStats {
+    /// Fault intensity in `[0, 1]` these runs were subjected to.
+    pub intensity: f64,
+    /// Runs (seeds) that panicked; panics surface as synthetic failing
+    /// reports, so they also count against `sweep.holds`.
+    pub panics: u64,
+    /// Ambient fault activity summed across all seeds at this intensity.
+    /// All-zero totals at a positive intensity mean the experiment never
+    /// touched the network substrate — its margin is vacuous and the
+    /// report says so rather than hiding it.
+    pub faults: FaultStats,
+    /// The per-seed shape-stability summary, identical in form to a plain
+    /// seed sweep (at intensity 0 it must be byte-identical to one).
+    pub sweep: ExperimentSweep,
+}
+
+/// Robustness margin for one experiment across the intensity grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarginStats {
+    /// Experiment id (e.g. `"E1"`).
+    pub id: String,
+    /// Paper section reproduced.
+    pub section: String,
+    /// The highest intensity at which the claim held for *every* seed,
+    /// scanning the grid in ascending order and stopping at the first
+    /// intensity that breaks — the margin is the contiguous-from-zero
+    /// guarantee, not a lucky island further up. `None` when even the
+    /// lowest intensity fails.
+    pub margin: Option<f64>,
+    /// Per-intensity results, in ascending intensity order.
+    pub intensities: Vec<IntensityStats>,
+}
+
+impl MarginStats {
+    /// Compute the robustness margin from per-intensity results (assumed
+    /// ascending). See the field docs for the contiguity rule.
+    pub fn margin_of(intensities: &[IntensityStats]) -> Option<f64> {
+        let mut margin = None;
+        for s in intensities {
+            if s.panics == 0 && s.sweep.seeds > 0 && s.sweep.holds == s.sweep.seeds {
+                margin = Some(s.intensity);
+            } else {
+                break;
+            }
+        }
+        margin
+    }
+
+    /// Total fault events (drops + corruptions + rate limits) across the
+    /// whole grid — zero means chaos never touched this experiment.
+    pub fn total_faults(&self) -> u64 {
+        self.intensities.iter().map(|s| s.faults.faults()).sum()
+    }
+
+    /// Total panicking runs across the whole grid.
+    pub fn total_panics(&self) -> u64 {
+        self.intensities.iter().map(|s| s.panics).sum()
+    }
+}
+
+/// Result of a chaos campaign: the experiment registry swept over a grid
+/// of fault intensities × seeds, with a robustness margin per experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// First seed of the contiguous swept range.
+    pub base_seed: u64,
+    /// Seeds per intensity (`base_seed..base_seed + seeds`).
+    pub seeds: u64,
+    /// The intensity grid, ascending.
+    pub intensities: Vec<f64>,
+    /// Per-experiment margins, in registry order.
+    pub experiments: Vec<MarginStats>,
+}
+
+impl ChaosReport {
+    /// Look up one experiment's margin stats by id.
+    pub fn experiment(&self, id: &str) -> Option<&MarginStats> {
+        self.experiments.iter().find(|e| e.id == id)
+    }
+
+    /// Did any run anywhere in the campaign panic?
+    pub fn any_panics(&self) -> bool {
+        self.experiments.iter().any(|e| e.total_panics() > 0)
+    }
+
+    /// Render as GitHub-flavoured markdown: one margin summary row per
+    /// experiment, with per-intensity hold counts and fault totals.
+    pub fn to_markdown(&self) -> String {
+        let grid = self.intensities.iter().map(|i| format!("{i}")).collect::<Vec<_>>().join(", ");
+        let mut out = format!(
+            "# Chaos campaign — {} experiments × {} intensities × {} seeds (base {})\n\n\
+             Intensity grid: {}\n\n\
+             | experiment | section | margin | holds by intensity | faults | panics |\n\
+             |---|---|---|---|---|---|\n",
+            self.experiments.len(),
+            self.intensities.len(),
+            self.seeds,
+            self.base_seed,
+            grid,
+        );
+        for e in &self.experiments {
+            let holds = e
+                .intensities
+                .iter()
+                .map(|s| format!("{}/{}", s.sweep.holds, s.sweep.seeds))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let faults = e.total_faults();
+            let margin = match e.margin {
+                Some(m) if faults == 0 && self.intensities.len() > 1 => format!("{m} (vacuous)"),
+                Some(m) => format!("{m}"),
+                None => "none".to_owned(),
+            };
+            out.push_str(&format!(
+                "| {} | §{} | {} | {} | {} | {} |\n",
+                e.id,
+                e.section,
+                margin,
+                holds,
+                faults,
+                e.total_panics(),
+            ));
+        }
+        out.push_str(
+            "\nA *vacuous* margin means no ambient fault ever fired: the experiment does \
+             not exercise the network substrate, so surviving the grid is trivial.\n",
+        );
+        out
+    }
+
+    /// Serialize to JSON. Output is byte-identical for identical campaign
+    /// results, independent of how workers were scheduled.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("chaos reports serialize")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,5 +538,91 @@ mod tests {
         assert!(md.contains("| E2 | §V.A.2 | 3/4 | 3 |"));
         assert!(md.contains("First failure (seed 3):"));
         assert!(md.contains("| $0 | markup | 0.05 | 0.055 | 0.06 | 2 |"));
+    }
+
+    fn stats_at(
+        intensity: f64,
+        holds: u64,
+        seeds: u64,
+        panics: u64,
+        faults: u64,
+    ) -> IntensityStats {
+        IntensityStats {
+            intensity,
+            panics,
+            faults: FaultStats { passed: 10, dropped: faults, corrupted: 0, rate_limited: 0 },
+            sweep: ExperimentSweep {
+                id: "E1".into(),
+                section: "V.A.1".into(),
+                seeds,
+                holds,
+                cells: vec![],
+                first_failure: None,
+            },
+        }
+    }
+
+    #[test]
+    fn margin_is_contiguous_from_the_lowest_intensity() {
+        // holds at 0 and 0.2, breaks at 0.4, holds again at 0.6: the island
+        // at 0.6 must not count — margin is 0.2.
+        let grid = vec![
+            stats_at(0.0, 4, 4, 0, 0),
+            stats_at(0.2, 4, 4, 0, 9),
+            stats_at(0.4, 2, 4, 0, 30),
+            stats_at(0.6, 4, 4, 0, 80),
+        ];
+        assert_eq!(MarginStats::margin_of(&grid), Some(0.2));
+    }
+
+    #[test]
+    fn margin_none_when_the_floor_fails_and_full_when_nothing_breaks() {
+        assert_eq!(MarginStats::margin_of(&[stats_at(0.0, 3, 4, 0, 0)]), None);
+        let grid = vec![stats_at(0.0, 4, 4, 0, 0), stats_at(1.0, 4, 4, 0, 50)];
+        assert_eq!(MarginStats::margin_of(&grid), Some(1.0));
+        assert_eq!(MarginStats::margin_of(&[]), None);
+    }
+
+    #[test]
+    fn panics_break_the_margin_even_if_holds_lie() {
+        // A defensive rule: holds==seeds but panics>0 still breaks the chain.
+        let grid = vec![stats_at(0.0, 4, 4, 0, 0), stats_at(0.2, 4, 4, 1, 5)];
+        assert_eq!(MarginStats::margin_of(&grid), Some(0.0));
+    }
+
+    fn chaos() -> ChaosReport {
+        let grid = vec![stats_at(0.0, 4, 4, 0, 0), stats_at(0.5, 3, 4, 1, 12)];
+        let margin = MarginStats::margin_of(&grid);
+        ChaosReport {
+            base_seed: 1,
+            seeds: 4,
+            intensities: vec![0.0, 0.5],
+            experiments: vec![
+                MarginStats { id: "E1".into(), section: "V.A.1".into(), margin, intensities: grid },
+                MarginStats {
+                    id: "E2".into(),
+                    section: "V.B".into(),
+                    margin: Some(0.5),
+                    intensities: vec![stats_at(0.0, 4, 4, 0, 0), stats_at(0.5, 4, 4, 0, 0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chaos_report_markdown_and_json_roundtrip() {
+        let c = chaos();
+        assert!(c.any_panics());
+        assert_eq!(c.experiment("E1").unwrap().margin, Some(0.0));
+        assert_eq!(c.experiment("E1").unwrap().total_faults(), 12);
+        assert_eq!(c.experiment("E1").unwrap().total_panics(), 1);
+        assert!(c.experiment("E3").is_none());
+        let md = c.to_markdown();
+        assert!(md.contains("| E1 | §V.A.1 | 0 | 4/4 3/4 | 12 | 1 |"));
+        // E2 never saw a fault across a multi-point grid: flagged vacuous
+        assert!(md.contains("| E2 | §V.B | 0.5 (vacuous) | 4/4 4/4 | 0 | 0 |"));
+        assert!(md.contains("Intensity grid: 0, 0.5"));
+        let back: ChaosReport = serde_json::from_str(&c.to_json()).unwrap();
+        assert_eq!(back, c);
     }
 }

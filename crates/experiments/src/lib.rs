@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod e01_lockin;
 pub mod e02_value_pricing;
 pub mod e03_broadband;
@@ -49,9 +50,10 @@ pub mod e16_multicast;
 pub mod e17_uncooperative;
 pub mod sweep;
 
+pub use chaos::{run_chaos, run_chaos_entries, ChaosConfig, ChaosError};
 pub use sweep::{run_sweep, SweepConfig, SweepError};
 
-use tussle_core::ExperimentReport;
+use tussle_core::{ExperimentReport, Table};
 
 /// One registry entry: the experiment id and its runner.
 pub type ExperimentEntry = (&'static str, fn(u64) -> ExperimentReport);
@@ -79,14 +81,62 @@ pub fn registry() -> Vec<ExperimentEntry> {
     ]
 }
 
+/// Run one experiment with panic isolation: a panicking run becomes a
+/// synthetic failing [`ExperimentReport`] (see [`panic_report`]) instead of
+/// unwinding into the caller. Returns the report plus whether it panicked.
+pub(crate) fn run_isolated(
+    name: &str,
+    run: fn(u64) -> ExperimentReport,
+    seed: u64,
+) -> (ExperimentReport, bool) {
+    match std::panic::catch_unwind(move || run(seed)) {
+        Ok(report) => (report, false),
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            (panic_report(name, seed, &msg), true)
+        }
+    }
+}
+
+/// Run one experiment, converting a panic into a structured failing report.
+pub fn run_captured(name: &str, run: fn(u64) -> ExperimentReport, seed: u64) -> ExperimentReport {
+    run_isolated(name, run, seed).0
+}
+
+/// The synthetic report a panicked run reduces to: `shape_holds == false`
+/// with the panic message preserved, so campaigns and sweeps complete and
+/// the failure stays diagnosable instead of aborting the whole process.
+pub fn panic_report(id: &str, seed: u64, message: &str) -> ExperimentReport {
+    let mut table = Table::new("run aborted by panic", &["detail"]);
+    table.push_row("panic", &[message.to_owned()]);
+    ExperimentReport {
+        id: id.to_owned(),
+        section: "—".to_owned(),
+        paper_claim: "(run panicked before producing a claim)".to_owned(),
+        table,
+        shape_holds: false,
+        summary: format!("PANIC (seed {seed}): {message}"),
+    }
+}
+
 /// Run every experiment concurrently (one scoped thread each) and return
 /// the reports in id order. Determinism is unaffected: each experiment is
-/// seeded independently and never shares mutable state.
+/// seeded independently and never shares mutable state. A panicking
+/// experiment yields its [`panic_report`] instead of poisoning the batch.
 pub fn run_all_parallel(seed: u64) -> Vec<ExperimentReport> {
     let reg = registry();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = reg.iter().map(|(_, run)| scope.spawn(move || run(seed))).collect();
-        handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
+        let handles: Vec<_> = reg
+            .iter()
+            .map(|(name, run)| scope.spawn(move || run_captured(name, *run, seed)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker threads do not panic")).collect()
     })
 }
 

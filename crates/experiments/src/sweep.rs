@@ -121,14 +121,16 @@ fn run_grid(
                         if job >= jobs {
                             break;
                         }
-                        let (_, run) = experiments[job / seeds.len()];
-                        local.push((job, run(seeds[job % seeds.len()])));
+                        let (name, run) = experiments[job / seeds.len()];
+                        local.push((job, crate::run_captured(name, run, seeds[job % seeds.len()])));
                     }
                     local
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("sweep worker panicked")).collect()
+        // Experiment panics are caught inside `run_captured`, so a join
+        // failure can only mean the worker loop itself is broken.
+        handles.into_iter().flat_map(|h| h.join().expect("worker threads do not panic")).collect()
     });
 
     harvested.sort_by_key(|(job, _)| *job);
@@ -142,7 +144,13 @@ fn run_grid(
 }
 
 /// Reduce one experiment's per-seed reports into its sweep summary.
-fn reduce_experiment(name: &str, seeds: &[u64], reports: &[ExperimentReport]) -> ExperimentSweep {
+/// Shared with the chaos campaign so an intensity-0 chaos cell reduces
+/// through exactly the same code path as a plain sweep.
+pub(crate) fn reduce_experiment(
+    name: &str,
+    seeds: &[u64],
+    reports: &[ExperimentReport],
+) -> ExperimentSweep {
     let holds = reports.iter().filter(|r| r.shape_holds).count() as u64;
     let first_failure = seeds
         .iter()

@@ -1,0 +1,113 @@
+//! Integration tests for the chaos campaign: the acceptance criteria of
+//! the robustness PR, end to end.
+//!
+//! * at intensity 0 the campaign reduces to *exactly* the plain seed sweep
+//!   (same `ExperimentSweep`, byte for byte through JSON);
+//! * the rendered report is byte-identical across worker-thread counts;
+//! * an always-panicking experiment is reported as a structured failure
+//!   without aborting the campaign or polluting its neighbours;
+//! * the full 17-experiment registry gets a margin row each.
+
+use tussle_core::ExperimentReport;
+use tussle_experiments::{
+    registry, run_chaos, run_chaos_entries, run_sweep, ChaosConfig, SweepConfig,
+};
+
+fn chaos_cfg(seeds: u64, intensities: &[f64], only: &[&str]) -> ChaosConfig {
+    ChaosConfig {
+        intensities: intensities.to_vec(),
+        seeds,
+        base_seed: 1,
+        only: if only.is_empty() {
+            None
+        } else {
+            Some(only.iter().map(|s| (*s).to_owned()).collect())
+        },
+        threads: None,
+    }
+}
+
+#[test]
+fn intensity_zero_column_equals_the_plain_sweep() {
+    let only = ["E1", "E4", "E14"];
+    let sweep = run_sweep(&SweepConfig {
+        seeds: 3,
+        base_seed: 1,
+        only: Some(only.iter().map(|s| (*s).to_owned()).collect()),
+        threads: None,
+    })
+    .unwrap();
+    let chaos = run_chaos(&chaos_cfg(3, &[0.0, 0.5], &only)).unwrap();
+    for (plain, stressed) in sweep.experiments.iter().zip(&chaos.experiments) {
+        let at_zero = &stressed.intensities[0];
+        assert_eq!(at_zero.intensity, 0.0);
+        assert_eq!(
+            &at_zero.sweep, plain,
+            "{}: intensity 0 must be indistinguishable from no chaos harness at all",
+            plain.id
+        );
+        assert_eq!(at_zero.panics, 0);
+        assert_eq!(at_zero.faults.total(), 0, "no ambient rng draws at intensity 0");
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    let render = |threads: usize| {
+        let cfg = ChaosConfig {
+            threads: Some(threads),
+            ..chaos_cfg(2, &[0.0, 0.4], &["E4", "E6", "E17"])
+        };
+        let report = run_chaos(&cfg).unwrap();
+        (report.to_json(), report.to_markdown())
+    };
+    let one = render(1);
+    let eight = render(8);
+    assert_eq!(one.0, eight.0, "JSON differs between 1 and 8 threads");
+    assert_eq!(one.1, eight.1, "markdown differs between 1 and 8 threads");
+}
+
+fn always_panics(seed: u64) -> ExperimentReport {
+    panic!("deliberate test panic (seed {seed})");
+}
+
+#[test]
+fn a_panicking_experiment_is_a_structured_failure_not_an_abort() {
+    let mut entries = vec![("E14", registry()[13].1)];
+    entries.push(("E99", always_panics as fn(u64) -> ExperimentReport));
+    let report = run_chaos_entries(&entries, &chaos_cfg(2, &[0.0, 0.3], &[])).unwrap();
+
+    let doomed = report.experiment("E99").unwrap();
+    assert_eq!(doomed.margin, None, "a claim that panics everywhere has no margin");
+    assert_eq!(doomed.total_panics(), 4, "2 intensities × 2 seeds, all panic");
+    for stats in &doomed.intensities {
+        assert_eq!(stats.sweep.holds, 0);
+        let failure = stats.sweep.first_failure.as_ref().expect("failure is recorded");
+        assert!(
+            failure.report.summary.contains("PANIC (seed 1): deliberate test panic"),
+            "panic message survives into the report: {}",
+            failure.report.summary
+        );
+        assert!(!failure.report.shape_holds);
+    }
+
+    // the neighbour is untouched: same results as running it alone
+    let alone = run_chaos(&chaos_cfg(2, &[0.0, 0.3], &["E14"])).unwrap();
+    assert_eq!(report.experiment("E14").unwrap(), alone.experiment("E14").unwrap());
+    assert!(report.any_panics());
+    assert!(!alone.any_panics());
+}
+
+#[test]
+fn full_registry_reports_a_margin_row_for_all_17_experiments() {
+    let report = run_chaos(&chaos_cfg(1, &[0.0], &[])).unwrap();
+    assert_eq!(report.experiments.len(), 17);
+    let md = report.to_markdown();
+    for (name, _) in registry() {
+        let e = report.experiment(name).unwrap_or_else(|| panic!("{name} missing"));
+        assert_eq!(e.intensities.len(), 1);
+        assert!(md.contains(&format!("| {} |", name)), "{name} missing from markdown");
+        // single-intensity grid at 0: every shape holds, so margin is 0.0
+        assert_eq!(e.margin, Some(0.0), "{name} failed at intensity 0");
+    }
+}

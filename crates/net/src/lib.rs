@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod chaos;
 pub mod diagnostics;
 pub mod firewall;
 pub mod link;
@@ -57,6 +58,7 @@ pub mod tunnel;
 pub mod wiretap;
 
 pub use addr::{Address, Asn, Prefix};
+pub use chaos::{apply_action, schedule_plan};
 pub use diagnostics::{BlameReport, HopReport, HopVisibility};
 pub use firewall::{Firewall, FirewallAction, FirewallRule, MatchOn};
 pub use link::{Link, LinkId};
@@ -67,5 +69,5 @@ pub use packet::{Packet, Protocol};
 pub use qos::{QosKey, QosPolicy, ServiceClass};
 pub use table::Fib;
 pub use traceback::{RouterEvidence, TracebackCollector};
-pub use traffic::{build_engine, Flow, TrafficWorld};
+pub use traffic::{build_engine, Flow, RetryPolicy, TrafficWorld};
 pub use wiretap::{Cache, CaptureRecord, Wiretap};

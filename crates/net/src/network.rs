@@ -42,6 +42,22 @@ pub enum DropReason {
     QueueOverflow,
 }
 
+impl DropReason {
+    /// Is this the kind of loss a sender can reasonably retry through —
+    /// transient infrastructure trouble rather than a standing policy or
+    /// routing decision? Retry-with-backoff in [`crate::traffic`] only
+    /// re-sends on transient drops.
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            DropReason::LinkDown
+                | DropReason::LinkLoss
+                | DropReason::RateLimited
+                | DropReason::QueueOverflow
+        )
+    }
+}
+
 /// The fate of one packet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeliveryReport {
@@ -65,6 +81,21 @@ impl DeliveryReport {
     pub fn hops(&self) -> usize {
         self.path.len().saturating_sub(1)
     }
+
+    /// The fault-injector outcome this delivery corresponds to, if its
+    /// fate was decided by fault injection: `Drop`/`RateLimited` for the
+    /// matching loss reasons, `Corrupt` for a damaged delivery, `Pass`
+    /// for a clean one, and `None` for non-fault drops (firewall, routing,
+    /// TTL, congestion).
+    pub fn fault_outcome(&self) -> Option<FaultOutcome> {
+        match self.drop {
+            Some((_, DropReason::LinkLoss)) => Some(FaultOutcome::Drop),
+            Some((_, DropReason::RateLimited)) => Some(FaultOutcome::RateLimited),
+            Some(_) => None,
+            None if self.corrupted => Some(FaultOutcome::Corrupt),
+            None => Some(FaultOutcome::Pass),
+        }
+    }
 }
 
 /// A complete simulated network.
@@ -77,6 +108,9 @@ pub struct Network {
     firewalls: BTreeMap<NodeId, Firewall>,
     qos: BTreeMap<NodeId, QosPolicy>,
     max_hops: usize,
+    /// Crashed nodes → the incident links this crash took down (only
+    /// those that were up), so restore puts back exactly that state.
+    crashed: BTreeMap<NodeId, Vec<LinkId>>,
 }
 
 impl Network {
@@ -151,6 +185,56 @@ impl Network {
     /// Link ids incident to a node.
     pub fn links_of(&self, id: NodeId) -> &[LinkId] {
         &self.adj[id.index()]
+    }
+
+    /// Set a link's administrative state. Forwarding honors it on the
+    /// next packet: down links are invisible to [`Network::link_between`]
+    /// and [`Network::neighbors`], so traffic drops with
+    /// [`DropReason::LinkDown`] until the link comes back.
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) {
+        self.links[id.index()].up = up;
+    }
+
+    /// Crash a node: every incident link that is currently up goes down.
+    /// Crashing an already-crashed node is a no-op.
+    pub fn crash_node(&mut self, id: NodeId) {
+        if self.crashed.contains_key(&id) {
+            return;
+        }
+        let downed: Vec<LinkId> =
+            self.adj[id.index()].iter().copied().filter(|l| self.links[l.index()].up).collect();
+        for l in &downed {
+            self.links[l.index()].up = false;
+        }
+        self.crashed.insert(id, downed);
+    }
+
+    /// Restore a crashed node: the links its crash took down come back up,
+    /// except those whose other endpoint is still crashed (those transfer
+    /// to the surviving crash record and return when *it* restores).
+    pub fn restore_node(&mut self, id: NodeId) {
+        let Some(links) = self.crashed.remove(&id) else {
+            return;
+        };
+        for l in links {
+            let (a, b) = {
+                let link = &self.links[l.index()];
+                (link.a, link.b)
+            };
+            let other = if a == id { b } else { a };
+            if let Some(list) = self.crashed.get_mut(&other) {
+                if !list.contains(&l) {
+                    list.push(l);
+                }
+            } else {
+                self.links[l.index()].up = true;
+            }
+        }
+    }
+
+    /// Is the node currently up (not crashed)?
+    pub fn node_is_up(&self, id: NodeId) -> bool {
+        !self.crashed.contains_key(&id)
     }
 
     /// Neighbors of a node over up links.
@@ -439,6 +523,36 @@ impl Network {
                         drop: Some((current, DropReason::RateLimited)),
                         corrupted,
                         mark,
+                    }
+                }
+            }
+            // Ambient chaos: a thread-local intensity the chaos campaign wraps
+            // around whole experiment runs. The `> 0.0` gate guarantees zero
+            // rng draws at intensity 0, keeping such runs byte-identical to
+            // plain (non-chaos) runs.
+            if tussle_sim::fault::ambient_intensity() > 0.0 {
+                match tussle_sim::fault::ambient_apply(rng) {
+                    FaultOutcome::Pass => {}
+                    FaultOutcome::Corrupt => corrupted = true,
+                    FaultOutcome::Drop => {
+                        return DeliveryReport {
+                            delivered: false,
+                            path,
+                            latency,
+                            drop: Some((current, DropReason::LinkLoss)),
+                            corrupted,
+                            mark,
+                        }
+                    }
+                    FaultOutcome::RateLimited => {
+                        return DeliveryReport {
+                            delivered: false,
+                            path,
+                            latency,
+                            drop: Some((current, DropReason::RateLimited)),
+                            corrupted,
+                            mark,
+                        }
                     }
                 }
             }

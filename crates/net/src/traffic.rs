@@ -12,6 +12,47 @@ use crate::node::NodeId;
 use crate::packet::Packet;
 use tussle_sim::{Ctx, Engine, SimTime};
 
+/// Retry-with-backoff policy for transient drops.
+///
+/// When a flow packet is dropped for a *transient* reason (link down, loss,
+/// rate limiting, queue overflow — see
+/// [`crate::network::DropReason::is_transient`]), the sender reschedules the
+/// same packet after an exponential backoff of
+/// `min(max_backoff, base_backoff * 2^attempt)` plus uniform seeded jitter.
+/// Permanent drops (no route, firewall, TTL) are never retried — retrying
+/// cannot help.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts per packet (0 = no retries).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimTime,
+    /// Cap on the exponential backoff.
+    pub max_backoff: SimTime,
+    /// Uniform jitter added to each backoff, in microseconds.
+    pub jitter_us: u64,
+}
+
+impl RetryPolicy {
+    /// A conventional policy: `max_retries` attempts starting at 10 ms,
+    /// doubling, capped at 500 ms, with 1 ms of jitter.
+    pub fn backoff(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_backoff: SimTime::from_millis(10),
+            max_backoff: SimTime::from_millis(500),
+            jitter_us: 1_000,
+        }
+    }
+
+    /// Backoff delay before retry number `attempt` (0-based), without jitter.
+    pub fn delay(&self, attempt: u32) -> SimTime {
+        let base = self.base_backoff.as_micros();
+        let exp = base.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        SimTime::from_micros(exp.min(self.max_backoff.as_micros()))
+    }
+}
+
 /// A periodic flow specification.
 #[derive(Debug, Clone)]
 pub struct Flow {
@@ -27,6 +68,9 @@ pub struct Flow {
     pub count: Option<u64>,
     /// Metrics label; counters appear as `flow.<label>.delivered` etc.
     pub label: String,
+    /// Retry transient drops with exponential backoff (`None` = fire and
+    /// forget, the pre-chaos behaviour).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Flow {
@@ -38,12 +82,26 @@ impl Flow {
         interval: SimTime,
         count: u64,
     ) -> Self {
-        Flow { from, template, interval, jitter_us: 0, count: Some(count), label: label.to_owned() }
+        Flow {
+            from,
+            template,
+            interval,
+            jitter_us: 0,
+            count: Some(count),
+            label: label.to_owned(),
+            retry: None,
+        }
     }
 
     /// Builder: add jitter.
     pub fn with_jitter(mut self, jitter_us: u64) -> Self {
         self.jitter_us = jitter_us;
+        self
+    }
+
+    /// Builder: retry transient drops under `policy`.
+    pub fn with_retries(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 }
@@ -77,17 +135,7 @@ fn send_and_reschedule(w: &mut TrafficWorld, ctx: &mut Ctx<TrafficWorld>, flow: 
             return;
         }
     }
-    let report = w.network.send_at(flow.from, flow.template.clone(), ctx.now(), ctx.rng);
-    let label = flow.label.clone();
-    if report.delivered {
-        ctx.metrics.incr(&format!("flow.{label}.delivered"));
-        ctx.metrics.observe(&format!("flow.{label}.latency_us"), report.latency.as_micros() as f64);
-    } else {
-        ctx.metrics.incr(&format!("flow.{label}.dropped"));
-        if let Some((_, reason)) = report.drop {
-            ctx.metrics.incr(&format!("flow.{label}.drop.{reason:?}"));
-        }
-    }
+    attempt_send(w, ctx, &flow, 0);
     let jitter = if flow.jitter_us > 0 {
         SimTime::from_micros(ctx.rng.range(0..=flow.jitter_us))
     } else {
@@ -100,6 +148,52 @@ fn send_and_reschedule(w: &mut TrafficWorld, ctx: &mut Ctx<TrafficWorld>, flow: 
             send_and_reschedule(w2, ctx2, flow, sent);
         });
     }
+}
+
+/// One transmission attempt, plus retry scheduling on transient drops.
+///
+/// Retries are independent of the periodic schedule: the flow keeps sending
+/// new packets at its interval while a dropped packet backs off on the side.
+/// With `flow.retry == None` this draws exactly the same rng sequence as the
+/// pre-retry code path, preserving byte-identical runs.
+fn attempt_send(w: &mut TrafficWorld, ctx: &mut Ctx<TrafficWorld>, flow: &Flow, attempt: u32) {
+    let report = w.network.send_at(flow.from, flow.template.clone(), ctx.now(), ctx.rng);
+    let label = &flow.label;
+    if let Some(outcome) = report.fault_outcome() {
+        ctx.metrics.record_fault(label, outcome);
+    }
+    if report.delivered {
+        ctx.metrics.incr(&format!("flow.{label}.delivered"));
+        ctx.metrics.observe(&format!("flow.{label}.latency_us"), report.latency.as_micros() as f64);
+        return;
+    }
+    ctx.metrics.incr(&format!("flow.{label}.dropped"));
+    let reason = report.drop.map(|(_, r)| r);
+    if let Some(r) = reason {
+        ctx.metrics.incr(&format!("flow.{label}.drop.{r:?}"));
+    }
+    let Some(policy) = flow.retry else {
+        return;
+    };
+    if !reason.map(|r| r.is_transient()).unwrap_or(false) {
+        return;
+    }
+    if attempt >= policy.max_retries {
+        ctx.metrics.incr(&format!("flow.{label}.abandoned"));
+        ctx.trace("flow.retry", format!("{label}: abandoned after {} attempts", attempt + 1));
+        return;
+    }
+    ctx.metrics.incr(&format!("flow.{label}.retried"));
+    let jitter = if policy.jitter_us > 0 {
+        SimTime::from_micros(ctx.rng.range(0..=policy.jitter_us))
+    } else {
+        SimTime::ZERO
+    };
+    let at = ctx.now().saturating_add(policy.delay(attempt)).saturating_add(jitter);
+    let flow = flow.clone();
+    ctx.schedule_at(at, move |w2: &mut TrafficWorld, ctx2| {
+        attempt_send(w2, ctx2, &flow, attempt + 1);
+    });
 }
 
 #[cfg(test)]
@@ -213,6 +307,114 @@ mod tests {
         assert_eq!(eng.metrics().counter("flow.calm.delivered"), 20);
         let h = eng.metrics().histogram("flow.calm.latency_us").unwrap();
         assert_eq!(h.mean().unwrap(), 2000.0, "no queueing delay appears");
+    }
+
+    #[test]
+    fn retries_recover_transient_drops() {
+        // 30% loss on the second hop; with 6 retries per packet almost
+        // every packet eventually lands, and retry counters show the work.
+        let (mut net, h0, pkt) = world();
+        let lid = net.links()[1].id;
+        net.link_mut(lid).faults = FaultInjector::lossy(0.3, 0.0);
+        let flow = Flow::periodic("rt", h0, pkt, SimTime::from_millis(10), 100)
+            .with_retries(RetryPolicy::backoff(6));
+        let mut eng = build_engine(net, vec![flow], 7);
+        eng.run_to_completion();
+        let delivered = eng.metrics().counter("flow.rt.delivered");
+        let retried = eng.metrics().counter("flow.rt.retried");
+        let abandoned = eng.metrics().counter("flow.rt.abandoned");
+        assert!(delivered >= 98, "retries recover nearly all: {delivered}");
+        assert!(retried > 10, "loss at 30% forces retries: {retried}");
+        assert_eq!(delivered + abandoned, 100, "every packet resolves");
+        // fault outcomes surfaced as counters per satellite (b)
+        let stats = eng.metrics().fault_stats("rt");
+        assert_eq!(stats.dropped, eng.metrics().counter("flow.rt.drop.LinkLoss"));
+        assert!(stats.passed >= delivered);
+    }
+
+    #[test]
+    fn permanent_drops_are_never_retried() {
+        let (mut net, h0, pkt) = world();
+        // break routing at the router: NoRoute is permanent
+        let r = net.links()[1].a;
+        *net.fib_mut(r) = crate::table::Fib::default();
+        let flow = Flow::periodic("perm", h0, pkt, SimTime::from_millis(10), 20)
+            .with_retries(RetryPolicy::backoff(5));
+        let mut eng = build_engine(net, vec![flow], 1);
+        eng.run_to_completion();
+        assert_eq!(eng.metrics().counter("flow.perm.drop.NoRoute"), 20);
+        assert_eq!(eng.metrics().counter("flow.perm.retried"), 0);
+        assert_eq!(eng.metrics().counter("flow.perm.abandoned"), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_are_abandoned() {
+        let (mut net, h0, pkt) = world();
+        let lid = net.links()[1].id;
+        net.link_mut(lid).faults = FaultInjector::lossy(1.0, 0.0); // always drop
+        let flow = Flow::periodic("gone", h0, pkt, SimTime::from_millis(50), 5)
+            .with_retries(RetryPolicy::backoff(3));
+        let mut eng = build_engine(net, vec![flow], 2);
+        eng.run_to_completion();
+        assert_eq!(eng.metrics().counter("flow.gone.delivered"), 0);
+        assert_eq!(eng.metrics().counter("flow.gone.abandoned"), 5);
+        // 5 packets × 3 retries each
+        assert_eq!(eng.metrics().counter("flow.gone.retried"), 15);
+        assert_eq!(eng.metrics().counter("flow.gone.dropped"), 20);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff: SimTime::from_millis(10),
+            max_backoff: SimTime::from_millis(70),
+            jitter_us: 0,
+        };
+        assert_eq!(p.delay(0), SimTime::from_millis(10));
+        assert_eq!(p.delay(1), SimTime::from_millis(20));
+        assert_eq!(p.delay(2), SimTime::from_millis(40));
+        assert_eq!(p.delay(3), SimTime::from_millis(70), "capped");
+        assert_eq!(p.delay(63), SimTime::from_millis(70), "shift overflow capped");
+    }
+
+    #[test]
+    fn without_retry_policy_runs_are_byte_identical_to_before() {
+        // Two structurally identical runs — retry=None must not perturb the
+        // rng stream relative to a flow that never consults the policy.
+        let run = || {
+            let (mut net, h0, pkt) = world();
+            let lid = net.links()[1].id;
+            net.link_mut(lid).faults = FaultInjector::lossy(0.25, 0.05);
+            let flow =
+                Flow::periodic("base", h0, pkt, SimTime::from_millis(10), 80).with_jitter(2_000);
+            let mut eng = build_engine(net, vec![flow], 11);
+            eng.run_to_completion();
+            format!("{:?}", eng.metrics().counters().collect::<Vec<_>>())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ambient_intensity_perturbs_and_restores() {
+        let baseline = || {
+            let (net, h0, pkt) = world();
+            let flow = Flow::periodic("amb", h0, pkt, SimTime::from_millis(10), 100);
+            let mut eng = build_engine(net, vec![flow], 5);
+            eng.run_to_completion();
+            eng.metrics().counter("flow.amb.delivered")
+        };
+        let clean = baseline();
+        assert_eq!(clean, 100);
+        {
+            let _guard = tussle_sim::fault::set_ambient_intensity(0.8);
+            let noisy = baseline();
+            assert!(noisy < 100, "ambient chaos drops packets: {noisy}");
+            let stats = tussle_sim::fault::take_ambient_stats();
+            assert!(stats.faults() > 0, "ambient stats tally the damage");
+        }
+        assert_eq!(baseline(), 100, "guard restores clean behaviour");
+        let _ = tussle_sim::fault::take_ambient_stats();
     }
 
     #[test]

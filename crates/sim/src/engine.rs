@@ -58,6 +58,73 @@ impl<'a, W> Ctx<'a, W> {
     }
 }
 
+/// A watchdog budget for one engine run: hard caps on events executed and
+/// virtual time reached. Chaos scenarios (retry storms, flapping links
+/// rescheduling each other) can otherwise generate events faster than they
+/// drain; a budget turns that runaway into a structured [`RunOutcome`]
+/// instead of a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Maximum events to execute in this run.
+    pub max_events: u64,
+    /// Horizon: events scheduled after this virtual time do not run.
+    pub max_time: SimTime,
+}
+
+impl RunBudget {
+    /// No limits (equivalent to [`Engine::run_to_completion`]).
+    pub fn unlimited() -> Self {
+        RunBudget { max_events: u64::MAX, max_time: SimTime::MAX }
+    }
+
+    /// Cap events only.
+    pub fn events(max_events: u64) -> Self {
+        RunBudget { max_events, ..RunBudget::unlimited() }
+    }
+
+    /// Cap virtual time only.
+    pub fn until(max_time: SimTime) -> Self {
+        RunBudget { max_time, ..RunBudget::unlimited() }
+    }
+
+    /// Cap both.
+    pub fn new(max_events: u64, max_time: SimTime) -> Self {
+        RunBudget { max_events, max_time }
+    }
+}
+
+/// Why a budgeted run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RunOutcome {
+    /// The queue drained: the scenario ran out of work on its own.
+    Drained,
+    /// A handler requested a stop.
+    Stopped,
+    /// The watchdog tripped: the event cap was reached with work queued.
+    EventBudgetExhausted,
+    /// The watchdog tripped: the next event lies past the time horizon.
+    TimeBudgetExhausted,
+}
+
+impl RunOutcome {
+    /// Did the scenario end by itself (drain or explicit stop) rather than
+    /// by the watchdog?
+    pub fn completed(self) -> bool {
+        matches!(self, RunOutcome::Drained | RunOutcome::Stopped)
+    }
+}
+
+/// The structured result of [`Engine::run_budgeted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Events executed in this run.
+    pub events: u64,
+    /// The clock when the run ended.
+    pub ended_at: SimTime,
+}
+
 /// A deterministic discrete-event simulation engine over a world `W`.
 pub struct Engine<W> {
     now: SimTime,
@@ -211,6 +278,33 @@ impl<W> Engine<W> {
     /// that are known to terminate.
     pub fn run_to_completion(&mut self) -> u64 {
         self.run(u64::MAX)
+    }
+
+    /// Run under a watchdog [`RunBudget`]: execute events until the queue
+    /// drains, a handler stops the engine, or a budget cap trips. Like
+    /// [`Engine::run_until`], the clock advances to the time horizon when
+    /// the run ends because the next event lies past it.
+    pub fn run_budgeted(&mut self, budget: &RunBudget) -> RunReport {
+        let before = self.events_processed;
+        let outcome = loop {
+            if self.stopped {
+                break RunOutcome::Stopped;
+            }
+            let Some(next) = self.queue.peek() else {
+                break RunOutcome::Drained;
+            };
+            if next.time > budget.max_time {
+                if self.now < budget.max_time {
+                    self.now = budget.max_time;
+                }
+                break RunOutcome::TimeBudgetExhausted;
+            }
+            if self.events_processed - before >= budget.max_events {
+                break RunOutcome::EventBudgetExhausted;
+            }
+            self.step();
+        };
+        RunReport { outcome, events: self.events_processed - before, ended_at: self.now }
     }
 
     /// Whether a handler has requested a stop.
@@ -375,6 +469,73 @@ mod tests {
         let e = eng.trace().entries().next().unwrap();
         assert_eq!(e.time, SimTime::from_millis(7));
         assert_eq!(e.topic, "test.topic");
+    }
+
+    /// An event that perpetually reschedules itself: the runaway scenario
+    /// the watchdog exists for.
+    fn runaway(w: &mut World, ctx: &mut Ctx<World>) {
+        w.log.push(0);
+        ctx.schedule_in(SimTime::from_millis(1), runaway);
+    }
+
+    #[test]
+    fn budget_caps_a_runaway_run_by_events() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::ZERO, runaway);
+        let report = eng.run_budgeted(&RunBudget::events(50));
+        assert_eq!(report.outcome, RunOutcome::EventBudgetExhausted);
+        assert!(!report.outcome.completed());
+        assert_eq!(report.events, 50);
+        assert_eq!(eng.world.log.len(), 50);
+        assert!(eng.queued() > 0, "the runaway is still queued, not lost");
+    }
+
+    #[test]
+    fn budget_caps_a_runaway_run_by_time() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::ZERO, runaway);
+        let report = eng.run_budgeted(&RunBudget::until(SimTime::from_millis(10)));
+        assert_eq!(report.outcome, RunOutcome::TimeBudgetExhausted);
+        assert_eq!(report.events, 11, "t=0..10ms inclusive at 1ms spacing");
+        assert_eq!(report.ended_at, SimTime::from_millis(10));
+        assert_eq!(eng.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn budget_reports_natural_endings() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(1), |w: &mut World, _| w.log.push(1));
+        let report = eng.run_budgeted(&RunBudget::unlimited());
+        assert_eq!(report.outcome, RunOutcome::Drained);
+        assert!(report.outcome.completed());
+        assert_eq!(report.events, 1);
+
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(1), |_: &mut World, ctx| ctx.stop());
+        eng.schedule_at(SimTime::from_millis(2), |w: &mut World, _| w.log.push(2));
+        let report = eng.run_budgeted(&RunBudget::unlimited());
+        assert_eq!(report.outcome, RunOutcome::Stopped);
+        assert_eq!(report.events, 1);
+        assert!(eng.world.log.is_empty());
+        // a further budgeted run on the stopped engine does nothing
+        let again = eng.run_budgeted(&RunBudget::unlimited());
+        assert_eq!(again.outcome, RunOutcome::Stopped);
+        assert_eq!(again.events, 0);
+    }
+
+    #[test]
+    fn budgeted_runs_are_deterministic() {
+        let run = |budget: RunBudget| {
+            let mut eng = Engine::new(World::default(), 9);
+            eng.schedule_at(SimTime::ZERO, runaway);
+            let r = eng.run_budgeted(&budget);
+            (r.events, r.ended_at, eng.world.log.len())
+        };
+        assert_eq!(run(RunBudget::events(25)), run(RunBudget::events(25)));
+        assert_eq!(
+            run(RunBudget::new(1000, SimTime::from_millis(7))),
+            run(RunBudget::new(1000, SimTime::from_millis(7)))
+        );
     }
 
     #[test]

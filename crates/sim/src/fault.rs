@@ -9,6 +9,7 @@
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 
 /// Outcome of passing a transmission through a fault injector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,9 +24,130 @@ pub enum FaultOutcome {
     RateLimited,
 }
 
+/// Per-run tallies of fault-injector outcomes, so fault activity is
+/// observable instead of silent. Accumulated wherever transmissions pass
+/// through an injector (per-link injectors via [`crate::Metrics`], the
+/// ambient chaos layer via [`take_ambient_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Transmissions that passed unmodified.
+    pub passed: u64,
+    /// Transmissions silently dropped.
+    pub dropped: u64,
+    /// Transmissions delivered with a flipped octet.
+    pub corrupted: u64,
+    /// Transmissions discarded by a rate limiter.
+    pub rate_limited: u64,
+}
+
+impl FaultStats {
+    /// Tally one outcome.
+    pub fn record(&mut self, outcome: FaultOutcome) {
+        match outcome {
+            FaultOutcome::Pass => self.passed += 1,
+            FaultOutcome::Drop => self.dropped += 1,
+            FaultOutcome::Corrupt => self.corrupted += 1,
+            FaultOutcome::RateLimited => self.rate_limited += 1,
+        }
+    }
+
+    /// Transmissions that were interfered with (everything but `Pass`).
+    pub fn faults(&self) -> u64 {
+        self.dropped + self.corrupted + self.rate_limited
+    }
+
+    /// All transmissions seen.
+    pub fn total(&self) -> u64 {
+        self.passed + self.faults()
+    }
+
+    /// Add another tally into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.passed += other.passed;
+        self.dropped += other.dropped;
+        self.corrupted += other.corrupted;
+        self.rate_limited += other.rate_limited;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ambient chaos: a thread-local fault intensity consulted by substrates that
+// carry traffic (tussle-net's forwarding path). The chaos campaign sets it
+// around an experiment run to degrade *whatever* infrastructure the
+// experiment happens to exercise, without the experiment opting in.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static AMBIENT_INTENSITY: Cell<f64> = const { Cell::new(0.0) };
+    static AMBIENT_STATS: Cell<FaultStats> = const {
+        Cell::new(FaultStats { passed: 0, dropped: 0, corrupted: 0, rate_limited: 0 })
+    };
+}
+
+/// Restores the previous ambient intensity when dropped, so a panicking
+/// run cannot leak chaos into the next job on the same worker thread.
+#[derive(Debug)]
+pub struct AmbientGuard {
+    prev: f64,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        AMBIENT_INTENSITY.with(|c| c.set(self.prev));
+    }
+}
+
+/// Set this thread's ambient fault intensity (clamped to `[0, 1]`) and
+/// return a guard that restores the previous value on drop.
+#[must_use = "dropping the guard immediately restores the previous intensity"]
+pub fn set_ambient_intensity(intensity: f64) -> AmbientGuard {
+    let prev = AMBIENT_INTENSITY.with(|c| c.replace(intensity.clamp(0.0, 1.0)));
+    AmbientGuard { prev }
+}
+
+/// This thread's current ambient fault intensity in `[0, 1]`; `0` (the
+/// default) means the ambient layer is inert and consumes no randomness.
+pub fn ambient_intensity() -> f64 {
+    AMBIENT_INTENSITY.with(|c| c.get())
+}
+
+/// Take (and reset) this thread's ambient fault tallies.
+pub fn take_ambient_stats() -> FaultStats {
+    AMBIENT_STATS.with(|c| c.replace(FaultStats::default()))
+}
+
+/// Drop and corrupt probabilities implied by an ambient intensity. At
+/// intensity 1 every fourth transmission drops and every tenth corrupts —
+/// strong enough to flip fragile claims, weak enough that robust ones
+/// survive the low end of the grid.
+const AMBIENT_DROP_WEIGHT: f64 = 0.25;
+const AMBIENT_CORRUPT_WEIGHT: f64 = 0.10;
+
+/// Decide the fate of one transmission under the current ambient
+/// intensity, drawing from `rng` and recording the outcome in the
+/// thread-local tallies. Callers must skip this entirely when
+/// [`ambient_intensity`] is zero so an intensity-0 run stays byte-identical
+/// to a run with no chaos harness at all (no extra RNG draws).
+pub fn ambient_apply(rng: &mut SimRng) -> FaultOutcome {
+    let i = ambient_intensity();
+    let outcome = if rng.chance(AMBIENT_DROP_WEIGHT * i) {
+        FaultOutcome::Drop
+    } else if rng.chance(AMBIENT_CORRUPT_WEIGHT * i) {
+        FaultOutcome::Corrupt
+    } else {
+        FaultOutcome::Pass
+    };
+    AMBIENT_STATS.with(|c| {
+        let mut stats = c.get();
+        stats.record(outcome);
+        c.set(stats);
+    });
+    outcome
+}
+
 /// Configurable fault injector with drop/corrupt probabilities and a
 /// token-bucket rate limiter.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultInjector {
     /// Probability in `[0,1]` that a transmission is dropped.
     pub drop_chance: f64,
@@ -64,6 +186,24 @@ impl FaultInjector {
             drop_chance: drop_chance.clamp(0.0, 1.0),
             corrupt_chance: corrupt_chance.clamp(0.0, 1.0),
             ..FaultInjector::none()
+        }
+    }
+
+    /// An injector whose severity scales with one `intensity` knob in
+    /// `[0, 1]` — the mapping the chaos campaign and [`crate::FaultPlan`]
+    /// use. Intensity 0 is exactly [`FaultInjector::none`]; from 0.5 a
+    /// token-bucket rate limit tightens as intensity grows.
+    pub fn at_intensity(intensity: f64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        if i == 0.0 {
+            return FaultInjector::none();
+        }
+        let injector = FaultInjector::lossy(AMBIENT_DROP_WEIGHT * i, AMBIENT_CORRUPT_WEIGHT * i);
+        if i >= 0.5 {
+            let capacity = 8 + (256.0 * (1.0 - i)) as u32;
+            injector.with_rate_limit(capacity, SimTime::from_millis(50))
+        } else {
+            injector
         }
     }
 
@@ -153,5 +293,70 @@ mod tests {
         let f = FaultInjector::lossy(7.0, -2.0);
         assert_eq!(f.drop_chance, 1.0);
         assert_eq!(f.corrupt_chance, 0.0);
+    }
+
+    #[test]
+    fn at_intensity_scales_from_none_to_harsh() {
+        let zero = FaultInjector::at_intensity(0.0);
+        assert_eq!(zero.drop_chance, 0.0);
+        assert_eq!(zero.bucket_capacity, None);
+
+        let mild = FaultInjector::at_intensity(0.2);
+        assert!(mild.drop_chance > 0.0 && mild.drop_chance < 0.1);
+        assert_eq!(mild.bucket_capacity, None, "no rate limit below 0.5");
+
+        let harsh = FaultInjector::at_intensity(1.0);
+        assert_eq!(harsh.drop_chance, AMBIENT_DROP_WEIGHT);
+        assert_eq!(harsh.bucket_capacity, Some(8));
+
+        let mid = FaultInjector::at_intensity(0.5);
+        assert!(mid.bucket_capacity.unwrap() > harsh.bucket_capacity.unwrap());
+    }
+
+    #[test]
+    fn fault_stats_tally_and_merge() {
+        let mut s = FaultStats::default();
+        s.record(FaultOutcome::Pass);
+        s.record(FaultOutcome::Drop);
+        s.record(FaultOutcome::Corrupt);
+        s.record(FaultOutcome::RateLimited);
+        assert_eq!((s.passed, s.dropped, s.corrupted, s.rate_limited), (1, 1, 1, 1));
+        assert_eq!(s.faults(), 3);
+        assert_eq!(s.total(), 4);
+        let mut t = FaultStats::default();
+        t.record(FaultOutcome::Drop);
+        s.merge(&t);
+        assert_eq!(s.dropped, 2);
+    }
+
+    #[test]
+    fn ambient_guard_restores_and_stats_accumulate() {
+        assert_eq!(ambient_intensity(), 0.0);
+        let _ = take_ambient_stats();
+        {
+            let _g = set_ambient_intensity(1.0);
+            assert_eq!(ambient_intensity(), 1.0);
+            let mut rng = SimRng::seed_from_u64(3);
+            for _ in 0..200 {
+                ambient_apply(&mut rng);
+            }
+            // nesting restores the outer value, not zero
+            {
+                let _inner = set_ambient_intensity(0.25);
+                assert_eq!(ambient_intensity(), 0.25);
+            }
+            assert_eq!(ambient_intensity(), 1.0);
+        }
+        assert_eq!(ambient_intensity(), 0.0, "guard restores the default");
+        let stats = take_ambient_stats();
+        assert_eq!(stats.total(), 200);
+        assert!(stats.dropped > 20, "intensity 1 drops ~25%: {stats:?}");
+        assert_eq!(take_ambient_stats().total(), 0, "take resets");
+    }
+
+    #[test]
+    fn ambient_intensity_is_clamped() {
+        let _g = set_ambient_intensity(7.5);
+        assert_eq!(ambient_intensity(), 1.0);
     }
 }

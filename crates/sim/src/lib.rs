@@ -14,6 +14,12 @@
 //! * [`Trace`] — a bounded in-memory event log for diagnostics.
 //! * [`FaultInjector`] — drop/corrupt/rate-limit knobs in the style of
 //!   smoltcp's example harness.
+//! * [`FaultPlan`] — a deterministic, schedulable script of infrastructure
+//!   faults (link flaps, node outages, partition windows) layered on the
+//!   injector, plus a thread-local *ambient* intensity (see [`fault`])
+//!   that the chaos campaign wraps around whole experiment runs.
+//! * [`RunBudget`] — an engine watchdog: runaway runs end with a
+//!   structured [`RunOutcome`] instead of hanging.
 //!
 //! No async runtime is used: the workload is CPU-bound simulation, and the
 //! engine is single-threaded by design (parallelism, where used, is across
@@ -42,14 +48,16 @@ pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod metrics;
+pub mod plan;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Ctx, Engine};
+pub use engine::{Ctx, Engine, RunBudget, RunOutcome, RunReport};
 pub use event::EventFn;
-pub use fault::{FaultInjector, FaultOutcome};
+pub use fault::{FaultInjector, FaultOutcome, FaultStats};
 pub use metrics::{Histogram, Metrics};
+pub use plan::{FaultAction, FaultEvent, FaultPlan};
 pub use rng::SimRng;
 pub use time::SimTime;
 pub use trace::{Trace, TraceEntry};

@@ -5,6 +5,7 @@
 //! them. Keys are plain strings; the sink is owned by the engine context so
 //! event handlers can record without extra plumbing.
 
+use crate::fault::{FaultOutcome, FaultStats};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -172,6 +173,30 @@ impl Metrics {
         self.gauges.get(key).copied()
     }
 
+    /// Tally a fault-injector outcome under `scope` (e.g. a flow label or
+    /// a link name), as counters `fault.<scope>.passed` / `.dropped` /
+    /// `.corrupted` / `.rate_limited` — fault activity becomes observable
+    /// per run instead of vanishing into aggregate drop counts.
+    pub fn record_fault(&mut self, scope: &str, outcome: FaultOutcome) {
+        let suffix = match outcome {
+            FaultOutcome::Pass => "passed",
+            FaultOutcome::Drop => "dropped",
+            FaultOutcome::Corrupt => "corrupted",
+            FaultOutcome::RateLimited => "rate_limited",
+        };
+        self.incr(&format!("fault.{scope}.{suffix}"));
+    }
+
+    /// Read back the fault tallies recorded under `scope`.
+    pub fn fault_stats(&self, scope: &str) -> FaultStats {
+        FaultStats {
+            passed: self.counter(&format!("fault.{scope}.passed")),
+            dropped: self.counter(&format!("fault.{scope}.dropped")),
+            corrupted: self.counter(&format!("fault.{scope}.corrupted")),
+            rate_limited: self.counter(&format!("fault.{scope}.rate_limited")),
+        }
+    }
+
     /// Record a histogram sample.
     pub fn observe(&mut self, key: &str, value: f64) {
         self.histograms.entry(key.to_owned()).or_default().record(value);
@@ -282,6 +307,24 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.sum(), 4.0);
         assert_eq!(a.max(), Some(3.0));
+    }
+
+    #[test]
+    fn fault_outcomes_become_counters() {
+        let mut m = Metrics::new();
+        m.record_fault("flow.voip", FaultOutcome::Pass);
+        m.record_fault("flow.voip", FaultOutcome::Drop);
+        m.record_fault("flow.voip", FaultOutcome::Drop);
+        m.record_fault("flow.voip", FaultOutcome::Corrupt);
+        m.record_fault("flow.voip", FaultOutcome::RateLimited);
+        assert_eq!(m.counter("fault.flow.voip.dropped"), 2);
+        let stats = m.fault_stats("flow.voip");
+        assert_eq!(
+            (stats.passed, stats.dropped, stats.corrupted, stats.rate_limited),
+            (1, 2, 1, 1)
+        );
+        assert_eq!(stats.faults(), 4);
+        assert_eq!(m.fault_stats("absent"), FaultStats::default());
     }
 
     #[test]

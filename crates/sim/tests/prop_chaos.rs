@@ -1,0 +1,131 @@
+//! Property tests for the chaos facilities: fault plans, the scaled
+//! injector, the token bucket, and the run budget watchdog.
+
+use proptest::prelude::*;
+use tussle_sim::{
+    Engine, FaultAction, FaultInjector, FaultOutcome, FaultPlan, RunBudget, SimRng, SimTime,
+};
+
+proptest! {
+    /// The same `(intensity, links, horizon, seed)` quadruple always
+    /// generates the same plan, and any input change that matters changes
+    /// deterministically — no hidden global state.
+    #[test]
+    fn scaled_plans_are_deterministic(
+        intensity in 0.0f64..=1.0,
+        links in 1u32..32,
+        horizon_ms in 1u64..5_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let horizon = SimTime::from_millis(horizon_ms);
+        let a = FaultPlan::scaled(intensity, links, horizon, seed);
+        let b = FaultPlan::scaled(intensity, links, horizon, seed);
+        prop_assert_eq!(&a, &b);
+        // serde round-trip preserves the plan exactly
+        let json = serde_json::to_string(&a).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// Every event of a scaled plan is inside `[0, horizon]`, its events
+    /// are time-sorted, and all indices refer to real links.
+    #[test]
+    fn scaled_plans_are_well_formed(
+        intensity in 0.01f64..=1.0,
+        links in 1u32..32,
+        horizon_ms in 1u64..5_000,
+        seed in 0u64..1_000,
+    ) {
+        let horizon = SimTime::from_millis(horizon_ms);
+        let plan = FaultPlan::scaled(intensity, links, horizon, seed);
+        let mut prev = SimTime::ZERO;
+        for e in plan.events() {
+            prop_assert!(e.at <= horizon, "event past horizon: {:?}", e);
+            prop_assert!(prev <= e.at, "events out of order");
+            prev = e.at;
+            let index_ok = match e.action {
+                FaultAction::LinkDown(l)
+                | FaultAction::LinkUp(l)
+                | FaultAction::SetLinkFaults { link: l, .. } => l < links,
+                FaultAction::CrashNode(_) | FaultAction::RestoreNode(_) => true,
+            };
+            prop_assert!(index_ok, "action names a link outside the topology");
+        }
+    }
+
+    /// The token bucket never lets more than `capacity` transmissions
+    /// through (as non-rate-limited outcomes) within one refill window.
+    #[test]
+    fn token_bucket_never_exceeds_capacity(
+        capacity in 1u32..64,
+        refill_ms in 1u64..200,
+        offered in 1usize..300,
+        seed in 0u64..1_000,
+    ) {
+        let refill = SimTime::from_millis(refill_ms);
+        let mut inj = FaultInjector::none().with_rate_limit(capacity, refill);
+        let mut rng = SimRng::seed_from_u64(seed);
+        // hammer the bucket at a single instant: one refill window
+        let now = SimTime::from_millis(1);
+        let passed = (0..offered)
+            .filter(|_| inj.apply(now, &mut rng) != FaultOutcome::RateLimited)
+            .count();
+        prop_assert!(passed as u32 <= capacity, "{passed} > {capacity}");
+        if (offered as u32) > capacity {
+            prop_assert_eq!(passed as u32, capacity, "the full budget is usable");
+        }
+    }
+
+    /// The bucket's guarantee holds across refill windows too: within any
+    /// single window, at most `capacity` transmissions pass.
+    #[test]
+    fn token_bucket_bounds_every_window(
+        capacity in 1u32..32,
+        spacing_us in 1u64..2_000,
+        n in 1usize..400,
+        seed in 0u64..1_000,
+    ) {
+        let refill = SimTime::from_millis(10);
+        let mut inj = FaultInjector::none().with_rate_limit(capacity, refill);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut window_start = SimTime::ZERO;
+        let mut in_window = 0u32;
+        for k in 0..n {
+            let now = SimTime::from_micros(k as u64 * spacing_us);
+            // mirror the injector's refill rule to delimit windows
+            if now.since(window_start) >= refill {
+                window_start = now;
+                in_window = 0;
+            }
+            if inj.apply(now, &mut rng) != FaultOutcome::RateLimited {
+                in_window += 1;
+            }
+            prop_assert!(in_window <= capacity, "window exceeded: {in_window} > {capacity}");
+        }
+    }
+
+    /// A run budget always halts a self-perpetuating event storm, and the
+    /// report respects both caps.
+    #[test]
+    fn run_budget_always_halts_runaways(
+        max_events in 1u64..2_000,
+        max_time_ms in 1u64..1_000,
+        period_us in 1u64..10_000,
+    ) {
+        let mut eng: Engine<u64> = Engine::new(0, 1);
+        fn storm(period: SimTime) -> impl Fn(&mut u64, &mut tussle_sim::Ctx<u64>) {
+            move |w, ctx| {
+                *w += 1;
+                let p = period;
+                ctx.schedule_in(p, move |w2: &mut u64, ctx2| storm(p)(w2, ctx2));
+            }
+        }
+        let period = SimTime::from_micros(period_us);
+        eng.schedule_at(SimTime::ZERO, move |w: &mut u64, ctx| storm(period)(w, ctx));
+        let budget = RunBudget::new(max_events, SimTime::from_millis(max_time_ms));
+        let report = eng.run_budgeted(&budget);
+        prop_assert!(!report.outcome.completed(), "a storm never drains");
+        prop_assert!(report.events <= max_events);
+        prop_assert!(report.ended_at <= SimTime::from_millis(max_time_ms));
+    }
+}
