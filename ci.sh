@@ -10,9 +10,60 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "==> tier-1: cargo build --release && cargo test -q"
+echo "==> tier-1 build: cargo build --release"
 cargo build --release
-cargo test -q
+
+# The tier-1 test pass, split per suite so every binary gets a wall-clock
+# reading and a hard budget: a test binary that crosses 120s has outgrown
+# the machine and must be split or slimmed, not waited on. Together these
+# invocations cover exactly what `cargo test -q` runs.
+BUDGET_S=120
+slowest_name=""
+slowest_s=0
+timed_test() {
+  local name="$1"; shift
+  local start elapsed
+  start=$(date +%s)
+  cargo test -q "$@"
+  elapsed=$(( $(date +%s) - start ))
+  echo "    suite '${name}' took ${elapsed}s (budget ${BUDGET_S}s)"
+  if (( elapsed > slowest_s )); then
+    slowest_s=$elapsed
+    slowest_name=$name
+  fi
+  if (( elapsed > BUDGET_S )); then
+    echo "FAIL: suite '${name}' exceeded the ${BUDGET_S}s budget (${elapsed}s)" >&2
+    exit 1
+  fi
+}
+
+echo "==> tier-1 tests (per-suite timings)"
+timed_test "workspace unit tests"  --workspace --lib --bins
+timed_test "workspace doctests"    --workspace --doc
+# Crate-level integration/property suites.
+timed_test "actors/prop_actors"            -p tussle-actors      --test prop_actors
+timed_test "econ/prop_ledger"              -p tussle-econ        --test prop_ledger
+timed_test "experiments/chaos_campaign"    -p tussle-experiments --test chaos_campaign
+timed_test "game/prop_games"               -p tussle-game        --test prop_games
+timed_test "names/prop_names"              -p tussle-names       --test prop_names
+timed_test "net/prop_net"                  -p tussle-net         --test prop_net
+timed_test "policy/prop_parser"            -p tussle-policy      --test prop_parser
+timed_test "routing/prop_routing"          -p tussle-routing     --test prop_routing
+timed_test "sim/prop_chaos"                -p tussle-sim         --test prop_chaos
+timed_test "sim/prop_engine"               -p tussle-sim         --test prop_engine
+timed_test "sim/prop_obs"                  -p tussle-sim         --test prop_obs
+timed_test "trust/prop_trust"              -p tussle-trust       --test prop_trust
+# Workspace-level integration suites.
+timed_test "end_to_end_qos"           --test end_to_end_qos
+timed_test "experiments_all"          --test experiments_all
+timed_test "extensions_integration"   --test extensions_integration
+timed_test "golden_reports"           --test golden_reports
+timed_test "determinism_matrix"       --test determinism_matrix
+timed_test "multihoming_vcg"          --test multihoming_vcg
+timed_test "principles_integration"   --test principles_integration
+timed_test "routing_integration"      --test routing_integration
+echo "slowest suite: '${slowest_name}' at ${slowest_s}s"
+echo "golden reports OK (regenerate intentional changes with UPDATE_GOLDEN=1)"
 
 echo "==> chaos smoke: margins report for the full registry, schema-checked"
 chaos_json="$(./target/release/tussle-cli chaos --seeds 2 --intensities 0,0.2 --json)"
@@ -22,7 +73,22 @@ echo "$chaos_json" | jq -e '
   and (.seeds == 2)
   and ([.experiments[] | has("margin") and has("intensities")] | all)
   and ([.experiments[].intensities[] | has("panics") and has("faults") and has("sweep")] | all)
+  and ([.experiments[].intensities[].sweep.digest | test("^[0-9a-f]{16}$")] | all)
 ' > /dev/null
-echo "chaos smoke OK: 17 experiments, schema valid"
+echo "chaos smoke OK: 17 experiments, schema valid, digests present"
+
+echo "==> profile smoke: self-profiling JSON, schema-checked"
+profile_json="$(./target/release/tussle-cli profile --only E10 --json)"
+echo "$profile_json" | jq -e '
+  (length == 1)
+  and (.[0].id == "E10")
+  and (.[0].seed == 2002)
+  and (.[0].shape_holds == true)
+  and (.[0].cost.digest | test("^[0-9a-f]{16}$"))
+  and (.[0].wall_nanos > 0)
+  and (.[0].topics | type == "object")
+' > /dev/null
+./target/release/tussle-cli trace --only E2 --grep econ. > /dev/null
+echo "profile smoke OK: cost digest, wall time and topic attribution present"
 
 echo "CI OK"

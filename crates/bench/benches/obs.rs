@@ -1,0 +1,101 @@
+//! Observability-overhead bench: what the instrumentation costs when OFF.
+//!
+//! The observability layer's contract is zero-cost-when-disabled: with no
+//! ambient observation scope active, every hook short-circuits on one
+//! thread-local mode read, and a disabled trace rejects entries before
+//! building them. This bench pins that down with an event-dispatch
+//! workload — the engine loop where the hooks live — comparing handlers
+//! that call the (disabled) trace against handlers that do not, and
+//! asserts the ratio stays under 1.05.
+//!
+//! ```sh
+//! cargo bench -p tussle-bench --bench obs
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use tussle_experiments::registry;
+use tussle_sim::{obs, Engine, SimTime};
+
+const EVENTS: u64 = 200_000;
+
+/// A dispatch-bound workload: one self-rescheduling event chain of
+/// `EVENTS` ticks. `traced` handlers go through `Ctx::trace` (which, with
+/// the trace disabled and no scope active, must cost one branch).
+fn run_chain(traced: bool) -> u64 {
+    fn tick(traced: bool) -> impl FnOnce(&mut u64, &mut tussle_sim::Ctx<u64>) + 'static {
+        move |world, ctx| {
+            if traced {
+                ctx.trace("bench.tick", "tick");
+            }
+            *world = world.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if *world != 0 {
+                ctx.schedule_in(SimTime::from_micros(1), tick(traced));
+            }
+        }
+    }
+    let mut eng: Engine<u64> = Engine::new(1, 42);
+    eng.trace_mut().disable();
+    eng.schedule_at(SimTime::ZERO, tick(traced));
+    eng.run(EVENTS);
+    eng.world
+}
+
+/// Best-of-N wall-clock, in nanoseconds.
+fn best_of(n: usize, mut run: impl FnMut()) -> u128 {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .expect("at least one run")
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(10);
+    g.bench_function("dispatch_untraced", |b| b.iter(|| black_box(run_chain(false))));
+    g.bench_function("dispatch_traced_disabled", |b| b.iter(|| black_box(run_chain(true))));
+    g.bench_function("experiments_no_scope", |b| {
+        b.iter(|| {
+            for (_, run) in registry() {
+                black_box(run(black_box(2002)));
+            }
+        })
+    });
+    g.bench_function("experiments_cost_scope", |b| {
+        b.iter(|| {
+            let guard = obs::begin(obs::ObsMode::Cost);
+            for (_, run) in registry() {
+                black_box(run(black_box(2002)));
+            }
+            black_box(guard.finish());
+        })
+    });
+    g.finish();
+
+    // The acceptance gate: disabled instrumentation inside the dispatch
+    // loop must stay within 5% of the same loop with no trace calls at
+    // all. Warm both paths once, then take best-of-5 to shed scheduler
+    // noise on the shared CI core.
+    black_box(run_chain(false));
+    black_box(run_chain(true));
+    let base_ns = best_of(5, || {
+        black_box(run_chain(false));
+    });
+    let traced_ns = best_of(5, || {
+        black_box(run_chain(true));
+    });
+    let ratio = traced_ns as f64 / base_ns as f64;
+    println!(
+        "disabled-tracing overhead: untraced {base_ns} ns, traced-disabled {traced_ns} ns, \
+         ratio {ratio:.3}"
+    );
+    assert!(ratio < 1.05, "disabled tracing is not zero-cost (ratio {ratio:.3})");
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

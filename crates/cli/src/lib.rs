@@ -10,6 +10,12 @@
 //! * `chaos [--intensities 0,0.2,..] [--seeds N] [--base S] [--only E1,E5]
 //!   [--json] [--threads K]` — run the chaos campaign and report each
 //!   claim's robustness margin;
+//! * `profile [--seed N] [--json] [--only E1,E5]` — run experiments under
+//!   the self-profiling observation scope and print wall-time/virtual-time
+//!   attribution per topic;
+//! * `trace [--seed N] [--only E1,E5] [--grep econ.]` — run experiments and
+//!   dump their structured trace streams, optionally filtered by topic
+//!   prefix;
 //! * `list` — list experiment ids, sections and one-line claims;
 //! * `ladder <mechanism>` — play an escalation ladder to quiescence from a
 //!   named opening mechanism;
@@ -61,6 +67,24 @@ pub enum Command {
         json: bool,
         /// Worker-thread cap (`None` = available parallelism).
         threads: Option<usize>,
+    },
+    /// Profile experiments: per-topic virtual-time/wall-time attribution.
+    Profile {
+        /// RNG seed.
+        seed: u64,
+        /// Emit JSON instead of text.
+        json: bool,
+        /// Restrict to these ids (empty = all).
+        only: Vec<String>,
+    },
+    /// Dump the structured trace stream of one or more experiments.
+    Trace {
+        /// RNG seed.
+        seed: u64,
+        /// Restrict to these ids (empty = all).
+        only: Vec<String>,
+        /// Keep only entries whose topic starts with this prefix.
+        grep: Option<String>,
     },
     /// List the experiment registry.
     List,
@@ -191,6 +215,60 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 }
             }
             Ok(Command::Experiments { seed, json, only })
+        }
+        Some("profile") => {
+            let mut seed = 2002u64;
+            let mut json = false;
+            let mut only = Vec::new();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seed" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seed needs a value".into()))?;
+                        seed = v.parse().map_err(|_| UsageError(format!("bad seed '{v}'")))?;
+                    }
+                    "--json" => json = true,
+                    "--only" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--only needs ids like E1,E4".into()))?;
+                        only = parse_only(v)?;
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Profile { seed, json, only })
+        }
+        Some("trace") => {
+            let mut seed = 2002u64;
+            let mut only = Vec::new();
+            let mut grep = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seed" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seed needs a value".into()))?;
+                        seed = v.parse().map_err(|_| UsageError(format!("bad seed '{v}'")))?;
+                    }
+                    "--only" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--only needs ids like E1,E4".into()))?;
+                        only = parse_only(v)?;
+                    }
+                    "--grep" => {
+                        let v = it.next().ok_or_else(|| {
+                            UsageError("--grep needs a topic prefix like econ.".into())
+                        })?;
+                        if v.is_empty() {
+                            return Err(UsageError("--grep needs a nonempty prefix".into()));
+                        }
+                        grep = Some(v.clone());
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Trace { seed, only, grep })
         }
         Some("sweep") => {
             let mut seeds = 32u64;
@@ -338,6 +416,25 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
                 ladder.ended_terminal()
             ))
         }
+        Command::Profile { seed, json, only } => {
+            let reports = experiments::profile::collect(seed, &only)
+                .map_err(|e| UsageError(e.to_string()))?;
+            if json {
+                Ok(serde_json::to_string_pretty(&reports)
+                    .expect("profile reports serialize to JSON"))
+            } else {
+                let mut out = String::new();
+                for p in &reports {
+                    out.push_str(&p.to_text());
+                    out.push('\n');
+                }
+                Ok(out)
+            }
+        }
+        Command::Trace { seed, only, grep } => {
+            experiments::trace_dump(seed, &only, grep.as_deref())
+                .map_err(|e| UsageError(e.to_string()))
+        }
         Command::Sweep { seeds, base_seed, only, json, threads } => {
             let cfg = experiments::SweepConfig {
                 seeds,
@@ -388,6 +485,8 @@ pub const USAGE: &str = "tussle-cli — the Tussle in Cyberspace reproduction
 
 USAGE:
   tussle-cli experiments [--seed N] [--json] [--only E1,E4]
+  tussle-cli profile [--seed N] [--json] [--only E1,E4]
+  tussle-cli trace [--seed N] [--only E1,E4] [--grep econ.]
   tussle-cli sweep [--seeds N] [--base S] [--only E1,E4] [--json] [--threads K]
   tussle-cli chaos [--intensities 0,0.2,0.5] [--seeds N] [--base S] [--only E1,E4] [--json] [--threads K]
   tussle-cli list
@@ -636,6 +735,75 @@ mod tests {
                 .unwrap();
         assert!(out.contains("1/1 shapes hold"));
         assert!(out.contains("E10"));
+    }
+
+    #[test]
+    fn parses_profile_and_trace_flags() {
+        assert_eq!(
+            parse_args(&args("profile --seed 7 --json --only e10")).unwrap(),
+            Command::Profile { seed: 7, json: true, only: vec!["E10".into()] }
+        );
+        assert_eq!(
+            parse_args(&args("profile")).unwrap(),
+            Command::Profile { seed: 2002, json: false, only: vec![] }
+        );
+        assert_eq!(
+            parse_args(&args("trace --seed 3 --only e2 --grep econ.")).unwrap(),
+            Command::Trace { seed: 3, only: vec!["E2".into()], grep: Some("econ.".into()) }
+        );
+        assert_eq!(
+            parse_args(&args("trace")).unwrap(),
+            Command::Trace { seed: 2002, only: vec![], grep: None }
+        );
+        assert!(parse_args(&args("profile --frobnicate")).unwrap_err().0.contains("unknown flag"));
+        assert!(parse_args(&args("profile --only E1,")).unwrap_err().0.contains("malformed"));
+        assert!(parse_args(&args("trace --grep")).unwrap_err().0.contains("needs a topic prefix"));
+    }
+
+    #[test]
+    fn profile_command_renders_text_and_jq_friendly_json() {
+        let text = execute(Command::Profile { seed: 2002, json: false, only: vec!["E10".into()] })
+            .unwrap();
+        assert!(text.contains("E10 profile (seed 2002)"), "{text}");
+        assert!(text.contains("digest"), "{text}");
+
+        let json =
+            execute(Command::Profile { seed: 2002, json: true, only: vec!["E10".into()] }).unwrap();
+        // The JSON contract ci.sh smoke-tests with jq: a top-level array of
+        // objects with id/seed/cost/wall_nanos/topics.
+        let parsed: serde::Value = serde_json::from_str(&json).unwrap();
+        let first = parsed.item(0).expect("top-level array with one element");
+        assert!(parsed.item(1).is_err(), "exactly one report");
+        assert_eq!(first.field("id").unwrap(), &serde::Value::Str("E10".into()));
+        assert_eq!(first.field("seed").unwrap(), &serde::Value::U64(2002));
+        match first.field("cost").unwrap().field("digest").unwrap() {
+            serde::Value::Str(d) => assert_eq!(d.len(), 16),
+            other => panic!("digest is not a string: {other:?}"),
+        }
+        match first.field("wall_nanos").unwrap() {
+            serde::Value::U64(n) => assert!(*n > 0),
+            other => panic!("wall_nanos is not an unsigned integer: {other:?}"),
+        }
+        assert!(matches!(first.field("topics").unwrap(), serde::Value::Map(_)));
+    }
+
+    #[test]
+    fn trace_command_dumps_and_filters() {
+        let out = execute(Command::Trace {
+            seed: 2002,
+            only: vec!["E2".into()],
+            grep: Some("econ.".into()),
+        })
+        .unwrap();
+        assert!(out.contains("# E2 (seed 2002)"), "{out}");
+        assert!(out.contains("econ."), "{out}");
+    }
+
+    #[test]
+    fn profile_unknown_experiment_errors() {
+        let err = execute(Command::Profile { seed: 1, json: false, only: vec!["E99".into()] })
+            .unwrap_err();
+        assert!(err.0.contains("unknown experiment"));
     }
 
     #[test]

@@ -80,6 +80,38 @@ impl Table {
     }
 }
 
+/// What one experiment run cost, as observed by the ambient observation
+/// scope (`tussle_sim::obs`). Every field is deterministic for a given
+/// seed — wall time deliberately does **not** appear here (it would poison
+/// golden reports and cross-thread byte-equality); `tussle-cli profile`
+/// reports wall time separately.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunCost {
+    /// Engine events dispatched.
+    pub events: u64,
+    /// Randomness-consuming rng calls.
+    pub rng_draws: u64,
+    /// Per-hop packet forwards in the network substrate.
+    pub forwards: u64,
+    /// Span-enter edges recorded.
+    pub spans: u64,
+    /// Structured trace entries recorded (events + span edges).
+    pub trace_entries: u64,
+    /// Hex rendering of the run's `RunDigest` — equality across two runs
+    /// is the determinism check.
+    pub digest: String,
+}
+
+impl RunCost {
+    /// Render as the one-line cost appendix under an experiment table.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "*Cost: {} events, {} rng draws, {} forwards, {} spans, {} trace entries — digest `{}`.*",
+            self.events, self.rng_draws, self.forwards, self.spans, self.trace_entries, self.digest
+        )
+    }
+}
+
 /// A full experiment report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentReport {
@@ -95,12 +127,16 @@ pub struct ExperimentReport {
     pub shape_holds: bool,
     /// One-sentence summary of what was measured.
     pub summary: String,
+    /// Cost appendix, attached by the experiment runner (experiments
+    /// construct reports with `cost: None`; the runner fills it in from
+    /// the observation scope).
+    pub cost: Option<RunCost>,
 }
 
 impl ExperimentReport {
     /// Render the whole report as markdown.
     pub fn to_markdown(&self) -> String {
-        format!(
+        let mut out = format!(
             "## {} — §{}\n\n**Paper claim.** {}\n\n**Measured.** {} **Shape holds: {}.**\n\n{}",
             self.id,
             self.section,
@@ -108,7 +144,13 @@ impl ExperimentReport {
             self.summary,
             if self.shape_holds { "yes" } else { "NO" },
             self.table.to_markdown()
-        )
+        );
+        if let Some(cost) = &self.cost {
+            out.push('\n');
+            out.push_str(&cost.to_markdown());
+            out.push('\n');
+        }
+        out
     }
 
     /// Serialize to JSON (for `EXPERIMENTS.md` regeneration and tests).
@@ -189,6 +231,10 @@ pub struct ExperimentSweep {
     pub cells: Vec<CellStats>,
     /// First failing seed with its full report, if any seed failed.
     pub first_failure: Option<FirstFailure>,
+    /// Hex digest folding every per-seed `RunDigest` in seed order —
+    /// the structural cross-thread determinism check: two sweeps of the
+    /// same experiment agree on this iff every underlying run agreed.
+    pub digest: String,
 }
 
 impl ExperimentSweep {
@@ -464,6 +510,7 @@ mod tests {
             table: table(),
             shape_holds: true,
             summary: "markup rises with switching cost".into(),
+            cost: None,
         };
         let json = r.to_json();
         let back: ExperimentReport = serde_json::from_str(&json).unwrap();
@@ -497,6 +544,7 @@ mod tests {
                     holds: 4,
                     cells: vec![CellStats::from_samples("$0", "markup", vec![0.05, 0.06]).unwrap()],
                     first_failure: None,
+                    digest: "0123456789abcdef".into(),
                 },
                 ExperimentSweep {
                     id: "E2".into(),
@@ -513,8 +561,10 @@ mod tests {
                             table: table(),
                             shape_holds: false,
                             summary: "y".into(),
+                            cost: None,
                         },
                     }),
+                    digest: "fedcba9876543210".into(),
                 },
             ],
         }
@@ -558,6 +608,7 @@ mod tests {
                 holds,
                 cells: vec![],
                 first_failure: None,
+                digest: "0000000000000000".into(),
             },
         }
     }

@@ -238,6 +238,12 @@ impl Market {
     /// Run `months` of alternating choice and pricing; returns the final
     /// month's report.
     pub fn run(&mut self, months: usize) -> MarketReport {
+        use tussle_sim::{obs, SimTime};
+        let observing = obs::active();
+        if observing {
+            let m = months.to_string();
+            obs::span_enter(SimTime::ZERO, "econ.market", Some("provider"), &[("months", &m)]);
+        }
         let mut last_switches = 0;
         for _ in 0..months {
             last_switches = self.choice_phase();
@@ -245,7 +251,12 @@ impl Market {
         }
         // settle the final assignment before reporting
         last_switches += self.choice_phase();
-        self.report(last_switches)
+        let report = self.report(last_switches);
+        if observing {
+            let sw = report.switches.to_string();
+            obs::span_exit(SimTime::ZERO, &[("switches", &sw)]);
+        }
+        report
     }
 
     /// Snapshot the current state.

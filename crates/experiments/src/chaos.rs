@@ -285,14 +285,35 @@ mod tests {
     }
 
     #[test]
-    fn output_is_identical_across_thread_counts() {
+    fn output_and_digests_are_identical_across_thread_counts() {
+        // Every (experiment, intensity) cell reduces through the sweep's
+        // `reduce_experiment`, so each carries a digest folded from its
+        // per-seed RunDigests. Compare those structurally across thread
+        // counts, and keep the whole-report byte compare as the canary.
         let mut jsons = Vec::new();
+        let mut digests = Vec::new();
         for threads in [1, 3] {
             let cfg = ChaosConfig {
                 threads: Some(threads),
                 ..quick(2, &[0.0, 0.6], &["E4", "E17", "E14"])
             };
-            jsons.push(run_chaos(&cfg).unwrap().to_json());
+            let report = run_chaos(&cfg).unwrap();
+            digests.push(
+                report
+                    .experiments
+                    .iter()
+                    .flat_map(|e| {
+                        e.intensities
+                            .iter()
+                            .map(|s| (e.id.clone(), s.intensity, s.sweep.digest.clone()))
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            jsons.push(report.to_json());
+        }
+        assert_eq!(digests[0], digests[1]);
+        for (id, intensity, d) in &digests[0] {
+            assert_eq!(d.len(), 16, "{id}@{intensity} digest is 16 hex chars, got '{d}'");
         }
         assert_eq!(jsons[0], jsons[1]);
     }

@@ -53,7 +53,13 @@ pub mod sweep;
 pub use chaos::{run_chaos, run_chaos_entries, ChaosConfig, ChaosError};
 pub use sweep::{run_sweep, SweepConfig, SweepError};
 
-use tussle_core::{ExperimentReport, Table};
+use tussle_core::{ExperimentReport, RunCost, Table};
+use tussle_sim::obs;
+use tussle_sim::RunRecord;
+
+pub mod profile;
+
+pub use profile::{trace_dump, ProfileReport};
 
 /// One registry entry: the experiment id and its runner.
 pub type ExperimentEntry = (&'static str, fn(u64) -> ExperimentReport);
@@ -81,27 +87,73 @@ pub fn registry() -> Vec<ExperimentEntry> {
     ]
 }
 
+/// The deterministic [`RunCost`] view of an observation record (wall time
+/// and per-topic attribution are deliberately left behind).
+fn cost_of(record: &RunRecord) -> RunCost {
+    RunCost {
+        events: record.events,
+        rng_draws: record.rng_draws,
+        forwards: record.forwards,
+        spans: record.spans_entered,
+        trace_entries: record.trace_entries,
+        digest: record.digest.to_hex(),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Run one experiment with panic isolation: a panicking run becomes a
 /// synthetic failing [`ExperimentReport`] (see [`panic_report`]) instead of
-/// unwinding into the caller. Returns the report plus whether it panicked.
+/// unwinding into the caller. The run executes inside a cost-mode
+/// observation scope, so the report carries its [`RunCost`] appendix
+/// (panicked runs carry none — their cost is not trustworthy). Returns the
+/// report plus whether it panicked.
 pub(crate) fn run_isolated(
     name: &str,
     run: fn(u64) -> ExperimentReport,
     seed: u64,
 ) -> (ExperimentReport, bool) {
-    match std::panic::catch_unwind(move || run(seed)) {
-        Ok(report) => (report, false),
-        Err(payload) => {
-            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_owned()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "non-string panic payload".to_owned()
-            };
-            (panic_report(name, seed, &msg), true)
+    match std::panic::catch_unwind(move || {
+        let guard = obs::begin(obs::ObsMode::Cost);
+        let report = run(seed);
+        (report, guard.finish())
+    }) {
+        Ok((mut report, record)) => {
+            report.cost = Some(cost_of(&record));
+            (report, false)
         }
+        Err(payload) => (panic_report(name, seed, &panic_message(payload)), true),
     }
+}
+
+/// Run one experiment under a Profile-mode observation scope, with panic
+/// isolation. Returns the report (with its cost appendix) and the full
+/// [`RunRecord`] — per-topic attribution, wall time and the captured trace
+/// ring — for `tussle-cli profile` / `tussle-cli trace`.
+pub fn run_profiled(
+    name: &str,
+    run: fn(u64) -> ExperimentReport,
+    seed: u64,
+) -> (ExperimentReport, RunRecord) {
+    let guard = obs::begin(obs::ObsMode::Profile);
+    let (report, panicked) = match std::panic::catch_unwind(move || run(seed)) {
+        Ok(report) => (report, false),
+        Err(payload) => (panic_report(name, seed, &panic_message(payload)), true),
+    };
+    let record = guard.finish();
+    let mut report = report;
+    if !panicked {
+        report.cost = Some(cost_of(&record));
+    }
+    (report, record)
 }
 
 /// Run one experiment, converting a panic into a structured failing report.
@@ -122,6 +174,7 @@ pub fn panic_report(id: &str, seed: u64, message: &str) -> ExperimentReport {
         table,
         shape_holds: false,
         summary: format!("PANIC (seed {seed}): {message}"),
+        cost: None,
     }
 }
 
@@ -141,26 +194,10 @@ pub fn run_all_parallel(seed: u64) -> Vec<ExperimentReport> {
 }
 
 /// Run every experiment with one seed; returns the reports in id order.
+/// Each run is observed and panic-isolated exactly like the parallel
+/// runner, so the two produce identical reports (cost appendix included).
 pub fn run_all(seed: u64) -> Vec<ExperimentReport> {
-    vec![
-        e01_lockin::run(seed),
-        e02_value_pricing::run(seed),
-        e03_broadband::run(seed),
-        e04_source_routing::run(seed),
-        e05_overlay::run(seed),
-        e06_firewalls::run(seed),
-        e07_mediation::run(seed),
-        e08_identity::run(seed),
-        e09_encryption::run(seed),
-        e10_qos::run(seed),
-        e11_dns::run(seed),
-        e12_actor_network::run(seed),
-        e13_isolation::run(seed),
-        e14_games::run(seed),
-        e15_micropayments::run(seed),
-        e16_multicast::run(seed),
-        e17_uncooperative::run(seed),
-    ]
+    registry().into_iter().map(|(name, run)| run_captured(name, run, seed)).collect()
 }
 
 #[cfg(test)]
@@ -191,5 +228,28 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x, y, "{} not deterministic", x.id);
         }
+    }
+
+    #[test]
+    fn every_report_carries_a_cost_appendix() {
+        for r in run_all(2002) {
+            let cost = r.cost.as_ref().unwrap_or_else(|| panic!("{} has no cost", r.id));
+            assert_eq!(cost.digest.len(), 16, "{}: digest '{}'", r.id, cost.digest);
+            assert!(
+                cost.digest.chars().all(|c| c.is_ascii_hexdigit()),
+                "{}: digest '{}' is not hex",
+                r.id,
+                cost.digest
+            );
+            // The appendix must render into the markdown the goldens lock.
+            assert!(r.to_markdown().contains(&cost.digest), "{}: cost line missing", r.id);
+        }
+    }
+
+    #[test]
+    fn cost_digests_are_stable_across_runs() {
+        let a: Vec<_> = run_all(9).into_iter().map(|r| (r.id.clone(), r.cost)).collect();
+        let b: Vec<_> = run_all(9).into_iter().map(|r| (r.id.clone(), r.cost)).collect();
+        assert_eq!(a, b);
     }
 }

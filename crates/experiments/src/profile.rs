@@ -1,0 +1,226 @@
+//! Self-profiling over the experiment registry.
+//!
+//! `tussle-cli profile` answers "where does a run spend its budget?": each
+//! selected experiment runs once under a Profile-mode observation scope
+//! (`tussle_sim::obs`), and the result pairs the deterministic cost
+//! appendix with the nondeterministic extras — wall time and per-topic
+//! virtual-time/wall-time attribution — that are deliberately kept out of
+//! reports, goldens and digests. `tussle-cli trace` dumps the captured
+//! structured trace stream instead, optionally filtered by topic.
+
+use crate::registry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tussle_core::RunCost;
+use tussle_sim::obs::TopicCost;
+use tussle_sim::trace::TraceEntry;
+
+/// Why a profile run could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// An id in `only` names no experiment in the registry.
+    UnknownExperiment(String),
+}
+
+impl core::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProfileError::UnknownExperiment(id) => {
+                write!(f, "unknown experiment `{id}` (the registry has E1..=E17)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// One experiment's profile: deterministic cost plus wall-clock attribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Experiment id (e.g. `"E10"`).
+    pub id: String,
+    /// The seed profiled.
+    pub seed: u64,
+    /// Whether the run's shape held (a panicked run reports `false`).
+    pub shape_holds: bool,
+    /// The deterministic cost appendix (absent if the run panicked).
+    pub cost: Option<RunCost>,
+    /// Total wall time of the run, in nanoseconds. Nondeterministic.
+    pub wall_nanos: u64,
+    /// Per-topic attribution: engine events and substrate spans, with
+    /// virtual and wall time. Topic keys are deterministic; wall values
+    /// are not.
+    pub topics: BTreeMap<String, TopicCost>,
+}
+
+impl ProfileReport {
+    /// Render as a human-readable text block.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "# {} profile (seed {}) — {} wall, shape holds: {}\n",
+            self.id,
+            self.seed,
+            fmt_nanos(self.wall_nanos),
+            if self.shape_holds { "yes" } else { "NO" },
+        );
+        if let Some(c) = &self.cost {
+            out.push_str(&format!(
+                "  {} events, {} rng draws, {} forwards, {} spans, {} trace entries — digest {}\n",
+                c.events, c.rng_draws, c.forwards, c.spans, c.trace_entries, c.digest
+            ));
+        }
+        if !self.topics.is_empty() {
+            out.push_str("  topic attribution (events, virtual time, wall time):\n");
+            // Heaviest wall-time first; ties broken by topic name so the
+            // ordering is stable when wall times collapse to equal values.
+            let mut rows: Vec<(&String, &TopicCost)> = self.topics.iter().collect();
+            rows.sort_by(|a, b| b.1.wall_nanos.cmp(&a.1.wall_nanos).then_with(|| a.0.cmp(b.0)));
+            for (topic, t) in rows {
+                out.push_str(&format!(
+                    "    {:<24} {:>8} ev  {:>10}us virtual  {:>10} wall\n",
+                    topic,
+                    t.events,
+                    t.virtual_micros,
+                    fmt_nanos(t.wall_nanos)
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    }
+}
+
+/// Select registry entries by id (in request order), or the whole registry.
+fn select(only: &[String]) -> Result<Vec<crate::ExperimentEntry>, ProfileError> {
+    let full = registry();
+    if only.is_empty() {
+        return Ok(full);
+    }
+    let mut picked = Vec::with_capacity(only.len());
+    for id in only {
+        let entry = full
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case(id))
+            .ok_or_else(|| ProfileError::UnknownExperiment(id.clone()))?;
+        picked.push(*entry);
+    }
+    Ok(picked)
+}
+
+/// Profile the selected experiments (all of them when `only` is empty) at
+/// one seed. Runs sequentially — concurrent runs would contend for the
+/// core and corrupt each other's wall-time attribution.
+pub fn collect(seed: u64, only: &[String]) -> Result<Vec<ProfileReport>, ProfileError> {
+    let selected = select(only)?;
+    Ok(selected
+        .into_iter()
+        .map(|(name, run)| {
+            let (report, record) = crate::run_profiled(name, run, seed);
+            ProfileReport {
+                id: name.to_owned(),
+                seed,
+                shape_holds: report.shape_holds,
+                cost: report.cost,
+                wall_nanos: record.wall_nanos,
+                topics: record.topics,
+            }
+        })
+        .collect())
+}
+
+/// Run the selected experiments at one seed and dump their captured
+/// structured trace streams as indented text lines, filtered to topics
+/// starting with `grep` when given. Dropped-entry counts are reported
+/// rather than silently hidden.
+pub fn trace_dump(seed: u64, only: &[String], grep: Option<&str>) -> Result<String, ProfileError> {
+    let selected = select(only)?;
+    let mut out = String::new();
+    for (name, run) in selected {
+        let (_, record) = crate::run_profiled(name, run, seed);
+        let matching: Vec<&TraceEntry> = record
+            .ring
+            .iter()
+            .filter(|e| grep.is_none_or(|prefix| e.topic.starts_with(prefix)))
+            .collect();
+        out.push_str(&format!(
+            "# {name} (seed {seed}) — {} entries{}{}\n",
+            matching.len(),
+            match grep {
+                Some(g) => format!(" matching '{g}' of {} captured", record.ring.len()),
+                None => String::new(),
+            },
+            if record.ring_dropped > 0 {
+                format!(", {} dropped by the capture ring", record.ring_dropped)
+            } else {
+                String::new()
+            }
+        ));
+        out.push('\n');
+        for e in matching {
+            out.push_str(&e.to_line());
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        let err = collect(1, &["E99".into()]).unwrap_err();
+        assert_eq!(err, ProfileError::UnknownExperiment("E99".into()));
+        assert!(err.to_string().contains("E99"));
+    }
+
+    #[test]
+    fn profile_reports_cost_and_topics() {
+        let reports = collect(2002, &["E10".into()]).unwrap();
+        assert_eq!(reports.len(), 1);
+        let p = &reports[0];
+        assert_eq!(p.id, "E10");
+        assert!(p.shape_holds);
+        let cost = p.cost.as_ref().expect("cost attached");
+        assert_eq!(cost.digest.len(), 16);
+        assert!(p.wall_nanos > 0);
+        let text = p.to_text();
+        assert!(text.contains("E10 profile (seed 2002)"), "{text}");
+        assert!(text.contains("digest"), "{text}");
+    }
+
+    #[test]
+    fn profile_cost_matches_cost_mode_digest() {
+        // Profile mode must observe the same deterministic stream as Cost
+        // mode — the extra capture cannot perturb the digest.
+        let profiled = collect(7, &["E4".into()]).unwrap();
+        let plain = crate::run_captured("E4", crate::e04_source_routing::run, 7);
+        assert_eq!(profiled[0].cost, plain.cost);
+    }
+
+    #[test]
+    fn trace_dump_filters_by_topic_prefix() {
+        let all = trace_dump(2002, &["E2".into()], None).unwrap();
+        let econ = trace_dump(2002, &["E2".into()], Some("econ.")).unwrap();
+        assert!(all.contains("# E2 (seed 2002)"));
+        let entries =
+            |dump: &str| dump.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count();
+        assert!(entries(&econ) <= entries(&all));
+        for line in econ.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+            assert!(line.contains("econ."), "non-econ line leaked: {line}");
+        }
+        let nothing = trace_dump(2002, &["E2".into()], Some("zzz.")).unwrap();
+        assert!(nothing.contains("0 entries matching"));
+    }
+}

@@ -182,6 +182,23 @@ pub(crate) fn reduce_experiment(
         })
         .collect();
 
+    // Fold every per-seed run digest, in seed order, into one experiment
+    // digest. Two sweeps agree on it iff every underlying run agreed —
+    // the structural cross-thread determinism check. A panicked run has no
+    // cost and folds as a distinct tag.
+    let mut h = tussle_sim::Fnv1a::new();
+    h.write_u64(reports.len() as u64);
+    for r in reports {
+        match &r.cost {
+            Some(c) => {
+                h.write_u8(1);
+                h.write_str(&c.digest);
+            }
+            None => h.write_u8(0),
+        }
+    }
+    let digest = tussle_sim::RunDigest(h.finish()).to_hex();
+
     ExperimentSweep {
         id: name.to_owned(),
         section: reports.first().map_or_else(String::new, |r| r.section.clone()),
@@ -189,6 +206,7 @@ pub(crate) fn reduce_experiment(
         holds,
         cells,
         first_failure,
+        digest,
     }
 }
 
@@ -241,8 +259,12 @@ mod tests {
     }
 
     #[test]
-    fn output_is_identical_across_thread_counts() {
-        let mut jsons = Vec::new();
+    fn digests_are_identical_across_thread_counts() {
+        // The structural determinism check: per-experiment digests (folded
+        // from every per-seed RunDigest) must agree regardless of how the
+        // parallel phase was scheduled. The full byte-compare canary lives
+        // in tests/experiments_all.rs.
+        let mut digests = Vec::new();
         for threads in [1, 2, 5] {
             let cfg = SweepConfig {
                 seeds: 3,
@@ -250,9 +272,19 @@ mod tests {
                 only: Some(vec!["E1".into(), "E14".into(), "E17".into()]),
                 threads: Some(threads),
             };
-            jsons.push(run_sweep(&cfg).unwrap().to_json());
+            let report = run_sweep(&cfg).unwrap();
+            digests.push(
+                report
+                    .experiments
+                    .iter()
+                    .map(|e| (e.id.clone(), e.digest.clone()))
+                    .collect::<Vec<_>>(),
+            );
         }
-        assert_eq!(jsons[0], jsons[1]);
-        assert_eq!(jsons[1], jsons[2]);
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[1], digests[2]);
+        for (id, d) in &digests[0] {
+            assert_eq!(d.len(), 16, "{id} digest is 16 hex chars, got '{d}'");
+        }
     }
 }

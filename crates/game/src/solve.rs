@@ -19,6 +19,13 @@ pub fn pure_nash(game: &Game) -> Vec<(usize, usize)> {
             }
         }
     }
+    if tussle_sim::obs::active() {
+        tussle_sim::obs::event(
+            tussle_sim::SimTime::ZERO,
+            "game.solve",
+            &format!("pure_nash {}x{} -> {} equilibria", game.rows(), game.cols(), out.len()),
+        );
+    }
     out
 }
 
@@ -47,6 +54,13 @@ pub fn mixed_2x2(game: &Game) -> Option<(f64, f64)> {
     let q = (d - b) / denom_q;
     if !(0.0..=1.0).contains(&p) || !(0.0..=1.0).contains(&q) {
         return None;
+    }
+    if tussle_sim::obs::active() {
+        tussle_sim::obs::event(
+            tussle_sim::SimTime::ZERO,
+            "game.solve",
+            &format!("mixed_2x2 p={p:.6} q={q:.6}"),
+        );
     }
     Some((p, q))
 }

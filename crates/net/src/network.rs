@@ -353,6 +353,34 @@ impl Network {
     pub fn send_at(
         &mut self,
         from: NodeId,
+        pkt: Packet,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> DeliveryReport {
+        // Fast path: no observation scope, no span bookkeeping at all.
+        if !tussle_sim::obs::active() {
+            return self.send_at_inner(from, pkt, now, rng);
+        }
+        let src = from.index().to_string();
+        let dst = pkt.dst.value.to_string();
+        tussle_sim::obs::span_enter(now, "net.send", None, &[("src", &src), ("dst", &dst)]);
+        let report = self.send_at_inner(from, pkt, now, rng);
+        let hops = report.hops().to_string();
+        let outcome = match (&report.drop, report.delivered) {
+            (_, true) => "delivered".to_owned(),
+            (Some((_, reason)), false) => format!("{reason:?}"),
+            (None, false) => "undelivered".to_owned(),
+        };
+        tussle_sim::obs::span_exit(
+            now.saturating_add(report.latency),
+            &[("hops", &hops), ("outcome", &outcome)],
+        );
+        report
+    }
+
+    fn send_at_inner(
+        &mut self,
+        from: NodeId,
         mut pkt: Packet,
         now: SimTime,
         rng: &mut SimRng,
@@ -572,6 +600,7 @@ impl Network {
             let scaled = SimTime::from_micros((delay.as_micros() as f64 * qos_factor) as u64);
             latency = latency.saturating_add(scaled);
 
+            tussle_sim::obs::on_forward();
             current = next;
             path.push(current);
         }

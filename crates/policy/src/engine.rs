@@ -86,6 +86,18 @@ impl RuleSet {
     /// propagated — a policy that cannot be evaluated must not silently
     /// default.
     pub fn decide(&self, req: &Request, ont: &Ontology) -> Result<RuleAction, EvalError> {
+        let decision = self.decide_inner(req, ont);
+        if tussle_sim::obs::active() {
+            let outcome = match &decision {
+                Ok(action) => format!("{action:?}"),
+                Err(e) => format!("error: {e:?}"),
+            };
+            tussle_sim::obs::event(tussle_sim::SimTime::ZERO, "policy.decide", &outcome);
+        }
+        decision
+    }
+
+    fn decide_inner(&self, req: &Request, ont: &Ontology) -> Result<RuleAction, EvalError> {
         for rule in &self.rules {
             if rule.condition.matches(req, ont)? {
                 return Ok(rule.action);

@@ -1,0 +1,156 @@
+//! Run digests: determinism claims as one-line equality checks.
+//!
+//! The paper's "design for choice" guidelines demand that the network can
+//! explain itself; the first thing worth explaining is *whether two runs
+//! were the same run*. A [`RunDigest`] is an FNV-1a hash over a run's
+//! structured trace and final metrics snapshot (or, for the ambient
+//! observation layer, over the run's full operation stream). Comparing two
+//! digests replaces byte-diffing rendered JSON: equal digests mean the runs
+//! recorded the same traces and the same metrics in the same order.
+
+use serde::{Deserialize, Serialize};
+
+/// Incremental FNV-1a (64-bit). Small, allocation-free, stable across
+/// platforms — the same mixing the RNG fork labels already use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub const fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb one byte (used as a domain-separation tag between fields).
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorb a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorb an `f64` via its bit pattern (NaN payloads and signed zeros
+    /// are distinguished, which is exactly what a determinism check wants).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorb a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub const fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The digest of one run. Renders as 16 hex digits; equality of two
+/// digests is the one-line determinism check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RunDigest(pub u64);
+
+impl RunDigest {
+    /// Digest of a run that recorded nothing at all.
+    pub fn empty() -> Self {
+        RunDigest(Fnv1a::new().finish())
+    }
+
+    /// Render as a fixed-width lowercase hex string.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parse the [`RunDigest::to_hex`] rendering back.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(RunDigest)
+    }
+}
+
+impl Default for RunDigest {
+    /// The digest of a run that recorded nothing ([`RunDigest::empty`]),
+    /// not the zero hash.
+    fn default() -> Self {
+        RunDigest::empty()
+    }
+}
+
+impl core::fmt::Display for RunDigest {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        let mut h = Fnv1a::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_concatenation() {
+        let mut a = Fnv1a::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn digest_hex_roundtrip() {
+        let d = RunDigest(0x0123_4567_89ab_cdef);
+        assert_eq!(d.to_hex(), "0123456789abcdef");
+        assert_eq!(RunDigest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(RunDigest::from_hex("xyz"), None);
+        assert_eq!(format!("{d}"), "0123456789abcdef");
+    }
+
+    #[test]
+    fn f64_bits_distinguish_nan_and_zero_signs() {
+        let mut a = Fnv1a::new();
+        a.write_f64(0.0);
+        let mut b = Fnv1a::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

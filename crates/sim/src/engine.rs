@@ -8,12 +8,15 @@
 //! merged into the queue after the handler returns, preserving the total
 //! `(time, sequence)` order.
 
+use crate::digest::RunDigest;
 use crate::event::{EventFn, Scheduled};
 use crate::metrics::Metrics;
+use crate::obs;
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use crate::trace::Trace;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// Context handed to every event handler.
 pub struct Ctx<'a, W> {
@@ -26,6 +29,9 @@ pub struct Ctx<'a, W> {
     pub trace: &'a mut Trace,
     pending: Vec<(SimTime, EventFn<W>)>,
     stop: bool,
+    /// First topic traced via the context during this handler — what the
+    /// profiler attributes the whole event to.
+    first_topic: Option<String>,
 }
 
 impl<'a, W> Ctx<'a, W> {
@@ -49,7 +55,41 @@ impl<'a, W> Ctx<'a, W> {
 
     /// Record a trace entry stamped with the current time.
     pub fn trace(&mut self, topic: &str, message: impl Into<String>) {
+        self.note_topic(topic);
         self.trace.record(self.now, topic, message);
+    }
+
+    /// Record a structured trace event with a stakeholder and fields.
+    pub fn trace_fields(
+        &mut self,
+        topic: &str,
+        stakeholder: Option<&str>,
+        fields: &[(&str, &str)],
+        message: impl Into<String>,
+    ) {
+        self.note_topic(topic);
+        self.trace.record_fields(self.now, topic, stakeholder, fields, message);
+    }
+
+    /// Open a span stamped with the current time. Close it with
+    /// [`Ctx::span_exit`] before the handler returns (the trace keeps its
+    /// own stack, so spans may also outlive the handler deliberately).
+    pub fn span_enter(&mut self, topic: &str, stakeholder: Option<&str>, fields: &[(&str, &str)]) {
+        self.note_topic(topic);
+        self.trace.span_enter(self.now, topic, stakeholder, fields);
+    }
+
+    /// Close the innermost open span, returning its topic.
+    pub fn span_exit(&mut self, fields: &[(&str, &str)]) -> Option<String> {
+        self.trace.span_exit(self.now, fields)
+    }
+
+    fn note_topic(&mut self, topic: &str) {
+        // Only the profiler reads this attribution; skip the allocation
+        // entirely outside Profile mode so tracing stays free when off.
+        if self.first_topic.is_none() && obs::profiling() {
+            self.first_topic = Some(topic.to_owned());
+        }
     }
 
     /// Ask the engine to stop after this handler returns.
@@ -219,6 +259,11 @@ impl<W> Engine<W> {
             return false;
         };
         debug_assert!(ev.time >= self.now, "event queue produced a past event");
+        // Virtual time attributed to this event: how far it advanced the
+        // clock. Wall-clock reads are gated on Profile mode so the common
+        // Off/Cost paths never touch `Instant`.
+        let virtual_micros = ev.time.as_micros().saturating_sub(self.now.as_micros());
+        let started = if obs::profiling() { Some(Instant::now()) } else { None };
         self.now = ev.time;
         let mut ctx = Ctx {
             now: self.now,
@@ -227,9 +272,15 @@ impl<W> Engine<W> {
             trace: &mut self.trace,
             pending: Vec::new(),
             stop: false,
+            first_topic: None,
         };
         (ev.f)(&mut self.world, &mut ctx);
-        let Ctx { pending, stop, .. } = ctx;
+        let Ctx { pending, stop, first_topic, .. } = ctx;
+        obs::on_event();
+        if let Some(start) = started {
+            let topic = first_topic.as_deref().unwrap_or("engine.untraced");
+            obs::on_handler(topic, virtual_micros, start.elapsed().as_nanos() as u64);
+        }
         for (at, f) in pending {
             let seq = self.seq;
             self.seq += 1;
@@ -310,6 +361,13 @@ impl<W> Engine<W> {
     /// Whether a handler has requested a stop.
     pub fn is_stopped(&self) -> bool {
         self.stopped
+    }
+
+    /// Digest of this run so far: the retained structured trace plus the
+    /// current metrics snapshot. The one-line determinism check for code
+    /// that owns the engine.
+    pub fn digest(&self) -> RunDigest {
+        RunDigest::of_run(&self.trace, &self.metrics)
     }
 
     /// Consume the engine, returning the world and the metrics.
@@ -536,6 +594,69 @@ mod tests {
             run(RunBudget::new(1000, SimTime::from_millis(7))),
             run(RunBudget::new(1000, SimTime::from_millis(7)))
         );
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_sensitive() {
+        fn run(seed: u64) -> RunDigest {
+            let mut eng = Engine::new(World::default(), seed);
+            eng.schedule_at(SimTime::from_millis(1), |_, ctx| {
+                let roll = ctx.rng.range(0..100u32);
+                ctx.trace("test.roll", format!("rolled {roll}"));
+                ctx.metrics.incr("rolls");
+                ctx.metrics.observe("value", roll as f64);
+            });
+            eng.run_to_completion();
+            eng.digest()
+        }
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn obs_scope_counts_engine_events() {
+        let g = crate::obs::begin(crate::obs::ObsMode::Cost);
+        let mut eng = Engine::new(World::default(), 1);
+        for i in 0..4 {
+            eng.schedule_at(SimTime::from_millis(i), |w: &mut World, _| w.log.push(0));
+        }
+        eng.run_to_completion();
+        let rec = g.finish();
+        assert_eq!(rec.events, 4);
+    }
+
+    #[test]
+    fn profile_mode_attributes_events_to_first_topic() {
+        let g = crate::obs::begin(crate::obs::ObsMode::Profile);
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(2), |_, ctx| {
+            ctx.trace("alpha.work", "first");
+            ctx.trace("beta.other", "second topic does not win");
+        });
+        eng.schedule_at(SimTime::from_millis(5), |_, ctx| ctx.trace("alpha.work", "again"));
+        eng.schedule_at(SimTime::from_millis(9), |_, _| {});
+        eng.run_to_completion();
+        let rec = g.finish();
+        let alpha = &rec.topics["alpha.work"];
+        assert_eq!(alpha.events, 2);
+        assert_eq!(alpha.virtual_micros, 2_000 + 3_000, "clock advances attributed");
+        assert_eq!(rec.topics["engine.untraced"].events, 1);
+        assert!(!rec.topics.contains_key("beta.other"));
+    }
+
+    #[test]
+    fn ctx_spans_nest_in_engine_trace() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(1), |_, ctx| {
+            ctx.span_enter("net.send", Some("user"), &[("dst", "h9")]);
+            ctx.trace("net.hop", "r1");
+            assert_eq!(ctx.span_exit(&[("hops", "1")]).as_deref(), Some("net.send"));
+        });
+        eng.run_to_completion();
+        assert_eq!(eng.trace().open_spans(), 0);
+        assert_eq!(eng.trace().len(), 3);
+        let entries: Vec<_> = eng.trace().entries().collect();
+        assert_eq!(entries[1].depth, 1);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   that the chaos campaign wraps around whole experiment runs.
 //! * [`RunBudget`] — an engine watchdog: runaway runs end with a
 //!   structured [`RunOutcome`] instead of hanging.
+//! * [`RunDigest`] — an FNV-1a hash of a run's structured trace and final
+//!   metrics; determinism claims become one-line equality checks.
+//! * [`obs`] — an ambient per-run observation scope: cost counters
+//!   (events, rng draws, forwards), a rolling digest, and Profile-mode
+//!   per-topic time attribution, all zero-cost when disabled.
 //!
 //! No async runtime is used: the workload is CPU-bound simulation, and the
 //! engine is single-threaded by design (parallelism, where used, is across
@@ -44,20 +49,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod metrics;
+pub mod obs;
 pub mod plan;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use digest::{Fnv1a, RunDigest};
 pub use engine::{Ctx, Engine, RunBudget, RunOutcome, RunReport};
 pub use event::EventFn;
 pub use fault::{FaultInjector, FaultOutcome, FaultStats};
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot};
+pub use obs::{ObsGuard, ObsMode, RunRecord, TopicCost};
 pub use plan::{FaultAction, FaultEvent, FaultPlan};
 pub use rng::SimRng;
 pub use time::SimTime;
-pub use trace::{Trace, TraceEntry};
+pub use trace::{SpanKind, Trace, TraceEntry};

@@ -5,7 +5,9 @@
 //! them. Keys are plain strings; the sink is owned by the engine context so
 //! event handlers can record without extra plumbing.
 
+use crate::digest::Fnv1a;
 use crate::fault::{FaultOutcome, FaultStats};
+use crate::obs;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -132,6 +134,126 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Summarize into the fixed set of export statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean().unwrap_or(0.0),
+            min: self.min().unwrap_or(0.0),
+            p50: self.quantile(0.5).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Exported view of one histogram: the quantiles every report wants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Median estimate (log-bucket upper bound).
+    pub p50: f64,
+    /// 95th-percentile estimate (log-bucket upper bound).
+    pub p95: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+/// A point-in-time export of a [`Metrics`] sink: every counter, gauge and
+/// histogram summary, rendered to markdown or JSON and hashable into a
+/// [`crate::RunDigest`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters in key order.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges in key order.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries in key order.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Absorb the whole snapshot into a hasher. Key order is the BTreeMap
+    /// order, so equal snapshots absorb identically.
+    pub fn absorb_into(&self, h: &mut Fnv1a) {
+        h.write_u8(0xB1);
+        h.write_u64(self.counters.len() as u64);
+        for (k, v) in &self.counters {
+            h.write_str(k);
+            h.write_u64(*v);
+        }
+        h.write_u8(0xB2);
+        h.write_u64(self.gauges.len() as u64);
+        for (k, v) in &self.gauges {
+            h.write_str(k);
+            h.write_f64(*v);
+        }
+        h.write_u8(0xB3);
+        h.write_u64(self.histograms.len() as u64);
+        for (k, s) in &self.histograms {
+            h.write_str(k);
+            h.write_u64(s.count);
+            h.write_f64(s.sum);
+            h.write_f64(s.min);
+            h.write_f64(s.p50);
+            h.write_f64(s.p95);
+            h.write_f64(s.max);
+        }
+    }
+
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render as markdown tables (one per non-empty section).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("| counter | value |\n|---|---:|\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("| {k} | {v} |\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str("| gauge | value |\n|---|---:|\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("| {k} | {v:.4} |\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(
+                "| histogram | count | mean | p50 | p95 | max |\n|---|---:|---:|---:|---:|---:|\n",
+            );
+            for (k, s) in &self.histograms {
+                out.push_str(&format!(
+                    "| {k} | {} | {:.4} | {:.4} | {:.4} | {:.4} |\n",
+                    s.count, s.mean, s.p50, s.p95, s.max
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON object string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
 }
 
 /// A named-metric sink: counters, gauges, histograms.
@@ -150,6 +272,7 @@ impl Metrics {
 
     /// Increment a counter by `n`.
     pub fn add(&mut self, key: &str, n: u64) {
+        obs::on_metric_counter(key, n);
         *self.counters.entry(key.to_owned()).or_insert(0) += n;
     }
 
@@ -165,6 +288,7 @@ impl Metrics {
 
     /// Set a gauge value.
     pub fn set_gauge(&mut self, key: &str, value: f64) {
+        obs::on_metric_gauge(key, value);
         self.gauges.insert(key.to_owned(), value);
     }
 
@@ -199,7 +323,17 @@ impl Metrics {
 
     /// Record a histogram sample.
     pub fn observe(&mut self, key: &str, value: f64) {
+        obs::on_metric_observe(key, value);
         self.histograms.entry(key.to_owned()).or_default().record(value);
+    }
+
+    /// Export every counter, gauge and histogram summary.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.iter().map(|(k, h)| (k.clone(), h.summary())).collect(),
+        }
     }
 
     /// Access a histogram, if any samples were recorded.
@@ -347,5 +481,55 @@ mod tests {
         h.record(f64::MAX / 2.0);
         assert_eq!(h.count(), 1);
         assert!(h.quantile(1.0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_exports_all_sections() {
+        let mut m = Metrics::new();
+        m.add("pkts", 7);
+        m.set_gauge("price", 2.5);
+        for v in [1.0, 2.0, 100.0] {
+            m.observe("latency", v);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["pkts"], 7);
+        assert_eq!(snap.gauges["price"], 2.5);
+        let h = &snap.histograms["latency"];
+        assert_eq!(h.count, 3);
+        assert!(h.p50 <= h.p95 && h.p95 <= h.max, "{h:?}");
+
+        let md = snap.to_markdown();
+        assert!(md.contains("| pkts | 7 |"), "{md}");
+        assert!(md.contains("| price | 2.5000 |"), "{md}");
+        assert!(md.contains("| latency | 3 |"), "{md}");
+
+        let json = snap.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_digest_detects_change() {
+        use crate::digest::Fnv1a;
+        let mut a = Metrics::new();
+        a.add("x", 1);
+        let mut b = Metrics::new();
+        b.add("x", 2);
+        let mut ha = Fnv1a::new();
+        a.snapshot().absorb_into(&mut ha);
+        let mut hb = Fnv1a::new();
+        b.snapshot().absorb_into(&mut hb);
+        assert_ne!(ha.finish(), hb.finish());
+
+        let mut hc = Fnv1a::new();
+        a.snapshot().absorb_into(&mut hc);
+        assert_eq!(ha.finish(), hc.finish());
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snap = Metrics::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.to_markdown(), "");
     }
 }

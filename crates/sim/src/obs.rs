@@ -1,0 +1,518 @@
+//! Ambient per-run observation: cost counters, rolling digests, profiling.
+//!
+//! Experiments construct their engines internally, so callers that want to
+//! know what a run *cost* (events processed, rng draws, per-hop forwards)
+//! or what it *did* (the structured trace stream) cannot reach inside. This
+//! module provides a thread-local observation scope: wrap a run in
+//! [`begin`], and every instrumented operation on the same thread — trace
+//! records, metric writes, rng draws, per-hop forwards, engine events — is
+//! counted and folded into a rolling [`RunDigest`]. [`ObsGuard::finish`]
+//! returns the [`RunRecord`].
+//!
+//! Three modes, mirroring the zero-cost-when-disabled contract:
+//!
+//! * **Off** — every hook is a single thread-local byte load and a branch.
+//! * **Cost** — counters + rolling digest. No wall clocks, no allocation
+//!   per hook beyond hashing; what sweeps and chaos campaigns use.
+//! * **Profile** — additionally captures a bounded ring of trace entries
+//!   and per-topic virtual-time/wall-time attribution for
+//!   `tussle-cli profile` / `tussle-cli trace`.
+//!
+//! Wall-clock fields are **never** folded into the digest — they are
+//! nondeterministic by nature and the digest is the determinism check.
+
+use crate::digest::{Fnv1a, RunDigest};
+use crate::time::SimTime;
+use crate::trace::{SpanKind, TraceEntry};
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+/// How much the ambient scope observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObsMode {
+    /// No scope active; hooks are a byte-load and a branch.
+    Off,
+    /// Count operations and fold them into a rolling digest.
+    Cost,
+    /// `Cost` plus trace-entry capture and per-topic time attribution.
+    Profile,
+}
+
+const MODE_OFF: u8 = 0;
+const MODE_COST: u8 = 1;
+const MODE_PROFILE: u8 = 2;
+
+/// How many trace entries the Profile-mode ring retains.
+const PROFILE_RING_CAPACITY: usize = 65_536;
+
+/// Per-topic cost attribution (Profile mode only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopicCost {
+    /// Engine events (or substrate spans) attributed to this topic.
+    pub events: u64,
+    /// Virtual time attributed to this topic, in microseconds.
+    pub virtual_micros: u64,
+    /// Wall time attributed to this topic, in nanoseconds. Nondeterministic;
+    /// excluded from digests and from serialized campaign output.
+    pub wall_nanos: u64,
+}
+
+/// Everything one observation scope saw.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Engine events dispatched.
+    pub events: u64,
+    /// Randomness-consuming rng calls.
+    pub rng_draws: u64,
+    /// Per-hop packet forwards in `tussle-net`.
+    pub forwards: u64,
+    /// Span-enter edges recorded.
+    pub spans_entered: u64,
+    /// Span-exit edges recorded.
+    pub spans_exited: u64,
+    /// Total structured trace entries recorded (events + span edges).
+    pub trace_entries: u64,
+    /// Rolling digest over the trace stream, metric writes and the folded
+    /// counters above. Equal digests ⇒ the runs did the same work.
+    pub digest: RunDigest,
+    /// Total wall time of the scope, in nanoseconds. Nondeterministic;
+    /// never part of `digest`.
+    pub wall_nanos: u64,
+    /// Per-topic attribution (empty unless the scope ran in Profile mode).
+    pub topics: BTreeMap<String, TopicCost>,
+    /// Captured trace entries, oldest first (Profile mode only; bounded).
+    pub ring: Vec<TraceEntry>,
+    /// Entries evicted from the Profile ring due to capacity.
+    pub ring_dropped: u64,
+}
+
+struct ObsState {
+    mode: ObsMode,
+    events: u64,
+    rng_draws: u64,
+    forwards: u64,
+    spans_entered: u64,
+    spans_exited: u64,
+    trace_entries: u64,
+    hasher: Fnv1a,
+    started: Instant,
+    topics: BTreeMap<String, TopicCost>,
+    ring: VecDeque<TraceEntry>,
+    ring_dropped: u64,
+    /// Open ambient spans: (topic, enter virtual micros, enter instant).
+    open: Vec<(String, u64, Instant)>,
+}
+
+impl ObsState {
+    fn new(mode: ObsMode) -> Self {
+        ObsState {
+            mode,
+            events: 0,
+            rng_draws: 0,
+            forwards: 0,
+            spans_entered: 0,
+            spans_exited: 0,
+            trace_entries: 0,
+            hasher: Fnv1a::new(),
+            started: Instant::now(),
+            topics: BTreeMap::new(),
+            ring: VecDeque::new(),
+            ring_dropped: 0,
+            open: Vec::new(),
+        }
+    }
+
+    fn into_record(mut self) -> RunRecord {
+        // Fold the counters into the digest so "same trace, different
+        // amount of untraced work" still distinguishes runs. Wall times
+        // stay out: they are nondeterministic.
+        self.hasher.write_u8(0xC0);
+        self.hasher.write_u64(self.events);
+        self.hasher.write_u64(self.rng_draws);
+        self.hasher.write_u64(self.forwards);
+        self.hasher.write_u64(self.spans_entered);
+        self.hasher.write_u64(self.spans_exited);
+        self.hasher.write_u64(self.trace_entries);
+        RunRecord {
+            events: self.events,
+            rng_draws: self.rng_draws,
+            forwards: self.forwards,
+            spans_entered: self.spans_entered,
+            spans_exited: self.spans_exited,
+            trace_entries: self.trace_entries,
+            digest: RunDigest(self.hasher.finish()),
+            wall_nanos: self.started.elapsed().as_nanos() as u64,
+            topics: self.topics,
+            ring: self.ring.into_iter().collect(),
+            ring_dropped: self.ring_dropped,
+        }
+    }
+
+    fn absorb(&mut self, entry: &TraceEntry) {
+        entry.absorb_into(&mut self.hasher);
+        self.trace_entries += 1;
+        match entry.kind {
+            SpanKind::Enter => self.spans_entered += 1,
+            SpanKind::Exit => self.spans_exited += 1,
+            SpanKind::Event => {}
+        }
+        if self.mode == ObsMode::Profile {
+            if self.ring.len() == PROFILE_RING_CAPACITY {
+                self.ring.pop_front();
+                self.ring_dropped += 1;
+            }
+            self.ring.push_back(entry.clone());
+        }
+    }
+}
+
+thread_local! {
+    static MODE: Cell<u8> = const { Cell::new(MODE_OFF) };
+    static STATE: RefCell<Option<ObsState>> = const { RefCell::new(None) };
+}
+
+fn mode_byte(mode: ObsMode) -> u8 {
+    match mode {
+        ObsMode::Off => MODE_OFF,
+        ObsMode::Cost => MODE_COST,
+        ObsMode::Profile => MODE_PROFILE,
+    }
+}
+
+/// RAII scope for one observed run. Restores the previously active scope
+/// (if any) on drop, including across panics, so nested scopes and
+/// panic-isolated workers compose.
+#[must_use = "dropping the guard immediately ends the observation scope"]
+pub struct ObsGuard {
+    prev: Option<ObsState>,
+}
+
+impl ObsGuard {
+    /// End the scope and return everything it observed.
+    pub fn finish(self) -> RunRecord {
+        let record =
+            STATE.with(|s| s.borrow_mut().take()).map(ObsState::into_record).unwrap_or_default();
+        // `self` is dropped here, restoring the previous scope.
+        record
+    }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        MODE.with(|m| m.set(prev.as_ref().map_or(MODE_OFF, |s| mode_byte(s.mode))));
+        STATE.with(|s| *s.borrow_mut() = prev);
+    }
+}
+
+/// Open an observation scope on this thread. All instrumented operations
+/// until the guard is finished (or dropped) are attributed to it.
+pub fn begin(mode: ObsMode) -> ObsGuard {
+    let prev = STATE.with(|s| s.borrow_mut().replace(ObsState::new(mode)));
+    MODE.with(|m| m.set(mode_byte(mode)));
+    ObsGuard { prev }
+}
+
+/// Whether any observation scope is active on this thread.
+#[inline]
+pub fn active() -> bool {
+    MODE.with(|m| m.get()) != MODE_OFF
+}
+
+/// Whether a Profile-mode scope is active (callers use this to gate
+/// wall-clock reads, which are not free).
+#[inline]
+pub fn profiling() -> bool {
+    MODE.with(|m| m.get()) == MODE_PROFILE
+}
+
+#[inline]
+fn with_state(f: impl FnOnce(&mut ObsState)) {
+    if MODE.with(|m| m.get()) == MODE_OFF {
+        return;
+    }
+    STATE.with(|s| {
+        if let Some(st) = s.borrow_mut().as_mut() {
+            f(st);
+        }
+    });
+}
+
+/// One engine event was dispatched.
+#[inline]
+pub fn on_event() {
+    with_state(|s| s.events += 1);
+}
+
+/// One randomness-consuming rng call completed.
+#[inline]
+pub fn on_rng_draw() {
+    with_state(|s| s.rng_draws += 1);
+}
+
+/// One packet hop was forwarded.
+#[inline]
+pub fn on_forward() {
+    with_state(|s| s.forwards += 1);
+}
+
+/// Absorb a structured trace entry (called by [`crate::Trace`] on every
+/// record, and by the ambient span helpers below).
+#[inline]
+pub fn absorb_entry(entry: &TraceEntry) {
+    with_state(|s| s.absorb(entry));
+}
+
+/// A counter was incremented.
+#[inline]
+pub fn on_metric_counter(key: &str, n: u64) {
+    with_state(|s| {
+        s.hasher.write_u8(0xA1);
+        s.hasher.write_str(key);
+        s.hasher.write_u64(n);
+    });
+}
+
+/// A gauge was set.
+#[inline]
+pub fn on_metric_gauge(key: &str, value: f64) {
+    with_state(|s| {
+        s.hasher.write_u8(0xA2);
+        s.hasher.write_str(key);
+        s.hasher.write_f64(value);
+    });
+}
+
+/// A histogram sample was observed.
+#[inline]
+pub fn on_metric_observe(key: &str, value: f64) {
+    with_state(|s| {
+        s.hasher.write_u8(0xA3);
+        s.hasher.write_str(key);
+        s.hasher.write_f64(value);
+    });
+}
+
+/// Attribute one dispatched engine event to `topic` (Profile mode; the
+/// engine gates the wall-clock measurement on [`profiling`]).
+#[inline]
+pub fn on_handler(topic: &str, virtual_micros: u64, wall_nanos: u64) {
+    with_state(|s| {
+        if s.mode != ObsMode::Profile {
+            return;
+        }
+        let t = s.topics.entry(topic.to_owned()).or_default();
+        t.events += 1;
+        t.virtual_micros += virtual_micros;
+        t.wall_nanos += wall_nanos;
+    });
+}
+
+/// Open an ambient span — for substrates (markets, policy engines, game
+/// solvers) that run outside any engine-owned [`crate::Trace`]. The entry
+/// is absorbed into the digest; in Profile mode the span also contributes
+/// per-topic attribution when closed.
+pub fn span_enter(time: SimTime, topic: &str, stakeholder: Option<&str>, fields: &[(&str, &str)]) {
+    with_state(|s| {
+        let entry = TraceEntry {
+            time,
+            topic: topic.to_owned(),
+            message: String::new(),
+            kind: SpanKind::Enter,
+            stakeholder: stakeholder.map(str::to_owned),
+            fields: fields.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
+            depth: s.open.len() as u32,
+        };
+        s.absorb(&entry);
+        s.open.push((topic.to_owned(), time.as_micros(), Instant::now()));
+    });
+}
+
+/// Close the innermost ambient span. A call with no open span is a no-op,
+/// so exits can never outnumber enters.
+pub fn span_exit(time: SimTime, fields: &[(&str, &str)]) {
+    with_state(|s| {
+        let Some((topic, entered_micros, entered_at)) = s.open.pop() else {
+            return;
+        };
+        let entry = TraceEntry {
+            time,
+            topic: topic.clone(),
+            message: String::new(),
+            kind: SpanKind::Exit,
+            stakeholder: None,
+            fields: fields.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
+            depth: s.open.len() as u32,
+        };
+        s.absorb(&entry);
+        if s.mode == ObsMode::Profile {
+            let t = s.topics.entry(topic).or_default();
+            t.events += 1;
+            t.virtual_micros += time.as_micros().saturating_sub(entered_micros);
+            t.wall_nanos += entered_at.elapsed().as_nanos() as u64;
+        }
+    });
+}
+
+/// Record an ambient point event (digest-covered; captured in Profile mode).
+pub fn event(time: SimTime, topic: &str, message: &str) {
+    with_state(|s| {
+        let entry = TraceEntry {
+            time,
+            topic: topic.to_owned(),
+            message: message.to_owned(),
+            kind: SpanKind::Event,
+            stakeholder: None,
+            fields: Vec::new(),
+            depth: s.open.len() as u32,
+        };
+        s.absorb(&entry);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_by_default() {
+        assert!(!active());
+        assert!(!profiling());
+        // Hooks are no-ops without a scope.
+        on_event();
+        on_rng_draw();
+        event(SimTime::ZERO, "x", "ignored");
+    }
+
+    #[test]
+    fn cost_scope_counts_and_digests() {
+        let g = begin(ObsMode::Cost);
+        assert!(active());
+        assert!(!profiling());
+        on_event();
+        on_event();
+        on_rng_draw();
+        on_forward();
+        event(SimTime::from_micros(3), "econ.price", "posted");
+        let rec = g.finish();
+        assert!(!active());
+        assert_eq!(rec.events, 2);
+        assert_eq!(rec.rng_draws, 1);
+        assert_eq!(rec.forwards, 1);
+        assert_eq!(rec.trace_entries, 1);
+        assert_ne!(rec.digest, RunDigest::empty());
+        assert!(rec.ring.is_empty(), "Cost mode captures no entries");
+    }
+
+    #[test]
+    fn identical_work_yields_identical_digest() {
+        let run = || {
+            let g = begin(ObsMode::Cost);
+            on_event();
+            on_metric_counter("pkts", 3);
+            on_metric_gauge("price", 1.5);
+            span_enter(SimTime::ZERO, "net.send", Some("isp"), &[("dst", "h2")]);
+            span_exit(SimTime::from_micros(10), &[]);
+            g.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.digest, b.digest);
+
+        let g = begin(ObsMode::Cost);
+        on_event();
+        on_metric_counter("pkts", 4); // one byte of difference
+        on_metric_gauge("price", 1.5);
+        span_enter(SimTime::ZERO, "net.send", Some("isp"), &[("dst", "h2")]);
+        span_exit(SimTime::from_micros(10), &[]);
+        let c = g.finish();
+        assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn digest_covers_untraced_counters() {
+        let g = begin(ObsMode::Cost);
+        on_rng_draw();
+        let a = g.finish();
+        let g = begin(ObsMode::Cost);
+        on_rng_draw();
+        on_rng_draw();
+        let b = g.finish();
+        assert_ne!(a.digest, b.digest, "draw counts fold into the digest");
+    }
+
+    #[test]
+    fn profile_scope_captures_ring_and_topics() {
+        let g = begin(ObsMode::Profile);
+        assert!(profiling());
+        span_enter(SimTime::from_micros(100), "econ.market", Some("provider"), &[]);
+        event(SimTime::from_micros(150), "econ.price", "posted");
+        span_exit(SimTime::from_micros(400), &[("rounds", "3")]);
+        on_handler("net.forward", 25, 1_000);
+        on_handler("net.forward", 5, 500);
+        let rec = g.finish();
+        assert_eq!(rec.ring.len(), 3);
+        assert_eq!(rec.spans_entered, 1);
+        assert_eq!(rec.spans_exited, 1);
+        let market = &rec.topics["econ.market"];
+        assert_eq!(market.events, 1);
+        assert_eq!(market.virtual_micros, 300);
+        let fwd = &rec.topics["net.forward"];
+        assert_eq!((fwd.events, fwd.virtual_micros, fwd.wall_nanos), (2, 30, 1_500));
+    }
+
+    #[test]
+    fn nested_scopes_restore_outer() {
+        let outer = begin(ObsMode::Cost);
+        on_event();
+        {
+            let inner = begin(ObsMode::Profile);
+            assert!(profiling());
+            on_event();
+            on_event();
+            let rec = inner.finish();
+            assert_eq!(rec.events, 2, "inner scope sees only its own work");
+        }
+        assert!(active());
+        assert!(!profiling(), "outer Cost scope restored");
+        on_event();
+        let rec = outer.finish();
+        assert_eq!(rec.events, 2, "outer scope never saw the inner events");
+    }
+
+    #[test]
+    fn guard_restores_across_panic() {
+        let result = std::panic::catch_unwind(|| {
+            let _g = begin(ObsMode::Cost);
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert!(!active(), "scope cleaned up during unwind");
+    }
+
+    #[test]
+    fn unmatched_ambient_exit_is_noop() {
+        let g = begin(ObsMode::Cost);
+        span_exit(SimTime::ZERO, &[]);
+        let rec = g.finish();
+        assert_eq!(rec.spans_exited, 0);
+        assert_eq!(rec.trace_entries, 0);
+    }
+
+    #[test]
+    fn wall_time_not_in_digest() {
+        // Two runs with deliberately different wall times but identical
+        // work must agree on the digest.
+        let g = begin(ObsMode::Cost);
+        on_event();
+        let a = g.finish();
+        let g = begin(ObsMode::Cost);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        on_event();
+        let b = g.finish();
+        assert_eq!(a.digest, b.digest);
+        assert!(b.wall_nanos >= 2_000_000);
+    }
+}

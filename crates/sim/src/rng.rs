@@ -7,6 +7,7 @@
 //! generator, ...) draw from decorrelated streams without sharing a mutable
 //! handle.
 
+use crate::obs;
 use rand::distributions::uniform::{SampleRange, SampleUniform};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -41,11 +42,13 @@ impl SimRng {
 
     /// Uniform sample from a range.
     pub fn range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        obs::on_rng_draw();
         self.inner.gen_range(range)
     }
 
     /// A uniform probability draw in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
+        obs::on_rng_draw();
         self.inner.gen::<f64>()
     }
 
@@ -99,12 +102,15 @@ impl SimRng {
 
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
+        obs::on_rng_draw();
         self.inner.next_u32()
     }
     fn next_u64(&mut self) -> u64 {
+        obs::on_rng_draw();
         self.inner.next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
+        obs::on_rng_draw();
         self.inner.fill_bytes(dest)
     }
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
@@ -177,6 +183,19 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((9.9..10.1).contains(&mean), "mean={mean}");
         assert!((3.6..4.4).contains(&var), "var={var}");
+    }
+
+    #[test]
+    fn draws_are_counted_under_obs_scope() {
+        let g = crate::obs::begin(crate::obs::ObsMode::Cost);
+        let mut r = SimRng::seed_from_u64(5);
+        r.unit();
+        r.range(0..10);
+        assert!(!r.chance(0.0), "degenerate chance draws nothing");
+        assert!(r.chance(1.0), "degenerate chance draws nothing");
+        r.chance(0.5);
+        let rec = g.finish();
+        assert_eq!(rec.rng_draws, 3);
     }
 
     #[test]

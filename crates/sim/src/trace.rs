@@ -1,32 +1,116 @@
-//! Bounded in-memory trace log.
+//! Bounded in-memory structured trace.
 //!
 //! The paper's "design what happens when transparency fails" principle
 //! demands that the substrate can always explain what it did. The trace is
-//! a bounded ring of `(time, topic, message)` entries that scenario code and
-//! diagnostics (traceroute-style blame reports) read back.
+//! a bounded ring of structured entries — plain events plus nested
+//! `span_enter`/`span_exit` pairs carrying a topic, an optional stakeholder
+//! and key/value fields — that scenario code, diagnostics (traceroute-style
+//! blame reports) and the `tussle-cli trace` command read back.
+//!
+//! Every entry recorded here is also mirrored into the ambient observation
+//! layer ([`crate::obs`]) when a run scope is active, so per-run digests
+//! cover the trace stream even when the ring later evicts entries.
 
+use crate::digest::{Fnv1a, RunDigest};
+use crate::obs;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
-/// One trace record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// What kind of record a trace entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// A point event (the pre-span `record` shape).
+    Event,
+    /// The opening edge of a span.
+    Enter,
+    /// The closing edge of a span.
+    Exit,
+}
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceEntry {
     /// Virtual time at which the entry was recorded.
     pub time: SimTime,
-    /// Subsystem topic, e.g. `"net.forward"` or `"econ.churn"`.
+    /// Subsystem topic, e.g. `"net.forward"` or `"econ.market"`.
     pub topic: String,
-    /// Human-readable message.
+    /// Human-readable message (empty for pure span edges).
     pub message: String,
+    /// Event, span-enter or span-exit.
+    pub kind: SpanKind,
+    /// The tussle party this record is attributed to, if any.
+    pub stakeholder: Option<String>,
+    /// Structured key/value payload.
+    pub fields: Vec<(String, String)>,
+    /// Span nesting depth at which the entry was recorded (0 = top level;
+    /// an `Enter` records the depth of the span it opens).
+    pub depth: u32,
 }
 
-/// A bounded ring buffer of trace entries.
+impl TraceEntry {
+    /// Absorb this entry into a hasher (the per-entry digest contribution).
+    pub fn absorb_into(&self, h: &mut Fnv1a) {
+        h.write_u8(match self.kind {
+            SpanKind::Event => 0,
+            SpanKind::Enter => 1,
+            SpanKind::Exit => 2,
+        });
+        h.write_u64(self.time.as_micros());
+        h.write_str(&self.topic);
+        h.write_str(&self.message);
+        match &self.stakeholder {
+            None => h.write_u8(0),
+            Some(s) => {
+                h.write_u8(1);
+                h.write_str(s);
+            }
+        }
+        h.write_u64(self.fields.len() as u64);
+        for (k, v) in &self.fields {
+            h.write_str(k);
+            h.write_str(v);
+        }
+        h.write_u64(self.depth as u64);
+    }
+
+    /// Render as a single line: `time topic [stakeholder] message {k=v ...}`.
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        let indent = "  ".repeat(self.depth as usize);
+        let edge = match self.kind {
+            SpanKind::Event => "·",
+            SpanKind::Enter => ">",
+            SpanKind::Exit => "<",
+        };
+        out.push_str(&format!(
+            "{:>10} {indent}{edge} {}",
+            format!("{}us", self.time.as_micros()),
+            self.topic
+        ));
+        if let Some(s) = &self.stakeholder {
+            out.push_str(&format!(" [{s}]"));
+        }
+        if !self.message.is_empty() {
+            out.push_str(&format!(" {}", self.message));
+        }
+        if !self.fields.is_empty() {
+            let kv: Vec<String> = self.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!(" {{{}}}", kv.join(" ")));
+        }
+        out
+    }
+}
+
+/// A bounded ring buffer of structured trace entries with a span stack.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Trace {
     entries: VecDeque<TraceEntry>,
     capacity: usize,
     enabled: bool,
     dropped: u64,
+    /// Topics of currently open spans, innermost last.
+    open: Vec<String>,
 }
 
 impl Default for Trace {
@@ -43,10 +127,11 @@ impl Trace {
             capacity: capacity.max(1),
             enabled: true,
             dropped: 0,
+            open: Vec::new(),
         }
     }
 
-    /// Disable recording (records are silently discarded).
+    /// Disable recording (records and span edges are silently discarded).
     pub fn disable(&mut self) {
         self.enabled = false;
     }
@@ -56,20 +141,106 @@ impl Trace {
         self.enabled = true;
     }
 
-    /// Record an entry; evicts the oldest when full.
-    pub fn record(&mut self, time: SimTime, topic: &str, message: impl Into<String>) {
-        if !self.enabled {
-            return;
-        }
+    fn push(&mut self, entry: TraceEntry) {
+        obs::absorb_entry(&entry);
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
             self.dropped += 1;
         }
-        self.entries.push_back(TraceEntry {
+        self.entries.push_back(entry);
+    }
+
+    /// Record a point event; evicts the oldest entry when full.
+    pub fn record(&mut self, time: SimTime, topic: &str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        let depth = self.open.len() as u32;
+        self.push(TraceEntry {
             time,
             topic: topic.to_owned(),
             message: message.into(),
+            kind: SpanKind::Event,
+            stakeholder: None,
+            fields: Vec::new(),
+            depth,
         });
+    }
+
+    /// Record a point event with a stakeholder and key/value fields.
+    pub fn record_fields(
+        &mut self,
+        time: SimTime,
+        topic: &str,
+        stakeholder: Option<&str>,
+        fields: &[(&str, &str)],
+        message: impl Into<String>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let depth = self.open.len() as u32;
+        self.push(TraceEntry {
+            time,
+            topic: topic.to_owned(),
+            message: message.into(),
+            kind: SpanKind::Event,
+            stakeholder: stakeholder.map(str::to_owned),
+            fields: fields.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
+            depth,
+        });
+    }
+
+    /// Open a span: records an `Enter` edge and pushes `topic` onto the
+    /// span stack. Every `Enter` must be closed by [`Trace::span_exit`];
+    /// the stack discipline makes emitted traces balanced by construction.
+    pub fn span_enter(
+        &mut self,
+        time: SimTime,
+        topic: &str,
+        stakeholder: Option<&str>,
+        fields: &[(&str, &str)],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let depth = self.open.len() as u32;
+        self.push(TraceEntry {
+            time,
+            topic: topic.to_owned(),
+            message: String::new(),
+            kind: SpanKind::Enter,
+            stakeholder: stakeholder.map(str::to_owned),
+            fields: fields.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
+            depth,
+        });
+        self.open.push(topic.to_owned());
+    }
+
+    /// Close the innermost open span: records an `Exit` edge carrying the
+    /// matching topic and returns it. A call with no open span records
+    /// nothing and returns `None` — exits can never outnumber enters.
+    pub fn span_exit(&mut self, time: SimTime, fields: &[(&str, &str)]) -> Option<String> {
+        if !self.enabled {
+            return None;
+        }
+        let topic = self.open.pop()?;
+        let depth = self.open.len() as u32;
+        self.push(TraceEntry {
+            time,
+            topic: topic.clone(),
+            message: String::new(),
+            kind: SpanKind::Exit,
+            stakeholder: None,
+            fields: fields.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
+            depth,
+        });
+        Some(topic)
+    }
+
+    /// Number of currently open spans.
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
     }
 
     /// All retained entries, oldest first.
@@ -97,9 +268,38 @@ impl Trace {
         self.dropped
     }
 
-    /// Clear all retained entries (the dropped count persists).
+    /// Clear all retained entries (the dropped count and span stack
+    /// persist).
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// FNV-1a digest over the retained structured entries. Invariant under
+    /// ring-capacity changes that do not drop entries; see
+    /// [`RunDigest::of_run`] for the trace + metrics combination.
+    pub fn digest(&self) -> RunDigest {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            e.absorb_into(&mut h);
+        }
+        RunDigest(h.finish())
+    }
+}
+
+impl RunDigest {
+    /// Digest of one engine run: the retained structured trace plus the
+    /// final metrics snapshot. Two runs with equal digests recorded the
+    /// same traces and ended with the same metrics — the one-line
+    /// determinism check for code that owns its [`crate::Engine`].
+    pub fn of_run(trace: &Trace, metrics: &crate::metrics::Metrics) -> RunDigest {
+        let mut h = Fnv1a::new();
+        h.write_u64(trace.entries.len() as u64);
+        for e in &trace.entries {
+            e.absorb_into(&mut h);
+        }
+        metrics.snapshot().absorb_into(&mut h);
+        RunDigest(h.finish())
     }
 }
 
@@ -159,5 +359,82 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn spans_nest_and_carry_structure() {
+        let mut t = Trace::default();
+        t.span_enter(SimTime::ZERO, "econ.market", Some("provider"), &[("months", "12")]);
+        t.record(SimTime::from_micros(5), "econ.price", "posted");
+        t.span_enter(SimTime::from_micros(6), "econ.switch", None, &[]);
+        assert_eq!(t.open_spans(), 2);
+        assert_eq!(t.span_exit(SimTime::from_micros(7), &[]).as_deref(), Some("econ.switch"));
+        assert_eq!(
+            t.span_exit(SimTime::from_micros(9), &[("markup", "0.5")]).as_deref(),
+            Some("econ.market")
+        );
+        assert_eq!(t.open_spans(), 0);
+
+        let entries: Vec<_> = t.entries().collect();
+        assert_eq!(entries.len(), 5);
+        assert_eq!(entries[0].kind, SpanKind::Enter);
+        assert_eq!(entries[0].depth, 0);
+        assert_eq!(entries[0].stakeholder.as_deref(), Some("provider"));
+        assert_eq!(entries[1].depth, 1, "event inside a span is nested");
+        assert_eq!(entries[2].depth, 1);
+        assert_eq!(entries[3].kind, SpanKind::Exit);
+        assert_eq!(entries[3].topic, "econ.switch");
+        assert_eq!(entries[4].topic, "econ.market");
+        assert_eq!(entries[4].fields, vec![("markup".to_owned(), "0.5".to_owned())]);
+    }
+
+    #[test]
+    fn unmatched_exit_is_a_noop() {
+        let mut t = Trace::default();
+        assert_eq!(t.span_exit(SimTime::ZERO, &[]), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn digest_detects_any_change() {
+        let mut a = Trace::default();
+        a.span_enter(SimTime::ZERO, "x", None, &[("k", "v")]);
+        a.span_exit(SimTime::from_micros(1), &[]);
+        let mut b = Trace::default();
+        b.span_enter(SimTime::ZERO, "x", None, &[("k", "w")]);
+        b.span_exit(SimTime::from_micros(1), &[]);
+        assert_ne!(a.digest(), b.digest(), "field value change flips the digest");
+
+        let mut c = Trace::default();
+        c.span_enter(SimTime::ZERO, "x", None, &[("k", "v")]);
+        c.span_exit(SimTime::from_micros(1), &[]);
+        assert_eq!(a.digest(), c.digest(), "identical streams agree");
+    }
+
+    #[test]
+    fn digest_is_capacity_invariant_when_nothing_drops() {
+        let fill = |t: &mut Trace| {
+            for i in 0..10 {
+                t.record(SimTime::from_micros(i), "t", format!("m{i}"));
+            }
+        };
+        let mut small = Trace::with_capacity(16);
+        let mut large = Trace::with_capacity(4096);
+        fill(&mut small);
+        fill(&mut large);
+        assert_eq!(small.digest(), large.digest());
+    }
+
+    #[test]
+    fn entry_lines_render_structure() {
+        let mut t = Trace::default();
+        t.span_enter(SimTime::from_micros(3), "net.forward", Some("isp"), &[("dst", "h3")]);
+        t.record(SimTime::from_micros(4), "net.hop", "r1 -> r2");
+        let lines: Vec<String> = t.entries().map(TraceEntry::to_line).collect();
+        assert!(lines[0].contains("> net.forward"), "{}", lines[0]);
+        assert!(lines[0].contains("[isp]"));
+        assert!(lines[0].contains("{dst=h3}"));
+        assert!(lines[1].contains("· net.hop"));
+        assert!(lines[1].starts_with("       4us"), "{}", lines[1]);
     }
 }

@@ -1,0 +1,124 @@
+//! Property tests for the observability layer: span nesting, digest
+//! capacity-invariance, and quantile monotonicity.
+
+use proptest::prelude::*;
+use tussle_sim::{Histogram, SimTime, Trace};
+
+/// One random action against a trace: a plain event, a span enter, or a
+/// span exit (which is a no-op when nothing is open).
+#[derive(Debug, Clone)]
+enum Action {
+    Event(u64, String),
+    Enter(u64, String),
+    Exit(u64),
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    let action = prop_oneof![
+        (0u64..10_000, "[a-z]{1,6}\\.[a-z]{1,6}").prop_map(|(t, topic)| Action::Event(t, topic)),
+        (0u64..10_000, "[a-z]{1,6}\\.[a-z]{1,6}").prop_map(|(t, topic)| Action::Enter(t, topic)),
+        (0u64..10_000).prop_map(Action::Exit),
+    ];
+    proptest::collection::vec(action, 0..200)
+}
+
+fn apply(trace: &mut Trace, actions: &[Action]) -> (u64, u64) {
+    let (mut enters, mut exits) = (0u64, 0u64);
+    for a in actions {
+        match a {
+            Action::Event(t, topic) => {
+                trace.record(SimTime::from_micros(*t), topic, "event");
+            }
+            Action::Enter(t, topic) => {
+                trace.span_enter(SimTime::from_micros(*t), topic, None, &[]);
+                enters += 1;
+            }
+            Action::Exit(t) => {
+                if trace.span_exit(SimTime::from_micros(*t), &[]).is_some() {
+                    exits += 1;
+                }
+            }
+        }
+    }
+    (enters, exits)
+}
+
+proptest! {
+    /// Span nesting is balanced under any action sequence: exits never
+    /// outnumber enters, the open-span count is exactly the difference,
+    /// and exiting with nothing open is a no-op rather than a panic.
+    #[test]
+    fn span_nesting_is_balanced(actions in arb_actions()) {
+        let mut trace = Trace::with_capacity(100_000);
+        let (enters, exits) = apply(&mut trace, &actions);
+        prop_assert!(exits <= enters);
+        prop_assert_eq!(trace.open_spans() as u64, enters - exits);
+        // Draining every remaining span brings the count to zero, and one
+        // more exit is still a no-op.
+        let mut drained = 0u64;
+        while trace.span_exit(SimTime::from_micros(10_000), &[]).is_some() {
+            drained += 1;
+        }
+        prop_assert_eq!(drained, enters - exits);
+        prop_assert_eq!(trace.open_spans(), 0);
+        prop_assert!(trace.span_exit(SimTime::from_micros(10_000), &[]).is_none());
+    }
+
+    /// The run digest is a function of the *stream*, not the ring: any two
+    /// capacities large enough to drop nothing produce the same digest.
+    #[test]
+    fn digest_is_invariant_under_non_dropping_capacity(
+        actions in arb_actions(),
+        extra in 0usize..1_000,
+    ) {
+        let n = actions.len().max(1);
+        let mut small = Trace::with_capacity(n);
+        let mut large = Trace::with_capacity(n + extra);
+        apply(&mut small, &actions);
+        apply(&mut large, &actions);
+        prop_assert_eq!(small.dropped(), 0);
+        prop_assert_eq!(large.dropped(), 0);
+        prop_assert_eq!(small.digest(), large.digest());
+    }
+
+    /// The *stream-level* digest an observation scope accumulates absorbs
+    /// entries as they are recorded, so it survives ring eviction: a
+    /// capacity too small for the stream changes what the trace retains
+    /// but not the run digest.
+    #[test]
+    fn obs_run_digest_survives_ring_eviction(
+        times in proptest::collection::vec(0u64..1_000, 10..100),
+    ) {
+        let record_with_capacity = |capacity: usize| {
+            let guard = tussle_sim::obs::begin(tussle_sim::obs::ObsMode::Cost);
+            let mut trace = Trace::with_capacity(capacity);
+            for t in &times {
+                trace.record(SimTime::from_micros(*t), "evict.me", "x");
+            }
+            (trace.dropped(), guard.finish().digest)
+        };
+        let (dropped_tight, digest_tight) = record_with_capacity(4);
+        let (dropped_roomy, digest_roomy) = record_with_capacity(100_000);
+        prop_assert!(dropped_tight > 0, "capacity 4 must evict");
+        prop_assert_eq!(dropped_roomy, 0);
+        prop_assert_eq!(digest_tight, digest_roomy);
+    }
+
+    /// Histogram quantiles are monotone (p50 ≤ p95 ≤ max) and bracketed by
+    /// min/max for any sample stream.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in proptest::collection::vec(-1e12f64..1e12, 1..500),
+    ) {
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        let s = h.summary();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert!(s.min <= s.p50, "min {} > p50 {}", s.min, s.p50);
+        prop_assert!(s.p50 <= s.p95, "p50 {} > p95 {}", s.p50, s.p95);
+        prop_assert!(s.p95 <= s.max, "p95 {} > max {}", s.p95, s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+}

@@ -87,6 +87,18 @@ impl ControlPoint {
 
     /// Process a pinhole request.
     pub fn request(&mut self, req: PinholeRequest) -> Result<(), NegotiationError> {
+        if tussle_sim::obs::active() {
+            let requester = req.requester.to_string();
+            tussle_sim::obs::event(
+                tussle_sim::SimTime::ZERO,
+                "trust.negotiation",
+                &format!(
+                    "principal {requester} requests {} port {}",
+                    if req.open { "open" } else { "close" },
+                    req.port
+                ),
+            );
+        }
         if !self.controllers.contains(&req.requester) {
             return Err(NegotiationError::NotAuthorized {
                 requester: req.requester,

@@ -1,0 +1,86 @@
+//! Cross-thread determinism matrix: every experiment × 8 seeds must fold
+//! to the same `RunDigest` regardless of worker-thread count, in both the
+//! plain sweep and the chaos campaign.
+//!
+//! The byte-compare canaries (whole-report JSON equality) live in
+//! `tests/experiments_all.rs` and the crate-level unit tests; this matrix
+//! is the structural check over the full registry, and its failure message
+//! names the exact experiment (and intensity) that diverged.
+
+use tussle::experiments::{run_chaos, run_sweep, ChaosConfig, SweepConfig};
+
+const SEEDS: u64 = 8;
+const BASE_SEED: u64 = 2002;
+const THREADS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn sweep_digests_agree_across_thread_counts_for_every_experiment() {
+    // threads=1 is the reference schedule; the others must match it.
+    let mut reference: Option<Vec<(String, String)>> = None;
+    for threads in THREADS {
+        let cfg =
+            SweepConfig { seeds: SEEDS, base_seed: BASE_SEED, only: None, threads: Some(threads) };
+        let report = run_sweep(&cfg).expect("sweep runs");
+        assert_eq!(report.experiments.len(), 17);
+        let digests: Vec<(String, String)> =
+            report.experiments.iter().map(|e| (e.id.clone(), e.digest.clone())).collect();
+        for (id, d) in &digests {
+            assert_eq!(d.len(), 16, "{id}: digest '{d}' is not 16 hex chars");
+            assert!(d.chars().all(|c| c.is_ascii_hexdigit()), "{id}: digest '{d}' is not hex");
+        }
+        match &reference {
+            None => reference = Some(digests),
+            Some(reference) => {
+                for ((id, want), (_, got)) in reference.iter().zip(&digests) {
+                    assert_eq!(
+                        want,
+                        got,
+                        "{id}: sweep digest diverged between 1 and {threads} threads \
+                         (seeds {BASE_SEED}..{})",
+                        BASE_SEED + SEEDS
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_digests_agree_across_thread_counts_for_every_experiment() {
+    // One nonzero intensity keeps the matrix inside the time budget while
+    // still exercising the ambient-fault path; intensity coverage itself is
+    // the chaos crate tests' job.
+    let mut reference: Option<Vec<(String, f64, String)>> = None;
+    for threads in THREADS {
+        let cfg = ChaosConfig {
+            intensities: vec![0.6],
+            seeds: SEEDS,
+            base_seed: BASE_SEED,
+            only: None,
+            threads: Some(threads),
+        };
+        let report = run_chaos(&cfg).expect("chaos campaign runs");
+        assert_eq!(report.experiments.len(), 17);
+        let digests: Vec<(String, f64, String)> = report
+            .experiments
+            .iter()
+            .flat_map(|e| {
+                e.intensities.iter().map(|s| (e.id.clone(), s.intensity, s.sweep.digest.clone()))
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(digests),
+            Some(reference) => {
+                for ((id, intensity, want), (_, _, got)) in reference.iter().zip(&digests) {
+                    assert_eq!(
+                        want,
+                        got,
+                        "{id}@{intensity}: chaos digest diverged between 1 and {threads} \
+                         threads (seeds {BASE_SEED}..{})",
+                        BASE_SEED + SEEDS
+                    );
+                }
+            }
+        }
+    }
+}

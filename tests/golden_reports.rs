@@ -1,0 +1,119 @@
+//! Golden-report lockdown: the rendered markdown of all 17 experiments at
+//! the default seed is snapshotted under `tests/golden/`. Any change to a
+//! table, summary, claim or cost appendix — intended or not — shows up as
+//! a diff here.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! git diff tests/golden/   # review what actually changed
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use tussle::experiments::run_all;
+
+const GOLDEN_SEED: u64 = 2002;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn updating() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1")
+}
+
+/// A line-by-line diff that shows every mismatch with its line number —
+/// enough to act on without an external diff tool.
+fn diff(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    for i in 0..exp.len().max(act.len()) {
+        match (exp.get(i), act.get(i)) {
+            (Some(e), Some(a)) if e == a => {}
+            (e, a) => {
+                let _ = writeln!(out, "  line {}:", i + 1);
+                let _ = writeln!(out, "    golden: {}", e.copied().unwrap_or("<missing>"));
+                let _ = writeln!(out, "    actual: {}", a.copied().unwrap_or("<missing>"));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_reports_match_all_17_experiments() {
+    let dir = golden_dir();
+    let reports = run_all(GOLDEN_SEED);
+    assert_eq!(reports.len(), 17);
+
+    if updating() {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+
+    let mut failures = Vec::new();
+    for r in &reports {
+        let path = dir.join(format!("{}.md", r.id));
+        let actual = r.to_markdown();
+        if updating() {
+            std::fs::write(&path, &actual).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(expected) if expected == actual => {}
+            Ok(expected) => failures.push(format!(
+                "{} diverged from {}:\n{}",
+                r.id,
+                path.display(),
+                diff(&expected, &actual)
+            )),
+            Err(e) => failures.push(format!(
+                "{}: cannot read {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden_reports`",
+                r.id,
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden report(s) diverged at seed {GOLDEN_SEED}. If the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the git diff.\n\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn no_stale_golden_files() {
+    // A renamed or removed experiment must not leave a silently-passing
+    // orphan snapshot behind.
+    let dir = golden_dir();
+    if updating() || !dir.exists() {
+        return;
+    }
+    let live: Vec<String> = run_all(GOLDEN_SEED).iter().map(|r| format!("{}.md", r.id)).collect();
+    for entry in std::fs::read_dir(&dir).expect("read tests/golden") {
+        let name = entry.expect("dir entry").file_name().to_string_lossy().into_owned();
+        assert!(
+            live.contains(&name),
+            "stale golden file tests/golden/{name}: no experiment produces it"
+        );
+    }
+}
+
+#[test]
+fn golden_reports_carry_the_cost_appendix() {
+    // The observability contract: every locked snapshot includes the run's
+    // deterministic cost line, so a digest change is a golden diff too.
+    for r in run_all(GOLDEN_SEED) {
+        let cost = r.cost.as_ref().unwrap_or_else(|| panic!("{} has no cost appendix", r.id));
+        let md = r.to_markdown();
+        assert!(
+            md.contains("*Cost:") && md.contains(&cost.digest),
+            "{}: markdown is missing its cost appendix",
+            r.id
+        );
+    }
+}
