@@ -52,6 +52,7 @@ timed_test "routing/prop_routing"          -p tussle-routing     --test prop_rou
 timed_test "sim/prop_chaos"                -p tussle-sim         --test prop_chaos
 timed_test "sim/prop_engine"               -p tussle-sim         --test prop_engine
 timed_test "sim/prop_obs"                  -p tussle-sim         --test prop_obs
+timed_test "sim/prop_provenance"           -p tussle-sim         --test prop_provenance
 timed_test "trust/prop_trust"              -p tussle-trust       --test prop_trust
 # Workspace-level integration suites.
 timed_test "end_to_end_qos"           --test end_to_end_qos
@@ -88,7 +89,78 @@ echo "$profile_json" | jq -e '
   and (.[0].wall_nanos > 0)
   and (.[0].topics | type == "object")
 ' > /dev/null
-./target/release/tussle-cli trace --only E2 --grep econ. > /dev/null
+./target/release/tussle-cli trace --only E1 --grep econ. > /dev/null
 echo "profile smoke OK: cost digest, wall time and topic attribution present"
+
+echo "==> trace smoke: a --grep matching nothing must fail loudly"
+grep_err=""
+if grep_err="$(./target/release/tussle-cli trace --only E1 --grep zzz 2>&1 >/dev/null)"; then
+  echo "FAIL: trace --grep with zero matches exited 0" >&2
+  exit 1
+fi
+echo "$grep_err" | grep -q "0 entries matched" || {
+  echo "FAIL: zero-match trace error did not name the count: $grep_err" >&2
+  exit 1
+}
+echo "trace smoke OK: zero-match grep exits 1 with a diagnostic"
+
+echo "==> explain smoke: causal ancestry JSON, schema-checked"
+explain_json="$(./target/release/tussle-cli explain --only E9 --event E3 --json)"
+echo "$explain_json" | jq -e '
+  (.id == "E9")
+  and (.seed == 2002)
+  and (.target == 3)
+  and (.complete == true)
+  and (.hops | length >= 1)
+  and ([.hops[] | has("event") and has("time_micros") and has("span")] | all)
+  and (.hops[0].parent == null)
+  and (.hops[-1].event == 3)
+' > /dev/null
+echo "explain smoke OK: chain is root-first and ends at the queried event"
+
+echo "==> diff smoke: divergence pinpointing JSON, schema-checked"
+diff_json="$(./target/release/tussle-cli diff --only E9 --seed 2002 --seed-b 2003 --json)"
+echo "$diff_json" | jq -e '
+  (.id == "E9")
+  and (.seed_a == 2002) and (.seed_b == 2003)
+  and (.digest_a | test("^[0-9a-f]{16}$"))
+  and (.digest_b | test("^[0-9a-f]{16}$"))
+  and (.identical == false)
+  and (.divergence != null)
+  and (.divergence.index >= 0)
+  and (.divergence.probes >= 1)
+  and (.divergence.a | has("entry") and has("context") and has("ancestry"))
+  and (.divergence.b | has("entry") and has("context") and has("ancestry"))
+' > /dev/null
+# The acceptance bar: the pinpointed divergence is byte-identical however
+# many threads run the two sides.
+for t in 1 2 8; do
+  threaded="$(./target/release/tussle-cli diff --only E9 --seed 2002 --seed-b 2003 --threads "$t" --json)"
+  if [[ "$threaded" != "$diff_json" ]]; then
+    echo "FAIL: diff output changed at --threads $t" >&2
+    exit 1
+  fi
+done
+echo "diff smoke OK: first divergence located, byte-identical at 1/2/8 threads"
+
+echo "==> flamegraph smoke: collapsed stacks match the golden snapshot"
+./target/release/tussle-cli profile --only E10 --collapsed \
+  | diff -u tests/golden/E10.collapsed - > /dev/null \
+  || { echo "FAIL: profile --collapsed diverged from tests/golden/E10.collapsed" >&2; exit 1; }
+echo "flamegraph smoke OK: virtual-time collapsed stacks are stable"
+
+echo "==> perf baseline: BENCH_sim.json from the obs + sweep benches"
+bench_jsonl="$(mktemp)"
+trap 'rm -f "$bench_jsonl"' EXIT
+CRITERION_JSON="$bench_jsonl" cargo bench -p tussle-bench --bench obs --bench sweep
+jq -s 'sort_by(.bench)' "$bench_jsonl" > BENCH_sim.json
+jq -e '
+  (length >= 6)
+  and ([.[] | has("bench") and has("median_ns")] | all)
+  and ([.[].median_ns | . > 0] | all)
+  and ([.[].bench] | any(startswith("obs/")))
+  and ([.[].bench] | any(startswith("sweep/")))
+' BENCH_sim.json > /dev/null
+echo "perf baseline OK: $(jq length BENCH_sim.json) benches recorded in BENCH_sim.json"
 
 echo "CI OK"

@@ -37,6 +37,9 @@ fn run_chain(traced: bool) -> u64 {
     }
     let mut eng: Engine<u64> = Engine::new(1, 42);
     eng.trace_mut().disable();
+    // Dispatch cost only: drop the engine-side provenance ring in both
+    // arms so the ratio isolates the trace hooks under test.
+    eng.provenance_mut().disable();
     eng.schedule_at(SimTime::ZERO, tick(traced));
     eng.run(EVENTS);
     eng.world

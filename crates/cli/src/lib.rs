@@ -10,12 +10,20 @@
 //! * `chaos [--intensities 0,0.2,..] [--seeds N] [--base S] [--only E1,E5]
 //!   [--json] [--threads K]` — run the chaos campaign and report each
 //!   claim's robustness margin;
-//! * `profile [--seed N] [--json] [--only E1,E5]` — run experiments under
-//!   the self-profiling observation scope and print wall-time/virtual-time
-//!   attribution per topic;
+//! * `profile [--seed N] [--json] [--collapsed] [--only E1,E5]` — run
+//!   experiments under the self-profiling observation scope and print
+//!   wall-time/virtual-time attribution per topic, or (`--collapsed`)
+//!   flamegraph-ready collapsed-stack lines attributed by virtual time;
 //! * `trace [--seed N] [--only E1,E5] [--grep econ.]` — run experiments and
 //!   dump their structured trace streams, optionally filtered by topic
-//!   prefix;
+//!   prefix (a filter matching nothing is an error);
+//! * `explain --only E9 --event e7 [--seed N] [--json]` — replay one
+//!   experiment and walk the causal provenance chain from a root injection
+//!   down to the named event;
+//! * `diff --only E9 --seed 2002 --seed-b 2003 [--intensity X]
+//!   [--intensity-b Y] [--threads K] [--json]` — run two configurations of
+//!   one experiment and bisect their trace streams to the first diverging
+//!   entry, with aligned context and each side's causal ancestry;
 //! * `list` — list experiment ids, sections and one-line claims;
 //! * `ladder <mechanism>` — play an escalation ladder to quiescence from a
 //!   named opening mechanism;
@@ -26,6 +34,7 @@
 
 use tussle_core::{EscalationLadder, Mechanism};
 use tussle_experiments as experiments;
+use tussle_sim::EventId;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,8 +83,39 @@ pub enum Command {
         seed: u64,
         /// Emit JSON instead of text.
         json: bool,
+        /// Emit collapsed-stack (flamegraph) lines instead of the report.
+        collapsed: bool,
         /// Restrict to these ids (empty = all).
         only: Vec<String>,
+    },
+    /// Explain why one event ran: its causal provenance chain.
+    Explain {
+        /// The experiment id (exactly one).
+        id: String,
+        /// RNG seed.
+        seed: u64,
+        /// The event to explain.
+        event: EventId,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// Diff two run configurations of one experiment to their first
+    /// diverging trace entry.
+    Diff {
+        /// The experiment id (exactly one).
+        id: String,
+        /// Seed of side A.
+        seed: u64,
+        /// Seed of side B.
+        seed_b: u64,
+        /// Ambient fault intensity of side A.
+        intensity: f64,
+        /// Ambient fault intensity of side B.
+        intensity_b: f64,
+        /// Emit JSON instead of text.
+        json: bool,
+        /// Worker-thread cap (`None` = one thread per side).
+        threads: Option<usize>,
     },
     /// Dump the structured trace stream of one or more experiments.
     Trace {
@@ -148,9 +188,11 @@ pub fn parse_mechanism(name: &str) -> Result<Mechanism, UsageError> {
 
 /// Parse a `--only` id list (`"E1,E4"`). Rejects empty segments so typos
 /// like `"E1,,E4"` or a trailing comma fail loudly instead of silently
-/// filtering nothing.
+/// filtering nothing, and duplicate ids (`"E1,E1"`) which would silently
+/// run an experiment twice or mask a typo'd second id.
 fn parse_only(v: &str) -> Result<Vec<String>, UsageError> {
-    v.split(',')
+    let ids: Vec<String> = v
+        .split(',')
         .map(|s| {
             let id = s.trim().to_uppercase();
             if id.is_empty() {
@@ -159,7 +201,44 @@ fn parse_only(v: &str) -> Result<Vec<String>, UsageError> {
                 Ok(id)
             }
         })
-        .collect()
+        .collect::<Result<_, _>>()?;
+    for (i, id) in ids.iter().enumerate() {
+        if ids[..i].contains(id) {
+            return Err(UsageError(format!("malformed --only list '{v}': duplicate id '{id}'")));
+        }
+    }
+    Ok(ids)
+}
+
+/// Parse a `--only` value that must name exactly one experiment
+/// (for `explain` and `diff`, which compare/replay a single run).
+fn parse_single_only(v: &str) -> Result<String, UsageError> {
+    let ids = parse_only(v)?;
+    match <[String; 1]>::try_from(ids) {
+        Ok([id]) => Ok(id),
+        Err(ids) => {
+            Err(UsageError(format!("--only must name exactly one experiment here, got {ids:?}")))
+        }
+    }
+}
+
+/// Parse a `--threads` worker count. Zero workers cannot make progress, so
+/// it is rejected uniformly across `sweep`, `chaos` and `diff`.
+fn parse_threads(v: &str) -> Result<usize, UsageError> {
+    let n: usize = v.parse().map_err(|_| UsageError(format!("bad thread count '{v}'")))?;
+    if n == 0 {
+        return Err(UsageError("--threads must be at least 1".into()));
+    }
+    Ok(n)
+}
+
+/// Parse a single fault intensity in `[0, 1]`.
+fn parse_intensity(v: &str) -> Result<f64, UsageError> {
+    let i: f64 = v.parse().map_err(|_| UsageError(format!("bad intensity '{v}': not a number")))?;
+    if !i.is_finite() || !(0.0..=1.0).contains(&i) {
+        return Err(UsageError(format!("bad intensity '{v}': must be in [0, 1]")));
+    }
+    Ok(i)
 }
 
 /// Parse an `--intensities` list (`"0,0.2,0.5"`). Each value must be a
@@ -171,12 +250,7 @@ fn parse_intensities(v: &str) -> Result<Vec<f64>, UsageError> {
             if s.is_empty() {
                 return Err(UsageError(format!("malformed --intensities list '{v}': empty value")));
             }
-            let i: f64 =
-                s.parse().map_err(|_| UsageError(format!("bad intensity '{s}': not a number")))?;
-            if !i.is_finite() || !(0.0..=1.0).contains(&i) {
-                return Err(UsageError(format!("bad intensity '{s}': must be in [0, 1]")));
-            }
-            Ok(i)
+            parse_intensity(s)
         })
         .collect()
 }
@@ -209,7 +283,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                         let v = it
                             .next()
                             .ok_or_else(|| UsageError("--only needs ids like E1,E4".into()))?;
-                        only = v.split(',').map(|s| s.trim().to_uppercase()).collect();
+                        only = parse_only(v)?;
                     }
                     other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 }
@@ -219,7 +293,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
         Some("profile") => {
             let mut seed = 2002u64;
             let mut json = false;
+            let mut collapsed = false;
             let mut only = Vec::new();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seed" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seed needs a value".into()))?;
+                        seed = v.parse().map_err(|_| UsageError(format!("bad seed '{v}'")))?;
+                    }
+                    "--json" => json = true,
+                    "--collapsed" => collapsed = true,
+                    "--only" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--only needs ids like E1,E4".into()))?;
+                        only = parse_only(v)?;
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if collapsed && json {
+                return Err(UsageError(
+                    "--collapsed emits flamegraph-ready text; it cannot combine with --json".into(),
+                ));
+            }
+            Ok(Command::Profile { seed, json, collapsed, only })
+        }
+        Some("explain") => {
+            let mut seed = 2002u64;
+            let mut json = false;
+            let mut id = None;
+            let mut event = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--seed" => {
@@ -231,13 +336,83 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                     "--only" => {
                         let v = it
                             .next()
-                            .ok_or_else(|| UsageError("--only needs ids like E1,E4".into()))?;
-                        only = parse_only(v)?;
+                            .ok_or_else(|| UsageError("--only needs one id like E9".into()))?;
+                        id = Some(parse_single_only(v)?);
+                    }
+                    "--event" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--event needs an id like e7".into()))?;
+                        event =
+                            Some(experiments::causality::parse_event_id(v).map_err(UsageError)?);
                     }
                     other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 }
             }
-            Ok(Command::Profile { seed, json, only })
+            let id = id.ok_or_else(|| UsageError("explain needs --only <experiment>".into()))?;
+            let event = event.ok_or_else(|| UsageError("explain needs --event <id>".into()))?;
+            Ok(Command::Explain { id, seed, event, json })
+        }
+        Some("diff") => {
+            let mut id = None;
+            let mut seed = 2002u64;
+            let mut seed_b = None;
+            let mut intensity = 0.0;
+            let mut intensity_b = None;
+            let mut json = false;
+            let mut threads = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--only" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--only needs one id like E9".into()))?;
+                        id = Some(parse_single_only(v)?);
+                    }
+                    "--seed" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seed needs a value".into()))?;
+                        seed = v.parse().map_err(|_| UsageError(format!("bad seed '{v}'")))?;
+                    }
+                    "--seed-b" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seed-b needs a value".into()))?;
+                        seed_b =
+                            Some(v.parse().map_err(|_| UsageError(format!("bad seed '{v}'")))?);
+                    }
+                    "--intensity" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--intensity needs a value".into()))?;
+                        intensity = parse_intensity(v)?;
+                    }
+                    "--intensity-b" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--intensity-b needs a value".into()))?;
+                        intensity_b = Some(parse_intensity(v)?);
+                    }
+                    "--json" => json = true,
+                    "--threads" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--threads needs a count".into()))?;
+                        threads = Some(parse_threads(v)?);
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            let id = id.ok_or_else(|| UsageError("diff needs --only <experiment>".into()))?;
+            // Unspecified B-side knobs mirror side A, so `--seed-b` alone
+            // diffs seeds and `--intensity-b` alone diffs intensities.
+            let seed_b = seed_b.unwrap_or(seed);
+            let intensity_b = intensity_b.unwrap_or(intensity);
+            if seed_b == seed && intensity_b == intensity {
+                return Err(UsageError(
+                    "diff needs the sides to differ: give --seed-b and/or --intensity-b".into(),
+                ));
+            }
+            Ok(Command::Diff { id, seed, seed_b, intensity, intensity_b, json, threads })
         }
         Some("trace") => {
             let mut seed = 2002u64;
@@ -304,12 +479,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                         let v = it
                             .next()
                             .ok_or_else(|| UsageError("--threads needs a count".into()))?;
-                        let n: usize =
-                            v.parse().map_err(|_| UsageError(format!("bad thread count '{v}'")))?;
-                        if n == 0 {
-                            return Err(UsageError("--threads must be at least 1".into()));
-                        }
-                        threads = Some(n);
+                        threads = Some(parse_threads(v)?);
                     }
                     other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 }
@@ -358,12 +528,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                         let v = it
                             .next()
                             .ok_or_else(|| UsageError("--threads needs a count".into()))?;
-                        let n: usize =
-                            v.parse().map_err(|_| UsageError(format!("bad thread count '{v}'")))?;
-                        if n == 0 {
-                            return Err(UsageError("--threads must be at least 1".into()));
-                        }
-                        threads = Some(n);
+                        threads = Some(parse_threads(v)?);
                     }
                     other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 }
@@ -416,7 +581,14 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
                 ladder.ended_terminal()
             ))
         }
-        Command::Profile { seed, json, only } => {
+        Command::Profile { seed, json, collapsed, only } => {
+            if collapsed {
+                // `main` prints with a trailing newline; the collapsed
+                // rendering already ends in one.
+                return experiments::profile::collapsed(seed, &only)
+                    .map(|s| s.trim_end_matches('\n').to_owned())
+                    .map_err(|e| UsageError(e.to_string()));
+            }
             let reports = experiments::profile::collect(seed, &only)
                 .map_err(|e| UsageError(e.to_string()))?;
             if json {
@@ -431,9 +603,43 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
                 Ok(out)
             }
         }
+        Command::Explain { id, seed, event, json } => {
+            let explanation =
+                experiments::explain(&id, seed, event).map_err(|e| UsageError(e.to_string()))?;
+            if json {
+                Ok(serde_json::to_string_pretty(&explanation)
+                    .expect("explanations serialize to JSON"))
+            } else {
+                Ok(explanation.to_text())
+            }
+        }
+        Command::Diff { id, seed, seed_b, intensity, intensity_b, json, threads } => {
+            let cfg = experiments::DiffConfig {
+                id,
+                seed_a: seed,
+                seed_b,
+                intensity_a: intensity,
+                intensity_b,
+                threads,
+            };
+            let report = experiments::diff(&cfg).map_err(|e| UsageError(e.to_string()))?;
+            if json {
+                Ok(serde_json::to_string_pretty(&report).expect("diff reports serialize to JSON"))
+            } else {
+                Ok(report.to_text())
+            }
+        }
         Command::Trace { seed, only, grep } => {
-            experiments::trace_dump(seed, &only, grep.as_deref())
-                .map_err(|e| UsageError(e.to_string()))
+            let dump = experiments::trace_dump(seed, &only, grep.as_deref())
+                .map_err(|e| UsageError(e.to_string()))?;
+            // A filter that matches nothing is almost always a typo'd
+            // prefix; fail loudly instead of printing empty sections.
+            if dump.matched == 0 {
+                if let Some(g) = grep {
+                    return Err(UsageError(format!("0 entries matched --grep '{g}'")));
+                }
+            }
+            Ok(dump.text)
         }
         Command::Sweep { seeds, base_seed, only, json, threads } => {
             let cfg = experiments::SweepConfig {
@@ -485,8 +691,10 @@ pub const USAGE: &str = "tussle-cli — the Tussle in Cyberspace reproduction
 
 USAGE:
   tussle-cli experiments [--seed N] [--json] [--only E1,E4]
-  tussle-cli profile [--seed N] [--json] [--only E1,E4]
+  tussle-cli profile [--seed N] [--json | --collapsed] [--only E1,E4]
   tussle-cli trace [--seed N] [--only E1,E4] [--grep econ.]
+  tussle-cli explain --only E9 --event e7 [--seed N] [--json]
+  tussle-cli diff --only E9 --seed N [--seed-b M] [--intensity X] [--intensity-b Y] [--json] [--threads K]
   tussle-cli sweep [--seeds N] [--base S] [--only E1,E4] [--json] [--threads K]
   tussle-cli chaos [--intensities 0,0.2,0.5] [--seeds N] [--base S] [--only E1,E4] [--json] [--threads K]
   tussle-cli list
@@ -741,11 +949,11 @@ mod tests {
     fn parses_profile_and_trace_flags() {
         assert_eq!(
             parse_args(&args("profile --seed 7 --json --only e10")).unwrap(),
-            Command::Profile { seed: 7, json: true, only: vec!["E10".into()] }
+            Command::Profile { seed: 7, json: true, collapsed: false, only: vec!["E10".into()] }
         );
         assert_eq!(
             parse_args(&args("profile")).unwrap(),
-            Command::Profile { seed: 2002, json: false, only: vec![] }
+            Command::Profile { seed: 2002, json: false, collapsed: false, only: vec![] }
         );
         assert_eq!(
             parse_args(&args("trace --seed 3 --only e2 --grep econ.")).unwrap(),
@@ -762,13 +970,23 @@ mod tests {
 
     #[test]
     fn profile_command_renders_text_and_jq_friendly_json() {
-        let text = execute(Command::Profile { seed: 2002, json: false, only: vec!["E10".into()] })
-            .unwrap();
+        let text = execute(Command::Profile {
+            seed: 2002,
+            json: false,
+            collapsed: false,
+            only: vec!["E10".into()],
+        })
+        .unwrap();
         assert!(text.contains("E10 profile (seed 2002)"), "{text}");
         assert!(text.contains("digest"), "{text}");
 
-        let json =
-            execute(Command::Profile { seed: 2002, json: true, only: vec!["E10".into()] }).unwrap();
+        let json = execute(Command::Profile {
+            seed: 2002,
+            json: true,
+            collapsed: false,
+            only: vec!["E10".into()],
+        })
+        .unwrap();
         // The JSON contract ci.sh smoke-tests with jq: a top-level array of
         // objects with id/seed/cost/wall_nanos/topics.
         let parsed: serde::Value = serde_json::from_str(&json).unwrap();
@@ -791,19 +1009,186 @@ mod tests {
     fn trace_command_dumps_and_filters() {
         let out = execute(Command::Trace {
             seed: 2002,
-            only: vec!["E2".into()],
+            only: vec!["E1".into()],
             grep: Some("econ.".into()),
         })
         .unwrap();
-        assert!(out.contains("# E2 (seed 2002)"), "{out}");
+        assert!(out.contains("# E1 (seed 2002)"), "{out}");
         assert!(out.contains("econ."), "{out}");
     }
 
     #[test]
     fn profile_unknown_experiment_errors() {
-        let err = execute(Command::Profile { seed: 1, json: false, only: vec!["E99".into()] })
-            .unwrap_err();
+        let err = execute(Command::Profile {
+            seed: 1,
+            json: false,
+            collapsed: false,
+            only: vec!["E99".into()],
+        })
+        .unwrap_err();
         assert!(err.0.contains("unknown experiment"));
+    }
+
+    #[test]
+    fn duplicate_only_ids_are_rejected_everywhere() {
+        for cmd in ["experiments", "profile", "trace", "sweep", "chaos"] {
+            let err = parse_args(&args(&format!("{cmd} --only E1,E1"))).unwrap_err();
+            assert!(err.0.contains("duplicate id 'E1'"), "{cmd}: {err}");
+        }
+        assert!(parse_args(&args("diff --only E9,E9 --seed-b 3")).is_err());
+    }
+
+    #[test]
+    fn parses_explain_flags() {
+        assert_eq!(
+            parse_args(&args("explain --only e9 --event e7 --seed 5 --json")).unwrap(),
+            Command::Explain { id: "E9".into(), seed: 5, event: EventId(7), json: true }
+        );
+        assert_eq!(
+            parse_args(&args("explain --only E9 --event 7")).unwrap(),
+            Command::Explain { id: "E9".into(), seed: 2002, event: EventId(7), json: false }
+        );
+        assert!(parse_args(&args("explain --event e7")).unwrap_err().0.contains("--only"));
+        assert!(parse_args(&args("explain --only E9")).unwrap_err().0.contains("--event"));
+        assert!(parse_args(&args("explain --only E9,E10 --event 1"))
+            .unwrap_err()
+            .0
+            .contains("exactly one"));
+        assert!(parse_args(&args("explain --only E9 --event seven"))
+            .unwrap_err()
+            .0
+            .contains("bad event id"));
+    }
+
+    #[test]
+    fn parses_diff_flags() {
+        assert_eq!(
+            parse_args(&args("diff --only e9 --seed 2002 --seed-b 2003 --threads 2 --json"))
+                .unwrap(),
+            Command::Diff {
+                id: "E9".into(),
+                seed: 2002,
+                seed_b: 2003,
+                intensity: 0.0,
+                intensity_b: 0.0,
+                json: true,
+                threads: Some(2),
+            }
+        );
+        // --intensity-b alone diffs intensities at one seed.
+        assert_eq!(
+            parse_args(&args("diff --only E4 --seed 7 --intensity-b 0.8")).unwrap(),
+            Command::Diff {
+                id: "E4".into(),
+                seed: 7,
+                seed_b: 7,
+                intensity: 0.0,
+                intensity_b: 0.8,
+                json: false,
+                threads: None,
+            }
+        );
+        assert!(parse_args(&args("diff --seed-b 3")).unwrap_err().0.contains("--only"));
+        assert!(parse_args(&args("diff --only E9")).unwrap_err().0.contains("sides to differ"));
+        assert!(parse_args(&args("diff --only E9 --seed-b 3 --threads 0"))
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
+        assert!(parse_args(&args("diff --only E9 --intensity-b 1.5"))
+            .unwrap_err()
+            .0
+            .contains("must be in [0, 1]"));
+    }
+
+    #[test]
+    fn profile_collapsed_emits_flamegraph_lines() {
+        assert_eq!(
+            parse_args(&args("profile --collapsed --only E10")).unwrap(),
+            Command::Profile { seed: 2002, json: false, collapsed: true, only: vec!["E10".into()] }
+        );
+        assert!(parse_args(&args("profile --collapsed --json"))
+            .unwrap_err()
+            .0
+            .contains("cannot combine"));
+        let out = execute(Command::Profile {
+            seed: 2002,
+            json: false,
+            collapsed: true,
+            only: vec!["E10".into()],
+        })
+        .unwrap();
+        for line in out.lines() {
+            assert!(line.starts_with("E10;"), "{line}");
+        }
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn explain_command_renders_a_causal_chain() {
+        let text = execute(Command::Explain {
+            id: "E9".into(),
+            seed: 2002,
+            event: EventId(2),
+            json: false,
+        })
+        .unwrap();
+        assert!(text.contains("explain e2"), "{text}");
+        assert!(text.contains("root"), "{text}");
+        let json = execute(Command::Explain {
+            id: "E9".into(),
+            seed: 2002,
+            event: EventId(2),
+            json: true,
+        })
+        .unwrap();
+        assert!(json.contains("\"hops\""), "{json}");
+        let err = execute(Command::Explain {
+            id: "E9".into(),
+            seed: 2002,
+            event: EventId(9999),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("never dispatched"), "{err}");
+    }
+
+    fn diff_cmd(threads: usize, json: bool) -> Command {
+        Command::Diff {
+            id: "E9".into(),
+            seed: 2002,
+            seed_b: 2003,
+            intensity: 0.0,
+            intensity_b: 0.0,
+            json,
+            threads: Some(threads),
+        }
+    }
+
+    #[test]
+    fn diff_command_pinpoints_divergence_byte_identically_across_threads() {
+        let one = execute(diff_cmd(1, false)).unwrap();
+        assert!(one.contains("first divergence at entry"), "{one}");
+        for threads in [2, 8] {
+            assert_eq!(one, execute(diff_cmd(threads, false)).unwrap(), "threads={threads}");
+        }
+        let json_one = execute(diff_cmd(1, true)).unwrap();
+        for threads in [2, 8] {
+            assert_eq!(json_one, execute(diff_cmd(threads, true)).unwrap(), "threads={threads}");
+        }
+        assert!(json_one.contains("\"divergence\""), "{json_one}");
+    }
+
+    #[test]
+    fn trace_grep_matching_nothing_is_an_error() {
+        let err = execute(Command::Trace {
+            seed: 2002,
+            only: vec!["E2".into()],
+            grep: Some("zzz.".into()),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("0 entries matched"), "{err}");
+        // No grep: an empty dump is not an error, just empty sections.
+        assert!(execute(Command::Trace { seed: 2002, only: vec!["E2".into()], grep: None }).is_ok());
     }
 
     #[test]

@@ -6,14 +6,24 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match tussle_cli::parse_args(&args).and_then(tussle_cli::execute) {
+    // Usage text accompanies *parse* failures only; a command that parsed
+    // fine but failed to execute (unknown experiment, empty trace filter)
+    // reports just its error.
+    let cmd = match tussle_cli::parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", tussle_cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match tussle_cli::execute(cmd) {
         Ok(text) => {
             println!("{text}");
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{}", tussle_cli::USAGE);
             ExitCode::FAILURE
         }
     }

@@ -100,15 +100,30 @@ pub struct RunCost {
     /// Hex rendering of the run's `RunDigest` — equality across two runs
     /// is the determinism check.
     pub digest: String,
+    /// Windowed virtual-time activity (events / forwards / faults per
+    /// bucket). Deterministic, but *not* part of the digest: series are a
+    /// derived projection of streams the digest already covers.
+    pub series: tussle_sim::RunSeries,
 }
 
 impl RunCost {
-    /// Render as the one-line cost appendix under an experiment table.
+    /// Render as the cost appendix under an experiment table: the one-line
+    /// counter summary, plus a second line of windowed activity series
+    /// when any were recorded.
     pub fn to_markdown(&self) -> String {
-        format!(
+        let mut out = format!(
             "*Cost: {} events, {} rng draws, {} forwards, {} spans, {} trace entries — digest `{}`.*",
             self.events, self.rng_draws, self.forwards, self.spans, self.trace_entries, self.digest
-        )
+        );
+        if !self.series.is_empty() {
+            out.push_str(&format!(
+                "\n*Activity: events {}; forwards {}; faults {}.*",
+                self.series.events.render(),
+                self.series.forwards.render(),
+                self.series.faults.render()
+            ));
+        }
+        out
     }
 }
 

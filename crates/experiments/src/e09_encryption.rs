@@ -18,6 +18,7 @@
 use tussle_core::escalation::EscalationLadder;
 use tussle_core::{ExperimentReport, Mechanism, Table};
 use tussle_econ::Money;
+use tussle_sim::{Ctx, Engine, SimTime};
 
 /// Market regimes of §VI.A.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,10 +75,12 @@ pub fn tolerate_profit(_regime: MarketRegime) -> Money {
     (PRICE - COST) * N_CUSTOMERS
 }
 
-/// Play the §VI.A ladder in one regime.
-pub fn run_regime(regime: MarketRegime) -> EncryptionOutcome {
+/// Play the §VI.A ladder in one regime (the pure decision logic; the
+/// engine-driven replay in [`run`] turns its rungs into causally chained
+/// events).
+pub fn play_ladder(regime: MarketRegime) -> EscalationLadder {
     let block_pays = blocking_profit(regime) > tolerate_profit(regime);
-    let ladder = EscalationLadder::play(Mechanism::Encryption, 10, |_, counters| {
+    EscalationLadder::play(Mechanism::Encryption, 10, |_, counters| {
         // rung 1: the provider decides whether to counter encryption
         if counters.contains(&Mechanism::EncryptionBlocking) {
             return block_pays.then_some(Mechanism::EncryptionBlocking);
@@ -93,7 +96,12 @@ pub fn run_regime(regime: MarketRegime) -> EncryptionOutcome {
             };
         }
         None
-    });
+    })
+}
+
+/// Outcome of the ladder in one regime.
+pub fn run_regime(regime: MarketRegime) -> EncryptionOutcome {
+    let ladder = play_ladder(regime);
     let final_mechanism = ladder.final_mechanism();
     let provider_blocked =
         ladder.steps.iter().any(|s| s.mechanism == Mechanism::EncryptionBlocking);
@@ -115,8 +123,80 @@ pub fn run_regime(regime: MarketRegime) -> EncryptionOutcome {
     }
 }
 
-/// Run E9 and produce the report.
-pub fn run(_seed: u64) -> ExperimentReport {
+/// World for the engine-driven ladder replay: settled outcomes per regime.
+#[derive(Default)]
+struct LadderWorld {
+    outcomes: Vec<(MarketRegime, EncryptionOutcome)>,
+}
+
+/// One deployment rung as an engine event. Each counter-move is scheduled
+/// *by the rung it answers* after a seeded reaction lag, so the run's
+/// provenance records the escalation as a causal chain — exactly the
+/// structure `tussle-cli explain` walks — and different seeds diverge in
+/// their trace streams (the lags are rng draws), which is what
+/// `tussle-cli diff` bisects.
+fn deploy(
+    w: &mut LadderWorld,
+    ctx: &mut Ctx<LadderWorld>,
+    regime: MarketRegime,
+    steps: Vec<Mechanism>,
+    rung: usize,
+    outcome: EncryptionOutcome,
+) {
+    let mechanism = steps[rung];
+    // Even rungs are the user's moves (encryption, steganography), odd
+    // rungs the provider's (blocking).
+    let actor = if rung.is_multiple_of(2) { "user" } else { "provider" };
+    let mech_label = format!("{mechanism:?}");
+    let rung_label = rung.to_string();
+    ctx.span_enter(
+        "e9.deploy",
+        Some(actor),
+        &[("regime", regime.label()), ("mechanism", &mech_label), ("rung", &rung_label)],
+    );
+    if rung + 1 < steps.len() {
+        // The counter takes time to procure and roll out; the lag is the
+        // run's seed-dependent texture.
+        let lag = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+        ctx.trace_fields(
+            "e9.counter",
+            Some(actor),
+            &[("lag_us", &lag.as_micros().to_string())],
+            format!("{mech_label} provokes a counter-move"),
+        );
+        ctx.span_exit(&[("countered", "true")]);
+        ctx.schedule_in(lag, move |w2: &mut LadderWorld, ctx2| {
+            deploy(w2, ctx2, regime, steps, rung + 1, outcome);
+        });
+    } else {
+        ctx.trace_fields(
+            "e9.settled",
+            Some(actor),
+            &[("final", &mech_label)],
+            format!("{} settles at {mech_label}", regime.label()),
+        );
+        ctx.span_exit(&[("countered", "false")]);
+        w.outcomes.push((regime, outcome));
+    }
+}
+
+/// Run E9 and produce the report. The ladder decisions are pure profit
+/// comparisons; the engine replay gives them a causal event structure.
+pub fn run(seed: u64) -> ExperimentReport {
+    let mut eng = Engine::new(LadderWorld::default(), seed);
+    for (i, regime) in
+        [MarketRegime::Competitive, MarketRegime::StateMonopoly].into_iter().enumerate()
+    {
+        // Each regime's opening move is a root injection.
+        eng.schedule_at(SimTime::from_millis(i as u64), move |w: &mut LadderWorld, ctx| {
+            let steps: Vec<Mechanism> =
+                play_ladder(regime).steps.iter().map(|s| s.mechanism).collect();
+            let outcome = run_regime(regime);
+            deploy(w, ctx, regime, steps, 0, outcome);
+        });
+    }
+    eng.run_to_completion();
+
     let mut table = Table::new(
         "The encryption escalation ladder by market regime",
         &[
@@ -129,7 +209,13 @@ pub fn run(_seed: u64) -> ExperimentReport {
     );
     let mut outcomes = Vec::new();
     for regime in [MarketRegime::Competitive, MarketRegime::StateMonopoly] {
-        let o = run_regime(regime);
+        let o = eng
+            .world
+            .outcomes
+            .iter()
+            .find(|(r, _)| *r == regime)
+            .map(|(_, o)| o.clone())
+            .expect("every regime's ladder settles");
         table.push_row(
             regime.label(),
             &[
@@ -206,5 +292,22 @@ mod tests {
     fn report_shape_holds() {
         let r = run(1);
         assert!(r.shape_holds, "{}", r.summary);
+    }
+
+    #[test]
+    fn replay_is_seeded_and_causal() {
+        let observe = |seed| {
+            let g = tussle_sim::obs::begin(tussle_sim::ObsMode::Cost);
+            let r = run(seed);
+            (g.finish(), r)
+        };
+        let (a, ra) = observe(2002);
+        let (a2, _) = observe(2002);
+        let (b, rb) = observe(2003);
+        assert_eq!(a.digest, a2.digest, "same seed, same stream");
+        assert_ne!(a.digest, b.digest, "seeded reaction lags diverge the stream");
+        assert!(ra.shape_holds && rb.shape_holds, "outcomes are seed-independent");
+        assert!(a.events >= 4, "both regimes replay through the engine: {}", a.events);
+        assert!(a.rng_draws >= 2, "monopoly counter-moves draw lags");
     }
 }

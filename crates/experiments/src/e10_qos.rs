@@ -15,7 +15,7 @@
 
 use tussle_core::{ExperimentReport, Table};
 use tussle_econ::{InvestmentCase, Money};
-use tussle_sim::SimRng;
+use tussle_sim::{obs, SimRng, SimTime};
 
 /// Deployment results for one cell of the factorial.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,17 +77,39 @@ pub fn run_closed(seed: u64) -> QosCell {
     QosCell { value_transfer: true, provider_choice: false, deployments, isps: costs.len() }
 }
 
+/// Each ISP's board takes one virtual quarter-millisecond to evaluate the
+/// investment case; the factorial cells are laid out back-to-back on the
+/// virtual timeline so the run's flamegraph and activity series have a
+/// deterministic, seed-independent shape.
+const EVAL_MICROS_PER_ISP: u64 = 250;
+
+/// Evaluate one cell inside an ambient observation span, advancing the
+/// virtual evaluation clock.
+fn timed_cell(at: &mut SimTime, topic: &str, vt: bool, pc: bool, seed: u64) -> QosCell {
+    obs::span_enter(
+        *at,
+        topic,
+        Some("isp"),
+        &[("transfer", if vt { "+" } else { "-" }), ("choice", if pc { "+" } else { "-" })],
+    );
+    let cell = run_cell(vt, pc, seed);
+    *at = at.saturating_add(SimTime::from_micros(EVAL_MICROS_PER_ISP * cell.isps as u64));
+    obs::span_exit(*at, &[("deployments", &cell.deployments.to_string())]);
+    cell
+}
+
 /// Run E10 and produce the report.
 pub fn run(seed: u64) -> ExperimentReport {
     let mut table = Table::new(
         "Open-QoS deployment across the fear/greed factorial (5 ISPs, cost $80-$140)",
         &["value transfer", "provider choice", "ISPs deploying"],
     );
+    let mut at = SimTime::ZERO;
     let cells = [
-        run_cell(false, false, seed),
-        run_cell(true, false, seed),
-        run_cell(false, true, seed),
-        run_cell(true, true, seed),
+        timed_cell(&mut at, "e10.cell", false, false, seed),
+        timed_cell(&mut at, "e10.cell", true, false, seed),
+        timed_cell(&mut at, "e10.cell", false, true, seed),
+        timed_cell(&mut at, "e10.cell", true, true, seed),
     ];
     for c in &cells {
         table.push_row(
@@ -103,7 +125,10 @@ pub fn run(seed: u64) -> ExperimentReport {
             ],
         );
     }
+    obs::span_enter(at, "e10.closed", Some("isp"), &[("transfer", "+"), ("choice", "-")]);
     let closed = run_closed(seed);
+    at = at.saturating_add(SimTime::from_micros(EVAL_MICROS_PER_ISP * closed.isps as u64));
+    obs::span_exit(at, &[("deployments", &closed.deployments.to_string())]);
     table.push_row(
         "closed QoS (vertical integration)",
         &["true".into(), "false".into(), format!("{}/{}", closed.deployments, closed.isps)],

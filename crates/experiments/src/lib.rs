@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causality;
 pub mod chaos;
 pub mod e01_lockin;
 pub mod e02_value_pricing;
@@ -50,6 +51,7 @@ pub mod e16_multicast;
 pub mod e17_uncooperative;
 pub mod sweep;
 
+pub use causality::{diff, explain, CausalityError, DiffConfig, DiffReport, Explanation};
 pub use chaos::{run_chaos, run_chaos_entries, ChaosConfig, ChaosError};
 pub use sweep::{run_sweep, SweepConfig, SweepError};
 
@@ -59,7 +61,7 @@ use tussle_sim::RunRecord;
 
 pub mod profile;
 
-pub use profile::{trace_dump, ProfileReport};
+pub use profile::{trace_dump, ProfileReport, TraceDump};
 
 /// One registry entry: the experiment id and its runner.
 pub type ExperimentEntry = (&'static str, fn(u64) -> ExperimentReport);
@@ -97,6 +99,7 @@ fn cost_of(record: &RunRecord) -> RunCost {
         spans: record.spans_entered,
         trace_entries: record.trace_entries,
         digest: record.digest.to_hex(),
+        series: record.series.clone(),
     }
 }
 

@@ -137,13 +137,29 @@ pub fn collect(seed: u64, only: &[String]) -> Result<Vec<ProfileReport>, Profile
         .collect())
 }
 
+/// A rendered trace dump plus how many entries actually matched, so
+/// callers (the CLI) can treat a zero-match filter as a failure instead of
+/// printing headers over nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDump {
+    /// The rendered dump: per-experiment headers and entry lines.
+    pub text: String,
+    /// Total entries matched across all selected experiments.
+    pub matched: usize,
+}
+
 /// Run the selected experiments at one seed and dump their captured
 /// structured trace streams as indented text lines, filtered to topics
 /// starting with `grep` when given. Dropped-entry counts are reported
 /// rather than silently hidden.
-pub fn trace_dump(seed: u64, only: &[String], grep: Option<&str>) -> Result<String, ProfileError> {
+pub fn trace_dump(
+    seed: u64,
+    only: &[String],
+    grep: Option<&str>,
+) -> Result<TraceDump, ProfileError> {
     let selected = select(only)?;
     let mut out = String::new();
+    let mut matched = 0usize;
     for (name, run) in selected {
         let (_, record) = crate::run_profiled(name, run, seed);
         let matching: Vec<&TraceEntry> = record
@@ -151,6 +167,7 @@ pub fn trace_dump(seed: u64, only: &[String], grep: Option<&str>) -> Result<Stri
             .iter()
             .filter(|e| grep.is_none_or(|prefix| e.topic.starts_with(prefix)))
             .collect();
+        matched += matching.len();
         out.push_str(&format!(
             "# {name} (seed {seed}) — {} entries{}{}\n",
             matching.len(),
@@ -170,6 +187,22 @@ pub fn trace_dump(seed: u64, only: &[String], grep: Option<&str>) -> Result<Stri
             out.push('\n');
         }
         out.push('\n');
+    }
+    Ok(TraceDump { text: out, matched })
+}
+
+/// Run the selected experiments at one seed and render their captured
+/// span streams in collapsed-stack (flamegraph) format: one
+/// `Exp;span;path self_virtual_micros` line per frame path, rooted at the
+/// experiment id. Attribution is by *virtual* time, so the output is
+/// deterministic and snapshot-testable — feed it to `inferno` or
+/// `flamegraph.pl` to render an SVG.
+pub fn collapsed(seed: u64, only: &[String]) -> Result<String, ProfileError> {
+    let selected = select(only)?;
+    let mut out = String::new();
+    for (name, run) in selected {
+        let (_, record) = crate::run_profiled(name, run, seed);
+        out.push_str(&tussle_sim::flame::to_collapsed(&record.ring, name));
     }
     Ok(out)
 }
@@ -213,14 +246,30 @@ mod tests {
     fn trace_dump_filters_by_topic_prefix() {
         let all = trace_dump(2002, &["E2".into()], None).unwrap();
         let econ = trace_dump(2002, &["E2".into()], Some("econ.")).unwrap();
-        assert!(all.contains("# E2 (seed 2002)"));
+        assert!(all.text.contains("# E2 (seed 2002)"));
         let entries =
             |dump: &str| dump.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count();
-        assert!(entries(&econ) <= entries(&all));
-        for line in econ.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        assert!(econ.matched <= all.matched);
+        assert_eq!(entries(&econ.text), econ.matched);
+        for line in econ.text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
             assert!(line.contains("econ."), "non-econ line leaked: {line}");
         }
         let nothing = trace_dump(2002, &["E2".into()], Some("zzz.")).unwrap();
-        assert!(nothing.contains("0 entries matching"));
+        assert_eq!(nothing.matched, 0, "a non-matching prefix matches nothing");
+        assert!(nothing.text.contains("0 entries matching"));
+    }
+
+    #[test]
+    fn collapsed_stacks_are_deterministic_and_virtual_time_attributed() {
+        let a = collapsed(2002, &["E10".into()]).unwrap();
+        let b = collapsed(2002, &["E10".into()]).unwrap();
+        assert_eq!(a, b, "virtual-time attribution is deterministic");
+        assert!(!a.is_empty(), "E10 opens spans");
+        for line in a.lines() {
+            assert!(line.starts_with("E10;"), "frames root at the experiment id: {line}");
+            let (_, value) = line.rsplit_once(' ').expect("`path value` shape");
+            value.parse::<u64>().expect("self time is an integer micros count");
+        }
+        assert!(collapsed(1, &["E99".into()]).is_err());
     }
 }

@@ -530,7 +530,12 @@ impl Network {
             let size = pkt.size();
             let qos_factor = self.qos.get(&current).map(|q| q.delay_factor(&pkt)).unwrap_or(1.0);
             let link = &mut self.links[link_id.index()];
-            match link.faults.apply(now.saturating_add(latency), rng) {
+            let fault_at = now.saturating_add(latency);
+            let outcome = link.faults.apply(fault_at, rng);
+            if outcome != FaultOutcome::Pass {
+                tussle_sim::obs::on_fault(fault_at);
+            }
+            match outcome {
                 FaultOutcome::Pass => {}
                 FaultOutcome::Corrupt => corrupted = true,
                 FaultOutcome::Drop => {
@@ -559,7 +564,11 @@ impl Network {
             // rng draws at intensity 0, keeping such runs byte-identical to
             // plain (non-chaos) runs.
             if tussle_sim::fault::ambient_intensity() > 0.0 {
-                match tussle_sim::fault::ambient_apply(rng) {
+                let ambient = tussle_sim::fault::ambient_apply(rng);
+                if ambient != FaultOutcome::Pass {
+                    tussle_sim::obs::on_fault(fault_at);
+                }
+                match ambient {
                     FaultOutcome::Pass => {}
                     FaultOutcome::Corrupt => corrupted = true,
                     FaultOutcome::Drop => {
@@ -600,7 +609,7 @@ impl Network {
             let scaled = SimTime::from_micros((delay.as_micros() as f64 * qos_factor) as u64);
             latency = latency.saturating_add(scaled);
 
-            tussle_sim::obs::on_forward();
+            tussle_sim::obs::on_forward(now.saturating_add(latency));
             current = next;
             path.push(current);
         }

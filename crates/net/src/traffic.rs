@@ -159,8 +159,15 @@ fn send_and_reschedule(w: &mut TrafficWorld, ctx: &mut Ctx<TrafficWorld>, flow: 
 fn attempt_send(w: &mut TrafficWorld, ctx: &mut Ctx<TrafficWorld>, flow: &Flow, attempt: u32) {
     let report = w.network.send_at(flow.from, flow.template.clone(), ctx.now(), ctx.rng);
     let label = &flow.label;
+    let hops = report.hops() as u64;
+    if hops > 0 {
+        ctx.metrics.record_series("net.forwards", ctx.now(), hops);
+    }
     if let Some(outcome) = report.fault_outcome() {
         ctx.metrics.record_fault(label, outcome);
+        if outcome != tussle_sim::FaultOutcome::Pass {
+            ctx.metrics.record_series("net.faults", ctx.now(), 1);
+        }
     }
     if report.delivered {
         ctx.metrics.incr(&format!("flow.{label}.delivered"));

@@ -9,9 +9,10 @@
 //! `(time, sequence)` order.
 
 use crate::digest::RunDigest;
-use crate::event::{EventFn, Scheduled};
+use crate::event::{EventFn, EventId, Scheduled};
 use crate::metrics::Metrics;
 use crate::obs;
+use crate::provenance::{Provenance, ProvenanceNode};
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use crate::trace::Trace;
@@ -27,11 +28,16 @@ pub struct Ctx<'a, W> {
     pub metrics: &'a mut Metrics,
     /// Trace ring for the run.
     pub trace: &'a mut Trace,
-    pending: Vec<(SimTime, EventFn<W>)>,
+    /// Buffered child events: (time, handler, innermost open span at
+    /// schedule time). The span travels into the child's provenance node.
+    pending: Vec<(SimTime, EventFn<W>, Option<String>)>,
     stop: bool,
     /// First topic traced via the context during this handler — what the
     /// profiler attributes the whole event to.
     first_topic: Option<String>,
+    /// The id of the event this context is dispatching; children scheduled
+    /// through the context record it as their provenance parent.
+    event: EventId,
 }
 
 impl<'a, W> Ctx<'a, W> {
@@ -40,17 +46,24 @@ impl<'a, W> Ctx<'a, W> {
         self.now
     }
 
+    /// The id of the event currently being dispatched.
+    pub fn event_id(&self) -> EventId {
+        self.event
+    }
+
     /// Schedule `f` at absolute time `at`. Times earlier than `now` are
     /// clamped to `now` (events cannot run in the past).
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Ctx<W>) + 'static) {
         let at = at.max(self.now);
-        self.pending.push((at, Box::new(f)));
+        let span = self.trace.current_span().map(str::to_owned);
+        self.pending.push((at, Box::new(f), span));
     }
 
     /// Schedule `f` after a relative `delay`.
     pub fn schedule_in(&mut self, delay: SimTime, f: impl FnOnce(&mut W, &mut Ctx<W>) + 'static) {
         let at = self.now.saturating_add(delay);
-        self.pending.push((at, Box::new(f)));
+        let span = self.trace.current_span().map(str::to_owned);
+        self.pending.push((at, Box::new(f), span));
     }
 
     /// Record a trace entry stamped with the current time.
@@ -176,6 +189,7 @@ pub struct Engine<W> {
     rng: SimRng,
     metrics: Metrics,
     trace: Trace,
+    provenance: Provenance,
     stopped: bool,
     events_processed: u64,
 }
@@ -191,6 +205,7 @@ impl<W> Engine<W> {
             rng: SimRng::seed_from_u64(seed),
             metrics: Metrics::new(),
             trace: Trace::default(),
+            provenance: Provenance::default(),
             stopped: false,
             events_processed: 0,
         }
@@ -231,17 +246,29 @@ impl<W> Engine<W> {
         &mut self.trace
     }
 
+    /// Causal provenance of dispatched events (read).
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
+    }
+
+    /// Causal provenance (write) — e.g. to disable or resize the capture.
+    pub fn provenance_mut(&mut self) -> &mut Provenance {
+        &mut self.provenance
+    }
+
     /// The run's random stream — for setup code that draws outside events.
     pub fn rng_mut(&mut self) -> &mut SimRng {
         &mut self.rng
     }
 
-    /// Schedule `f` at absolute time `at` (clamped to `now`).
+    /// Schedule `f` at absolute time `at` (clamped to `now`). Events
+    /// scheduled here — from outside any handler — are *root injections*:
+    /// their provenance records no parent.
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Ctx<W>) + 'static) {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { time: at, seq, f: Box::new(f) });
+        self.queue.push(Scheduled { time: at, seq, f: Box::new(f), parent: None, span: None });
     }
 
     /// Schedule `f` after a relative `delay`.
@@ -259,12 +286,19 @@ impl<W> Engine<W> {
             return false;
         };
         debug_assert!(ev.time >= self.now, "event queue produced a past event");
+        let Scheduled { time, seq, f, parent, span } = ev;
         // Virtual time attributed to this event: how far it advanced the
         // clock. Wall-clock reads are gated on Profile mode so the common
         // Off/Cost paths never touch `Instant`.
-        let virtual_micros = ev.time.as_micros().saturating_sub(self.now.as_micros());
+        let virtual_micros = time.as_micros().saturating_sub(self.now.as_micros());
         let started = if obs::profiling() { Some(Instant::now()) } else { None };
-        self.now = ev.time;
+        self.now = time;
+        let id = EventId(seq);
+        let node = ProvenanceNode { id, parent, time, span };
+        obs::on_dispatch(&node);
+        self.provenance.record(node);
+        self.metrics.record_series("engine.events", time, 1);
+        self.trace.set_current_event(Some(id));
         let mut ctx = Ctx {
             now: self.now,
             rng: &mut self.rng,
@@ -273,18 +307,20 @@ impl<W> Engine<W> {
             pending: Vec::new(),
             stop: false,
             first_topic: None,
+            event: id,
         };
-        (ev.f)(&mut self.world, &mut ctx);
+        f(&mut self.world, &mut ctx);
         let Ctx { pending, stop, first_topic, .. } = ctx;
-        obs::on_event();
         if let Some(start) = started {
             let topic = first_topic.as_deref().unwrap_or("engine.untraced");
             obs::on_handler(topic, virtual_micros, start.elapsed().as_nanos() as u64);
         }
-        for (at, f) in pending {
+        self.trace.set_current_event(None);
+        obs::on_dispatch_end();
+        for (at, f, span) in pending {
             let seq = self.seq;
             self.seq += 1;
-            self.queue.push(Scheduled { time: at, seq, f });
+            self.queue.push(Scheduled { time: at, seq, f, parent: Some(id), span });
         }
         self.events_processed += 1;
         if stop {
@@ -657,6 +693,82 @@ mod tests {
         assert_eq!(eng.trace().len(), 3);
         let entries: Vec<_> = eng.trace().entries().collect();
         assert_eq!(entries[1].depth, 1);
+    }
+
+    #[test]
+    fn provenance_links_children_to_their_scheduler() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(1), |w: &mut World, ctx| {
+            w.log.push(1);
+            ctx.schedule_in(SimTime::from_millis(1), |w: &mut World, ctx| {
+                w.log.push(2);
+                ctx.schedule_in(SimTime::from_millis(1), |w: &mut World, _| w.log.push(3));
+            });
+        });
+        eng.schedule_at(SimTime::from_millis(9), |w: &mut World, _| w.log.push(9));
+        eng.run_to_completion();
+
+        let p = eng.provenance();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.roots().count(), 2, "both external schedules are roots");
+        // The chain 1 -> 2 -> 3 is recorded parent by parent.
+        let chain: Vec<(u64, Option<u64>)> =
+            p.ancestry(EventId(3)).iter().map(|n| (n.id.0, n.parent.map(|e| e.0))).collect();
+        assert_eq!(chain, [(3, Some(2)), (2, Some(0)), (0, None)]);
+        // Dispatch times are recorded.
+        assert_eq!(p.get(EventId(3)).unwrap().time, SimTime::from_millis(3));
+        // The engine also tallies a windowed event series.
+        assert_eq!(eng.metrics().series("engine.events").unwrap().total(), 4);
+    }
+
+    #[test]
+    fn provenance_captures_the_open_span_at_schedule_time() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(1), |_, ctx| {
+            ctx.span_enter("net.send", None, &[]);
+            ctx.schedule_in(SimTime::from_millis(1), |_, _| {});
+            ctx.span_exit(&[]);
+            ctx.schedule_in(SimTime::from_millis(2), |_, _| {});
+        });
+        eng.run_to_completion();
+        let inside = eng.provenance().get(EventId(1)).unwrap();
+        assert_eq!(inside.span.as_deref(), Some("net.send"));
+        let outside = eng.provenance().get(EventId(2)).unwrap();
+        assert_eq!(outside.span, None);
+    }
+
+    #[test]
+    fn trace_entries_are_stamped_with_their_event() {
+        let mut eng = Engine::new(World::default(), 1);
+        eng.schedule_at(SimTime::from_millis(1), |_, ctx| ctx.trace("t", "first"));
+        eng.schedule_at(SimTime::from_millis(2), |_, ctx| {
+            assert_eq!(ctx.event_id(), EventId(1));
+            ctx.trace("t", "second");
+        });
+        eng.run_to_completion();
+        let stamps: Vec<_> = eng.trace().entries().map(|e| e.event).collect();
+        assert_eq!(stamps, [Some(EventId(0)), Some(EventId(1))]);
+        // Outside dispatch, entries carry no stamp.
+        eng.trace_mut().record(SimTime::from_millis(9), "t", "outside");
+        assert_eq!(eng.trace().entries().last().unwrap().event, None);
+    }
+
+    #[test]
+    fn provenance_capture_never_changes_the_run_digest() {
+        let run = |disable: bool| {
+            let mut eng = Engine::new(World::default(), 5);
+            if disable {
+                eng.provenance_mut().disable();
+            }
+            eng.schedule_at(SimTime::from_millis(1), |_, ctx| {
+                let roll = ctx.rng.range(0..100u32);
+                ctx.trace("t", format!("rolled {roll}"));
+                ctx.schedule_in(SimTime::from_millis(1), |_, ctx| ctx.metrics.incr("x"));
+            });
+            eng.run_to_completion();
+            eng.digest()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -3,18 +3,41 @@
 use crate::engine::Ctx;
 use crate::time::SimTime;
 use core::cmp::Ordering;
+use serde::{Deserialize, Serialize};
 
 /// An event handler: runs against the world and an engine context that can
 /// schedule further events.
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Ctx<W>)>;
 
+/// The identity of a scheduled event: the engine's global sequence number,
+/// assigned at schedule time. Ids are unique within a run and *strictly
+/// increase* in schedule order, which gives the provenance layer its key
+/// structural invariant for free: an event's parent was necessarily
+/// scheduled before it, so `parent.0 < id.0` always, and every ancestry
+/// walk strictly decreases — the causal graph is acyclic by construction.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct EventId(pub u64);
+
+impl core::fmt::Display for EventId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
 /// A scheduled event. Ordering is `(time, seq)` — the sequence number makes
 /// the order *total*, so simultaneous events always run in the order they
-/// were scheduled, which is what makes whole runs reproducible.
+/// were scheduled, which is what makes whole runs reproducible. Each entry
+/// also carries its causal origin: the event whose handler scheduled it
+/// (`None` for root injections scheduled from outside the engine) and the
+/// innermost engine-trace span open at schedule time.
 pub(crate) struct Scheduled<W> {
     pub time: SimTime,
     pub seq: u64,
     pub f: EventFn<W>,
+    pub parent: Option<EventId>,
+    pub span: Option<String>,
 }
 
 impl<W> PartialEq for Scheduled<W> {
@@ -43,7 +66,13 @@ mod tests {
     use std::collections::BinaryHeap;
 
     fn ev(time: u64, seq: u64) -> Scheduled<()> {
-        Scheduled { time: SimTime::from_micros(time), seq, f: Box::new(|_, _| {}) }
+        Scheduled {
+            time: SimTime::from_micros(time),
+            seq,
+            f: Box::new(|_, _| {}),
+            parent: None,
+            span: None,
+        }
     }
 
     #[test]
@@ -64,5 +93,11 @@ mod tests {
         h.push(ev(5, 1));
         let order: Vec<u64> = std::iter::from_fn(|| h.pop()).map(|e| e.seq).collect();
         assert_eq!(order, [0, 1, 2]);
+    }
+
+    #[test]
+    fn event_ids_render_compactly() {
+        assert_eq!(EventId(42).to_string(), "e42");
+        assert!(EventId(1) < EventId(2));
     }
 }

@@ -25,6 +25,11 @@
 //! * [`obs`] — an ambient per-run observation scope: cost counters
 //!   (events, rng draws, forwards), a rolling digest, and Profile-mode
 //!   per-topic time attribution, all zero-cost when disabled.
+//! * [`provenance`] — the causal DAG of which event scheduled which:
+//!   every dispatch records its parent event and originating span, with
+//!   bounded capture and ancestry walks ("why did this event run?").
+//! * [`flame`] — deterministic collapsed-stack (flamegraph) rendering of
+//!   span captures, attributed by virtual time.
 //!
 //! No async runtime is used: the workload is CPU-bound simulation, and the
 //! engine is single-threaded by design (parallelism, where used, is across
@@ -53,20 +58,25 @@ pub mod digest;
 pub mod engine;
 pub mod event;
 pub mod fault;
+pub mod flame;
 pub mod metrics;
 pub mod obs;
 pub mod plan;
+pub mod provenance;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use digest::{Fnv1a, RunDigest};
 pub use engine::{Ctx, Engine, RunBudget, RunOutcome, RunReport};
-pub use event::EventFn;
+pub use event::{EventFn, EventId};
 pub use fault::{FaultInjector, FaultOutcome, FaultStats};
-pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot};
+pub use metrics::{
+    Histogram, HistogramSummary, Metrics, MetricsSnapshot, RunSeries, TimeSeries, TimeSeriesSummary,
+};
 pub use obs::{ObsGuard, ObsMode, RunRecord, TopicCost};
 pub use plan::{FaultAction, FaultEvent, FaultPlan};
+pub use provenance::{Provenance, ProvenanceNode};
 pub use rng::SimRng;
 pub use time::SimTime;
 pub use trace::{SpanKind, Trace, TraceEntry};

@@ -8,8 +8,152 @@
 use crate::digest::Fnv1a;
 use crate::fault::{FaultOutcome, FaultStats};
 use crate::obs;
+use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Fixed number of buckets in a [`TimeSeries`]; the bucket *width* doubles
+/// whenever a sample lands past the end, so memory stays constant while
+/// runs of any virtual length remain summarizable.
+pub const SERIES_BUCKETS: usize = 32;
+
+/// Initial [`TimeSeries`] bucket width in virtual microseconds.
+pub const SERIES_INITIAL_WIDTH_MICROS: u64 = 1_024;
+
+/// A windowed count over virtual time: a fixed array of buckets whose width
+/// doubles (merging pairwise) whenever a sample lands beyond the last
+/// bucket. Used for per-virtual-time-bucket event/forward/fault activity.
+///
+/// Series are **never digested** — they are a derived projection of the
+/// already-digested trace and counter streams, so capturing them must not
+/// change any [`crate::RunDigest`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    width_micros: u64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        TimeSeries {
+            width_micros: SERIES_INITIAL_WIDTH_MICROS,
+            counts: vec![0; SERIES_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl TimeSeries {
+    /// New empty series at the initial bucket width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn coarsen(&mut self) {
+        self.width_micros = self.width_micros.saturating_mul(2);
+        for i in 0..SERIES_BUCKETS / 2 {
+            self.counts[i] = self.counts[2 * i] + self.counts[2 * i + 1];
+        }
+        for c in &mut self.counts[SERIES_BUCKETS / 2..] {
+            *c = 0;
+        }
+    }
+
+    /// Add `n` occurrences at virtual time `at`, widening buckets as needed.
+    pub fn record(&mut self, at: SimTime, n: u64) {
+        let micros = at.as_micros();
+        while (micros / self.width_micros) as usize >= SERIES_BUCKETS {
+            self.coarsen();
+        }
+        self.counts[(micros / self.width_micros) as usize] += n;
+        self.total += n;
+    }
+
+    /// Current bucket width in virtual microseconds.
+    pub fn width_micros(&self) -> u64 {
+        self.width_micros
+    }
+
+    /// Total count across all buckets.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Merge another series into this one, coarsening both views to the
+    /// wider bucket width first.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        while self.width_micros < other.width_micros {
+            self.coarsen();
+        }
+        let mut o = other.clone();
+        while o.width_micros < self.width_micros {
+            o.coarsen();
+        }
+        for (a, b) in self.counts.iter_mut().zip(&o.counts) {
+            *a += b;
+        }
+        self.total += o.total;
+    }
+
+    /// Export with trailing empty buckets trimmed.
+    pub fn summary(&self) -> TimeSeriesSummary {
+        let used = self.counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        TimeSeriesSummary {
+            width_micros: self.width_micros,
+            counts: self.counts[..used].to_vec(),
+            total: self.total,
+        }
+    }
+}
+
+/// Exported view of a [`TimeSeries`]: bucket width, trimmed bucket counts
+/// and the total.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeSeriesSummary {
+    /// Bucket width in virtual microseconds.
+    pub width_micros: u64,
+    /// Per-bucket counts, oldest first, trailing zeros trimmed.
+    pub counts: Vec<u64>,
+    /// Total count.
+    pub total: u64,
+}
+
+impl TimeSeriesSummary {
+    /// Compact one-token rendering, e.g. `[3,1,0,2]/1024us` (`-` if empty).
+    pub fn render(&self) -> String {
+        if self.total == 0 {
+            return "-".to_owned();
+        }
+        let buckets: Vec<String> = self.counts.iter().map(u64::to_string).collect();
+        format!("[{}]/{}us", buckets.join(","), self.width_micros)
+    }
+}
+
+/// The standard activity series of one observed run: events dispatched,
+/// network forwards, and fault-injector hits, each bucketed by virtual
+/// time. Carried on [`crate::RunRecord`] and the report cost appendix.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunSeries {
+    /// Engine events dispatched per bucket.
+    pub events: TimeSeriesSummary,
+    /// Network hop forwards per bucket.
+    pub forwards: TimeSeriesSummary,
+    /// Fault-injector non-pass outcomes per bucket.
+    pub faults: TimeSeriesSummary,
+}
+
+impl RunSeries {
+    /// True when no series recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.events.total == 0 && self.forwards.total == 0 && self.faults.total == 0
+    }
+}
 
 /// A log-bucketed histogram over non-negative `f64` samples.
 ///
@@ -179,11 +323,16 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries in key order.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Windowed virtual-time series in key order. **Not digested** — see
+    /// [`TimeSeries`].
+    pub series: BTreeMap<String, TimeSeriesSummary>,
 }
 
 impl MetricsSnapshot {
     /// Absorb the whole snapshot into a hasher. Key order is the BTreeMap
-    /// order, so equal snapshots absorb identically.
+    /// order, so equal snapshots absorb identically. The `series` section
+    /// is deliberately excluded: series are derived from already-digested
+    /// streams, and digests must stay stable as series capture evolves.
     pub fn absorb_into(&self, h: &mut Fnv1a) {
         h.write_u8(0xB1);
         h.write_u64(self.counters.len() as u64);
@@ -212,7 +361,10 @@ impl MetricsSnapshot {
 
     /// Whether the snapshot holds no metrics at all.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.series.is_empty()
     }
 
     /// Render as markdown tables (one per non-empty section).
@@ -247,6 +399,15 @@ impl MetricsSnapshot {
                 ));
             }
         }
+        if !self.series.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str("| series | total | buckets |\n|---|---:|---|\n");
+            for (k, s) in &self.series {
+                out.push_str(&format!("| {k} | {} | {} |\n", s.total, s.render()));
+            }
+        }
         out
     }
 
@@ -262,6 +423,7 @@ pub struct Metrics {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
 }
 
 impl Metrics {
@@ -327,12 +489,34 @@ impl Metrics {
         self.histograms.entry(key.to_owned()).or_default().record(value);
     }
 
+    /// Add `n` occurrences to the windowed virtual-time series `key` at
+    /// time `at`. Series feed no obs hook and no digest: they are a
+    /// derived projection of streams that are already digested, so
+    /// recording them can never flip a determinism check.
+    pub fn record_series(&mut self, key: &str, at: SimTime, n: u64) {
+        // get_mut-first keeps the steady state (engine hot path) free of
+        // key allocation; only the first write per key allocates.
+        if let Some(s) = self.series.get_mut(key) {
+            s.record(at, n);
+        } else {
+            let mut s = TimeSeries::new();
+            s.record(at, n);
+            self.series.insert(key.to_owned(), s);
+        }
+    }
+
+    /// Access a windowed series, if anything was recorded under `key`.
+    pub fn series(&self, key: &str) -> Option<&TimeSeries> {
+        self.series.get(key)
+    }
+
     /// Export every counter, gauge and histogram summary.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self.counters.clone(),
             gauges: self.gauges.clone(),
             histograms: self.histograms.iter().map(|(k, h)| (k.clone(), h.summary())).collect(),
+            series: self.series.iter().map(|(k, s)| (k.clone(), s.summary())).collect(),
         }
     }
 
@@ -362,6 +546,9 @@ impl Metrics {
         }
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, s) in &other.series {
+            self.series.entry(k.clone()).or_default().merge(s);
         }
     }
 }
@@ -531,5 +718,73 @@ mod tests {
         let snap = Metrics::new().snapshot();
         assert!(snap.is_empty());
         assert_eq!(snap.to_markdown(), "");
+    }
+
+    #[test]
+    fn time_series_buckets_by_virtual_time() {
+        let mut s = TimeSeries::new();
+        s.record(SimTime::from_micros(0), 2);
+        s.record(SimTime::from_micros(1023), 1);
+        s.record(SimTime::from_micros(1024), 4);
+        let sum = s.summary();
+        assert_eq!(sum.width_micros, SERIES_INITIAL_WIDTH_MICROS);
+        assert_eq!(sum.counts, [3, 4]);
+        assert_eq!(sum.total, 7);
+        assert_eq!(sum.render(), "[3,4]/1024us");
+    }
+
+    #[test]
+    fn time_series_coarsens_instead_of_growing() {
+        let mut s = TimeSeries::new();
+        s.record(SimTime::from_micros(0), 1);
+        s.record(SimTime::from_micros(10), 1);
+        // Far past the initial window: widths must double until it fits.
+        s.record(SimTime::from_millis(1_000), 1);
+        let sum = s.summary();
+        assert!(sum.width_micros > SERIES_INITIAL_WIDTH_MICROS);
+        assert!(sum.counts.len() <= SERIES_BUCKETS);
+        assert_eq!(sum.total, 3);
+        assert_eq!(sum.counts.iter().sum::<u64>(), 3, "coarsening conserves counts");
+        assert_eq!(sum.counts[0], 2, "early samples merge into the first bucket");
+    }
+
+    #[test]
+    fn time_series_merge_aligns_widths() {
+        let mut fine = TimeSeries::new();
+        fine.record(SimTime::from_micros(5), 3);
+        let mut coarse = TimeSeries::new();
+        coarse.record(SimTime::from_millis(1_000), 1);
+        let coarse_width = coarse.width_micros();
+        fine.merge(&coarse);
+        assert_eq!(fine.width_micros(), coarse_width);
+        assert_eq!(fine.total(), 4);
+    }
+
+    #[test]
+    fn series_never_affect_the_snapshot_digest() {
+        use crate::digest::Fnv1a;
+        let mut plain = Metrics::new();
+        plain.add("x", 1);
+        let mut with_series = Metrics::new();
+        with_series.add("x", 1);
+        with_series.record_series("engine.events", SimTime::from_micros(7), 5);
+        let mut ha = Fnv1a::new();
+        plain.snapshot().absorb_into(&mut ha);
+        let mut hb = Fnv1a::new();
+        with_series.snapshot().absorb_into(&mut hb);
+        assert_eq!(ha.finish(), hb.finish(), "series are a non-digested projection");
+        assert!(!with_series.snapshot().is_empty());
+        let md = with_series.snapshot().to_markdown();
+        assert!(md.contains("| engine.events | 5 |"), "{md}");
+    }
+
+    #[test]
+    fn metrics_merge_includes_series() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.record_series("s", SimTime::from_micros(1), 1);
+        b.record_series("s", SimTime::from_micros(2), 2);
+        a.merge(&b);
+        assert_eq!(a.series("s").unwrap().total(), 3);
     }
 }

@@ -22,6 +22,9 @@
 //! nondeterministic by nature and the digest is the determinism check.
 
 use crate::digest::{Fnv1a, RunDigest};
+use crate::event::EventId;
+use crate::metrics::{RunSeries, TimeSeries};
+use crate::provenance::ProvenanceNode;
 use crate::time::SimTime;
 use crate::trace::{SpanKind, TraceEntry};
 use serde::{Deserialize, Serialize};
@@ -86,6 +89,19 @@ pub struct RunRecord {
     pub ring: Vec<TraceEntry>,
     /// Entries evicted from the Profile ring due to capacity.
     pub ring_dropped: u64,
+    /// Causal provenance of dispatched events, oldest first (Profile mode
+    /// only; bounded). Never digested — ids are positional bookkeeping.
+    pub provenance: Vec<ProvenanceNode>,
+    /// Provenance nodes evicted due to capacity.
+    pub provenance_dropped: u64,
+    /// Rolling digest value *after each absorbed trace entry* (Profile
+    /// mode only): `prefix_digests[i]` is the digest state once entry `i`
+    /// was absorbed. Two runs' streams first diverge at the smallest index
+    /// where these differ — the binary-search key for `tussle-cli diff`.
+    pub prefix_digests: Vec<u64>,
+    /// Windowed virtual-time activity series (events / forwards / faults).
+    /// Never digested — a derived projection of already-digested streams.
+    pub series: RunSeries,
 }
 
 struct ObsState {
@@ -103,6 +119,14 @@ struct ObsState {
     ring_dropped: u64,
     /// Open ambient spans: (topic, enter virtual micros, enter instant).
     open: Vec<(String, u64, Instant)>,
+    /// The event currently being dispatched (stamped onto ambient entries).
+    current_event: Option<EventId>,
+    provenance: VecDeque<ProvenanceNode>,
+    provenance_dropped: u64,
+    prefix: Vec<u64>,
+    series_events: TimeSeries,
+    series_forwards: TimeSeries,
+    series_faults: TimeSeries,
 }
 
 impl ObsState {
@@ -121,6 +145,13 @@ impl ObsState {
             ring: VecDeque::new(),
             ring_dropped: 0,
             open: Vec::new(),
+            current_event: None,
+            provenance: VecDeque::new(),
+            provenance_dropped: 0,
+            prefix: Vec::new(),
+            series_events: TimeSeries::new(),
+            series_forwards: TimeSeries::new(),
+            series_faults: TimeSeries::new(),
         }
     }
 
@@ -147,6 +178,14 @@ impl ObsState {
             topics: self.topics,
             ring: self.ring.into_iter().collect(),
             ring_dropped: self.ring_dropped,
+            provenance: self.provenance.into_iter().collect(),
+            provenance_dropped: self.provenance_dropped,
+            prefix_digests: self.prefix,
+            series: RunSeries {
+                events: self.series_events.summary(),
+                forwards: self.series_forwards.summary(),
+                faults: self.series_faults.summary(),
+            },
         }
     }
 
@@ -164,6 +203,9 @@ impl ObsState {
                 self.ring_dropped += 1;
             }
             self.ring.push_back(entry.clone());
+            // Snapshot the rolling digest after each entry: Fnv1a::finish
+            // is non-consuming, so the prefix stream costs one push.
+            self.prefix.push(self.hasher.finish());
         }
     }
 }
@@ -246,16 +288,51 @@ pub fn on_event() {
     with_state(|s| s.events += 1);
 }
 
+/// One engine event was dispatched, with its provenance. Counts the event,
+/// buckets it into the activity series, stamps subsequent ambient entries
+/// with its id, and (Profile mode) captures the node in a bounded ring.
+/// None of this touches the digest: ids and series are positional.
+#[inline]
+pub fn on_dispatch(node: &ProvenanceNode) {
+    with_state(|s| {
+        s.events += 1;
+        s.series_events.record(node.time, 1);
+        s.current_event = Some(node.id);
+        if s.mode == ObsMode::Profile {
+            if s.provenance.len() == PROFILE_RING_CAPACITY {
+                s.provenance.pop_front();
+                s.provenance_dropped += 1;
+            }
+            s.provenance.push_back(node.clone());
+        }
+    });
+}
+
+/// The engine finished dispatching the current event.
+#[inline]
+pub fn on_dispatch_end() {
+    with_state(|s| s.current_event = None);
+}
+
 /// One randomness-consuming rng call completed.
 #[inline]
 pub fn on_rng_draw() {
     with_state(|s| s.rng_draws += 1);
 }
 
-/// One packet hop was forwarded.
+/// One packet hop was forwarded at virtual time `at`.
 #[inline]
-pub fn on_forward() {
-    with_state(|s| s.forwards += 1);
+pub fn on_forward(at: SimTime) {
+    with_state(|s| {
+        s.forwards += 1;
+        s.series_forwards.record(at, 1);
+    });
+}
+
+/// A fault injector produced a non-pass outcome at virtual time `at`.
+#[inline]
+pub fn on_fault(at: SimTime) {
+    with_state(|s| s.series_faults.record(at, 1));
 }
 
 /// Absorb a structured trace entry (called by [`crate::Trace`] on every
@@ -324,6 +401,7 @@ pub fn span_enter(time: SimTime, topic: &str, stakeholder: Option<&str>, fields:
             stakeholder: stakeholder.map(str::to_owned),
             fields: fields.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
             depth: s.open.len() as u32,
+            event: s.current_event,
         };
         s.absorb(&entry);
         s.open.push((topic.to_owned(), time.as_micros(), Instant::now()));
@@ -345,6 +423,7 @@ pub fn span_exit(time: SimTime, fields: &[(&str, &str)]) {
             stakeholder: None,
             fields: fields.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
             depth: s.open.len() as u32,
+            event: s.current_event,
         };
         s.absorb(&entry);
         if s.mode == ObsMode::Profile {
@@ -367,6 +446,7 @@ pub fn event(time: SimTime, topic: &str, message: &str) {
             stakeholder: None,
             fields: Vec::new(),
             depth: s.open.len() as u32,
+            event: s.current_event,
         };
         s.absorb(&entry);
     });
@@ -394,7 +474,7 @@ mod tests {
         on_event();
         on_event();
         on_rng_draw();
-        on_forward();
+        on_forward(SimTime::from_micros(2));
         event(SimTime::from_micros(3), "econ.price", "posted");
         let rec = g.finish();
         assert!(!active());
@@ -461,6 +541,85 @@ mod tests {
         assert_eq!(market.virtual_micros, 300);
         let fwd = &rec.topics["net.forward"];
         assert_eq!((fwd.events, fwd.virtual_micros, fwd.wall_nanos), (2, 30, 1_500));
+    }
+
+    #[test]
+    fn dispatch_hook_counts_series_and_captures_provenance() {
+        let mk = |id: u64, parent: Option<u64>, t: u64| ProvenanceNode {
+            id: EventId(id),
+            parent: parent.map(EventId),
+            time: SimTime::from_micros(t),
+            span: None,
+        };
+        let g = begin(ObsMode::Profile);
+        on_dispatch(&mk(0, None, 0));
+        event(SimTime::ZERO, "t", "stamped");
+        on_dispatch(&mk(1, Some(0), 2048));
+        on_dispatch_end();
+        on_forward(SimTime::from_micros(10));
+        on_fault(SimTime::from_micros(10));
+        let rec = g.finish();
+        assert_eq!(rec.events, 2);
+        assert_eq!(rec.provenance.len(), 2);
+        assert_eq!(rec.provenance[1].parent, Some(EventId(0)));
+        assert_eq!(rec.ring[0].event, Some(EventId(0)), "ambient entry stamped");
+        assert_eq!(rec.series.events.total, 2);
+        assert_eq!(rec.series.events.counts, [1, 0, 1], "bucketed by virtual time");
+        assert_eq!(rec.series.forwards.total, 1);
+        assert_eq!(rec.series.faults.total, 1);
+    }
+
+    #[test]
+    fn provenance_and_series_stay_out_of_the_digest() {
+        let base = || {
+            let g = begin(ObsMode::Cost);
+            event(SimTime::from_micros(1), "t", "m");
+            g.finish()
+        };
+        let a = base();
+        let g = begin(ObsMode::Cost);
+        // Same absorbed work plus series/fault activity that must not
+        // perturb the digest (events counter folds in, so use on_fault,
+        // which only feeds a series).
+        on_fault(SimTime::from_micros(5));
+        event(SimTime::from_micros(1), "t", "m");
+        let b = g.finish();
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn prefix_digests_track_every_absorbed_entry() {
+        let g = begin(ObsMode::Profile);
+        event(SimTime::from_micros(1), "a", "1");
+        event(SimTime::from_micros(2), "b", "2");
+        event(SimTime::from_micros(3), "c", "3");
+        let rec = g.finish();
+        assert_eq!(rec.prefix_digests.len(), rec.ring.len());
+        assert_eq!(rec.prefix_digests.len() as u64, rec.trace_entries);
+        // Cost mode keeps the stream digest but skips the prefix capture.
+        let g = begin(ObsMode::Cost);
+        event(SimTime::from_micros(1), "a", "1");
+        let rec = g.finish();
+        assert!(rec.prefix_digests.is_empty());
+    }
+
+    #[test]
+    fn equal_runs_share_prefixes_and_diverge_once() {
+        let run = |third: &str| {
+            let g = begin(ObsMode::Profile);
+            event(SimTime::from_micros(1), "a", "1");
+            event(SimTime::from_micros(2), "b", "2");
+            event(SimTime::from_micros(3), "c", third);
+            event(SimTime::from_micros(4), "d", "4");
+            g.finish()
+        };
+        let a = run("same");
+        let b = run("same");
+        assert_eq!(a.prefix_digests, b.prefix_digests);
+        let c = run("DIFFERENT");
+        assert_eq!(a.prefix_digests[..2], c.prefix_digests[..2]);
+        assert_ne!(a.prefix_digests[2], c.prefix_digests[2]);
+        assert_ne!(a.prefix_digests[3], c.prefix_digests[3], "streams stay diverged");
     }
 
     #[test]

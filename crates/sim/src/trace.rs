@@ -12,6 +12,7 @@
 //! cover the trace stream even when the ring later evicts entries.
 
 use crate::digest::{Fnv1a, RunDigest};
+use crate::event::EventId;
 use crate::obs;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -46,10 +47,16 @@ pub struct TraceEntry {
     /// Span nesting depth at which the entry was recorded (0 = top level;
     /// an `Enter` records the depth of the span it opens).
     pub depth: u32,
+    /// The engine event whose handler recorded this entry, when known.
+    /// Deliberately **not** digested: event ids are positional bookkeeping
+    /// derived from the already-digested schedule order, so stamping them
+    /// must never change a [`RunDigest`].
+    pub event: Option<EventId>,
 }
 
 impl TraceEntry {
     /// Absorb this entry into a hasher (the per-entry digest contribution).
+    /// Note `event` is excluded by design — see its field doc.
     pub fn absorb_into(&self, h: &mut Fnv1a) {
         h.write_u8(match self.kind {
             SpanKind::Event => 0,
@@ -98,6 +105,9 @@ impl TraceEntry {
             let kv: Vec<String> = self.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
             out.push_str(&format!(" {{{}}}", kv.join(" ")));
         }
+        if let Some(e) = self.event {
+            out.push_str(&format!(" @{e}"));
+        }
         out
     }
 }
@@ -111,6 +121,9 @@ pub struct Trace {
     dropped: u64,
     /// Topics of currently open spans, innermost last.
     open: Vec<String>,
+    /// The event currently being dispatched by the owning engine, if any;
+    /// stamped onto every entry recorded while it is set.
+    current_event: Option<EventId>,
 }
 
 impl Default for Trace {
@@ -128,7 +141,21 @@ impl Trace {
             enabled: true,
             dropped: 0,
             open: Vec::new(),
+            current_event: None,
         }
+    }
+
+    /// Set (or clear) the event stamped onto subsequently recorded entries.
+    /// The engine calls this around every handler dispatch.
+    pub fn set_current_event(&mut self, event: Option<EventId>) {
+        self.current_event = event;
+    }
+
+    /// The topic of the innermost open span, if any. The engine captures
+    /// this at schedule time so provenance records the span context a
+    /// child event was scheduled from.
+    pub fn current_span(&self) -> Option<&str> {
+        self.open.last().map(String::as_str)
     }
 
     /// Disable recording (records and span edges are silently discarded).
@@ -164,6 +191,7 @@ impl Trace {
             stakeholder: None,
             fields: Vec::new(),
             depth,
+            event: self.current_event,
         });
     }
 
@@ -188,6 +216,7 @@ impl Trace {
             stakeholder: stakeholder.map(str::to_owned),
             fields: fields.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
             depth,
+            event: self.current_event,
         });
     }
 
@@ -213,6 +242,7 @@ impl Trace {
             stakeholder: stakeholder.map(str::to_owned),
             fields: fields.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
             depth,
+            event: self.current_event,
         });
         self.open.push(topic.to_owned());
     }
@@ -234,6 +264,7 @@ impl Trace {
             stakeholder: None,
             fields: fields.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
             depth,
+            event: self.current_event,
         });
         Some(topic)
     }
@@ -423,6 +454,32 @@ mod tests {
         fill(&mut small);
         fill(&mut large);
         assert_eq!(small.digest(), large.digest());
+    }
+
+    #[test]
+    fn event_stamp_is_rendered_but_never_digested() {
+        let mut plain = Trace::default();
+        plain.record(SimTime::from_micros(1), "t", "m");
+        let mut stamped = Trace::default();
+        stamped.set_current_event(Some(EventId(9)));
+        stamped.record(SimTime::from_micros(1), "t", "m");
+        assert_eq!(stamped.entries().next().unwrap().event, Some(EventId(9)));
+        assert!(stamped.entries().next().unwrap().to_line().ends_with("@e9"));
+        assert_eq!(plain.digest(), stamped.digest(), "ids are positional, not semantic");
+        stamped.set_current_event(None);
+        stamped.record(SimTime::from_micros(2), "t", "m2");
+        assert_eq!(stamped.entries().nth(1).unwrap().event, None);
+    }
+
+    #[test]
+    fn current_span_tracks_innermost_open_topic() {
+        let mut t = Trace::default();
+        assert_eq!(t.current_span(), None);
+        t.span_enter(SimTime::ZERO, "outer", None, &[]);
+        t.span_enter(SimTime::ZERO, "inner", None, &[]);
+        assert_eq!(t.current_span(), Some("inner"));
+        t.span_exit(SimTime::ZERO, &[]);
+        assert_eq!(t.current_span(), Some("outer"));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property tests for event provenance: the causal DAG the engine records
+//! while dispatching.
+
+use proptest::prelude::*;
+use tussle_sim::{obs, Ctx, Engine, SimTime};
+
+/// A self-expanding event tree: each event schedules `fan` children until
+/// `depth` is exhausted. The world counts dispatches.
+fn tick(depth: u8, fan: u8, delay: u64) -> impl FnOnce(&mut u64, &mut Ctx<u64>) + 'static {
+    move |w, ctx| {
+        *w += 1;
+        if depth > 0 {
+            for k in 0..fan {
+                ctx.schedule_in(
+                    SimTime::from_micros(delay + k as u64),
+                    tick(depth - 1, fan, delay),
+                );
+            }
+        }
+    }
+}
+
+/// Build and run a random event forest, returning the engine.
+fn run_forest(roots: &[u64], depth: u8, fan: u8, delay: u64) -> Engine<u64> {
+    let mut eng: Engine<u64> = Engine::new(0, 7);
+    for t in roots {
+        eng.schedule_at(SimTime::from_micros(*t), tick(depth, fan, delay));
+    }
+    eng.run_to_completion();
+    eng
+}
+
+proptest! {
+    /// The provenance graph is acyclic by construction: every recorded
+    /// parent id is strictly smaller than its child's id (parents are
+    /// dispatched — and numbered — before anything they schedule), and
+    /// every non-root node's parent is itself recorded.
+    #[test]
+    fn provenance_is_an_acyclic_dag(
+        roots in proptest::collection::vec(0u64..1_000, 1..4),
+        depth in 0u8..4,
+        fan in 1u8..3,
+        delay in 1u64..100,
+    ) {
+        let eng = run_forest(&roots, depth, fan, delay);
+        prop_assert_eq!(eng.provenance().len() as u64, eng.world, "one node per dispatch");
+        for node in eng.provenance().iter() {
+            if let Some(parent) = node.parent {
+                prop_assert!(parent.0 < node.id.0, "child {} scheduled by later {}", node.id, parent);
+                prop_assert!(eng.provenance().get(parent).is_some(), "parent {parent} recorded");
+            }
+        }
+        // Exactly the externally injected events are roots.
+        prop_assert_eq!(eng.provenance().roots().count(), roots.len());
+    }
+
+    /// Ancestry walks terminate at a root in at most `events` hops, with
+    /// strictly decreasing ids along the way.
+    #[test]
+    fn ancestry_terminates_at_a_root(
+        roots in proptest::collection::vec(0u64..1_000, 1..3),
+        depth in 0u8..4,
+        fan in 1u8..3,
+        delay in 1u64..100,
+    ) {
+        let eng = run_forest(&roots, depth, fan, delay);
+        let events = eng.provenance().len();
+        for node in eng.provenance().iter() {
+            let chain = eng.provenance().ancestry(node.id);
+            prop_assert!(!chain.is_empty() && chain.len() <= events);
+            prop_assert_eq!(chain[0].id, node.id, "chain starts at the query");
+            prop_assert_eq!(chain.last().unwrap().parent, None, "chain ends at a root");
+            for hop in chain.windows(2) {
+                prop_assert!(hop[1].id.0 < hop[0].id.0, "ids strictly decrease walking up");
+            }
+        }
+    }
+
+    /// The ambient observation scope (Profile mode) mirrors the engine's
+    /// own provenance ring node-for-node.
+    #[test]
+    fn obs_mirror_matches_the_engine_ring(
+        roots in proptest::collection::vec(0u64..1_000, 1..3),
+        depth in 0u8..3,
+        fan in 1u8..3,
+        delay in 1u64..100,
+    ) {
+        let guard = obs::begin(obs::ObsMode::Profile);
+        let eng = run_forest(&roots, depth, fan, delay);
+        let record = guard.finish();
+        prop_assert_eq!(record.events as usize, eng.provenance().len());
+        let engine_nodes: Vec<_> = eng.provenance().iter().cloned().collect();
+        prop_assert_eq!(record.provenance, engine_nodes);
+        prop_assert_eq!(record.provenance_dropped, 0);
+    }
+
+    /// Ids are schedule-order sequence numbers: every id in 0..n occurs
+    /// exactly once, while the recorded (iteration) order is dispatch
+    /// order — virtual time never decreases along it.
+    #[test]
+    fn ids_are_dense_and_dispatch_order_is_time_ordered(
+        roots in proptest::collection::vec(0u64..1_000, 1..3),
+        depth in 0u8..3,
+    ) {
+        let eng = run_forest(&roots, depth, 2, 10);
+        let mut ids: Vec<u64> = eng.provenance().iter().map(|n| n.id.0).collect();
+        ids.sort_unstable();
+        let expected: Vec<u64> = (0..eng.provenance().len() as u64).collect();
+        prop_assert_eq!(ids, expected);
+        for pair in eng.provenance().iter().collect::<Vec<_>>().windows(2) {
+            prop_assert!(pair[0].time <= pair[1].time, "dispatch order is time order");
+        }
+    }
+}

@@ -93,13 +93,43 @@ fn no_stale_golden_files() {
     if updating() || !dir.exists() {
         return;
     }
-    let live: Vec<String> = run_all(GOLDEN_SEED).iter().map(|r| format!("{}.md", r.id)).collect();
+    let mut live: Vec<String> =
+        run_all(GOLDEN_SEED).iter().map(|r| format!("{}.md", r.id)).collect();
+    // Non-report snapshots locked by their own tests.
+    live.push("E10.collapsed".to_owned());
     for entry in std::fs::read_dir(&dir).expect("read tests/golden") {
         let name = entry.expect("dir entry").file_name().to_string_lossy().into_owned();
         assert!(
             live.contains(&name),
             "stale golden file tests/golden/{name}: no experiment produces it"
         );
+    }
+}
+
+#[test]
+fn golden_collapsed_stack_matches_e10() {
+    // The flamegraph export is deterministic because frames are attributed
+    // by *virtual* time, so the collapsed-stack rendering of E10 at the
+    // golden seed can be locked byte-for-byte like the reports.
+    let path = golden_dir().join("E10.collapsed");
+    let actual =
+        tussle::experiments::profile::collapsed(GOLDEN_SEED, &["E10".into()]).expect("E10 exists");
+    assert!(!actual.is_empty(), "E10 opens observation spans");
+    if updating() {
+        std::fs::write(&path, &actual).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        return;
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(expected) if expected == actual => {}
+        Ok(expected) => panic!(
+            "E10 collapsed stacks diverged from {}:\n{}",
+            path.display(),
+            diff(&expected, &actual)
+        ),
+        Err(e) => panic!(
+            "cannot read {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden_reports`",
+            path.display()
+        ),
     }
 }
 

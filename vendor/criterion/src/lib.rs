@@ -174,6 +174,26 @@ impl Bencher {
             self.samples.len(),
             self.iters,
         );
+        // Machine-readable sidecar: when CRITERION_JSON names a file,
+        // append one JSON line per finished bench so CI can assemble a
+        // perf baseline without scraping the human-format stdout.
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                let line = format!(
+                    "{{\"bench\":\"{}\",\"median_ns\":{}}}\n",
+                    name.replace('\\', "\\\\").replace('"', "\\\""),
+                    s.median.round() as u64
+                );
+                let written = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+                if let Err(e) = written {
+                    eprintln!("warning: could not append to CRITERION_JSON={path}: {e}");
+                }
+            }
+        }
     }
 
     /// Statistics of the last measurement.
@@ -244,6 +264,26 @@ mod tests {
         g.sample_size(2);
         g.bench_function("one", |b| b.iter(|| black_box(1)));
         g.finish();
+    }
+
+    #[test]
+    fn json_sidecar_appends_one_line_per_bench() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_json_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Env vars are process-global; this is the only test that sets it.
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion { filter: None, ..Criterion::default() };
+        c.sample_size(2).measurement_time(Duration::from_millis(20));
+        c.bench_function("grp/one", |b| b.iter(|| black_box(1)));
+        c.bench_function("grp/two", |b| b.iter(|| black_box(2)));
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).expect("sidecar written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].starts_with("{\"bench\":\"grp/one\",\"median_ns\":"), "{text}");
+        assert!(lines[1].ends_with('}'), "{text}");
     }
 
     #[test]
