@@ -10,8 +10,10 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "==> tier-1 build: cargo build --release"
-cargo build --release
+echo "==> tier-1 build: cargo build --release --workspace"
+# --workspace so target/release/tussle-cli exists for the smokes below;
+# the plain root build does not pull the CLI binary in.
+cargo build --release --workspace
 
 # The tier-1 test pass, split per suite so every binary gets a wall-clock
 # reading and a hard budget: a test binary that crosses 120s has outgrown
@@ -46,6 +48,7 @@ timed_test "econ/prop_ledger"              -p tussle-econ        --test prop_led
 timed_test "experiments/chaos_campaign"    -p tussle-experiments --test chaos_campaign
 timed_test "game/prop_games"               -p tussle-game        --test prop_games
 timed_test "names/prop_names"              -p tussle-names       --test prop_names
+timed_test "net/prop_fastpath"             -p tussle-net         --test prop_fastpath
 timed_test "net/prop_net"                  -p tussle-net         --test prop_net
 timed_test "policy/prop_parser"            -p tussle-policy      --test prop_parser
 timed_test "routing/prop_routing"          -p tussle-routing     --test prop_routing
@@ -149,17 +152,27 @@ echo "==> flamegraph smoke: collapsed stacks match the golden snapshot"
   || { echo "FAIL: profile --collapsed diverged from tests/golden/E10.collapsed" >&2; exit 1; }
 echo "flamegraph smoke OK: virtual-time collapsed stacks are stable"
 
-echo "==> perf baseline: BENCH_sim.json from the obs + sweep benches"
+echo "==> route-cache smoke: cached and uncached forwarding digests match"
+cache_on="$(./target/release/tussle-cli profile --only E4 --json | jq -r '.[0].cost.digest')"
+cache_off="$(TUSSLE_ROUTE_CACHE=off ./target/release/tussle-cli profile --only E4 --json | jq -r '.[0].cost.digest')"
+if [[ "$cache_on" != "$cache_off" ]]; then
+  echo "FAIL: E4 digest differs with the route cache disabled ($cache_on vs $cache_off)" >&2
+  exit 1
+fi
+echo "route-cache smoke OK: E4 digest $cache_on with and without the cache"
+
+echo "==> perf baseline: BENCH_sim.json from the obs + sweep + net benches"
 bench_jsonl="$(mktemp)"
 trap 'rm -f "$bench_jsonl"' EXIT
-CRITERION_JSON="$bench_jsonl" cargo bench -p tussle-bench --bench obs --bench sweep
+CRITERION_JSON="$bench_jsonl" cargo bench -p tussle-bench --bench obs --bench sweep --bench net
 jq -s 'sort_by(.bench)' "$bench_jsonl" > BENCH_sim.json
 jq -e '
-  (length >= 6)
+  (length >= 9)
   and ([.[] | has("bench") and has("median_ns")] | all)
   and ([.[].median_ns | . > 0] | all)
   and ([.[].bench] | any(startswith("obs/")))
   and ([.[].bench] | any(startswith("sweep/")))
+  and ([.[].bench] | any(startswith("net/")))
 ' BENCH_sim.json > /dev/null
 echo "perf baseline OK: $(jq length BENCH_sim.json) benches recorded in BENCH_sim.json"
 

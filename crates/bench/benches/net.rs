@@ -1,0 +1,74 @@
+//! Forwarding fast-path bench: packets/sec on a ~1k-node scale topology.
+//!
+//! Measures the hot loop the tussle scenarios live in — FIB-routed
+//! longest-prefix forwarding and loose-source-routed forwarding (§V.A.4)
+//! across a three-tier ISP fabric from `Network::scale_topology`. The
+//! source-routed workload runs twice, with the generation-stamped route
+//! cache enabled and force-disabled, and asserts the cached arm is at
+//! least 3× faster: the cache's whole reason to exist, pinned in CI.
+//!
+//! ```sh
+//! cargo bench -p tussle-bench --bench net
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use tussle_experiments::scale::{Routing, ScaleWorkload};
+
+const SEED: u64 = 2002;
+const NODES: usize = 1000;
+const DEGREE: usize = 3;
+const PACKETS: usize = 256;
+
+/// Best-of-N wall-clock, in nanoseconds.
+fn best_of(n: usize, mut run: impl FnMut()) -> u128 {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .expect("at least one run")
+}
+
+fn bench_net(c: &mut Criterion) {
+    let mut fib = ScaleWorkload::build(SEED, NODES, DEGREE, PACKETS, Routing::Fib);
+    let mut cached = ScaleWorkload::build(SEED, NODES, DEGREE, PACKETS, Routing::SourceRouted);
+    let mut uncached = ScaleWorkload::build(SEED, NODES, DEGREE, PACKETS, Routing::SourceRouted);
+    uncached.topo.net.set_route_caching(false);
+
+    // The cache must be invisible in results before it is allowed to be
+    // visible in throughput.
+    let want = cached.run(SEED);
+    assert_eq!(want, uncached.run(SEED), "cached and uncached outcomes diverge");
+    assert_eq!(want.delivered, PACKETS, "scale workload must deliver everything");
+
+    let mut g = c.benchmark_group("net");
+    g.sample_size(10);
+    g.bench_function("fib_routed_1k", |b| b.iter(|| black_box(fib.run(SEED))));
+    g.bench_function("source_routed_cached_1k", |b| b.iter(|| black_box(cached.run(SEED))));
+    g.bench_function("source_routed_uncached_1k", |b| b.iter(|| black_box(uncached.run(SEED))));
+    g.finish();
+
+    // Acceptance gate: the generation-stamped next-hop cache buys at least
+    // 3× on source-routed traffic at this scale. Both arms are warm (the
+    // criterion samples above), best-of-5 to shed scheduler noise.
+    let cached_ns = best_of(5, || {
+        black_box(cached.run(SEED));
+    });
+    let uncached_ns = best_of(5, || {
+        black_box(uncached.run(SEED));
+    });
+    let speedup = uncached_ns as f64 / cached_ns as f64;
+    let pps = PACKETS as f64 / (cached_ns as f64 / 1e9);
+    println!(
+        "source-routed forwarding: cached {cached_ns} ns, uncached {uncached_ns} ns, \
+         speedup {speedup:.1}x, cached throughput {pps:.0} pkts/s"
+    );
+    assert!(speedup >= 3.0, "route cache must be >= 3x on source-routed traffic ({speedup:.1}x)");
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

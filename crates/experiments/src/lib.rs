@@ -49,10 +49,12 @@ pub mod e14_games;
 pub mod e15_micropayments;
 pub mod e16_multicast;
 pub mod e17_uncooperative;
+pub mod scale;
 pub mod sweep;
 
 pub use causality::{diff, explain, CausalityError, DiffConfig, DiffReport, Explanation};
 pub use chaos::{run_chaos, run_chaos_entries, ChaosConfig, ChaosError};
+pub use scale::{Routing, ScaleOutcome, ScaleWorkload};
 pub use sweep::{run_sweep, SweepConfig, SweepError};
 
 use tussle_core::{ExperimentReport, RunCost, Table};

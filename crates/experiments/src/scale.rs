@@ -1,0 +1,138 @@
+//! Macro-scale packet workloads over the ISP-style scale topology.
+//!
+//! The forwarding fast path's proving ground: a ~1k-node three-tier
+//! network ([`tussle_net::Network::scale_topology`]) carrying batches of
+//! FIB-routed and loose-source-routed traffic. The `net` criterion bench
+//! measures packets/sec over these workloads, and ci.sh re-runs one with
+//! the route cache force-disabled to assert digest equivalence.
+
+use tussle_net::packet::{ports, Packet, Protocol};
+use tussle_net::topo::ScaleTopology;
+use tussle_net::{Network, NodeId};
+use tussle_sim::{SimRng, SimTime};
+
+/// Which forwarding style the workload exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Longest-prefix-match forwarding along installed routes.
+    Fib,
+    /// Loose source routes through two core waypoints (§V.A.4 user
+    /// choice: the sender shops a path across the backbone) — every hop
+    /// until the last waypoint resolves through `next_hop_toward`, the
+    /// cached path.
+    SourceRouted,
+}
+
+/// A prebuilt scale topology plus a deterministic batch of packets.
+#[derive(Debug)]
+pub struct ScaleWorkload {
+    /// The generated network and its node handles.
+    pub topo: ScaleTopology,
+    /// `(source node, packet)` pairs, ready to send.
+    pub packets: Vec<(NodeId, Packet)>,
+}
+
+/// What one pass of a workload did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleOutcome {
+    /// Packets that reached their destination.
+    pub delivered: usize,
+    /// Total links traversed across the batch.
+    pub hops: usize,
+    /// Accumulated one-way latency across the batch.
+    pub latency: SimTime,
+}
+
+impl ScaleWorkload {
+    /// Build the topology and a deterministic `n_packets`-packet batch.
+    ///
+    /// Host pairs are seeded draws; with [`Routing::SourceRouted`] each
+    /// packet carries two seeded core-router waypoints, forcing BFS
+    /// segment resolution at every hop until the last waypoint is
+    /// reached.
+    pub fn build(
+        seed: u64,
+        nodes: usize,
+        degree: usize,
+        n_packets: usize,
+        routing: Routing,
+    ) -> Self {
+        let topo = Network::scale_topology(seed, nodes, degree);
+        let mut rng = SimRng::seed_from_u64(seed).fork("scale-workload");
+        let n_hosts = topo.hosts.len();
+        let packets = (0..n_packets)
+            .map(|_| {
+                let i = rng.range(0..n_hosts as u32) as usize;
+                let mut j = rng.range(0..n_hosts as u32) as usize;
+                if j == i {
+                    j = (j + 1) % n_hosts;
+                }
+                let mut pkt = Packet::new(
+                    topo.host_addrs[i],
+                    topo.host_addrs[j],
+                    Protocol::Tcp,
+                    1,
+                    ports::HTTP,
+                );
+                if routing == Routing::SourceRouted {
+                    let w1 = rng.range(0..topo.core.len() as u32) as usize;
+                    let w2 = rng.range(0..topo.core.len() as u32) as usize;
+                    pkt = pkt.with_source_route(vec![topo.core[w1], topo.core[w2]]);
+                }
+                (topo.hosts[i], pkt)
+            })
+            .collect();
+        ScaleWorkload { topo, packets }
+    }
+
+    /// Send every packet in the batch once. Deterministic for a given
+    /// `seed` and independent of the route-cache configuration.
+    pub fn run(&mut self, seed: u64) -> ScaleOutcome {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut out = ScaleOutcome { delivered: 0, hops: 0, latency: SimTime::ZERO };
+        for (src, pkt) in &self.packets {
+            let rep = self.topo.net.send(*src, pkt.clone(), &mut rng);
+            out.delivered += rep.delivered as usize;
+            out.hops += rep.hops();
+            out.latency = out.latency.saturating_add(rep.latency);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_packet_in_both_workloads_is_deliverable() {
+        for routing in [Routing::Fib, Routing::SourceRouted] {
+            let mut w = ScaleWorkload::build(42, 600, 3, 128, routing);
+            let out = w.run(1);
+            assert_eq!(out.delivered, 128, "{routing:?} lost packets");
+            assert!(out.hops >= 128 * 2, "paths should cross the fabric");
+        }
+    }
+
+    #[test]
+    fn outcome_is_independent_of_the_route_cache() {
+        let mut cached = ScaleWorkload::build(7, 400, 3, 64, Routing::SourceRouted);
+        let mut uncached = ScaleWorkload::build(7, 400, 3, 64, Routing::SourceRouted);
+        uncached.topo.net.set_route_caching(false);
+        assert_eq!(cached.run(3), uncached.run(3));
+        // Second pass: cached arm now runs fully memoized.
+        assert_eq!(cached.run(3), uncached.run(3));
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let mut a = ScaleWorkload::build(9, 300, 3, 32, Routing::SourceRouted);
+        let mut b = ScaleWorkload::build(9, 300, 3, 32, Routing::SourceRouted);
+        assert_eq!(a.packets.len(), b.packets.len());
+        for ((sa, pa), (sb, pb)) in a.packets.iter().zip(&b.packets) {
+            assert_eq!(sa, sb);
+            assert_eq!((pa.src, pa.dst, &pa.source_route), (pb.src, pb.dst, &pb.source_route));
+        }
+        assert_eq!(a.run(5), b.run(5));
+    }
+}

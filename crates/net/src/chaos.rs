@@ -113,6 +113,37 @@ mod tests {
     }
 
     #[test]
+    fn flapped_link_does_not_charge_pre_outage_queueing() {
+        // 3200 bps => a 40-byte packet serializes in 100ms. Three sends at
+        // t=0 leave the transmitter busy until 300ms, near the 250ms cap.
+        let mut net = Network::new();
+        let h0 = net.add_host(Asn(1));
+        let h1 = net.add_host(Asn(2));
+        let lid = net.connect(h0, h1, tussle_sim::SimTime::from_millis(1), 3_200);
+        net.link_mut(lid).queue_delay_cap = Some(tussle_sim::SimTime::from_millis(250));
+        let a0 =
+            Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
+        let a1 =
+            Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
+        net.node_mut(h0).bind(a0);
+        net.node_mut(h1).bind(a1);
+        net.fib_mut(h0).install(Prefix::DEFAULT, h1, 0);
+        let pkt = Packet::new(a0, a1, Protocol::Udp, 1, ports::VOIP);
+        let mut rng = tussle_sim::SimRng::seed_from_u64(1);
+        for _ in 0..3 {
+            assert!(net.send(h0, pkt.clone(), &mut rng).delivered);
+        }
+        // A chaos flap empties the transmitter along with the outage. The
+        // post-restore packet must see a fresh queue, not 300ms of backlog
+        // (which would overflow the 250ms cap).
+        apply_action(&mut net, &FaultAction::LinkDown(lid.0));
+        apply_action(&mut net, &FaultAction::LinkUp(lid.0));
+        let rep = net.send(h0, pkt, &mut rng);
+        assert!(rep.delivered, "stale busy_until survived the flap: {:?}", rep.drop);
+        assert_eq!(rep.latency, tussle_sim::SimTime::from_millis(101));
+    }
+
+    #[test]
     fn out_of_range_plan_indices_are_ignored() {
         let (mut net, _, _, _) = world();
         apply_action(&mut net, &FaultAction::LinkDown(99));

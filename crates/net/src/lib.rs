@@ -52,6 +52,7 @@ pub mod node;
 pub mod packet;
 pub mod qos;
 pub mod table;
+pub mod topo;
 pub mod traceback;
 pub mod traffic;
 pub mod tunnel;
@@ -68,6 +69,7 @@ pub use node::{Node, NodeId, NodeKind};
 pub use packet::{Packet, Protocol};
 pub use qos::{QosKey, QosPolicy, ServiceClass};
 pub use table::Fib;
+pub use topo::ScaleTopology;
 pub use traceback::{RouterEvidence, TracebackCollector};
 pub use traffic::{build_engine, Flow, RetryPolicy, TrafficWorld};
 pub use wiretap::{Cache, CaptureRecord, Wiretap};

@@ -15,7 +15,9 @@ use crate::packet::Packet;
 use crate::qos::QosPolicy;
 use crate::table::Fib;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::OnceLock;
 use tussle_sim::{FaultOutcome, SimRng, SimTime};
 
 /// Why a packet did not arrive.
@@ -98,6 +100,66 @@ impl DeliveryReport {
     }
 }
 
+/// In BFS scratch, the marker for "not yet visited".
+const UNVISITED: u32 = u32::MAX;
+
+/// Multiply–xorshift hasher for the route memo's fixed-width `(u32, u32)`
+/// keys. SipHash's DoS resistance buys nothing against our own node ids
+/// and costs real time on every forwarded hop.
+#[derive(Debug, Default, Clone)]
+struct PairHasher(u64);
+
+impl std::hash::Hasher for PairHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+}
+
+type PairBuild = std::hash::BuildHasherDefault<PairHasher>;
+
+/// Fast-path state for [`Network::next_hop_toward`]: a generation-stamped
+/// memo of first hops plus reusable BFS buffers, so steady-state
+/// source-routed forwarding allocates nothing and never repeats a search.
+///
+/// The memo is only ever read by exact `(from, target)` key and never
+/// iterated, so its presence cannot perturb any deterministic order; see
+/// DESIGN.md §7 for why that makes it digest-invisible.
+#[derive(Debug, Default)]
+struct RouteCache {
+    /// Topology generation the memo was filled under. A mismatch with
+    /// [`Network::generation`] invalidates every memoized hop at once.
+    generation: u64,
+    /// `(from, target)` → first hop (`None` = unreachable at that
+    /// generation). A `HashMap` is safe here precisely because it is only
+    /// probed by exact key, never iterated: hash order can't leak into
+    /// behavior.
+    next_hop: HashMap<(u32, u32), Option<NodeId>, PairBuild>,
+    /// BFS predecessor scratch; `UNVISITED` marks untouched slots.
+    prev: Vec<u32>,
+    /// BFS frontier scratch.
+    queue: VecDeque<NodeId>,
+}
+
+/// Ambient kill switch: `TUSSLE_ROUTE_CACHE=off|0|false` force-disables the
+/// route cache process-wide, for digest-equivalence audits (ci.sh runs one).
+fn ambient_route_cache_enabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    !*DISABLED.get_or_init(|| {
+        std::env::var("TUSSLE_ROUTE_CACHE")
+            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"))
+            .unwrap_or(false)
+    })
+}
+
 /// A complete simulated network.
 #[derive(Debug, Default)]
 pub struct Network {
@@ -111,12 +173,51 @@ pub struct Network {
     /// Crashed nodes → the incident links this crash took down (only
     /// those that were up), so restore puts back exactly that state.
     crashed: BTreeMap<NodeId, Vec<LinkId>>,
+    /// Monotone topology generation: bumped by every mutation that can
+    /// change reachability or route selection (link state, new links,
+    /// crashes/restores, FIB writes, and any `link_mut` borrow, since the
+    /// caller may flip `up`). Stamps [`RouteCache`] entries.
+    generation: u64,
+    /// `(min endpoint, max endpoint)` → incident link ids in creation
+    /// order; the index behind [`Network::link_between`].
+    pair_links: BTreeMap<(NodeId, NodeId), Vec<LinkId>>,
+    /// Next-hop memo + BFS scratch. Interior-mutable because lookups run
+    /// behind `&self`; `Network` is not shared across threads (each sweep
+    /// worker owns its world), so a `RefCell` suffices.
+    route_cache: RefCell<RouteCache>,
+    /// Per-instance switch for the route cache (see
+    /// [`Network::set_route_caching`]). The ambient env kill switch wins.
+    route_cache_enabled: bool,
 }
 
 impl Network {
     /// An empty network.
     pub fn new() -> Self {
-        Network { max_hops: 64, ..Default::default() }
+        Network { max_hops: 64, route_cache_enabled: true, ..Default::default() }
+    }
+
+    /// The topology generation: a counter that advances on every mutation
+    /// that can change routing decisions. Cached routing state stamped with
+    /// an older generation is dead on arrival.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Enable or disable the next-hop route cache for this instance
+    /// (default: enabled). Disabling makes every [`Network::next_hop_toward`]
+    /// call run a fresh BFS — the oracle arm of the equivalence tests. The
+    /// `TUSSLE_ROUTE_CACHE=off` environment variable disables it
+    /// process-wide regardless of this setting.
+    pub fn set_route_caching(&mut self, enabled: bool) {
+        self.route_cache_enabled = enabled;
+    }
+
+    fn route_caching_active(&self) -> bool {
+        self.route_cache_enabled && ambient_route_cache_enabled()
+    }
+
+    fn bump_generation(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
     }
 
     /// Add a host in `asn`; returns its id.
@@ -149,6 +250,9 @@ impl Network {
         self.links.push(Link::new(id, a, b, latency, bandwidth_bps));
         self.adj[a.index()].push(id);
         self.adj[b.index()].push(id);
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pair_links.entry(key).or_default().push(id);
+        self.bump_generation();
         id
     }
 
@@ -173,7 +277,11 @@ impl Network {
     }
 
     /// Link accessor (mutable) — used to fail links, add faults, set costs.
+    ///
+    /// Conservatively bumps the topology generation: the borrow may flip
+    /// `up` or otherwise change what routing would decide.
     pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        self.bump_generation();
         &mut self.links[id.index()]
     }
 
@@ -191,8 +299,18 @@ impl Network {
     /// next packet: down links are invisible to [`Network::link_between`]
     /// and [`Network::neighbors`], so traffic drops with
     /// [`DropReason::LinkDown`] until the link comes back.
+    ///
+    /// The down→up transition clears the link's queue state: an outage
+    /// empties the transmitter, so queueing delay accrued *before* the
+    /// flap must not be charged to (or overflow-drop) post-restore
+    /// packets.
     pub fn set_link_up(&mut self, id: LinkId, up: bool) {
-        self.links[id.index()].up = up;
+        let link = &mut self.links[id.index()];
+        if up && !link.up {
+            link.reset_queue();
+        }
+        link.up = up;
+        self.bump_generation();
     }
 
     /// Crash a node: every incident link that is currently up goes down.
@@ -207,11 +325,14 @@ impl Network {
             self.links[l.index()].up = false;
         }
         self.crashed.insert(id, downed);
+        self.bump_generation();
     }
 
     /// Restore a crashed node: the links its crash took down come back up,
     /// except those whose other endpoint is still crashed (those transfer
     /// to the surviving crash record and return when *it* restores).
+    /// Restored links come back with empty queues, same as
+    /// [`Network::set_link_up`].
     pub fn restore_node(&mut self, id: NodeId) {
         let Some(links) = self.crashed.remove(&id) else {
             return;
@@ -227,9 +348,12 @@ impl Network {
                     list.push(l);
                 }
             } else {
-                self.links[l.index()].up = true;
+                let link = &mut self.links[l.index()];
+                link.reset_queue();
+                link.up = true;
             }
         }
+        self.bump_generation();
     }
 
     /// Is the node currently up (not crashed)?
@@ -237,27 +361,27 @@ impl Network {
         !self.crashed.contains_key(&id)
     }
 
-    /// Neighbors of a node over up links.
-    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
-        self.adj[id.index()]
-            .iter()
-            .filter_map(|l| {
-                let link = &self.links[l.index()];
-                if link.up {
-                    link.other_end(id)
-                } else {
-                    None
-                }
-            })
-            .collect()
+    /// Neighbors of a node over up links, in adjacency (link-creation)
+    /// order. Allocation-free: this is the forwarding hot loop's inner
+    /// edge scan.
+    pub fn neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[id.index()].iter().filter_map(move |l| {
+            let link = &self.links[l.index()];
+            if link.up {
+                link.other_end(id)
+            } else {
+                None
+            }
+        })
     }
 
-    /// The up link between two nodes, if any.
+    /// The up link between two nodes, if any — the lowest-id up link when
+    /// parallel links exist, matching the old adjacency-scan order (links
+    /// enter `adj` in increasing id order). Served from the incrementally
+    /// maintained endpoint-pair index, not a scan.
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<&Link> {
-        self.adj[a.index()]
-            .iter()
-            .map(|l| &self.links[l.index()])
-            .find(|l| l.connects(a, b) && l.up)
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pair_links.get(&key)?.iter().map(|l| &self.links[l.index()]).find(|l| l.up)
     }
 
     /// Forwarding table of a node.
@@ -266,7 +390,9 @@ impl Network {
     }
 
     /// Forwarding table of a node (mutable) — routing protocols write here.
+    /// Bumps the topology generation: FIB contents are routing state.
     pub fn fib_mut(&mut self, id: NodeId) -> &mut Fib {
+        self.bump_generation();
         &mut self.fibs[id.index()]
     }
 
@@ -314,23 +440,59 @@ impl Network {
     /// by breadth-first search. Deterministic: ties break in adjacency
     /// (insertion) order. Used for loose-source-route segments, where the
     /// sender's chosen waypoint overrides provider path selection.
+    ///
+    /// Results are memoized per `(from, target)` pair, stamped with the
+    /// topology generation; any mutation invalidates the whole memo. The
+    /// cache is a pure lookup table over a deterministic function of the
+    /// topology, so enabling it cannot change any answer — the
+    /// `prop_fastpath` equivalence oracle holds it to that byte-for-byte.
     pub fn next_hop_toward(&self, from: NodeId, target: NodeId) -> Option<NodeId> {
         if from == target {
             return Some(target);
         }
-        let mut prev: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
-        let mut queue = std::collections::VecDeque::new();
+        if !self.route_caching_active() {
+            let mut prev = Vec::new();
+            let mut queue = VecDeque::new();
+            return self.bfs_first_hop(from, target, &mut prev, &mut queue);
+        }
+        let mut guard = self.route_cache.borrow_mut();
+        let cache = &mut *guard;
+        if cache.generation != self.generation {
+            cache.next_hop.clear();
+            cache.generation = self.generation;
+        }
+        if let Some(&hop) = cache.next_hop.get(&(from.0, target.0)) {
+            return hop;
+        }
+        let hop = self.bfs_first_hop(from, target, &mut cache.prev, &mut cache.queue);
+        cache.next_hop.insert((from.0, target.0), hop);
+        hop
+    }
+
+    /// The BFS behind [`Network::next_hop_toward`], over caller-provided
+    /// scratch so the steady state allocates nothing. `prev` doubles as the
+    /// visited set (`UNVISITED` = untouched).
+    fn bfs_first_hop(
+        &self,
+        from: NodeId,
+        target: NodeId,
+        prev: &mut Vec<u32>,
+        queue: &mut VecDeque<NodeId>,
+    ) -> Option<NodeId> {
+        prev.clear();
+        prev.resize(self.nodes.len(), UNVISITED);
+        queue.clear();
         queue.push_back(from);
-        prev[from.index()] = Some(from);
+        prev[from.index()] = from.0;
         while let Some(n) = queue.pop_front() {
             for next in self.neighbors(n) {
-                if prev[next.index()].is_none() {
-                    prev[next.index()] = Some(n);
+                if prev[next.index()] == UNVISITED {
+                    prev[next.index()] = n.0;
                     if next == target {
                         // walk back to find the first hop
                         let mut hop = target;
-                        while prev[hop.index()] != Some(from) {
-                            hop = prev[hop.index()].expect("bfs chain broken");
+                        while prev[hop.index()] != from.0 {
+                            hop = NodeId(prev[hop.index()]);
                         }
                         return Some(hop);
                     }
@@ -388,7 +550,9 @@ impl Network {
         let mut path = vec![from];
         let mut latency = SimTime::ZERO;
         let mut corrupted = false;
-        let mut route = pkt.source_route.clone();
+        // Cursor into the borrowed source route: waypoints are consumed by
+        // advancing it, never by cloning or shifting the route itself.
+        let mut route_at = 0usize;
         let mut current = from;
         let mut mark: Option<crate::packet::Mark> = None;
         const MARK_PROBABILITY: f64 = 0.04;
@@ -407,8 +571,9 @@ impl Network {
             }
 
             // Middlebox checks at transit nodes (not at the original sender:
-            // you cannot firewall yourself out of sending).
-            if current != from {
+            // you cannot firewall yourself out of sending). The is_empty
+            // guard keeps firewall-free topologies off the map probe.
+            if current != from && !self.firewalls.is_empty() {
                 if let Some(fw) = self.firewalls.get(&current) {
                     if fw.evaluate(&pkt) == FirewallAction::Deny {
                         return DeliveryReport {
@@ -463,7 +628,7 @@ impl Network {
             // A transit router that refuses loose source routes drops any
             // packet still carrying one — processing the option at all is
             // the service it declines to give away (§V.A.4).
-            if !route.is_empty()
+            if route_at < pkt.source_route.len()
                 && current != from
                 && !self.nodes[current.index()].honors_source_routes
             {
@@ -478,12 +643,12 @@ impl Network {
             }
 
             // Pop a waypoint we are standing on.
-            while route.first() == Some(&current) {
-                route.remove(0);
+            while pkt.source_route.get(route_at) == Some(&current) {
+                route_at += 1;
             }
 
             // Pick the next hop: loose source route first, then the FIB.
-            let next = if let Some(&waypoint) = route.first() {
+            let next = if let Some(&waypoint) = pkt.source_route.get(route_at) {
                 // Route toward the waypoint over the underlying topology: a
                 // loose source route asks the network to *get to* each
                 // waypoint, overriding provider path selection in between.
@@ -528,7 +693,11 @@ impl Network {
                 };
             };
             let size = pkt.size();
-            let qos_factor = self.qos.get(&current).map(|q| q.delay_factor(&pkt)).unwrap_or(1.0);
+            let qos_factor = if self.qos.is_empty() {
+                1.0
+            } else {
+                self.qos.get(&current).map(|q| q.delay_factor(&pkt)).unwrap_or(1.0)
+            };
             let link = &mut self.links[link_id.index()];
             let fault_at = now.saturating_add(latency);
             let outcome = link.faults.apply(fault_at, rng);
@@ -826,5 +995,108 @@ mod tests {
         let (net, h0, _, _, _, a0, _) = line();
         assert_eq!(net.node_for_address(a0), Some(h0));
         assert_eq!(net.node_for_address(addr(0x77000000)), None);
+    }
+
+    #[test]
+    fn every_topology_mutation_bumps_the_generation() {
+        let mut net = Network::new();
+        let g0 = net.generation();
+        let a = net.add_router(Asn(1));
+        let b = net.add_router(Asn(1));
+        let lid = net.connect(a, b, SimTime::from_millis(1), 1_000_000);
+        let g1 = net.generation();
+        assert_ne!(g0, g1, "connect must bump");
+        net.set_link_up(lid, false);
+        let g2 = net.generation();
+        assert_ne!(g1, g2, "set_link_up must bump");
+        net.crash_node(a);
+        let g3 = net.generation();
+        assert_ne!(g2, g3, "crash_node must bump");
+        net.restore_node(a);
+        let g4 = net.generation();
+        assert_ne!(g3, g4, "restore_node must bump");
+        net.link_mut(lid).up = true;
+        let g5 = net.generation();
+        assert_ne!(g4, g5, "link_mut must bump (caller may flip state)");
+        net.fib_mut(a).install(Prefix::DEFAULT, b, 0);
+        assert_ne!(g5, net.generation(), "fib_mut must bump");
+    }
+
+    #[test]
+    fn cached_route_does_not_survive_a_link_flap() {
+        // diamond: a-b-d and a-c-d; b has the lower id so BFS prefers it.
+        let mut net = Network::new();
+        let a = net.add_router(Asn(1));
+        let b = net.add_router(Asn(1));
+        let c = net.add_router(Asn(1));
+        let d = net.add_router(Asn(1));
+        let ab = net.connect(a, b, SimTime::from_millis(1), 1_000_000);
+        net.connect(a, c, SimTime::from_millis(1), 1_000_000);
+        net.connect(b, d, SimTime::from_millis(1), 1_000_000);
+        net.connect(c, d, SimTime::from_millis(1), 1_000_000);
+        assert_eq!(net.next_hop_toward(a, d), Some(b));
+        // Warm cache points at b; the flap must invalidate it.
+        net.set_link_up(ab, false);
+        assert_eq!(net.next_hop_toward(a, d), Some(c));
+        net.set_link_up(ab, true);
+        assert_eq!(net.next_hop_toward(a, d), Some(b));
+    }
+
+    #[test]
+    fn cached_and_uncached_next_hops_agree() {
+        let (net, h0, r1, r2, h3, _, _) = line();
+        let mut uncached = line().0;
+        uncached.set_route_caching(false);
+        for &from in &[h0, r1, r2, h3] {
+            for &to in &[h0, r1, r2, h3] {
+                // Query twice so the second cached answer is a memo hit.
+                assert_eq!(net.next_hop_toward(from, to), uncached.next_hop_toward(from, to));
+                assert_eq!(net.next_hop_toward(from, to), uncached.next_hop_toward(from, to));
+            }
+        }
+    }
+
+    #[test]
+    fn link_between_prefers_the_first_up_parallel_link() {
+        let mut net = Network::new();
+        let a = net.add_router(Asn(1));
+        let b = net.add_router(Asn(1));
+        let l0 = net.connect(a, b, SimTime::from_millis(1), 1_000_000);
+        let l1 = net.connect(a, b, SimTime::from_millis(2), 1_000_000);
+        assert_eq!(net.link_between(a, b).unwrap().id, l0);
+        assert_eq!(net.link_between(b, a).unwrap().id, l0);
+        net.set_link_up(l0, false);
+        assert_eq!(net.link_between(a, b).unwrap().id, l1);
+        net.set_link_up(l1, false);
+        assert!(net.link_between(a, b).is_none());
+        assert!(net.link_between(a, a).is_none());
+    }
+
+    #[test]
+    fn link_flap_clears_accrued_queue_state() {
+        // 3200 bps link: a 40-byte packet serializes in 100ms. Four sends
+        // at t=0 leave the transmitter busy until 400ms.
+        let mut net = Network::new();
+        let h0 = net.add_host(Asn(1));
+        let h1 = net.add_host(Asn(2));
+        let lid = net.connect(h0, h1, SimTime::from_millis(1), 3_200);
+        net.link_mut(lid).queue_delay_cap = Some(SimTime::from_millis(350));
+        let a0 = addr(0x0a010000);
+        let a1 = addr(0x0d010000);
+        net.node_mut(h0).bind(a0);
+        net.node_mut(h1).bind(a1);
+        net.fib_mut(h0).install(Prefix::DEFAULT, h1, 0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let big = Packet::new(a0, a1, Protocol::Tcp, 1000, ports::HTTP);
+        for _ in 0..4 {
+            assert!(net.send(h0, big.clone(), &mut rng).delivered);
+        }
+        // Flap the link. Without the queue reset the next packet would see
+        // 400ms of pre-outage queueing and die on the 350ms cap.
+        net.set_link_up(lid, false);
+        net.set_link_up(lid, true);
+        let rep = net.send(h0, big.clone(), &mut rng);
+        assert!(rep.delivered, "post-restore packet hit stale queue state: {:?}", rep.drop);
+        assert_eq!(rep.latency, SimTime::from_millis(101), "expected an empty queue after flap");
     }
 }

@@ -4,10 +4,18 @@
 //! every provider-independent customer block is one more entry in *every*
 //! core FIB ("adds to the size of the forwarding tables in the core",
 //! §V.A.1). Experiment E1 reports `Fib::len` across addressing modes.
+//!
+//! Entries are kept sorted by `(prefix length desc, metric asc, install
+//! order)`, so [`Fib::lookup`] is a forward scan whose *first* match is the
+//! winner. Sorted storage is what makes the selection rule stable: among
+//! equal-length, equal-metric candidates the earliest-installed entry wins,
+//! and it keeps winning until it is itself withdrawn — re-adding a
+//! competitor never steals the slot (see [`Fib::install`]).
 
 use crate::addr::Prefix;
 use crate::node::NodeId;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
 
 /// One forwarding entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -18,6 +26,14 @@ pub struct FibEntry {
     pub next_hop: NodeId,
     /// Tie-break metric; lower wins among equal-length prefixes.
     pub metric: u32,
+}
+
+impl FibEntry {
+    /// Sort key: longer prefixes first, then lower metrics. Insertion
+    /// position among equal keys preserves install order.
+    fn sort_key(&self) -> (Reverse<u8>, u32) {
+        (Reverse(self.prefix.len()), self.metric)
+    }
 }
 
 /// A forwarding table.
@@ -32,17 +48,26 @@ impl Fib {
         Fib::default()
     }
 
-    /// Install or replace a route. Replaces an existing entry for exactly
-    /// the same prefix when the new metric is no worse.
+    /// Install a route, replacing an existing entry for exactly the same
+    /// prefix only when the new metric is *strictly* better.
+    ///
+    /// Selection rule (documented contract): **first-installed-wins**. An
+    /// equal-cost reinstall keeps the incumbent untouched — the entry that
+    /// got there first holds the slot until it is withdrawn, so which route
+    /// forwards traffic never depends on a later remove/re-add of some
+    /// *other* equal-cost route.
     pub fn install(&mut self, prefix: Prefix, next_hop: NodeId, metric: u32) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.prefix == prefix) {
-            if metric <= e.metric {
-                e.next_hop = next_hop;
-                e.metric = metric;
+        if let Some(i) = self.entries.iter().position(|e| e.prefix == prefix) {
+            if metric >= self.entries[i].metric {
+                return; // incumbent wins ties and beats worse routes
             }
-        } else {
-            self.entries.push(FibEntry { prefix, next_hop, metric });
+            self.entries.remove(i);
         }
+        let entry = FibEntry { prefix, next_hop, metric };
+        // Insert after all entries with the same key: first-installed stays
+        // first in its equivalence class.
+        let pos = self.entries.partition_point(|e| e.sort_key() <= entry.sort_key());
+        self.entries.insert(pos, entry);
     }
 
     /// Remove all routes for a prefix. Returns how many entries were removed.
@@ -60,10 +85,13 @@ impl Fib {
     }
 
     /// Longest-prefix-match lookup.
+    ///
+    /// Entries are sorted (prefix-len desc, metric asc, install order), so
+    /// the first containing entry *is* the longest match with the best
+    /// metric, and among full ties the first-installed route — no scan of
+    /// the remainder, no order instability.
     pub fn lookup(&self, dst: u32) -> Option<&FibEntry> {
-        self.entries.iter().filter(|e| e.prefix.contains(dst)).max_by(|x, y| {
-            x.prefix.len().cmp(&y.prefix.len()).then(y.metric.cmp(&x.metric)) // lower metric preferred
-        })
+        self.entries.iter().find(|e| e.prefix.contains(dst))
     }
 
     /// Number of entries — the table-size pressure metric.
@@ -117,13 +145,60 @@ mod tests {
     fn equal_length_prefers_lower_metric() {
         let mut fib = Fib::new();
         fib.install(p(0x0a000000, 8), NodeId(1), 20);
-        // better metric replaces in place
+        // strictly better metric replaces
         fib.install(p(0x0a000000, 8), NodeId(2), 5);
         assert_eq!(fib.lookup(0x0a000001).unwrap().next_hop, NodeId(2));
         // worse metric does not
         fib.install(p(0x0a000000, 8), NodeId(3), 50);
         assert_eq!(fib.lookup(0x0a000001).unwrap().next_hop, NodeId(2));
         assert_eq!(fib.len(), 1);
+    }
+
+    #[test]
+    fn equal_cost_tie_break_is_first_installed() {
+        // Regression: the old lookup used `max_by`, which returns the *last*
+        // maximal entry, and the old install rewrote the next hop on an
+        // equal-metric reinstall — so the winner flipped with install order
+        // churn. The rule is now first-installed-wins, in both orders.
+        let pre = p(0x0a000000, 8);
+        let mut ab = Fib::new();
+        ab.install(pre, NodeId(1), 7);
+        ab.install(pre, NodeId(2), 7);
+        assert_eq!(ab.lookup(0x0a000001).unwrap().next_hop, NodeId(1));
+
+        let mut ba = Fib::new();
+        ba.install(pre, NodeId(2), 7);
+        ba.install(pre, NodeId(1), 7);
+        assert_eq!(ba.lookup(0x0a000001).unwrap().next_hop, NodeId(2));
+
+        // The incumbent only loses the slot when it is itself withdrawn.
+        assert_eq!(ab.withdraw(pre), 1);
+        ab.install(pre, NodeId(2), 7);
+        ab.install(pre, NodeId(1), 7);
+        assert_eq!(ab.lookup(0x0a000001).unwrap().next_hop, NodeId(2));
+        assert_eq!(ab.len(), 1);
+    }
+
+    #[test]
+    fn entries_stay_sorted_for_first_match_lookup() {
+        // Install shortest-first and worst-metric-first: the scan order must
+        // still be (len desc, metric asc, install order).
+        let mut fib = Fib::new();
+        fib.install(Prefix::DEFAULT, NodeId(9), 10);
+        fib.install(p(0x0a000000, 8), NodeId(1), 20);
+        fib.install(p(0x0b000000, 8), NodeId(2), 5);
+        fib.install(p(0x0a010000, 16), NodeId(3), 10);
+        let keys: Vec<(Reverse<u8>, u32)> = fib.entries().map(|e| e.sort_key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "entries must stay sorted after installs");
+        // Replacement re-sorts too.
+        fib.install(p(0x0a000000, 8), NodeId(4), 1);
+        let keys: Vec<(Reverse<u8>, u32)> = fib.entries().map(|e| e.sort_key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(fib.lookup(0x0a990203).unwrap().next_hop, NodeId(4));
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Deterministic ISP-style topology generation at scale.
+//!
+//! The tussle scenarios that motivate the forwarding fast path — E1 table
+//! pressure, E4 source routing, E16 multicast — only bite at realistic
+//! size, so this module grows a three-tier provider topology (core ring
+//! with chords, multi-homed edge routers, hosts) to any node count from a
+//! single seed. Everything is derived from [`tussle_sim::SimRng`] forks:
+//! the same `(seed, nodes, degree)` triple builds the same network on
+//! every platform, which is what lets benches and the equivalence oracle
+//! compare runs across cache configurations.
+
+use crate::addr::{Address, AddressOrigin, Asn, Prefix};
+use crate::network::Network;
+use crate::node::NodeId;
+use tussle_sim::{SimRng, SimTime};
+
+/// A generated three-tier topology plus the handles a workload needs.
+#[derive(Debug)]
+pub struct ScaleTopology {
+    /// The wired, addressed, routed network.
+    pub net: Network,
+    /// Core (backbone ring) routers.
+    pub core: Vec<NodeId>,
+    /// Edge (aggregation) routers; edge `e` originates `/16` prefix
+    /// `(e + 1) << 16`.
+    pub edges: Vec<NodeId>,
+    /// Hosts, round-robin across edges: host `j` homes on edge
+    /// `j % edges.len()`.
+    pub hosts: Vec<NodeId>,
+    /// Address bound to each host, index-aligned with `hosts`.
+    pub host_addrs: Vec<Address>,
+}
+
+impl ScaleTopology {
+    /// The `/16` prefix originated by edge router `e`.
+    pub fn edge_prefix(e: usize) -> Prefix {
+        Prefix::new(((e as u32) + 1) << 16, 16)
+    }
+}
+
+impl Network {
+    /// Generate a deterministic ISP-style topology with roughly `nodes`
+    /// nodes and core connectivity controlled by `degree`.
+    ///
+    /// Shape: a core ring (1 router per ~50 nodes, minimum 4) with
+    /// `degree - 2` seeded chord links per core router; edge routers
+    /// (1 per ~10 nodes) homed on the core, multi-homed up to `degree`;
+    /// the remaining nodes are hosts spread round-robin across edges.
+    /// Routing is static: hosts default to their edge, edges hold `/32`
+    /// host routes plus a default to their home core router, and each core
+    /// router routes every edge prefix around the ring toward that edge's
+    /// home (shorter ring direction, direct hop at the home itself) — so
+    /// FIB-routed traffic crosses the backbone without any protocol runs.
+    ///
+    /// All latencies and bandwidth tiers are drawn from forks of `seed`;
+    /// the same arguments always produce a byte-identical network.
+    ///
+    /// # Panics
+    /// If `nodes < 12` or `degree == 0`.
+    pub fn scale_topology(seed: u64, nodes: usize, degree: usize) -> ScaleTopology {
+        assert!(nodes >= 12, "scale topology needs at least 12 nodes");
+        assert!(degree >= 1, "degree must be at least 1");
+        let mut rng = SimRng::seed_from_u64(seed).fork("scale-topology");
+        let n_core = (nodes / 50).clamp(4, 64);
+        let n_edge = (nodes / 10).clamp(4, nodes - n_core - 1);
+        let n_host = nodes - n_core - n_edge;
+
+        let mut net = Network::new();
+        let core: Vec<NodeId> = (0..n_core).map(|_| net.add_router(Asn(100))).collect();
+        let edges: Vec<NodeId> = (0..n_edge).map(|e| net.add_router(Asn(200 + e as u32))).collect();
+        let hosts: Vec<NodeId> =
+            (0..n_host).map(|j| net.add_host(Asn(200 + (j % n_edge) as u32))).collect();
+
+        // Backbone ring, then chords for path diversity. Chord targets are
+        // rng-driven; the draw happens whether or not the chord lands, so
+        // the stream stays aligned regardless of duplicates.
+        for i in 0..n_core {
+            let lat = SimTime::from_micros(rng.range(2_000..8_000u64));
+            net.connect(core[i], core[(i + 1) % n_core], lat, 40_000_000_000);
+        }
+        for i in 0..n_core {
+            for _ in 0..degree.saturating_sub(2) {
+                let offset = rng.range(2..n_core as u32 - 1) as usize;
+                let lat = SimTime::from_micros(rng.range(2_000..8_000u64));
+                let j = (i + offset) % n_core;
+                if net.link_between(core[i], core[j]).is_none() {
+                    net.connect(core[i], core[j], lat, 40_000_000_000);
+                }
+            }
+        }
+
+        // Edge homing: a deterministic home core plus rng-chosen extra
+        // uplinks up to `degree`.
+        for (e, &edge) in edges.iter().enumerate() {
+            let home = core[e % n_core];
+            let lat = SimTime::from_micros(rng.range(500..2_000u64));
+            net.connect(edge, home, lat, 10_000_000_000);
+            for _ in 1..degree.min(n_core) {
+                let alt = core[rng.range(0..n_core as u32) as usize];
+                let lat = SimTime::from_micros(rng.range(500..2_000u64));
+                if net.link_between(edge, alt).is_none() {
+                    net.connect(edge, alt, lat, 10_000_000_000);
+                }
+            }
+        }
+
+        // Hosts: access links, provider-assigned addresses inside the edge
+        // prefix, and a default route up.
+        let mut host_addrs = Vec::with_capacity(n_host);
+        for (j, &host) in hosts.iter().enumerate() {
+            let e = j % n_edge;
+            let edge = edges[e];
+            let lat = SimTime::from_micros(rng.range(100..500u64));
+            net.connect(host, edge, lat, 1_000_000_000);
+            let addr = Address::in_prefix(
+                ScaleTopology::edge_prefix(e),
+                (j / n_edge) as u32 + 1,
+                AddressOrigin::ProviderAssigned(Asn(200 + e as u32)),
+            );
+            net.node_mut(host).bind(addr);
+            net.fib_mut(host).install(Prefix::DEFAULT, edge, 0);
+            net.fib_mut(edge).install(Prefix::new(addr.value, 32), host, 0);
+            host_addrs.push(addr);
+        }
+
+        // Edge defaults and core routes: each edge prefix rides the ring
+        // toward its home core router.
+        for (e, &edge) in edges.iter().enumerate() {
+            net.fib_mut(edge).install(Prefix::DEFAULT, core[e % n_core], 0);
+        }
+        for (c, &router) in core.iter().enumerate() {
+            for (e, &edge) in edges.iter().enumerate() {
+                let home = e % n_core;
+                let prefix = ScaleTopology::edge_prefix(e);
+                let next = if c == home {
+                    edge
+                } else {
+                    let clockwise = (home + n_core - c) % n_core;
+                    if clockwise <= n_core / 2 {
+                        core[(c + 1) % n_core]
+                    } else {
+                        core[(c + n_core - 1) % n_core]
+                    }
+                };
+                net.fib_mut(router).install(prefix, next, 0);
+            }
+        }
+
+        ScaleTopology { net, core, edges, hosts, host_addrs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{ports, Packet, Protocol};
+
+    #[test]
+    fn same_arguments_build_the_same_network() {
+        let a = Network::scale_topology(11, 300, 3);
+        let b = Network::scale_topology(11, 300, 3);
+        assert_eq!(a.net.nodes().len(), b.net.nodes().len());
+        assert_eq!(a.net.links().len(), b.net.links().len());
+        assert_eq!(a.host_addrs, b.host_addrs);
+        for (x, y) in a.net.links().iter().zip(b.net.links()) {
+            assert_eq!(
+                (x.a, x.b, x.latency, x.bandwidth_bps),
+                (y.a, y.b, y.latency, y.bandwidth_bps)
+            );
+        }
+        let c = Network::scale_topology(12, 300, 3);
+        let diff =
+            a.net.links().iter().zip(c.net.links()).filter(|(x, y)| x.latency != y.latency).count();
+        assert!(diff > 0, "a different seed must draw different latencies");
+    }
+
+    #[test]
+    fn node_budget_is_respected_and_tiers_are_plausible() {
+        let t = Network::scale_topology(5, 1000, 3);
+        assert_eq!(t.net.nodes().len(), 1000);
+        assert_eq!(t.core.len(), 20);
+        assert_eq!(t.edges.len(), 100);
+        assert_eq!(t.hosts.len(), 880);
+        assert_eq!(t.hosts.len(), t.host_addrs.len());
+    }
+
+    #[test]
+    fn fib_routed_traffic_crosses_the_backbone() {
+        let mut t = Network::scale_topology(7, 400, 3);
+        let mut rng = SimRng::seed_from_u64(1);
+        // Every 17th pair, spread across edges.
+        for i in (0..t.hosts.len()).step_by(17) {
+            let j = (i + t.hosts.len() / 2) % t.hosts.len();
+            if i == j {
+                continue;
+            }
+            let pkt = Packet::new(t.host_addrs[i], t.host_addrs[j], Protocol::Tcp, 1, ports::HTTP);
+            let rep = t.net.send(t.hosts[i], pkt, &mut rng);
+            assert!(rep.delivered, "host {i} -> {j} failed: {:?}", rep.drop);
+            assert_eq!(rep.path.last(), Some(&t.hosts[j]));
+        }
+    }
+
+    #[test]
+    fn source_routed_traffic_reaches_any_core_waypoint() {
+        let mut t = Network::scale_topology(9, 250, 3);
+        let mut rng = SimRng::seed_from_u64(2);
+        let dst = t.host_addrs[t.hosts.len() - 1];
+        let dst_node = t.hosts[t.hosts.len() - 1];
+        for w in 0..t.core.len() {
+            let pkt = Packet::new(t.host_addrs[0], dst, Protocol::Tcp, 1, ports::HTTP)
+                .with_source_route(vec![t.core[w]]);
+            let rep = t.net.send(t.hosts[0], pkt, &mut rng);
+            assert!(rep.delivered, "waypoint {w} failed: {:?}", rep.drop);
+            assert!(rep.path.contains(&t.core[w]), "path must visit the waypoint");
+            assert_eq!(rep.path.last(), Some(&dst_node));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Equivalence oracle for the forwarding fast path.
+//!
+//! The route cache's contract is invisibility: with caching enabled or
+//! force-disabled, the same workload over the same topology — including
+//! mid-run chaos link flaps and lossy links that consume rng draws — must
+//! produce byte-identical `DeliveryReport`s, the same number of rng draws
+//! and forwards, and the same run digest. Any divergence means a cache
+//! entry outlived a topology change.
+
+use proptest::prelude::*;
+use tussle_net::addr::{Address, AddressOrigin, Asn, Prefix};
+use tussle_net::packet::{ports, Packet, Protocol};
+use tussle_net::{DeliveryReport, LinkId, Network, NodeId};
+use tussle_sim::obs::{self, ObsMode};
+use tussle_sim::{FaultInjector, SimRng, SimTime};
+
+/// One randomized scenario: a connected random topology, lossy links, a
+/// send schedule with interleaved link flaps.
+#[derive(Debug, Clone)]
+struct Scenario {
+    nodes: usize,
+    /// Extra edges beyond the spanning chain, as (a, b) raw draws.
+    edges: Vec<(u8, u8)>,
+    /// (link draw, loss percent) — installs a lossy fault injector.
+    lossy: Vec<(u8, u8)>,
+    /// (src draw, dst draw, waypoint draw, extra hop?) per send.
+    sends: Vec<(u8, u8, u8, bool)>,
+    /// (send index to fire before, link draw, up) link flaps.
+    flaps: Vec<(u8, u8, bool)>,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        4usize..16,
+        proptest::collection::vec((any::<u8>(), any::<u8>()), 0..24),
+        proptest::collection::vec((any::<u8>(), 1u8..50), 0..4),
+        proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<bool>()), 1..24),
+        proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..12),
+        any::<u64>(),
+    )
+        .prop_map(|(nodes, edges, lossy, sends, flaps, seed)| Scenario {
+            nodes,
+            edges,
+            lossy,
+            sends,
+            flaps,
+            seed,
+        })
+}
+
+fn build(s: &Scenario) -> Network {
+    let mut net = Network::new();
+    let ids: Vec<NodeId> = (0..s.nodes).map(|_| net.add_router(Asn(1))).collect();
+    for (i, &id) in ids.iter().enumerate() {
+        let addr = Address::in_prefix(
+            Prefix::new(((i as u32) + 1) << 16, 16),
+            1,
+            AddressOrigin::ProviderIndependent,
+        );
+        net.node_mut(id).bind(addr);
+    }
+    // Spanning chain keeps the graph mostly connected; extra edges add the
+    // path diversity that makes cached BFS answers interesting.
+    for w in ids.windows(2) {
+        net.connect(w[0], w[1], SimTime::from_millis(1), 1_000_000_000);
+    }
+    for &(a, b) in &s.edges {
+        let (a, b) = (ids[a as usize % s.nodes], ids[b as usize % s.nodes]);
+        if a != b && net.link_between(a, b).is_none() {
+            net.connect(a, b, SimTime::from_millis(1), 1_000_000_000);
+        }
+    }
+    let n_links = net.links().len();
+    for &(l, pct) in &s.lossy {
+        let lid = LinkId((l as usize % n_links) as u32);
+        net.link_mut(lid).faults = FaultInjector::lossy(pct as f64 / 100.0, 0.0);
+    }
+    net
+}
+
+fn addr_of(net: &Network, id: NodeId) -> Address {
+    net.node(id).primary_address().expect("every node is addressed")
+}
+
+/// Run the scenario's send schedule, flipping links mid-run as scripted.
+/// Returns everything an observer can see about the run.
+fn run(s: &Scenario, cached: bool) -> (Vec<DeliveryReport>, u64, u64, String) {
+    let mut net = build(s);
+    net.set_route_caching(cached);
+    let n_links = net.links().len();
+    let guard = obs::begin(ObsMode::Cost);
+    let mut rng = SimRng::seed_from_u64(s.seed);
+    let mut reports = Vec::with_capacity(s.sends.len());
+    for (i, &(src, dst, way, extra)) in s.sends.iter().enumerate() {
+        for &(at, link, up) in &s.flaps {
+            if at as usize % s.sends.len() == i {
+                net.set_link_up(LinkId((link as usize % n_links) as u32), up);
+            }
+        }
+        let src = NodeId((src as usize % s.nodes) as u32);
+        let dst = NodeId((dst as usize % s.nodes) as u32);
+        let way = NodeId((way as usize % s.nodes) as u32);
+        // Loose source route ending at the destination: every hop of every
+        // segment goes through `next_hop_toward`, the cached path.
+        let route = if extra { vec![way, dst] } else { vec![dst] };
+        let pkt =
+            Packet::new(addr_of(&net, src), addr_of(&net, dst), Protocol::Tcp, 1, ports::HTTP)
+                .with_source_route(route);
+        reports.push(net.send(src, pkt, &mut rng));
+    }
+    let rec = guard.finish();
+    (reports, rec.rng_draws, rec.forwards, format!("{:?}", rec.digest))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cached and uncached runs are indistinguishable, byte for byte.
+    #[test]
+    fn cache_is_invisible_to_any_observer(s in scenario()) {
+        let (reports_c, draws_c, fwd_c, digest_c) = run(&s, true);
+        let (reports_u, draws_u, fwd_u, digest_u) = run(&s, false);
+        prop_assert_eq!(reports_c, reports_u);
+        prop_assert_eq!(draws_c, draws_u);
+        prop_assert_eq!(fwd_c, fwd_u);
+        prop_assert_eq!(digest_c, digest_u);
+    }
+}
