@@ -46,6 +46,8 @@ timed_test "workspace doctests"    --workspace --doc
 timed_test "actors/prop_actors"            -p tussle-actors      --test prop_actors
 timed_test "econ/prop_ledger"              -p tussle-econ        --test prop_ledger
 timed_test "experiments/chaos_campaign"    -p tussle-experiments --test chaos_campaign
+timed_test "experiments/prop_recovery"     -p tussle-experiments --test prop_recovery
+timed_test "experiments/recovery_oracle"   -p tussle-experiments --test recovery_oracle
 timed_test "game/prop_games"               -p tussle-game        --test prop_games
 timed_test "names/prop_names"              -p tussle-names       --test prop_names
 timed_test "net/prop_fastpath"             -p tussle-net         --test prop_fastpath
@@ -53,6 +55,7 @@ timed_test "net/prop_net"                  -p tussle-net         --test prop_net
 timed_test "policy/prop_parser"            -p tussle-policy      --test prop_parser
 timed_test "routing/prop_routing"          -p tussle-routing     --test prop_routing
 timed_test "sim/prop_chaos"                -p tussle-sim         --test prop_chaos
+timed_test "sim/prop_checkpoint"           -p tussle-sim         --test prop_checkpoint
 timed_test "sim/prop_engine"               -p tussle-sim         --test prop_engine
 timed_test "sim/prop_obs"                  -p tussle-sim         --test prop_obs
 timed_test "sim/prop_provenance"           -p tussle-sim         --test prop_provenance
@@ -161,18 +164,78 @@ if [[ "$cache_on" != "$cache_off" ]]; then
 fi
 echo "route-cache smoke OK: E4 digest $cache_on with and without the cache"
 
-echo "==> perf baseline: BENCH_sim.json from the obs + sweep + net benches"
+echo "==> checkpoint smoke: write E9 checkpoints, resume from disk, schema-checked"
+ck_dir="$(mktemp -d)"
+ck_json="$(./target/release/tussle-cli checkpoint --only E9 --seed 5 --every 1 --dir "$ck_dir" --json)"
+echo "$ck_json" | jq -e '
+  (.experiment == "E9") and (.seed == 5) and (.every == 1)
+  and (.checkpoints >= 1)
+  and ((.files | length) == .checkpoints)
+  and (.manifest != null)
+  and (.shape_holds == true)
+' > /dev/null
+last_ck="$(echo "$ck_json" | jq -r '.files[-1]')"
+resume_json="$(./target/release/tussle-cli resume --from "$last_ck" --json)"
+echo "$resume_json" | jq -e '
+  (.experiment == "E9") and (.seed == 5)
+  and (.cursor >= 1)
+  and (.verified == true)
+  and (.report.id == "E9")
+  and (.report.shape_holds == true)
+' > /dev/null
+echo "checkpoint smoke OK: E9 checkpointed to disk and resumed verified"
+
+echo "==> restore smoke: a snapshot from the wrong version must be refused"
+bad_ck="$ck_dir/bad_version.json"
+jq '.version = 99' "$last_ck" > "$bad_ck"
+resume_err=""
+if resume_err="$(./target/release/tussle-cli resume --from "$bad_ck" 2>&1 >/dev/null)"; then
+  echo "FAIL: resume from a version-99 snapshot exited 0" >&2
+  exit 1
+fi
+echo "$resume_err" | grep -q "version mismatch" || {
+  echo "FAIL: version-mismatch error did not name the cause: $resume_err" >&2
+  exit 1
+}
+rm -rf "$ck_dir"
+echo "restore smoke OK: version mismatch exits 1 with a diagnostic"
+
+echo "==> recovery smoke: E4 crash/resume digest equality, schema-checked"
+recovery_json="$(./target/release/tussle-cli recovery --only E4 --seeds 1 --every 200 --json)"
+echo "$recovery_json" | jq -e '
+  (.seeds == 1) and (.kill_points == 1)
+  and (.cells | length == 1)
+  and (.cells[0].id == "E4")
+  and (.cells[0].crashed == true)
+  and (.cells[0].kill_at != null)
+  and (.cells[0].golden_steps > 0)
+  and (.cells[0].verified == true)
+  and (.cells[0].identical == true)
+  and (.cells[0].detail == "")
+' > /dev/null
+# Determinism in the thread grid: same recovery report at any worker count.
+for t in 1 2 8; do
+  threaded="$(./target/release/tussle-cli recovery --only E4 --seeds 1 --every 200 --threads "$t" --json)"
+  if [[ "$threaded" != "$recovery_json" ]]; then
+    echo "FAIL: recovery output changed at --threads $t" >&2
+    exit 1
+  fi
+done
+echo "recovery smoke OK: E4 crashed mid-run and resumed byte-identical at 1/2/8 threads"
+
+echo "==> perf baseline: BENCH_sim.json from the obs + sweep + net + checkpoint benches"
 bench_jsonl="$(mktemp)"
 trap 'rm -f "$bench_jsonl"' EXIT
-CRITERION_JSON="$bench_jsonl" cargo bench -p tussle-bench --bench obs --bench sweep --bench net
+CRITERION_JSON="$bench_jsonl" cargo bench -p tussle-bench --bench obs --bench sweep --bench net --bench checkpoint
 jq -s 'sort_by(.bench)' "$bench_jsonl" > BENCH_sim.json
 jq -e '
-  (length >= 9)
+  (length >= 12)
   and ([.[] | has("bench") and has("median_ns")] | all)
   and ([.[].median_ns | . > 0] | all)
   and ([.[].bench] | any(startswith("obs/")))
   and ([.[].bench] | any(startswith("sweep/")))
   and ([.[].bench] | any(startswith("net/")))
+  and ([.[].bench] | any(startswith("checkpoint/")))
 ' BENCH_sim.json > /dev/null
 echo "perf baseline OK: $(jq length BENCH_sim.json) benches recorded in BENCH_sim.json"
 

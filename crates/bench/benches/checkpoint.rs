@@ -1,0 +1,129 @@
+//! Checkpoint overhead bench: scoped vs unscoped experiment runs.
+//!
+//! Measures what a live checkpoint scope costs the hot path. E10 (QoS
+//! auction) runs uncheckpointed and under `every_n_events(1000)` with an
+//! in-memory sink — every rng draw and forward pays the per-step scope
+//! tick, so this is the worst honest view of the bookkeeping overhead.
+//! The acceptance gate pins the scoped run at under 1.15× the
+//! uncheckpointed one, best-of-N to shed scheduler noise. A third bench
+//! prices actual snapshot capture: a 5k-event engine chain emitting a
+//! snapshot every 1000 events.
+//!
+//! ```sh
+//! cargo bench -p tussle-bench --bench checkpoint
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use tussle_sim::checkpoint::{self, CheckpointConfig, CheckpointPolicy};
+use tussle_sim::{Engine, SimTime};
+
+const SEED: u64 = 2002;
+const EVERY: u64 = 1000;
+/// E10 runs per timed sample, so one sample is long enough to time.
+const REPS: usize = 10;
+
+/// Best-of-N wall-clock, in nanoseconds.
+fn best_of(n: usize, mut run: impl FnMut()) -> u128 {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .expect("at least one run")
+}
+
+fn e10() -> fn(u64) -> tussle_core::ExperimentReport {
+    tussle_experiments::registry()
+        .into_iter()
+        .find(|(name, _)| *name == "E10")
+        .map(|(_, run)| run)
+        .expect("E10 is registered")
+}
+
+/// A self-rescheduling 5k-event chain: the engine-driven snapshot
+/// workload. Returns total events processed.
+fn engine_chain(seed: u64) -> u64 {
+    fn link(w: &mut u64, ctx: &mut tussle_sim::Ctx<u64>) {
+        *w += ctx.rng.range(1..16u64);
+        if ctx.event_id().0 < 5000 {
+            ctx.schedule_in(SimTime::from_micros(1), link);
+        }
+    }
+    let mut eng = Engine::new(0u64, seed);
+    eng.schedule_at(SimTime::ZERO, link);
+    eng.run_to_completion()
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let run = e10();
+
+    // The scope must be invisible in results before its cost is priced.
+    let plain = run(SEED);
+    let guard = checkpoint::begin(
+        CheckpointConfig::new(CheckpointPolicy::every_n_events(EVERY)).meta("E10", SEED),
+    );
+    let scoped = run(SEED);
+    guard.finish();
+    assert_eq!(plain, scoped, "checkpoint scope changed E10's report");
+
+    let mut g = c.benchmark_group("checkpoint");
+    g.sample_size(10);
+    g.bench_function("e10_uncheckpointed", |b| {
+        b.iter(|| {
+            for _ in 0..REPS {
+                black_box(run(SEED));
+            }
+        })
+    });
+    g.bench_function("e10_checkpointed_1k", |b| {
+        b.iter(|| {
+            let guard = checkpoint::begin(
+                CheckpointConfig::new(CheckpointPolicy::every_n_events(EVERY)).meta("E10", SEED),
+            );
+            for _ in 0..REPS {
+                black_box(run(SEED));
+            }
+            guard.finish();
+        })
+    });
+    g.bench_function("engine_5k_snapshots_1k", |b| {
+        b.iter(|| {
+            let guard = checkpoint::begin(
+                CheckpointConfig::new(CheckpointPolicy::every_n_events(EVERY)).meta("chain", SEED),
+            );
+            black_box(engine_chain(SEED));
+            let rec = guard.finish();
+            black_box(rec.snapshots.len());
+        })
+    });
+    g.finish();
+
+    // Acceptance gate: a live every-1000-events scope costs the E10 hot
+    // path under 15%. Both arms are warm from the criterion samples.
+    let plain_ns = best_of(7, || {
+        for _ in 0..REPS {
+            black_box(run(SEED));
+        }
+    });
+    let scoped_ns = best_of(7, || {
+        let guard = checkpoint::begin(
+            CheckpointConfig::new(CheckpointPolicy::every_n_events(EVERY)).meta("E10", SEED),
+        );
+        for _ in 0..REPS {
+            black_box(run(SEED));
+        }
+        guard.finish();
+    });
+    let ratio = scoped_ns as f64 / plain_ns as f64;
+    println!(
+        "checkpoint scope on E10: unscoped {plain_ns} ns, scoped {scoped_ns} ns, ratio {ratio:.3}x"
+    );
+    assert!(ratio < 1.15, "checkpoint scope must stay under 1.15x on E10 ({ratio:.3}x)");
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

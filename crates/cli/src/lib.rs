@@ -24,6 +24,18 @@
 //!   [--intensity-b Y] [--threads K] [--json]` — run two configurations of
 //!   one experiment and bisect their trace streams to the first diverging
 //!   entry, with aligned context and each side's causal ancestry;
+//! * `checkpoint --only E9 --dir DIR [--every N] [--seed S] [--json]` —
+//!   run one experiment under a persistent checkpoint scope, writing
+//!   `ck_<cursor>.json` snapshots plus a digest-chained `manifest.json`
+//!   into the directory;
+//! * `resume --from <file> [--json]` — load a snapshot, replay its run
+//!   deterministically, verify byte-exactness at the snapshot's cursor and
+//!   finish the run (a divergence or unreadable file exits nonzero);
+//! * `recovery [--seeds N] [--base S] [--kills K] [--every N]
+//!   [--only E1,E4] [--json] [--threads K]` — the crash-injection recovery
+//!   campaign: kill every selected experiment at seeded random step
+//!   indices, restore, and hold the stitched runs to byte-exact equality
+//!   with uninterrupted goldens;
 //! * `list` — list experiment ids, sections and one-line claims;
 //! * `ladder <mechanism>` — play an escalation ladder to quiescence from a
 //!   named opening mechanism;
@@ -32,9 +44,49 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use serde::Serialize;
 use tussle_core::{EscalationLadder, Mechanism};
 use tussle_experiments as experiments;
+use tussle_sim::checkpoint::{self, CheckpointConfig, CheckpointPolicy};
 use tussle_sim::EventId;
+
+/// JSON summary printed by `checkpoint --json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckpointSummary {
+    /// The experiment that ran.
+    pub experiment: String,
+    /// Its seed.
+    pub seed: u64,
+    /// Checkpoint interval in engine events.
+    pub every: u64,
+    /// Engine events dispatched under the scope.
+    pub events: u64,
+    /// Observable steps (events + rng draws + forwards) under the scope.
+    pub steps: u64,
+    /// Snapshots captured.
+    pub checkpoints: u64,
+    /// Snapshot files written, in capture order.
+    pub files: Vec<String>,
+    /// The digest-chained manifest path.
+    pub manifest: Option<String>,
+    /// Whether the run's paper-shape verdict held.
+    pub shape_holds: bool,
+}
+
+/// JSON summary printed by `resume --json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResumeSummary {
+    /// The experiment that resumed.
+    pub experiment: String,
+    /// Its seed.
+    pub seed: u64,
+    /// Event cursor of the snapshot the replay verified against.
+    pub cursor: u64,
+    /// Whether the replay matched the snapshot byte-exactly.
+    pub verified: bool,
+    /// The finished run's report.
+    pub report: tussle_core::ExperimentReport,
+}
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,6 +177,43 @@ pub enum Command {
         only: Vec<String>,
         /// Keep only entries whose topic starts with this prefix.
         grep: Option<String>,
+    },
+    /// Run one experiment under a persistent checkpoint scope.
+    Checkpoint {
+        /// The experiment id (exactly one).
+        id: String,
+        /// RNG seed.
+        seed: u64,
+        /// Checkpoint interval in engine events (≥ 1).
+        every: u64,
+        /// Directory snapshots and the manifest are written into.
+        dir: String,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// Resume a run from a snapshot file and verify byte-exactness.
+    Resume {
+        /// Path of the snapshot file.
+        from: String,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// Run the crash-injection recovery campaign.
+    Recovery {
+        /// Seeds per experiment.
+        seeds: u64,
+        /// First seed of the range.
+        base_seed: u64,
+        /// Kill points per `(experiment, seed)` pair.
+        kills: u64,
+        /// Checkpoint interval in engine events (≥ 1).
+        every: u64,
+        /// Restrict to these ids (empty = all).
+        only: Vec<String>,
+        /// Emit JSON instead of markdown.
+        json: bool,
+        /// Worker-thread cap (`None` = available parallelism).
+        threads: Option<usize>,
     },
     /// List the experiment registry.
     List,
@@ -228,6 +317,17 @@ fn parse_threads(v: &str) -> Result<usize, UsageError> {
     let n: usize = v.parse().map_err(|_| UsageError(format!("bad thread count '{v}'")))?;
     if n == 0 {
         return Err(UsageError("--threads must be at least 1".into()));
+    }
+    Ok(n)
+}
+
+/// Parse an `--every` checkpoint interval. Zero would demand a snapshot
+/// between every pair of events and none at once, so it is rejected
+/// uniformly across `checkpoint` and `recovery`.
+fn parse_every(v: &str) -> Result<u64, UsageError> {
+    let n: u64 = v.parse().map_err(|_| UsageError(format!("bad checkpoint interval '{v}'")))?;
+    if n == 0 {
+        return Err(UsageError("--every must be at least 1".into()));
     }
     Ok(n)
 }
@@ -535,6 +635,120 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             }
             Ok(Command::Chaos { intensities, seeds, base_seed, only, json, threads })
         }
+        Some("checkpoint") => {
+            let mut id = None;
+            let mut seed = 2002u64;
+            let mut every = 500u64;
+            let mut dir = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--only" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--only needs one id like E9".into()))?;
+                        id = Some(parse_single_only(v)?);
+                    }
+                    "--seed" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seed needs a value".into()))?;
+                        seed = v.parse().map_err(|_| UsageError(format!("bad seed '{v}'")))?;
+                    }
+                    "--every" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--every needs an event count".into()))?;
+                        every = parse_every(v)?;
+                    }
+                    "--dir" => {
+                        let v = it.next().ok_or_else(|| UsageError("--dir needs a path".into()))?;
+                        dir = Some(v.clone());
+                    }
+                    "--json" => json = true,
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            let id = id.ok_or_else(|| UsageError("checkpoint needs --only <experiment>".into()))?;
+            let dir = dir.ok_or_else(|| UsageError("checkpoint needs --dir <directory>".into()))?;
+            Ok(Command::Checkpoint { id, seed, every, dir, json })
+        }
+        Some("resume") => {
+            let mut from = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--from" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--from needs a snapshot file".into()))?;
+                        from = Some(v.clone());
+                    }
+                    "--json" => json = true,
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            let from = from.ok_or_else(|| UsageError("resume needs --from <snapshot>".into()))?;
+            Ok(Command::Resume { from, json })
+        }
+        Some("recovery") => {
+            let defaults = experiments::RecoveryConfig::default();
+            let mut seeds = defaults.seeds;
+            let mut base_seed = defaults.base_seed;
+            let mut kills = defaults.kill_points;
+            let mut every = defaults.every;
+            let mut only = Vec::new();
+            let mut json = false;
+            let mut threads = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seeds" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seeds needs a count".into()))?;
+                        seeds =
+                            v.parse().map_err(|_| UsageError(format!("bad seed count '{v}'")))?;
+                        if seeds == 0 {
+                            return Err(UsageError("--seeds must be at least 1".into()));
+                        }
+                    }
+                    "--base" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--base needs a seed".into()))?;
+                        base_seed =
+                            v.parse().map_err(|_| UsageError(format!("bad base seed '{v}'")))?;
+                    }
+                    "--kills" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--kills needs a count".into()))?;
+                        kills =
+                            v.parse().map_err(|_| UsageError(format!("bad kill count '{v}'")))?;
+                        if kills == 0 {
+                            return Err(UsageError("--kills must be at least 1".into()));
+                        }
+                    }
+                    "--every" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--every needs an event count".into()))?;
+                        every = parse_every(v)?;
+                    }
+                    "--only" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--only needs ids like E1,E4".into()))?;
+                        only = parse_only(v)?;
+                    }
+                    "--json" => json = true,
+                    "--threads" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--threads needs a count".into()))?;
+                        threads = Some(parse_threads(v)?);
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Recovery { seeds, base_seed, kills, every, only, json, threads })
+        }
         Some(other) => Err(UsageError(format!("unknown command '{other}'; try `tussle-cli help`"))),
     }
 }
@@ -662,6 +876,106 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
             let report = experiments::run_chaos(&cfg).map_err(|e| UsageError(e.to_string()))?;
             Ok(if json { report.to_json() } else { report.to_markdown() })
         }
+        Command::Checkpoint { id, seed, every, dir, json } => {
+            let (name, run) = experiments::registry()
+                .into_iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(&id))
+                .ok_or_else(|| {
+                    UsageError(format!("unknown experiment '{id}'; run `tussle-cli list`"))
+                })?;
+            let guard = checkpoint::begin(
+                CheckpointConfig::new(CheckpointPolicy::every_n_events(every))
+                    .dir(&dir)
+                    .meta(name, seed),
+            );
+            let report = experiments::run_captured(name, run, seed);
+            let rec = guard.finish();
+            if let Some(e) = rec.io_error {
+                return Err(UsageError(format!("checkpoint write failed: {e}")));
+            }
+            let summary = CheckpointSummary {
+                experiment: name.to_owned(),
+                seed,
+                every,
+                events: rec.cursor,
+                steps: rec.steps,
+                checkpoints: rec.snapshots.len() as u64,
+                files: rec.files.iter().map(|p| p.display().to_string()).collect(),
+                manifest: rec.manifest.as_ref().map(|p| p.display().to_string()),
+                shape_holds: report.shape_holds,
+            };
+            if json {
+                Ok(serde_json::to_string_pretty(&summary)
+                    .expect("checkpoint summaries serialize to JSON"))
+            } else {
+                let mut out = format!(
+                    "{} (seed {}): {} checkpoint(s) over {} events / {} steps\n",
+                    summary.experiment,
+                    summary.seed,
+                    summary.checkpoints,
+                    summary.events,
+                    summary.steps,
+                );
+                for f in &summary.files {
+                    out.push_str(&format!("  {f}\n"));
+                }
+                match &summary.manifest {
+                    Some(m) => out.push_str(&format!("  manifest: {m}\n")),
+                    None => out.push_str(
+                        "  (no checkpoints fired: the run dispatched no engine events \
+                         or ended before the first interval)\n",
+                    ),
+                }
+                Ok(out)
+            }
+        }
+        Command::Resume { from, json } => {
+            let snap = checkpoint::load_snapshot(std::path::Path::new(&from))
+                .map_err(|e| UsageError(e.to_string()))?;
+            let outcome =
+                experiments::resume_from_snapshot(&snap).map_err(|e| UsageError(e.to_string()))?;
+            if let Some(d) = &outcome.divergence {
+                return Err(UsageError(format!("resume diverged from the snapshot: {d}")));
+            }
+            if !outcome.verified {
+                return Err(UsageError(format!(
+                    "resume never reached the snapshot's cursor {} — wrong build or \
+                     truncated run?",
+                    outcome.cursor
+                )));
+            }
+            let summary = ResumeSummary {
+                experiment: outcome.experiment,
+                seed: outcome.seed,
+                cursor: outcome.cursor,
+                verified: outcome.verified,
+                report: outcome.report,
+            };
+            if json {
+                Ok(serde_json::to_string_pretty(&summary)
+                    .expect("resume summaries serialize to JSON"))
+            } else {
+                Ok(format!(
+                    "resumed {} (seed {}) from the checkpoint at event {}: verified byte-exact\n\n{}",
+                    summary.experiment,
+                    summary.seed,
+                    summary.cursor,
+                    summary.report.to_markdown(),
+                ))
+            }
+        }
+        Command::Recovery { seeds, base_seed, kills, every, only, json, threads } => {
+            let cfg = experiments::RecoveryConfig {
+                seeds,
+                base_seed,
+                kill_points: kills,
+                every,
+                only: if only.is_empty() { None } else { Some(only) },
+                threads,
+            };
+            let report = experiments::run_recovery(&cfg).map_err(|e| UsageError(e.to_string()))?;
+            Ok(if json { report.to_json() } else { report.to_markdown() })
+        }
         Command::Experiments { seed, json, only } => {
             let reports: Vec<_> = experiments::run_all_parallel(seed)
                 .into_iter()
@@ -697,6 +1011,9 @@ USAGE:
   tussle-cli diff --only E9 --seed N [--seed-b M] [--intensity X] [--intensity-b Y] [--json] [--threads K]
   tussle-cli sweep [--seeds N] [--base S] [--only E1,E4] [--json] [--threads K]
   tussle-cli chaos [--intensities 0,0.2,0.5] [--seeds N] [--base S] [--only E1,E4] [--json] [--threads K]
+  tussle-cli checkpoint --only E9 --dir DIR [--every N] [--seed S] [--json]
+  tussle-cli resume --from <snapshot.json> [--json]
+  tussle-cli recovery [--seeds N] [--base S] [--kills K] [--every N] [--only E1,E4] [--json] [--threads K]
   tussle-cli list
   tussle-cli ladder <mechanism>
   tussle-cli mechanisms
@@ -1189,6 +1506,175 @@ mod tests {
         assert!(err.0.contains("0 entries matched"), "{err}");
         // No grep: an empty dump is not an error, just empty sections.
         assert!(execute(Command::Trace { seed: 2002, only: vec!["E2".into()], grep: None }).is_ok());
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        assert_eq!(
+            parse_args(&args("checkpoint --only e9 --dir /tmp/ck --every 250 --seed 3 --json"))
+                .unwrap(),
+            Command::Checkpoint {
+                id: "E9".into(),
+                seed: 3,
+                every: 250,
+                dir: "/tmp/ck".into(),
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse_args(&args("checkpoint --only E9 --dir d")).unwrap(),
+            Command::Checkpoint {
+                id: "E9".into(),
+                seed: 2002,
+                every: 500,
+                dir: "d".into(),
+                json: false,
+            }
+        );
+        assert!(parse_args(&args("checkpoint --dir d")).unwrap_err().0.contains("--only"));
+        assert!(parse_args(&args("checkpoint --only E9")).unwrap_err().0.contains("--dir"));
+        assert!(parse_args(&args("checkpoint --only E9,E10 --dir d"))
+            .unwrap_err()
+            .0
+            .contains("exactly one"));
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_is_a_parse_error_not_a_panic() {
+        for cmd in ["checkpoint --only E9 --dir d --every 0", "recovery --every 0"] {
+            let err = parse_args(&args(cmd)).unwrap_err();
+            assert!(err.0.contains("--every must be at least 1"), "{cmd}: {err}");
+        }
+        assert!(parse_args(&args("recovery --every banana"))
+            .unwrap_err()
+            .0
+            .contains("bad checkpoint interval"));
+    }
+
+    #[test]
+    fn parses_resume_and_recovery_flags() {
+        assert_eq!(
+            parse_args(&args("resume --from /tmp/ck_000000000010.json --json")).unwrap(),
+            Command::Resume { from: "/tmp/ck_000000000010.json".into(), json: true }
+        );
+        assert!(parse_args(&args("resume")).unwrap_err().0.contains("--from"));
+
+        let d = experiments::RecoveryConfig::default();
+        assert_eq!(
+            parse_args(&args("recovery")).unwrap(),
+            Command::Recovery {
+                seeds: d.seeds,
+                base_seed: d.base_seed,
+                kills: d.kill_points,
+                every: d.every,
+                only: vec![],
+                json: false,
+                threads: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "recovery --seeds 3 --base 9 --kills 2 --every 100 --only e4 --json --threads 2"
+            ))
+            .unwrap(),
+            Command::Recovery {
+                seeds: 3,
+                base_seed: 9,
+                kills: 2,
+                every: 100,
+                only: vec!["E4".into()],
+                json: true,
+                threads: Some(2),
+            }
+        );
+        assert!(parse_args(&args("recovery --seeds 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse_args(&args("recovery --kills 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse_args(&args("recovery --threads 0")).unwrap_err().0.contains("at least 1"));
+    }
+
+    #[test]
+    fn checkpoint_then_resume_roundtrips_through_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("tussle-cli-ck-{}-roundtrip", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = execute(Command::Checkpoint {
+            id: "E9".into(),
+            seed: 5,
+            every: 1,
+            dir: dir.display().to_string(),
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("manifest:"), "{out}");
+
+        let manifest = tussle_sim::checkpoint::load_manifest(&dir.join("manifest.json")).unwrap();
+        assert_eq!(manifest.experiment, "E9");
+        assert!(!manifest.checkpoints.is_empty());
+        let last = dir.join(&manifest.checkpoints.last().unwrap().file);
+
+        let json =
+            execute(Command::Resume { from: last.display().to_string(), json: true }).unwrap();
+        let parsed: serde::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.field("experiment").unwrap(), &serde::Value::Str("E9".into()));
+        assert_eq!(parsed.field("seed").unwrap(), &serde::Value::U64(5));
+        assert_eq!(parsed.field("verified").unwrap(), &serde::Value::Bool(true));
+        assert!(parsed.field("report").unwrap().field("shape_holds").is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_from_a_missing_file_is_a_clean_error() {
+        let err = execute(Command::Resume {
+            from: "/nonexistent/ck_000000000001.json".into(),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("/nonexistent/ck_000000000001.json"), "{err}");
+        assert!(!err.0.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_unknown_experiment_errors() {
+        let err = execute(Command::Checkpoint {
+            id: "E99".into(),
+            seed: 1,
+            every: 10,
+            dir: "/tmp/never-created".into(),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("unknown experiment"), "{err}");
+    }
+
+    fn recovery_cmd(json: bool, threads: usize) -> Command {
+        Command::Recovery {
+            seeds: 1,
+            base_seed: 1,
+            kills: 1,
+            every: 200,
+            only: vec!["E4".into(), "E14".into()],
+            json,
+            threads: Some(threads),
+        }
+    }
+
+    #[test]
+    fn recovery_command_renders_markdown_and_json() {
+        let md = execute(recovery_cmd(false, 1)).unwrap();
+        assert!(md.contains("Recovery campaign"), "{md}");
+        assert!(md.contains("| E4 |"), "{md}");
+        assert!(md.contains("byte-identical finish"), "{md}");
+        let json = execute(recovery_cmd(true, 1)).unwrap();
+        assert!(json.contains("\"cells\""), "{json}");
+        assert!(json.contains("\"identical\": true"), "{json}");
+    }
+
+    #[test]
+    fn recovery_json_is_byte_identical_across_thread_counts() {
+        assert_eq!(
+            execute(recovery_cmd(true, 1)).unwrap(),
+            execute(recovery_cmd(true, 3)).unwrap()
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use mechanism::Mechanism;
 pub use principles::{choice_index, spillover, value_flow_completeness, visibility_index};
 pub use report::{
     CellStats, ChaosReport, ExperimentReport, ExperimentSweep, FirstFailure, IntensityStats,
-    MarginStats, Row, RunCost, SweepReport, Table,
+    MarginStats, RecoveryCell, RecoveryReport, Row, RunCost, SweepReport, Table,
 };
 pub use space::{TussleSpace, TussleSpaceKind};
 pub use stakeholder::{Interest, Stakeholder, StakeholderKind};

@@ -1,0 +1,54 @@
+//! Property sweep over the recovery oracle: randomized
+//! (experiment, seed, kill-point) cells must always recover.
+//!
+//! Each case draws an experiment from a fast, step-rich subset, a fresh
+//! base seed, and a kill-point count, then runs the full
+//! golden/crash/resume cell grid for it. 32 cases at 1-3 kill points
+//! each sweeps well over the 32-cell floor the oracle promises.
+
+use proptest::prelude::*;
+use tussle_experiments::{registry, run_recovery_entries, RecoveryConfig};
+
+/// Experiments with distinct step surfaces that run fast enough for a
+/// property sweep: engine-driven (E9), forward-heavy (E4, E5), and
+/// rng-draw-heavy (E14).
+const SUBJECTS: [&str; 4] = ["E4", "E5", "E9", "E14"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn randomized_cells_always_recover(
+        pick in 0usize..SUBJECTS.len(),
+        base_seed in 1u64..100_000,
+        kill_points in 1u64..4,
+        every in prop_oneof![Just(50u64), Just(200), Just(500)],
+    ) {
+        let name = SUBJECTS[pick];
+        let entry = registry()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .expect("subject experiment is registered");
+        let cfg = RecoveryConfig {
+            seeds: 1,
+            base_seed,
+            kill_points,
+            every,
+            only: None,
+            threads: Some(1),
+        };
+        let report = run_recovery_entries(&[entry], &cfg).expect("valid config");
+        prop_assert_eq!(report.cells.len() as u64, kill_points);
+        prop_assert!(
+            report.all_recovered(),
+            "unrecovered cells: {:#?}",
+            report.failures().collect::<Vec<_>>()
+        );
+        // These subjects all have a step surface, so injection must bite.
+        for cell in &report.cells {
+            prop_assert!(cell.crashed, "{} seed {} never crashed", cell.id, cell.seed);
+            prop_assert!(cell.kill_at.is_some());
+            prop_assert!(cell.golden_steps > 0);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! The recovery oracle across the full experiment registry.
+//!
+//! Every experiment is run three ways per cell — uninterrupted golden,
+//! crash-injected at a seeded step, and resumed from the last surviving
+//! checkpoint — and the resumed report must be byte-identical to the
+//! golden. The sweep must also be deterministic in the thread grid: the
+//! same report JSON regardless of worker count.
+
+use tussle_experiments::{registry, run_recovery, RecoveryConfig};
+
+fn full_cfg(threads: usize) -> RecoveryConfig {
+    RecoveryConfig { threads: Some(threads), ..RecoveryConfig::default() }
+}
+
+#[test]
+fn every_experiment_recovers_across_the_default_sweep() {
+    // Default config: 2 seeds x 1 kill point over all 17 experiments —
+    // a 34-cell grid.
+    let report = run_recovery(&full_cfg(2)).expect("valid config");
+    assert_eq!(report.cells.len(), registry().len() * 2);
+    assert!(
+        report.all_recovered(),
+        "unrecovered cells: {:#?}",
+        report.failures().collect::<Vec<_>>()
+    );
+
+    // Crash injection actually bites: most experiments have a step
+    // surface (engine events, rng draws, or packet forwards), and every
+    // such cell must have crashed mid-run before recovering.
+    let crashed = report.cells.iter().filter(|c| c.crashed).count();
+    let vacuous = report.cells.iter().filter(|c| c.kill_at.is_none()).count();
+    assert!(
+        crashed >= report.cells.len() / 2,
+        "only {crashed} of {} cells crashed",
+        report.cells.len()
+    );
+    assert_eq!(crashed + vacuous, report.cells.len());
+}
+
+#[test]
+fn the_sweep_is_identical_across_thread_counts() {
+    let reports: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let cfg = RecoveryConfig { seeds: 1, ..full_cfg(threads) };
+            run_recovery(&cfg).expect("valid config").to_json()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "threads 1 vs 2 diverge");
+    assert_eq!(reports[0], reports[2], "threads 1 vs 8 diverge");
+}

@@ -2,9 +2,34 @@
 
 use proptest::prelude::*;
 use tussle_net::addr::{Address, AddressOrigin, Prefix};
-use tussle_net::packet::{Packet, Protocol};
+use tussle_net::packet::{ports, Packet, Protocol};
 use tussle_net::table::Fib;
-use tussle_net::NodeId;
+use tussle_net::{build_engine, Flow, Network, NodeId, RetryPolicy, TrafficWorld};
+use tussle_sim::{Engine, FaultInjector, SimTime};
+
+/// A lossy two-hop retry workload: 30 packets at 10ms spacing over a 40%
+/// lossy second hop, with jittered exponential backoff on every drop.
+fn retry_workload(seed: u64) -> Engine<TrafficWorld> {
+    let mut net = Network::new();
+    let h0 = net.add_host(tussle_net::Asn(1));
+    let r = net.add_router(tussle_net::Asn(1));
+    let h1 = net.add_host(tussle_net::Asn(2));
+    net.connect(h0, r, SimTime::from_millis(1), 1_000_000_000);
+    net.connect(r, h1, SimTime::from_millis(1), 1_000_000_000);
+    let a0 = Address::in_prefix(Prefix::new(0x0a000000, 16), 1, AddressOrigin::ProviderIndependent);
+    let a1 = Address::in_prefix(Prefix::new(0x0b000000, 16), 1, AddressOrigin::ProviderIndependent);
+    net.node_mut(h0).bind(a0);
+    net.node_mut(h1).bind(a1);
+    net.fib_mut(h0).install(Prefix::DEFAULT, r, 0);
+    net.fib_mut(r).install(Prefix::new(0x0b000000, 16), h1, 0);
+    let lid = net.links()[1].id;
+    net.link_mut(lid).faults = FaultInjector::lossy(0.4, 0.0);
+    let pkt = Packet::new(a0, a1, Protocol::Udp, 100, ports::VOIP);
+    let flow = Flow::periodic("rt", h0, pkt, SimTime::from_millis(10), 30)
+        .with_jitter(2_000)
+        .with_retries(RetryPolicy::backoff(4));
+    build_engine(net, vec![flow], seed)
+}
 
 proptest! {
     /// A prefix always contains every address minted inside it.
@@ -82,6 +107,41 @@ proptest! {
         let removed = fib.withdraw(target);
         prop_assert_eq!(fib.len(), before - removed);
         prop_assert!(fib.entries().all(|e| e.prefix != target));
+    }
+
+    /// Retry backoff jitter draws come from the run's own `SimRng` (never
+    /// ambient randomness), so a crash/resume run consumes *exactly* as
+    /// many rng draws as the uninterrupted golden — prefix and suffix
+    /// draw counts and the final stream position all pinned.
+    #[test]
+    fn retry_jitter_draws_are_pinned_across_crash_and_resume(
+        seed in 0u64..512,
+        cut in 1u64..48,
+    ) {
+        let mut golden = retry_workload(seed);
+        let g1 = tussle_sim::obs::begin(tussle_sim::ObsMode::Cost);
+        golden.run(cut);
+        let prefix_draws = g1.finish().rng_draws;
+        let snap = golden.checkpoint();
+        let g2 = tussle_sim::obs::begin(tussle_sim::ObsMode::Cost);
+        golden.run_to_completion();
+        let suffix_draws = g2.finish().rng_draws;
+
+        // A successor process replays to the crash frontier, restores, and
+        // finishes the run: every draw count must match the golden's.
+        let mut resumed = retry_workload(seed);
+        let r1 = tussle_sim::obs::begin(tussle_sim::ObsMode::Cost);
+        resumed.run(cut);
+        prop_assert_eq!(r1.finish().rng_draws, prefix_draws);
+        resumed.restore(&snap).expect("replay frontier matches");
+        prop_assert_eq!(resumed.core_state().rng_word_pos, snap.engine.rng_word_pos);
+        let r2 = tussle_sim::obs::begin(tussle_sim::ObsMode::Cost);
+        resumed.run_to_completion();
+        prop_assert_eq!(r2.finish().rng_draws, suffix_draws);
+
+        prop_assert_eq!(resumed.core_state(), golden.core_state());
+        let retried = golden.metrics().counter("flow.rt.retried");
+        prop_assert!(retried > 0, "40% loss must force jittered retries");
     }
 
     /// Packet visibility is exhaustive and consistent: a steganographic

@@ -30,6 +30,9 @@
 //!   bounded capture and ancestry walks ("why did this event run?").
 //! * [`flame`] — deterministic collapsed-stack (flamegraph) rendering of
 //!   span captures, attributed by virtual time.
+//! * [`checkpoint`] — versioned snapshots of a run's replay frontier with
+//!   policy-driven capture, atomic persistence, crash injection, and
+//!   byte-exact restore verification ("resume equals never-crashed").
 //!
 //! No async runtime is used: the workload is CPU-bound simulation, and the
 //! engine is single-threaded by design (parallelism, where used, is across
@@ -54,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod digest;
 pub mod engine;
 pub mod event;
@@ -67,6 +71,11 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use checkpoint::{
+    CheckpointConfig, CheckpointGuard, CheckpointPolicy, CheckpointRecord, CheckpointSink,
+    ComponentState, EngineState, Manifest, ManifestEntry, RestoreError, Snapshot, SnapshotMeta,
+    Snapshottable, SNAPSHOT_VERSION,
+};
 pub use digest::{Fnv1a, RunDigest};
 pub use engine::{Ctx, Engine, RunBudget, RunOutcome, RunReport};
 pub use event::{EventFn, EventId};

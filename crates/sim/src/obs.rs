@@ -314,15 +314,20 @@ pub fn on_dispatch_end() {
     with_state(|s| s.current_event = None);
 }
 
-/// One randomness-consuming rng call completed.
+/// One randomness-consuming rng call completed. Also a checkpoint-scope
+/// step: crash injection can fire here (see
+/// [`checkpoint`](crate::checkpoint)).
 #[inline]
 pub fn on_rng_draw() {
+    crate::checkpoint::action_tick();
     with_state(|s| s.rng_draws += 1);
 }
 
-/// One packet hop was forwarded at virtual time `at`.
+/// One packet hop was forwarded at virtual time `at`. Also a
+/// checkpoint-scope step: crash injection can fire here.
 #[inline]
 pub fn on_forward(at: SimTime) {
+    crate::checkpoint::action_tick();
     with_state(|s| {
         s.forwards += 1;
         s.series_forwards.record(at, 1);

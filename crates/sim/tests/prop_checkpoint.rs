@@ -1,0 +1,189 @@
+//! Property tests for the checkpoint/restore subsystem: the replay
+//! frontier must be an exact, tamper-evident fixpoint of the run.
+
+use proptest::prelude::*;
+use tussle_sim::checkpoint::{self, CheckpointConfig, CheckpointPolicy, Snapshottable};
+use tussle_sim::{Engine, Fnv1a, RunDigest, SimRng, SimTime, Snapshot};
+
+/// Rolls accumulated by the property workload — a component whose digest
+/// is exactly its contents.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct Rolls(Vec<u64>);
+
+impl Snapshottable for Rolls {
+    fn component(&self) -> &'static str {
+        "prop-rolls"
+    }
+
+    fn state_digest(&self) -> RunDigest {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.0.len() as u64);
+        for &v in &self.0 {
+            h.write_u64(v);
+        }
+        RunDigest(h.finish())
+    }
+}
+
+/// A self-rescheduling workload whose every event draws randomness,
+/// traces, and bumps a metric — enough to exercise every frontier field.
+fn workload(seed: u64, chains: usize) -> Engine<Rolls> {
+    fn link(w: &mut Rolls, ctx: &mut tussle_sim::Ctx<Rolls>) {
+        let roll = ctx.rng.range(1..64u64);
+        w.0.push(roll);
+        ctx.trace("prop.link", format!("roll {roll}"));
+        ctx.metrics.incr("prop.links");
+        if w.0.len() < 60 {
+            ctx.schedule_in(SimTime::from_micros(roll), link);
+        }
+    }
+    let mut eng = Engine::new(Rolls::default(), seed);
+    for _ in 0..chains {
+        eng.schedule_at(SimTime::ZERO, link);
+    }
+    eng
+}
+
+proptest! {
+    /// Seeking the rng stream is exact: after arbitrary draws, recording
+    /// `word_pos` and seeking a fresh stream there reproduces the exact
+    /// upcoming draw sequence.
+    #[test]
+    fn rng_word_pos_seek_roundtrips(
+        seed in any::<u64>(),
+        burn in 0usize..200,
+        probe in 1usize..32,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..burn {
+            let _ = rng.range(0..1_000u64);
+        }
+        let pos = rng.word_pos();
+        let expected: Vec<u64> = (0..probe).map(|_| rng.range(0..1_000_000u64)).collect();
+
+        let mut seeked = SimRng::seed_from_u64(seed);
+        seeked.set_word_pos(pos);
+        prop_assert_eq!(seeked.word_pos(), pos);
+        let replayed: Vec<u64> = (0..probe).map(|_| seeked.range(0..1_000_000u64)).collect();
+        prop_assert_eq!(replayed, expected);
+    }
+
+    /// `every_n_events` fires exactly at multiples of the interval, for
+    /// any interval and run length.
+    #[test]
+    fn policy_fires_exactly_at_interval_multiples(every in 1u64..40, events in 0u64..300) {
+        let guard = checkpoint::begin(
+            CheckpointConfig::new(CheckpointPolicy::every_n_events(every)).meta("prop", 1),
+        );
+        let mut eng: Engine<Vec<u64>> = Engine::new(Vec::new(), 1);
+        for i in 0..events {
+            eng.schedule_at(SimTime::from_micros(i), |w: &mut Vec<u64>, _| w.push(0));
+        }
+        eng.run_to_completion();
+        let rec = guard.finish();
+        prop_assert_eq!(rec.cursor, events);
+        let expected: Vec<u64> = (1..=events).filter(|c| c % every == 0).collect();
+        let got: Vec<u64> = rec.snapshots.iter().map(|s| s.cursor).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The synthetic crash/resume oracle, swept over arbitrary seeds and
+    /// kill steps: kill a run anywhere, resume from the latest checkpoint
+    /// (or genesis), and the stitched run's digest, world and core state
+    /// all equal the uninterrupted golden's.
+    #[test]
+    fn crash_anywhere_resume_is_byte_identical(
+        seed in any::<u64>(),
+        kill in 1u64..200,
+        every in 1u64..20,
+    ) {
+        let mut golden = workload(seed, 3);
+        golden.run_to_completion();
+
+        let guard = checkpoint::begin(
+            CheckpointConfig::new(CheckpointPolicy::every_n_events(every))
+                .kill_at(kill)
+                .meta("prop", seed),
+        );
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut eng = workload(seed, 3);
+            eng.run_to_completion();
+        }));
+        let crash_rec = guard.finish();
+        if crashed.is_ok() {
+            // A kill step past the run's total steps simply never fires.
+            prop_assert!(crash_rec.killed_at.is_none());
+            prop_assert!(kill > crash_rec.steps);
+        } else {
+            prop_assert_eq!(crash_rec.killed_at, Some(kill));
+            let latest: Option<Snapshot> = crash_rec.snapshots.last().cloned();
+
+            let verify_cfg = match &latest {
+                Some(s) => CheckpointConfig::new(CheckpointPolicy::manual()).verify(s.clone()),
+                None => CheckpointConfig::new(CheckpointPolicy::manual()),
+            };
+            let guard = checkpoint::begin(verify_cfg.meta("prop", seed));
+            let mut resumed = workload(seed, 3);
+            resumed.run_to_completion();
+            let resume_rec = guard.finish();
+
+            if let Some(s) = &latest {
+                prop_assert_eq!(resume_rec.verified_at, Some(s.cursor));
+                prop_assert!(resume_rec.divergence.is_none(), "{:?}", resume_rec.divergence);
+            }
+            prop_assert_eq!(resumed.digest(), golden.digest());
+            prop_assert_eq!(&resumed.world, &golden.world);
+            prop_assert_eq!(resumed.core_state(), golden.core_state());
+        }
+    }
+
+    /// The queue-shape digest is order-insensitive in capture but
+    /// sensitive to any scheduling difference: a run with one extra or
+    /// differently-timed pending event has a different digest.
+    #[test]
+    fn queue_digest_sees_scheduling_differences(
+        times in proptest::collection::vec(1u64..10_000, 1..40),
+        tweak in 0usize..40,
+    ) {
+        let build = |times: &[u64]| {
+            let mut eng: Engine<Vec<u64>> = Engine::new(Vec::new(), 9);
+            for &t in times {
+                eng.schedule_at(SimTime::from_micros(t), |w: &mut Vec<u64>, _| w.push(0));
+            }
+            eng
+        };
+        let a = build(&times);
+        let b = build(&times);
+        prop_assert_eq!(a.queue_digest(), b.queue_digest(), "same schedule, same digest");
+
+        // Nudge one pending event's time: the digest must move.
+        let mut nudged = times.clone();
+        let i = tweak % nudged.len();
+        nudged[i] += 10_000;
+        let c = build(&nudged);
+        prop_assert_ne!(a.queue_digest(), c.queue_digest(), "nudged schedule, same digest");
+
+        // One extra pending event: the digest must move too.
+        let mut extra = times.clone();
+        extra.push(20_000);
+        let d = build(&extra);
+        prop_assert_ne!(a.queue_digest(), d.queue_digest(), "extra event, same digest");
+    }
+
+    /// An engine checkpoint taken mid-run restores onto a fresh replay at
+    /// exactly that frontier, for any cut point.
+    #[test]
+    fn engine_checkpoint_restores_at_any_cut(seed in any::<u64>(), cut in 1u64..80) {
+        let mut golden = workload(seed, 2);
+        golden.run(cut);
+        let snap = golden.checkpoint();
+        golden.run_to_completion();
+
+        let mut resumed = workload(seed, 2);
+        resumed.run(cut);
+        resumed.restore(&snap).expect("identical replay restores");
+        resumed.run_to_completion();
+        prop_assert_eq!(resumed.digest(), golden.digest());
+        prop_assert_eq!(&resumed.world, &golden.world);
+    }
+}

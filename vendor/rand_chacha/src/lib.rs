@@ -44,6 +44,42 @@ impl ChaCha8Rng {
         self.seed
     }
 
+    /// Number of 32-bit output words consumed from the stream so far.
+    ///
+    /// Together with the seed this pins the generator's exact position:
+    /// `set_word_pos(word_pos())` on a fresh generator with the same seed
+    /// reproduces the remaining stream bit-for-bit.
+    pub fn word_pos(&self) -> u64 {
+        if self.counter == 0 && self.idx >= 16 {
+            // Fresh generator: nothing produced, nothing consumed.
+            0
+        } else {
+            // `counter` is the next block to generate, so the current
+            // buffer is block `counter - 1`; `idx` words of it are gone.
+            (self.counter - 1) * 16 + self.idx as u64
+        }
+    }
+
+    /// Reposition the stream so that exactly `pos` output words have been
+    /// consumed. Seeking is O(1): ChaCha blocks are generated directly
+    /// from `(seed, block counter)`.
+    pub fn set_word_pos(&mut self, pos: u64) {
+        let block = pos / 16;
+        let offset = (pos % 16) as usize;
+        if offset == 0 {
+            // On a block boundary: arm the counter and defer generation
+            // to the next read (mirrors the `from_seed` initial state).
+            self.counter = block;
+            self.idx = 16;
+        } else {
+            // Mid-block: generate block `block` now and skip `offset`
+            // words into it.
+            self.counter = block;
+            self.refill();
+            self.idx = offset;
+        }
+    }
+
     fn refill(&mut self) {
         let mut state = [0u32; 16];
         // "expand 32-byte k"
@@ -176,6 +212,50 @@ mod tests {
         let mut buf = [0u8; 13];
         r.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn word_pos_counts_consumed_words() {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(r.word_pos(), 0, "fresh generator has consumed nothing");
+        r.next_u32();
+        assert_eq!(r.word_pos(), 1);
+        r.next_u64();
+        assert_eq!(r.word_pos(), 3);
+        // Drain to the end of the first block and just past it.
+        for _ in 3..16 {
+            r.next_u32();
+        }
+        assert_eq!(r.word_pos(), 16, "exact block boundary");
+        r.next_u32();
+        assert_eq!(r.word_pos(), 17);
+    }
+
+    #[test]
+    fn set_word_pos_reproduces_the_stream() {
+        // Positions chosen to cover: start, mid-block, both sides of the
+        // first and second block boundaries.
+        for pos in [0u64, 1, 7, 15, 16, 17, 31, 32, 33, 100] {
+            let mut reference = ChaCha8Rng::seed_from_u64(42);
+            for _ in 0..pos {
+                reference.next_u32();
+            }
+            let mut seeked = ChaCha8Rng::seed_from_u64(42);
+            seeked.set_word_pos(pos);
+            assert_eq!(seeked.word_pos(), pos, "pos={pos}");
+            for i in 0..64 {
+                assert_eq!(seeked.next_u32(), reference.next_u32(), "pos={pos} word {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_word_pos_rewinds() {
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let first: Vec<u32> = (0..40).map(|_| r.next_u32()).collect();
+        r.set_word_pos(0);
+        let again: Vec<u32> = (0..40).map(|_| r.next_u32()).collect();
+        assert_eq!(first, again, "seeking to 0 replays the stream from the seed");
     }
 
     #[test]
