@@ -52,6 +52,7 @@ timed_test "game/prop_games"               -p tussle-game        --test prop_gam
 timed_test "names/prop_names"              -p tussle-names       --test prop_names
 timed_test "net/prop_fastpath"             -p tussle-net         --test prop_fastpath
 timed_test "net/prop_net"                  -p tussle-net         --test prop_net
+timed_test "net/prop_traceback"            -p tussle-net         --test prop_traceback
 timed_test "policy/prop_parser"            -p tussle-policy      --test prop_parser
 timed_test "routing/prop_routing"          -p tussle-routing     --test prop_routing
 timed_test "sim/prop_chaos"                -p tussle-sim         --test prop_chaos
@@ -61,6 +62,7 @@ timed_test "sim/prop_obs"                  -p tussle-sim         --test prop_obs
 timed_test "sim/prop_provenance"           -p tussle-sim         --test prop_provenance
 timed_test "trust/prop_trust"              -p tussle-trust       --test prop_trust
 # Workspace-level integration suites.
+timed_test "corpus_replay"            --test corpus_replay
 timed_test "end_to_end_qos"           --test end_to_end_qos
 timed_test "experiments_all"          --test experiments_all
 timed_test "extensions_integration"   --test extensions_integration
@@ -223,10 +225,57 @@ for t in 1 2 8; do
 done
 echo "recovery smoke OK: E4 crashed mid-run and resumed byte-identical at 1/2/8 threads"
 
-echo "==> perf baseline: BENCH_sim.json from the obs + sweep + net + checkpoint benches"
+echo "==> fuzz smoke: fixed-seed campaign, schema-checked, thread-count invariant"
+fuzz_start=$(date +%s)
+fuzz_json="$(./target/release/tussle-cli fuzz --budget 200 --seeds 3 --json)"
+echo "$fuzz_json" | jq -e '
+  (.schema == 1)
+  and (.base_seed == 1) and (.seeds == 3) and (.budget == 200)
+  and (.executions == 200)
+  and (.coverage_cells >= 1)
+  and (.digest | test("^[0-9a-f]{16}$"))
+  and (.oracles | length == 8)
+  and ([.oracles[] | has("oracle") and has("checks") and has("violations")] | all)
+  and ([.oracles[] | .checks >= 1] | all)
+  and (.chains | length == 3)
+  and ([.chains[] | has("seed") and has("executions") and has("coverage_cells") and has("digest")] | all)
+  and (.findings | type == "array")
+' > /dev/null
+# Every oracle must have fired at least once AND found nothing on the
+# pinned seed; any finding here is a real regression in a substrate.
+echo "$fuzz_json" | jq -e '[.oracles[].violations] | add == 0' > /dev/null || {
+  echo "FAIL: the fixed-seed fuzz campaign found violations:" >&2
+  echo "$fuzz_json" | jq '.findings' >&2
+  exit 1
+}
+# Byte-determinism across thread counts — the acceptance bar.
+for t in 1 2 8; do
+  threaded="$(./target/release/tussle-cli fuzz --budget 200 --seeds 3 --threads "$t" --json)"
+  if [[ "$threaded" != "$fuzz_json" ]]; then
+    echo "FAIL: fuzz output changed at --threads $t" >&2
+    exit 1
+  fi
+done
+fuzz_elapsed=$(( $(date +%s) - fuzz_start ))
+if (( fuzz_elapsed > BUDGET_S )); then
+  echo "FAIL: fuzz smoke exceeded the ${BUDGET_S}s budget (${fuzz_elapsed}s)" >&2
+  exit 1
+fi
+echo "fuzz smoke OK: 200 executions, 8 oracles green, byte-identical at 1/2/8 threads (${fuzz_elapsed}s)"
+
+echo "==> corpus hygiene: no untracked repro artifacts in tests/corpus/"
+untracked_corpus="$(git status --porcelain -- tests/corpus | grep '^??' || true)"
+if [[ -n "$untracked_corpus" ]]; then
+  echo "FAIL: untracked files in tests/corpus/ — commit the repro or clean it up:" >&2
+  echo "$untracked_corpus" >&2
+  exit 1
+fi
+echo "corpus hygiene OK: every tests/corpus entry is tracked"
+
+echo "==> perf baseline: BENCH_sim.json from the obs + sweep + net + checkpoint + fuzz benches"
 bench_jsonl="$(mktemp)"
 trap 'rm -f "$bench_jsonl"' EXIT
-CRITERION_JSON="$bench_jsonl" cargo bench -p tussle-bench --bench obs --bench sweep --bench net --bench checkpoint
+CRITERION_JSON="$bench_jsonl" cargo bench -p tussle-bench --bench obs --bench sweep --bench net --bench checkpoint --bench fuzz
 jq -s 'sort_by(.bench)' "$bench_jsonl" > BENCH_sim.json
 jq -e '
   (length >= 12)
@@ -236,6 +285,7 @@ jq -e '
   and ([.[].bench] | any(startswith("sweep/")))
   and ([.[].bench] | any(startswith("net/")))
   and ([.[].bench] | any(startswith("checkpoint/")))
+  and ([.[].bench] | any(startswith("fuzz/")))
 ' BENCH_sim.json > /dev/null
 echo "perf baseline OK: $(jq length BENCH_sim.json) benches recorded in BENCH_sim.json"
 

@@ -36,6 +36,12 @@
 //!   campaign: kill every selected experiment at seeded random step
 //!   indices, restore, and hold the stitched runs to byte-exact equality
 //!   with uninterrupted goldens;
+//! * `fuzz [--budget N] [--seeds S] [--base B] [--json] [--corpus DIR]
+//!   [--threads K]` — the coverage-guided tussle-space fuzzer: seeded
+//!   random scenarios composing topology, traffic, faults, middleboxes,
+//!   contracts and policy, checked against the cross-layer invariant
+//!   oracles, with violating scenarios shrunk and (with `--corpus`)
+//!   serialized as repro entries;
 //! * `list` — list experiment ids, sections and one-line claims;
 //! * `ladder <mechanism>` — play an escalation ladder to quiescence from a
 //!   named opening mechanism;
@@ -210,6 +216,21 @@ pub enum Command {
         every: u64,
         /// Restrict to these ids (empty = all).
         only: Vec<String>,
+        /// Emit JSON instead of markdown.
+        json: bool,
+        /// Worker-thread cap (`None` = available parallelism).
+        threads: Option<usize>,
+    },
+    /// Run the coverage-guided tussle-space fuzz campaign.
+    Fuzz {
+        /// Total scenario-execution budget across all chains.
+        budget: u64,
+        /// Number of mutation chains (one per seed).
+        seeds: u64,
+        /// First chain seed.
+        base_seed: u64,
+        /// Directory to serialize shrunk repros into (`None` = don't).
+        corpus: Option<String>,
         /// Emit JSON instead of markdown.
         json: bool,
         /// Worker-thread cap (`None` = available parallelism).
@@ -749,6 +770,57 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             }
             Ok(Command::Recovery { seeds, base_seed, kills, every, only, json, threads })
         }
+        Some("fuzz") => {
+            let defaults = experiments::FuzzConfig::default();
+            let mut budget = defaults.budget;
+            let mut seeds = defaults.seeds;
+            let mut base_seed = defaults.base_seed;
+            let mut corpus = None;
+            let mut json = false;
+            let mut threads = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--budget" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--budget needs a count".into()))?;
+                        budget = v.parse().map_err(|_| UsageError(format!("bad budget '{v}'")))?;
+                        if budget == 0 {
+                            return Err(UsageError("--budget must be at least 1".into()));
+                        }
+                    }
+                    "--seeds" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seeds needs a count".into()))?;
+                        seeds =
+                            v.parse().map_err(|_| UsageError(format!("bad seed count '{v}'")))?;
+                        if seeds == 0 {
+                            return Err(UsageError("--seeds must be at least 1".into()));
+                        }
+                    }
+                    "--base" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--base needs a seed".into()))?;
+                        base_seed =
+                            v.parse().map_err(|_| UsageError(format!("bad base seed '{v}'")))?;
+                    }
+                    "--corpus" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--corpus needs a directory".into()))?;
+                        corpus = Some(v.clone());
+                    }
+                    "--json" => json = true,
+                    "--threads" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--threads needs a count".into()))?;
+                        threads = Some(parse_threads(v)?);
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Fuzz { budget, seeds, base_seed, corpus, json, threads })
+        }
         Some(other) => Err(UsageError(format!("unknown command '{other}'; try `tussle-cli help`"))),
     }
 }
@@ -976,6 +1048,17 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
             let report = experiments::run_recovery(&cfg).map_err(|e| UsageError(e.to_string()))?;
             Ok(if json { report.to_json() } else { report.to_markdown() })
         }
+        Command::Fuzz { budget, seeds, base_seed, corpus, json, threads } => {
+            let cfg = experiments::FuzzConfig {
+                budget,
+                seeds,
+                base_seed,
+                corpus_dir: corpus.map(std::path::PathBuf::from),
+                threads,
+            };
+            let report = experiments::run_fuzz(&cfg).map_err(|e| UsageError(e.to_string()))?;
+            Ok(if json { report.to_json() } else { report.to_markdown() })
+        }
         Command::Experiments { seed, json, only } => {
             let reports: Vec<_> = experiments::run_all_parallel(seed)
                 .into_iter()
@@ -1014,6 +1097,7 @@ USAGE:
   tussle-cli checkpoint --only E9 --dir DIR [--every N] [--seed S] [--json]
   tussle-cli resume --from <snapshot.json> [--json]
   tussle-cli recovery [--seeds N] [--base S] [--kills K] [--every N] [--only E1,E4] [--json] [--threads K]
+  tussle-cli fuzz [--budget N] [--seeds S] [--base B] [--json] [--corpus DIR] [--threads K]
   tussle-cli list
   tussle-cli ladder <mechanism>
   tussle-cli mechanisms
@@ -1675,6 +1759,72 @@ mod tests {
             execute(recovery_cmd(true, 1)).unwrap(),
             execute(recovery_cmd(true, 3)).unwrap()
         );
+    }
+
+    fn fuzz_cmd(json: bool, threads: usize) -> Command {
+        Command::Fuzz {
+            budget: 8,
+            seeds: 2,
+            base_seed: 5,
+            corpus: None,
+            json,
+            threads: Some(threads),
+        }
+    }
+
+    #[test]
+    fn parses_fuzz_flags_and_defaults() {
+        let d = experiments::FuzzConfig::default();
+        assert_eq!(
+            parse_args(&args("fuzz")).unwrap(),
+            Command::Fuzz {
+                budget: d.budget,
+                seeds: d.seeds,
+                base_seed: d.base_seed,
+                corpus: None,
+                json: false,
+                threads: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "fuzz --budget 50 --seeds 2 --base 9 --corpus tests/corpus --json --threads 4"
+            ))
+            .unwrap(),
+            Command::Fuzz {
+                budget: 50,
+                seeds: 2,
+                base_seed: 9,
+                corpus: Some("tests/corpus".into()),
+                json: true,
+                threads: Some(4),
+            }
+        );
+        assert!(parse_args(&args("fuzz --budget 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse_args(&args("fuzz --seeds 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse_args(&args("fuzz --threads 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse_args(&args("fuzz --corpus")).unwrap_err().0.contains("directory"));
+        assert!(parse_args(&args("fuzz --bogus")).unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn fuzz_command_renders_markdown_and_json() {
+        let md = execute(fuzz_cmd(false, 2)).unwrap();
+        assert!(md.contains("Fuzz campaign"), "{md}");
+        assert!(md.contains("packet-conservation"), "{md}");
+        let json = execute(fuzz_cmd(true, 2)).unwrap();
+        let parsed: serde::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.field("schema").unwrap(), &serde::Value::U64(1));
+        assert_eq!(parsed.field("executions").unwrap(), &serde::Value::U64(8));
+        assert!(parsed.field("oracles").is_ok());
+        assert!(parsed.field("digest").is_ok());
+    }
+
+    #[test]
+    fn fuzz_json_is_byte_identical_across_thread_counts() {
+        let one = execute(fuzz_cmd(true, 1)).unwrap();
+        assert_eq!(one, execute(fuzz_cmd(true, 2)).unwrap());
+        assert_eq!(one, execute(fuzz_cmd(true, 8)).unwrap());
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Property tests for the value-flow ledger and pricing.
 
 use proptest::prelude::*;
-use tussle_econ::{AccountId, Ledger, Money, PricingScheme, Usage};
+use tussle_econ::{
+    AccountId, Consumer, Instrument, Ledger, Market, Money, PeeringContract, PricingScheme,
+    Provider, TransitContract, Usage,
+};
+use tussle_net::Asn;
 
 proptest! {
     /// Conservation: any sequence of mints and transfers keeps the total
@@ -81,5 +85,161 @@ proptest! {
         let one = s.bill(Usage::residential(mb));
         let two = s.bill(Usage::residential(mb * 2));
         prop_assert_eq!(two.micros(), one.micros() * 2);
+    }
+}
+
+/// One randomly drawn economic event for the cross-crate conservation test.
+#[derive(Debug, Clone)]
+enum EconOp {
+    /// Settle a transit contract between two of the fixed ASes.
+    Transit { customer: u64, provider: u64, per_mb: i64, monthly: i64, megabytes: u64 },
+    /// Settle a peering contract between two of the fixed ASes.
+    Peering { a: u64, b: u64, max_ratio_tenths: u64, overage: i64, a_to_b: u64, b_to_a: u64 },
+    /// Pay an amount with an instrument; the processing fee moves to the
+    /// processor's account (fees change hands, they don't evaporate).
+    Payment { payer: u64, payee: u64, amount: i64, instrument: u8 },
+    /// Run a retail market round and transfer each served consumer's bill
+    /// from a consumer account to a provider account.
+    MarketRound { consumers: u64, monthly: i64, months: u8 },
+}
+
+fn econ_op() -> impl Strategy<Value = EconOp> {
+    prop_oneof![
+        (0u64..6, 0u64..6, 0i64..2_000, 0i64..5_000_000, 0u64..10_000).prop_map(
+            |(customer, provider, per_mb, monthly, megabytes)| EconOp::Transit {
+                customer,
+                provider,
+                per_mb,
+                monthly,
+                megabytes
+            }
+        ),
+        (0u64..6, 0u64..6, 10u64..40, 0i64..2_000, 0u64..10_000, 0u64..10_000).prop_map(
+            |(a, b, max_ratio_tenths, overage, a_to_b, b_to_a)| EconOp::Peering {
+                a,
+                b,
+                max_ratio_tenths,
+                overage,
+                a_to_b,
+                b_to_a
+            }
+        ),
+        (0u64..6, 0u64..6, 1i64..20_000_000, 0u8..3).prop_map(
+            |(payer, payee, amount, instrument)| EconOp::Payment {
+                payer,
+                payee,
+                amount,
+                instrument
+            }
+        ),
+        (1u64..8, 1i64..80, 1u8..4).prop_map(|(consumers, monthly, months)| {
+            EconOp::MarketRound { consumers, monthly, months }
+        }),
+    ]
+}
+
+proptest! {
+    /// Cross-crate conservation: random sequences of contract settlements,
+    /// instrument-fee payments, and market-derived retail bills never
+    /// create or destroy money — the ledger stays conserving and the sum
+    /// of all balances equals exactly what was minted up front. Rejected
+    /// transfers (self-pay, underfunded) are legal outcomes, not leaks.
+    #[test]
+    fn economy_wide_ops_conserve_money(ops in proptest::collection::vec(econ_op(), 1..40)) {
+        let mut l = Ledger::new();
+        // Accounts 0..6 play AS / consumer / provider roles; 6 is the
+        // payment processor that collects instrument fees.
+        for i in 0..7u64 {
+            l.open(AccountId(i));
+            l.mint(AccountId(i), Money::from_dollars(1_000));
+        }
+        let minted = l.total_minted();
+        let acct = |asn: Asn| AccountId(u64::from(asn.0));
+
+        for op in ops {
+            match op {
+                EconOp::Transit { customer, provider, per_mb, monthly, megabytes } => {
+                    if customer == provider {
+                        continue;
+                    }
+                    let c = TransitContract {
+                        customer: Asn(customer as u32),
+                        provider: Asn(provider as u32),
+                        per_mb: Money(per_mb),
+                        monthly: Money(monthly),
+                    };
+                    let _ = c.settle(&mut l, acct, megabytes);
+                }
+                EconOp::Peering { a, b, max_ratio_tenths, overage, a_to_b, b_to_a } => {
+                    if a == b {
+                        continue;
+                    }
+                    let p = PeeringContract {
+                        a: Asn(a as u32),
+                        b: Asn(b as u32),
+                        max_ratio: max_ratio_tenths as f64 / 10.0,
+                        overage_per_mb: Money(overage),
+                    };
+                    let _ = p.settle(&mut l, acct, a_to_b, b_to_a);
+                }
+                EconOp::Payment { payer, payee, amount, instrument } => {
+                    if payer == payee {
+                        continue;
+                    }
+                    let inst = Instrument::all()[instrument as usize];
+                    let amount = Money(amount);
+                    if l.transfer(AccountId(payer), AccountId(payee), amount, "pay").is_ok() {
+                        // The fee is capped at the payee's balance so a fee
+                        // rejection can't hide a conservation bug.
+                        let fee = inst.overhead(amount).min(l.balance(AccountId(payee)));
+                        if fee.is_positive() {
+                            let _ = l.transfer(AccountId(payee), AccountId(6), fee, "fee");
+                        }
+                    }
+                }
+                EconOp::MarketRound { consumers, monthly, months } => {
+                    let cs: Vec<Consumer> = (0..consumers)
+                        .map(|i| Consumer {
+                            id: i,
+                            value: Money::from_dollars(60 + i as i64 * 5),
+                            usage_mb: 100 * (i + 1),
+                            runs_server: i % 3 == 0,
+                            tunnels: i % 6 == 0,
+                            switching_cost: Money::from_dollars(5),
+                            provider: None,
+                        })
+                        .collect();
+                    let ps = vec![
+                        Provider::flat("flat", Money::from_dollars(monthly), Money::from_dollars(8)),
+                        Provider::flat(
+                            "rival",
+                            Money::from_dollars(monthly + 7),
+                            Money::from_dollars(8),
+                        ),
+                    ];
+                    let mut market = Market::new(cs, ps);
+                    let report = market.run(usize::from(months));
+                    prop_assert!(report.served <= consumers as usize);
+                    // Each served consumer's bill moves through the ledger:
+                    // consumer accounts 0..3 pay provider accounts 4..6.
+                    for (i, c) in market.consumers.iter().enumerate() {
+                        if let Some(p) = c.provider {
+                            let bill = market.providers[p].scheme.bill(c.observed_usage());
+                            if bill.is_positive() {
+                                let from = AccountId(i as u64 % 4);
+                                let to = AccountId(4 + p as u64 % 2);
+                                let _ = l.transfer(from, to, bill, "retail bill");
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert!(l.is_conserving(), "ledger stopped conserving after {op:?}");
+        }
+
+        prop_assert!(l.is_conserving());
+        prop_assert_eq!(l.total_minted(), minted, "minted total must never drift");
+        let total: Money = (0..7u64).map(|i| l.balance(AccountId(i))).fold(Money::ZERO, |a, b| a + b);
+        prop_assert_eq!(total, minted, "sum of balances must equal what was minted");
     }
 }

@@ -49,12 +49,16 @@ pub mod e14_games;
 pub mod e15_micropayments;
 pub mod e16_multicast;
 pub mod e17_uncooperative;
+pub mod fuzz;
 pub mod recovery;
 pub mod scale;
 pub mod sweep;
 
 pub use causality::{diff, explain, CausalityError, DiffConfig, DiffReport, Explanation};
 pub use chaos::{run_chaos, run_chaos_entries, ChaosConfig, ChaosError};
+pub use fuzz::{
+    run_fuzz, CorpusEntry, Element, FuzzConfig, FuzzError, FuzzReport, Scenario, ORACLES,
+};
 pub use recovery::{
     resume_from_snapshot, run_recovery, run_recovery_entries, RecoveryConfig, RecoveryError,
     ResumeOutcome,

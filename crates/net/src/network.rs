@@ -409,13 +409,19 @@ impl Network {
     }
 
     /// Install a firewall at a node (replacing any existing one).
+    /// Bumps the topology generation: a firewall changes which packets a
+    /// node forwards, so routing state cached before the install must not
+    /// outlive it.
     pub fn set_firewall(&mut self, id: NodeId, fw: Firewall) {
         self.firewalls.insert(id, fw);
+        self.bump_generation();
     }
 
-    /// Remove the firewall at a node.
+    /// Remove the firewall at a node. Bumps the topology generation, same
+    /// as [`Network::set_firewall`].
     pub fn clear_firewall(&mut self, id: NodeId) {
         self.firewalls.remove(&id);
+        self.bump_generation();
     }
 
     /// The firewall at a node, if any.
@@ -423,9 +429,12 @@ impl Network {
         self.firewalls.get(&id)
     }
 
-    /// Install a QoS policy at a node.
+    /// Install a QoS policy at a node. Bumps the topology generation: the
+    /// policy changes per-hop treatment, so anything memoized against the
+    /// previous configuration is stale.
     pub fn set_qos(&mut self, id: NodeId, policy: QosPolicy) {
         self.qos.insert(id, policy);
+        self.bump_generation();
     }
 
     /// The QoS policy at a node, if any.
@@ -1084,6 +1093,43 @@ mod tests {
         assert_ne!(g4, g5, "link_mut must bump (caller may flip state)");
         net.fib_mut(a).install(Prefix::DEFAULT, b, 0);
         assert_ne!(g5, net.generation(), "fib_mut must bump");
+    }
+
+    #[test]
+    fn middlebox_config_mutations_bump_the_generation() {
+        // Firewall and QoS installs change what a node does to traffic, so
+        // the next-hop cache's generation stamp must advance — a stale
+        // cached route could otherwise thread packets through a box whose
+        // policy changed underneath it.
+        let mut net = Network::new();
+        let a = net.add_router(Asn(1));
+        let b = net.add_router(Asn(1));
+        net.connect(a, b, SimTime::from_millis(1), 1_000_000);
+        let g0 = net.generation();
+        net.set_firewall(a, Firewall::port_allowlist(vec![ports::HTTP], "op"));
+        let g1 = net.generation();
+        assert_ne!(g0, g1, "set_firewall must bump");
+        net.clear_firewall(a);
+        let g2 = net.generation();
+        assert_ne!(g1, g2, "clear_firewall must bump");
+        net.set_qos(b, QosPolicy::tos_based(4, 0.5));
+        let g3 = net.generation();
+        assert_ne!(g2, g3, "set_qos must bump");
+
+        // NAT, tunnels and wiretaps are packet-level transforms that hold
+        // no state on the Network, so plain packet operations through them
+        // must NOT churn the generation (that would thrash the route memo).
+        let before = net.generation();
+        let mut nat = crate::nat::Nat::new(addr(0x0b000000));
+        let inner =
+            Packet::new(addr(0x0a010000), addr(0x0d010000), Protocol::Tcp, 40_000, ports::HTTP);
+        let out = nat.outbound(inner.clone());
+        let _ = nat.inbound(out.clone());
+        let outer = crate::tunnel::encapsulate(&inner, addr(0x0a010000), addr(0x0c000000));
+        let _ = crate::tunnel::decapsulate(&outer, &inner);
+        let mut tap = crate::wiretap::Wiretap::new();
+        tap.observe(&inner);
+        assert_eq!(net.generation(), before, "packet-level ops must not bump");
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Property tests for probabilistic-marking traceback (§II.B).
+//!
+//! The unit tests in `traceback.rs` pin one hand-built chain; these
+//! properties cover random chain lengths, random seeds, and a mid-run
+//! link flap, asserting the victim-side reconstruction against the true
+//! path the packets actually took:
+//!
+//! - evidence only ever names routers that forwarded the flood,
+//! - a surviving stamp's distance is exactly the router's hop count to
+//!   the victim, so reconstruction orders the chain farthest-first,
+//! - a link flap mid-flood shifts evidence to the detour without ever
+//!   inventing routers that are on neither path.
+
+use proptest::prelude::*;
+use tussle_net::addr::{Address, AddressOrigin, Asn, Prefix};
+use tussle_net::packet::{ports, Packet, Protocol};
+use tussle_net::traceback::TracebackCollector;
+use tussle_net::{Network, NodeId};
+use tussle_sim::{SimRng, SimTime};
+
+fn addr(v: u32) -> Address {
+    Address::in_prefix(Prefix::new(v, 16), 1, AddressOrigin::ProviderIndependent)
+}
+
+/// attacker -- r1 -- … -- rk -- victim with FIB routes both ways and
+/// marking enabled on every router. Returns (net, attacker, flood, routers).
+fn chain(k: usize) -> (Network, NodeId, Packet, Vec<NodeId>) {
+    let mut net = Network::new();
+    let attacker = net.add_host(Asn(1));
+    let routers: Vec<NodeId> = (0..k).map(|i| net.add_router(Asn(2 + i as u32))).collect();
+    let victim = net.add_host(Asn(100));
+    let mut hops = vec![attacker];
+    hops.extend(&routers);
+    hops.push(victim);
+    for w in hops.windows(2) {
+        net.connect(w[0], w[1], SimTime::from_millis(1), 1_000_000_000);
+    }
+    let vaddr = addr(0x0b000000);
+    net.node_mut(victim).bind(vaddr);
+    let vp = Prefix::new(0x0b000000, 16);
+    for w in hops.windows(2) {
+        net.fib_mut(w[0]).install(vp, w[1], 0);
+    }
+    for r in &routers {
+        net.node_mut(*r).marks_packets = true;
+    }
+    let flood = Packet::new(addr(0xdead0000), vaddr, Protocol::Udp, 666, ports::HTTP);
+    (net, attacker, flood, routers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On a random-length chain, reconstruction names exactly the routers
+    /// that forwarded the flood, each with its true distance to the victim,
+    /// ordered farthest-first (attacker's ingress leads).
+    #[test]
+    fn reconstruction_matches_the_true_path(k in 2usize..7, seed in 0u64..1_000) {
+        let (mut net, attacker, flood, routers) = chain(k);
+        let mut rng = SimRng::seed_from_u64(seed).fork("traceback");
+        let mut collector = TracebackCollector::new();
+        let sends = 1_500u64;
+        for _ in 0..sends {
+            let rep = net.send(attacker, flood.clone(), &mut rng);
+            prop_assert!(rep.delivered);
+            // Any stamp the victim sees was left by a router on the path.
+            if let Some(m) = &rep.mark {
+                prop_assert!(rep.path.contains(&m.node), "stamp from off-path {:?}", m.node);
+            }
+            collector.observe(&rep.mark);
+        }
+        prop_assert_eq!(collector.packets_seen, sends);
+
+        let path = collector.reconstruct_path();
+        // 1500 floods at 4% marking pin every router with overwhelming odds.
+        prop_assert_eq!(path.len(), k, "every marking router should leave evidence");
+        let ids: Vec<NodeId> = path.iter().map(|e| e.node).collect();
+        prop_assert_eq!(&ids, &routers, "farthest-first order is the true chain order");
+        for (i, e) in path.iter().enumerate() {
+            // A surviving stamp from router i is aged once by each of the
+            // k-1-i routers between it and the victim — exactly.
+            let expected = (k - 1 - i) as f64;
+            prop_assert!(
+                (e.mean_distance - expected).abs() < f64::EPSILON,
+                "router {} mean distance {} != {}", i, e.mean_distance, expected
+            );
+        }
+        prop_assert_eq!(collector.nearest_to_attacker(5), Some(routers[0]));
+    }
+
+    /// Diamond topology, flood routed by a loose source route (BFS next
+    /// hop, so it responds to link state): flapping the preferred branch
+    /// mid-flood moves marks to the detour router, and evidence stays a
+    /// subset of the union of both true paths.
+    #[test]
+    fn evidence_follows_a_mid_run_link_flap(seed in 0u64..1_000) {
+        // attacker - rb - victim (preferred: rb has the lower node id)
+        // attacker - rc - victim (detour)
+        let mut net = Network::new();
+        let attacker = net.add_host(Asn(1));
+        let rb = net.add_router(Asn(2));
+        let rc = net.add_router(Asn(3));
+        let victim = net.add_host(Asn(4));
+        let ab = net.connect(attacker, rb, SimTime::from_millis(1), 1_000_000_000);
+        net.connect(attacker, rc, SimTime::from_millis(1), 1_000_000_000);
+        net.connect(rb, victim, SimTime::from_millis(1), 1_000_000_000);
+        net.connect(rc, victim, SimTime::from_millis(1), 1_000_000_000);
+        let vaddr = addr(0x0b000000);
+        net.node_mut(victim).bind(vaddr);
+        net.node_mut(rb).marks_packets = true;
+        net.node_mut(rc).marks_packets = true;
+        // Loose source route through the victim: forwarding BFSes toward
+        // the waypoint, so the flap genuinely reroutes the flood.
+        let flood = Packet::new(addr(0xdead0000), vaddr, Protocol::Udp, 666, ports::HTTP)
+            .with_source_route(vec![victim]);
+
+        let mut rng = SimRng::seed_from_u64(seed).fork("traceback-flap");
+        let mut collector = TracebackCollector::new();
+        let mut via_rb = 0u64;
+        let mut via_rc = 0u64;
+        for burst in 0..2 {
+            if burst == 1 {
+                net.set_link_up(ab, false); // mid-run flap
+            }
+            for _ in 0..800 {
+                let rep = net.send(attacker, flood.clone(), &mut rng);
+                prop_assert!(rep.delivered, "diamond stays connected through the flap");
+                if rep.path.contains(&rb) {
+                    via_rb += 1;
+                } else if rep.path.contains(&rc) {
+                    via_rc += 1;
+                }
+                collector.observe(&rep.mark);
+            }
+        }
+        // The flap really moved the flood: both branches carried traffic.
+        prop_assert_eq!(via_rb, 800);
+        prop_assert_eq!(via_rc, 800);
+
+        let path = collector.reconstruct_path();
+        prop_assert_eq!(path.len(), 2, "both branch routers leave evidence");
+        for e in &path {
+            prop_assert!(e.node == rb || e.node == rc, "evidence from off-path {:?}", e.node);
+            // One marking hop from the victim on either branch.
+            prop_assert!(e.mean_distance.abs() < f64::EPSILON);
+            prop_assert!(e.samples > 5, "router {:?} undersampled", e.node);
+        }
+    }
+}
