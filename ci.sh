@@ -55,9 +55,11 @@ timed_test "net/prop_net"                  -p tussle-net         --test prop_net
 timed_test "net/prop_traceback"            -p tussle-net         --test prop_traceback
 timed_test "policy/prop_parser"            -p tussle-policy      --test prop_parser
 timed_test "routing/prop_routing"          -p tussle-routing     --test prop_routing
+timed_test "core/prop_scoreboard"          -p tussle-core        --test prop_scoreboard
 timed_test "sim/prop_chaos"                -p tussle-sim         --test prop_chaos
 timed_test "sim/prop_checkpoint"           -p tussle-sim         --test prop_checkpoint
 timed_test "sim/prop_engine"               -p tussle-sim         --test prop_engine
+timed_test "sim/prop_export"               -p tussle-sim         --test prop_export
 timed_test "sim/prop_obs"                  -p tussle-sim         --test prop_obs
 timed_test "sim/prop_provenance"           -p tussle-sim         --test prop_provenance
 timed_test "trust/prop_trust"              -p tussle-trust       --test prop_trust
@@ -111,6 +113,86 @@ echo "$grep_err" | grep -q "0 entries matched" || {
   exit 1
 }
 echo "trace smoke OK: zero-match grep exits 1 with a diagnostic"
+
+echo "==> trace --json smoke: structured dump, schema-checked"
+tracej="$(./target/release/tussle-cli trace --only E1 --grep econ. --json)"
+echo "$tracej" | jq -e '
+  (length == 1)
+  and (.[0].experiment == "E1")
+  and (.[0].seed == 2002)
+  and (.[0].matched >= 1)
+  and ((.[0].entries | length) == .[0].matched)
+  and ([.[0].entries[].topic | startswith("econ.")] | all)
+' > /dev/null
+echo "trace --json smoke OK: grep-filtered entries are structured"
+
+echo "==> export smoke: chrome trace golden-locked, thread-invariant, valid JSON"
+export_dir="$(mktemp -d)"
+for t in 1 2 8; do
+  ./target/release/tussle-cli export --only E9 --format chrome --threads "$t" \
+    --out "$export_dir/E9.t$t.json" > /dev/null
+  cmp -s tests/golden/E9.chrome.json "$export_dir/E9.t$t.json" || {
+    echo "FAIL: export --format chrome --threads $t diverged from tests/golden/E9.chrome.json" >&2
+    exit 1
+  }
+done
+jq -e --sort-keys '
+  (.displayTimeUnit == "ms")
+  and (.traceEvents | length >= 1)
+  and ([.traceEvents[] | has("ph") and has("pid") and has("tid") and has("ts")] | all)
+  and (([.traceEvents[] | select(.ph == "B")] | length)
+       == ([.traceEvents[] | select(.ph == "E")] | length))
+' "$export_dir/E9.t1.json" > /dev/null
+rm -rf "$export_dir"
+echo "export smoke OK: E9 chrome trace matches the golden at 1/2/8 threads"
+
+echo "==> export smoke: prometheus exposition carries typed families"
+prom="$(./target/release/tussle-cli export --only E1,E9,E14 --format prom)"
+echo "$prom" | grep -q "^# TYPE tussle_stakeholder_entries counter" || {
+  echo "FAIL: prom export is missing the stakeholder family" >&2
+  exit 1
+}
+echo "$prom" | grep -q "^# TYPE tussle_topic_virtual_micros counter" || {
+  echo "FAIL: prom export is missing the topic family" >&2
+  exit 1
+}
+echo "$prom" | grep -q "^# experiment E9 seed 2002" || {
+  echo "FAIL: multi-experiment prom export is missing its section headers" >&2
+  exit 1
+}
+echo "prom export smoke OK: typed families and per-experiment headers present"
+
+echo "==> health smoke: the committed baseline self-compares green"
+./target/release/tussle-cli health > /dev/null || {
+  echo "FAIL: health exited nonzero against the committed BENCH_sim.json" >&2
+  exit 1
+}
+health_json="$(./target/release/tussle-cli health --json)"
+echo "$health_json" | jq -e '
+  (.healthy == true)
+  and (.regressions == [])
+  and (.missing == [])
+  and (.determinism_ok == true)
+  and (.scoreboard_conserves == true)
+  and (.trends | length >= 12)
+  and ([.trends[] | .ratio == 1] | all)
+' > /dev/null
+echo "health smoke OK: bench trends, campaign determinism and scoreboard all green"
+
+echo "==> health smoke: an inflated bench median must fail the gate"
+inflated="$(mktemp)"
+jq '.[0].median_ns |= (. * 10 | floor)' BENCH_sim.json > "$inflated"
+health_err=""
+if health_err="$(./target/release/tussle-cli health --bench "$inflated" --baseline BENCH_sim.json 2>&1 >/dev/null)"; then
+  echo "FAIL: health exited 0 on a 10x-inflated bench median" >&2
+  exit 1
+fi
+echo "$health_err" | grep -q "regressed" || {
+  echo "FAIL: health regression error did not name the regressed bench: $health_err" >&2
+  exit 1
+}
+rm -f "$inflated"
+echo "health negative smoke OK: inflated median exits 1 and names the bench"
 
 echo "==> explain smoke: causal ancestry JSON, schema-checked"
 explain_json="$(./target/release/tussle-cli explain --only E9 --event E3 --json)"

@@ -14,9 +14,10 @@
 //!   experiments under the self-profiling observation scope and print
 //!   wall-time/virtual-time attribution per topic, or (`--collapsed`)
 //!   flamegraph-ready collapsed-stack lines attributed by virtual time;
-//! * `trace [--seed N] [--only E1,E5] [--grep econ.]` — run experiments and
-//!   dump their structured trace streams, optionally filtered by topic
-//!   prefix (a filter matching nothing is an error);
+//! * `trace [--seed N] [--only E1,E5] [--grep econ.] [--json]` — run
+//!   experiments and dump their structured trace streams, optionally
+//!   filtered by topic prefix (a filter matching nothing is an error);
+//!   `--json` emits the same entries as machine-readable JSON;
 //! * `explain --only E9 --event e7 [--seed N] [--json]` — replay one
 //!   experiment and walk the causal provenance chain from a root injection
 //!   down to the named event;
@@ -42,6 +43,18 @@
 //!   contracts and policy, checked against the cross-layer invariant
 //!   oracles, with violating scenarios shrunk and (with `--corpus`)
 //!   serialized as repro entries;
+//! * `export [--seed N] [--only E9] [--format chrome|prom|jsonl]
+//!   [--out FILE] [--threads K]` — run experiments under the profiling
+//!   scope and render their observation records as tool-ready telemetry:
+//!   a Chrome/Perfetto trace-event document (`chrome`, exactly one
+//!   experiment), Prometheus text exposition (`prom`) or one JSON trace
+//!   entry per line (`jsonl`) — all driven by virtual time only, so the
+//!   bytes are identical across runs and worker counts;
+//! * `health [--bench BENCH_sim.json] [--baseline FILE] [--json]` — the
+//!   cross-campaign health gate: holds the bench sidecar to per-entry
+//!   regression thresholds against a baseline sidecar, re-derives a
+//!   cross-section of campaign digests at two worker counts, and checks
+//!   scoreboard conservation; any regression exits nonzero;
 //! * `list` — list experiment ids, sections and one-line claims;
 //! * `ladder <mechanism>` — play an escalation ladder to quiescence from a
 //!   named opening mechanism;
@@ -92,6 +105,277 @@ pub struct ResumeSummary {
     pub verified: bool,
     /// The finished run's report.
     pub report: tussle_core::ExperimentReport,
+}
+
+/// One bench trend row in the health report: a current median held
+/// against its baseline under a per-entry threshold.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchTrend {
+    /// Bench id from the sidecar.
+    pub bench: String,
+    /// Baseline median in nanoseconds.
+    pub baseline_ns: f64,
+    /// Current median in nanoseconds.
+    pub current_ns: f64,
+    /// `current_ns / baseline_ns`.
+    pub ratio: f64,
+    /// Largest acceptable ratio for this bench.
+    pub threshold: f64,
+    /// Did the ratio breach the threshold?
+    pub regressed: bool,
+}
+
+/// One campaign digest re-derived by the health gate's determinism probe.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignDigest {
+    /// Experiment id.
+    pub id: String,
+    /// The sweep's folded per-seed run digest.
+    pub digest: String,
+}
+
+/// The verdict printed by `tussle-cli health`, folding the bench sidecar
+/// trend, a campaign-digest determinism probe and a scoreboard
+/// conservation check into one pass/fail gate.
+#[derive(Debug, Clone, Serialize)]
+pub struct HealthReport {
+    /// Path of the current bench sidecar.
+    pub bench_file: String,
+    /// Path of the baseline sidecar.
+    pub baseline_file: String,
+    /// Per-bench trends, in baseline order.
+    pub trends: Vec<BenchTrend>,
+    /// Benches present in the baseline but missing from the current
+    /// sidecar (each counts as a regression — deletion hides trends).
+    pub missing: Vec<String>,
+    /// Did the campaign digests agree across worker counts?
+    pub determinism_ok: bool,
+    /// The probe's per-experiment digests (at one worker).
+    pub campaign_digests: Vec<CampaignDigest>,
+    /// Lane-entry total of the probed run's scoreboard.
+    pub scoreboard_entries: u64,
+    /// Did the scoreboard lanes account for every trace entry?
+    pub scoreboard_conserves: bool,
+    /// The probed run's winning stakeholder, if any lane was named.
+    pub who_won: Option<String>,
+    /// Every regression found, rendered as one line each.
+    pub regressions: Vec<String>,
+    /// True iff `regressions` is empty.
+    pub healthy: bool,
+}
+
+/// Experiments the health gate sweeps for its campaign-digest probe: an
+/// econ-heavy, a ladder-heavy and a game-theoretic cross-section of the
+/// registry, kept small so `health` stays fast enough for CI.
+const HEALTH_PROBE: [&str; 3] = ["E1", "E9", "E14"];
+
+/// The experiment whose scoreboard the health gate checks for lane
+/// conservation — E9 annotates both user and provider lanes.
+const HEALTH_SCOREBOARD_PROBE: &str = "E9";
+
+/// Per-entry regression ceiling on `current/baseline` bench medians. The
+/// obs family guards the disabled-instrumentation overhead the whole
+/// observability layer promises to keep invisible, so it gets the
+/// tightest leash; topology-scale and forwarding benches are the
+/// noisiest under CI and get the loosest.
+fn bench_threshold(bench: &str) -> f64 {
+    if bench.starts_with("obs/") {
+        1.15
+    } else if bench.starts_with("scale/") || bench.starts_with("forward/") {
+        1.40
+    } else {
+        1.25
+    }
+}
+
+/// Load a bench sidecar: a JSON array of `{"bench": .., "median_ns": ..}`
+/// objects as written by the bench harness. Empty or malformed sidecars
+/// are errors — a gate that silently checks nothing is worse than none.
+fn load_bench_sidecar(path: &str) -> Result<Vec<(String, f64)>, UsageError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| UsageError(format!("could not read bench sidecar '{path}': {e}")))?;
+    let parsed: serde::Value = serde_json::from_str(&text)
+        .map_err(|e| UsageError(format!("bench sidecar '{path}' is not JSON: {e:?}")))?;
+    let entries = match &parsed {
+        serde::Value::Seq(items) => items,
+        _ => return Err(UsageError(format!("bench sidecar '{path}': expected a top-level array"))),
+    };
+    let mut out = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let bench = match entry.field("bench") {
+            Ok(serde::Value::Str(s)) => s.clone(),
+            _ => {
+                return Err(UsageError(format!(
+                    "bench sidecar '{path}': entry {i} has no string 'bench'"
+                )))
+            }
+        };
+        let median_ns = match entry.field("median_ns") {
+            Ok(serde::Value::U64(n)) => *n as f64,
+            Ok(serde::Value::I64(n)) => *n as f64,
+            Ok(serde::Value::F64(x)) => *x,
+            _ => {
+                return Err(UsageError(format!(
+                    "bench sidecar '{path}': entry '{bench}' has no numeric 'median_ns'"
+                )))
+            }
+        };
+        if median_ns <= 0.0 {
+            return Err(UsageError(format!(
+                "bench sidecar '{path}': entry '{bench}' has non-positive median {median_ns}"
+            )));
+        }
+        out.push((bench, median_ns));
+    }
+    if out.is_empty() {
+        return Err(UsageError(format!("bench sidecar '{path}' holds no bench entries")));
+    }
+    Ok(out)
+}
+
+/// Run the health gate's three checks and fold them into a report.
+fn run_health(bench_file: &str, baseline_file: &str) -> Result<HealthReport, UsageError> {
+    let current = load_bench_sidecar(bench_file)?;
+    let baseline = load_bench_sidecar(baseline_file)?;
+    let mut trends = Vec::new();
+    let mut missing = Vec::new();
+    let mut regressions = Vec::new();
+    for (bench, baseline_ns) in &baseline {
+        match current.iter().find(|(name, _)| name == bench) {
+            None => {
+                missing.push(bench.clone());
+                regressions.push(format!(
+                    "bench '{bench}' is in the baseline but missing from '{bench_file}'"
+                ));
+            }
+            Some((_, current_ns)) => {
+                let ratio = current_ns / baseline_ns;
+                let threshold = bench_threshold(bench);
+                let regressed = ratio > threshold;
+                if regressed {
+                    regressions.push(format!(
+                        "bench '{bench}' regressed: {current_ns:.0}ns vs baseline \
+                         {baseline_ns:.0}ns ({ratio:.2}x > {threshold:.2}x)"
+                    ));
+                }
+                trends.push(BenchTrend {
+                    bench: bench.clone(),
+                    baseline_ns: *baseline_ns,
+                    current_ns: *current_ns,
+                    ratio,
+                    threshold,
+                    regressed,
+                });
+            }
+        }
+    }
+
+    // Determinism probe: sweep a registry cross-section at two worker
+    // counts; the folded campaign digests must agree bit-for-bit.
+    let probe = |threads: usize| {
+        experiments::run_sweep(&experiments::SweepConfig {
+            seeds: 2,
+            base_seed: 1,
+            only: Some(HEALTH_PROBE.iter().map(|s| (*s).to_owned()).collect()),
+            threads: Some(threads),
+        })
+        .map_err(|e| UsageError(e.to_string()))
+    };
+    let one = probe(1)?;
+    let two = probe(2)?;
+    let campaign_digests: Vec<CampaignDigest> = one
+        .experiments
+        .iter()
+        .map(|e| CampaignDigest { id: e.id.clone(), digest: e.digest.clone() })
+        .collect();
+    let determinism_ok = one
+        .experiments
+        .iter()
+        .map(|e| (&e.id, &e.digest))
+        .eq(two.experiments.iter().map(|e| (&e.id, &e.digest)));
+    if !determinism_ok {
+        regressions.push("campaign digests differ between --threads 1 and --threads 2".to_owned());
+    }
+
+    // Scoreboard probe: the per-stakeholder fold must conserve the run's
+    // global trace-entry counter, and a named lane must have won.
+    let (name, run) = experiments::registry()
+        .into_iter()
+        .find(|(n, _)| *n == HEALTH_SCOREBOARD_PROBE)
+        .expect("the scoreboard probe experiment is registered");
+    let (report, record) = experiments::run_profiled(name, run, 2002);
+    let scoreboard_entries =
+        report.scoreboard.as_ref().map(tussle_core::Scoreboard::total_entries).unwrap_or(0);
+    let scoreboard_conserves =
+        report.scoreboard.is_some() && scoreboard_entries == record.trace_entries;
+    let who_won = report.scoreboard.as_ref().and_then(tussle_core::Scoreboard::who_won);
+    if !scoreboard_conserves {
+        regressions.push(format!(
+            "scoreboard conservation failed for {HEALTH_SCOREBOARD_PROBE}: {} lane entries vs \
+             {} trace entries",
+            scoreboard_entries, record.trace_entries
+        ));
+    }
+
+    let healthy = regressions.is_empty();
+    Ok(HealthReport {
+        bench_file: bench_file.to_owned(),
+        baseline_file: baseline_file.to_owned(),
+        trends,
+        missing,
+        determinism_ok,
+        campaign_digests,
+        scoreboard_entries,
+        scoreboard_conserves,
+        who_won,
+        regressions,
+        healthy,
+    })
+}
+
+/// Render a health report as text: a trend table, then one line per probe.
+fn render_health(r: &HealthReport) -> String {
+    let mut out = format!("# Health — {}\n\n", if r.healthy { "ok" } else { "REGRESSION" });
+    out.push_str(&format!("bench sidecar: {} vs baseline {}\n\n", r.bench_file, r.baseline_file));
+    out.push_str("| bench | baseline ns | current ns | ratio | threshold | verdict |\n");
+    out.push_str("|---|---:|---:|---:|---:|---|\n");
+    for t in &r.trends {
+        out.push_str(&format!(
+            "| {} | {:.0} | {:.0} | {:.3} | {:.2} | {} |\n",
+            t.bench,
+            t.baseline_ns,
+            t.current_ns,
+            t.ratio,
+            t.threshold,
+            if t.regressed { "REGRESSED" } else { "ok" }
+        ));
+    }
+    for m in &r.missing {
+        out.push_str(&format!("| {m} | — | missing | — | — | REGRESSED |\n"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "campaign determinism (sweep {} × 2 seeds, threads 1 vs 2): {}\n",
+        HEALTH_PROBE.join(","),
+        if r.determinism_ok { "digests identical" } else { "DIGESTS DIVERGED" }
+    ));
+    for d in &r.campaign_digests {
+        out.push_str(&format!("  {} {}\n", d.id, d.digest));
+    }
+    out.push_str(&format!(
+        "scoreboard conservation ({HEALTH_SCOREBOARD_PROBE}, seed 2002): {} lane entries{} — \
+         who won: {}\n",
+        r.scoreboard_entries,
+        if r.scoreboard_conserves { ", conserved" } else { " — CONSERVATION BROKEN" },
+        r.who_won.as_deref().unwrap_or("no contest"),
+    ));
+    if !r.regressions.is_empty() {
+        out.push('\n');
+        for reg in &r.regressions {
+            out.push_str(&format!("regression: {reg}\n"));
+        }
+    }
+    out
 }
 
 /// A parsed command line.
@@ -183,6 +467,30 @@ pub enum Command {
         only: Vec<String>,
         /// Keep only entries whose topic starts with this prefix.
         grep: Option<String>,
+        /// Emit structured JSON instead of text.
+        json: bool,
+    },
+    /// Export observed runs as tool-ready telemetry documents.
+    Export {
+        /// RNG seed.
+        seed: u64,
+        /// Restrict to these ids (empty = all; `chrome` needs exactly one).
+        only: Vec<String>,
+        /// Output format: `chrome`, `prom` or `jsonl`.
+        format: String,
+        /// Write the exact rendered bytes here instead of stdout.
+        out: Option<String>,
+        /// Worker-thread cap (`None` = available parallelism).
+        threads: Option<usize>,
+    },
+    /// Run the cross-campaign health gate.
+    Health {
+        /// Current bench sidecar path.
+        bench: String,
+        /// Baseline sidecar (`None` = compare the sidecar with itself).
+        baseline: Option<String>,
+        /// Emit JSON instead of text.
+        json: bool,
     },
     /// Run one experiment under a persistent checkpoint scope.
     Checkpoint {
@@ -539,6 +847,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut seed = 2002u64;
             let mut only = Vec::new();
             let mut grep = None;
+            let mut json = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--seed" => {
@@ -561,10 +870,84 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                         }
                         grep = Some(v.clone());
                     }
+                    "--json" => json = true,
                     other => return Err(UsageError(format!("unknown flag '{other}'"))),
                 }
             }
-            Ok(Command::Trace { seed, only, grep })
+            Ok(Command::Trace { seed, only, grep, json })
+        }
+        Some("export") => {
+            let mut seed = 2002u64;
+            let mut only = Vec::new();
+            let mut format = "chrome".to_owned();
+            let mut out = None;
+            let mut threads = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seed" => {
+                        let v =
+                            it.next().ok_or_else(|| UsageError("--seed needs a value".into()))?;
+                        seed = v.parse().map_err(|_| UsageError(format!("bad seed '{v}'")))?;
+                    }
+                    "--only" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--only needs ids like E1,E4".into()))?;
+                        only = parse_only(v)?;
+                    }
+                    "--format" => {
+                        let v = it.next().ok_or_else(|| {
+                            UsageError("--format needs chrome, prom or jsonl".into())
+                        })?;
+                        match v.as_str() {
+                            "chrome" | "prom" | "jsonl" => format = v.clone(),
+                            other => {
+                                return Err(UsageError(format!(
+                                "unknown export format '{other}': expected chrome, prom or jsonl"
+                            )))
+                            }
+                        }
+                    }
+                    "--out" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--out needs a file path".into()))?;
+                        out = Some(v.clone());
+                    }
+                    "--threads" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--threads needs a count".into()))?;
+                        threads = Some(parse_threads(v)?);
+                    }
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Export { seed, only, format, out, threads })
+        }
+        Some("health") => {
+            let mut bench = "BENCH_sim.json".to_owned();
+            let mut baseline = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--bench" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--bench needs a sidecar file".into()))?;
+                        bench = v.clone();
+                    }
+                    "--baseline" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| UsageError("--baseline needs a sidecar file".into()))?;
+                        baseline = Some(v.clone());
+                    }
+                    "--json" => json = true,
+                    other => return Err(UsageError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Health { bench, baseline, json })
         }
         Some("sweep") => {
             let mut seeds = 32u64;
@@ -915,9 +1298,13 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
                 Ok(report.to_text())
             }
         }
-        Command::Trace { seed, only, grep } => {
-            let dump = experiments::trace_dump(seed, &only, grep.as_deref())
-                .map_err(|e| UsageError(e.to_string()))?;
+        Command::Trace { seed, only, grep, json } => {
+            let dump = if json {
+                experiments::trace_json(seed, &only, grep.as_deref())
+            } else {
+                experiments::trace_dump(seed, &only, grep.as_deref())
+            }
+            .map_err(|e| UsageError(e.to_string()))?;
             // A filter that matches nothing is almost always a typo'd
             // prefix; fail loudly instead of printing empty sections.
             if dump.matched == 0 {
@@ -926,6 +1313,58 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
                 }
             }
             Ok(dump.text)
+        }
+        Command::Export { seed, only, format, out, threads } => {
+            let records = experiments::export_records(seed, &only, threads)
+                .map_err(|e| UsageError(e.to_string()))?;
+            if format == "chrome" && records.len() != 1 {
+                return Err(UsageError(format!(
+                    "chrome traces are one JSON document per run; --format chrome needs \
+                     --only naming exactly one experiment, got {}",
+                    records.len()
+                )));
+            }
+            let mut rendered = String::new();
+            for (name, record) in &records {
+                match format.as_str() {
+                    "chrome" => rendered.push_str(&tussle_sim::to_chrome(record)),
+                    "prom" => {
+                        // A comment header keeps concatenated expositions
+                        // attributable; a single selection stays pristine.
+                        if records.len() > 1 {
+                            rendered.push_str(&format!("# experiment {name} seed {seed}\n"));
+                        }
+                        rendered.push_str(&tussle_sim::to_prometheus(record));
+                    }
+                    _ => rendered.push_str(&tussle_sim::to_jsonl(record)),
+                }
+            }
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, rendered.as_bytes())
+                        .map_err(|e| UsageError(format!("could not write '{path}': {e}")))?;
+                    Ok(format!("wrote {} bytes ({format}) to {path}", rendered.len()))
+                }
+                // `main` prints with a trailing newline; every rendering
+                // already ends in exactly one.
+                None => Ok(rendered.strip_suffix('\n').unwrap_or(&rendered).to_owned()),
+            }
+        }
+        Command::Health { bench, baseline, json } => {
+            let baseline = baseline.unwrap_or_else(|| bench.clone());
+            let report = run_health(&bench, &baseline)?;
+            let rendered = if json {
+                serde_json::to_string_pretty(&report).expect("health reports serialize to JSON")
+            } else {
+                render_health(&report)
+            };
+            if report.healthy {
+                Ok(rendered)
+            } else {
+                // A regression must exit nonzero: surface the full report
+                // through the error path.
+                Err(UsageError(format!("health gate failed\n{rendered}")))
+            }
         }
         Command::Sweep { seeds, base_seed, only, json, threads } => {
             let cfg = experiments::SweepConfig {
@@ -1089,7 +1528,7 @@ pub const USAGE: &str = "tussle-cli — the Tussle in Cyberspace reproduction
 USAGE:
   tussle-cli experiments [--seed N] [--json] [--only E1,E4]
   tussle-cli profile [--seed N] [--json | --collapsed] [--only E1,E4]
-  tussle-cli trace [--seed N] [--only E1,E4] [--grep econ.]
+  tussle-cli trace [--seed N] [--only E1,E4] [--grep econ.] [--json]
   tussle-cli explain --only E9 --event e7 [--seed N] [--json]
   tussle-cli diff --only E9 --seed N [--seed-b M] [--intensity X] [--intensity-b Y] [--json] [--threads K]
   tussle-cli sweep [--seeds N] [--base S] [--only E1,E4] [--json] [--threads K]
@@ -1098,6 +1537,8 @@ USAGE:
   tussle-cli resume --from <snapshot.json> [--json]
   tussle-cli recovery [--seeds N] [--base S] [--kills K] [--every N] [--only E1,E4] [--json] [--threads K]
   tussle-cli fuzz [--budget N] [--seeds S] [--base B] [--json] [--corpus DIR] [--threads K]
+  tussle-cli export [--seed N] [--only E9] [--format chrome|prom|jsonl] [--out FILE] [--threads K]
+  tussle-cli health [--bench BENCH_sim.json] [--baseline FILE] [--json]
   tussle-cli list
   tussle-cli ladder <mechanism>
   tussle-cli mechanisms
@@ -1358,11 +1799,20 @@ mod tests {
         );
         assert_eq!(
             parse_args(&args("trace --seed 3 --only e2 --grep econ.")).unwrap(),
-            Command::Trace { seed: 3, only: vec!["E2".into()], grep: Some("econ.".into()) }
+            Command::Trace {
+                seed: 3,
+                only: vec!["E2".into()],
+                grep: Some("econ.".into()),
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&args("trace --json")).unwrap(),
+            Command::Trace { seed: 2002, only: vec![], grep: None, json: true }
         );
         assert_eq!(
             parse_args(&args("trace")).unwrap(),
-            Command::Trace { seed: 2002, only: vec![], grep: None }
+            Command::Trace { seed: 2002, only: vec![], grep: None, json: false }
         );
         assert!(parse_args(&args("profile --frobnicate")).unwrap_err().0.contains("unknown flag"));
         assert!(parse_args(&args("profile --only E1,")).unwrap_err().0.contains("malformed"));
@@ -1412,6 +1862,7 @@ mod tests {
             seed: 2002,
             only: vec!["E1".into()],
             grep: Some("econ.".into()),
+            json: false,
         })
         .unwrap();
         assert!(out.contains("# E1 (seed 2002)"), "{out}");
@@ -1432,7 +1883,7 @@ mod tests {
 
     #[test]
     fn duplicate_only_ids_are_rejected_everywhere() {
-        for cmd in ["experiments", "profile", "trace", "sweep", "chaos"] {
+        for cmd in ["experiments", "profile", "trace", "sweep", "chaos", "export"] {
             let err = parse_args(&args(&format!("{cmd} --only E1,E1"))).unwrap_err();
             assert!(err.0.contains("duplicate id 'E1'"), "{cmd}: {err}");
         }
@@ -1585,11 +2036,27 @@ mod tests {
             seed: 2002,
             only: vec!["E2".into()],
             grep: Some("zzz.".into()),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("0 entries matched"), "{err}");
+        // The zero-match contract holds under --json too.
+        let err = execute(Command::Trace {
+            seed: 2002,
+            only: vec!["E2".into()],
+            grep: Some("zzz.".into()),
+            json: true,
         })
         .unwrap_err();
         assert!(err.0.contains("0 entries matched"), "{err}");
         // No grep: an empty dump is not an error, just empty sections.
-        assert!(execute(Command::Trace { seed: 2002, only: vec!["E2".into()], grep: None }).is_ok());
+        assert!(execute(Command::Trace {
+            seed: 2002,
+            only: vec!["E2".into()],
+            grep: None,
+            json: false,
+        })
+        .is_ok());
     }
 
     #[test]
@@ -1832,5 +2299,307 @@ mod tests {
         let err = execute(Command::Experiments { seed: 1, json: false, only: vec!["E99".into()] })
             .unwrap_err();
         assert!(err.0.contains("no experiments match"));
+    }
+
+    #[test]
+    fn parses_export_flags() {
+        assert_eq!(
+            parse_args(&args("export --seed 7 --only e9 --format prom --out /tmp/o --threads 2"))
+                .unwrap(),
+            Command::Export {
+                seed: 7,
+                only: vec!["E9".into()],
+                format: "prom".into(),
+                out: Some("/tmp/o".into()),
+                threads: Some(2),
+            }
+        );
+        assert_eq!(
+            parse_args(&args("export")).unwrap(),
+            Command::Export {
+                seed: 2002,
+                only: vec![],
+                format: "chrome".into(),
+                out: None,
+                threads: None,
+            }
+        );
+        assert!(parse_args(&args("export --format"))
+            .unwrap_err()
+            .0
+            .contains("chrome, prom or jsonl"));
+        assert!(parse_args(&args("export --format yaml"))
+            .unwrap_err()
+            .0
+            .contains("unknown export format"));
+        assert!(parse_args(&args("export --out")).unwrap_err().0.contains("file path"));
+        assert!(parse_args(&args("export --threads 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse_args(&args("export --bogus")).unwrap_err().0.contains("unknown flag"));
+    }
+
+    fn export_cmd(format: &str, only: &[&str], threads: usize) -> Command {
+        Command::Export {
+            seed: 2002,
+            only: only.iter().map(|s| (*s).to_owned()).collect(),
+            format: format.into(),
+            out: None,
+            threads: Some(threads),
+        }
+    }
+
+    #[test]
+    fn export_chrome_needs_exactly_one_experiment() {
+        let err = execute(export_cmd("chrome", &["E1", "E9"], 1)).unwrap_err();
+        assert!(err.0.contains("exactly one experiment"), "{err}");
+        let err = execute(export_cmd("chrome", &[], 1)).unwrap_err();
+        assert!(err.0.contains("got 17"), "{err}");
+    }
+
+    #[test]
+    fn export_chrome_renders_valid_trace_json() {
+        let out = execute(export_cmd("chrome", &["E9"], 1)).unwrap();
+        let parsed: serde::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed.field("displayTimeUnit").unwrap(), &serde::Value::Str("ms".into()));
+        let events = match parsed.field("traceEvents").unwrap() {
+            serde::Value::Seq(events) => events,
+            other => panic!("traceEvents is not an array: {other:?}"),
+        };
+        assert!(!events.is_empty());
+        // Lane metadata names the stakeholders E9 annotates.
+        assert!(out.contains("\"user\""), "{out}");
+        assert!(out.contains("\"provider\""), "{out}");
+    }
+
+    #[test]
+    fn export_is_byte_identical_across_thread_counts() {
+        let chrome_one = execute(export_cmd("chrome", &["E9"], 1)).unwrap();
+        for threads in [2, 8] {
+            assert_eq!(
+                chrome_one,
+                execute(export_cmd("chrome", &["E9"], threads)).unwrap(),
+                "chrome, threads={threads}"
+            );
+        }
+        let prom_one = execute(export_cmd("prom", &["E1", "E9", "E14"], 1)).unwrap();
+        for threads in [2, 8] {
+            assert_eq!(
+                prom_one,
+                execute(export_cmd("prom", &["E1", "E9", "E14"], threads)).unwrap(),
+                "prom, threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn export_prom_renders_type_lines_and_headers() {
+        let out = execute(export_cmd("prom", &["E1", "E9"], 2)).unwrap();
+        assert!(out.contains("# TYPE tussle_stakeholder_entries counter"), "{out}");
+        assert!(out.contains("# TYPE tussle_topic_virtual_micros counter"), "{out}");
+        assert!(out.contains("tussle_stakeholder_virtual_micros"), "{out}");
+        // Concatenated expositions carry attribution headers...
+        assert!(out.contains("# experiment E1 seed 2002"), "{out}");
+        assert!(out.contains("# experiment E9 seed 2002"), "{out}");
+        // ...while a single selection stays a pristine exposition.
+        let single = execute(export_cmd("prom", &["E9"], 1)).unwrap();
+        assert!(!single.contains("# experiment"), "{single}");
+        // Virtual-time discipline: no wall-clock family anywhere.
+        assert!(!out.contains("wall"), "{out}");
+    }
+
+    #[test]
+    fn export_jsonl_lines_are_structured_entries() {
+        let out = execute(export_cmd("jsonl", &["E9"], 1)).unwrap();
+        assert!(!out.is_empty());
+        for line in out.lines() {
+            let parsed: serde::Value = serde_json::from_str(line).unwrap();
+            assert!(parsed.field("topic").is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn export_out_writes_exact_bytes() {
+        let path = std::env::temp_dir()
+            .join(format!("tussle-cli-export-{}-e9.chrome.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let msg = execute(Command::Export {
+            seed: 2002,
+            only: vec!["E9".into()],
+            format: "chrome".into(),
+            out: Some(path.display().to_string()),
+            threads: Some(1),
+        })
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.ends_with("}\n"), "file keeps its trailing newline");
+        // The file holds the exact stdout rendering plus that newline.
+        assert_eq!(
+            written.strip_suffix('\n').unwrap(),
+            execute(export_cmd("chrome", &["E9"], 1)).unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn export_unknown_experiment_errors() {
+        let err = execute(export_cmd("jsonl", &["E99"], 1)).unwrap_err();
+        assert!(err.0.contains("unknown experiment"), "{err}");
+    }
+
+    #[test]
+    fn trace_json_emits_structured_entries() {
+        let out = execute(Command::Trace {
+            seed: 2002,
+            only: vec!["E1".into()],
+            grep: Some("econ.".into()),
+            json: true,
+        })
+        .unwrap();
+        let parsed: serde::Value = serde_json::from_str(&out).unwrap();
+        let first = parsed.item(0).expect("one dump per selected experiment");
+        assert_eq!(first.field("experiment").unwrap(), &serde::Value::Str("E1".into()));
+        assert_eq!(first.field("seed").unwrap(), &serde::Value::U64(2002));
+        match first.field("entries").unwrap() {
+            serde::Value::Seq(entries) => {
+                assert!(!entries.is_empty());
+                for e in entries {
+                    match e.field("topic").unwrap() {
+                        serde::Value::Str(topic) => {
+                            assert!(topic.starts_with("econ."), "{topic}")
+                        }
+                        other => panic!("topic is not a string: {other:?}"),
+                    }
+                }
+            }
+            other => panic!("entries is not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_health_flags() {
+        assert_eq!(
+            parse_args(&args("health")).unwrap(),
+            Command::Health { bench: "BENCH_sim.json".into(), baseline: None, json: false }
+        );
+        assert_eq!(
+            parse_args(&args("health --bench cur.json --baseline base.json --json")).unwrap(),
+            Command::Health {
+                bench: "cur.json".into(),
+                baseline: Some("base.json".into()),
+                json: true,
+            }
+        );
+        assert!(parse_args(&args("health --bench")).unwrap_err().0.contains("sidecar file"));
+        assert!(parse_args(&args("health --baseline")).unwrap_err().0.contains("sidecar file"));
+        assert!(parse_args(&args("health --bogus")).unwrap_err().0.contains("unknown flag"));
+    }
+
+    fn write_sidecar(tag: &str, entries: &[(&str, f64)]) -> std::path::PathBuf {
+        let path = std::env::temp_dir()
+            .join(format!("tussle-cli-health-{}-{tag}.json", std::process::id()));
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|(bench, ns)| {
+                format!("  {{\n    \"bench\": \"{bench}\",\n    \"median_ns\": {ns}\n  }}")
+            })
+            .collect();
+        std::fs::write(&path, format!("[\n{}\n]\n", rows.join(",\n"))).unwrap();
+        path
+    }
+
+    #[test]
+    fn health_self_compare_passes_in_text_and_json() {
+        let sidecar = write_sidecar(
+            "self",
+            &[("obs/dispatch_traced_disabled", 100.0), ("forward/fast_path", 2000.0)],
+        );
+        let bench = sidecar.display().to_string();
+        let text =
+            execute(Command::Health { bench: bench.clone(), baseline: None, json: false }).unwrap();
+        assert!(text.contains("# Health — ok"), "{text}");
+        assert!(text.contains("digests identical"), "{text}");
+        assert!(text.contains(", conserved"), "{text}");
+        assert!(text.contains("who won:"), "{text}");
+
+        let json =
+            execute(Command::Health { bench: bench.clone(), baseline: None, json: true }).unwrap();
+        let parsed: serde::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.field("healthy").unwrap(), &serde::Value::Bool(true));
+        assert_eq!(parsed.field("determinism_ok").unwrap(), &serde::Value::Bool(true));
+        assert_eq!(parsed.field("scoreboard_conserves").unwrap(), &serde::Value::Bool(true));
+        assert!(matches!(parsed.field("trends").unwrap(), serde::Value::Seq(_)));
+        let _ = std::fs::remove_file(&sidecar);
+    }
+
+    #[test]
+    fn health_bench_regression_fails_the_gate() {
+        let baseline = write_sidecar("base", &[("econ/settle", 1000.0)]);
+        // 1.5x the baseline median breaches the default 1.25x ceiling.
+        let current = write_sidecar("cur", &[("econ/settle", 1500.0)]);
+        let err = execute(Command::Health {
+            bench: current.display().to_string(),
+            baseline: Some(baseline.display().to_string()),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("health gate failed"), "{err}");
+        assert!(err.0.contains("'econ/settle' regressed"), "{err}");
+        assert!(err.0.contains("1.50x > 1.25x"), "{err}");
+        let _ = std::fs::remove_file(&baseline);
+        let _ = std::fs::remove_file(&current);
+    }
+
+    #[test]
+    fn health_missing_bench_is_a_regression() {
+        let baseline = write_sidecar("mbase", &[("econ/settle", 1000.0), ("net/route", 50.0)]);
+        let current = write_sidecar("mcur", &[("econ/settle", 1000.0)]);
+        let err = execute(Command::Health {
+            bench: current.display().to_string(),
+            baseline: Some(baseline.display().to_string()),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("'net/route' is in the baseline but missing"), "{err}");
+        let _ = std::fs::remove_file(&baseline);
+        let _ = std::fs::remove_file(&current);
+    }
+
+    #[test]
+    fn health_sidecar_errors_are_clean() {
+        let err = execute(Command::Health {
+            bench: "/nonexistent/BENCH_sim.json".into(),
+            baseline: None,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("could not read bench sidecar"), "{err}");
+
+        let empty = std::env::temp_dir()
+            .join(format!("tussle-cli-health-{}-empty.json", std::process::id()));
+        std::fs::write(&empty, "[]\n").unwrap();
+        let err = execute(Command::Health {
+            bench: empty.display().to_string(),
+            baseline: None,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("no bench entries"), "{err}");
+
+        std::fs::write(&empty, "{}\n").unwrap();
+        let err = execute(Command::Health {
+            bench: empty.display().to_string(),
+            baseline: None,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("expected a top-level array"), "{err}");
+        let _ = std::fs::remove_file(&empty);
+    }
+
+    #[test]
+    fn bench_thresholds_tier_by_family() {
+        assert!(bench_threshold("obs/dispatch_traced_disabled") < bench_threshold("econ/settle"));
+        assert!(bench_threshold("econ/settle") < bench_threshold("scale/forward_10k"));
+        assert_eq!(bench_threshold("forward/fast_path"), bench_threshold("scale/forward_10k"));
     }
 }

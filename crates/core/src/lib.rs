@@ -21,6 +21,9 @@
 //!   boundaries, §IV.A), and value-flow completeness (§IV.C).
 //! * [`report`] — experiment tables: paper prediction vs. measured value,
 //!   rendered as markdown and JSON for `EXPERIMENTS.md`.
+//! * [`scoreboard`] — the per-stakeholder tussle scoreboard: who spent a
+//!   run's virtual time and who won, folded per run and merged across
+//!   campaigns (digest-excluded, like wall time).
 //!
 //! ## Example
 //!
@@ -42,6 +45,7 @@ pub mod guidelines;
 pub mod mechanism;
 pub mod principles;
 pub mod report;
+pub mod scoreboard;
 pub mod space;
 pub mod stakeholder;
 
@@ -53,5 +57,6 @@ pub use report::{
     CellStats, ChaosReport, ExperimentReport, ExperimentSweep, FirstFailure, IntensityStats,
     MarginStats, RecoveryCell, RecoveryReport, Row, RunCost, SweepReport, Table,
 };
+pub use scoreboard::Scoreboard;
 pub use space::{TussleSpace, TussleSpaceKind};
 pub use stakeholder::{Interest, Stakeholder, StakeholderKind};

@@ -146,6 +146,10 @@ pub struct ExperimentReport {
     /// construct reports with `cost: None`; the runner fills it in from
     /// the observation scope).
     pub cost: Option<RunCost>,
+    /// Per-stakeholder tussle scoreboard, attached by the runner like
+    /// `cost`. Deterministic but digest-excluded (a derived projection of
+    /// already-digested streams, like wall time and series).
+    pub scoreboard: Option<crate::Scoreboard>,
 }
 
 impl ExperimentReport {
@@ -163,6 +167,11 @@ impl ExperimentReport {
         if let Some(cost) = &self.cost {
             out.push('\n');
             out.push_str(&cost.to_markdown());
+            out.push('\n');
+        }
+        if let Some(scoreboard) = &self.scoreboard {
+            out.push('\n');
+            out.push_str(&scoreboard.to_markdown());
             out.push('\n');
         }
         out
@@ -250,6 +259,10 @@ pub struct ExperimentSweep {
     /// the structural cross-thread determinism check: two sweeps of the
     /// same experiment agree on this iff every underlying run agreed.
     pub digest: String,
+    /// Per-seed tussle scoreboards merged across the sweep. Deterministic
+    /// but excluded from `digest` — lane addition commutes, so the merge
+    /// is schedule-independent.
+    pub scoreboard: Option<crate::Scoreboard>,
 }
 
 impl ExperimentSweep {
@@ -314,6 +327,11 @@ impl SweepReport {
                     "| {} | {} | {} | {} | {} | {} |\n",
                     c.row, c.column, c.min, c.median, c.max, c.samples,
                 ));
+            }
+            if let Some(s) = &e.scoreboard {
+                out.push('\n');
+                out.push_str(&s.to_markdown());
+                out.push('\n');
             }
             if let Some(f) = &e.first_failure {
                 out.push_str(&format!(
@@ -651,6 +669,7 @@ mod tests {
             shape_holds: true,
             summary: "markup rises with switching cost".into(),
             cost: None,
+            scoreboard: None,
         };
         let json = r.to_json();
         let back: ExperimentReport = serde_json::from_str(&json).unwrap();
@@ -685,6 +704,7 @@ mod tests {
                     cells: vec![CellStats::from_samples("$0", "markup", vec![0.05, 0.06]).unwrap()],
                     first_failure: None,
                     digest: "0123456789abcdef".into(),
+                    scoreboard: None,
                 },
                 ExperimentSweep {
                     id: "E2".into(),
@@ -702,9 +722,11 @@ mod tests {
                             shape_holds: false,
                             summary: "y".into(),
                             cost: None,
+                            scoreboard: None,
                         },
                     }),
                     digest: "fedcba9876543210".into(),
+                    scoreboard: None,
                 },
             ],
         }
@@ -749,6 +771,7 @@ mod tests {
                 cells: vec![],
                 first_failure: None,
                 digest: "0000000000000000".into(),
+                scoreboard: None,
             },
         }
     }

@@ -1,0 +1,183 @@
+//! The per-stakeholder tussle scoreboard.
+//!
+//! The paper's thesis is that outcomes are decided by tussles among
+//! stakeholders, yet a plain [`ExperimentReport`](crate::ExperimentReport)
+//! summarizes a run by experiment, not by who won. The scoreboard closes
+//! that gap: it folds the observation scope's per-stakeholder attribution
+//! ([`tussle_sim::obs::StakeholderCost`], itself fed by
+//! `TraceEntry.stakeholder` annotations on spans around market rounds,
+//! policy evaluations and ledger settlements) into a per-run — and, merged,
+//! per-campaign — answer to "who spent the run's virtual time, and who
+//! came out ahead?".
+//!
+//! Everything here is deterministic (virtual time and entry counts only)
+//! but **digest-excluded**, exactly like wall time: the fold is a derived
+//! projection of streams every digest already covers, so attaching a
+//! scoreboard can never flip a determinism check or move a golden digest.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tussle_sim::obs::UNATTRIBUTED;
+use tussle_sim::{RunRecord, StakeholderCost};
+
+/// Per-stakeholder tallies for one run or one merged campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scoreboard {
+    /// Lane tallies in stakeholder-name order. The
+    /// [`UNATTRIBUTED`] lane collects work no stakeholder annotated.
+    pub stakeholders: BTreeMap<String, StakeholderCost>,
+}
+
+impl Scoreboard {
+    /// Fold one observed run's stakeholder attribution into a scoreboard.
+    /// Returns `None` for a run that recorded no trace entries at all, so
+    /// reports of trace-free runs carry no empty appendix.
+    pub fn from_record(record: &RunRecord) -> Option<Scoreboard> {
+        if record.stakeholders.is_empty() {
+            return None;
+        }
+        Some(Scoreboard { stakeholders: record.stakeholders.clone() })
+    }
+
+    /// Merge another scoreboard into this one (lanes add field-wise).
+    /// Addition is commutative and associative, so campaign aggregation is
+    /// independent of worker scheduling.
+    pub fn merge(&mut self, other: &Scoreboard) {
+        for (lane, cost) in &other.stakeholders {
+            self.stakeholders.entry(lane.clone()).or_default().merge(cost);
+        }
+    }
+
+    /// True when no lane holds any tally.
+    pub fn is_empty(&self) -> bool {
+        self.stakeholders.is_empty()
+    }
+
+    /// Total trace entries across all lanes — equal to the run's
+    /// `trace_entries` counter by the conservation invariant.
+    pub fn total_entries(&self) -> u64 {
+        self.stakeholders.values().map(|c| c.entries).sum()
+    }
+
+    /// Lanes ranked for display: most virtual time first, ties by entry
+    /// count then name; the unattributed lane always sorts last.
+    pub fn ranked(&self) -> Vec<(&str, &StakeholderCost)> {
+        let mut lanes: Vec<(&str, &StakeholderCost)> =
+            self.stakeholders.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        lanes.sort_by(|a, b| {
+            let residual = |name: &str| name == UNATTRIBUTED;
+            residual(a.0)
+                .cmp(&residual(b.0))
+                .then_with(|| {
+                    (b.1.virtual_micros, b.1.entries).cmp(&(a.1.virtual_micros, a.1.entries))
+                })
+                .then_with(|| a.0.cmp(b.0))
+        });
+        lanes
+    }
+
+    /// Who won: the named lane (unattributed excluded) with the most
+    /// virtual time, ties broken by entry count. A residual exact tie is
+    /// reported as `"contested"`; `None` when no named lane recorded
+    /// anything.
+    pub fn who_won(&self) -> Option<String> {
+        let named: Vec<(&str, &StakeholderCost)> =
+            self.ranked().into_iter().filter(|(name, _)| *name != UNATTRIBUTED).collect();
+        let (first, cost) = named.first()?;
+        if let Some((_, second)) = named.get(1) {
+            if (cost.virtual_micros, cost.entries) == (second.virtual_micros, second.entries) {
+                return Some("contested".to_owned());
+            }
+        }
+        Some((*first).to_owned())
+    }
+
+    /// Render as the one-line tussle appendix under an experiment table,
+    /// mirroring the cost appendix's shape.
+    pub fn to_markdown(&self) -> String {
+        let lanes: Vec<String> = self
+            .ranked()
+            .iter()
+            .map(|(name, c)| format!("{name} {}us·{}e", c.virtual_micros, c.entries))
+            .collect();
+        let verdict = self.who_won().unwrap_or_else(|| "no contest".to_owned());
+        format!("*Tussle: {} — who won: {verdict}.*", lanes.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane(entries: u64, spans: u64, events: u64, virtual_micros: u64) -> StakeholderCost {
+        StakeholderCost { entries, spans, events, virtual_micros }
+    }
+
+    fn board(lanes: &[(&str, StakeholderCost)]) -> Scoreboard {
+        Scoreboard { stakeholders: lanes.iter().map(|(n, c)| ((*n).to_owned(), *c)).collect() }
+    }
+
+    #[test]
+    fn winner_is_by_virtual_time_then_entries() {
+        let b = board(&[
+            ("user", lane(10, 2, 8, 500)),
+            ("isp", lane(50, 10, 40, 200)),
+            (UNATTRIBUTED, lane(99, 0, 99, 9_999)),
+        ]);
+        assert_eq!(b.who_won().as_deref(), Some("user"), "unattributed can never win");
+        let tie = board(&[("a", lane(3, 1, 2, 100)), ("b", lane(3, 1, 2, 100))]);
+        assert_eq!(tie.who_won().as_deref(), Some("contested"));
+        let entries_break = board(&[("a", lane(9, 1, 8, 100)), ("b", lane(3, 1, 2, 100))]);
+        assert_eq!(entries_break.who_won().as_deref(), Some("a"));
+        assert_eq!(board(&[(UNATTRIBUTED, lane(1, 0, 1, 0))]).who_won(), None);
+        assert_eq!(Scoreboard::default().who_won(), None);
+    }
+
+    #[test]
+    fn merge_adds_lanes_fieldwise_and_commutes() {
+        let a = board(&[("user", lane(1, 1, 0, 10)), ("isp", lane(2, 0, 2, 5))]);
+        let b = board(&[("user", lane(3, 0, 3, 7)), ("gov", lane(1, 1, 0, 1))]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.stakeholders["user"], lane(4, 1, 3, 17));
+        assert_eq!(ab.stakeholders.len(), 3);
+        assert_eq!(ab.total_entries(), 7);
+    }
+
+    #[test]
+    fn markdown_ranks_lanes_and_names_the_winner() {
+        let b = board(&[
+            ("isp", lane(5, 1, 4, 40)),
+            ("user", lane(3, 1, 2, 90)),
+            (UNATTRIBUTED, lane(7, 0, 7, 0)),
+        ]);
+        let md = b.to_markdown();
+        assert_eq!(
+            md,
+            "*Tussle: user 90us·3e, isp 40us·5e, (unattributed) 0us·7e — who won: user.*"
+        );
+        let empty_named = board(&[(UNATTRIBUTED, lane(1, 0, 1, 0))]);
+        assert!(empty_named.to_markdown().contains("who won: no contest"));
+    }
+
+    #[test]
+    fn from_record_skips_empty_runs() {
+        assert_eq!(Scoreboard::from_record(&RunRecord::default()), None);
+        let g = tussle_sim::obs::begin(tussle_sim::ObsMode::Cost);
+        tussle_sim::obs::event(tussle_sim::SimTime::ZERO, "t", "m");
+        let rec = g.finish();
+        let board = Scoreboard::from_record(&rec).expect("one entry recorded");
+        assert_eq!(board.total_entries(), rec.trace_entries);
+    }
+
+    #[test]
+    fn scoreboard_roundtrips_through_json() {
+        let b = board(&[("user", lane(1, 1, 0, 10))]);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Scoreboard = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

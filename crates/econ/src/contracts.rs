@@ -12,6 +12,7 @@ use crate::ledger::{AccountId, Ledger, LedgerError};
 use crate::money::Money;
 use serde::{Deserialize, Serialize};
 use tussle_net::Asn;
+use tussle_sim::{obs, SimTime};
 
 /// A transit agreement: `customer` pays `provider` for carried traffic.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,7 +33,10 @@ impl TransitContract {
         self.monthly + self.per_mb * megabytes as i64
     }
 
-    /// Settle one period through the ledger.
+    /// Settle one period through the ledger. The settlement runs inside an
+    /// ambient `econ.settle` span attributed to the provider — the party
+    /// the money flows toward — so scoreboards and trace lanes see who the
+    /// contract served.
     pub fn settle(
         &self,
         ledger: &mut Ledger,
@@ -40,15 +44,23 @@ impl TransitContract {
         megabytes: u64,
     ) -> Result<Money, LedgerError> {
         let amount = self.bill(megabytes);
-        if amount.is_positive() {
+        let mb = megabytes.to_string();
+        obs::span_enter(SimTime::ZERO, "econ.settle", Some("provider"), &[("kind", "transit")]);
+        let result = if amount.is_positive() {
             ledger.transfer(
                 accounts(self.customer),
                 accounts(self.provider),
                 amount,
                 &format!("transit {}->{}", self.customer, self.provider),
-            )?;
-        }
-        Ok(amount)
+            )
+        } else {
+            Ok(())
+        };
+        obs::span_exit(
+            SimTime::ZERO,
+            &[("megabytes", &mb), ("ok", if result.is_ok() { "true" } else { "false" })],
+        );
+        result.map(|()| amount)
     }
 }
 
@@ -92,15 +104,23 @@ impl PeeringContract {
         }
         let overage_mb = sent - balanced as u64;
         let amount = self.overage_per_mb * overage_mb as i64;
-        if amount.is_positive() {
+        let mb = overage_mb.to_string();
+        obs::span_enter(SimTime::ZERO, "econ.settle", Some("provider"), &[("kind", "peering")]);
+        let result = if amount.is_positive() {
             ledger.transfer(
                 accounts(heavy),
                 accounts(light),
                 amount,
                 &format!("peering overage {heavy}->{light}"),
-            )?;
-        }
-        Ok(Some((heavy, light, amount)))
+            )
+        } else {
+            Ok(())
+        };
+        obs::span_exit(
+            SimTime::ZERO,
+            &[("ok", if result.is_ok() { "true" } else { "false" }), ("overage_mb", &mb)],
+        );
+        result.map(|()| Some((heavy, light, amount)))
     }
 }
 

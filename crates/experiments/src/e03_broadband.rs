@@ -166,6 +166,7 @@ pub fn run(_seed: u64) -> ExperimentReport {
         table,
         shape_holds,
         cost: None,
+        scoreboard: None,
     }
 }
 

@@ -182,6 +182,7 @@ pub fn run(seed: u64) -> ExperimentReport {
         table,
         shape_holds,
         cost: None,
+        scoreboard: None,
     }
 }
 

@@ -256,6 +256,7 @@ pub fn run(seed: u64) -> ExperimentReport {
         table,
         shape_holds,
         cost: None,
+        scoreboard: None,
     }
 }
 

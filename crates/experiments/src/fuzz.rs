@@ -9,8 +9,9 @@
 //!
 //! * a seeded **scenario generator** composes a random topology
 //!   ([`tussle_net::Network::scale_topology`]), a traffic matrix, a
-//!   [`FaultPlan`], firewall/QoS/NAT configuration, contract and payment
-//!   setup, and policy snippets into one runnable [`Scenario`];
+//!   [`FaultPlan`], firewall/QoS/NAT/tunnel/wiretap configuration,
+//!   contract and payment setup, and policy snippets into one runnable
+//!   [`Scenario`];
 //! * a registry of **invariant oracles** ([`ORACLES`]) checks every run:
 //!   packet conservation, money conservation, route validity of traversed
 //!   paths, plus sampled rerun-determinism, route-cache equivalence and
@@ -40,8 +41,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use tussle_econ::{AccountId, Instrument, Ledger, Money, PeeringContract, TransitContract};
 use tussle_econ::{Consumer, Market, Provider};
 use tussle_net::packet::ports;
+use tussle_net::tunnel::{decapsulate, encapsulate, TunnelDetector};
 use tussle_net::{build_engine, schedule_plan, Asn, Firewall, Flow, Nat, Network};
-use tussle_net::{Packet, Protocol, QosPolicy, RetryPolicy, ScaleTopology};
+use tussle_net::{Cache, Packet, Protocol, QosPolicy, RetryPolicy, ScaleTopology, Wiretap};
 use tussle_policy::{parse_expr, Ontology, Request};
 use tussle_sim::{obs, Engine, FaultPlan, Fnv1a, RunBudget, RunDigest, SimRng, SimTime};
 
@@ -51,10 +53,16 @@ use tussle_sim::{obs, Engine, FaultPlan, Fnv1a, RunBudget, RunDigest, SimRng, Si
 /// (they re-execute the scenario) and run on a seeded sample. All six are
 /// active in any campaign whose budget covers the sampling stride.
 pub const ORACLES: &[(&str, &str)] = &[
-    ("packet-conservation", "delivered + dropped == injected + retried for every flow"),
+    (
+        "packet-conservation",
+        "delivered + dropped == injected + retried for every flow; taps and caches account every packet they observe",
+    ),
     ("route-validity", "every link on a traversed path was up when the packet crossed it"),
     ("money-conservation", "ledger balances always sum to the minted total"),
-    ("nat-roundtrip", "every NAT outbound binding translates the reply back to the inner flow"),
+    (
+        "nat-roundtrip",
+        "every NAT binding and tunnel encapsulation translates back to the original inner flow",
+    ),
     ("policy-eval", "generated policy snippets parse and evaluate deterministically"),
     ("rerun-determinism", "re-running a scenario reproduces its digest byte-for-byte"),
     ("cache-equivalence", "route cache on/off runs are digest-identical"),
@@ -187,6 +195,23 @@ pub enum Element {
         /// Months to run (clamped to 1..=6).
         months: u8,
     },
+    /// Tunneled flows: the §V.A.2 port-disguise counter-mechanism, checked
+    /// as encapsulate/decapsulate roundtrips plus a provider-side detector.
+    Tunnel {
+        /// Inner flows to wrap (clamped to 1..=12).
+        flows: u32,
+        /// Detector true-positive rate, percent (clamped to 100).
+        detect_tp_pct: u8,
+        /// Detector false-positive rate, percent (clamped to 100).
+        detect_fp_pct: u8,
+    },
+    /// A wiretap + cache observation point fed a cleartext/encrypted mix.
+    Wiretap {
+        /// Packets observed (clamped to 1..=24).
+        packets: u32,
+        /// Share of the stream that is encrypted, percent (clamped to 100).
+        encrypted_pct: u8,
+    },
     /// A policy snippet parsed and evaluated against a connection request.
     Policy {
         /// Snippet template selector.
@@ -258,6 +283,9 @@ pub struct ScenarioOutcome {
     pub delivered: u64,
     /// Packets dropped across all flows.
     pub dropped: u64,
+    /// Per-stakeholder attribution from the observation record
+    /// (digest-excluded, feeds the campaign scoreboard).
+    pub stakeholders: BTreeMap<String, tussle_sim::StakeholderCost>,
 }
 
 // ---------------------------------------------------------------------------
@@ -302,7 +330,7 @@ fn gen_element(rng: &mut SimRng) -> Element {
             tos_threshold: rng.range(0..=255u32) as u8,
             speedup_tenths: rng.range(1..=9u32) as u8,
         },
-        9 => match rng.range(0..4u32) {
+        9 => match rng.range(0..6u32) {
             0 => Element::Nat { flows: rng.range(1..=16u32) },
             1 => Element::Transit {
                 customer: rng.range(0..16u32),
@@ -319,9 +347,18 @@ fn gen_element(rng: &mut SimRng) -> Element {
                 a_to_b: rng.range(0..=5_000u32),
                 b_to_a: rng.range(0..=5_000u32),
             },
-            _ => Element::Payment {
+            3 => Element::Payment {
                 amount_cents: rng.range(1..=100_000u32),
                 instrument: rng.range(0..=255u32) as u8,
+            },
+            4 => Element::Tunnel {
+                flows: rng.range(1..=12u32),
+                detect_tp_pct: rng.range(0..=100u32) as u8,
+                detect_fp_pct: rng.range(0..=100u32) as u8,
+            },
+            _ => Element::Wiretap {
+                packets: rng.range(1..=24u32),
+                encrypted_pct: rng.range(0..=100u32) as u8,
             },
         },
         10 => Element::MarketRound {
@@ -686,6 +723,168 @@ fn run_offline_elements(s: &Scenario) -> Vec<Violation> {
                     ));
                 }
             }
+            Element::Tunnel { flows, detect_tp_pct, detect_fp_pct } => {
+                let addr = |prefix: u32, host: u32| {
+                    tussle_net::Address::in_prefix(
+                        tussle_net::Prefix::new(prefix, 16),
+                        host,
+                        tussle_net::addr::AddressOrigin::ProviderIndependent,
+                    )
+                };
+                let endpoint = addr(0xc0000000, 1);
+                let mut rng = SimRng::seed_from_u64(s.seed ^ idx as u64).fork("fuzz-tunnel");
+                // Perfect detection is deterministic whatever the rng says;
+                // the scenario's tuned rates exercise the probabilistic path.
+                let sharp = TunnelDetector::new(1.0, 0.0);
+                let tuned = TunnelDetector::new(
+                    f64::from(detect_tp_pct.min(100)) / 100.0,
+                    f64::from(detect_fp_pct.min(100)) / 100.0,
+                );
+                let n = flows.clamp(1, 12);
+                let mut flagged = 0u32;
+                for f in 0..n {
+                    let src = addr(0x0a000000, f + 2);
+                    let inner =
+                        Packet::new(src, addr(0x0b000000, 1), Protocol::Tcp, 4_000, ports::P2P);
+                    let outer = encapsulate(&inner, src, endpoint);
+                    if outer.visible_dst_port() == Some(ports::P2P) {
+                        violations.push(Violation::new(
+                            "nat-roundtrip",
+                            format!("tunnel flow {f}: outer header leaks the inner port"),
+                        ));
+                    }
+                    match decapsulate(&outer, &inner) {
+                        Some(back) if back.dst == inner.dst && back.dst_port == inner.dst_port => {}
+                        Some(back) => violations.push(Violation::new(
+                            "nat-roundtrip",
+                            format!(
+                                "tunnel flow {f}: decapsulated to {:?}:{} instead of {:?}:{}",
+                                back.dst, back.dst_port, inner.dst, inner.dst_port
+                            ),
+                        )),
+                        None => violations.push(Violation::new(
+                            "nat-roundtrip",
+                            format!("tunnel flow {f}: decapsulation rejected its own wrapper"),
+                        )),
+                    }
+                    if decapsulate(&inner, &inner).is_some() {
+                        violations.push(Violation::new(
+                            "nat-roundtrip",
+                            format!("tunnel flow {f}: a bare packet decapsulated as a tunnel"),
+                        ));
+                    }
+                    if !sharp.flags(&outer, &mut rng) || sharp.flags(&inner, &mut rng) {
+                        violations.push(Violation::new(
+                            "nat-roundtrip",
+                            format!("tunnel flow {f}: the perfect detector misclassified"),
+                        ));
+                    }
+                    if tuned.flags(&outer, &mut rng) {
+                        flagged += 1;
+                    }
+                }
+                if flagged > n {
+                    violations.push(Violation::new(
+                        "nat-roundtrip",
+                        format!("{flagged} detector flags for {n} tunneled flows"),
+                    ));
+                }
+            }
+            Element::Wiretap { packets, encrypted_pct } => {
+                let addr = |prefix: u32, host: u32| {
+                    tussle_net::Address::in_prefix(
+                        tussle_net::Prefix::new(prefix, 16),
+                        host,
+                        tussle_net::addr::AddressOrigin::ProviderIndependent,
+                    )
+                };
+                let n = packets.clamp(1, 24);
+                let pct = u64::from(encrypted_pct.min(100));
+                let mut tap = Wiretap::new();
+                let mut cache = Cache::new();
+                let mut cleartext = 0u64;
+                for i in 0..n {
+                    let pkt = Packet::new(
+                        addr(0x0a000000, 1 + i % 3),
+                        addr(0x0b000000, 1 + i % 4),
+                        Protocol::Tcp,
+                        5_000 + i as u16,
+                        ports::HTTP,
+                    );
+                    // The first ceil(pct% of n) packets ride encrypted — a
+                    // deterministic mix with the requested share.
+                    let pkt = if u64::from(i) * 100 < pct * u64::from(n) {
+                        pkt.encrypt()
+                    } else {
+                        cleartext += 1;
+                        pkt
+                    };
+                    tap.observe(&pkt);
+                    cache.handle(&pkt);
+                }
+                if tap.records().len() != n as usize {
+                    violations.push(Violation::new(
+                        "packet-conservation",
+                        format!("tap recorded {} of {n} observed packets", tap.records().len()),
+                    ));
+                }
+                let readable = tap.records().iter().filter(|r| r.content_readable).count() as u64;
+                if readable != cleartext {
+                    violations.push(Violation::new(
+                        "packet-conservation",
+                        format!("tap read {readable} of {cleartext} cleartext packets"),
+                    ));
+                }
+                if tap.records().iter().any(|r| {
+                    !r.content_readable && (r.content_bytes != 0 || r.visible_port.is_some())
+                }) {
+                    violations.push(Violation::new(
+                        "packet-conservation",
+                        "an encrypted capture leaked content bytes or a port",
+                    ));
+                }
+                let yield_expected = cleartext as f64 / f64::from(n);
+                if (tap.content_yield() - yield_expected).abs() > 1e-9 {
+                    violations.push(Violation::new(
+                        "packet-conservation",
+                        format!(
+                            "content yield {} != readable share {yield_expected}",
+                            tap.content_yield()
+                        ),
+                    ));
+                }
+                if tap.flow_pairs() == 0 || tap.flow_pairs() > n as usize {
+                    violations.push(Violation::new(
+                        "packet-conservation",
+                        format!("{} flow pairs from {n} captures", tap.flow_pairs()),
+                    ));
+                }
+                if cache.hits + cache.misses + cache.opaque != u64::from(n) {
+                    violations.push(Violation::new(
+                        "packet-conservation",
+                        format!(
+                            "cache accounted {} of {n} requests",
+                            cache.hits + cache.misses + cache.opaque
+                        ),
+                    ));
+                }
+                if cache.opaque != u64::from(n) - cleartext {
+                    violations.push(Violation::new(
+                        "packet-conservation",
+                        format!(
+                            "{} opaque requests for {} encrypted packets",
+                            cache.opaque,
+                            u64::from(n) - cleartext
+                        ),
+                    ));
+                }
+                if !(0.0..=1.0).contains(&cache.hit_rate()) {
+                    violations.push(Violation::new(
+                        "packet-conservation",
+                        format!("cache hit rate {} outside [0,1]", cache.hit_rate()),
+                    ));
+                }
+            }
             Element::Policy { template, port, threshold } => {
                 let snippet = match template % 4 {
                     0 => format!("dst_port == {port}"),
@@ -811,6 +1010,7 @@ pub fn run_scenario(s: &Scenario) -> ScenarioOutcome {
         violations,
         delivered: delivered_total,
         dropped: dropped_total,
+        stakeholders: record.stakeholders,
     }
 }
 
@@ -1076,6 +1276,9 @@ pub struct FuzzReport {
     /// Folded digest over every chain digest — the cross-thread
     /// determinism anchor.
     pub digest: String,
+    /// Per-stakeholder attribution merged across every budgeted execution
+    /// (digest-excluded, like wall time; `None` when nothing was traced).
+    pub scoreboard: Option<tussle_core::Scoreboard>,
 }
 
 impl FuzzReport {
@@ -1107,6 +1310,11 @@ impl FuzzReport {
                 c.seed, c.executions, c.pool, c.coverage_cells, c.digest
             ));
         }
+        if let Some(board) = &self.scoreboard {
+            out.push('\n');
+            out.push_str(&board.to_markdown());
+            out.push('\n');
+        }
         if self.findings.is_empty() {
             out.push_str("\nNo invariant violations found.\n");
         } else {
@@ -1128,6 +1336,7 @@ struct ChainResult {
     violation_counts: BTreeMap<String, u64>,
     findings: Vec<Finding>,
     coverage: BTreeSet<String>,
+    scoreboard: tussle_core::Scoreboard,
 }
 
 /// Run one mutation chain: `budget` scenario executions seeded from
@@ -1141,6 +1350,7 @@ fn run_chain(chain_seed: u64, budget: u64) -> ChainResult {
     let mut violation_counts: BTreeMap<String, u64> = BTreeMap::new();
     let mut findings = Vec::new();
     let mut digest = Fnv1a::new();
+    let mut scoreboard = tussle_core::Scoreboard::default();
 
     for i in 0..budget {
         let scenario = if pool.is_empty() || rng.chance(0.35) {
@@ -1161,6 +1371,9 @@ fn run_chain(chain_seed: u64, budget: u64) -> ChainResult {
             *checks.entry(id.to_owned()).or_insert(0) += 1;
         }
         digest.write_str(&outcome.digest);
+        for (lane, cost) in &outcome.stakeholders {
+            scoreboard.stakeholders.entry(lane.clone()).or_default().merge(cost);
+        }
 
         let mut violations = outcome.violations.clone();
         if i % RERUN_STRIDE == 1 {
@@ -1211,7 +1424,7 @@ fn run_chain(chain_seed: u64, budget: u64) -> ChainResult {
         coverage_cells: coverage.len() as u64,
         digest: RunDigest(digest.finish()).to_hex(),
     };
-    ChainResult { stat, checks, violation_counts, findings, coverage }
+    ChainResult { stat, checks, violation_counts, findings, coverage, scoreboard }
 }
 
 /// Run the campaign. Chains execute as grid jobs on scoped worker
@@ -1269,9 +1482,11 @@ pub fn run_fuzz(config: &FuzzConfig) -> Result<FuzzReport, FuzzError> {
     let mut chains = Vec::new();
     let mut findings = Vec::new();
     let mut digest = Fnv1a::new();
+    let mut scoreboard = tussle_core::Scoreboard::default();
     for (_, chain) in harvested {
         digest.write_str(&chain.stat.digest);
         chains.push(chain.stat);
+        scoreboard.merge(&chain.scoreboard);
         for (k, v) in chain.checks {
             *oracle_checks.entry(k).or_insert(0) += v;
         }
@@ -1302,6 +1517,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> Result<FuzzReport, FuzzError> {
         chains,
         findings,
         digest: RunDigest(digest.finish()).to_hex(),
+        scoreboard: if scoreboard.is_empty() { None } else { Some(scoreboard) },
     };
 
     if let Some(dir) = &config.corpus_dir {
@@ -1396,6 +1612,8 @@ mod tests {
                 Element::Payment { amount_cents: 250, instrument: 1 },
                 Element::Policy { template: 2, port: ports::HTTP, threshold: 32 },
                 Element::Nat { flows: 4 },
+                Element::Tunnel { flows: 3, detect_tp_pct: 80, detect_fp_pct: 5 },
+                Element::Wiretap { packets: 10, encrypted_pct: 40 },
             ],
         };
         let outcome = run_scenario(&s);
@@ -1404,6 +1622,22 @@ mod tests {
         assert_eq!(check_rerun_determinism(&s), None);
         assert_eq!(check_cache_equivalence(&s), None);
         assert_eq!(check_checkpoint_resume(&s), None);
+    }
+
+    #[test]
+    fn tunnel_and_wiretap_elements_pass_their_oracles_at_the_extremes() {
+        // Sweep the knob extremes: fully-encrypted and fully-clear taps,
+        // zero-rate and saturating detectors. All offline oracles hold.
+        let mut elements = Vec::new();
+        for (tp, fp) in [(0, 0), (100, 100), (37, 92)] {
+            elements.push(Element::Tunnel { flows: 12, detect_tp_pct: tp, detect_fp_pct: fp });
+        }
+        for pct in [0, 50, 100] {
+            elements.push(Element::Wiretap { packets: 24, encrypted_pct: pct });
+        }
+        let s = Scenario { seed: 77, topo_seed: 3, nodes: 16, degree: 2, elements };
+        let violations = run_offline_elements(&s);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

@@ -72,7 +72,7 @@ use tussle_sim::RunRecord;
 
 pub mod profile;
 
-pub use profile::{trace_dump, ProfileReport, TraceDump};
+pub use profile::{export_records, trace_dump, trace_json, ProfileReport, TraceDump, TraceJson};
 
 /// One registry entry: the experiment id and its runner.
 pub type ExperimentEntry = (&'static str, fn(u64) -> ExperimentReport);
@@ -142,6 +142,7 @@ pub(crate) fn run_isolated(
     }) {
         Ok((mut report, record)) => {
             report.cost = Some(cost_of(&record));
+            report.scoreboard = tussle_core::Scoreboard::from_record(&record);
             (report, false)
         }
         Err(payload) => (panic_report(name, seed, &panic_message(payload)), true),
@@ -166,6 +167,7 @@ pub fn run_profiled(
     let mut report = report;
     if !panicked {
         report.cost = Some(cost_of(&record));
+        report.scoreboard = tussle_core::Scoreboard::from_record(&record);
     }
     (report, record)
 }
@@ -189,6 +191,7 @@ pub fn panic_report(id: &str, seed: u64, message: &str) -> ExperimentReport {
         shape_holds: false,
         summary: format!("PANIC (seed {seed}): {message}"),
         cost: None,
+        scoreboard: None,
     }
 }
 

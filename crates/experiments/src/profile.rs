@@ -191,6 +191,99 @@ pub fn trace_dump(
     Ok(TraceDump { text: out, matched })
 }
 
+/// Run the selected experiments under Profile observation and return each
+/// one's full [`tussle_sim::RunRecord`], in request order, for the export
+/// renderers. Jobs run on scoped worker threads stealing from a shared
+/// atomic index (the sweep execution model): *which* thread runs an
+/// experiment varies run to run, but records land in fixed slots, and the
+/// exporters render only virtual-time fields — so every downstream
+/// rendering is byte-identical across `--threads 1/2/8`.
+pub fn export_records(
+    seed: u64,
+    only: &[String],
+    threads: Option<usize>,
+) -> Result<Vec<(String, tussle_sim::RunRecord)>, ProfileError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let selected = select(only)?;
+    let jobs = selected.len();
+    let workers = threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .clamp(1, jobs.max(1));
+    let next = AtomicUsize::new(0);
+    let mut harvested: Vec<(usize, tussle_sim::RunRecord)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let job = next.fetch_add(1, Ordering::Relaxed);
+                        if job >= jobs {
+                            break;
+                        }
+                        let (name, run) = selected[job];
+                        let (_, record) = crate::run_profiled(name, run, seed);
+                        local.push((job, record));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker threads do not panic")).collect()
+    });
+    harvested.sort_by_key(|(job, _)| *job);
+    Ok(harvested.into_iter().map(|(job, record)| (selected[job].0.to_owned(), record)).collect())
+}
+
+/// One experiment's trace dump in structured form, for `trace --json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceJson {
+    /// Experiment id (registry spelling).
+    pub experiment: String,
+    /// The seed traced.
+    pub seed: u64,
+    /// Entries captured by the ring (before filtering).
+    pub captured: u64,
+    /// Entries the bounded ring evicted during the run.
+    pub dropped: u64,
+    /// Entries matching the topic-prefix filter.
+    pub matched: u64,
+    /// The matching entries, oldest first.
+    pub entries: Vec<TraceEntry>,
+}
+
+/// Run the selected experiments at one seed and dump their captured trace
+/// streams as a JSON array of per-experiment objects — the same selection
+/// and topic-prefix filter semantics as [`trace_dump`], machine-readable.
+pub fn trace_json(
+    seed: u64,
+    only: &[String],
+    grep: Option<&str>,
+) -> Result<TraceDump, ProfileError> {
+    let selected = select(only)?;
+    let mut dumps = Vec::with_capacity(selected.len());
+    let mut matched = 0usize;
+    for (name, run) in selected {
+        let (_, record) = crate::run_profiled(name, run, seed);
+        let captured = record.ring.len() as u64;
+        let entries: Vec<TraceEntry> = record
+            .ring
+            .into_iter()
+            .filter(|e| grep.is_none_or(|prefix| e.topic.starts_with(prefix)))
+            .collect();
+        matched += entries.len();
+        dumps.push(TraceJson {
+            experiment: name.to_owned(),
+            seed,
+            captured,
+            dropped: record.ring_dropped,
+            matched: entries.len() as u64,
+            entries,
+        });
+    }
+    let text = serde_json::to_string_pretty(&dumps).expect("trace dumps serialize") + "\n";
+    Ok(TraceDump { text, matched })
+}
+
 /// Run the selected experiments at one seed and render their captured
 /// span streams in collapsed-stack (flamegraph) format: one
 /// `Exp;span;path self_virtual_micros` line per frame path, rooted at the

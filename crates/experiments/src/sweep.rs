@@ -199,6 +199,16 @@ pub(crate) fn reduce_experiment(
     }
     let digest = tussle_sim::RunDigest(h.finish()).to_hex();
 
+    // Aggregate per-seed scoreboards (merge is commutative, but the walk is
+    // in seed order anyway). Digest-excluded, like wall time.
+    let mut scoreboard = tussle_core::Scoreboard::default();
+    for r in reports {
+        if let Some(b) = &r.scoreboard {
+            scoreboard.merge(b);
+        }
+    }
+    let scoreboard = if scoreboard.is_empty() { None } else { Some(scoreboard) };
+
     ExperimentSweep {
         id: name.to_owned(),
         section: reports.first().map_or_else(String::new, |r| r.section.clone()),
@@ -207,6 +217,7 @@ pub(crate) fn reduce_experiment(
         cells,
         first_failure,
         digest,
+        scoreboard,
     }
 }
 

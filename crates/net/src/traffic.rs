@@ -199,21 +199,28 @@ fn attempt_send(w: &mut TrafficWorld, ctx: &mut Ctx<TrafficWorld>, flow: &Flow, 
     }
     ctx.metrics.incr(&format!("flow.{label}.dropped"));
     let reason = report.drop.map(|(_, r)| r);
-    if let Some(r) = reason {
-        ctx.metrics.incr(&format!("flow.{label}.drop.{r:?}"));
+    // Every drop carries exactly one reason-labeled counter. A report
+    // with no recorded drop point must not vanish into the aggregate
+    // only: it gets an explicit Unattributed label so a future drop path
+    // that forgets its reason shows up in dashboards instead of hiding.
+    match reason {
+        Some(r) => ctx.metrics.incr(&format!("flow.{label}.drop.{r:?}")),
+        None => ctx.metrics.incr(&format!("flow.{label}.drop.Unattributed")),
     }
     let Some(policy) = flow.retry else {
         return;
     };
-    if !reason.map(|r| r.is_transient()).unwrap_or(false) {
+    let Some(r) = reason.filter(|r| r.is_transient()) else {
         return;
-    }
+    };
     if attempt >= policy.max_retries {
         ctx.metrics.incr(&format!("flow.{label}.abandoned"));
+        ctx.metrics.incr(&format!("flow.{label}.abandoned.{r:?}"));
         ctx.trace("flow.retry", format!("{label}: abandoned after {} attempts", attempt + 1));
         return;
     }
     ctx.metrics.incr(&format!("flow.{label}.retried"));
+    ctx.metrics.incr(&format!("flow.{label}.retried.{r:?}"));
     let jitter = if policy.jitter_us > 0 {
         SimTime::from_micros(ctx.rng.range(0..=policy.jitter_us))
     } else {
@@ -391,6 +398,28 @@ mod tests {
         // 5 packets × 3 retries each
         assert_eq!(eng.metrics().counter("flow.gone.retried"), 15);
         assert_eq!(eng.metrics().counter("flow.gone.dropped"), 20);
+    }
+
+    #[test]
+    fn retry_and_abandon_counters_carry_reason_labels() {
+        // Satellite audit: no drop-path counter may be emitted without a
+        // reason-labeled companion. Here every transient drop is LinkLoss,
+        // so the labeled tallies must equal their aggregates exactly.
+        let (mut net, h0, pkt) = world();
+        let lid = net.links()[1].id;
+        net.link_mut(lid).faults = FaultInjector::lossy(1.0, 0.0);
+        let flow = Flow::periodic("lbl", h0, pkt, SimTime::from_millis(50), 4)
+            .with_retries(RetryPolicy::backoff(2));
+        let mut eng = build_engine(net, vec![flow], 3);
+        eng.run_to_completion();
+        let m = eng.metrics();
+        assert!(m.counter("flow.lbl.retried") > 0);
+        assert_eq!(m.counter("flow.lbl.retried.LinkLoss"), m.counter("flow.lbl.retried"));
+        assert_eq!(m.counter("flow.lbl.abandoned.LinkLoss"), m.counter("flow.lbl.abandoned"));
+        // Every drop got exactly one reason label, and none fell back to
+        // the Unattributed lane (this topology always records a reason).
+        assert_eq!(m.counter("flow.lbl.drop.LinkLoss"), m.counter("flow.lbl.dropped"));
+        assert_eq!(m.counter("flow.lbl.drop.Unattributed"), 0);
     }
 
     #[test]

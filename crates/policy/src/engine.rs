@@ -92,7 +92,14 @@ impl RuleSet {
                 Ok(action) => format!("{action:?}"),
                 Err(e) => format!("error: {e:?}"),
             };
-            tussle_sim::obs::event(tussle_sim::SimTime::ZERO, "policy.decide", &outcome);
+            // Attributed to the operator lane: rule sets are wielded by
+            // whoever runs the box (ISP, firewall admin, government proxy).
+            tussle_sim::obs::event_for(
+                tussle_sim::SimTime::ZERO,
+                "policy.decide",
+                Some("operator"),
+                &outcome,
+            );
         }
         decision
     }

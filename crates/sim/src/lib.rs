@@ -30,6 +30,9 @@
 //!   bounded capture and ancestry walks ("why did this event run?").
 //! * [`flame`] — deterministic collapsed-stack (flamegraph) rendering of
 //!   span captures, attributed by virtual time.
+//! * [`export`] — deterministic Chrome/Perfetto trace-event JSON,
+//!   Prometheus text exposition and JSONL renderers over a run record,
+//!   with one pseudo-pid per stakeholder so trace lanes are the tussle.
 //! * [`checkpoint`] — versioned snapshots of a run's replay frontier with
 //!   policy-driven capture, atomic persistence, crash injection, and
 //!   byte-exact restore verification ("resume equals never-crashed").
@@ -61,6 +64,7 @@ pub mod checkpoint;
 pub mod digest;
 pub mod engine;
 pub mod event;
+pub mod export;
 pub mod fault;
 pub mod flame;
 pub mod metrics;
@@ -79,11 +83,12 @@ pub use checkpoint::{
 pub use digest::{Fnv1a, RunDigest};
 pub use engine::{Ctx, Engine, RunBudget, RunOutcome, RunReport};
 pub use event::{EventFn, EventId};
+pub use export::{to_chrome, to_jsonl, to_prometheus};
 pub use fault::{FaultInjector, FaultOutcome, FaultStats};
 pub use metrics::{
     Histogram, HistogramSummary, Metrics, MetricsSnapshot, RunSeries, TimeSeries, TimeSeriesSummary,
 };
-pub use obs::{ObsGuard, ObsMode, RunRecord, TopicCost};
+pub use obs::{ObsGuard, ObsMode, RunRecord, StakeholderCost, TopicCost, UNATTRIBUTED};
 pub use plan::{FaultAction, FaultEvent, FaultPlan};
 pub use provenance::{Provenance, ProvenanceNode};
 pub use rng::SimRng;

@@ -23,7 +23,7 @@
 
 use crate::digest::{Fnv1a, RunDigest};
 use crate::event::EventId;
-use crate::metrics::{RunSeries, TimeSeries};
+use crate::metrics::{Histogram, MetricsSnapshot, RunSeries, TimeSeries};
 use crate::provenance::ProvenanceNode;
 use crate::time::SimTime;
 use crate::trace::{SpanKind, TraceEntry};
@@ -60,6 +60,36 @@ pub struct TopicCost {
     /// Wall time attributed to this topic, in nanoseconds. Nondeterministic;
     /// excluded from digests and from serialized campaign output.
     pub wall_nanos: u64,
+}
+
+/// The scoreboard lane for work carrying no stakeholder annotation.
+pub const UNATTRIBUTED: &str = "(unattributed)";
+
+/// Per-stakeholder attribution, folded streaming from the trace stream in
+/// both Cost and Profile modes. Every field is deterministic (virtual time
+/// only), and the fold is purely derived from entries the digest already
+/// covers — capturing it can never move a [`RunDigest`], exactly like wall
+/// time and series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StakeholderCost {
+    /// Trace entries attributed to this stakeholder (span edges + events).
+    pub entries: u64,
+    /// Spans entered under this stakeholder's lane.
+    pub spans: u64,
+    /// Point events attributed to this stakeholder.
+    pub events: u64,
+    /// Virtual time spent inside this stakeholder's spans, in microseconds.
+    pub virtual_micros: u64,
+}
+
+impl StakeholderCost {
+    /// Merge another lane's tallies into this one (all fields add).
+    pub fn merge(&mut self, other: &StakeholderCost) {
+        self.entries += other.entries;
+        self.spans += other.spans;
+        self.events += other.events;
+        self.virtual_micros += other.virtual_micros;
+    }
 }
 
 /// Everything one observation scope saw.
@@ -102,6 +132,15 @@ pub struct RunRecord {
     /// Windowed virtual-time activity series (events / forwards / faults).
     /// Never digested — a derived projection of already-digested streams.
     pub series: RunSeries,
+    /// Per-stakeholder attribution (Cost and Profile modes), keyed by the
+    /// stakeholder annotation on trace entries — [`UNATTRIBUTED`] collects
+    /// the rest. Deterministic; never digested (derived projection).
+    pub stakeholders: BTreeMap<String, StakeholderCost>,
+    /// Accumulated metrics written inside the scope (Profile mode only):
+    /// counters sum, gauges keep the last write, histograms summarize.
+    /// Every underlying write was already folded into the digest by the
+    /// metric hooks, so this accumulation adds nothing to the hash.
+    pub metrics: MetricsSnapshot,
 }
 
 struct ObsState {
@@ -127,6 +166,16 @@ struct ObsState {
     series_events: TimeSeries,
     series_forwards: TimeSeries,
     series_faults: TimeSeries,
+    /// Per-stakeholder tallies, folded streaming in `absorb`.
+    stakeholders: BTreeMap<String, StakeholderCost>,
+    /// Parallel lane stack over the span stream: (resolved lane, enter
+    /// virtual micros). Nested spans without their own stakeholder
+    /// annotation inherit the enclosing lane.
+    stake_stack: Vec<(String, u64)>,
+    /// Accumulated metric writes (Profile mode only).
+    acc_counters: BTreeMap<String, u64>,
+    acc_gauges: BTreeMap<String, f64>,
+    acc_hists: BTreeMap<String, Histogram>,
 }
 
 impl ObsState {
@@ -152,6 +201,11 @@ impl ObsState {
             series_events: TimeSeries::new(),
             series_forwards: TimeSeries::new(),
             series_faults: TimeSeries::new(),
+            stakeholders: BTreeMap::new(),
+            stake_stack: Vec::new(),
+            acc_counters: BTreeMap::new(),
+            acc_gauges: BTreeMap::new(),
+            acc_hists: BTreeMap::new(),
         }
     }
 
@@ -186,16 +240,68 @@ impl ObsState {
                 forwards: self.series_forwards.summary(),
                 faults: self.series_faults.summary(),
             },
+            stakeholders: self.stakeholders,
+            metrics: MetricsSnapshot {
+                counters: self.acc_counters,
+                gauges: self.acc_gauges,
+                histograms: self.acc_hists.into_iter().map(|(k, h)| (k, h.summary())).collect(),
+                series: BTreeMap::new(),
+            },
         }
     }
 
     fn absorb(&mut self, entry: &TraceEntry) {
         entry.absorb_into(&mut self.hasher);
         self.trace_entries += 1;
+        // Stakeholder attribution: a parallel lane stack over the span
+        // stream. The fold is derived from entries the hasher already
+        // absorbed, so none of this touches the digest. Every entry lands
+        // in exactly one lane, so per-lane `entries` sum to
+        // `trace_entries` — the conservation invariant the scoreboard
+        // proptests pin.
         match entry.kind {
-            SpanKind::Enter => self.spans_entered += 1,
-            SpanKind::Exit => self.spans_exited += 1,
-            SpanKind::Event => {}
+            SpanKind::Enter => {
+                self.spans_entered += 1;
+                let lane = entry
+                    .stakeholder
+                    .clone()
+                    .or_else(|| self.stake_stack.last().map(|(l, _)| l.clone()))
+                    .unwrap_or_else(|| UNATTRIBUTED.to_owned());
+                let c = self.stakeholders.entry(lane.clone()).or_default();
+                c.entries += 1;
+                c.spans += 1;
+                self.stake_stack.push((lane, entry.time.as_micros()));
+            }
+            SpanKind::Exit => {
+                self.spans_exited += 1;
+                // Exit entries never carry a stakeholder (see
+                // `trace::Trace::span_exit`); the matching Enter's lane
+                // owns the elapsed virtual time. A stray exit (possible in
+                // hand-built streams) lands in the unattributed lane with
+                // no elapsed time.
+                let (lane, entered) = self
+                    .stake_stack
+                    .pop()
+                    .unwrap_or_else(|| (UNATTRIBUTED.to_owned(), entry.time.as_micros()));
+                let c = self.stakeholders.entry(lane).or_default();
+                c.entries += 1;
+                c.virtual_micros += entry.time.as_micros().saturating_sub(entered);
+            }
+            SpanKind::Event => {
+                let lane = entry
+                    .stakeholder
+                    .as_deref()
+                    .or_else(|| self.stake_stack.last().map(|(l, _)| l.as_str()))
+                    .unwrap_or(UNATTRIBUTED);
+                // Steady state stays allocation-free: only the first entry
+                // per lane clones the key.
+                if !self.stakeholders.contains_key(lane) {
+                    self.stakeholders.insert(lane.to_owned(), StakeholderCost::default());
+                }
+                let c = self.stakeholders.get_mut(lane).expect("lane just ensured");
+                c.entries += 1;
+                c.events += 1;
+            }
         }
         if self.mode == ObsMode::Profile {
             if self.ring.len() == PROFILE_RING_CAPACITY {
@@ -354,6 +460,13 @@ pub fn on_metric_counter(key: &str, n: u64) {
         s.hasher.write_u8(0xA1);
         s.hasher.write_str(key);
         s.hasher.write_u64(n);
+        if s.mode == ObsMode::Profile {
+            if let Some(v) = s.acc_counters.get_mut(key) {
+                *v += n;
+            } else {
+                s.acc_counters.insert(key.to_owned(), n);
+            }
+        }
     });
 }
 
@@ -364,6 +477,13 @@ pub fn on_metric_gauge(key: &str, value: f64) {
         s.hasher.write_u8(0xA2);
         s.hasher.write_str(key);
         s.hasher.write_f64(value);
+        if s.mode == ObsMode::Profile {
+            if let Some(v) = s.acc_gauges.get_mut(key) {
+                *v = value;
+            } else {
+                s.acc_gauges.insert(key.to_owned(), value);
+            }
+        }
     });
 }
 
@@ -374,6 +494,15 @@ pub fn on_metric_observe(key: &str, value: f64) {
         s.hasher.write_u8(0xA3);
         s.hasher.write_str(key);
         s.hasher.write_f64(value);
+        if s.mode == ObsMode::Profile {
+            if let Some(h) = s.acc_hists.get_mut(key) {
+                h.record(value);
+            } else {
+                let mut h = Histogram::new();
+                h.record(value);
+                s.acc_hists.insert(key.to_owned(), h);
+            }
+        }
     });
 }
 
@@ -442,13 +571,20 @@ pub fn span_exit(time: SimTime, fields: &[(&str, &str)]) {
 
 /// Record an ambient point event (digest-covered; captured in Profile mode).
 pub fn event(time: SimTime, topic: &str, message: &str) {
+    event_for(time, topic, None, message);
+}
+
+/// [`event`], attributed to a stakeholder lane: the entry feeds that lane
+/// of the scoreboard fold (and its Perfetto pseudo-process) instead of
+/// inheriting the enclosing span's lane.
+pub fn event_for(time: SimTime, topic: &str, stakeholder: Option<&str>, message: &str) {
     with_state(|s| {
         let entry = TraceEntry {
             time,
             topic: topic.to_owned(),
             message: message.to_owned(),
             kind: SpanKind::Event,
-            stakeholder: None,
+            stakeholder: stakeholder.map(str::to_owned),
             fields: Vec::new(),
             depth: s.open.len() as u32,
             event: s.current_event,
@@ -663,6 +799,69 @@ mod tests {
         let rec = g.finish();
         assert_eq!(rec.spans_exited, 0);
         assert_eq!(rec.trace_entries, 0);
+    }
+
+    #[test]
+    fn stakeholder_attribution_conserves_entries() {
+        let g = begin(ObsMode::Cost);
+        span_enter(SimTime::from_micros(0), "econ.market", Some("isp"), &[]);
+        // Nested span with no annotation inherits the enclosing lane.
+        span_enter(SimTime::from_micros(10), "econ.auction", None, &[]);
+        event(SimTime::from_micros(20), "econ.bid", "posted");
+        span_exit(SimTime::from_micros(30), &[]);
+        span_exit(SimTime::from_micros(100), &[]);
+        // Unattributed work outside any span.
+        event(SimTime::from_micros(110), "net.tick", "idle");
+        let rec = g.finish();
+        let isp = &rec.stakeholders["isp"];
+        assert_eq!(isp.entries, 5, "both spans, both exits, one event");
+        assert_eq!(isp.spans, 2);
+        assert_eq!(isp.events, 1);
+        assert_eq!(isp.virtual_micros, (30 - 10) + (100 - 0));
+        let other = &rec.stakeholders[UNATTRIBUTED];
+        assert_eq!((other.entries, other.events), (1, 1));
+        let total: u64 = rec.stakeholders.values().map(|c| c.entries).sum();
+        assert_eq!(total, rec.trace_entries, "every entry lands in exactly one lane");
+    }
+
+    #[test]
+    fn stakeholder_fold_stays_out_of_the_digest() {
+        // The digest was already pinned before the scoreboard fold existed;
+        // here we only need two identical streams to agree while their
+        // lane maps are populated.
+        let run = || {
+            let g = begin(ObsMode::Cost);
+            span_enter(SimTime::ZERO, "t", Some("user"), &[]);
+            span_exit(SimTime::from_micros(5), &[]);
+            g.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.stakeholders, b.stakeholders);
+        assert_eq!(a.stakeholders["user"].virtual_micros, 5);
+    }
+
+    #[test]
+    fn profile_scope_accumulates_metrics() {
+        let g = begin(ObsMode::Profile);
+        on_metric_counter("pkts", 3);
+        on_metric_counter("pkts", 4);
+        on_metric_gauge("price", 1.0);
+        on_metric_gauge("price", 2.5);
+        on_metric_observe("latency", 10.0);
+        on_metric_observe("latency", 30.0);
+        let rec = g.finish();
+        assert_eq!(rec.metrics.counters["pkts"], 7);
+        assert_eq!(rec.metrics.gauges["price"], 2.5, "gauges keep the last write");
+        let h = &rec.metrics.histograms["latency"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 40.0);
+        // Cost mode folds writes into the digest but does not accumulate.
+        let g = begin(ObsMode::Cost);
+        on_metric_counter("pkts", 1);
+        let rec = g.finish();
+        assert!(rec.metrics.is_empty());
     }
 
     #[test]

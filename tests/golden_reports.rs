@@ -97,6 +97,7 @@ fn no_stale_golden_files() {
         run_all(GOLDEN_SEED).iter().map(|r| format!("{}.md", r.id)).collect();
     // Non-report snapshots locked by their own tests.
     live.push("E10.collapsed".to_owned());
+    live.push("E9.chrome.json".to_owned());
     for entry in std::fs::read_dir(&dir).expect("read tests/golden") {
         let name = entry.expect("dir entry").file_name().to_string_lossy().into_owned();
         assert!(
@@ -123,6 +124,37 @@ fn golden_collapsed_stack_matches_e10() {
         Ok(expected) if expected == actual => {}
         Ok(expected) => panic!(
             "E10 collapsed stacks diverged from {}:\n{}",
+            path.display(),
+            diff(&expected, &actual)
+        ),
+        Err(e) => panic!(
+            "cannot read {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden_reports`",
+            path.display()
+        ),
+    }
+}
+
+#[test]
+fn golden_chrome_export_matches_e9() {
+    // The Chrome trace export renders only virtual-time fields, so E9's
+    // trace at the golden seed is locked byte-for-byte — the same file
+    // `tussle-cli export --only E9 --format chrome` must reproduce, which
+    // ci.sh cross-checks against this snapshot across thread counts.
+    let path = golden_dir().join("E9.chrome.json");
+    let records =
+        tussle::experiments::profile::export_records(GOLDEN_SEED, &["E9".into()], Some(1))
+            .expect("E9 exists");
+    assert_eq!(records.len(), 1);
+    let actual = tussle::sim::to_chrome(&records[0].1);
+    assert!(actual.contains("\"traceEvents\""), "well-formed wrapper");
+    if updating() {
+        std::fs::write(&path, &actual).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        return;
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(expected) if expected == actual => {}
+        Ok(expected) => panic!(
+            "E9 chrome export diverged from {}:\n{}",
             path.display(),
             diff(&expected, &actual)
         ),
