@@ -34,9 +34,9 @@
 //!   finish the run (a divergence or unreadable file exits nonzero);
 //! * `recovery [--seeds N] [--base S] [--kills K] [--every N]
 //!   [--only E1,E4] [--json] [--threads K]` — the crash-injection recovery
-//!   campaign: kill every selected experiment at seeded random step
-//!   indices, restore, and hold the stitched runs to byte-exact equality
-//!   with uninterrupted goldens;
+//!   campaign: kill every selected experiment at seeded random
+//!   engine-event indices, restore, and hold the stitched runs to
+//!   byte-exact equality with uninterrupted goldens;
 //! * `fuzz [--budget N] [--seeds S] [--base B] [--json] [--corpus DIR]
 //!   [--threads K]` — the coverage-guided tussle-space fuzzer: seeded
 //!   random scenarios composing topology, traffic, faults, middleboxes,
@@ -80,8 +80,6 @@ pub struct CheckpointSummary {
     pub every: u64,
     /// Engine events dispatched under the scope.
     pub events: u64,
-    /// Observable steps (events + rng draws + forwards) under the scope.
-    pub steps: u64,
     /// Snapshots captured.
     pub checkpoints: u64,
     /// Snapshot files written, in capture order.
@@ -1409,7 +1407,6 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
                 seed,
                 every,
                 events: rec.cursor,
-                steps: rec.steps,
                 checkpoints: rec.snapshots.len() as u64,
                 files: rec.files.iter().map(|p| p.display().to_string()).collect(),
                 manifest: rec.manifest.as_ref().map(|p| p.display().to_string()),
@@ -1420,12 +1417,8 @@ pub fn execute(cmd: Command) -> Result<String, UsageError> {
                     .expect("checkpoint summaries serialize to JSON"))
             } else {
                 let mut out = format!(
-                    "{} (seed {}): {} checkpoint(s) over {} events / {} steps\n",
-                    summary.experiment,
-                    summary.seed,
-                    summary.checkpoints,
-                    summary.events,
-                    summary.steps,
+                    "{} (seed {}): {} checkpoint(s) over {} events\n",
+                    summary.experiment, summary.seed, summary.checkpoints, summary.events,
                 );
                 for f in &summary.files {
                     out.push_str(&format!("  {f}\n"));

@@ -492,9 +492,9 @@ impl ChaosReport {
 }
 
 /// One cell of the crash-injection recovery grid: an experiment crashed at
-/// a seeded random step index (engine events, rng draws and packet
-/// forwards all count as steps), restored from its latest checkpoint, and
-/// compared byte-for-byte against the uninterrupted golden run.
+/// a seeded random engine-event index, restored from its latest
+/// checkpoint, and compared byte-for-byte against the uninterrupted golden
+/// run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryCell {
     /// Experiment id (e.g. `"E9"`).
@@ -503,12 +503,13 @@ pub struct RecoveryCell {
     pub seed: u64,
     /// Kill-point index within the cell's sweep (0-based).
     pub kill_point: u64,
-    /// Step index the injected crash fired at (`None` when the golden run
-    /// took no observable steps, so there was nothing to crash).
+    /// Engine-event cursor the injected crash fired at (`None` when the
+    /// golden run scheduled no engine events, so there was nothing to
+    /// crash — impossible for registry experiments, which all drive the
+    /// engine, but synthetic entries may be event-free).
     pub kill_at: Option<u64>,
-    /// Observable steps — engine events + rng draws + forwards — the
-    /// uninterrupted golden run took.
-    pub golden_steps: u64,
+    /// Engine events the uninterrupted golden run processed.
+    pub golden_events: u64,
     /// Snapshots the crashed run captured before dying.
     pub checkpoints: u64,
     /// Cursor of the checkpoint the resume verified against (0 = genesis:
@@ -570,7 +571,7 @@ impl RecoveryReport {
         let mut out = format!(
             "# Recovery campaign — {} cells × checkpoint every {} events \
              ({} seeds from {}, {} kill points)\n\n\
-             | experiment | seed | kill | golden steps | checkpoints | resumed from | verified | identical |\n\
+             | experiment | seed | kill | golden events | checkpoints | resumed from | verified | identical |\n\
              |---|---|---|---|---|---|---|---|\n",
             self.cells.len(),
             self.every,
@@ -584,7 +585,7 @@ impl RecoveryReport {
                 c.id,
                 c.seed,
                 c.kill_at.map_or("—".to_owned(), |k| k.to_string()),
-                c.golden_steps,
+                c.golden_events,
                 c.checkpoints,
                 c.resumed_from,
                 if c.verified { "yes" } else { "NO" },
@@ -834,7 +835,7 @@ mod tests {
             seed: 1,
             kill_point: 0,
             kill_at,
-            golden_steps: 100,
+            golden_events: 100,
             checkpoints: 2,
             resumed_from: 40,
             crashed: kill_at.is_some(),
@@ -857,14 +858,14 @@ mod tests {
             every: 50,
             cells: vec![
                 recovery_cell("E1", Some(73), true, true),
-                recovery_cell("E14", None, true, true), // no observable steps: nothing to crash
+                recovery_cell("EX", None, true, true), // event-free synthetic: nothing to crash
             ],
         };
         assert!(good.all_recovered());
         assert_eq!(good.failures().count(), 0);
         let md = good.to_markdown();
         assert!(md.contains("| E1 | 1 | 73 | 100 | 2 | 40 | yes | yes |"));
-        assert!(md.contains("| E14 | 1 | — |"));
+        assert!(md.contains("| EX | 1 | — |"));
         assert!(md.contains("byte-identical finish"));
         let back: RecoveryReport = serde_json::from_str(&good.to_json()).unwrap();
         assert_eq!(back, good);

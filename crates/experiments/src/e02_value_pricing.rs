@@ -16,7 +16,7 @@
 use tussle_core::{ExperimentReport, Table};
 use tussle_econ::{Money, PricingScheme, Usage};
 use tussle_net::tunnel::TunnelDetector;
-use tussle_sim::SimRng;
+use tussle_sim::{Ctx, Engine, SimRng, SimTime};
 
 /// One escalation rung's aggregate outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,84 +39,129 @@ const BUSINESS: Money = Money(120_000_000); // $120
 const COMPETITOR_FLAT: Money = Money(55_000_000); // $55 flat elsewhere
 const TUNNEL_COST: Money = Money(5_000_000); // $5/mo of hassle
 
+/// One escalation rung's outcome. Rounds 0–2 are pure bills; round 3
+/// samples the tunnel detector once per customer from `rng`.
+pub fn round_outcome(round: usize, competitive: bool, rng: &mut SimRng) -> RoundOutcome {
+    let vp = PricingScheme::ValuePricing { residential: RESIDENTIAL, business: BUSINESS };
+    match round {
+        // Round 0: flat pricing, everyone pays residential-equivalent.
+        0 => RoundOutcome {
+            round: "flat pricing",
+            revenue: RESIDENTIAL * N_SERVER_RUNNERS as i64,
+            consumer_surplus: (SERVER_VALUE - RESIDENTIAL) * N_SERVER_RUNNERS as i64,
+            departed: 0,
+        },
+        // Round 1: value pricing; servers are visible; everyone pays business.
+        1 => {
+            let bill = vp.bill(Usage::open_server(1000));
+            RoundOutcome {
+                round: "value pricing",
+                revenue: bill * N_SERVER_RUNNERS as i64,
+                consumer_surplus: (SERVER_VALUE - bill) * N_SERVER_RUNNERS as i64,
+                departed: 0,
+            }
+        }
+        // Round 2: everyone tunnels; bills fall back to residential, minus
+        // the tunnel hassle on the consumer side.
+        2 => {
+            let bill = vp.bill(Usage::hidden_server(1000));
+            RoundOutcome {
+                round: "consumers tunnel",
+                revenue: bill * N_SERVER_RUNNERS as i64,
+                consumer_surplus: (SERVER_VALUE - bill - TUNNEL_COST) * N_SERVER_RUNNERS as i64,
+                departed: 0,
+            }
+        }
+        // Round 3: the provider deploys detection. Detected customers are
+        // re-billed at the business rate; under competition they leave for
+        // the flat competitor instead of paying it.
+        _ => {
+            let detector = TunnelDetector::new(0.8, 0.02);
+            let mut revenue = Money::ZERO;
+            let mut surplus = Money::ZERO;
+            let mut departed = 0;
+            for _ in 0..N_SERVER_RUNNERS {
+                // a tunneled packet stream is sampled once per billing cycle
+                let detected = rng.chance(detector.true_positive);
+                if detected {
+                    if competitive {
+                        departed += 1;
+                        surplus += SERVER_VALUE - COMPETITOR_FLAT;
+                        // revenue goes to the competitor, not this provider
+                    } else {
+                        revenue += BUSINESS;
+                        surplus += SERVER_VALUE - BUSINESS;
+                    }
+                } else {
+                    revenue += RESIDENTIAL;
+                    surplus += SERVER_VALUE - RESIDENTIAL - TUNNEL_COST;
+                }
+            }
+            RoundOutcome { round: "provider detects", revenue, consumer_surplus: surplus, departed }
+        }
+    }
+}
+
 /// Play the four rounds. `competitive` controls whether a flat-rate
 /// alternative exists for detected server-runners to flee to.
 pub fn run_rounds(competitive: bool, seed: u64) -> Vec<RoundOutcome> {
     let mut rng = SimRng::seed_from_u64(seed).fork("e02");
-    let vp = PricingScheme::ValuePricing { residential: RESIDENTIAL, business: BUSINESS };
-    let mut out = Vec::new();
-
-    // Round 0: flat pricing, everyone pays residential-equivalent.
-    {
-        let price = RESIDENTIAL;
-        out.push(RoundOutcome {
-            round: "flat pricing",
-            revenue: price * N_SERVER_RUNNERS as i64,
-            consumer_surplus: (SERVER_VALUE - price) * N_SERVER_RUNNERS as i64,
-            departed: 0,
-        });
-    }
-
-    // Round 1: value pricing; servers are visible; everyone pays business.
-    {
-        let bill = vp.bill(Usage::open_server(1000));
-        out.push(RoundOutcome {
-            round: "value pricing",
-            revenue: bill * N_SERVER_RUNNERS as i64,
-            consumer_surplus: (SERVER_VALUE - bill) * N_SERVER_RUNNERS as i64,
-            departed: 0,
-        });
-    }
-
-    // Round 2: everyone tunnels; bills fall back to residential, minus the
-    // tunnel hassle on the consumer side.
-    {
-        let bill = vp.bill(Usage::hidden_server(1000));
-        out.push(RoundOutcome {
-            round: "consumers tunnel",
-            revenue: bill * N_SERVER_RUNNERS as i64,
-            consumer_surplus: (SERVER_VALUE - bill - TUNNEL_COST) * N_SERVER_RUNNERS as i64,
-            departed: 0,
-        });
-    }
-
-    // Round 3: the provider deploys detection. Detected customers are
-    // re-billed at the business rate; under competition they leave for the
-    // flat competitor instead of paying it.
-    {
-        let detector = TunnelDetector::new(0.8, 0.02);
-        let mut revenue = Money::ZERO;
-        let mut surplus = Money::ZERO;
-        let mut departed = 0;
-        for _ in 0..N_SERVER_RUNNERS {
-            // a tunneled packet stream is sampled once per billing cycle
-            let detected = rng.chance(detector.true_positive);
-            if detected {
-                if competitive {
-                    departed += 1;
-                    surplus += SERVER_VALUE - COMPETITOR_FLAT;
-                    // revenue goes to the competitor, not this provider
-                } else {
-                    revenue += BUSINESS;
-                    surplus += SERVER_VALUE - BUSINESS;
-                }
-            } else {
-                revenue += RESIDENTIAL;
-                surplus += SERVER_VALUE - RESIDENTIAL - TUNNEL_COST;
-            }
-        }
-        out.push(RoundOutcome {
-            round: "provider detects",
-            revenue,
-            consumer_surplus: surplus,
-            departed,
-        });
-    }
-    out
+    (0..4).map(|round| round_outcome(round, competitive, &mut rng)).collect()
 }
 
-/// Run E2 and produce the report.
+/// World for the engine-driven replay: settled rounds per regime.
+#[derive(Default)]
+struct PricingWorld {
+    mono: Vec<RoundOutcome>,
+    comp: Vec<RoundOutcome>,
+}
+
+/// One escalation rung as an engine event. Each rung schedules the rung it
+/// provokes after a seeded reaction lag, so the run's provenance records
+/// the escalation as a causal chain per regime.
+fn play_round(w: &mut PricingWorld, ctx: &mut Ctx<PricingWorld>, competitive: bool, round: usize) {
+    // Round 2 (tunneling) is the consumers' move; the rest are the
+    // provider's pricing moves.
+    let actor = if round == 2 { "user" } else { "provider" };
+    let regime = if competitive { "competitive" } else { "monopoly" };
+    ctx.span_enter("e2.round", Some(actor), &[("regime", regime), ("round", &round.to_string())]);
+    let o = round_outcome(round, competitive, ctx.rng);
+    if round + 1 < 4 {
+        let lag = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+        ctx.trace_fields(
+            "e2.counter",
+            Some(actor),
+            &[("lag_us", &lag.as_micros().to_string())],
+            format!("{} provokes the next rung", o.round),
+        );
+        ctx.span_exit(&[("revenue", &o.revenue.to_string())]);
+        ctx.schedule_in(lag, move |w2: &mut PricingWorld, ctx2| {
+            play_round(w2, ctx2, competitive, round + 1);
+        });
+    } else {
+        ctx.trace_fields(
+            "e2.settled",
+            Some(actor),
+            &[("departed", &o.departed.to_string())],
+            format!("{regime} escalation settles at {}", o.round),
+        );
+        ctx.span_exit(&[("revenue", &o.revenue.to_string())]);
+    }
+    if competitive { &mut w.comp } else { &mut w.mono }.push(o);
+}
+
+/// Run E2 and produce the report. Each regime's escalation plays out as a
+/// causally chained sequence of engine events on the shared clock.
 pub fn run(seed: u64) -> ExperimentReport {
+    let mut eng = Engine::new(PricingWorld::default(), seed);
+    for (i, competitive) in [false, true].into_iter().enumerate() {
+        // Each regime's opening rung is a root injection.
+        eng.schedule_at(SimTime::from_millis(i as u64), move |w: &mut PricingWorld, ctx| {
+            play_round(w, ctx, competitive, 0);
+        });
+    }
+    eng.run_to_completion();
+
     let mut table = Table::new(
         "Value-pricing escalation: provider revenue / server-runner surplus / departures",
         &[
@@ -127,8 +172,8 @@ pub fn run(seed: u64) -> ExperimentReport {
             "departed",
         ],
     );
-    let mono = run_rounds(false, seed);
-    let comp = run_rounds(true, seed);
+    let mono = eng.world.mono;
+    let comp = eng.world.comp;
     for (m, c) in mono.iter().zip(&comp) {
         table.push_row(
             m.round,

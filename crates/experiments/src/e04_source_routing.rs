@@ -20,7 +20,7 @@ use tussle_net::packet::{ports, Packet, Protocol};
 use tussle_net::{Network, NodeId};
 use tussle_routing::sourceroute::{authorize_route, enumerate_paths};
 use tussle_routing::AsGraph;
-use tussle_sim::{SimRng, SimTime};
+use tussle_sim::{Ctx, Engine, SimRng, SimTime};
 
 /// The three §V.A.4 regimes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,10 +115,19 @@ fn as_graph() -> AsGraph {
     g
 }
 
-/// Run one regime over `n_packets`.
-pub fn run_regime(regime: Regime, n_packets: usize, seed: u64) -> RoutingOutcome {
+/// Everything one regime's flow needs, threaded through its event chain.
+struct FlowState {
+    w: World,
+    ledger: Ledger,
+    source_route: Vec<NodeId>,
+    sent: usize,
+    delivered: usize,
+    latency_total_ms: f64,
+}
+
+/// Build a regime's world, choose (and if paid, pay for) its route.
+fn flow_state(regime: Regime) -> FlowState {
     let mut w = world();
-    let mut rng = SimRng::seed_from_u64(seed).fork("e04");
     let mut ledger = Ledger::new();
     let user = AccountId(1);
     let premium_acct = AccountId(20);
@@ -149,37 +158,121 @@ pub fn run_regime(regime: Regime, n_packets: usize, seed: u64) -> RoutingOutcome
             vec![w.premium_router]
         }
     };
+    let _ = w.cheap_router;
+    FlowState { w, ledger, source_route, sent: 0, delivered: 0, latency_total_ms: 0.0 }
+}
 
-    let mut delivered = 0usize;
-    let mut latency_total_ms = 0.0;
-    for _ in 0..n_packets {
-        let pkt = Packet::new(w.src_addr, w.dst_addr, Protocol::Udp, 9000, ports::VOIP)
-            .with_source_route(source_route.clone());
-        let rep = w.net.send(w.src_host, pkt, &mut rng);
+/// Send one batch of packets from `st`, mutating the delivery counters.
+fn send_batch(st: &mut FlowState, n: usize, rng: &mut SimRng) {
+    for _ in 0..n {
+        let pkt = Packet::new(st.w.src_addr, st.w.dst_addr, Protocol::Udp, 9000, ports::VOIP)
+            .with_source_route(st.source_route.clone());
+        let rep = st.w.net.send(st.w.src_host, pkt, rng);
         if rep.delivered {
-            delivered += 1;
-            latency_total_ms += rep.latency.as_millis_f64();
+            st.delivered += 1;
+            st.latency_total_ms += rep.latency.as_millis_f64();
         }
     }
-    let _ = w.cheap_router;
+    st.sent += n;
+}
+
+fn outcome_of(st: &FlowState) -> RoutingOutcome {
     RoutingOutcome {
-        delivery_rate: delivered as f64 / n_packets as f64,
-        mean_latency_ms: if delivered > 0 { latency_total_ms / delivered as f64 } else { f64::NAN },
-        premium_transit_revenue: ledger.total_received(premium_acct),
+        delivery_rate: st.delivered as f64 / st.sent as f64,
+        mean_latency_ms: if st.delivered > 0 {
+            st.latency_total_ms / st.delivered as f64
+        } else {
+            f64::NAN
+        },
+        premium_transit_revenue: st.ledger.total_received(AccountId(20)),
     }
 }
 
-/// Run E4 and produce the report.
+/// Run one regime over `n_packets` (the pure loop the unit tests drive;
+/// [`run`] replays the same flow as paced engine-event bursts).
+pub fn run_regime(regime: Regime, n_packets: usize, seed: u64) -> RoutingOutcome {
+    let mut rng = SimRng::seed_from_u64(seed).fork("e04");
+    let mut st = flow_state(regime);
+    send_batch(&mut st, n_packets, &mut rng);
+    outcome_of(&st)
+}
+
+/// World for the engine-driven replay: settled outcomes per regime.
+#[derive(Default)]
+struct RoutingWorld {
+    outcomes: Vec<(Regime, RoutingOutcome)>,
+}
+
+/// Flows per burst event in the engine replay.
+const BURST: usize = 25;
+/// Total flows per regime.
+const N_FLOWS: usize = 200;
+
+/// One paced burst of flows as an engine event; each burst schedules the
+/// next after a seeded pacing lag, so a regime's 200 flows form one causal
+/// chain whose forwarding draws come from the engine's rng stream.
+fn run_burst(w: &mut RoutingWorld, ctx: &mut Ctx<RoutingWorld>, regime: Regime, mut st: FlowState) {
+    ctx.span_enter(
+        "e4.burst",
+        Some("user"),
+        &[("regime", regime.label()), ("sent", &st.sent.to_string())],
+    );
+    let n = BURST.min(N_FLOWS - st.sent);
+    send_batch(&mut st, n, ctx.rng);
+    if st.sent < N_FLOWS {
+        let lag = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+        ctx.trace_fields(
+            "e4.pacing",
+            Some("user"),
+            &[("lag_us", &lag.as_micros().to_string())],
+            format!("{} flows sent; next burst follows", st.sent),
+        );
+        ctx.span_exit(&[("delivered", &st.delivered.to_string())]);
+        ctx.schedule_in(lag, move |w2: &mut RoutingWorld, ctx2| {
+            run_burst(w2, ctx2, regime, st);
+        });
+    } else {
+        let o = outcome_of(&st);
+        ctx.trace_fields(
+            "e4.settled",
+            Some("isp"),
+            &[("delivery_rate", &format!("{:.2}", o.delivery_rate))],
+            format!("{} settles", regime.label()),
+        );
+        ctx.span_exit(&[("delivered", &st.delivered.to_string())]);
+        w.outcomes.push((regime, o));
+    }
+}
+
+/// Run E4 and produce the report. Each regime's flows run as a causal
+/// chain of burst events on the shared engine clock.
 pub fn run(seed: u64) -> ExperimentReport {
-    let n = 200;
+    let regimes = [Regime::ProviderRouting, Regime::SourceRoutingUnpaid, Regime::SourceRoutingPaid];
+    let mut eng = Engine::new(RoutingWorld::default(), seed);
+    for (i, regime) in regimes.into_iter().enumerate() {
+        // Each regime's route choice (and payment) is a root injection.
+        eng.schedule_at(SimTime::from_millis(i as u64), move |w: &mut RoutingWorld, ctx| {
+            ctx.span_enter("e4.route_choice", Some("provider"), &[("regime", regime.label())]);
+            let st = flow_state(regime);
+            ctx.span_exit(&[("paid", &(regime == Regime::SourceRoutingPaid).to_string())]);
+            run_burst(w, ctx, regime, st);
+        });
+    }
+    eng.run_to_completion();
+
     let mut table = Table::new(
         "Wide-area path control (200 VoIP flows; cheap transit 80ms, premium 10ms)",
         &["delivery rate", "mean latency (ms)", "premium transit revenue"],
     );
-    let regimes = [Regime::ProviderRouting, Regime::SourceRoutingUnpaid, Regime::SourceRoutingPaid];
     let mut outcomes = Vec::new();
     for r in regimes {
-        let o = run_regime(r, n, seed);
+        let o = eng
+            .world
+            .outcomes
+            .iter()
+            .find(|(reg, _)| *reg == r)
+            .map(|(_, o)| o.clone())
+            .expect("every regime's flow settles");
         table.push_row(
             r.label(),
             &[

@@ -17,7 +17,7 @@ use tussle_net::firewall::{Firewall, FirewallAction, FirewallRule, MatchOn};
 use tussle_net::packet::{ports, Packet, Protocol};
 use tussle_net::{Network, NodeId};
 use tussle_routing::overlay::{Overlay, OverlayDelivery};
-use tussle_sim::{SimRng, SimTime};
+use tussle_sim::{Ctx, Engine, SimRng, SimTime};
 
 /// What stresses the direct path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,9 +115,8 @@ fn world() -> World {
     }
 }
 
-/// Run one stress condition over `n` packets.
-pub fn run_condition(stress: Stress, n: usize, seed: u64) -> OverlayOutcome {
-    let mut rng = SimRng::seed_from_u64(seed).fork("e05");
+/// Build a condition's world with its stress applied.
+fn stressed_world(stress: Stress) -> World {
     let mut w = world();
     match stress {
         Stress::None => {}
@@ -135,51 +134,145 @@ pub fn run_condition(stress: Stress, n: usize, seed: u64) -> OverlayOutcome {
             w.net.set_firewall(w.dst_router, fw);
         }
     }
+    w
+}
 
-    let mut direct_ok = 0usize;
-    let mut overlay_ok = 0usize;
-    let mut overlay_hops_total = 0usize;
-    let mut uncompensated = 0u64;
+/// One condition's probe tallies, threaded through its event chain.
+struct Tally {
+    w: World,
+    sent: usize,
+    direct_ok: usize,
+    overlay_ok: usize,
+    overlay_hops_total: usize,
+    uncompensated: u64,
+}
+
+impl Tally {
+    fn new(w: World) -> Self {
+        Tally { w, sent: 0, direct_ok: 0, overlay_ok: 0, overlay_hops_total: 0, uncompensated: 0 }
+    }
+}
+
+/// Send `n` direct+overlay probe pairs, mutating the tallies.
+fn probe_batch(t: &mut Tally, n: usize, rng: &mut SimRng) {
     for _ in 0..n {
         // direct attempt
-        if w.net.send(w.src, w.pkt.clone(), &mut rng).delivered {
-            direct_ok += 1;
+        if t.w.net.send(t.w.src, t.w.pkt.clone(), rng).delivered {
+            t.direct_ok += 1;
         }
         // overlay attempt
-        let d = w.overlay.send(&mut w.net, w.src, w.pkt.clone(), &mut rng);
+        let d = t.w.overlay.send(&mut t.w.net, t.w.src, t.w.pkt.clone(), rng);
         if d.delivered() {
-            overlay_ok += 1;
-            overlay_hops_total += d.hops();
+            t.overlay_ok += 1;
+            t.overlay_hops_total += d.hops();
             if let OverlayDelivery::Relayed { first_leg, second_leg, .. } = &d {
                 for leg in [first_leg, second_leg] {
-                    uncompensated +=
-                        leg.path.iter().filter(|nid| w.relay_as_nodes.contains(nid)).count() as u64;
+                    t.uncompensated +=
+                        leg.path.iter().filter(|nid| t.w.relay_as_nodes.contains(nid)).count()
+                            as u64;
                 }
             }
         }
     }
+    t.sent += n;
+}
+
+fn outcome_of(t: &Tally) -> OverlayOutcome {
     OverlayOutcome {
-        direct_rate: direct_ok as f64 / n as f64,
-        overlay_rate: overlay_ok as f64 / n as f64,
-        overlay_hops: if overlay_ok > 0 {
-            overlay_hops_total as f64 / overlay_ok as f64
+        direct_rate: t.direct_ok as f64 / t.sent as f64,
+        overlay_rate: t.overlay_ok as f64 / t.sent as f64,
+        overlay_hops: if t.overlay_ok > 0 {
+            t.overlay_hops_total as f64 / t.overlay_ok as f64
         } else {
             0.0
         },
-        uncompensated_hops: uncompensated,
+        uncompensated_hops: t.uncompensated,
     }
 }
 
-/// Run E5 and produce the report.
+/// Run one stress condition over `n` packets (the pure loop the unit tests
+/// drive; [`run`] replays it as paced engine-event bursts).
+pub fn run_condition(stress: Stress, n: usize, seed: u64) -> OverlayOutcome {
+    let mut rng = SimRng::seed_from_u64(seed).fork("e05");
+    let mut t = Tally::new(stressed_world(stress));
+    probe_batch(&mut t, n, &mut rng);
+    outcome_of(&t)
+}
+
+/// World for the engine-driven replay: settled outcomes per condition.
+#[derive(Default)]
+struct StressWorld {
+    outcomes: Vec<(Stress, OverlayOutcome)>,
+}
+
+/// Probe pairs per burst event in the engine replay.
+const BURST: usize = 20;
+/// Total probe pairs per condition.
+const N_PROBES: usize = 100;
+
+/// One paced probe burst as an engine event, chaining to the next burst.
+fn run_burst(w: &mut StressWorld, ctx: &mut Ctx<StressWorld>, stress: Stress, mut t: Tally) {
+    ctx.span_enter(
+        "e5.burst",
+        Some("user"),
+        &[("stress", stress.label()), ("sent", &t.sent.to_string())],
+    );
+    let n = BURST.min(N_PROBES - t.sent);
+    probe_batch(&mut t, n, ctx.rng);
+    if t.sent < N_PROBES {
+        let lag = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+        ctx.trace_fields(
+            "e5.pacing",
+            Some("user"),
+            &[("lag_us", &lag.as_micros().to_string())],
+            format!("{} probes sent; next burst follows", t.sent),
+        );
+        ctx.span_exit(&[("overlay_ok", &t.overlay_ok.to_string())]);
+        ctx.schedule_in(lag, move |w2: &mut StressWorld, ctx2| {
+            run_burst(w2, ctx2, stress, t);
+        });
+    } else {
+        let o = outcome_of(&t);
+        ctx.trace_fields(
+            "e5.settled",
+            Some("isp"),
+            &[("uncompensated_hops", &o.uncompensated_hops.to_string())],
+            format!("{} condition settles", stress.label()),
+        );
+        ctx.span_exit(&[("overlay_ok", &t.overlay_ok.to_string())]);
+        w.outcomes.push((stress, o));
+    }
+}
+
+/// Run E5 and produce the report. Each condition's probes run as a causal
+/// chain of burst events on the shared engine clock.
 pub fn run(seed: u64) -> ExperimentReport {
-    let n = 100;
+    let conditions = [Stress::None, Stress::LinkFailure, Stress::PolicyBlock];
+    let mut eng = Engine::new(StressWorld::default(), seed);
+    for (i, stress) in conditions.into_iter().enumerate() {
+        // Each stress condition is a root injection.
+        eng.schedule_at(SimTime::from_millis(i as u64), move |w: &mut StressWorld, ctx| {
+            ctx.span_enter("e5.stress", Some("provider"), &[("stress", stress.label())]);
+            let t = Tally::new(stressed_world(stress));
+            ctx.span_exit(&[]);
+            run_burst(w, ctx, stress, t);
+        });
+    }
+    eng.run_to_completion();
+
     let mut table = Table::new(
         "Overlay resilience and its economic footprint (100 flows per condition)",
         &["direct delivery", "overlay delivery", "mean hops", "uncompensated relay-AS hops"],
     );
     let mut outcomes = Vec::new();
-    for s in [Stress::None, Stress::LinkFailure, Stress::PolicyBlock] {
-        let o = run_condition(s, n, seed);
+    for s in conditions {
+        let o = eng
+            .world
+            .outcomes
+            .iter()
+            .find(|(st, _)| *st == s)
+            .map(|(_, o)| o.clone())
+            .expect("every condition settles");
         table.push_row(
             s.label(),
             &[

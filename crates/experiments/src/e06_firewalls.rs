@@ -18,7 +18,7 @@ use tussle_net::addr::{Address, AddressOrigin, Asn, Prefix};
 use tussle_net::firewall::Firewall;
 use tussle_net::packet::{ports, Packet, Protocol};
 use tussle_net::{Network, NodeId};
-use tussle_sim::{SimRng, SimTime};
+use tussle_sim::{Ctx, Engine, SimRng, SimTime};
 
 /// The three border designs compared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,54 +85,154 @@ fn world(design: BorderDesign) -> (Network, NodeId, Address, Address) {
     (net, outside, src, dst)
 }
 
-/// Run one design over a mixed workload.
-pub fn run_design(design: BorderDesign, n_each: usize, seed: u64) -> FirewallOutcome {
-    let mut rng = SimRng::seed_from_u64(seed).fork("e06");
-    let (mut net, outside, src, dst) = world(design);
+/// One design's workload tallies, threaded through its event chain.
+struct DesignTally {
+    net: Network,
+    outside: NodeId,
+    src: Address,
+    dst: Address,
+    sent: usize,
+    known_ok: usize,
+    attacks_through: usize,
+    novel_ok: usize,
+}
 
-    let mut known_ok = 0usize;
-    let mut attacks_through = 0usize;
-    let mut novel_ok = 0usize;
-    for i in 0..n_each {
+impl DesignTally {
+    fn new(design: BorderDesign) -> Self {
+        let (net, outside, src, dst) = world(design);
+        DesignTally {
+            net,
+            outside,
+            src,
+            dst,
+            sent: 0,
+            known_ok: 0,
+            attacks_through: 0,
+            novel_ok: 0,
+        }
+    }
+}
+
+/// Push `n` known/attack/novel flow triples through the border.
+fn flow_batch(t: &mut DesignTally, n: usize, rng: &mut SimRng) {
+    for i in t.sent..t.sent + n {
         // known application from a trusted party
-        let known = Packet::new(src, dst, Protocol::Tcp, 1000, ports::HTTP)
+        let known = Packet::new(t.src, t.dst, Protocol::Tcp, 1000, ports::HTTP)
             .with_identity(TRUSTED[i % TRUSTED.len()]);
-        if net.send(outside, known, &mut rng).delivered {
-            known_ok += 1;
+        if t.net.send(t.outside, known, rng).delivered {
+            t.known_ok += 1;
         }
         // attack: anonymous, probing a port the attacker picks (sometimes a
         // well-known one — port filters cannot tell exploit from use)
         let attack_port = if rng.chance(0.5) { ports::HTTP } else { rng.range(1024..u16::MAX) };
-        let attack = Packet::new(src, dst, Protocol::Tcp, 666, attack_port);
-        if net.send(outside, attack, &mut rng).delivered {
-            attacks_through += 1;
+        let attack = Packet::new(t.src, t.dst, Protocol::Tcp, 666, attack_port);
+        if t.net.send(t.outside, attack, rng).delivered {
+            t.attacks_through += 1;
         }
         // novel application from a trusted party on an unheard-of port
-        let novel = Packet::new(src, dst, Protocol::Udp, 2000, ports::NOVEL)
+        let novel = Packet::new(t.src, t.dst, Protocol::Udp, 2000, ports::NOVEL)
             .with_identity(TRUSTED[i % TRUSTED.len()]);
-        if net.send(outside, novel, &mut rng).delivered {
-            novel_ok += 1;
+        if t.net.send(t.outside, novel, rng).delivered {
+            t.novel_ok += 1;
         }
     }
+    t.sent += n;
+}
+
+fn outcome_of(t: &DesignTally) -> FirewallOutcome {
     FirewallOutcome {
-        attacks_blocked: 1.0 - attacks_through as f64 / n_each as f64,
-        known_apps_ok: known_ok as f64 / n_each as f64,
-        novel_apps_ok: novel_ok as f64 / n_each as f64,
+        attacks_blocked: 1.0 - t.attacks_through as f64 / t.sent as f64,
+        known_apps_ok: t.known_ok as f64 / t.sent as f64,
+        novel_apps_ok: t.novel_ok as f64 / t.sent as f64,
     }
 }
 
-/// Run E6 and produce the report.
+/// Run one design over a mixed workload (the pure loop the unit tests
+/// drive; [`run`] replays it as paced engine-event bursts).
+pub fn run_design(design: BorderDesign, n_each: usize, seed: u64) -> FirewallOutcome {
+    let mut rng = SimRng::seed_from_u64(seed).fork("e06");
+    let mut t = DesignTally::new(design);
+    flow_batch(&mut t, n_each, &mut rng);
+    outcome_of(&t)
+}
+
+/// World for the engine-driven replay: settled outcomes per design.
+#[derive(Default)]
+struct BorderWorld {
+    outcomes: Vec<(BorderDesign, FirewallOutcome)>,
+}
+
+/// Flow triples per burst event in the engine replay.
+const BURST: usize = 40;
+/// Total flow triples per design.
+const N_EACH: usize = 200;
+
+/// One paced traffic burst as an engine event, chaining to the next burst.
+fn run_burst(
+    w: &mut BorderWorld,
+    ctx: &mut Ctx<BorderWorld>,
+    design: BorderDesign,
+    mut t: DesignTally,
+) {
+    ctx.span_enter(
+        "e6.burst",
+        Some("provider"),
+        &[("design", design.label()), ("sent", &t.sent.to_string())],
+    );
+    let n = BURST.min(N_EACH - t.sent);
+    flow_batch(&mut t, n, ctx.rng);
+    if t.sent < N_EACH {
+        let lag = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+        ctx.trace_fields(
+            "e6.pacing",
+            Some("provider"),
+            &[("lag_us", &lag.as_micros().to_string())],
+            format!("{} flow triples pushed; next burst follows", t.sent),
+        );
+        ctx.span_exit(&[("attacks_through", &t.attacks_through.to_string())]);
+        ctx.schedule_in(lag, move |w2: &mut BorderWorld, ctx2| {
+            run_burst(w2, ctx2, design, t);
+        });
+    } else {
+        let o = outcome_of(&t);
+        ctx.trace_fields(
+            "e6.settled",
+            Some("user"),
+            &[("novel_apps_ok", &format!("{:.2}", o.novel_apps_ok))],
+            format!("{} border settles", design.label()),
+        );
+        ctx.span_exit(&[("attacks_through", &t.attacks_through.to_string())]);
+        w.outcomes.push((design, o));
+    }
+}
+
+/// Run E6 and produce the report. Each border design's workload runs as a
+/// causal chain of burst events on the shared engine clock.
 pub fn run(seed: u64) -> ExperimentReport {
-    let n = 200;
+    let designs =
+        [BorderDesign::Transparent, BorderDesign::PortAllowlist, BorderDesign::TrustMediated];
+    let mut eng = Engine::new(BorderWorld::default(), seed);
+    for (i, design) in designs.into_iter().enumerate() {
+        // Each border design is a root injection.
+        eng.schedule_at(SimTime::from_millis(i as u64), move |w: &mut BorderWorld, ctx| {
+            run_burst(w, ctx, design, DesignTally::new(design));
+        });
+    }
+    eng.run_to_completion();
+
     let mut table = Table::new(
         "Border designs against a mixed workload (200 flows of each class)",
         &["attacks blocked", "known apps delivered", "novel apps delivered"],
     );
-    let designs =
-        [BorderDesign::Transparent, BorderDesign::PortAllowlist, BorderDesign::TrustMediated];
     let mut outcomes = Vec::new();
     for d in designs {
-        let o = run_design(d, n, seed);
+        let o = eng
+            .world
+            .outcomes
+            .iter()
+            .find(|(dd, _)| *dd == d)
+            .map(|(_, o)| o.clone())
+            .expect("every design settles");
         table.push_row(
             d.label(),
             &[

@@ -13,7 +13,7 @@
 //! mediator market itself.
 
 use tussle_core::{ExperimentReport, Table};
-use tussle_sim::SimRng;
+use tussle_sim::{Ctx, Engine, SimRng, SimTime};
 use tussle_trust::mediator::{run_transaction, Mediator, ReputationBook, TransactionSetup};
 
 /// Mediation regimes compared.
@@ -60,28 +60,44 @@ fn setup() -> TransactionSetup {
     TransactionSetup { value: 1_500_000, price: 1_000_000, fraud_probability: 0.0 }
 }
 
-/// Run one regime.
-pub fn run_regime(regime: Regime, seed: u64) -> MediationOutcome {
-    let mut rng = SimRng::seed_from_u64(seed).fork("e07");
-    let mut book = ReputationBook::new();
-    let mut total = 0i64;
-    let mut attempted = 0usize;
-    let mut frauds = 0usize;
-    let mut fees = 0i64;
+/// One regime's market state, threaded through its event chain.
+struct RegimeTally {
+    book: ReputationBook,
+    fraudulent: Vec<bool>,
+    done: usize,
+    total: i64,
+    attempted: usize,
+    frauds: usize,
+    fees: i64,
+}
 
-    // each "seller slot" is drawn fraudulent or honest; sellers recur so
-    // reputation can learn
-    let n_sellers = 40u64;
-    let fraudulent: Vec<bool> = (0..n_sellers).map(|_| rng.chance(FRAUD_RATE)).collect();
+impl RegimeTally {
+    /// Draw the seller population. Sellers recur so reputation can learn.
+    fn new(rng: &mut SimRng) -> Self {
+        let n_sellers = 40u64;
+        let fraudulent: Vec<bool> = (0..n_sellers).map(|_| rng.chance(FRAUD_RATE)).collect();
+        RegimeTally {
+            book: ReputationBook::new(),
+            fraudulent,
+            done: 0,
+            total: 0,
+            attempted: 0,
+            frauds: 0,
+            fees: 0,
+        }
+    }
+}
 
+/// Settle `n` transactions under `regime`, mutating the tallies.
+fn trade_batch(t: &mut RegimeTally, regime: Regime, n: usize, rng: &mut SimRng) {
     let cheap_escrow = Mediator::Escrow { liability_cap: 50_000, fee: 10_000 };
     let dear_escrow = Mediator::Escrow { liability_cap: 50_000, fee: 60_000 };
     let reputation = Mediator::Reputation { min_score: 0.4, fee: 5_000 };
 
-    for i in 0..N_TRANSACTIONS {
-        let seller = (i as u64) % n_sellers;
+    for i in t.done..t.done + n {
+        let seller = (i as u64) % t.fraudulent.len() as u64;
         let mut s = setup();
-        s.fraud_probability = if fraudulent[seller as usize] { 0.9 } else { 0.02 };
+        s.fraud_probability = if t.fraudulent[seller as usize] { 0.9 } else { 0.02 };
         let mediator = match regime {
             Regime::Unmediated => &Mediator::None,
             Regime::Escrow => &cheap_escrow,
@@ -96,17 +112,88 @@ pub fn run_regime(regime: Regime, seed: u64) -> MediationOutcome {
                 }
             }
         };
-        let o = run_transaction(s, mediator, seller, &mut book, &mut rng);
-        total += o.buyer_net;
-        fees += o.mediator_fee;
+        let o = run_transaction(s, mediator, seller, &mut t.book, rng);
+        t.total += o.buyer_net;
+        t.fees += o.mediator_fee;
         if o.attempted {
-            attempted += 1;
+            t.attempted += 1;
         }
         if o.defrauded {
-            frauds += 1;
+            t.frauds += 1;
         }
     }
-    MediationOutcome { buyer_net_total: total, attempted, frauds, fees }
+    t.done += n;
+}
+
+fn outcome_of(t: &RegimeTally) -> MediationOutcome {
+    MediationOutcome {
+        buyer_net_total: t.total,
+        attempted: t.attempted,
+        frauds: t.frauds,
+        fees: t.fees,
+    }
+}
+
+/// Run one regime (the pure loop the unit tests drive; [`run`] replays it
+/// as paced engine-event bursts).
+pub fn run_regime(regime: Regime, seed: u64) -> MediationOutcome {
+    let mut rng = SimRng::seed_from_u64(seed).fork("e07");
+    let mut t = RegimeTally::new(&mut rng);
+    trade_batch(&mut t, regime, N_TRANSACTIONS, &mut rng);
+    outcome_of(&t)
+}
+
+/// World for the engine-driven replay: settled outcomes per regime.
+#[derive(Default)]
+struct MediationWorld {
+    outcomes: Vec<(Regime, MediationOutcome)>,
+}
+
+/// Transactions per burst event in the engine replay.
+const BURST: usize = 80;
+
+/// One paced transaction burst as an engine event, chaining to the next.
+/// The market rolls come from a per-regime fork carried through the chain
+/// (not `ctx.rng`): every regime faces the *same* seller population and
+/// fraud rolls, the common-random-numbers pairing the regime comparison
+/// depends on. The engine rng still paces the bursts.
+fn run_burst(
+    w: &mut MediationWorld,
+    ctx: &mut Ctx<MediationWorld>,
+    regime: Regime,
+    mut t: RegimeTally,
+    mut market_rng: SimRng,
+) {
+    ctx.span_enter(
+        "e7.burst",
+        Some("user"),
+        &[("regime", regime.label()), ("done", &t.done.to_string())],
+    );
+    let n = BURST.min(N_TRANSACTIONS - t.done);
+    trade_batch(&mut t, regime, n, &mut market_rng);
+    if t.done < N_TRANSACTIONS {
+        let lag = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+        ctx.trace_fields(
+            "e7.pacing",
+            Some("user"),
+            &[("lag_us", &lag.as_micros().to_string())],
+            format!("{} transactions settled; next burst follows", t.done),
+        );
+        ctx.span_exit(&[("frauds", &t.frauds.to_string())]);
+        ctx.schedule_in(lag, move |w2: &mut MediationWorld, ctx2| {
+            run_burst(w2, ctx2, regime, t, market_rng);
+        });
+    } else {
+        let o = outcome_of(&t);
+        ctx.trace_fields(
+            "e7.settled",
+            Some("provider"),
+            &[("fees", &o.fees.to_string())],
+            format!("{} market settles", regime.label()),
+        );
+        ctx.span_exit(&[("frauds", &t.frauds.to_string())]);
+        w.outcomes.push((regime, o));
+    }
 }
 
 fn fee_of(m: &Mediator) -> i64 {
@@ -116,16 +203,34 @@ fn fee_of(m: &Mediator) -> i64 {
     }
 }
 
-/// Run E7 and produce the report.
+/// Run E7 and produce the report. Each regime's 400 transactions run as a
+/// causal chain of burst events on the shared engine clock.
 pub fn run(seed: u64) -> ExperimentReport {
+    let regimes = [Regime::Unmediated, Regime::Escrow, Regime::Reputation, Regime::EscrowChoice];
+    let mut eng = Engine::new(MediationWorld::default(), seed);
+    for (i, regime) in regimes.into_iter().enumerate() {
+        // Each mediation regime is a root injection.
+        eng.schedule_at(SimTime::from_millis(i as u64), move |w: &mut MediationWorld, ctx| {
+            let mut market_rng = SimRng::seed_from_u64(seed).fork("e07");
+            let t = RegimeTally::new(&mut market_rng);
+            run_burst(w, ctx, regime, t, market_rng);
+        });
+    }
+    eng.run_to_completion();
+
     let mut table = Table::new(
         "Commerce among strangers (400 transactions, 25% of sellers fraudulent)",
         &["buyer net ($)", "attempted", "frauds", "mediator fees ($)"],
     );
-    let regimes = [Regime::Unmediated, Regime::Escrow, Regime::Reputation, Regime::EscrowChoice];
     let mut outcomes = Vec::new();
     for r in regimes {
-        let o = run_regime(r, seed);
+        let o = eng
+            .world
+            .outcomes
+            .iter()
+            .find(|(rr, _)| *rr == r)
+            .map(|(_, o)| o.clone())
+            .expect("every regime settles");
         table.push_row(
             r.label(),
             &[

@@ -13,6 +13,7 @@
 //! limitation, and whether disguised anonymity is detected.
 
 use tussle_core::{ExperimentReport, Table};
+use tussle_sim::{Engine, SimTime};
 use tussle_trust::identity::{AnonymityPolicy, IdentityFramework, IdentityScheme};
 
 /// Aggregate outcome for one identity scheme.
@@ -67,22 +68,60 @@ pub fn run_scheme(scheme: &IdentityScheme) -> IdentityOutcome {
     }
 }
 
-/// Run E8 and produce the report.
-pub fn run(_seed: u64) -> ExperimentReport {
-    let schemes: Vec<(&str, IdentityScheme)> = vec![
+/// World for the engine-driven replay: settled outcomes per scheme.
+#[derive(Default)]
+struct IdentityWorld {
+    outcomes: Vec<(&'static str, IdentityOutcome)>,
+}
+
+/// Run E8 and produce the report. The admission logic is pure; each scheme
+/// plays as a two-event causal chain (the sender presents credentials,
+/// then — after a seeded challenge lag — the receiver population rules) on
+/// the shared engine clock.
+pub fn run(seed: u64) -> ExperimentReport {
+    let schemes: Vec<(&'static str, IdentityScheme)> = vec![
         ("certified", IdentityScheme::Certified { id: 42, authority: 100 }),
         ("pseudonym", IdentityScheme::Pseudonym { key: 55 }),
         ("role (org 7)", IdentityScheme::Role { role: "purchasing".into(), org: 7 }),
         ("anonymous", IdentityScheme::Anonymous),
         ("forged tag", IdentityScheme::ForgedTag { fake: 9999 }),
     ];
+    let mut eng = Engine::new(IdentityWorld::default(), seed);
+    for (i, (label, scheme)) in schemes.iter().cloned().enumerate() {
+        // Each identity scheme's approach is a root injection.
+        eng.schedule_at(SimTime::from_millis(i as u64), move |_w: &mut IdentityWorld, ctx| {
+            ctx.span_enter("e8.present", Some("user"), &[("scheme", label)]);
+            let lag = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+            ctx.trace_fields(
+                "e8.challenge",
+                Some("provider"),
+                &[("lag_us", &lag.as_micros().to_string())],
+                format!("{label} credentials presented; receivers deliberate"),
+            );
+            ctx.span_exit(&[]);
+            ctx.schedule_in(lag, move |w2: &mut IdentityWorld, ctx2| {
+                ctx2.span_enter("e8.ruling", Some("provider"), &[("scheme", label)]);
+                let o = run_scheme(&scheme);
+                ctx2.span_exit(&[("reach", &format!("{:.2}", o.reach))]);
+                w2.outcomes.push((label, o));
+            });
+        });
+    }
+    eng.run_to_completion();
+
     let mut table = Table::new(
         "Reach by identity scheme (30 receivers: accept-all / refuse-anon / limit-anon)",
         &["reach", "limited", "disguise detected"],
     );
     let mut outcomes = Vec::new();
-    for (label, scheme) in &schemes {
-        let o = run_scheme(scheme);
+    for (label, _) in &schemes {
+        let o = eng
+            .world
+            .outcomes
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, o)| o.clone())
+            .expect("every scheme's ruling settles");
         table.push_row(
             label,
             &[

@@ -15,7 +15,7 @@
 
 use tussle_core::{ExperimentReport, Table};
 use tussle_econ::{InvestmentCase, Money};
-use tussle_sim::{obs, SimRng, SimTime};
+use tussle_sim::{Ctx, Engine, SimRng, SimTime};
 
 /// Deployment results for one cell of the factorial.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,37 +80,77 @@ pub fn run_closed(seed: u64) -> QosCell {
 /// Each ISP's board takes one virtual quarter-millisecond to evaluate the
 /// investment case; the factorial cells are laid out back-to-back on the
 /// virtual timeline so the run's flamegraph and activity series have a
-/// deterministic, seed-independent shape.
+/// deterministic shape (only the inter-cell lag is seeded).
 const EVAL_MICROS_PER_ISP: u64 = 250;
 
-/// Evaluate one cell inside an ambient observation span, advancing the
-/// virtual evaluation clock.
-fn timed_cell(at: &mut SimTime, topic: &str, vt: bool, pc: bool, seed: u64) -> QosCell {
-    obs::span_enter(
-        *at,
-        topic,
+/// World for the engine-driven replay: the factorial cells, then the
+/// closed-deployment corollary, settled in board-meeting order.
+#[derive(Default)]
+struct QosWorld {
+    cells: Vec<QosCell>,
+    closed: Option<QosCell>,
+}
+
+/// One board meeting as a pair of engine events: the span opens when the
+/// boards convene and closes one eval period later, so the run's
+/// flamegraph (`tests/golden/E10.collapsed`) keeps real virtual-time
+/// widths. Meetings chain sequentially — each close schedules the next
+/// cell after a seeded scheduling lag.
+fn board_meeting(_w: &mut QosWorld, ctx: &mut Ctx<QosWorld>, idx: usize, seed: u64) {
+    // The factorial in deployment order, then the closed corollary.
+    const FACTORIAL: [(bool, bool); 4] =
+        [(false, false), (true, false), (false, true), (true, true)];
+    let closed_round = idx >= FACTORIAL.len();
+    let (vt, pc) = if closed_round { (true, false) } else { FACTORIAL[idx] };
+    ctx.span_enter(
+        if closed_round { "e10.closed" } else { "e10.cell" },
         Some("isp"),
         &[("transfer", if vt { "+" } else { "-" }), ("choice", if pc { "+" } else { "-" })],
     );
-    let cell = run_cell(vt, pc, seed);
-    *at = at.saturating_add(SimTime::from_micros(EVAL_MICROS_PER_ISP * cell.isps as u64));
-    obs::span_exit(*at, &[("deployments", &cell.deployments.to_string())]);
-    cell
+    let cell = if closed_round { run_closed(seed) } else { run_cell(vt, pc, seed) };
+    let eval = SimTime::from_micros(EVAL_MICROS_PER_ISP * cell.isps as u64);
+    ctx.schedule_in(eval, move |w2: &mut QosWorld, ctx2| {
+        ctx2.span_exit(&[("deployments", &cell.deployments.to_string())]);
+        if closed_round {
+            ctx2.trace_fields(
+                "e10.settled",
+                Some("isp"),
+                &[("deployments", &cell.deployments.to_string())],
+                "closed-QoS corollary settles",
+            );
+            w2.closed = Some(cell);
+        } else {
+            let lag = SimTime::from_micros(ctx2.rng.range(100..5_000u64));
+            ctx2.trace_fields(
+                "e10.adjourn",
+                Some("isp"),
+                &[("lag_us", &lag.as_micros().to_string())],
+                format!("cell {idx} adjourns; next board convenes"),
+            );
+            w2.cells.push(cell);
+            ctx2.schedule_in(lag, move |w3: &mut QosWorld, ctx3| {
+                board_meeting(w3, ctx3, idx + 1, seed);
+            });
+        }
+    });
 }
 
-/// Run E10 and produce the report.
+/// Run E10 and produce the report. The five board meetings run as one
+/// sequential causal chain of engine events on the shared clock.
 pub fn run(seed: u64) -> ExperimentReport {
+    let mut eng = Engine::new(QosWorld::default(), seed);
+    // The first board meeting is the chain's root injection.
+    eng.schedule_at(SimTime::ZERO, move |w: &mut QosWorld, ctx| {
+        board_meeting(w, ctx, 0, seed);
+    });
+    eng.run_to_completion();
+
     let mut table = Table::new(
         "Open-QoS deployment across the fear/greed factorial (5 ISPs, cost $80-$140)",
         &["value transfer", "provider choice", "ISPs deploying"],
     );
-    let mut at = SimTime::ZERO;
-    let cells = [
-        timed_cell(&mut at, "e10.cell", false, false, seed),
-        timed_cell(&mut at, "e10.cell", true, false, seed),
-        timed_cell(&mut at, "e10.cell", false, true, seed),
-        timed_cell(&mut at, "e10.cell", true, true, seed),
-    ];
+    let cells = eng.world.cells;
+    assert_eq!(cells.len(), 4, "every factorial cell settles");
     for c in &cells {
         table.push_row(
             &format!(
@@ -125,10 +165,7 @@ pub fn run(seed: u64) -> ExperimentReport {
             ],
         );
     }
-    obs::span_enter(at, "e10.closed", Some("isp"), &[("transfer", "+"), ("choice", "-")]);
-    let closed = run_closed(seed);
-    at = at.saturating_add(SimTime::from_micros(EVAL_MICROS_PER_ISP * closed.isps as u64));
-    obs::span_exit(at, &[("deployments", &closed.deployments.to_string())]);
+    let closed = eng.world.closed.expect("the closed corollary settles");
     table.push_row(
         "closed QoS (vertical integration)",
         &["true".into(), "false".into(), format!("{}/{}", closed.deployments, closed.isps)],

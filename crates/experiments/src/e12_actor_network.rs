@@ -14,7 +14,7 @@
 
 use tussle_actors::{ActorKind, ActorNetwork, ChurnProcess, FreezeDetector};
 use tussle_core::{ExperimentReport, Table};
-use tussle_sim::SimRng;
+use tussle_sim::{Ctx, Engine, SimRng, SimTime};
 
 /// Outcome for one arrival rate.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,45 +29,135 @@ pub struct ChurnOutcome {
     pub final_durability: f64,
 }
 
-/// Run one arrival rate for `steps`.
-pub fn run_rate(rate: f64, steps: usize, seed: u64) -> ChurnOutcome {
-    let mut rng = SimRng::seed_from_u64(seed).fork("e12");
-    let mut net = ActorNetwork::new(3);
-    // the founding population: users, an ISP, the protocol suite, a law
-    let users = net.add_actor(ActorKind::Human, "users", vec![0.9, -0.4, 0.1]);
-    let isp = net.add_actor(ActorKind::Institution, "isp", vec![-0.8, 0.6, 0.0]);
-    let ip = net.add_actor(ActorKind::Technology, "ip", vec![0.0, 0.0, 0.0]);
-    let law = net.add_actor(ActorKind::Institution, "telecom-law", vec![-0.2, 0.8, -0.5]);
-    net.align(users, ip, 0.7);
-    net.align(isp, ip, 0.7);
-    net.align(isp, law, 0.5);
-    net.align(users, isp, 0.4);
+/// One rate's evolving network, threaded through its event chain.
+struct RateTally {
+    net: ActorNetwork,
+    churn: ChurnProcess,
+    det: FreezeDetector,
+    done: usize,
+}
 
-    let mut churn = ChurnProcess::new(rate);
-    let mut det = FreezeDetector::new(0.05, 25);
-    for _ in 0..steps {
-        let admitted = churn.step(&mut net, &mut rng);
-        det.observe(admitted, net.tussle_energy());
-    }
-    ChurnOutcome {
-        entrants: churn.entrants(),
-        frozen_at: det.frozen_at(),
-        final_energy: net.tussle_energy(),
-        final_durability: net.durability(),
+impl RateTally {
+    fn new(rate: f64) -> Self {
+        let mut net = ActorNetwork::new(3);
+        // the founding population: users, an ISP, the protocol suite, a law
+        let users = net.add_actor(ActorKind::Human, "users", vec![0.9, -0.4, 0.1]);
+        let isp = net.add_actor(ActorKind::Institution, "isp", vec![-0.8, 0.6, 0.0]);
+        let ip = net.add_actor(ActorKind::Technology, "ip", vec![0.0, 0.0, 0.0]);
+        let law = net.add_actor(ActorKind::Institution, "telecom-law", vec![-0.2, 0.8, -0.5]);
+        net.align(users, ip, 0.7);
+        net.align(isp, ip, 0.7);
+        net.align(isp, law, 0.5);
+        net.align(users, isp, 0.4);
+        RateTally {
+            net,
+            churn: ChurnProcess::new(rate),
+            det: FreezeDetector::new(0.05, 25),
+            done: 0,
+        }
     }
 }
 
-/// Run E12 and produce the report.
+/// Advance the network `n` churn steps, feeding the freeze detector.
+fn churn_batch(t: &mut RateTally, n: usize, rng: &mut SimRng) {
+    for _ in 0..n {
+        let admitted = t.churn.step(&mut t.net, rng);
+        t.det.observe(admitted, t.net.tussle_energy());
+    }
+    t.done += n;
+}
+
+fn outcome_of(t: &RateTally) -> ChurnOutcome {
+    ChurnOutcome {
+        entrants: t.churn.entrants(),
+        frozen_at: t.det.frozen_at(),
+        final_energy: t.net.tussle_energy(),
+        final_durability: t.net.durability(),
+    }
+}
+
+/// Run one arrival rate for `steps` (the pure loop the unit tests drive;
+/// [`run`] replays it as paced engine-event epochs).
+pub fn run_rate(rate: f64, steps: usize, seed: u64) -> ChurnOutcome {
+    let mut rng = SimRng::seed_from_u64(seed).fork("e12");
+    let mut t = RateTally::new(rate);
+    churn_batch(&mut t, steps, &mut rng);
+    outcome_of(&t)
+}
+
+/// World for the engine-driven replay: settled outcomes per rate. Rates
+/// are keyed by their table label to avoid float comparisons.
+#[derive(Default)]
+struct ChurnWorld {
+    outcomes: Vec<(String, ChurnOutcome)>,
+}
+
+/// Churn steps per epoch event in the engine replay.
+const EPOCH: usize = 150;
+/// Total churn steps per rate.
+const STEPS: usize = 600;
+
+/// One churn epoch as an engine event, chaining to the next epoch.
+fn run_epoch(w: &mut ChurnWorld, ctx: &mut Ctx<ChurnWorld>, rate: f64, mut t: RateTally) {
+    let label = format!("rate={rate}");
+    ctx.span_enter(
+        "e12.epoch",
+        Some("society"),
+        &[("rate", &rate.to_string()), ("done", &t.done.to_string())],
+    );
+    let n = EPOCH.min(STEPS - t.done);
+    churn_batch(&mut t, n, ctx.rng);
+    if t.done < STEPS {
+        let lag = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+        ctx.trace_fields(
+            "e12.pacing",
+            Some("society"),
+            &[("lag_us", &lag.as_micros().to_string())],
+            format!("{} steps churned; next epoch follows", t.done),
+        );
+        ctx.span_exit(&[("entrants", &t.churn.entrants().to_string())]);
+        ctx.schedule_in(lag, move |w2: &mut ChurnWorld, ctx2| {
+            run_epoch(w2, ctx2, rate, t);
+        });
+    } else {
+        let o = outcome_of(&t);
+        ctx.trace_fields(
+            "e12.settled",
+            Some("society"),
+            &[("frozen", &o.frozen_at.is_some().to_string())],
+            format!("{label} evolution settles"),
+        );
+        ctx.span_exit(&[("entrants", &o.entrants.to_string())]);
+        w.outcomes.push((label, o));
+    }
+}
+
+/// Run E12 and produce the report. Each arrival rate's 600 churn steps run
+/// as a causal chain of epoch events on the shared engine clock.
 pub fn run(seed: u64) -> ExperimentReport {
-    let steps = 600;
     let rates = [0.0, 0.05, 0.5, 2.0];
+    let mut eng = Engine::new(ChurnWorld::default(), seed);
+    for (i, rate) in rates.into_iter().enumerate() {
+        // Each arrival rate is a root injection.
+        eng.schedule_at(SimTime::from_millis(i as u64), move |w: &mut ChurnWorld, ctx| {
+            run_epoch(w, ctx, rate, RateTally::new(rate));
+        });
+    }
+    eng.run_to_completion();
+
     let mut table = Table::new(
         "Actor-network evolution vs. entrant arrival rate (600 steps)",
         &["entrants", "frozen at step", "final tussle energy", "final durability"],
     );
     let mut outcomes = Vec::new();
     for rate in rates {
-        let o = run_rate(rate, steps, seed);
+        let o = eng
+            .world
+            .outcomes
+            .iter()
+            .find(|(l, _)| *l == format!("rate={rate}"))
+            .map(|(_, o)| o.clone())
+            .expect("every rate settles");
         table.push_row(
             &format!("rate={rate}"),
             &[

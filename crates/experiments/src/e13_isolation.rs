@@ -18,7 +18,7 @@ use tussle_core::{principles::spillover, ExperimentReport, Table};
 use tussle_net::addr::{Address, AddressOrigin, Prefix};
 use tussle_net::packet::{ports, Packet, Protocol};
 use tussle_net::qos::{QosPolicy, ServiceClass};
-use tussle_sim::SimRng;
+use tussle_sim::{Ctx, Engine, SimRng, SimTime};
 
 /// Outcome for one (design, encryption-adoption) point.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,14 +34,13 @@ fn addr(v: u32) -> Address {
 }
 
 /// Classify `n` premium VoIP flows (ToS set, encryption per adoption rate)
-/// and `n` disguised bulk flows under a policy.
-pub fn run_point(
+/// and `n` disguised bulk flows under a policy, drawing from `rng`.
+pub fn point_outcome(
     policy: &QosPolicy,
     encryption_adoption: f64,
     n: usize,
-    seed: u64,
+    rng: &mut SimRng,
 ) -> IsolationOutcome {
-    let mut rng = SimRng::seed_from_u64(seed).fork("e13");
     let mut honored = 0usize;
     let mut stolen = 0usize;
     for _ in 0..n {
@@ -80,32 +79,98 @@ pub fn run_point(
     }
 }
 
-/// Run E13 and produce the report.
+/// [`point_outcome`] with a self-seeded stream — the pure entry the unit
+/// tests drive; [`run`] replays the grid as engine events.
+pub fn run_point(
+    policy: &QosPolicy,
+    encryption_adoption: f64,
+    n: usize,
+    seed: u64,
+) -> IsolationOutcome {
+    let mut rng = SimRng::seed_from_u64(seed).fork("e13");
+    point_outcome(policy, encryption_adoption, n, &mut rng)
+}
+
+/// World for the engine-driven replay: per design, outcomes in adoption
+/// order.
+#[derive(Default)]
+struct IsolationWorld {
+    tos_points: Vec<IsolationOutcome>,
+    port_points: Vec<IsolationOutcome>,
+}
+
+/// Flows per grid point.
+const N_FLOWS: usize = 500;
+/// The encryption-adoption sweep, in spreading order.
+const ADOPTIONS: [f64; 3] = [0.0, 0.5, 1.0];
+
+/// One (design, adoption) grid point as an engine event. Adoption spreads
+/// causally: each point schedules the next adoption level after a seeded
+/// deployment lag.
+fn run_adoption(
+    w: &mut IsolationWorld,
+    ctx: &mut Ctx<IsolationWorld>,
+    tos_keyed: bool,
+    idx: usize,
+) {
+    let a = ADOPTIONS[idx];
+    let design = if tos_keyed { "tos" } else { "port" };
+    ctx.span_enter(
+        "e13.point",
+        Some("user"),
+        &[("design", design), ("adoption", &format!("{:.0}%", a * 100.0))],
+    );
+    let policy = if tos_keyed {
+        QosPolicy::tos_based(4, 0.5)
+    } else {
+        QosPolicy::port_based(vec![ports::VOIP], 0.5)
+    };
+    let o = point_outcome(&policy, a, N_FLOWS, ctx.rng);
+    ctx.span_exit(&[("honored", &format!("{:.2}", o.premium_honored))]);
+    if tos_keyed { &mut w.tos_points } else { &mut w.port_points }.push(o);
+    if idx + 1 < ADOPTIONS.len() {
+        let lag = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+        ctx.trace_fields(
+            "e13.spread",
+            Some("user"),
+            &[("lag_us", &lag.as_micros().to_string())],
+            format!("{design}-keyed: encryption adoption spreads past {:.0}%", a * 100.0),
+        );
+        ctx.schedule_in(lag, move |w2: &mut IsolationWorld, ctx2| {
+            run_adoption(w2, ctx2, tos_keyed, idx + 1);
+        });
+    }
+}
+
+/// Run E13 and produce the report. Each classifier design's adoption sweep
+/// runs as a causal chain of engine events on the shared clock.
 pub fn run(seed: u64) -> ExperimentReport {
-    let n = 500;
-    let tos = QosPolicy::tos_based(4, 0.5);
-    let port = QosPolicy::port_based(vec![ports::VOIP], 0.5);
-    let adoptions = [0.0, 0.5, 1.0];
+    let mut eng = Engine::new(IsolationWorld::default(), seed);
+    for (i, tos_keyed) in [true, false].into_iter().enumerate() {
+        // Each classifier design is a root injection.
+        eng.schedule_at(SimTime::from_millis(i as u64), move |w: &mut IsolationWorld, ctx| {
+            run_adoption(w, ctx, tos_keyed, 0);
+        });
+    }
+    eng.run_to_completion();
 
     let mut table = Table::new(
         "Premium honored for paying VoIP flows vs. encryption adoption (500 flows)",
         &["ToS-keyed honored", "port-keyed honored", "port-keyed stolen by masquerade"],
     );
-    let mut tos_points = Vec::new();
-    let mut port_points = Vec::new();
-    for a in adoptions {
-        let t = run_point(&tos, a, n, seed);
-        let p = run_point(&port, a, n, seed);
+    let tos_points = eng.world.tos_points;
+    let port_points = eng.world.port_points;
+    assert_eq!(tos_points.len(), ADOPTIONS.len(), "every grid point settles");
+    assert_eq!(port_points.len(), ADOPTIONS.len(), "every grid point settles");
+    for (i, a) in ADOPTIONS.into_iter().enumerate() {
         table.push_row(
             &format!("encryption {:.0}%", a * 100.0),
             &[
-                format!("{:.2}", t.premium_honored),
-                format!("{:.2}", p.premium_honored),
-                format!("{:.2}", p.premium_stolen),
+                format!("{:.2}", tos_points[i].premium_honored),
+                format!("{:.2}", port_points[i].premium_honored),
+                format!("{:.2}", port_points[i].premium_stolen),
             ],
         );
-        tos_points.push(t);
-        port_points.push(p);
     }
 
     // spillover of the privacy tussle into the QoS space, per design

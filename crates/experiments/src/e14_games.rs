@@ -17,12 +17,11 @@ use tussle_game::auction::truthful_vs_deviation;
 use tussle_game::repeated::CongestionGame;
 use tussle_game::solve::is_nash;
 use tussle_game::{FictitiousPlay, Game};
-use tussle_sim::SimRng;
+use tussle_sim::{Ctx, Engine, SimRng, SimTime};
 
-/// Vickrey truthfulness over random profiles: count of profitable
-/// deviations found (paper prediction: zero).
-pub fn vickrey_violations(trials: usize, seed: u64) -> usize {
-    let mut rng = SimRng::seed_from_u64(seed).fork("e14-vickrey");
+/// Vickrey truthfulness over random profiles drawn from `rng`: count of
+/// profitable deviations found (paper prediction: zero).
+pub fn vickrey_deviations(trials: usize, rng: &mut SimRng) -> usize {
     let mut violations = 0;
     for _ in 0..trials {
         let n_others = rng.range(1..5usize);
@@ -35,6 +34,12 @@ pub fn vickrey_violations(trials: usize, seed: u64) -> usize {
         }
     }
     violations
+}
+
+/// [`vickrey_deviations`] with a self-seeded stream (the unit-test entry).
+pub fn vickrey_violations(trials: usize, seed: u64) -> usize {
+    let mut rng = SimRng::seed_from_u64(seed).fork("e14-vickrey");
+    vickrey_deviations(trials, &mut rng)
 }
 
 /// Final defector share of the congestion game at a given social-pressure
@@ -53,24 +58,102 @@ pub fn matching_pennies_error(rounds: u64) -> f64 {
     (fp.row_empirical()[0] - 0.5).abs().max((fp.col_empirical()[0] - 0.5).abs())
 }
 
-/// Run E14 and produce the report.
-pub fn run(seed: u64) -> ExperimentReport {
-    let trials = 2_000;
-    let violations = vickrey_violations(trials, seed);
+/// The social-pressure sweep for the congestion game.
+const PRESSURES: [f64; 4] = [0.0, 0.3, 0.8, 1.5];
+/// Vickrey profiles sampled.
+const TRIALS: usize = 2_000;
 
-    let pressures = [0.0, 0.3, 0.8, 1.5];
-    let defection: Vec<f64> = pressures.iter().map(|p| compliance_at(*p)).collect();
+/// World for the engine-driven replay: the three sub-games' results.
+#[derive(Default)]
+struct GameWorld {
+    violations: Option<usize>,
+    defection: Vec<f64>,
+    fp_error: Option<f64>,
+    coord: Option<(f64, bool)>,
+}
 
-    let fp_error = matching_pennies_error(20_000);
-    let coord = {
+/// One congestion-game pressure level as a span carried across two engine
+/// events (enter → evolve → exit after a seeded settling period), chaining
+/// to the next level; the last level hands off to the learning sub-game.
+fn pressure_level(w: &mut GameWorld, ctx: &mut Ctx<GameWorld>, idx: usize) {
+    let p = PRESSURES[idx];
+    ctx.span_enter("e14.congestion", Some("user"), &[("pressure", &p.to_string())]);
+    let d = compliance_at(p);
+    w.defection.push(d);
+    let settle = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+    ctx.trace_fields(
+        "e14.evolved",
+        Some("user"),
+        &[("defectors", &format!("{d:.3}")), ("lag_us", &settle.as_micros().to_string())],
+        format!("pressure {p}: defector share settles at {d:.3}"),
+    );
+    ctx.schedule_in(settle, move |w2: &mut GameWorld, ctx2| {
+        ctx2.span_exit(&[("defectors", &format!("{:.3}", w2.defection[idx]))]);
+        if idx + 1 < PRESSURES.len() {
+            pressure_level(w2, ctx2, idx + 1);
+        } else {
+            learning_phase(w2, ctx2);
+        }
+    });
+}
+
+/// The learning-dynamics sub-game: matching pennies, then the coordination
+/// game, each under its own span on the virtual timeline.
+fn learning_phase(w: &mut GameWorld, ctx: &mut Ctx<GameWorld>) {
+    ctx.span_enter("e14.learning", Some("society"), &[("game", "matching-pennies")]);
+    w.fp_error = Some(matching_pennies_error(20_000));
+    let settle = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+    ctx.schedule_in(settle, move |w2: &mut GameWorld, ctx2| {
+        ctx2.span_exit(&[("error", &format!("{:.3}", w2.fp_error.unwrap_or(1.0)))]);
+        ctx2.span_enter("e14.learning", Some("society"), &[("game", "coordination")]);
         let g = Game::coordination(vec![1.0, 3.0]);
         let mut fp = FictitiousPlay::new(g.clone());
         fp.run(5_000);
         let x = fp.row_empirical();
         let y = fp.col_empirical();
         let nash = is_nash(&g, &x, &y, 0.05);
-        (x[1], nash)
-    };
+        w2.coord = Some((x[1], nash));
+        let settle2 = SimTime::from_micros(ctx2.rng.range(100..5_000u64));
+        ctx2.schedule_in(settle2, move |w3: &mut GameWorld, ctx3| {
+            ctx3.span_exit(&[("dominant_mass", &format!("{:.3}", w3.coord.map_or(0.0, |c| c.0)))]);
+            ctx3.trace("e14.settled", "all three sub-games settled");
+        });
+    });
+}
+
+/// Run E14 and produce the report. The three sub-games run as one
+/// sequential causal chain — Vickrey auctions, the congestion-compliance
+/// sweep, then learning dynamics — so the run's flamegraph
+/// (`tests/golden/E14.collapsed`) shows the spans in phase order with real
+/// virtual-time widths.
+pub fn run(seed: u64) -> ExperimentReport {
+    let mut eng = Engine::new(GameWorld::default(), seed);
+    // The Vickrey phase is the chain's root injection.
+    eng.schedule_at(SimTime::ZERO, move |w: &mut GameWorld, ctx| {
+        ctx.span_enter("e14.vickrey", Some("provider"), &[("trials", &TRIALS.to_string())]);
+        let v = vickrey_deviations(TRIALS, ctx.rng);
+        w.violations = Some(v);
+        let settle = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+        ctx.trace_fields(
+            "e14.audited",
+            Some("provider"),
+            &[("violations", &v.to_string()), ("lag_us", &settle.as_micros().to_string())],
+            format!("{v} profitable deviations in {TRIALS} sampled profiles"),
+        );
+        ctx.schedule_in(settle, move |w2: &mut GameWorld, ctx2| {
+            ctx2.span_exit(&[("violations", &w2.violations.unwrap_or(0).to_string())]);
+            pressure_level(w2, ctx2, 0);
+        });
+    });
+    eng.run_to_completion();
+
+    let trials = TRIALS;
+    let violations = eng.world.violations.expect("the Vickrey phase settles");
+    let pressures = PRESSURES;
+    let defection = eng.world.defection;
+    assert_eq!(defection.len(), pressures.len(), "every pressure level settles");
+    let fp_error = eng.world.fp_error.expect("matching pennies settles");
+    let coord = eng.world.coord.expect("the coordination game settles");
 
     let mut table = Table::new("Game-theoretic substrate checks", &["metric", "value"]);
     table.push_row(

@@ -17,6 +17,7 @@
 use tussle_core::{ExperimentReport, Table};
 use tussle_econ::payments::{best_instrument, viable, Instrument};
 use tussle_econ::Money;
+use tussle_sim::{Ctx, Engine, SimTime};
 
 /// Outcome at one payment size.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,21 +47,60 @@ pub fn run_point(amount: Money) -> PaymentPoint {
     }
 }
 
-/// Run E15 and produce the report.
-pub fn run(_seed: u64) -> ExperimentReport {
-    let sizes = [
-        Money(1_000),             // $0.001 — the micropayment dream
-        Money(10_000),            // $0.01
-        Money(250_000),           // $0.25 — a song snippet
-        Money::from_dollars(1),   // $1
-        Money::from_dollars(10),  // $10
-        Money::from_dollars(100), // $100
-    ];
+/// The payment sizes swept, smallest first.
+const SIZES: [Money; 6] = [
+    Money(1_000),       // $0.001 — the micropayment dream
+    Money(10_000),      // $0.01
+    Money(250_000),     // $0.25 — a song snippet
+    Money(1_000_000),   // $1
+    Money(10_000_000),  // $10
+    Money(100_000_000), // $100
+];
+
+/// World for the engine-driven replay: points settle in size order.
+#[derive(Default)]
+struct PaymentWorld {
+    points: Vec<PaymentPoint>,
+}
+
+/// One payment size as an engine event, chaining up-market to the next.
+fn run_size(w: &mut PaymentWorld, ctx: &mut Ctx<PaymentWorld>, idx: usize) {
+    let amount = SIZES[idx];
+    ctx.span_enter("e15.size", Some("provider"), &[("amount", &amount.to_string())]);
+    let p = run_point(amount);
+    ctx.span_exit(&[("winner", &format!("{:?}", p.winner_protected))]);
+    w.points.push(p);
+    if idx + 1 < SIZES.len() {
+        let lag = SimTime::from_micros(ctx.rng.range(100..5_000u64));
+        ctx.trace_fields(
+            "e15.upmarket",
+            Some("provider"),
+            &[("lag_us", &lag.as_micros().to_string())],
+            format!("{amount} settled; the market moves up a size band"),
+        );
+        ctx.schedule_in(lag, move |w2: &mut PaymentWorld, ctx2| {
+            run_size(w2, ctx2, idx + 1);
+        });
+    }
+}
+
+/// Run E15 and produce the report. The instrument economics are pure; the
+/// size sweep runs as one causal chain of engine events on the shared
+/// clock, smallest payment first.
+pub fn run(seed: u64) -> ExperimentReport {
+    let mut eng = Engine::new(PaymentWorld::default(), seed);
+    // The smallest size opens the chain as its root injection.
+    eng.schedule_at(SimTime::ZERO, |w: &mut PaymentWorld, ctx| {
+        run_size(w, ctx, 0);
+    });
+    eng.run_to_completion();
+
     let mut table = Table::new(
         "Best payment instrument by transaction size",
         &["protected winner", "unprotected winner", "overhead ratio", "viable at all"],
     );
-    let points: Vec<PaymentPoint> = sizes.iter().map(|s| run_point(*s)).collect();
+    let points = eng.world.points;
+    assert_eq!(points.len(), SIZES.len(), "every size band settles");
     for p in &points {
         table.push_row(
             &p.amount.to_string(),

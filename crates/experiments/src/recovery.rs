@@ -1,31 +1,34 @@
 //! Crash-injection recovery oracle: resume must equal never-crashed.
 //!
 //! For every `(experiment, seed, kill point)` cell the harness runs the
-//! experiment three times:
+//! experiment three times, all three on the same index space — the
+//! engine-event cursor (every experiment drives the engine, so the cursor
+//! is a universal kill surface):
 //!
 //! 1. **Golden** — uninterrupted, under a cost observation scope. Its
 //!    final report (cost digest, rng draw count, forwards included) is the
-//!    ground truth, and its event count bounds the kill cursor.
+//!    ground truth, and its engine-event count bounds the kill cursor.
 //! 2. **Crash** — under a checkpoint scope capturing every `every` events,
-//!    with an injected panic at a seeded random *step* index (engine
-//!    events, rng draws and packet forwards all advance the step counter,
-//!    so the crash surface covers experiments that drive the network or
-//!    game substrate directly without an engine). The PR 2
-//!    panic isolation ([`crate::run_isolated`]) catches the crash; the
-//!    checkpoint guard is held *outside* that boundary, so the snapshots
-//!    survive the death.
+//!    with an injected panic at a seeded random engine-event index. The
+//!    PR 2 panic isolation ([`crate::run_isolated`]) catches the crash;
+//!    the checkpoint guard is held *outside* that boundary, so the
+//!    snapshots survive the death.
 //! 3. **Resume** — a successor process's replay: the run restarts from its
-//!    deterministic inputs and, when it reaches the latest checkpoint's
-//!    cursor, the scope verifies every recorded field byte-exactly
+//!    deterministic inputs and, when the event cursor reaches the latest
+//!    checkpoint's, the scope verifies every recorded field byte-exactly
 //!    (rng seed + stream position, queue shape, trace digest, substrate
 //!    digests) and then fires the engine's restore hook, invalidating the
 //!    route memo exactly as a real restore would. The resumed report must
 //!    equal the golden byte-for-byte.
 //!
-//! The third run is the oracle's active probe of the cache-invisibility
-//! invariant (DESIGN.md §7): the resume bumps the network's topology
-//! generation mid-run where the golden never did, so any cached state that
-//! leaks into behavior shows up as `identical == false`.
+//! The resume is the oracle's active probe of the cache-invisibility
+//! invariant (DESIGN.md §7): it bumps the network's topology generation
+//! mid-run where the golden never did, so any cached state that leaks
+//! into behavior shows up as `identical == false`. An event-free golden
+//! (possible only for synthetic entries injected by tests — every
+//! registry experiment schedules events) short-circuits to a vacuous
+//! no-kill cell without the extra replay the old observable-step design
+//! needed.
 //!
 //! ## Determinism
 //!
@@ -190,16 +193,17 @@ pub fn run_recovery_entries(
     })
 }
 
-/// The kill step for one cell: a seeded random step index in
-/// `1..=golden_steps`, decorrelated across experiments, seeds and kill
-/// points. `None` when the golden run took no observable steps (engine
-/// events + rng draws + forwards), so there is nowhere to crash.
-fn kill_step(name: &str, seed: u64, kill_point: u64, golden_steps: u64) -> Option<u64> {
-    if golden_steps == 0 {
+/// The kill event for one cell: a seeded random engine-event index in
+/// `1..=golden_events`, decorrelated across experiments, seeds and kill
+/// points. `None` when the golden run processed no engine events (only
+/// possible for synthetic event-free entries), so there is nowhere to
+/// crash.
+fn kill_event(name: &str, seed: u64, kill_point: u64, golden_events: u64) -> Option<u64> {
+    if golden_events == 0 {
         return None;
     }
     let mut rng = SimRng::seed_from_u64(seed).fork(&format!("recovery:{name}:{kill_point}"));
-    Some(rng.range(1..=golden_steps))
+    Some(rng.range(1..=golden_events))
 }
 
 /// Run one `(experiment, seed, kill point)` cell: golden, crash, resume.
@@ -215,7 +219,7 @@ fn run_cell(
         seed,
         kill_point,
         kill_at: None,
-        golden_steps: 0,
+        golden_events: 0,
         checkpoints: 0,
         resumed_from: 0,
         crashed: false,
@@ -230,19 +234,16 @@ fn run_cell(
         cell.detail = format!("golden run panicked: {}", golden.summary);
         return cell;
     }
-    cell.golden_steps = golden.cost.as_ref().map_or(0, |c| c.events + c.rng_draws + c.forwards);
-    cell.kill_at = kill_step(name, seed, kill_point, cell.golden_steps);
+    cell.golden_events = golden.cost.as_ref().map_or(0, |c| c.events);
+    cell.kill_at = kill_event(name, seed, kill_point, cell.golden_events);
 
     let Some(kill_at) = cell.kill_at else {
-        // Nothing to crash: the experiment is pure computation with no
-        // observable steps. The cell still proves the scope is harmless
-        // around such runs.
-        let (rerun, _) = crate::run_isolated(name, run, seed);
+        // Nothing to crash: the run scheduled no engine events (a synthetic
+        // test entry — every registry experiment schedules events). The
+        // cell is vacuously recovered; the golden already proved the run
+        // completes, so no extra replay is performed.
         cell.verified = true;
-        cell.identical = rerun == golden;
-        if !cell.identical {
-            cell.detail = "event-free rerun differed from golden".to_owned();
-        }
+        cell.identical = true;
         return cell;
     };
 
@@ -260,8 +261,8 @@ fn run_cell(
     cell.checkpoints = crash.snapshots.len() as u64;
     if !cell.crashed {
         cell.detail = format!(
-            "injected crash did not fire (killed_at {:?}, steps {})",
-            crash.killed_at, crash.steps
+            "injected crash did not fire (killed_at {:?}, events {})",
+            crash.killed_at, crash.cursor
         );
         return cell;
     }
@@ -403,14 +404,14 @@ mod tests {
 
     #[test]
     fn networked_experiment_recovers_from_an_injected_crash() {
-        // E4 forwards thousands of packets directly (no engine), so the
-        // crash lands mid-forwarding-loop and the resume is a genesis
-        // replay held to byte-exact equality.
+        // E4 schedules its forwarding bursts as chained engine events, so
+        // the crash lands mid-chain and the resume is a genesis replay
+        // held to byte-exact equality.
         let report = run_recovery(&quick(1, 2, 200, &["E4"])).unwrap();
         assert_eq!(report.cells.len(), 2);
         for cell in &report.cells {
             assert!(cell.crashed, "kill at {:?} never fired: {}", cell.kill_at, cell.detail);
-            assert!(cell.golden_steps > 0);
+            assert!(cell.golden_events > 0);
             assert!(cell.verified, "{}", cell.detail);
             assert!(cell.identical, "{}", cell.detail);
         }
@@ -418,20 +419,47 @@ mod tests {
     }
 
     #[test]
-    fn step_free_experiment_yields_a_no_kill_cell() {
-        // E1 is pure accounting: no engine events, no rng draws, no
-        // forwards — nothing to crash.
+    fn formerly_loop_driven_experiment_now_presents_a_kill_surface() {
+        // E1 was pure accounting before the engine migration; it now
+        // schedules its regimes as engine events and must crash + recover
+        // like every other registry experiment.
         let report = run_recovery(&quick(1, 1, 100, &["E1"])).unwrap();
         let cell = &report.cells[0];
+        assert!(cell.kill_at.is_some());
+        assert!(cell.golden_events > 0);
+        assert!(cell.crashed, "{}", cell.detail);
+        assert!(cell.recovered(), "{}", cell.detail);
+    }
+
+    #[test]
+    fn event_free_synthetic_entry_yields_a_vacuous_no_kill_cell() {
+        // An experiment that never touches the engine has no kill surface;
+        // the cell is vacuously recovered with no extra replay.
+        fn pure(_seed: u64) -> tussle_core::ExperimentReport {
+            tussle_core::ExperimentReport {
+                id: "EX".into(),
+                section: "—".into(),
+                paper_claim: String::new(),
+                summary: String::new(),
+                table: tussle_core::Table::new("t", &[]),
+                shape_holds: true,
+                cost: None,
+                scoreboard: None,
+            }
+        }
+        let entries: Vec<ExperimentEntry> = vec![("EX", pure)];
+        let report = run_recovery_entries(&entries, &quick(1, 1, 100, &[])).unwrap();
+        let cell = &report.cells[0];
         assert_eq!(cell.kill_at, None);
-        assert_eq!(cell.golden_steps, 0);
+        assert_eq!(cell.golden_events, 0);
         assert!(!cell.crashed);
         assert!(cell.recovered(), "{}", cell.detail);
     }
 
     #[test]
     fn rng_driven_experiment_crashes_mid_draw_and_recovers() {
-        // E14's only observable steps are rng draws inside game loops.
+        // E14's rng draws happen inside engine-event handlers, so the
+        // event cursor brackets every draw the games make.
         let report = run_recovery(&quick(1, 1, 100, &["E14"])).unwrap();
         let cell = &report.cells[0];
         assert!(cell.crashed, "{}", cell.detail);
@@ -439,16 +467,16 @@ mod tests {
     }
 
     #[test]
-    fn kill_steps_are_seeded_and_in_range() {
-        let a = kill_step("E4", 1, 0, 1000);
-        assert_eq!(a, kill_step("E4", 1, 0, 1000), "deterministic");
-        assert_ne!(a, kill_step("E4", 1, 1, 1000), "kill points decorrelate");
-        assert_ne!(a, kill_step("E5", 1, 0, 1000), "experiments decorrelate");
+    fn kill_events_are_seeded_and_in_range() {
+        let a = kill_event("E4", 1, 0, 1000);
+        assert_eq!(a, kill_event("E4", 1, 0, 1000), "deterministic");
+        assert_ne!(a, kill_event("E4", 1, 1, 1000), "kill points decorrelate");
+        assert_ne!(a, kill_event("E5", 1, 0, 1000), "experiments decorrelate");
         for k in 0..50 {
-            let c = kill_step("E4", 7, k, 10).unwrap();
+            let c = kill_event("E4", 7, k, 10).unwrap();
             assert!((1..=10).contains(&c));
         }
-        assert_eq!(kill_step("E4", 1, 0, 0), None);
+        assert_eq!(kill_event("E4", 1, 0, 0), None);
     }
 
     #[test]
@@ -463,15 +491,16 @@ mod tests {
 
     #[test]
     fn resume_from_snapshot_replays_and_verifies() {
-        // E9 drives a real engine, so checkpoints exist. Find its step
-        // count, crash at the last step (every earlier event is already
-        // checkpointed), then resume from the latest snapshot the way the
-        // CLI would.
+        // Find E9's event count, crash at the last event (every earlier
+        // event is already checkpointed), then resume from the latest
+        // snapshot the way the CLI would.
         let (golden, _) = crate::run_isolated("E9", crate::e09_encryption::run, 3);
-        let steps = golden.cost.as_ref().map(|c| c.events + c.rng_draws + c.forwards).unwrap();
-        assert!(steps > 0, "E9 must take observable steps");
+        let events = golden.cost.as_ref().map(|c| c.events).unwrap();
+        assert!(events > 0, "E9 must process engine events");
         let guard = checkpoint::begin(
-            CheckpointConfig::new(CheckpointPolicy::every_n_events(1)).kill_at(steps).meta("E9", 3),
+            CheckpointConfig::new(CheckpointPolicy::every_n_events(1))
+                .kill_at(events)
+                .meta("E9", 3),
         );
         let (_report, panicked) = crate::run_isolated("E9", crate::e09_encryption::run, 3);
         let record = guard.finish();

@@ -9,9 +9,9 @@
 use proptest::prelude::*;
 use tussle_experiments::{registry, run_recovery_entries, RecoveryConfig};
 
-/// Experiments with distinct step surfaces that run fast enough for a
-/// property sweep: engine-driven (E9), forward-heavy (E4, E5), and
-/// rng-draw-heavy (E14).
+/// Experiments with distinct event surfaces that run fast enough for a
+/// property sweep: natively engine-driven (E9), forward-heavy burst
+/// chains (E4, E5), and rng-draw-heavy game phases (E14).
 const SUBJECTS: [&str; 4] = ["E4", "E5", "E9", "E14"];
 
 proptest! {
@@ -44,11 +44,11 @@ proptest! {
             "unrecovered cells: {:#?}",
             report.failures().collect::<Vec<_>>()
         );
-        // These subjects all have a step surface, so injection must bite.
+        // Every subject schedules engine events, so injection must bite.
         for cell in &report.cells {
             prop_assert!(cell.crashed, "{} seed {} never crashed", cell.id, cell.seed);
             prop_assert!(cell.kill_at.is_some());
-            prop_assert!(cell.golden_steps > 0);
+            prop_assert!(cell.golden_events > 0);
         }
     }
 }

@@ -1,10 +1,10 @@
 //! The recovery oracle across the full experiment registry.
 //!
 //! Every experiment is run three ways per cell — uninterrupted golden,
-//! crash-injected at a seeded step, and resumed from the last surviving
-//! checkpoint — and the resumed report must be byte-identical to the
-//! golden. The sweep must also be deterministic in the thread grid: the
-//! same report JSON regardless of worker count.
+//! crash-injected at a seeded engine-event index, and resumed from the
+//! last surviving checkpoint — and the resumed report must be
+//! byte-identical to the golden. The sweep must also be deterministic in
+//! the thread grid: the same report JSON regardless of worker count.
 
 use tussle_experiments::{registry, run_recovery, RecoveryConfig};
 
@@ -24,17 +24,14 @@ fn every_experiment_recovers_across_the_default_sweep() {
         report.failures().collect::<Vec<_>>()
     );
 
-    // Crash injection actually bites: most experiments have a step
-    // surface (engine events, rng draws, or packet forwards), and every
-    // such cell must have crashed mid-run before recovering.
+    // Crash injection bites everywhere: every registry experiment now
+    // schedules engine events, so no cell is vacuous and every cell must
+    // have crashed mid-run before recovering.
     let crashed = report.cells.iter().filter(|c| c.crashed).count();
     let vacuous = report.cells.iter().filter(|c| c.kill_at.is_none()).count();
-    assert!(
-        crashed >= report.cells.len() / 2,
-        "only {crashed} of {} cells crashed",
-        report.cells.len()
-    );
-    assert_eq!(crashed + vacuous, report.cells.len());
+    assert_eq!(crashed, report.cells.len(), "every cell crashes mid-run");
+    assert_eq!(vacuous, 0, "no experiment is event-free anymore");
+    assert!(report.cells.iter().all(|c| c.golden_events > 0));
 }
 
 #[test]

@@ -293,10 +293,10 @@ pub struct CheckpointConfig {
     pub policy: CheckpointPolicy,
     /// Snapshot destination.
     pub sink: CheckpointSink,
-    /// Crash injection: panic when the scope's *step* counter reaches this
-    /// index. Steps count every observable action — engine events, rng
-    /// draws, packet forwards — so the crash surface covers experiments
-    /// that drive the substrate directly without an engine.
+    /// Crash injection: panic when the scope's engine-event cursor reaches
+    /// this index. Every experiment schedules its work as engine events, so
+    /// the cursor is the complete crash surface — the same index space the
+    /// capture policy and recovery verification run on.
     pub kill_at: Option<u64>,
     /// Recovery verification: when the replay reaches this snapshot's
     /// cursor, compare the live state against it byte-for-byte.
@@ -317,10 +317,9 @@ impl CheckpointConfig {
         self
     }
 
-    /// Inject a crash at the given scope-global step index (engine events,
-    /// rng draws and packet forwards all advance the step counter).
-    pub fn kill_at(mut self, step: u64) -> Self {
-        self.kill_at = Some(step);
+    /// Inject a crash when the scope-global event cursor reaches `event`.
+    pub fn kill_at(mut self, event: u64) -> Self {
+        self.kill_at = Some(event);
         self
     }
 
@@ -567,7 +566,6 @@ struct CkState {
     verify: Option<Snapshot>,
     meta: SnapshotMeta,
     cursor: u64,
-    steps: u64,
     times_fired: usize,
     snapshots: Vec<Snapshot>,
     files: Vec<PathBuf>,
@@ -588,7 +586,6 @@ impl CkState {
             verify: config.verify,
             meta: config.meta,
             cursor: 0,
-            steps: 0,
             times_fired: 0,
             snapshots: Vec::new(),
             files: Vec::new(),
@@ -604,7 +601,6 @@ impl CkState {
     fn into_record(self) -> CheckpointRecord {
         CheckpointRecord {
             cursor: self.cursor,
-            steps: self.steps,
             snapshots: self.snapshots,
             files: self.files,
             manifest: self.manifest_path,
@@ -669,11 +665,10 @@ fn atomic_write(path: &Path, contents: &str) -> Result<(), String> {
 /// [`CheckpointGuard::finish`].
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointRecord {
-    /// Total events dispatched under the scope (across all engines).
+    /// Total events dispatched under the scope (across all engines). The
+    /// shared index space for capture policy, crash injection and recovery
+    /// verification.
     pub cursor: u64,
-    /// Total observable steps under the scope: engine events plus rng
-    /// draws plus packet forwards. The crash-injection index space.
-    pub steps: u64,
     /// Snapshots captured, in order (always populated, even with a
     /// directory sink).
     pub snapshots: Vec<Snapshot>,
@@ -754,46 +749,19 @@ pub(crate) struct StepDirective {
 }
 
 /// Advance the scope cursor past one dispatched event and decide what the
-/// engine must do next. Called by the engine after every dispatch. An
-/// event is also a step, so crash injection can land here too.
+/// engine must do next. Called by the engine after every dispatch; the
+/// cursor is the only index space — capture, verify and crash injection
+/// all key on it.
 pub(crate) fn on_event(now: SimTime) -> StepDirective {
     with_state(|s| {
         s.cursor += 1;
-        s.steps += 1;
         StepDirective {
             checkpoint: s.policy.due(s.cursor, now.as_micros(), &mut s.times_fired),
             verify: s.verify.as_ref().is_some_and(|v| v.cursor == s.cursor),
-            kill: s.kill_at == Some(s.steps),
+            kill: s.kill_at == Some(s.cursor),
         }
     })
     .unwrap_or_default()
-}
-
-/// Advance the step counter past one engine-free observable action (an rng
-/// draw or a packet forward) and fire the injected crash if this is its
-/// step. Called unconditionally from the sim's ambient instrumentation
-/// ([`crate::obs::on_rng_draw`] / [`crate::obs::on_forward`]) — one
-/// byte-load when no scope is active. The panic happens after the scope
-/// borrow is released, so the scope state (including `killed_at`) survives
-/// the unwind for the guard holder to collect.
-#[inline]
-pub(crate) fn action_tick() {
-    if !active() {
-        return;
-    }
-    let kill = with_state(|s| {
-        s.steps += 1;
-        if s.kill_at == Some(s.steps) {
-            s.killed_at = Some(s.steps);
-            Some(s.steps)
-        } else {
-            None
-        }
-    })
-    .flatten();
-    if let Some(step) = kill {
-        panic!("checkpoint: injected crash at step {step}");
-    }
 }
 
 /// Capture a snapshot of the given frontier at the current cursor. Skips
@@ -843,8 +811,8 @@ pub(crate) fn verify_frontier(engine: EngineState, components: Vec<ComponentStat
 /// Mark the injected crash as fired and build its panic message.
 pub(crate) fn kill_now() -> String {
     with_state(|s| {
-        s.killed_at = Some(s.steps);
-        format!("checkpoint: injected crash at step {}", s.steps)
+        s.killed_at = Some(s.cursor);
+        format!("checkpoint: injected crash at event {}", s.cursor)
     })
     .unwrap_or_else(|| "checkpoint: injected crash".to_string())
 }
@@ -952,7 +920,7 @@ mod tests {
             if d.kill {
                 assert_eq!(i, 5);
                 let msg = kill_now();
-                assert!(msg.contains("injected crash at step 5"), "{msg}");
+                assert!(msg.contains("injected crash at event 5"), "{msg}");
             }
         }
         // Simulate the budget hook firing right after event 5: cursor 5 has

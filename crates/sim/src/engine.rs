@@ -1017,13 +1017,11 @@ mod tests {
         golden.run_to_completion();
 
         // Crash run: checkpoint every 5 events, injected crash at event 13.
-        // Each chain event draws once, so an event's dispatch tick is every
-        // second step: event 13 completes at step 26.
         let guard = checkpoint::begin(
             crate::checkpoint::CheckpointConfig::new(
                 crate::checkpoint::CheckpointPolicy::every_n_events(5),
             )
-            .kill_at(26)
+            .kill_at(13)
             .meta("unit", 7),
         );
         let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -1032,7 +1030,7 @@ mod tests {
         }));
         let crash_rec = guard.finish();
         assert!(crashed.is_err(), "the injected crash must fire");
-        assert_eq!(crash_rec.killed_at, Some(26));
+        assert_eq!(crash_rec.killed_at, Some(13));
         assert_eq!(crash_rec.cursor, 13);
         let latest = crash_rec.snapshots.last().cloned().expect("snapshots before the crash");
         assert_eq!(latest.cursor, 10, "latest checkpoint before event 13");
@@ -1125,7 +1123,7 @@ mod tests {
         let rec = guard.finish();
         let payload = result.expect_err("the kill must panic");
         let msg = payload.downcast_ref::<String>().expect("string panic payload");
-        assert!(msg.contains("injected crash at step 3"), "{msg}");
+        assert!(msg.contains("injected crash at event 3"), "{msg}");
         assert_eq!(rec.killed_at, Some(3));
         assert_eq!(rec.cursor, 3, "no events run past the crash");
     }

@@ -420,20 +420,15 @@ pub fn on_dispatch_end() {
     with_state(|s| s.current_event = None);
 }
 
-/// One randomness-consuming rng call completed. Also a checkpoint-scope
-/// step: crash injection can fire here (see
-/// [`checkpoint`](crate::checkpoint)).
+/// One randomness-consuming rng call completed.
 #[inline]
 pub fn on_rng_draw() {
-    crate::checkpoint::action_tick();
     with_state(|s| s.rng_draws += 1);
 }
 
-/// One packet hop was forwarded at virtual time `at`. Also a
-/// checkpoint-scope step: crash injection can fire here.
+/// One packet hop was forwarded at virtual time `at`.
 #[inline]
 pub fn on_forward(at: SimTime) {
-    crate::checkpoint::action_tick();
     with_state(|s| {
         s.forwards += 1;
         s.series_forwards.record(at, 1);
@@ -817,7 +812,8 @@ mod tests {
         assert_eq!(isp.entries, 5, "both spans, both exits, one event");
         assert_eq!(isp.spans, 2);
         assert_eq!(isp.events, 1);
-        assert_eq!(isp.virtual_micros, (30 - 10) + (100 - 0));
+        // inner span 10→30 plus outer span 0→100
+        assert_eq!(isp.virtual_micros, (30 - 10) + 100);
         let other = &rec.stakeholders[UNATTRIBUTED];
         assert_eq!((other.entries, other.events), (1, 1));
         let total: u64 = rec.stakeholders.values().map(|c| c.entries).sum();

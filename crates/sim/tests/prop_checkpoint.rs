@@ -88,7 +88,7 @@ proptest! {
     }
 
     /// The synthetic crash/resume oracle, swept over arbitrary seeds and
-    /// kill steps: kill a run anywhere, resume from the latest checkpoint
+    /// kill events: kill a run anywhere, resume from the latest checkpoint
     /// (or genesis), and the stitched run's digest, world and core state
     /// all equal the uninterrupted golden's.
     #[test]
@@ -111,9 +111,9 @@ proptest! {
         }));
         let crash_rec = guard.finish();
         if crashed.is_ok() {
-            // A kill step past the run's total steps simply never fires.
+            // A kill event past the run's total events simply never fires.
             prop_assert!(crash_rec.killed_at.is_none());
-            prop_assert!(kill > crash_rec.steps);
+            prop_assert!(kill > crash_rec.cursor);
         } else {
             prop_assert_eq!(crash_rec.killed_at, Some(kill));
             let latest: Option<Snapshot> = crash_rec.snapshots.last().cloned();

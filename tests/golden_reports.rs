@@ -97,6 +97,7 @@ fn no_stale_golden_files() {
         run_all(GOLDEN_SEED).iter().map(|r| format!("{}.md", r.id)).collect();
     // Non-report snapshots locked by their own tests.
     live.push("E10.collapsed".to_owned());
+    live.push("E14.collapsed".to_owned());
     live.push("E9.chrome.json".to_owned());
     for entry in std::fs::read_dir(&dir).expect("read tests/golden") {
         let name = entry.expect("dir entry").file_name().to_string_lossy().into_owned();
@@ -124,6 +125,36 @@ fn golden_collapsed_stack_matches_e10() {
         Ok(expected) if expected == actual => {}
         Ok(expected) => panic!(
             "E10 collapsed stacks diverged from {}:\n{}",
+            path.display(),
+            diff(&expected, &actual)
+        ),
+        Err(e) => panic!(
+            "cannot read {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test golden_reports`",
+            path.display()
+        ),
+    }
+}
+
+#[test]
+fn golden_collapsed_stack_matches_e14() {
+    // E14's game phases run as one sequential engine-event chain with
+    // spans held open across events, so its flamegraph has real
+    // virtual-time widths and locks byte-for-byte like E10's.
+    let path = golden_dir().join("E14.collapsed");
+    let actual =
+        tussle::experiments::profile::collapsed(GOLDEN_SEED, &["E14".into()]).expect("E14 exists");
+    assert!(!actual.is_empty(), "E14 opens observation spans");
+    for line in actual.lines() {
+        assert!(line.starts_with("E14;"), "frame outside the E14 root: {line}");
+    }
+    if updating() {
+        std::fs::write(&path, &actual).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        return;
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(expected) if expected == actual => {}
+        Ok(expected) => panic!(
+            "E14 collapsed stacks diverged from {}:\n{}",
             path.display(),
             diff(&expected, &actual)
         ),
@@ -177,5 +208,8 @@ fn golden_reports_carry_the_cost_appendix() {
             "{}: markdown is missing its cost appendix",
             r.id
         );
+        // The engine-migration contract: every experiment schedules real
+        // engine events — none silently falls back to plain loops.
+        assert!(cost.events > 0, "{}: RunCost reports zero engine events", r.id);
     }
 }
